@@ -1,0 +1,426 @@
+//! The embedded assembler DSL.
+
+use rvliw_isa::{Br, Dest, Gpr, Op, Opcode, Src};
+
+use crate::program::{Block, Label, Program};
+
+/// Incrementally builds a [`Program`] from sequential operations.
+///
+/// Blocks are created by [`Builder::bind`]ing labels obtained from
+/// [`Builder::label`]. When a new block starts while the current one does not
+/// end in control flow, an explicit `goto` fall-through is inserted so every
+/// block is control-flow terminated (a property the scheduler relies on).
+///
+/// ```
+/// use rvliw_asm::Builder;
+/// use rvliw_isa::{Br, Gpr};
+///
+/// // for (i = 3; i != 0; i--) acc += i;
+/// let mut b = Builder::new("sum");
+/// let (i, acc) = (Gpr::new(1), Gpr::new(2));
+/// let cond = Br::new(0);
+/// b.movi(i, 3);
+/// b.movi(acc, 0);
+/// let loop_top = b.label();
+/// b.bind(loop_top);
+/// b.add(acc, acc, i);
+/// b.subi(i, i, 1);
+/// b.cmpne_br(cond, i, 0);
+/// b.br(cond, loop_top);
+/// b.halt();
+/// let program = b.build();
+/// assert!(program.validate().is_ok());
+/// ```
+#[derive(Debug)]
+pub struct Builder {
+    name: String,
+    finished: Vec<Block>,
+    current: Block,
+    next_label: u32,
+}
+
+impl Builder {
+    /// Starts a program; an entry block is opened implicitly.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Builder {
+            name: name.into(),
+            finished: Vec::new(),
+            current: Block {
+                label: Label(0),
+                ops: Vec::new(),
+            },
+            next_label: 1,
+        }
+    }
+
+    /// Reserves a fresh label (not yet bound to a block).
+    pub fn label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Starts a new block at `label`. If the current block does not end in a
+    /// control-flow operation, a fall-through `goto label` is appended first.
+    pub fn bind(&mut self, label: Label) {
+        let falls_through = self
+            .current
+            .ops
+            .last()
+            .is_none_or(|op| !op.opcode.is_control());
+        if falls_through {
+            self.current
+                .ops
+                .push(Op::new(Opcode::Goto, Dest::None, &[]).with_target(label.0));
+        }
+        let done = std::mem::replace(
+            &mut self.current,
+            Block {
+                label,
+                ops: Vec::new(),
+            },
+        );
+        self.finished.push(done);
+    }
+
+    /// Appends a raw operation to the current block.
+    pub fn op(&mut self, op: Op) {
+        self.current.ops.push(op);
+    }
+
+    /// Finishes the program.
+    #[must_use]
+    pub fn build(mut self) -> Program {
+        self.finished.push(self.current);
+        Program {
+            name: self.name,
+            blocks: self.finished,
+        }
+    }
+
+    // ---- three-register / register-immediate helpers ---------------------
+
+    fn rrx(&mut self, opc: Opcode, rd: Gpr, rs1: Gpr, rs2: impl Into<Src>) {
+        self.op(Op::new(opc, rd.into(), &[rs1.into(), rs2.into()]));
+    }
+
+    /// `rd = rs1 + rs2|imm`
+    pub fn add(&mut self, rd: Gpr, rs1: Gpr, rs2: impl Into<Src>) {
+        self.rrx(Opcode::Add, rd, rs1, rs2);
+    }
+
+    /// `rd = rs1 + imm`
+    pub fn addi(&mut self, rd: Gpr, rs1: Gpr, imm: i32) {
+        self.rrx(Opcode::Add, rd, rs1, imm);
+    }
+
+    /// `rd = rs1 - rs2|imm`
+    pub fn sub(&mut self, rd: Gpr, rs1: Gpr, rs2: impl Into<Src>) {
+        self.rrx(Opcode::Sub, rd, rs1, rs2);
+    }
+
+    /// `rd = rs1 - imm`
+    pub fn subi(&mut self, rd: Gpr, rs1: Gpr, imm: i32) {
+        self.rrx(Opcode::Sub, rd, rs1, imm);
+    }
+
+    /// `rd = rs1 & rs2|imm`
+    pub fn and(&mut self, rd: Gpr, rs1: Gpr, rs2: impl Into<Src>) {
+        self.rrx(Opcode::And, rd, rs1, rs2);
+    }
+
+    /// `rd = rs1 | rs2|imm`
+    pub fn or(&mut self, rd: Gpr, rs1: Gpr, rs2: impl Into<Src>) {
+        self.rrx(Opcode::Or, rd, rs1, rs2);
+    }
+
+    /// `rd = rs1 ^ rs2|imm`
+    pub fn xor(&mut self, rd: Gpr, rs1: Gpr, rs2: impl Into<Src>) {
+        self.rrx(Opcode::Xor, rd, rs1, rs2);
+    }
+
+    /// `rd = rs1 << rs2|imm` (≥32 yields 0)
+    pub fn sll(&mut self, rd: Gpr, rs1: Gpr, rs2: impl Into<Src>) {
+        self.rrx(Opcode::Sll, rd, rs1, rs2);
+    }
+
+    /// `rd = rs1 >> rs2|imm` logical
+    pub fn srl(&mut self, rd: Gpr, rs1: Gpr, rs2: impl Into<Src>) {
+        self.rrx(Opcode::Srl, rd, rs1, rs2);
+    }
+
+    /// `rd = rs1 >> rs2|imm` arithmetic
+    pub fn sra(&mut self, rd: Gpr, rs1: Gpr, rs2: impl Into<Src>) {
+        self.rrx(Opcode::Sra, rd, rs1, rs2);
+    }
+
+    /// `rd = min(rs1, rs2)` signed
+    pub fn min(&mut self, rd: Gpr, rs1: Gpr, rs2: impl Into<Src>) {
+        self.rrx(Opcode::Min, rd, rs1, rs2);
+    }
+
+    /// `rd = max(rs1, rs2)` signed
+    pub fn max(&mut self, rd: Gpr, rs1: Gpr, rs2: impl Into<Src>) {
+        self.rrx(Opcode::Max, rd, rs1, rs2);
+    }
+
+    /// `rd = rs`
+    pub fn mov(&mut self, rd: Gpr, rs: Gpr) {
+        self.op(Op::new(Opcode::Mov, rd.into(), &[rs.into()]));
+    }
+
+    /// `rd = imm`
+    pub fn movi(&mut self, rd: Gpr, imm: i32) {
+        self.op(Op::new(Opcode::Mov, rd.into(), &[imm.into()]));
+    }
+
+    /// `rd = rs1 * rs2|imm` (multiplier unit)
+    pub fn mul(&mut self, rd: Gpr, rs1: Gpr, rs2: impl Into<Src>) {
+        self.rrx(Opcode::Mul, rd, rs1, rs2);
+    }
+
+    /// `rd = byte<lane>(rs)` zero-extended
+    pub fn extbu(&mut self, rd: Gpr, rs: Gpr, lane: i32) {
+        self.rrx(Opcode::Extbu, rd, rs, lane);
+    }
+
+    /// `rd = rs1 with byte<lane> := low8(rs2)`
+    pub fn insb(&mut self, rd: Gpr, rs1: Gpr, rs2: Gpr, lane: i32) {
+        self.op(Op::new(
+            Opcode::Insb,
+            rd.into(),
+            &[rs1.into(), rs2.into(), lane.into()],
+        ));
+    }
+
+    /// `rd = b ? rs1 : rs2`
+    pub fn slct(&mut self, rd: Gpr, b: Br, rs1: Gpr, rs2: impl Into<Src>) {
+        self.op(Op::new(
+            Opcode::Slct,
+            rd.into(),
+            &[b.into(), rs1.into(), rs2.into()],
+        ));
+    }
+
+    // ---- comparisons ------------------------------------------------------
+
+    /// `bd = (rs1 < rs2|imm)` signed, into a branch register
+    pub fn cmplt_br(&mut self, bd: Br, rs1: Gpr, rs2: impl Into<Src>) {
+        self.op(Op::new(Opcode::CmpLt, bd.into(), &[rs1.into(), rs2.into()]));
+    }
+
+    /// `bd = (rs1 != rs2|imm)`, into a branch register
+    pub fn cmpne_br(&mut self, bd: Br, rs1: Gpr, rs2: impl Into<Src>) {
+        self.op(Op::new(Opcode::CmpNe, bd.into(), &[rs1.into(), rs2.into()]));
+    }
+
+    /// `bd = (rs1 == rs2|imm)`, into a branch register
+    pub fn cmpeq_br(&mut self, bd: Br, rs1: Gpr, rs2: impl Into<Src>) {
+        self.op(Op::new(Opcode::CmpEq, bd.into(), &[rs1.into(), rs2.into()]));
+    }
+
+    /// `bd = (rs1 < rs2|imm)` unsigned, into a branch register
+    pub fn cmpltu_br(&mut self, bd: Br, rs1: Gpr, rs2: impl Into<Src>) {
+        self.op(Op::new(
+            Opcode::CmpLtu,
+            bd.into(),
+            &[rs1.into(), rs2.into()],
+        ));
+    }
+
+    /// `rd = (rs1 < rs2|imm)` signed, into a GPR
+    pub fn cmplt(&mut self, rd: Gpr, rs1: Gpr, rs2: impl Into<Src>) {
+        self.rrx(Opcode::CmpLt, rd, rs1, rs2);
+    }
+
+    // ---- SIMD subset -------------------------------------------------------
+
+    /// per-byte rounded average `(a+b+1)>>1`
+    pub fn avg4r(&mut self, rd: Gpr, rs1: Gpr, rs2: Gpr) {
+        self.op(Op::rrr(Opcode::Avg4r, rd, rs1, rs2));
+    }
+
+    /// per-byte floor average `(a+b)>>1`
+    pub fn avg4(&mut self, rd: Gpr, rs1: Gpr, rs2: Gpr) {
+        self.op(Op::rrr(Opcode::Avg4, rd, rs1, rs2));
+    }
+
+    /// scalar sum of per-byte absolute differences
+    pub fn sad4(&mut self, rd: Gpr, rs1: Gpr, rs2: Gpr) {
+        self.op(Op::rrr(Opcode::Sad4, rd, rs1, rs2));
+    }
+
+    // ---- memory -------------------------------------------------------------
+
+    /// `rd = mem32[base + off]`
+    pub fn ldw(&mut self, rd: Gpr, base: Gpr, off: i32) {
+        self.op(Op::new(Opcode::Ldw, rd.into(), &[base.into(), off.into()]));
+    }
+
+    /// `rd = zext(mem8[base + off])`
+    pub fn ldbu(&mut self, rd: Gpr, base: Gpr, off: i32) {
+        self.op(Op::new(Opcode::Ldbu, rd.into(), &[base.into(), off.into()]));
+    }
+
+    /// `mem32[base + off] = rs`
+    pub fn stw(&mut self, rs: Gpr, base: Gpr, off: i32) {
+        self.op(Op::new(
+            Opcode::Stw,
+            Dest::None,
+            &[rs.into(), base.into(), off.into()],
+        ));
+    }
+
+    /// `mem8[base + off] = low8(rs)`
+    pub fn stb(&mut self, rs: Gpr, base: Gpr, off: i32) {
+        self.op(Op::new(
+            Opcode::Stb,
+            Dest::None,
+            &[rs.into(), base.into(), off.into()],
+        ));
+    }
+
+    /// Software prefetch of the line containing `base + off`.
+    pub fn pft(&mut self, base: Gpr, off: i32) {
+        self.op(Op::new(Opcode::Pft, Dest::None, &[base.into(), off.into()]));
+    }
+
+    // ---- control flow --------------------------------------------------------
+
+    /// Conditional branch to `target` when `b` is true. Opens a fall-through
+    /// block for the not-taken path.
+    pub fn br(&mut self, b: Br, target: Label) {
+        self.op(Op::new(Opcode::BrT, Dest::None, &[b.into()]).with_target(target.0));
+        let cont = self.label();
+        self.bind(cont);
+    }
+
+    /// Conditional branch to `target` when `b` is false.
+    pub fn brf(&mut self, b: Br, target: Label) {
+        self.op(Op::new(Opcode::BrF, Dest::None, &[b.into()]).with_target(target.0));
+        let cont = self.label();
+        self.bind(cont);
+    }
+
+    /// Unconditional jump.
+    pub fn goto(&mut self, target: Label) {
+        self.op(Op::new(Opcode::Goto, Dest::None, &[]).with_target(target.0));
+        let cont = self.label();
+        self.bind(cont);
+    }
+
+    /// Call the block at `target`; the return address lands in `$r63`.
+    pub fn call(&mut self, target: Label) {
+        self.op(Op::new(Opcode::Call, Dest::None, &[]).with_target(target.0));
+        let cont = self.label();
+        self.bind(cont);
+    }
+
+    /// Return through `$r63`.
+    pub fn ret(&mut self) {
+        self.op(Op::new(Opcode::Ret, Dest::None, &[]));
+        let cont = self.label();
+        self.bind(cont);
+    }
+
+    /// Stop the simulation.
+    pub fn halt(&mut self) {
+        self.op(Op::new(Opcode::Halt, Dest::None, &[]));
+        let cont = self.label();
+        self.bind(cont);
+    }
+
+    // ---- RFU custom instructions ----------------------------------------------
+
+    /// `RFUINIT(#cfg)`
+    pub fn rfu_init(&mut self, cfg: u16) {
+        self.op(Op::new(Opcode::RfuInit, Dest::None, &[]).with_cfg(cfg));
+    }
+
+    /// `RFUSEND(#cfg, srcs…)` — up to two explicit operands per send on the
+    /// 64-bit RFU input port.
+    pub fn rfu_send(&mut self, cfg: u16, srcs: &[Gpr]) {
+        assert!(srcs.len() <= 2, "rfusend carries at most two operands");
+        let srcs: Vec<Src> = srcs.iter().map(|&r| r.into()).collect();
+        self.op(Op::new(Opcode::RfuSend, Dest::None, &srcs).with_cfg(cfg));
+    }
+
+    /// `rd = RFUEXEC(#cfg, srcs…)`
+    pub fn rfu_exec(&mut self, cfg: u16, rd: Gpr, srcs: &[Src]) {
+        self.op(Op::new(Opcode::RfuExec, rd.into(), srcs).with_cfg(cfg));
+    }
+
+    /// Custom macroblock prefetch (pattern selected by `cfg`).
+    pub fn rfu_pref(&mut self, cfg: u16, addr: Gpr) {
+        self.op(Op::new(Opcode::RfuPref, Dest::None, &[addr.into()]).with_cfg(cfg));
+    }
+
+    /// Long-latency kernel-loop instruction.
+    pub fn rfu_loop(&mut self, cfg: u16, rd: Gpr, srcs: &[Src]) {
+        self.op(Op::new(Opcode::RfuLoop, rd.into(), srcs).with_cfg(cfg));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_single_block() {
+        let mut b = Builder::new("t");
+        b.movi(Gpr::new(1), 5);
+        b.addi(Gpr::new(2), Gpr::new(1), 1);
+        b.halt();
+        let p = b.build();
+        assert!(p.validate().is_ok());
+        // halt opens a trailing (empty) continuation block.
+        assert_eq!(p.blocks.len(), 2);
+        assert_eq!(p.blocks[0].ops.len(), 3);
+    }
+
+    #[test]
+    fn bind_inserts_fallthrough_goto() {
+        let mut b = Builder::new("t");
+        b.movi(Gpr::new(1), 5);
+        let l = b.label();
+        b.bind(l);
+        b.halt();
+        let p = b.build();
+        let first = &p.blocks[0];
+        let last_op = first.ops.last().unwrap();
+        assert_eq!(last_op.opcode, Opcode::Goto);
+        assert_eq!(last_op.target, Some(l.0));
+    }
+
+    #[test]
+    fn loop_structure_validates() {
+        let mut b = Builder::new("loop");
+        let i = Gpr::new(1);
+        let c = Br::new(0);
+        b.movi(i, 4);
+        let top = b.label();
+        b.bind(top);
+        b.subi(i, i, 1);
+        b.cmpne_br(c, i, 0);
+        b.br(c, top);
+        b.halt();
+        let p = b.build();
+        p.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "at most two")]
+    fn rfu_send_limits_operands() {
+        let mut b = Builder::new("t");
+        b.rfu_send(0, &[Gpr::new(1), Gpr::new(2), Gpr::new(3)]);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut b = Builder::new("t");
+        let l1 = b.label();
+        let l2 = b.label();
+        assert_ne!(l1, l2);
+    }
+}

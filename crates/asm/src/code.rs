@@ -1,0 +1,179 @@
+//! Scheduled code: the executable artifact.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use rvliw_isa::{encode_op, Bundle};
+
+use crate::program::Label;
+
+/// A scheduled program: VLIW bundles with resolved branch targets.
+///
+/// Branch operations inside the bundles carry *bundle indices* in their
+/// `target` field (the assembler resolved the labels). The simulator's
+/// program counter is a bundle index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Code {
+    name: String,
+    bundles: Vec<Bundle>,
+    label_at: HashMap<Label, usize>,
+}
+
+impl Code {
+    pub(crate) fn new(name: String, bundles: Vec<Bundle>, label_at: HashMap<Label, usize>) -> Self {
+        Code {
+            name,
+            bundles,
+            label_at,
+        }
+    }
+
+    /// The program name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The scheduled bundles; the machine issues one per cycle.
+    #[must_use]
+    pub fn bundles(&self) -> &[Bundle] {
+        &self.bundles
+    }
+
+    /// The bundle index a label resolves to.
+    #[must_use]
+    pub fn label_index(&self, label: Label) -> Option<usize> {
+        self.label_at.get(&label).copied()
+    }
+
+    /// Total operations across all bundles (excluding empty filler cycles).
+    #[must_use]
+    pub fn num_ops(&self) -> usize {
+        self.bundles.iter().map(|b| b.ops().len()).sum()
+    }
+
+    /// Static code size in 32-bit syllable words, as seen by the
+    /// instruction cache (each bundle padded to the encoded length of its
+    /// operations, minimum one word).
+    #[must_use]
+    pub fn size_words(&self) -> usize {
+        let mut words = Vec::new();
+        let mut total = 0usize;
+        for b in &self.bundles {
+            words.clear();
+            for op in b.ops() {
+                encode_op(op, &mut words);
+            }
+            total += words.len().max(1);
+        }
+        total
+    }
+
+    /// A full disassembly listing.
+    #[must_use]
+    pub fn disassemble(&self) -> String {
+        let mut rev: HashMap<usize, Vec<Label>> = HashMap::new();
+        for (l, i) in &self.label_at {
+            rev.entry(*i).or_default().push(*l);
+        }
+        let mut out = format!("; program {} ({} bundles)\n", self.name, self.bundles.len());
+        for (i, b) in self.bundles.iter().enumerate() {
+            if let Some(ls) = rev.get(&i) {
+                let mut ls = ls.clone();
+                ls.sort();
+                for l in ls {
+                    out.push_str(&format!("{l}:\n"));
+                }
+            }
+            out.push_str(&format!("{i:5}:"));
+            if b.is_empty() {
+                out.push_str("  nop\n");
+            } else {
+                // Branch targets are bundle indices after scheduling; render
+                // them as `@index` so they are not mistaken for label names.
+                let ops: Vec<String> = b
+                    .ops()
+                    .iter()
+                    .map(|o| {
+                        let s = o.to_string();
+                        match (o.opcode.is_control(), o.target) {
+                            (true, Some(t)) => s.replace(&format!("-> L{t}"), &format!("-> @{t}")),
+                            _ => s,
+                        }
+                    })
+                    .collect();
+                out.push_str(&format!("  {}\n", ops.join("  ||  ")));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.disassemble())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Builder;
+    use rvliw_isa::{Br, Gpr, Opcode};
+
+    fn sample() -> super::Code {
+        let mut b = Builder::new("sample");
+        let i = Gpr::new(1);
+        let c = Br::new(0);
+        b.movi(i, 3);
+        let top = b.label();
+        b.bind(top);
+        b.subi(i, i, 1);
+        b.cmpne_br(c, i, 0);
+        b.br(c, top);
+        b.halt();
+        crate::schedule_st200(&b.build()).unwrap()
+    }
+
+    #[test]
+    fn label_index_resolves_bound_labels() {
+        let code = sample();
+        // The loop label exists and points inside the program.
+        let labels: Vec<usize> = (0..10)
+            .filter_map(|i| code.label_index(crate::Label(i)))
+            .collect();
+        assert!(!labels.is_empty());
+        for idx in labels {
+            assert!(idx <= code.bundles().len());
+        }
+    }
+
+    #[test]
+    fn size_words_counts_syllables() {
+        let code = sample();
+        // At least one word per op; long immediates add more.
+        assert!(code.size_words() >= code.num_ops());
+    }
+
+    #[test]
+    fn disassembly_renders_targets_as_bundle_indices() {
+        let code = sample();
+        let text = code.disassemble();
+        assert!(text.contains("-> @"), "{text}");
+        assert!(text.contains("br $b0"), "{text}");
+        // Every branch target is a valid bundle index.
+        for b in code.bundles() {
+            for op in b.ops() {
+                if op.opcode == Opcode::BrT {
+                    let t = op.target.unwrap() as usize;
+                    assert!(t < code.bundles().len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_matches_disassemble() {
+        let code = sample();
+        assert_eq!(code.to_string(), code.disassemble());
+    }
+}

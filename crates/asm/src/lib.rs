@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+//! # rvliw-asm
+//!
+//! Program construction and instruction scheduling for the rvliw ISA.
+//!
+//! The paper compiles its benchmark with the ST200 production compiler
+//! (Multiflow-derived, aggressive ILP scheduling). This crate is the
+//! reproduction's stand-in for that toolchain:
+//!
+//! * [`Builder`] — an embedded assembler DSL that emits *sequential*
+//!   operations into labelled basic blocks;
+//! * [`schedule`] — a resource-constrained **list scheduler** that packs the
+//!   sequential operations of each block into 4-issue VLIW bundles,
+//!   honouring data dependences, operation latencies and the per-cycle
+//!   functional-unit mix of the ST200 (4 ALU / 2 MUL / 1 LSU / 1 BR / 1 RFU);
+//! * [`Code`] — the scheduled artifact executed by `rvliw-sim`.
+//!
+//! ```
+//! use rvliw_asm::Builder;
+//! use rvliw_isa::{Gpr, MachineConfig};
+//!
+//! let mut b = Builder::new("axpy");
+//! let (x, y, z) = (Gpr::new(1), Gpr::new(2), Gpr::new(3));
+//! b.movi(x, 6);
+//! b.movi(y, 7);
+//! b.mul(z, x, y);
+//! b.halt();
+//! let code = rvliw_asm::schedule(&b.build(), &MachineConfig::st200()).unwrap();
+//! assert!(code.bundles().len() >= 2); // mul depends on both moves
+//! ```
+
+pub mod builder;
+pub mod code;
+pub mod parse;
+pub mod program;
+pub mod sched;
+
+pub use builder::Builder;
+pub use code::Code;
+pub use parse::{parse_program, ParseError};
+pub use program::{Block, Label, Program, ProgramError};
+pub use sched::{schedule, ScheduleError};
+
+/// Convenience alias: schedule with the default ST200 configuration.
+///
+/// # Errors
+///
+/// See [`schedule`].
+pub fn schedule_st200(program: &Program) -> Result<Code, ScheduleError> {
+    schedule(program, &rvliw_isa::MachineConfig::st200())
+}

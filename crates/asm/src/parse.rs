@@ -1,0 +1,290 @@
+//! A text assembler: parses the listing syntax that [`Program`]'s
+//! `Display` produces, so programs round-trip through text.
+//!
+//! Syntax, one operation per line:
+//!
+//! ```text
+//! ; a comment
+//! entry:                      ; a label binds the next block
+//!     mov $r1 = 10
+//!     add $r2 = $r1, 5
+//! loop:
+//!     sub $r1 = $r1, 1
+//!     cmpne $b0 = $r1, 0
+//!     br $b0 -> loop
+//!     rfuexec#3 $r4 = $r5     ; RFU ops carry a configuration id
+//!     halt
+//! ```
+//!
+//! Destinations are introduced by `=`; sources are comma-separated GPRs
+//! (`$r0`–`$r63`), branch registers (`$b0`–`$b7`) or decimal/hex
+//! immediates; branch targets follow `->`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use rvliw_isa::{Dest, Op, Opcode, Src};
+
+use crate::program::{Block, Label, Program};
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn opcode_by_mnemonic(m: &str) -> Option<Opcode> {
+    Opcode::all().iter().copied().find(|o| o.mnemonic() == m)
+}
+
+fn parse_src(tok: &str, line: usize) -> Result<Src, ParseError> {
+    if let Ok(r) = tok.parse::<rvliw_isa::Gpr>() {
+        return Ok(Src::Gpr(r));
+    }
+    if let Ok(b) = tok.parse::<rvliw_isa::Br>() {
+        return Ok(Src::Br(b));
+    }
+    let imm = if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("-0x")) {
+        i64::from_str_radix(hex, 16)
+            .map(|v| if tok.starts_with('-') { -v } else { v })
+            .map_err(|_| err(line, format!("bad operand `{tok}`")))?
+    } else {
+        tok.parse::<i64>()
+            .map_err(|_| err(line, format!("bad operand `{tok}`")))?
+    };
+    i32::try_from(imm)
+        .map(Src::Imm)
+        .map_err(|_| err(line, format!("immediate `{tok}` out of 32-bit range")))
+}
+
+/// Parses an assembly listing into a [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending line on malformed input or
+/// an undefined label.
+pub fn parse_program(name: &str, text: &str) -> Result<Program, ParseError> {
+    struct PendingOp {
+        op: Op,
+        target_name: Option<String>,
+        line: usize,
+    }
+    let mut blocks: Vec<(Option<String>, Vec<PendingOp>)> = vec![(None, Vec::new())];
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let code = raw.split(';').next().unwrap_or("").trim();
+        if code.is_empty() {
+            continue;
+        }
+        if let Some(label) = code.strip_suffix(':') {
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return Err(err(line, "malformed label"));
+            }
+            blocks.push((Some(label.to_owned()), Vec::new()));
+            continue;
+        }
+        // "<mnemonic>[#cfg] [dest =] src, src … [-> target]"
+        let (code, target_name) = match code.split_once("->") {
+            Some((body, target)) => (body.trim(), Some(target.trim().to_owned())),
+            None => (code, None),
+        };
+        let mut parts = code.splitn(2, char::is_whitespace);
+        let head = parts.next().unwrap_or("");
+        let rest = parts.next().unwrap_or("").trim();
+        let (mnemonic, cfg) = match head.split_once('#') {
+            Some((m, c)) => (
+                m,
+                Some(
+                    c.parse::<u16>()
+                        .map_err(|_| err(line, format!("bad configuration id `{c}`")))?,
+                ),
+            ),
+            None => (head, None),
+        };
+        let opcode = opcode_by_mnemonic(mnemonic)
+            .ok_or_else(|| err(line, format!("unknown mnemonic `{mnemonic}`")))?;
+        let (dest, srcs_text) = match rest.split_once('=') {
+            Some((d, s)) => {
+                let d = d.trim();
+                let dest = if let Ok(r) = d.parse::<rvliw_isa::Gpr>() {
+                    Dest::Gpr(r)
+                } else if let Ok(b) = d.parse::<rvliw_isa::Br>() {
+                    Dest::Br(b)
+                } else {
+                    return Err(err(line, format!("bad destination `{d}`")));
+                };
+                (dest, s.trim())
+            }
+            None => (Dest::None, rest),
+        };
+        let mut srcs = Vec::new();
+        if !srcs_text.is_empty() {
+            for tok in srcs_text.split(',') {
+                srcs.push(parse_src(tok.trim(), line)?);
+            }
+        }
+        if srcs.len() > rvliw_isa::MAX_SRCS {
+            return Err(err(line, "too many source operands"));
+        }
+        let mut op = Op::new(opcode, dest, &srcs);
+        if let Some(cfg) = cfg {
+            op = op.with_cfg(cfg);
+        }
+        let is_control = op.opcode.is_control();
+        blocks
+            .last_mut()
+            .expect("at least the entry block")
+            .1
+            .push(PendingOp {
+                op,
+                target_name,
+                line,
+            });
+        if is_control {
+            // Control flow ends a basic block; open an anonymous
+            // continuation for whatever follows (mirrors `Builder`).
+            blocks.push((None, Vec::new()));
+        }
+    }
+    // Drop a trailing empty anonymous block.
+    if blocks.len() > 1
+        && blocks
+            .last()
+            .is_some_and(|(n, ops)| n.is_none() && ops.is_empty())
+    {
+        blocks.pop();
+    }
+
+    // Assign label ids in block order; named blocks are also recorded for
+    // target resolution.
+    let mut label_ids: HashMap<String, u32> = HashMap::new();
+    for (i, (name, _)) in blocks.iter().enumerate() {
+        if let Some(n) = name {
+            label_ids.insert(n.clone(), i as u32);
+        }
+    }
+    let mut out_blocks = Vec::with_capacity(blocks.len());
+    for (i, (_, ops)) in blocks.into_iter().enumerate() {
+        let label = Label(i as u32);
+        let mut resolved = Vec::with_capacity(ops.len());
+        for p in ops {
+            let mut op = p.op;
+            if let Some(t) = p.target_name {
+                let id = label_ids
+                    .get(&t)
+                    .copied()
+                    .ok_or_else(|| err(p.line, format!("undefined label `{t}`")))?;
+                op = op.with_target(id);
+            }
+            resolved.push(op);
+        }
+        out_blocks.push(Block {
+            label,
+            ops: resolved,
+        });
+    }
+    Ok(Program {
+        name: name.to_owned(),
+        blocks: out_blocks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvliw_isa::Gpr;
+
+    #[test]
+    fn parses_a_loop() {
+        let text = r"
+; sum 1..=4
+    mov $r1 = 4
+    mov $r2 = 0
+loop:
+    add $r2 = $r2, $r1
+    sub $r1 = $r1, 1
+    cmpne $b0 = $r1, 0
+    br $b0 -> loop
+    halt
+";
+        let p = parse_program("sum", text).unwrap();
+        p.validate().unwrap();
+        // entry, the loop body (ends at the branch), the halt continuation
+        assert_eq!(p.blocks.len(), 3);
+        assert_eq!(p.blocks[1].ops.len(), 4);
+        assert_eq!(p.blocks[2].ops.len(), 1);
+        // And it actually runs: schedule + simulate 1+2+3+4.
+        let code = crate::schedule_st200(&p).unwrap();
+        assert!(code.bundles().len() >= 4);
+    }
+
+    #[test]
+    fn parses_rfu_config_ids_and_hex() {
+        let p = parse_program("t", "rfusend#3 $r1, $r2\nmov $r1 = 0x10\nhalt\n").unwrap();
+        let op = &p.blocks[0].ops[0];
+        assert_eq!(op.cfg, Some(3));
+        assert_eq!(p.blocks[0].ops[1].srcs()[0], Src::Imm(16));
+    }
+
+    #[test]
+    fn parses_stores_without_destination() {
+        let p = parse_program("t", "stw $r1, $r2, 8\nhalt\n").unwrap();
+        let op = &p.blocks[0].ops[0];
+        assert_eq!(op.dest, Dest::None);
+        assert_eq!(op.srcs().len(), 3);
+    }
+
+    #[test]
+    fn rejects_unknown_mnemonic_with_line() {
+        let e = parse_program("t", "\n\nfrobnicate $r1 = $r2\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn rejects_undefined_label() {
+        let e = parse_program("t", "goto -> nowhere\n").unwrap_err();
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn parsed_program_schedules_and_runs_shape() {
+        let text = "mov $r1 = 6\nmov $r2 = 7\nmul $r3 = $r1, $r2\nhalt\n";
+        let p = parse_program("t", text).unwrap();
+        let code = crate::schedule_st200(&p).unwrap();
+        assert!(code.bundles().len() >= 2);
+    }
+
+    #[test]
+    fn display_parse_roundtrip_for_straight_line() {
+        let mut b = crate::Builder::new("t");
+        b.movi(Gpr::new(1), 42);
+        b.addi(Gpr::new(2), Gpr::new(1), -7);
+        b.sad4(Gpr::new(3), Gpr::new(1), Gpr::new(2));
+        b.halt();
+        let p1 = b.build();
+        // Render each op and parse it back.
+        let text: String = p1.blocks[0].ops.iter().map(|o| format!("{o}\n")).collect();
+        let p2 = parse_program("t", &text).unwrap();
+        assert_eq!(p1.blocks[0].ops, p2.blocks[0].ops);
+    }
+}

@@ -1,0 +1,214 @@
+//! Unscheduled programs: labelled basic blocks of sequential operations.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use rvliw_isa::Op;
+
+/// A branch-target label, unique within one [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(pub(crate) u32);
+
+impl Label {
+    /// The numeric id of this label.
+    #[must_use]
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// A basic block: a label and the *sequential* operations bound to it.
+///
+/// Sequential semantics: each operation conceptually executes after the
+/// previous one; the scheduler recovers the parallelism.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// The block's entry label.
+    pub label: Label,
+    /// Sequential operations; at most the last one is control flow.
+    pub ops: Vec<Op>,
+}
+
+/// An unscheduled program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Human-readable name (used in disassembly and statistics).
+    pub name: String,
+    /// Basic blocks in layout order; execution enters at the first block.
+    pub blocks: Vec<Block>,
+}
+
+/// Structural errors detected by [`Program::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// A control-flow operation references a label with no bound block.
+    UndefinedLabel(Label),
+    /// Two blocks bound to the same label.
+    DuplicateLabel(Label),
+    /// A control-flow operation appears before the end of a block.
+    ControlNotLast {
+        /// The offending block.
+        block: Label,
+    },
+    /// A branch operation is missing its target label.
+    MissingTarget {
+        /// The offending block.
+        block: Label,
+    },
+    /// The program has no blocks.
+    Empty,
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::UndefinedLabel(l) => write!(f, "undefined label {l}"),
+            ProgramError::DuplicateLabel(l) => write!(f, "duplicate label {l}"),
+            ProgramError::ControlNotLast { block } => {
+                write!(f, "control-flow op before end of block {block}")
+            }
+            ProgramError::MissingTarget { block } => {
+                write!(f, "branch without target in block {block}")
+            }
+            ProgramError::Empty => write!(f, "program has no blocks"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+impl Program {
+    /// Checks structural invariants: unique labels, targets defined, control
+    /// flow only at block ends.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ProgramError`] found.
+    pub fn validate(&self) -> Result<(), ProgramError> {
+        if self.blocks.is_empty() {
+            return Err(ProgramError::Empty);
+        }
+        let mut defined = HashSet::new();
+        for b in &self.blocks {
+            if !defined.insert(b.label) {
+                return Err(ProgramError::DuplicateLabel(b.label));
+            }
+        }
+        for b in &self.blocks {
+            for (i, op) in b.ops.iter().enumerate() {
+                let is_last = i + 1 == b.ops.len();
+                if op.opcode.is_control() && !is_last {
+                    return Err(ProgramError::ControlNotLast { block: b.label });
+                }
+                if op.opcode.is_control() {
+                    use rvliw_isa::Opcode::*;
+                    match op.opcode {
+                        BrT | BrF | Goto | Call => {
+                            let t = op
+                                .target
+                                .ok_or(ProgramError::MissingTarget { block: b.label })?;
+                            if !defined.contains(&Label(t)) {
+                                return Err(ProgramError::UndefinedLabel(Label(t)));
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total number of operations across all blocks.
+    #[must_use]
+    pub fn num_ops(&self) -> usize {
+        self.blocks.iter().map(|b| b.ops.len()).sum()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "program {}:", self.name)?;
+        for b in &self.blocks {
+            writeln!(f, "{}:", b.label)?;
+            for op in &b.ops {
+                writeln!(f, "    {op}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvliw_isa::{Dest, Gpr, Opcode};
+
+    fn block(label: u32, ops: Vec<Op>) -> Block {
+        Block {
+            label: Label(label),
+            ops,
+        }
+    }
+
+    #[test]
+    fn empty_program_invalid() {
+        let p = Program {
+            name: "p".into(),
+            blocks: vec![],
+        };
+        assert_eq!(p.validate(), Err(ProgramError::Empty));
+    }
+
+    #[test]
+    fn undefined_target_detected() {
+        let goto = Op::new(Opcode::Goto, Dest::None, &[]).with_target(9);
+        let p = Program {
+            name: "p".into(),
+            blocks: vec![block(0, vec![goto])],
+        };
+        assert_eq!(p.validate(), Err(ProgramError::UndefinedLabel(Label(9))));
+    }
+
+    #[test]
+    fn control_must_be_last() {
+        let goto = Op::new(Opcode::Goto, Dest::None, &[]).with_target(0);
+        let add = Op::rrr(Opcode::Add, Gpr::new(1), Gpr::new(2), Gpr::new(3));
+        let p = Program {
+            name: "p".into(),
+            blocks: vec![block(0, vec![goto, add])],
+        };
+        assert_eq!(
+            p.validate(),
+            Err(ProgramError::ControlNotLast { block: Label(0) })
+        );
+    }
+
+    #[test]
+    fn duplicate_labels_detected() {
+        let halt = Op::new(Opcode::Halt, Dest::None, &[]);
+        let p = Program {
+            name: "p".into(),
+            blocks: vec![block(0, vec![halt]), block(0, vec![halt])],
+        };
+        assert_eq!(p.validate(), Err(ProgramError::DuplicateLabel(Label(0))));
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        let halt = Op::new(Opcode::Halt, Dest::None, &[]);
+        let goto = Op::new(Opcode::Goto, Dest::None, &[]).with_target(1);
+        let p = Program {
+            name: "p".into(),
+            blocks: vec![block(0, vec![goto]), block(1, vec![halt])],
+        };
+        assert!(p.validate().is_ok());
+        assert_eq!(p.num_ops(), 2);
+    }
+}

@@ -1,0 +1,470 @@
+//! Resource-constrained list scheduling.
+//!
+//! Each basic block is scheduled independently (the classic compiler model
+//! the ST200 toolchain applies before trace-level optimisations):
+//!
+//! 1. a dependence DAG is built over the block's sequential operations
+//!    (register RAW/WAR/WAW, conservative memory ordering, RFU protocol
+//!    ordering);
+//! 2. operations are placed cycle by cycle, highest critical-path height
+//!    first, into [`Bundle`]s that respect the per-cycle functional-unit mix;
+//! 3. the control-flow operation (if any) is pinned to the last cycle of the
+//!    block.
+//!
+//! The resulting static schedule length is what the paper calls the
+//! compiler-visible latency of a code region.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use rvliw_isa::{Bundle, Dest, MachineConfig, Op};
+
+use crate::code::Code;
+use crate::program::{Label, Program, ProgramError};
+
+/// Errors produced by [`schedule`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The input program failed [`Program::validate`].
+    Invalid(ProgramError),
+    /// An operation can never fit a bundle (e.g. wider than the issue
+    /// width) — indicates a machine/program mismatch.
+    Unschedulable {
+        /// Textual rendering of the offending operation.
+        op: String,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Invalid(e) => write!(f, "invalid program: {e}"),
+            ScheduleError::Unschedulable { op } => write!(f, "operation `{op}` cannot issue"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl From<ProgramError> for ScheduleError {
+    fn from(e: ProgramError) -> Self {
+        ScheduleError::Invalid(e)
+    }
+}
+
+/// Register-space key for dependence tracking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum RegKey {
+    Gpr(u8),
+    Br(u8),
+}
+
+fn op_defs(op: &Op) -> Option<RegKey> {
+    match op.dest {
+        Dest::Gpr(r) if !r.is_zero() => Some(RegKey::Gpr(r.index())),
+        Dest::Gpr(_) => None, // writes to $r0 are discarded
+        Dest::Br(b) => Some(RegKey::Br(b.index())),
+        Dest::None => None,
+    }
+}
+
+fn op_uses(op: &Op) -> Vec<RegKey> {
+    let mut v = Vec::new();
+    for r in op.gpr_reads() {
+        if !r.is_zero() {
+            v.push(RegKey::Gpr(r.index()));
+        }
+    }
+    for b in op.br_reads() {
+        v.push(RegKey::Br(b.index()));
+    }
+    v
+}
+
+struct Dag {
+    /// `succs[i]` = (successor index, edge latency)
+    succs: Vec<Vec<(usize, u64)>>,
+    npreds: Vec<usize>,
+    height: Vec<u64>,
+}
+
+fn build_dag(ops: &[Op], cfg: &MachineConfig) -> Dag {
+    let n = ops.len();
+    let mut succs: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n];
+    let mut npreds = vec![0usize; n];
+    let add_edge = |succs: &mut Vec<Vec<(usize, u64)>>,
+                    npreds: &mut Vec<usize>,
+                    from: usize,
+                    to: usize,
+                    lat: u64| {
+        debug_assert!(from < to);
+        if let Some(e) = succs[from].iter_mut().find(|(t, _)| *t == to) {
+            e.1 = e.1.max(lat);
+        } else {
+            succs[from].push((to, lat));
+            npreds[to] += 1;
+        }
+    };
+
+    let mut last_def: HashMap<RegKey, usize> = HashMap::new();
+    let mut last_uses: HashMap<RegKey, Vec<usize>> = HashMap::new();
+    let mut last_store: Option<usize> = None;
+    let mut loads_since_store: Vec<usize> = Vec::new();
+    let mut last_rfu: Option<usize> = None;
+
+    for (i, op) in ops.iter().enumerate() {
+        // Register dependences.
+        for key in op_uses(op) {
+            if let Some(&d) = last_def.get(&key) {
+                add_edge(&mut succs, &mut npreds, d, i, cfg.latency(&ops[d]));
+            }
+            last_uses.entry(key).or_default().push(i);
+        }
+        if let Some(key) = op_defs(op) {
+            if let Some(&d) = last_def.get(&key) {
+                add_edge(&mut succs, &mut npreds, d, i, 1); // WAW
+            }
+            if let Some(users) = last_uses.get(&key) {
+                for &u in users {
+                    if u != i {
+                        add_edge(&mut succs, &mut npreds, u, i, 0); // WAR
+                    }
+                }
+            }
+            last_def.insert(key, i);
+            last_uses.insert(key, vec![]);
+        }
+
+        // Conservative memory ordering: stores are barriers; loads may
+        // reorder among themselves.
+        if op.opcode.is_store() {
+            if let Some(s) = last_store {
+                add_edge(&mut succs, &mut npreds, s, i, 1);
+            }
+            for &l in &loads_since_store {
+                add_edge(&mut succs, &mut npreds, l, i, 1);
+            }
+            loads_since_store.clear();
+            last_store = Some(i);
+        } else if op.opcode.is_load() {
+            if let Some(s) = last_store {
+                add_edge(&mut succs, &mut npreds, s, i, 1);
+            }
+            loads_since_store.push(i);
+        }
+
+        // RFU protocol ordering: the configuration state machine requires
+        // program order among all RFU-dispatched operations.
+        if op.opcode.is_rfu() {
+            if let Some(r) = last_rfu {
+                add_edge(&mut succs, &mut npreds, r, i, 1);
+            }
+            last_rfu = Some(i);
+        }
+
+        // The control op issues no earlier than every other operation.
+        if op.opcode.is_control() {
+            for j in 0..i {
+                add_edge(&mut succs, &mut npreds, j, i, 0);
+            }
+        }
+    }
+
+    // Critical-path heights (ops are topologically ordered by index).
+    let mut height = vec![0u64; n];
+    for i in (0..n).rev() {
+        let mut h = 0;
+        for &(t, lat) in &succs[i] {
+            h = h.max(height[t] + lat.max(1));
+        }
+        height[i] = h;
+    }
+
+    Dag {
+        succs,
+        npreds,
+        height,
+    }
+}
+
+/// Schedules one block; returns its bundles.
+fn schedule_block(ops: &[Op], cfg: &MachineConfig) -> Result<Vec<Bundle>, ScheduleError> {
+    if ops.is_empty() {
+        return Ok(Vec::new());
+    }
+    let n = ops.len();
+    let dag = build_dag(ops, cfg);
+    let mut npreds = dag.npreds.clone();
+    // Earliest issue cycle permitted by already-scheduled predecessors.
+    let mut earliest = vec![0u64; n];
+    let mut scheduled = vec![false; n];
+    let mut remaining = n;
+    let mut bundles: Vec<Bundle> = Vec::new();
+    let mut cycle: u64 = 0;
+
+    while remaining > 0 {
+        let mut bundle = Bundle::new();
+        // Candidates ready this cycle, by decreasing height then program
+        // order (stable tie-break keeps schedules deterministic).
+        let mut ready: Vec<usize> = (0..n)
+            .filter(|&i| !scheduled[i] && npreds[i] == 0 && earliest[i] <= cycle)
+            .collect();
+        ready.sort_by_key(|&i| (std::cmp::Reverse(dag.height[i]), i));
+        let mut placed_any = false;
+        for &i in &ready {
+            if bundle.push(ops[i], cfg).is_ok() {
+                scheduled[i] = true;
+                remaining -= 1;
+                placed_any = true;
+                for &(t, lat) in &dag.succs[i] {
+                    npreds[t] -= 1;
+                    earliest[t] = earliest[t].max(cycle + lat);
+                }
+            }
+        }
+        if !placed_any {
+            // No candidate fit this cycle: if none is even ready, advance to
+            // the next cycle; if one is ready but can never fit an empty
+            // bundle, the program is unschedulable.
+            if let Some(&i) = ready.first() {
+                let mut probe = Bundle::new();
+                if probe.push(ops[i], cfg).is_err() {
+                    return Err(ScheduleError::Unschedulable {
+                        op: ops[i].to_string(),
+                    });
+                }
+            }
+        }
+        bundles.push(bundle);
+        cycle += 1;
+    }
+    // Drop trailing empty bundles (possible when latencies stretch past the
+    // last issue — completion happens in flight).
+    while bundles.last().is_some_and(Bundle::is_empty) {
+        bundles.pop();
+    }
+    Ok(bundles)
+}
+
+/// Schedules `program` for `cfg`, producing executable [`Code`].
+///
+/// # Errors
+///
+/// [`ScheduleError::Invalid`] when the program fails validation;
+/// [`ScheduleError::Unschedulable`] when an operation cannot issue on the
+/// machine at all.
+pub fn schedule(program: &Program, cfg: &MachineConfig) -> Result<Code, ScheduleError> {
+    program.validate()?;
+    let mut bundles: Vec<Bundle> = Vec::new();
+    let mut label_at: HashMap<Label, usize> = HashMap::new();
+    let mut block_bundles: Vec<Vec<Bundle>> = Vec::with_capacity(program.blocks.len());
+    for block in &program.blocks {
+        block_bundles.push(schedule_block(&block.ops, cfg)?);
+    }
+    for (block, bb) in program.blocks.iter().zip(block_bundles) {
+        label_at.insert(block.label, bundles.len());
+        bundles.extend(bb);
+    }
+    // Resolve branch targets from label ids to bundle indices.
+    let resolve = |label_id: u32| -> usize {
+        label_at
+            .get(&Label(label_id))
+            .copied()
+            .expect("validated label")
+    };
+    let mut resolved = Vec::with_capacity(bundles.len());
+    for b in bundles {
+        let mut nb = Bundle::new();
+        for op in b.ops() {
+            let mut op = *op;
+            if op.opcode.is_control() {
+                if let Some(t) = op.target {
+                    op.target = Some(resolve(t) as u32);
+                }
+            }
+            nb.push(op, cfg).expect("rebundling preserves resources");
+        }
+        resolved.push(nb);
+    }
+    Ok(Code::new(program.name.clone(), resolved, label_at))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Builder;
+    use rvliw_isa::{Br, Gpr, Opcode};
+
+    fn st200() -> MachineConfig {
+        MachineConfig::st200()
+    }
+
+    #[test]
+    fn independent_ops_pack_into_one_bundle() {
+        let mut b = Builder::new("t");
+        for i in 1..5 {
+            b.movi(Gpr::new(i), i32::from(i));
+        }
+        b.halt();
+        let code = schedule(&b.build(), &st200()).unwrap();
+        // 4 moves in one bundle, halt in the next.
+        assert_eq!(code.bundles()[0].ops().len(), 4);
+        assert_eq!(code.bundles()[1].ops()[0].opcode, Opcode::Halt);
+    }
+
+    #[test]
+    fn raw_dependence_separates_by_latency() {
+        let mut b = Builder::new("t");
+        let (x, y) = (Gpr::new(1), Gpr::new(2));
+        b.ldw(x, Gpr::new(3), 0);
+        b.addi(y, x, 1); // load-use latency 3 ⇒ issues at cycle 3
+        b.halt();
+        let code = schedule(&b.build(), &st200()).unwrap();
+        let add_cycle = code
+            .bundles()
+            .iter()
+            .position(|bu| bu.ops().iter().any(|o| o.opcode == Opcode::Add))
+            .unwrap();
+        assert_eq!(add_cycle, 3);
+    }
+
+    #[test]
+    fn single_lsu_serializes_loads() {
+        let mut b = Builder::new("t");
+        for i in 1..4 {
+            b.ldw(Gpr::new(i), Gpr::new(10), i32::from(i) * 4);
+        }
+        b.halt();
+        let code = schedule(&b.build(), &st200()).unwrap();
+        for (i, bu) in code.bundles().iter().take(3).enumerate() {
+            let loads = bu.ops().iter().filter(|o| o.opcode == Opcode::Ldw).count();
+            assert_eq!(loads, 1, "cycle {i}");
+        }
+    }
+
+    #[test]
+    fn branch_is_in_last_bundle_of_block() {
+        let mut b = Builder::new("t");
+        let i = Gpr::new(1);
+        let c = Br::new(0);
+        b.movi(i, 10);
+        let top = b.label();
+        b.bind(top);
+        b.subi(i, i, 1);
+        b.cmpne_br(c, i, 0);
+        b.br(c, top);
+        b.halt();
+        let code = schedule(&b.build(), &st200()).unwrap();
+        let loop_start = code.label_index(top).unwrap();
+        // Find the BrT bundle; everything of the loop body must be at or
+        // before it.
+        let br_idx = code
+            .bundles()
+            .iter()
+            .position(|bu| bu.ops().iter().any(|o| o.opcode == Opcode::BrT))
+            .unwrap();
+        assert!(br_idx >= loop_start);
+        let br_op = code.bundles()[br_idx]
+            .ops()
+            .iter()
+            .find(|o| o.opcode == Opcode::BrT)
+            .unwrap();
+        assert_eq!(br_op.target, Some(loop_start as u32));
+        // cmp (latency 2 to BR) must precede the branch by ≥2 cycles.
+        let cmp_idx = code
+            .bundles()
+            .iter()
+            .position(|bu| bu.ops().iter().any(|o| o.opcode == Opcode::CmpNe))
+            .unwrap();
+        assert!(br_idx >= cmp_idx + 2);
+    }
+
+    #[test]
+    fn waw_preserves_final_value_order() {
+        let mut b = Builder::new("t");
+        let x = Gpr::new(1);
+        b.movi(x, 1);
+        b.movi(x, 2);
+        b.halt();
+        let code = schedule(&b.build(), &st200()).unwrap();
+        // The two moves must issue in different cycles, program order.
+        let cycles: Vec<usize> = code
+            .bundles()
+            .iter()
+            .enumerate()
+            .filter(|(_, bu)| bu.ops().iter().any(|o| o.opcode == Opcode::Mov))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(cycles.len(), 2);
+        assert!(cycles[0] < cycles[1]);
+    }
+
+    #[test]
+    fn store_load_order_is_preserved() {
+        let mut b = Builder::new("t");
+        let (v, base, out) = (Gpr::new(1), Gpr::new(2), Gpr::new(3));
+        b.movi(v, 42);
+        b.stw(v, base, 0);
+        b.ldw(out, base, 0); // must observe the store
+        b.halt();
+        let code = schedule(&b.build(), &st200()).unwrap();
+        let st = code
+            .bundles()
+            .iter()
+            .position(|bu| bu.ops().iter().any(|o| o.opcode == Opcode::Stw))
+            .unwrap();
+        let ld = code
+            .bundles()
+            .iter()
+            .position(|bu| bu.ops().iter().any(|o| o.opcode == Opcode::Ldw))
+            .unwrap();
+        assert!(ld > st);
+    }
+
+    #[test]
+    fn rfu_ops_serialize_in_program_order() {
+        let mut b = Builder::new("t");
+        b.rfu_init(1);
+        b.rfu_send(1, &[Gpr::new(1), Gpr::new(2)]);
+        b.rfu_send(1, &[Gpr::new(3), Gpr::new(4)]);
+        b.rfu_exec(1, Gpr::new(5), &[]);
+        b.halt();
+        let code = schedule(&b.build(), &st200()).unwrap();
+        let mut seen = Vec::new();
+        for bu in code.bundles() {
+            for o in bu.ops() {
+                if o.opcode.is_rfu() {
+                    seen.push(o.opcode);
+                }
+            }
+        }
+        assert_eq!(
+            seen,
+            vec![
+                Opcode::RfuInit,
+                Opcode::RfuSend,
+                Opcode::RfuSend,
+                Opcode::RfuExec
+            ]
+        );
+        // One RFU op per cycle at most.
+        for bu in code.bundles() {
+            assert!(bu.ops().iter().filter(|o| o.opcode.is_rfu()).count() <= 1);
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let build = || {
+            let mut b = Builder::new("t");
+            for i in 1..9 {
+                b.addi(Gpr::new(i), Gpr::new(i.wrapping_sub(1) % 8), 1);
+            }
+            b.halt();
+            b.build()
+        };
+        let c1 = schedule(&build(), &st200()).unwrap();
+        let c2 = schedule(&build(), &st200()).unwrap();
+        assert_eq!(c1.disassemble(), c2.disassemble());
+    }
+}

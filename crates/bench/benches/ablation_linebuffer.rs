@@ -1,0 +1,70 @@
+//! Ablation: local-memory sizing.
+//!
+//! Sweeps Line Buffer B's per-bank capacity (the paper sizes it at 4×17
+//! cache lines for double buffering plus crossings) and the prefetch
+//! buffer depth (8 baseline, 64 in the paper's loop-level experiments),
+//! showing where the "some extent of local memory" stops paying.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvliw_bench::bench_workload;
+use rvliw_core::{run_me, Scenario};
+use rvliw_rfu::RfuBandwidth;
+
+fn bench_linebuffer(c: &mut Criterion) {
+    let workload = bench_workload();
+    let orig = run_me(&Scenario::orig(), &workload);
+
+    println!("\nLine Buffer B per-bank capacity sweep (two-line-buffer scheme, b=1):");
+    println!(
+        "{:>10} {:>12} {:>6} {:>10} {:>10}",
+        "lines/bank", "Cycles", "S.Up", "LBB hits", "LBB misses"
+    );
+    let mut points = Vec::new();
+    for lines in [8usize, 17, 34, 68] {
+        let sc = Scenario::loop_two_lb(1).with_lbb_bank_lines(lines);
+        let r = run_me(&sc, &workload);
+        println!(
+            "{:>10} {:>12} {:>6.2} {:>10} {:>10}",
+            lines,
+            r.me_cycles,
+            r.speedup_vs(&orig),
+            r.rfu.lbb_hits,
+            r.rfu.lbb_misses
+        );
+        points.push((format!("lbb_{lines}_lines"), sc));
+    }
+
+    println!("\nPrefetch-buffer depth sweep (loop 1x32, b=1):");
+    println!(
+        "{:>8} {:>12} {:>6} {:>10}",
+        "entries", "Cycles", "S.Up", "pf dropped"
+    );
+    for entries in [8usize, 16, 64] {
+        let mut sc = Scenario::loop_level(RfuBandwidth::B1x32, 1);
+        sc.mem.prefetch_entries = entries;
+        sc.label = format!("1x32 pfb={entries}");
+        let r = run_me(&sc, &workload);
+        println!(
+            "{:>8} {:>12} {:>6.2} {:>10}",
+            entries,
+            r.me_cycles,
+            r.speedup_vs(&orig),
+            r.mem.pf_dropped
+        );
+        points.push((format!("pfb_{entries}_entries"), sc));
+    }
+
+    let mut group = c.benchmark_group("ablation_linebuffer");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for (name, sc) in points {
+        group.bench_function(&name, |b| b.iter(|| run_me(&sc, &workload)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_linebuffer);
+criterion_main!(benches);

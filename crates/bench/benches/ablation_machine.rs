@@ -1,0 +1,89 @@
+//! Ablation: core configuration — the Lx/ST200 scalability claim.
+//!
+//! The Lx platform is pitched as customizable ("its scalability and
+//! customizability reflect in the multi-cluster organization"). This
+//! ablation re-schedules and re-runs the ORIG kernel on narrower and wider
+//! single-cluster datapaths, and shrinks the instruction cache to verify
+//! the paper's assumption that 128 KB makes I-stalls negligible.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvliw_bench::bench_workload;
+use rvliw_core::{run_me, Scenario};
+use rvliw_isa::MachineConfig;
+use rvliw_mem::CacheGeometry;
+
+fn issue_width(width: usize) -> MachineConfig {
+    let base = MachineConfig::st200();
+    match width {
+        2 => MachineConfig {
+            issue_width: 2,
+            num_alus: 2,
+            num_muls: 1,
+            ..base
+        },
+        8 => MachineConfig {
+            issue_width: 8,
+            num_alus: 8,
+            num_muls: 4,
+            num_mem_units: 2,
+            ..base
+        },
+        _ => base,
+    }
+}
+
+fn bench_machine(c: &mut Criterion) {
+    let workload = bench_workload();
+    println!("\nCore-configuration ablation (ORIG kernel):");
+    println!(
+        "{:>18} {:>12} {:>8} {:>10}",
+        "config", "Cycles", "IPC", "I$ stalls"
+    );
+    let mut points = Vec::new();
+    for width in [2usize, 4, 8] {
+        let mut sc = Scenario::orig();
+        sc.machine = issue_width(width);
+        sc.label = format!("{width}-issue");
+        let r = run_me(&sc, &workload);
+        println!(
+            "{:>18} {:>12} {:>8.2} {:>10}",
+            sc.label,
+            r.me_cycles,
+            r.core.ipc(),
+            r.core.ifetch_stall_cycles
+        );
+        points.push(sc);
+    }
+    for icache_kb in [2u32, 8, 128] {
+        let mut sc = Scenario::orig();
+        sc.mem.icache = CacheGeometry {
+            capacity: icache_kb * 1024,
+            ..CacheGeometry::st200_icache()
+        };
+        sc.label = format!("I$ {icache_kb}KB");
+        let r = run_me(&sc, &workload);
+        println!(
+            "{:>18} {:>12} {:>8.2} {:>10}",
+            sc.label,
+            r.me_cycles,
+            r.core.ipc(),
+            r.core.ifetch_stall_cycles
+        );
+        points.push(sc);
+    }
+
+    let mut group = c.benchmark_group("ablation_machine");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for sc in points {
+        let label = sc.label.clone();
+        group.bench_function(&label, |b| b.iter(|| run_me(&sc, &workload)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_machine);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Ablation: reconfiguration overhead.
+//!
+//! The paper assumes zero reconfiguration penalty ("an upper-bound
+//! performance assessment") and defers management techniques to future
+//! work. This ablation charges a per-load penalty under a multi-context
+//! configuration memory and measures how much of the loop-level speedup
+//! survives — quantifying how much the paper's conclusion depends on the
+//! assumption.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvliw_bench::bench_workload;
+use rvliw_core::{run_me, Scenario};
+use rvliw_rfu::{ReconfigModel, RfuBandwidth};
+
+fn bench_reconfig(c: &mut Criterion) {
+    let workload = bench_workload();
+    let orig = run_me(&Scenario::orig(), &workload);
+    println!("\nReconfiguration-penalty ablation (loop 1x32, b=1; one RFUINIT per macroblock):");
+    println!(
+        "{:>22} {:>12} {:>6} {:>14}",
+        "model", "Cycles", "S.Up", "penalty cycles"
+    );
+    let mut points: Vec<(String, Scenario)> = Vec::new();
+    points.push((
+        "zero penalty".into(),
+        Scenario::loop_level(RfuBandwidth::B1x32, 1),
+    ));
+    for penalty in [128u64, 512, 2048] {
+        for contexts in [1usize, 4] {
+            let sc = Scenario::loop_level(RfuBandwidth::B1x32, 1)
+                .with_reconfig(ReconfigModel::with_penalty(penalty, contexts));
+            points.push((format!("penalty {penalty} ctx {contexts}"), sc));
+        }
+        // The paper's proposed mitigation: configuration prefetch hides the
+        // load behind the time since the previous activation.
+        let sc = Scenario::loop_level(RfuBandwidth::B1x32, 1)
+            .with_reconfig(ReconfigModel::with_penalty(penalty, 1).with_prefetch_hiding());
+        points.push((format!("penalty {penalty} prefetched"), sc));
+    }
+    for (name, sc) in &points {
+        let r = run_me(sc, &workload);
+        println!(
+            "{:>22} {:>12} {:>6.2} {:>14}",
+            name,
+            r.me_cycles,
+            r.speedup_vs(&orig),
+            r.rfu.reconfig_penalty_cycles
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_reconfig");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for (name, sc) in points {
+        group.bench_function(&name, |b| b.iter(|| run_me(&sc, &workload)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reconfig);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Ablation: motion-search algorithm sensitivity.
+//!
+//! Table 1's percentages hinge on the share of diagonal-interpolation
+//! `GetSad` calls (≈18 % in the paper's sequence). Different integer
+//! searches change that share — a full search dilutes it to a few percent,
+//! killing the instruction-level gains; fast searches concentrate it.
+//! This ablation re-runs ORIG vs A3 under each search.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpeg4_enc::me::{MotionSearch, SearchAlgorithm};
+use mpeg4_enc::{EncoderConfig, SyntheticSequence};
+use rvliw_core::{run_me, Scenario, Workload};
+
+fn workload_for(algorithm: SearchAlgorithm) -> Workload {
+    Workload::from_sequence(
+        &SyntheticSequence::new(176, 144, 3, 0x4652_4d4e),
+        EncoderConfig {
+            q: 10,
+            search: MotionSearch {
+                algorithm,
+                half_sample: true,
+            },
+        },
+    )
+}
+
+fn bench_search(c: &mut Criterion) {
+    let algorithms: [(&str, SearchAlgorithm); 3] = [
+        ("diamond", SearchAlgorithm::Diamond),
+        ("three_step", SearchAlgorithm::ThreeStep),
+        ("full_r8", SearchAlgorithm::Full { range: 8 }),
+    ];
+    println!("\nSearch-algorithm ablation (ORIG vs A3):");
+    println!(
+        "{:>10} {:>8} {:>7} {:>12} {:>10}",
+        "search", "calls", "%diag", "Orig cycles", "A3 %improv"
+    );
+    let mut cases = Vec::new();
+    for (name, algorithm) in algorithms {
+        let w = workload_for(algorithm);
+        let orig = run_me(&Scenario::orig(), &w);
+        let a3 = run_me(&Scenario::a3(), &w);
+        println!(
+            "{:>10} {:>8} {:>6.1}% {:>12} {:>9.1}%",
+            name,
+            w.num_calls(),
+            w.diag_share() * 100.0,
+            orig.me_cycles,
+            a3.improvement_vs(&orig) * 100.0
+        );
+        cases.push((name, w));
+    }
+
+    let mut group = c.benchmark_group("ablation_search");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for (name, w) in &cases {
+        // Benchmark the ORIG replay under each search's trace; the full
+        // search is far larger, so its wall time reflects the call count.
+        group.bench_function(*name, |b| b.iter(|| run_me(&Scenario::orig(), w)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

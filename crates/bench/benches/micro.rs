@@ -1,0 +1,96 @@
+//! Wall-clock micro-benchmarks of the substrates: simulator issue rate,
+//! scheduler throughput, cache model, golden SAD and the encoder.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use mpeg4_enc::sad::{get_sad, InterpKind};
+use mpeg4_enc::types::Plane;
+use mpeg4_enc::{Encoder, SyntheticSequence};
+use rvliw_asm::{schedule_st200, Builder};
+use rvliw_isa::{Br, Gpr, MachineConfig};
+use rvliw_kernels::{build_getsad, Variant};
+use rvliw_mem::{Cache, CacheGeometry};
+use rvliw_sim::Machine;
+
+/// A compute-heavy loop: 1024 iterations of independent ALU work.
+fn hot_loop() -> rvliw_asm::Code {
+    let mut b = Builder::new("hot");
+    let i = Gpr::new(1);
+    let c = Br::new(0);
+    b.movi(i, 1024);
+    let top = b.label();
+    b.bind(top);
+    for r in 2..10u8 {
+        b.addi(Gpr::new(r), Gpr::new(r), i32::from(r));
+    }
+    b.subi(i, i, 1);
+    b.cmpne_br(c, i, 0);
+    b.br(c, top);
+    b.halt();
+    schedule_st200(&b.build()).unwrap()
+}
+
+fn bench_micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
+
+    // Simulator issue rate (simulated ops per wall second).
+    let code = hot_loop();
+    let ops_per_run: u64 = 1024 * 11;
+    group.throughput(Throughput::Elements(ops_per_run));
+    group.bench_function("simulator_hot_loop", |b| {
+        let mut m = Machine::st200();
+        b.iter(|| {
+            m.run(black_box(&code)).unwrap();
+        });
+    });
+
+    // Scheduler throughput: rebuild + schedule the biggest kernel.
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("schedule_getsad_orig", |b| {
+        let cfg = MachineConfig::st200();
+        b.iter(|| build_getsad(black_box(Variant::Orig), &cfg));
+    });
+
+    // Cache model: streaming accesses.
+    group.throughput(Throughput::Elements(4096));
+    group.bench_function("dcache_stream", |b| {
+        b.iter(|| {
+            let mut cache = Cache::new(CacheGeometry::st200_dcache());
+            for i in 0..4096u32 {
+                let _ = cache.access(black_box(i * 8), false);
+            }
+            cache
+        });
+    });
+
+    // Golden SAD (host reference).
+    let mut prev = Plane::new(176, 144);
+    let mut cur = Plane::new(176, 144);
+    for y in 0..144 {
+        for x in 0..176 {
+            prev.set(x, y, ((x * 7 + y * 3) % 255) as u8);
+            cur.set(x, y, ((x * 5 + y * 11) % 255) as u8);
+        }
+    }
+    group.throughput(Throughput::Elements(256));
+    group.bench_function("golden_sad_diag", |b| {
+        b.iter(|| get_sad(&cur, 32, 32, &prev, 57, 41, black_box(InterpKind::Diag)));
+    });
+
+    // Host encoder (frames per second on QCIF).
+    let frames = SyntheticSequence::new(176, 144, 2, 1).generate();
+    group.throughput(Throughput::Elements(2));
+    group.bench_function("encoder_qcif_2f", |b| {
+        let enc = Encoder::default();
+        b.iter(|| enc.encode(black_box(&frames)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_micro);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Table 1 — instruction-level optimizations (ORIG, A1, A2, A3).
+//!
+//! The setup replays the reduced workload once per scenario and prints the
+//! regenerated table rows (ME cycles, speedup, %improvement — the series
+//! the paper reports); Criterion then benchmarks the wall-clock cost of
+//! simulating each scenario.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvliw_bench::bench_workload;
+use rvliw_core::{run_me, Scenario};
+
+fn bench_table1(c: &mut Criterion) {
+    let workload = bench_workload();
+    let scenarios = [
+        Scenario::orig(),
+        Scenario::a1(),
+        Scenario::a2(),
+        Scenario::a3(),
+    ];
+    let orig = run_me(&scenarios[0], &workload);
+    println!("\nTable 1 series ({} GetSad calls):", workload.num_calls());
+    println!("{:>6} {:>12} {:>6} {:>9}", "", "CYCLES", "S.Up", "%Improv");
+    for sc in &scenarios {
+        let r = run_me(sc, &workload);
+        println!(
+            "{:>6} {:>12} {:>6.2} {:>8.1}%",
+            r.label,
+            r.me_cycles,
+            r.speedup_vs(&orig),
+            r.improvement_vs(&orig) * 100.0
+        );
+    }
+
+    let mut group = c.benchmark_group("table1_instruction_level");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
+    for sc in scenarios {
+        let label = sc.label.clone();
+        group.bench_function(&label, |b| b.iter(|| run_me(&sc, &workload)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Tables 2–6 — loop-level optimizations: the ME kernel loop as one RFU
+//! instruction, across data bandwidths (1×32, 1×64, 2×64) and technology
+//! scaling (β = 1, 5).
+//!
+//! One measurement pass regenerates the series of Tables 2 (Lat/cycles/
+//! speedup), 3 (latency increase vs speedup reduction), 4 (cache stalls),
+//! 5 (stall share) and 6 (theoretical vs experimental) — they are all
+//! derived from the same six runs, as in the paper. Criterion then
+//! benchmarks each design point.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvliw_bench::bench_workload;
+use rvliw_core::{run_me, Scenario};
+use rvliw_rfu::RfuBandwidth;
+
+fn bench_table2(c: &mut Criterion) {
+    let workload = bench_workload();
+    let orig = run_me(&Scenario::orig(), &workload);
+    println!(
+        "\nTables 2-6 series (Orig = {} cycles, {} stall cycles):",
+        orig.me_cycles, orig.stall_cycles
+    );
+    println!(
+        "{:>10} {:>5} {:>12} {:>6} {:>10} {:>8} {:>8}",
+        "", "Lat", "Cycles", "S.Up", "Stalls", "%ofME", "Th.S.Up"
+    );
+    let mut points = Vec::new();
+    for bw in RfuBandwidth::all() {
+        for beta in [1u64, 5] {
+            let sc = Scenario::loop_level(bw, beta);
+            let lat = sc.static_latency(workload.stride);
+            let r = run_me(&sc, &workload);
+            let th = orig.me_cycles as f64 / (lat * r.calls) as f64;
+            println!(
+                "{:>10} {:>5} {:>12} {:>6.2} {:>10} {:>7.2}% {:>8.2}",
+                sc.label,
+                lat,
+                r.me_cycles,
+                r.speedup_vs(&orig),
+                r.stall_cycles,
+                r.stall_share() * 100.0,
+                th
+            );
+            points.push(sc);
+        }
+    }
+
+    let mut group = c.benchmark_group("table2_loop_level");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for sc in points {
+        let label = sc.label.clone();
+        group.bench_function(&label, |b| b.iter(|| run_me(&sc, &workload)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Table 7 — the two-line-buffer scheme: Line Buffer B double-buffers the
+//! candidate predictor macroblocks, exploiting the overlap between
+//! consecutive candidates; memory is accessed (1×32) only on misses.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvliw_bench::bench_workload;
+use rvliw_core::{run_me, AppModel, Scenario};
+
+fn bench_table7(c: &mut Criterion) {
+    let workload = bench_workload();
+    let orig = run_me(&Scenario::orig(), &workload);
+    let app = AppModel::calibrated(orig.me_cycles);
+    println!("\nTable 7 series:");
+    println!(
+        "{:>6} {:>5} {:>12} {:>6} {:>7} {:>10} {:>7}",
+        "", "Lat", "ExCycles", "S.Up", "%Rel", "Stalls", "%Red"
+    );
+    println!(
+        "{:>6} {:>5} {:>12} {:>6.2} {:>6.1}% {:>10}",
+        "Orig",
+        "",
+        orig.me_cycles,
+        1.0,
+        app.me_share(orig.me_cycles) * 100.0,
+        orig.stall_cycles
+    );
+    let mut points = Vec::new();
+    for beta in [1u64, 5] {
+        let sc = Scenario::loop_two_lb(beta);
+        let lat = sc.static_latency(workload.stride);
+        let r = run_me(&sc, &workload);
+        println!(
+            "{:>6} {:>5} {:>12} {:>6.2} {:>6.2}% {:>10} {:>6.1}%",
+            sc.label,
+            lat,
+            r.me_cycles,
+            r.speedup_vs(&orig),
+            app.me_share(r.me_cycles) * 100.0,
+            r.stall_cycles,
+            r.stall_reduction_vs(&orig) * 100.0
+        );
+        points.push(sc);
+    }
+
+    let mut group = c.benchmark_group("table7_two_line_buffers");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("orig_baseline", |b| {
+        b.iter(|| run_me(&Scenario::orig(), &workload));
+    });
+    for sc in points {
+        let label = sc.label.clone();
+        group.bench_function(&label, |b| b.iter(|| run_me(&sc, &workload)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table7);
+criterion_main!(benches);

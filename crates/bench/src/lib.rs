@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+//! # rvliw-bench
+//!
+//! Benchmark harness regenerating every table and figure of the paper.
+//!
+//! * `cargo run --release -p rvliw-bench --bin tables` — runs the full
+//!   25-frame QCIF case study and prints Tables 1–7 plus Figures 1–4 and
+//!   the paper-vs-measured comparison (also written to `EXPERIMENTS.md`
+//!   with `--write`).
+//! * `cargo bench -p rvliw-bench` — Criterion benches: one per
+//!   table/figure on a reduced workload (so iterations stay in seconds),
+//!   plus the ablation studies (reconfiguration penalty, search-algorithm
+//!   sensitivity, line-buffer sizing).
+//!
+//! The library part hosts the paper's reference numbers ([`paper`]) and
+//! shared helpers for the benches and the `tables` binary.
+
+pub mod paper;
+
+use rvliw_core::{CaseStudy, Workload};
+
+pub use rvliw_core as core;
+
+/// The reduced workload used by the Criterion benches (QCIF, 4 frames);
+/// the `tables` binary uses the full 25 frames.
+#[must_use]
+pub fn bench_workload() -> Workload {
+    Workload::qcif_frames(4)
+}
+
+/// Runs the whole case study on a workload (shared by benches and tests).
+#[must_use]
+pub fn run_case_study(workload: &Workload) -> CaseStudy {
+    CaseStudy::run(workload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants_are_self_consistent() {
+        // Speedups must increase with bandwidth at β = 1.
+        let s: Vec<f64> = paper::T2_SPEEDUP_B1.iter().map(|&(_, v)| v).collect();
+        assert!(s[0] < s[1] && s[1] < s[2]);
+        // β = 5 is slower than β = 1 for 1×32.
+        assert!(paper::T2_SPEEDUP_1X32_B5 < s[0]);
+        // Table 7 dominates Table 2 at matching β.
+        assert!(paper::T7_SPEEDUP[0].1 > s[2]);
+        assert!((paper::INITIAL_GETSAD_SHARE - 0.256).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bench_workload_is_nonempty_and_qcif() {
+        let w = bench_workload();
+        assert!(w.num_calls() > 1000);
+        assert_eq!(w.stride, 176);
+    }
+}

@@ -1,0 +1,72 @@
+//! The Figure 1 block diagram: the modified ST200 1-cluster architecture
+//! with the Reconfigurable Functional Unit.
+
+use rvliw_isa::MachineConfig;
+use rvliw_mem::MemConfig;
+
+/// Renders the architecture block diagram (the paper's Figure 1) for a
+/// configuration.
+#[must_use]
+pub fn describe(core: &MachineConfig, mem: &MemConfig) -> String {
+    let d = &mem.dcache;
+    let i = &mem.icache;
+    format!(
+        r"+----------------------------------------------------------------------+
+|                 modified ST200 1-cluster + RFU (Figure 1)             |
+|                                                                        |
+|  IPU   I$ {ikb:>3} KB ({iways}-way, {iline} B lines)                                 |
+|   |                                                                    |
+|   v        +------------------+   +--------------------------------+  |
+|  Decode -->| Reg. File        |   | Reconfigurable Functional Unit |  |
+|            |  64 GPR (32b)    |   |  - RFUINIT/RFUSEND/RFUEXEC     |  |
+|            |  BrRegFile 8x1b  |   |  - custom MB prefetch patterns |  |
+|            +------------------+   |  - Line Buffer A (16x16+flags) |  |
+|   issue width {iw}: {alu} ALU | {mul} x 16x32 MUL | {mem} LSU | {br} BR | 1 RFU       |
+|                                   |  - Line Buffer B (4x17 lines)  |  |
+|            Branch Unit            +--------------------------------+  |
+|            Exception Control                                           |
+|   |                                                                    |
+|   v                                                                    |
+|  D$ {dkb:>3} KB ({dways}-way set, {dline} B lines) + Prefetch Buffer ({pfe} entries)     |
++------------------------------------------------------------------------+",
+        ikb = i.capacity / 1024,
+        iways = i.ways,
+        iline = i.line_size,
+        iw = core.issue_width,
+        alu = core.num_alus,
+        mul = core.num_muls,
+        mem = core.num_mem_units,
+        br = core.num_branch_units,
+        dkb = d.capacity / 1024,
+        dways = d.ways,
+        dline = d.line_size,
+        pfe = mem.prefetch_entries,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_1_mentions_the_key_blocks() {
+        let s = describe(&MachineConfig::st200(), &MemConfig::st200());
+        for needle in [
+            "Reconfigurable Functional Unit",
+            "64 GPR",
+            "128 KB",
+            " 32 KB",
+            "Prefetch Buffer (8 entries)",
+            "Line Buffer A",
+            "Line Buffer B",
+        ] {
+            assert!(s.contains(needle), "missing {needle:?} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn loop_level_shows_extended_buffer() {
+        let s = describe(&MachineConfig::st200(), &MemConfig::st200_loop_level());
+        assert!(s.contains("Prefetch Buffer (64 entries)"));
+    }
+}

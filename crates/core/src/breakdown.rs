@@ -1,0 +1,138 @@
+//! Where the cycles go: a per-scenario breakdown of the measured ME stage.
+//!
+//! The paper reasons about its results in exactly these terms — issue
+//! cycles vs cache stalls vs the loop's compute/load balance — so the
+//! breakdown is part of the reproduction's reporting, not just debugging.
+
+use std::fmt;
+
+use crate::runner::MeResult;
+
+/// One scenario's ME cycles split into explanatory categories.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleBreakdown {
+    /// Cycles issuing bundles (including RFU-busy time folded into issue
+    /// for loop-level scenarios).
+    pub issue: u64,
+    /// Scoreboard interlock stalls (waiting on operand latency).
+    pub interlock: u64,
+    /// RFU-busy waits (the core waiting for a kernel-loop result).
+    pub rfu_busy: u64,
+    /// Taken-branch bubbles.
+    pub branch: u64,
+    /// Data-cache stalls (the paper's Tables 4–5 quantity).
+    pub dcache: u64,
+    /// Instruction-cache stalls.
+    pub icache: u64,
+    /// Total ME cycles.
+    pub total: u64,
+}
+
+impl CycleBreakdown {
+    /// Derives the breakdown from a measured result.
+    #[must_use]
+    pub fn of(r: &MeResult) -> Self {
+        let interlock = r.core.interlock_stalls;
+        let rfu_busy = r.core.rfu_busy_stalls;
+        let branch = r.core.branch_stall_cycles;
+        let dcache = r.mem.d_stall_cycles;
+        let icache = r.core.ifetch_stall_cycles;
+        let accounted = interlock + rfu_busy + branch + dcache + icache;
+        CycleBreakdown {
+            issue: r.me_cycles.saturating_sub(accounted),
+            interlock,
+            rfu_busy,
+            branch,
+            dcache,
+            icache,
+            total: r.me_cycles,
+        }
+    }
+
+    /// A category's share of the total, in `0.0..=1.0`.
+    #[must_use]
+    pub fn share(&self, cycles: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        cycles as f64 / self.total as f64
+    }
+}
+
+impl fmt::Display for CycleBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "issue {:>5.1}%  interlock {:>5.1}%  rfu-busy {:>5.1}%  branch {:>5.1}%  D$ {:>5.1}%  I$ {:>4.1}%",
+            self.share(self.issue) * 100.0,
+            self.share(self.interlock) * 100.0,
+            self.share(self.rfu_busy) * 100.0,
+            self.share(self.branch) * 100.0,
+            self.share(self.dcache) * 100.0,
+            self.share(self.icache) * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_me, Scenario, Workload};
+
+    #[test]
+    fn breakdown_accounts_for_every_cycle() {
+        let w = Workload::tiny();
+        for sc in [
+            Scenario::orig(),
+            Scenario::loop_level(rvliw_rfu::RfuBandwidth::B1x32, 1),
+        ] {
+            let r = run_me(&sc, &w);
+            let b = CycleBreakdown::of(&r);
+            assert_eq!(
+                b.issue + b.interlock + b.rfu_busy + b.branch + b.dcache + b.icache,
+                b.total,
+                "{}",
+                sc.label
+            );
+            assert!(b.share(b.issue) > 0.0);
+        }
+    }
+
+    #[test]
+    fn loop_level_is_rfu_busy_dominated() {
+        // The whole point of the kernel-loop mapping: the core mostly waits
+        // for the RFU, not for its own issue slots.
+        let w = Workload::tiny();
+        let r = run_me(&Scenario::loop_two_lb(1), &w);
+        let b = CycleBreakdown::of(&r);
+        assert!(
+            b.share(b.rfu_busy) > 0.4,
+            "rfu-busy share {:.2}",
+            b.share(b.rfu_busy)
+        );
+    }
+
+    #[test]
+    fn orig_is_issue_and_interlock_dominated() {
+        let w = Workload::tiny();
+        let r = run_me(&Scenario::orig(), &w);
+        let b = CycleBreakdown::of(&r);
+        assert!(b.share(b.issue) + b.share(b.interlock) > 0.6);
+        assert!(b.share(b.rfu_busy) < 0.05);
+    }
+
+    #[test]
+    fn display_sums_to_about_100_percent() {
+        let w = Workload::tiny();
+        let r = run_me(&Scenario::a2(), &w);
+        let b = CycleBreakdown::of(&r);
+        let sum = b.share(b.issue)
+            + b.share(b.interlock)
+            + b.share(b.rfu_busy)
+            + b.share(b.branch)
+            + b.share(b.dcache)
+            + b.share(b.icache);
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(b.to_string().contains("issue"));
+    }
+}

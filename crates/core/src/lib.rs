@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+//! # rvliw-core
+//!
+//! The experiment driver reproducing the DATE 2002 reconfigurable-VLIW case
+//! study end to end: it composes the MPEG-4 workload (`mpeg4-enc`), the
+//! `GetSad` kernels (`rvliw-kernels`) and the RFU-augmented machine
+//! (`rvliw-sim`) into the scenarios the paper evaluates, and regenerates
+//! every table.
+//!
+//! * [`Workload`] — a synthetic QCIF sequence encoded on the host; its
+//!   per-macroblock `GetSad` traces are what the simulator replays.
+//! * [`Scenario`] — one architecture point: ORIG / A1 / A2 / A3
+//!   (instruction level) or a loop-level configuration (bandwidth ×
+//!   technology scaling β × one or two line buffers).
+//! * [`run_me`] — replays the whole trace against the simulated kernel of a
+//!   scenario and measures cycles, stalls and prefetch behaviour.
+//! * [`AppModel`] — folds measured ME cycles into whole-application cycles
+//!   using the paper's initial profile (`GetSad` = 25.6 % of execution in
+//!   ORIG), which the %Rel column of Table 7 is defined against.
+//! * [`tables`] — Tables 1–7 as typed, printable structures.
+//! * [`arch`] — the Figure 1 block diagram of the modified ST200.
+
+pub mod app_model;
+pub mod arch;
+pub mod breakdown;
+pub mod runner;
+pub mod scenario;
+pub mod tables;
+pub mod workload;
+
+pub use app_model::AppModel;
+pub use breakdown::CycleBreakdown;
+pub use runner::{run_me, MeResult};
+pub use scenario::Scenario;
+pub use tables::CaseStudy;
+pub use workload::Workload;
+
+/// The paper's initial profile: share of total execution time spent in
+/// `GetSad` with the ORIG code.
+pub const GETSAD_SHARE_ORIG: f64 = 0.256;

@@ -1,0 +1,259 @@
+//! Replays a workload's `GetSad` trace against a scenario's simulated
+//! kernel and measures the motion-estimation stage.
+
+use mpeg4_enc::sad::InterpKind;
+use mpeg4_enc::types::Plane;
+use rvliw_kernels::regs::{
+    ARG_BASE, ARG_BEST, ARG_CAND, ARG_CX, ARG_CY, ARG_INTERP, ARG_NCX, ARG_NCY, ARG_REF,
+    ARG_STRIDE, NO_CANDIDATE, RESULT,
+};
+use rvliw_kernels::{build_getsad, build_mb_prep, build_me_loop_call};
+use rvliw_mem::MemStats;
+use rvliw_rfu::{Rfu, RfuStats};
+use rvliw_sim::{Machine, SimStats};
+
+use crate::scenario::{Kind, Scenario};
+use crate::workload::Workload;
+
+/// Measured motion-estimation stage of one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeResult {
+    /// Scenario label.
+    pub label: String,
+    /// Total ME cycles (every `GetSad` call plus, for loop-level
+    /// scenarios, the per-macroblock prefetch preparation).
+    pub me_cycles: u64,
+    /// Data-cache stall cycles within the ME stage.
+    pub stall_cycles: u64,
+    /// Number of `GetSad` calls replayed.
+    pub calls: u64,
+    /// Memory counters over the stage.
+    pub mem: MemStats,
+    /// Core counters over the stage.
+    pub core: SimStats,
+    /// RFU counters over the stage.
+    pub rfu: RfuStats,
+}
+
+impl MeResult {
+    /// Speedup of this scenario relative to a baseline (the paper's `S.Up`,
+    /// "always relative to the optimized C-code version").
+    #[must_use]
+    pub fn speedup_vs(&self, baseline: &MeResult) -> f64 {
+        baseline.me_cycles as f64 / self.me_cycles as f64
+    }
+
+    /// `%Improvement` relative to a baseline: `(orig − new) / orig`.
+    #[must_use]
+    pub fn improvement_vs(&self, baseline: &MeResult) -> f64 {
+        1.0 - self.me_cycles as f64 / baseline.me_cycles as f64
+    }
+
+    /// Stall-cycle reduction relative to a baseline (`%Red` of Table 4).
+    #[must_use]
+    pub fn stall_reduction_vs(&self, baseline: &MeResult) -> f64 {
+        1.0 - self.stall_cycles as f64 / baseline.stall_cycles as f64
+    }
+
+    /// Stalls as a share of the ME execution time (Table 5).
+    #[must_use]
+    pub fn stall_share(&self) -> f64 {
+        self.stall_cycles as f64 / self.me_cycles as f64
+    }
+}
+
+fn interp_bits(kind: InterpKind) -> u32 {
+    match kind {
+        InterpKind::None => 0,
+        InterpKind::H => 1,
+        InterpKind::V => 2,
+        InterpKind::Diag => 3,
+    }
+}
+
+/// Writes a plane's samples into simulator RAM at `base` (host-side, no
+/// timing — stands in for the non-simulated encoder stages that produced
+/// the data).
+fn store_plane(m: &mut Machine, base: u32, p: &Plane) {
+    for y in 0..p.height() {
+        m.mem
+            .ram
+            .write_bytes(base + (y * p.width()) as u32, p.row(y));
+    }
+}
+
+/// Replays the whole `GetSad` trace of `workload` under `scenario`.
+///
+/// Every simulated SAD is checked against the host golden value recorded in
+/// the trace — a full-workload functional regression of the kernels.
+///
+/// # Panics
+///
+/// Panics when the simulation fails or a simulated SAD disagrees with the
+/// golden trace (either indicates a kernel or simulator bug).
+#[must_use]
+pub fn run_me(scenario: &Scenario, workload: &Workload) -> MeResult {
+    let mut m = Machine::new(scenario.machine.clone(), scenario.mem.clone());
+    let stride = workload.stride;
+    let height = workload.frames[0].height();
+    // Fixed frame buffers, reused every frame as in the reference encoder.
+    let cur_buf = m.mem.ram.alloc(stride * height as u32, 32);
+    let prev_buf = m.mem.ram.alloc(stride * height as u32, 32);
+
+    // Configure the RFU and build the programs.
+    let (kernel, prep, call_prog) = match &scenario.kind {
+        Kind::Instruction(variant) => {
+            m.rfu = Rfu::with_case_study_configs(rvliw_rfu::MeLoopCfg::new(
+                rvliw_rfu::RfuBandwidth::B1x32,
+                1,
+                stride,
+            ));
+            (Some(build_getsad(*variant, &scenario.machine)), None, None)
+        }
+        Kind::Loop { .. } => {
+            m.rfu = Rfu::with_case_study_configs(scenario.me_loop_cfg(stride));
+            let kind = scenario.driver_kind().expect("loop scenario");
+            (
+                None,
+                Some(build_mb_prep(kind, &scenario.machine)),
+                Some(build_me_loop_call(kind, &scenario.machine)),
+            )
+        }
+    };
+    m.rfu.set_reconfig_model(scenario.reconfig.clone());
+    if let Some(lines) = scenario.lbb_bank_lines {
+        m.rfu.lb_b = rvliw_rfu::LineBufferB::with_bank_capacity(lines);
+    }
+
+    let start = m.snapshot();
+    let mut calls = 0u64;
+
+    for (t, frame) in workload.frames.iter().enumerate().skip(1) {
+        let prev_recon = &workload.report.recon[t - 1];
+        store_plane(&mut m, cur_buf, &frame.y);
+        store_plane(&mut m, prev_buf, &prev_recon.y);
+        let traces = &workload.report.frames[t].motion;
+        for trace in traces {
+            let ref_addr = cur_buf + (trace.mby * 16) as u32 * stride + (trace.mbx * 16) as u32;
+            let addr_of = |c: &mpeg4_enc::SadCall| prev_buf + c.cy as u32 * stride + c.cx as u32;
+            let coords_of = |c: &mpeg4_enc::SadCall| (c.cx as u32, c.cy as u32);
+            match &scenario.kind {
+                Kind::Instruction(_) => {
+                    let code = kernel.as_ref().expect("kernel built");
+                    for c in &trace.calls {
+                        m.set_gpr(ARG_REF, ref_addr);
+                        m.set_gpr(ARG_CAND, addr_of(c));
+                        m.set_gpr(ARG_INTERP, interp_bits(c.kind));
+                        m.set_gpr(ARG_STRIDE, stride);
+                        m.run(code).expect("kernel run");
+                        assert_eq!(
+                            m.gpr(RESULT),
+                            c.sad,
+                            "simulated SAD diverged at frame {t} MB ({},{})",
+                            trace.mbx,
+                            trace.mby
+                        );
+                        calls += 1;
+                    }
+                }
+                Kind::Loop { .. } => {
+                    let prep = prep.as_ref().expect("prep built");
+                    let call_prog = call_prog.as_ref().expect("driver built");
+                    let (fx, fy) = trace
+                        .calls
+                        .first()
+                        .map(&coords_of)
+                        .unwrap_or((NO_CANDIDATE, NO_CANDIDATE));
+                    m.set_gpr(ARG_REF, ref_addr);
+                    m.set_gpr(ARG_BASE, prev_buf);
+                    m.set_gpr(ARG_STRIDE, stride);
+                    m.set_gpr(ARG_NCX, fx);
+                    m.set_gpr(ARG_NCY, fy);
+                    m.run(prep).expect("prep run");
+                    let mut best = u32::MAX;
+                    for (i, c) in trace.calls.iter().enumerate() {
+                        let (ncx, ncy) = trace
+                            .calls
+                            .get(i + 1)
+                            .map(&coords_of)
+                            .unwrap_or((NO_CANDIDATE, NO_CANDIDATE));
+                        let (cx, cy) = coords_of(c);
+                        m.set_gpr(ARG_REF, ref_addr);
+                        m.set_gpr(ARG_BASE, prev_buf);
+                        m.set_gpr(ARG_CX, cx);
+                        m.set_gpr(ARG_CY, cy);
+                        m.set_gpr(ARG_INTERP, interp_bits(c.kind));
+                        m.set_gpr(ARG_STRIDE, stride);
+                        m.set_gpr(ARG_NCX, ncx);
+                        m.set_gpr(ARG_NCY, ncy);
+                        m.set_gpr(ARG_BEST, best);
+                        m.run(call_prog).expect("driver run");
+                        assert_eq!(
+                            m.gpr(RESULT),
+                            c.sad,
+                            "RFU-loop SAD diverged at frame {t} MB ({},{})",
+                            trace.mbx,
+                            trace.mby
+                        );
+                        best = best.min(c.sad);
+                        calls += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    let region = m.snapshot().since(&start);
+    MeResult {
+        label: scenario.label.clone(),
+        me_cycles: region.cycles,
+        stall_cycles: region.mem.d_stall_cycles,
+        calls,
+        mem: region.mem,
+        core: region.stats,
+        rfu: region.rfu,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvliw_rfu::RfuBandwidth;
+
+    #[test]
+    fn tiny_workload_runs_all_scenario_kinds() {
+        let w = Workload::tiny();
+        let orig = run_me(&Scenario::orig(), &w);
+        assert!(orig.me_cycles > 0);
+        assert_eq!(orig.calls as usize, w.num_calls());
+
+        let a3 = run_me(&Scenario::a3(), &w);
+        assert!(a3.me_cycles < orig.me_cycles, "A3 beats ORIG");
+
+        let lp = run_me(&Scenario::loop_level(RfuBandwidth::B1x32, 1), &w);
+        assert!(lp.me_cycles < a3.me_cycles, "loop-level beats A3");
+        assert_eq!(lp.calls, orig.calls);
+
+        let lb = run_me(&Scenario::loop_two_lb(1), &w);
+        assert!(lb.me_cycles < lp.me_cycles, "two line buffers beat one");
+    }
+
+    #[test]
+    fn speedup_metrics_are_consistent() {
+        let w = Workload::tiny();
+        let orig = run_me(&Scenario::orig(), &w);
+        let a2 = run_me(&Scenario::a2(), &w);
+        let s = a2.speedup_vs(&orig);
+        let imp = a2.improvement_vs(&orig);
+        assert!(s > 1.0);
+        assert!((imp - (1.0 - 1.0 / s)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beta_scaling_slows_the_loop() {
+        let w = Workload::tiny();
+        let b1 = run_me(&Scenario::loop_level(RfuBandwidth::B1x32, 1), &w);
+        let b5 = run_me(&Scenario::loop_level(RfuBandwidth::B1x32, 5), &w);
+        assert!(b5.me_cycles > b1.me_cycles);
+    }
+}

@@ -1,0 +1,223 @@
+//! Architecture scenarios: the points of the paper's design space.
+
+use rvliw_isa::MachineConfig;
+use rvliw_kernels::{DriverKind, Variant};
+use rvliw_mem::MemConfig;
+use rvliw_rfu::{MeLoopCfg, ReconfigModel, RfuBandwidth};
+
+/// What runs on the machine for one experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Kind {
+    /// Instruction-level: a `GetSad` kernel variant runs on the core
+    /// (Table 1).
+    Instruction(Variant),
+    /// Loop-level: the whole kernel loop is one RFU instruction
+    /// (Tables 2–7).
+    Loop {
+        /// RFU data bandwidth.
+        bandwidth: RfuBandwidth,
+        /// Technology-scaling factor β.
+        beta: u64,
+        /// Two-line-buffer scheme (Table 7).
+        two_line_buffers: bool,
+    },
+}
+
+/// One architecture point: the kind plus machine/memory configuration and
+/// the reconfiguration model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Scenario kind.
+    pub kind: Kind,
+    /// Core configuration.
+    pub machine: MachineConfig,
+    /// Memory configuration (loop-level scenarios extend the prefetch
+    /// buffer to 64 entries, as in the paper).
+    pub mem: MemConfig,
+    /// Reconfiguration model (zero penalty unless an ablation overrides
+    /// it).
+    pub reconfig: ReconfigModel,
+    /// Override of Line Buffer B's per-bank capacity (ablations; `None` =
+    /// the paper's 34 lines).
+    pub lbb_bank_lines: Option<usize>,
+    /// Human-readable label.
+    pub label: String,
+}
+
+impl Scenario {
+    /// Instruction-level scenario for a kernel variant.
+    #[must_use]
+    pub fn instruction(variant: Variant) -> Self {
+        Scenario {
+            kind: Kind::Instruction(variant),
+            machine: MachineConfig::st200(),
+            mem: MemConfig::st200(),
+            reconfig: ReconfigModel::zero_penalty(),
+            lbb_bank_lines: None,
+            label: variant.name().to_owned(),
+        }
+    }
+
+    /// The ORIG baseline.
+    #[must_use]
+    pub fn orig() -> Self {
+        Scenario::instruction(Variant::Orig)
+    }
+
+    /// Scenario A1.
+    #[must_use]
+    pub fn a1() -> Self {
+        Scenario::instruction(Variant::A1)
+    }
+
+    /// Scenario A2.
+    #[must_use]
+    pub fn a2() -> Self {
+        Scenario::instruction(Variant::A2)
+    }
+
+    /// Scenario A3.
+    #[must_use]
+    pub fn a3() -> Self {
+        Scenario::instruction(Variant::A3)
+    }
+
+    /// Loop-level scenario with one line buffer.
+    #[must_use]
+    pub fn loop_level(bandwidth: RfuBandwidth, beta: u64) -> Self {
+        Scenario {
+            kind: Kind::Loop {
+                bandwidth,
+                beta,
+                two_line_buffers: false,
+            },
+            machine: MachineConfig::st200(),
+            mem: MemConfig::st200_loop_level(),
+            reconfig: ReconfigModel::zero_penalty(),
+            lbb_bank_lines: None,
+            label: format!("{} b={beta}", bandwidth.label()),
+        }
+    }
+
+    /// Loop-level scenario with two line buffers (Table 7).
+    #[must_use]
+    pub fn loop_two_lb(beta: u64) -> Self {
+        Scenario {
+            kind: Kind::Loop {
+                bandwidth: RfuBandwidth::B1x32,
+                beta,
+                two_line_buffers: true,
+            },
+            machine: MachineConfig::st200(),
+            mem: MemConfig::st200_loop_level(),
+            reconfig: ReconfigModel::zero_penalty(),
+            lbb_bank_lines: None,
+            label: format!("2LB b={beta}"),
+        }
+    }
+
+    /// The ME-loop configuration of a loop-level scenario (for a given
+    /// frame stride).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on an instruction-level scenario.
+    #[must_use]
+    pub fn me_loop_cfg(&self, stride: u32) -> MeLoopCfg {
+        match self.kind {
+            Kind::Loop {
+                bandwidth,
+                beta,
+                two_line_buffers,
+            } => {
+                let cfg = MeLoopCfg::new(bandwidth, beta, stride);
+                if two_line_buffers {
+                    cfg.with_line_buffer_b()
+                } else {
+                    cfg
+                }
+            }
+            Kind::Instruction(_) => panic!("not a loop-level scenario"),
+        }
+    }
+
+    /// The loop-level driver kind, if applicable.
+    #[must_use]
+    pub fn driver_kind(&self) -> Option<DriverKind> {
+        match self.kind {
+            Kind::Loop {
+                two_line_buffers, ..
+            } => Some(if two_line_buffers {
+                DriverKind::DoubleLineBuffer
+            } else {
+                DriverKind::SingleLineBuffer
+            }),
+            Kind::Instruction(_) => None,
+        }
+    }
+
+    /// Overrides the reconfiguration model (ablations).
+    #[must_use]
+    pub fn with_reconfig(mut self, model: ReconfigModel) -> Self {
+        self.reconfig = model;
+        self
+    }
+
+    /// Overrides Line Buffer B's per-bank capacity (ablations).
+    #[must_use]
+    pub fn with_lbb_bank_lines(mut self, lines: usize) -> Self {
+        self.lbb_bank_lines = Some(lines);
+        self
+    }
+
+    /// The static loop latency of a loop-level scenario (Table 2's `Lat`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on an instruction-level scenario.
+    #[must_use]
+    pub fn static_latency(&self, stride: u32) -> u64 {
+        self.me_loop_cfg(stride).static_latency()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_scenarios_extend_prefetch_buffer() {
+        assert_eq!(Scenario::orig().mem.prefetch_entries, 8);
+        assert_eq!(
+            Scenario::loop_level(RfuBandwidth::B1x32, 1)
+                .mem
+                .prefetch_entries,
+            64
+        );
+    }
+
+    #[test]
+    fn static_latencies_ordered_by_bandwidth() {
+        let s = 176;
+        let l32 = Scenario::loop_level(RfuBandwidth::B1x32, 1).static_latency(s);
+        let l64 = Scenario::loop_level(RfuBandwidth::B1x64, 1).static_latency(s);
+        let l2x = Scenario::loop_level(RfuBandwidth::B2x64, 1).static_latency(s);
+        let lb = Scenario::loop_two_lb(1).static_latency(s);
+        assert!(l32 > l64 && l64 > l2x && l2x > lb);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a loop-level")]
+    fn instruction_scenario_has_no_loop_cfg() {
+        let _ = Scenario::orig().me_loop_cfg(176);
+    }
+
+    #[test]
+    fn driver_kind_mapping() {
+        assert_eq!(Scenario::orig().driver_kind(), None);
+        assert_eq!(
+            Scenario::loop_two_lb(1).driver_kind(),
+            Some(DriverKind::DoubleLineBuffer)
+        );
+    }
+}

@@ -1,0 +1,650 @@
+//! Tables 1–7 of the paper, regenerated from measurements.
+
+use std::fmt;
+
+use rvliw_kernels::Variant;
+use rvliw_rfu::RfuBandwidth;
+
+use crate::app_model::AppModel;
+use crate::runner::{run_me, MeResult};
+use crate::scenario::Scenario;
+use crate::workload::Workload;
+
+/// All measurements needed for every table, collected in one pass.
+#[derive(Debug, Clone)]
+pub struct CaseStudy {
+    /// The workload that was replayed.
+    pub stride: u32,
+    /// `GetSad` calls replayed per scenario.
+    pub calls: u64,
+    /// ORIG baseline.
+    pub orig: MeResult,
+    /// Instruction-level results (A1, A2, A3).
+    pub instr: Vec<(Variant, MeResult)>,
+    /// Loop-level, single line buffer: (bandwidth, β, static Lat, result).
+    pub loops: Vec<(RfuBandwidth, u64, u64, MeResult)>,
+    /// Two line buffers: (β, static Lat, result).
+    pub two_lb: Vec<(u64, u64, MeResult)>,
+    /// Whole-application model calibrated on ORIG.
+    pub app: AppModel,
+}
+
+impl CaseStudy {
+    /// Runs every scenario of the paper over `workload`.
+    /// `progress` is called with a label before each scenario.
+    #[must_use]
+    pub fn run_with_progress(workload: &Workload, mut progress: impl FnMut(&str)) -> Self {
+        progress("Orig");
+        let orig = run_me(&Scenario::orig(), workload);
+        let mut instr = Vec::new();
+        for v in [Variant::A1, Variant::A2, Variant::A3] {
+            progress(v.name());
+            instr.push((v, run_me(&Scenario::instruction(v), workload)));
+        }
+        let mut loops = Vec::new();
+        for bw in RfuBandwidth::all() {
+            for beta in [1u64, 5] {
+                let sc = Scenario::loop_level(bw, beta);
+                progress(&sc.label);
+                let lat = sc.static_latency(workload.stride);
+                loops.push((bw, beta, lat, run_me(&sc, workload)));
+            }
+        }
+        let mut two_lb = Vec::new();
+        for beta in [1u64, 5] {
+            let sc = Scenario::loop_two_lb(beta);
+            progress(&sc.label);
+            let lat = sc.static_latency(workload.stride);
+            two_lb.push((beta, lat, run_me(&sc, workload)));
+        }
+        let app = AppModel::calibrated(orig.me_cycles);
+        CaseStudy {
+            stride: workload.stride,
+            calls: orig.calls,
+            orig,
+            instr,
+            loops,
+            two_lb,
+            app,
+        }
+    }
+
+    /// Runs silently.
+    #[must_use]
+    pub fn run(workload: &Workload) -> Self {
+        Self::run_with_progress(workload, |_| {})
+    }
+
+    fn loop_result(&self, bw: RfuBandwidth, beta: u64) -> &(RfuBandwidth, u64, u64, MeResult) {
+        self.loops
+            .iter()
+            .find(|(b, be, _, _)| *b == bw && *be == beta)
+            .expect("all loop scenarios were run")
+    }
+
+    /// Table 1: instruction-level optimization results.
+    #[must_use]
+    pub fn table1(&self) -> Table1 {
+        let mut rows = vec![Table1Row {
+            name: "Orig".into(),
+            cycles: self.orig.me_cycles,
+            speedup: 1.0,
+            improvement: 0.0,
+        }];
+        for (v, r) in &self.instr {
+            rows.push(Table1Row {
+                name: v.name().into(),
+                cycles: r.me_cycles,
+                speedup: r.speedup_vs(&self.orig),
+                improvement: r.improvement_vs(&self.orig),
+            });
+        }
+        Table1 { rows }
+    }
+
+    /// Table 2: loop-level results per bandwidth and β.
+    #[must_use]
+    pub fn table2(&self) -> Table2 {
+        let rows = RfuBandwidth::all()
+            .into_iter()
+            .map(|bw| {
+                let (_, _, lat1, r1) = self.loop_result(bw, 1);
+                let (_, _, lat5, r5) = self.loop_result(bw, 5);
+                Table2Row {
+                    bw,
+                    lat_b1: *lat1,
+                    cycles_b1: r1.me_cycles,
+                    speedup_b1: r1.speedup_vs(&self.orig),
+                    lat_b5: *lat5,
+                    cycles_b5: r5.me_cycles,
+                    speedup_b5: r5.speedup_vs(&self.orig),
+                }
+            })
+            .collect();
+        Table2 {
+            orig_cycles: self.orig.me_cycles,
+            rows,
+        }
+    }
+
+    /// Table 3: latency increase vs speedup reduction under technology
+    /// scaling.
+    #[must_use]
+    pub fn table3(&self) -> Table3 {
+        let rows = RfuBandwidth::all()
+            .into_iter()
+            .map(|bw| {
+                let (_, _, lat1, r1) = self.loop_result(bw, 1);
+                let (_, _, lat5, r5) = self.loop_result(bw, 5);
+                let s1 = r1.speedup_vs(&self.orig);
+                let s5 = r5.speedup_vs(&self.orig);
+                Table3Row {
+                    bw,
+                    lat_b1: *lat1,
+                    lat_b5: *lat5,
+                    pct_latency_increase: (*lat5 as f64 - *lat1 as f64) / *lat1 as f64,
+                    pct_speedup_reduction: (s5 - s1) / s1,
+                }
+            })
+            .collect();
+        Table3 { rows }
+    }
+
+    /// Table 4: ME cache stalls with one line buffer.
+    #[must_use]
+    pub fn table4(&self) -> Table4 {
+        let rows = RfuBandwidth::all()
+            .into_iter()
+            .map(|bw| {
+                let (_, _, _, r1) = self.loop_result(bw, 1);
+                let (_, _, _, r5) = self.loop_result(bw, 5);
+                Table4Row {
+                    bw,
+                    stalls_b1: r1.stall_cycles,
+                    reduction_b1: r1.stall_reduction_vs(&self.orig),
+                    stalls_b5: r5.stall_cycles,
+                    reduction_b5: r5.stall_reduction_vs(&self.orig),
+                }
+            })
+            .collect();
+        Table4 {
+            orig_stalls: self.orig.stall_cycles,
+            rows,
+        }
+    }
+
+    /// Table 5: cache stalls as a share of ME execution time.
+    #[must_use]
+    pub fn table5(&self) -> Table5 {
+        let rows = RfuBandwidth::all()
+            .into_iter()
+            .map(|bw| {
+                let (_, _, _, r1) = self.loop_result(bw, 1);
+                let (_, _, _, r5) = self.loop_result(bw, 5);
+                Table5Row {
+                    bw,
+                    share_b1: r1.stall_share(),
+                    share_b5: r5.stall_share(),
+                }
+            })
+            .collect();
+        Table5 {
+            orig_share: self.orig.stall_share(),
+            rows,
+        }
+    }
+
+    /// Table 6: theoretical vs experimental speedups.
+    #[must_use]
+    pub fn table6(&self) -> Table6 {
+        let mut rows = Vec::new();
+        for beta in [1u64, 5] {
+            for bw in RfuBandwidth::all() {
+                let (_, _, lat, r) = self.loop_result(bw, beta);
+                // The loop executes once per GetSad call.
+                let static_cycles = lat * self.calls;
+                let th = self.orig.me_cycles as f64 / static_cycles as f64;
+                let sup = r.speedup_vs(&self.orig);
+                rows.push(Table6Row {
+                    bw,
+                    beta,
+                    static_cycles,
+                    th_speedup: th,
+                    speedup: sup,
+                    ratio: sup / th,
+                });
+            }
+        }
+        Table6 { rows }
+    }
+
+    /// Table 7: the two-line-buffer scheme.
+    #[must_use]
+    pub fn table7(&self) -> Table7 {
+        let rows = self
+            .two_lb
+            .iter()
+            .map(|(beta, lat, r)| Table7Row {
+                beta: *beta,
+                lat: *lat,
+                ex_cycles: r.me_cycles,
+                speedup: r.speedup_vs(&self.orig),
+                rel_share: self.app.me_share(r.me_cycles),
+                stalls: r.stall_cycles,
+                stall_reduction: r.stall_reduction_vs(&self.orig),
+            })
+            .collect();
+        Table7 {
+            orig_cycles: self.orig.me_cycles,
+            orig_rel_share: self.app.me_share(self.orig.me_cycles),
+            orig_stalls: self.orig.stall_cycles,
+            rows,
+        }
+    }
+}
+
+/// One Table 1 row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Scenario name.
+    pub name: String,
+    /// ME cycles.
+    pub cycles: u64,
+    /// Speedup vs ORIG.
+    pub speedup: f64,
+    /// `(orig − new) / orig`.
+    pub improvement: f64,
+}
+
+/// Table 1: instruction-level optimizations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1 {
+    /// Rows in Orig/A1/A2/A3 order.
+    pub rows: Vec<Table1Row>,
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 1: instruction-level optimizations")?;
+        writeln!(
+            f,
+            "{:>6} {:>12} {:>7} {:>9}",
+            "", "CYCLES", "S.Up", "%Improv"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>6} {:>12} {:>7.2} {:>8.1}%",
+                r.name,
+                r.cycles,
+                r.speedup,
+                r.improvement * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// One Table 2 row (a bandwidth option across both β values).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table2Row {
+    /// Bandwidth option.
+    pub bw: RfuBandwidth,
+    /// Static loop latency at β = 1.
+    pub lat_b1: u64,
+    /// ME cycles at β = 1.
+    pub cycles_b1: u64,
+    /// Speedup at β = 1.
+    pub speedup_b1: f64,
+    /// Static loop latency at β = 5.
+    pub lat_b5: u64,
+    /// ME cycles at β = 5.
+    pub cycles_b5: u64,
+    /// Speedup at β = 5.
+    pub speedup_b5: f64,
+}
+
+/// Table 2: loop-level optimizations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2 {
+    /// The ORIG ME cycles the speedups are relative to.
+    pub orig_cycles: u64,
+    /// Rows in 1×32 / 1×64 / 2×64 order.
+    pub rows: Vec<Table2Row>,
+}
+
+impl fmt::Display for Table2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Table 2: loop-level optimizations (ME kernel as one RFU instruction)"
+        )?;
+        writeln!(
+            f,
+            "{:>6} | {:>5} {:>12} {:>6} | {:>5} {:>12} {:>6}",
+            "", "Lat", "Cycles", "S.Up", "Lat", "Cycles", "S.Up"
+        )?;
+        writeln!(f, "{:>6} | {:^26} | {:^26}", "", "b = 1", "b = 5")?;
+        writeln!(
+            f,
+            "{:>6}   {:>5} {:>12} {:>6}",
+            "Orig", "", self.orig_cycles, "1.00"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>6} | {:>5} {:>12} {:>6.2} | {:>5} {:>12} {:>6.2}",
+                r.bw.label(),
+                r.lat_b1,
+                r.cycles_b1,
+                r.speedup_b1,
+                r.lat_b5,
+                r.cycles_b5,
+                r.speedup_b5
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// One Table 3 row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table3Row {
+    /// Bandwidth option.
+    pub bw: RfuBandwidth,
+    /// Static latency at β = 1.
+    pub lat_b1: u64,
+    /// Static latency at β = 5.
+    pub lat_b5: u64,
+    /// Relative latency increase β = 1 → 5.
+    pub pct_latency_increase: f64,
+    /// Relative speedup change β = 1 → 5 (negative = reduction).
+    pub pct_speedup_reduction: f64,
+}
+
+/// Table 3: technology-scaling effects.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3 {
+    /// Rows in bandwidth order.
+    pub rows: Vec<Table3Row>,
+}
+
+impl fmt::Display for Table3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Table 3: static-latency increase and speedup reduction, b = 1 -> 5"
+        )?;
+        writeln!(
+            f,
+            "{:>6} {:>8} {:>8} {:>12} {:>14}",
+            "", "Lat b=1", "Lat b=5", "%IncLatency", "%SUpReduction"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>6} {:>8} {:>8} {:>11.1}% {:>13.1}%",
+                r.bw.label(),
+                r.lat_b1,
+                r.lat_b5,
+                r.pct_latency_increase * 100.0,
+                r.pct_speedup_reduction * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// One Table 4 row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table4Row {
+    /// Bandwidth option.
+    pub bw: RfuBandwidth,
+    /// Stall cycles at β = 1.
+    pub stalls_b1: u64,
+    /// Reduction vs ORIG at β = 1.
+    pub reduction_b1: f64,
+    /// Stall cycles at β = 5.
+    pub stalls_b5: u64,
+    /// Reduction vs ORIG at β = 5.
+    pub reduction_b5: f64,
+}
+
+/// Table 4: ME cache stalls with one line buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4 {
+    /// ORIG stall cycles.
+    pub orig_stalls: u64,
+    /// Rows in bandwidth order.
+    pub rows: Vec<Table4Row>,
+}
+
+impl fmt::Display for Table4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 4: ME cache stalls (one line buffer)")?;
+        writeln!(
+            f,
+            "{:>6} | {:>10} {:>7} | {:>10} {:>7}",
+            "", "Cycles b=1", "%Red", "Cycles b=5", "%Red"
+        )?;
+        writeln!(f, "{:>6}   {:>10}", "Orig", self.orig_stalls)?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>6} | {:>10} {:>6.1}% | {:>10} {:>6.1}%",
+                r.bw.label(),
+                r.stalls_b1,
+                r.reduction_b1 * 100.0,
+                r.stalls_b5,
+                r.reduction_b5 * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// One Table 5 row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table5Row {
+    /// Bandwidth option.
+    pub bw: RfuBandwidth,
+    /// Stall share of ME time at β = 1.
+    pub share_b1: f64,
+    /// Stall share of ME time at β = 5.
+    pub share_b5: f64,
+}
+
+/// Table 5: stalls as a share of total ME execution time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table5 {
+    /// ORIG stall share.
+    pub orig_share: f64,
+    /// Rows in bandwidth order.
+    pub rows: Vec<Table5Row>,
+}
+
+impl fmt::Display for Table5 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 5: cache stalls as % of total ME execution time")?;
+        writeln!(f, "{:>6} {:>12} {:>12}", "", "%ofTotal b=1", "%ofTotal b=5")?;
+        writeln!(f, "{:>6} {:>11.2}%", "Orig", self.orig_share * 100.0)?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>6} {:>11.2}% {:>11.2}%",
+                r.bw.label(),
+                r.share_b1 * 100.0,
+                r.share_b5 * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// One Table 6 row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table6Row {
+    /// Bandwidth option.
+    pub bw: RfuBandwidth,
+    /// Technology-scaling factor.
+    pub beta: u64,
+    /// Static loop cycles (Lat × number of executions).
+    pub static_cycles: u64,
+    /// Theoretical speedup (no cache effects).
+    pub th_speedup: f64,
+    /// Measured speedup.
+    pub speedup: f64,
+    /// `S.Up / Th.S.Up`.
+    pub ratio: f64,
+}
+
+/// Table 6: theoretical vs experimental loop speedups.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table6 {
+    /// Rows grouped by β, then bandwidth.
+    pub rows: Vec<Table6Row>,
+}
+
+impl fmt::Display for Table6 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Table 6: theoretical vs experimental speedups (one line buffer)"
+        )?;
+        writeln!(
+            f,
+            "{:>4} {:>6} {:>13} {:>9} {:>7} {:>7}",
+            "b", "", "StaticCycles", "Th.S.Up", "S.Up", "Ratio"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>4} {:>6} {:>13} {:>9.2} {:>7.2} {:>6.1}%",
+                r.beta,
+                r.bw.label(),
+                r.static_cycles,
+                r.th_speedup,
+                r.speedup,
+                r.ratio * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// One Table 7 row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table7Row {
+    /// Technology-scaling factor.
+    pub beta: u64,
+    /// Static loop latency.
+    pub lat: u64,
+    /// ME cycles.
+    pub ex_cycles: u64,
+    /// Speedup vs ORIG.
+    pub speedup: f64,
+    /// ME share of the whole application (`%Rel`).
+    pub rel_share: f64,
+    /// Stall cycles.
+    pub stalls: u64,
+    /// Stall reduction vs ORIG.
+    pub stall_reduction: f64,
+}
+
+/// Table 7: two line buffers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table7 {
+    /// ORIG ME cycles.
+    pub orig_cycles: u64,
+    /// ORIG `%Rel` (the paper's 25.6 % initial profile).
+    pub orig_rel_share: f64,
+    /// ORIG stall cycles.
+    pub orig_stalls: u64,
+    /// Rows for β = 1 and β = 5.
+    pub rows: Vec<Table7Row>,
+}
+
+impl fmt::Display for Table7 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 7: ME results with two line buffers")?;
+        writeln!(
+            f,
+            "{:>6} {:>5} {:>12} {:>6} {:>7} {:>10} {:>7}",
+            "", "Lat", "ExCycles", "S.Up", "%Rel", "Stalls", "%Red"
+        )?;
+        writeln!(
+            f,
+            "{:>6} {:>5} {:>12} {:>6.2} {:>6.1}% {:>10}",
+            "Orig",
+            "",
+            self.orig_cycles,
+            1.0,
+            self.orig_rel_share * 100.0,
+            self.orig_stalls
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>6} {:>5} {:>12} {:>6.2} {:>6.2}% {:>10} {:>6.1}%",
+                format!("b={}", r.beta),
+                r.lat,
+                r.ex_cycles,
+                r.speedup,
+                r.rel_share * 100.0,
+                r.stalls,
+                r.stall_reduction * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One end-to-end pass over the tiny workload exercising every table.
+    #[test]
+    fn case_study_tables_on_tiny_workload() {
+        let w = Workload::tiny();
+        let cs = CaseStudy::run(&w);
+
+        let t1 = cs.table1();
+        assert_eq!(t1.rows.len(), 4);
+        assert!(t1.rows[3].speedup > 1.0, "A3 faster than ORIG");
+        assert!(
+            t1.rows[1].speedup <= t1.rows[3].speedup,
+            "A1 <= A3 (paper ordering)"
+        );
+
+        let t2 = cs.table2();
+        assert_eq!(t2.rows.len(), 3);
+        // More bandwidth ⇒ shorter latency and at least as much speedup.
+        assert!(t2.rows[0].lat_b1 > t2.rows[2].lat_b1);
+        assert!(t2.rows[0].speedup_b1 > 1.0);
+        // β = 5 never beats β = 1.
+        for r in &t2.rows {
+            assert!(r.speedup_b5 <= r.speedup_b1 + 1e-9);
+            assert_eq!(r.lat_b5 - r.lat_b1, 12, "paper: fixed +12 cycles");
+        }
+
+        let t3 = cs.table3();
+        // Relative latency increase grows with bandwidth.
+        assert!(t3.rows[0].pct_latency_increase < t3.rows[2].pct_latency_increase);
+
+        let t6 = cs.table6();
+        for r in &t6.rows {
+            assert!(r.ratio <= 1.0 + 1e-9, "measured <= theoretical");
+        }
+
+        let t7 = cs.table7();
+        assert_eq!(t7.rows.len(), 2);
+        assert!(t7.rows[0].speedup >= t2.rows[0].speedup_b1, "2 LB >= 1 LB");
+        assert!(t7.rows[0].rel_share < t7.orig_rel_share);
+
+        // Displays render without panicking and contain the headers.
+        assert!(cs.table1().to_string().contains("Table 1"));
+        assert!(cs.table4().to_string().contains("Table 4"));
+        assert!(cs.table5().to_string().contains("Table 5"));
+    }
+}

@@ -1,0 +1,91 @@
+//! The benchmark workload: a synthetic sequence encoded on the host, with
+//! the full `GetSad` call trace.
+
+use mpeg4_enc::{EncodeReport, Encoder, EncoderConfig, Frame, SyntheticSequence};
+
+/// An encoded sequence plus everything the simulator needs to replay its
+/// motion-estimation work.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The source frames.
+    pub frames: Vec<Frame>,
+    /// The host encoding run (reconstructions + `GetSad` traces).
+    pub report: EncodeReport,
+    /// Luma row stride in bytes.
+    pub stride: u32,
+}
+
+impl Workload {
+    /// The paper's workload: 25 synthetic QCIF frames, diamond search with
+    /// half-sample refinement, Q = 10.
+    #[must_use]
+    pub fn paper() -> Self {
+        Workload::from_sequence(&SyntheticSequence::qcif_25(), EncoderConfig::default())
+    }
+
+    /// A reduced workload for unit tests and doc-tests (64×48, 3 frames).
+    #[must_use]
+    pub fn tiny() -> Self {
+        Workload::from_sequence(
+            &SyntheticSequence::new(64, 48, 3, 7),
+            EncoderConfig::default(),
+        )
+    }
+
+    /// A medium workload for benches (QCIF, few frames).
+    #[must_use]
+    pub fn qcif_frames(frames: usize) -> Self {
+        Workload::from_sequence(
+            &SyntheticSequence::new(176, 144, frames, 0x4652_4d4e),
+            EncoderConfig::default(),
+        )
+    }
+
+    /// Encodes `seq` with `config` and captures the traces.
+    #[must_use]
+    pub fn from_sequence(seq: &SyntheticSequence, config: EncoderConfig) -> Self {
+        let frames = seq.generate();
+        let report = Encoder::new(config).encode(&frames);
+        let stride = frames[0].width() as u32;
+        Workload {
+            frames,
+            report,
+            stride,
+        }
+    }
+
+    /// Total `GetSad` calls in the trace.
+    #[must_use]
+    pub fn num_calls(&self) -> usize {
+        self.report.num_sad_calls()
+    }
+
+    /// Share of diagonal-interpolation calls (the paper's sequence: ≈18 %).
+    #[must_use]
+    pub fn diag_share(&self) -> f64 {
+        self.report.interp_shares().3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_workload_has_traces() {
+        let w = Workload::tiny();
+        assert!(w.num_calls() > 0);
+        assert_eq!(w.stride, 64);
+    }
+
+    #[test]
+    fn paper_workload_diag_share_near_18_percent() {
+        // This is the property the synthetic sequence is tuned for. It is
+        // moderately expensive (~1 s release, a few seconds debug), but it
+        // guards the central workload assumption.
+        let w = Workload::paper();
+        let d = w.diag_share();
+        assert!((0.12..=0.24).contains(&d), "diagonal share {d:.3}");
+        assert_eq!(w.frames.len(), 25);
+    }
+}

@@ -1,0 +1,168 @@
+//! Machine configuration: per-cycle resources and operation latencies.
+
+use crate::{FuClass, Op, Opcode};
+
+/// Static description of the modelled core: issue resources and
+/// compiler-visible latencies.
+///
+/// The default [`MachineConfig::st200`] reflects the paper's 1-cluster ST200:
+/// 4-issue, 4 ALUs, 2 multipliers, 1 load/store unit, 1 branch unit, plus the
+/// single RFU dispatch slot of the modified architecture (Figure 1).
+///
+/// ```
+/// use rvliw_isa::MachineConfig;
+/// let cfg = MachineConfig::st200();
+/// assert_eq!(cfg.issue_width, 4);
+/// assert_eq!(cfg.num_alus, 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Maximum syllables issued per cycle.
+    pub issue_width: usize,
+    /// Integer ALUs (also execute the SIMD subset and A1 extensions).
+    pub num_alus: usize,
+    /// 16×32 multipliers.
+    pub num_muls: usize,
+    /// Load/store units (data-cache ports).
+    pub num_mem_units: usize,
+    /// Branch units.
+    pub num_branch_units: usize,
+    /// RFU dispatch slots (the single tightly-coupled reconfigurable unit).
+    pub num_rfu_slots: usize,
+    /// ALU / SIMD result latency in cycles.
+    pub lat_alu: u64,
+    /// Multiplier result latency.
+    pub lat_mul: u64,
+    /// Load-use latency on a data-cache hit.
+    pub lat_load: u64,
+    /// Latency of a comparison writing a branch register (the branch
+    /// condition network is slower than the bypass network).
+    pub lat_cmp_to_br: u64,
+    /// Latency of `RFUSEND`/`RFUINIT` (operand transfer into the RFU).
+    pub lat_rfu_send: u64,
+    /// Latency of a *short* `RFUEXEC` custom instruction. The paper assumes
+    /// single-cycle execution for the instruction-level scenarios.
+    pub lat_rfu_exec: u64,
+}
+
+impl MachineConfig {
+    /// The paper's 1-cluster ST200 with the RFU attached.
+    #[must_use]
+    pub fn st200() -> Self {
+        MachineConfig {
+            issue_width: 4,
+            num_alus: 4,
+            num_muls: 2,
+            num_mem_units: 1,
+            num_branch_units: 1,
+            num_rfu_slots: 1,
+            lat_alu: 1,
+            lat_mul: 3,
+            lat_load: 3,
+            lat_cmp_to_br: 2,
+            lat_rfu_send: 1,
+            lat_rfu_exec: 1,
+        }
+    }
+
+    /// Compiler-visible result latency of `op`, in cycles.
+    ///
+    /// `RFULOOP` instructions have a configuration-dependent latency supplied
+    /// by the RFU model at run time; this method returns 1 for them (the
+    /// dispatch cost) — the simulator accounts the busy time separately.
+    #[must_use]
+    pub fn latency(&self, op: &Op) -> u64 {
+        use Opcode::*;
+        match op.opcode {
+            CmpEq | CmpNe | CmpLt | CmpLe | CmpGt | CmpGe | CmpLtu | CmpLeu | CmpGtu | CmpGeu => {
+                if matches!(op.dest, crate::Dest::Br(_)) {
+                    self.lat_cmp_to_br
+                } else {
+                    self.lat_alu
+                }
+            }
+            RfuInit | RfuSend => self.lat_rfu_send,
+            RfuExec => self.lat_rfu_exec,
+            RfuPref | RfuLoop => 1,
+            _ => match op.opcode.class() {
+                FuClass::Alu => self.lat_alu,
+                FuClass::Mul => self.lat_mul,
+                FuClass::Mem => self.lat_load,
+                FuClass::Branch => 1,
+                FuClass::Rfu => self.lat_rfu_exec,
+            },
+        }
+    }
+
+    /// Free slots of a class per cycle.
+    #[must_use]
+    pub fn slots(&self, class: FuClass) -> usize {
+        match class {
+            FuClass::Alu => self.num_alus,
+            FuClass::Mul => self.num_muls,
+            FuClass::Mem => self.num_mem_units,
+            FuClass::Branch => self.num_branch_units,
+            FuClass::Rfu => self.num_rfu_slots,
+        }
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig::st200()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Br, Dest, Gpr, Op};
+
+    #[test]
+    fn st200_defaults() {
+        let c = MachineConfig::st200();
+        assert_eq!(
+            (c.num_alus, c.num_muls, c.num_mem_units, c.num_branch_units),
+            (4, 2, 1, 1)
+        );
+        assert_eq!(c, MachineConfig::default());
+    }
+
+    #[test]
+    fn compare_latency_depends_on_destination() {
+        let c = MachineConfig::st200();
+        let to_br = Op::new(
+            Opcode::CmpLt,
+            Dest::Br(Br::new(0)),
+            &[Gpr::new(1).into(), Gpr::new(2).into()],
+        );
+        let to_gpr = Op::new(
+            Opcode::CmpLt,
+            Dest::Gpr(Gpr::new(3)),
+            &[Gpr::new(1).into(), Gpr::new(2).into()],
+        );
+        assert_eq!(c.latency(&to_br), 2);
+        assert_eq!(c.latency(&to_gpr), 1);
+    }
+
+    #[test]
+    fn load_latency_is_three() {
+        let c = MachineConfig::st200();
+        let ld = Op::rri(Opcode::Ldw, Gpr::new(4), Gpr::new(5), 0);
+        assert_eq!(c.latency(&ld), 3);
+    }
+
+    #[test]
+    fn mul_latency_is_three() {
+        let c = MachineConfig::st200();
+        let m = Op::rrr(Opcode::Mul, Gpr::new(4), Gpr::new(5), Gpr::new(6));
+        assert_eq!(c.latency(&m), 3);
+    }
+
+    #[test]
+    fn slots_by_class() {
+        let c = MachineConfig::st200();
+        assert_eq!(c.slots(FuClass::Alu), 4);
+        assert_eq!(c.slots(FuClass::Rfu), 1);
+    }
+}

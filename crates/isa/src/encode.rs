@@ -1,0 +1,218 @@
+//! Binary encoding and decoding of operations.
+//!
+//! The encoding is a simple little-endian 32-bit syllable stream, used by the
+//! instruction-cache model (code footprint) and by round-trip tests. It is
+//! lossless for every [`Op`] the assembler can produce.
+//!
+//! Layout of the head word:
+//!
+//! ```text
+//! bits  0..8   opcode index (into Opcode::all())
+//! bits  8..10  destination kind (0 none, 1 GPR, 2 BR)
+//! bits 10..16  destination register index
+//! bits 16..20  number of sources
+//! bit  20      has RFU configuration id (u16 in the next word)
+//! bit  21      has branch target (u32 in the next word)
+//! ```
+//!
+//! Each source then follows as one word — tag in bits 30..32 (0 GPR, 1 BR,
+//! 2 immediate) — with immediates carrying their 32-bit value in one extra
+//! word.
+
+use std::fmt;
+
+use crate::{Br, Dest, Gpr, Op, Opcode, Src};
+
+/// Error returned by [`decode_op`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The word stream ended in the middle of an operation.
+    Truncated,
+    /// An unknown opcode index.
+    BadOpcode(u32),
+    /// An invalid register index or operand tag.
+    BadOperand,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated instruction stream"),
+            DecodeError::BadOpcode(x) => write!(f, "unknown opcode index {x}"),
+            DecodeError::BadOperand => write!(f, "invalid operand encoding"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encodes one operation, appending 32-bit words to `out`.
+pub fn encode_op(op: &Op, out: &mut Vec<u32>) {
+    let opcode_idx = Opcode::all()
+        .iter()
+        .position(|&o| o == op.opcode)
+        .expect("opcode present in Opcode::all()") as u32;
+    let (dkind, didx) = match op.dest {
+        Dest::None => (0u32, 0u32),
+        Dest::Gpr(r) => (1, u32::from(r.index())),
+        Dest::Br(b) => (2, u32::from(b.index())),
+    };
+    let mut head = opcode_idx | (dkind << 8) | (didx << 10) | ((op.srcs().len() as u32) << 16);
+    if op.cfg.is_some() {
+        head |= 1 << 20;
+    }
+    if op.target.is_some() {
+        head |= 1 << 21;
+    }
+    out.push(head);
+    if let Some(cfg) = op.cfg {
+        out.push(u32::from(cfg));
+    }
+    if let Some(t) = op.target {
+        out.push(t);
+    }
+    for s in op.srcs() {
+        match s {
+            Src::Gpr(r) => out.push(u32::from(r.index())),
+            Src::Br(b) => out.push((1 << 30) | u32::from(b.index())),
+            Src::Imm(v) => {
+                out.push(2 << 30);
+                out.push(*v as u32);
+            }
+        }
+    }
+}
+
+/// Decodes one operation from `words`, returning it and the number of words
+/// consumed.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] when the stream is truncated or malformed.
+pub fn decode_op(words: &[u32]) -> Result<(Op, usize), DecodeError> {
+    let mut pos = 0usize;
+    let mut next = || -> Result<u32, DecodeError> {
+        let w = *words.get(pos).ok_or(DecodeError::Truncated)?;
+        pos += 1;
+        Ok(w)
+    };
+    let head = next()?;
+    let opcode_idx = head & 0xff;
+    let opcode = *Opcode::all()
+        .get(opcode_idx as usize)
+        .ok_or(DecodeError::BadOpcode(opcode_idx))?;
+    let dkind = (head >> 8) & 0x3;
+    let didx = (head >> 10) & 0x3f;
+    let nsrcs = ((head >> 16) & 0xf) as usize;
+    let has_cfg = head & (1 << 20) != 0;
+    let has_target = head & (1 << 21) != 0;
+    let dest = match dkind {
+        0 => Dest::None,
+        1 => Dest::Gpr(Gpr::try_new(didx as u8).ok_or(DecodeError::BadOperand)?),
+        2 => Dest::Br(Br::try_new(didx as u8).ok_or(DecodeError::BadOperand)?),
+        _ => return Err(DecodeError::BadOperand),
+    };
+    let cfg = if has_cfg {
+        Some(u16::try_from(next()?).map_err(|_| DecodeError::BadOperand)?)
+    } else {
+        None
+    };
+    let target = if has_target { Some(next()?) } else { None };
+    let mut srcs = Vec::with_capacity(nsrcs);
+    for _ in 0..nsrcs {
+        let w = next()?;
+        let tag = w >> 30;
+        let payload = w & 0x3fff_ffff;
+        let s = match tag {
+            0 => Src::Gpr(
+                Gpr::try_new(u8::try_from(payload).map_err(|_| DecodeError::BadOperand)?)
+                    .ok_or(DecodeError::BadOperand)?,
+            ),
+            1 => Src::Br(
+                Br::try_new(u8::try_from(payload).map_err(|_| DecodeError::BadOperand)?)
+                    .ok_or(DecodeError::BadOperand)?,
+            ),
+            2 => Src::Imm(next()? as i32),
+            _ => return Err(DecodeError::BadOperand),
+        };
+        srcs.push(s);
+    }
+    if srcs.len() > crate::MAX_SRCS {
+        return Err(DecodeError::BadOperand);
+    }
+    let mut op = Op::new(opcode, dest, &srcs);
+    op.cfg = cfg;
+    op.target = target;
+    Ok((op, pos))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(op: &Op) {
+        let mut words = Vec::new();
+        encode_op(op, &mut words);
+        let (decoded, used) = decode_op(&words).unwrap();
+        assert_eq!(used, words.len(), "consumed all words for {op}");
+        assert_eq!(&decoded, op, "round-trip for {op}");
+    }
+
+    #[test]
+    fn roundtrip_simple_alu() {
+        roundtrip(&Op::rrr(Opcode::Add, Gpr::new(3), Gpr::new(1), Gpr::new(2)));
+    }
+
+    #[test]
+    fn roundtrip_immediate_forms() {
+        roundtrip(&Op::rri(Opcode::Ldw, Gpr::new(9), Gpr::new(8), -1234));
+        roundtrip(&Op::rri(Opcode::Add, Gpr::new(1), Gpr::new(0), i32::MAX));
+        roundtrip(&Op::rri(Opcode::Add, Gpr::new(1), Gpr::new(0), i32::MIN));
+    }
+
+    #[test]
+    fn roundtrip_branch_with_target() {
+        let op = Op::new(Opcode::BrT, Dest::None, &[Br::new(3).into()]).with_target(77);
+        roundtrip(&op);
+    }
+
+    #[test]
+    fn roundtrip_rfu_with_cfg_and_many_srcs() {
+        let srcs: Vec<Src> = (0..8).map(|i| Src::Gpr(Gpr::new(i * 7))).collect();
+        let op = Op::new(Opcode::RfuSend, Dest::None, &srcs).with_cfg(511);
+        roundtrip(&op);
+    }
+
+    #[test]
+    fn roundtrip_compare_to_branch_register() {
+        let op = Op::new(
+            Opcode::CmpLtu,
+            Dest::Br(Br::new(7)),
+            &[Gpr::new(63).into(), Src::Imm(255)],
+        );
+        roundtrip(&op);
+    }
+
+    #[test]
+    fn roundtrip_every_opcode_minimal() {
+        for &opc in Opcode::all() {
+            roundtrip(&Op::new(opc, Dest::None, &[]));
+        }
+    }
+
+    #[test]
+    fn decode_truncated_fails() {
+        let op = Op::rri(Opcode::Add, Gpr::new(1), Gpr::new(2), 100_000);
+        let mut words = Vec::new();
+        encode_op(&op, &mut words);
+        for n in 0..words.len() {
+            assert!(decode_op(&words[..n]).is_err() || n == 0 && words.is_empty());
+        }
+    }
+
+    #[test]
+    fn decode_bad_opcode_fails() {
+        let words = [0xffu32];
+        assert_eq!(decode_op(&words).unwrap_err(), DecodeError::BadOpcode(0xff));
+    }
+}

@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+//! # rvliw-isa
+//!
+//! Instruction-set model for an ST200/Lx-like clustered VLIW core augmented
+//! with a run-time Reconfigurable Functional Unit (RFU), as studied in
+//! *"A Video Compression Case Study on a Reconfigurable VLIW Architecture"*
+//! (Rizzo & Colavin, DATE 2002).
+//!
+//! The modelled machine is the 1-cluster ST200 configuration of the paper:
+//!
+//! * a 4-issue datapath with **4 32-bit integer ALUs**, **2 16×32
+//!   multipliers**, **1 load/store unit** and **1 branch unit**;
+//! * **64 general-purpose 32-bit registers** (`$r0` hardwired to zero) and
+//!   **8 1-bit branch registers** holding branch conditions, predicates and
+//!   carries;
+//! * a SIMD computing model through sub-word parallelism (four 8-bit or two
+//!   16-bit lanes per 32-bit operation);
+//! * an **RFU issue slot** through which custom instructions
+//!   (`RFUINIT` / `RFUSEND` / `RFUEXEC`, custom prefetches and long-latency
+//!   kernel-loop instructions) are dispatched.
+//!
+//! The crate is purely structural: it defines registers, operations, bundles
+//! and their static properties (functional-unit class, latency, encoding).
+//! Execution semantics live in `rvliw-sim`; scheduling in `rvliw-asm`.
+//!
+//! ```
+//! use rvliw_isa::{Op, Opcode, Gpr, MachineConfig};
+//!
+//! let op = Op::rrr(Opcode::Add, Gpr::new(3), Gpr::new(1), Gpr::new(2));
+//! let cfg = MachineConfig::st200();
+//! assert_eq!(cfg.latency(&op), 1);
+//! assert_eq!(op.to_string(), "add $r3 = $r1, $r2");
+//! ```
+
+pub mod bundle;
+pub mod config;
+pub mod encode;
+pub mod op;
+pub mod opcode;
+pub mod reg;
+pub mod simd;
+
+pub use bundle::{Bundle, BundleError, ResourceUse};
+pub use config::MachineConfig;
+pub use encode::{decode_op, encode_op, DecodeError};
+pub use op::{Dest, Op, Src};
+pub use opcode::{FuClass, Opcode};
+pub use reg::{Br, Gpr, RegParseError};
+
+/// Number of general-purpose registers in one cluster.
+pub const NUM_GPRS: usize = 64;
+/// Number of 1-bit branch registers in one cluster.
+pub const NUM_BRS: usize = 8;
+/// Maximum number of operations (syllables) issued per cycle.
+pub const ISSUE_WIDTH: usize = 4;
+/// Maximum number of explicit source operands of an RFU custom instruction
+/// ("up to eight input and one output operands" in the paper).
+pub const MAX_SRCS: usize = 8;

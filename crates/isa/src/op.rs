@@ -1,0 +1,271 @@
+//! A single operation (one syllable of a VLIW bundle) with its operands.
+
+use std::fmt;
+
+use crate::{Br, Gpr, Opcode, MAX_SRCS};
+
+/// A source operand: a general-purpose register, a branch register or an
+/// immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Src {
+    /// A general-purpose register.
+    Gpr(Gpr),
+    /// A 1-bit branch register.
+    Br(Br),
+    /// A 32-bit immediate. Immediates outside the 9-bit signed range consume
+    /// an extension syllable in the bundle (Lx-style long immediates).
+    Imm(i32),
+}
+
+impl Src {
+    /// Whether this immediate (if any) needs a long-immediate extension
+    /// syllable (outside the 9-bit signed short range).
+    #[must_use]
+    pub fn needs_extension(self) -> bool {
+        match self {
+            Src::Imm(v) => !(-256..=255).contains(&v),
+            _ => false,
+        }
+    }
+}
+
+impl From<Gpr> for Src {
+    fn from(r: Gpr) -> Self {
+        Src::Gpr(r)
+    }
+}
+
+impl From<Br> for Src {
+    fn from(b: Br) -> Self {
+        Src::Br(b)
+    }
+}
+
+impl From<i32> for Src {
+    fn from(v: i32) -> Self {
+        Src::Imm(v)
+    }
+}
+
+impl fmt::Display for Src {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Src::Gpr(r) => r.fmt(f),
+            Src::Br(b) => b.fmt(f),
+            Src::Imm(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A destination operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Dest {
+    /// No destination (stores, branches, `RFUSEND`…).
+    #[default]
+    None,
+    /// A general-purpose register.
+    Gpr(Gpr),
+    /// A branch register (comparison results, carries).
+    Br(Br),
+}
+
+impl From<Gpr> for Dest {
+    fn from(r: Gpr) -> Self {
+        Dest::Gpr(r)
+    }
+}
+
+impl From<Br> for Dest {
+    fn from(b: Br) -> Self {
+        Dest::Br(b)
+    }
+}
+
+/// One operation: opcode plus destination, sources, optional immediate-index
+/// and optional RFU configuration id.
+///
+/// Sources are stored inline (no heap allocation) because the simulator
+/// executes millions of operations; RFU custom instructions may carry up to
+/// [`MAX_SRCS`] explicit sources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Op {
+    /// The operation code.
+    pub opcode: Opcode,
+    /// Destination (or [`Dest::None`]).
+    pub dest: Dest,
+    srcs: [Src; MAX_SRCS],
+    nsrcs: u8,
+    /// RFU configuration id for `RFU*` opcodes.
+    pub cfg: Option<u16>,
+    /// Branch target label id for control-flow opcodes (resolved by the
+    /// assembler to a bundle index).
+    pub target: Option<u32>,
+}
+
+impl Op {
+    /// Creates an operation with an explicit source list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_SRCS`] sources are given.
+    #[must_use]
+    pub fn new(opcode: Opcode, dest: Dest, srcs: &[Src]) -> Self {
+        assert!(
+            srcs.len() <= MAX_SRCS,
+            "operation {opcode} has {} sources (max {MAX_SRCS})",
+            srcs.len()
+        );
+        let mut arr = [Src::Imm(0); MAX_SRCS];
+        arr[..srcs.len()].copy_from_slice(srcs);
+        Op {
+            opcode,
+            dest,
+            srcs: arr,
+            nsrcs: srcs.len() as u8,
+            cfg: None,
+            target: None,
+        }
+    }
+
+    /// Three-register form: `opcode rd = rs1, rs2`.
+    #[must_use]
+    pub fn rrr(opcode: Opcode, rd: Gpr, rs1: Gpr, rs2: Gpr) -> Self {
+        Op::new(opcode, rd.into(), &[rs1.into(), rs2.into()])
+    }
+
+    /// Register-immediate form: `opcode rd = rs1, imm`.
+    #[must_use]
+    pub fn rri(opcode: Opcode, rd: Gpr, rs1: Gpr, imm: i32) -> Self {
+        Op::new(opcode, rd.into(), &[rs1.into(), imm.into()])
+    }
+
+    /// Sets the RFU configuration id (builder style).
+    #[must_use]
+    pub fn with_cfg(mut self, cfg: u16) -> Self {
+        self.cfg = Some(cfg);
+        self
+    }
+
+    /// Sets the branch target label id (builder style).
+    #[must_use]
+    pub fn with_target(mut self, target: u32) -> Self {
+        self.target = Some(target);
+        self
+    }
+
+    /// The source operands.
+    #[must_use]
+    pub fn srcs(&self) -> &[Src] {
+        &self.srcs[..self.nsrcs as usize]
+    }
+
+    /// Number of syllables this operation occupies in a bundle: 1, plus 1
+    /// for a long-immediate extension.
+    #[must_use]
+    pub fn syllables(&self) -> usize {
+        1 + usize::from(self.srcs().iter().any(|s| s.needs_extension()))
+    }
+
+    /// GPRs read by this operation.
+    pub fn gpr_reads(&self) -> impl Iterator<Item = Gpr> + '_ {
+        self.srcs().iter().filter_map(|s| match s {
+            Src::Gpr(r) => Some(*r),
+            _ => None,
+        })
+    }
+
+    /// Branch registers read by this operation.
+    pub fn br_reads(&self) -> impl Iterator<Item = Br> + '_ {
+        self.srcs().iter().filter_map(|s| match s {
+            Src::Br(b) => Some(*b),
+            _ => None,
+        })
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.opcode)?;
+        if let Some(cfg) = self.cfg {
+            write!(f, "#{cfg}")?;
+        }
+        match self.dest {
+            Dest::None => {}
+            Dest::Gpr(r) => write!(f, " {r} =")?,
+            Dest::Br(b) => write!(f, " {b} =")?,
+        }
+        for (i, s) in self.srcs().iter().enumerate() {
+            if i == 0 {
+                write!(f, " {s}")?;
+            } else {
+                write!(f, ", {s}")?;
+            }
+        }
+        if let Some(t) = self.target {
+            write!(f, " -> L{t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_three_reg() {
+        let op = Op::rrr(Opcode::Add, Gpr::new(3), Gpr::new(1), Gpr::new(2));
+        assert_eq!(op.to_string(), "add $r3 = $r1, $r2");
+    }
+
+    #[test]
+    fn display_store_has_no_dest() {
+        let op = Op::new(
+            Opcode::Stw,
+            Dest::None,
+            &[Gpr::new(5).into(), Gpr::new(6).into(), Src::Imm(8)],
+        );
+        assert_eq!(op.to_string(), "stw $r5, $r6, 8");
+    }
+
+    #[test]
+    fn syllable_count_long_immediate() {
+        let short = Op::rri(Opcode::Add, Gpr::new(1), Gpr::new(2), 255);
+        let long = Op::rri(Opcode::Add, Gpr::new(1), Gpr::new(2), 256);
+        let neg_short = Op::rri(Opcode::Add, Gpr::new(1), Gpr::new(2), -256);
+        let neg_long = Op::rri(Opcode::Add, Gpr::new(1), Gpr::new(2), -257);
+        assert_eq!(short.syllables(), 1);
+        assert_eq!(long.syllables(), 2);
+        assert_eq!(neg_short.syllables(), 1);
+        assert_eq!(neg_long.syllables(), 2);
+    }
+
+    #[test]
+    fn rfu_send_with_many_sources() {
+        let srcs: Vec<Src> = (0..8).map(|i| Src::Gpr(Gpr::new(i))).collect();
+        let op = Op::new(Opcode::RfuSend, Dest::None, &srcs).with_cfg(3);
+        assert_eq!(op.srcs().len(), 8);
+        assert_eq!(op.cfg, Some(3));
+        assert!(op.to_string().starts_with("rfusend#3 $r0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "sources")]
+    fn too_many_sources_panics() {
+        let srcs: Vec<Src> = (0..9).map(|_| Src::Imm(0)).collect();
+        let _ = Op::new(Opcode::RfuSend, Dest::None, &srcs);
+    }
+
+    #[test]
+    fn reads_iterators() {
+        let op = Op::new(
+            Opcode::Slct,
+            Gpr::new(1).into(),
+            &[Br::new(2).into(), Gpr::new(3).into(), Gpr::new(4).into()],
+        );
+        let gprs: Vec<_> = op.gpr_reads().collect();
+        let brs: Vec<_> = op.br_reads().collect();
+        assert_eq!(gprs, vec![Gpr::new(3), Gpr::new(4)]);
+        assert_eq!(brs, vec![Br::new(2)]);
+    }
+}

@@ -1,0 +1,472 @@
+//! Operation codes and their static properties.
+//!
+//! The opcode set follows the 1-cluster ST200 of the paper: a scalar RISC-ish
+//! integer core (4 ALUs, 2 multipliers, 1 load/store unit, 1 branch unit)
+//! plus a *basic SIMD subset* working on four 8-bit or two 16-bit sub-words,
+//! and the RFU custom-instruction families explored in the case study:
+//!
+//! * **A1-style ISA extensions** — 1-cycle SIMD operations that are missing
+//!   from the basic subset (horizontal averages, rounding fix-ups). They
+//!   execute in the RFU fabric but issue like ordinary ALU operations (the
+//!   paper assumes "up to 4 instructions per cycle" for scenario A1).
+//! * **`RFUINIT` / `RFUSEND` / `RFUEXEC`** — the generic three-step protocol
+//!   for configured instructions with implicit operands (scenarios A2/A3).
+//! * **Custom prefetch and kernel-loop instructions** — the loop-level
+//!   experiments (Tables 2–7), where the RFU autonomously accesses memory.
+
+use std::fmt;
+
+/// Functional-unit class an operation issues to.
+///
+/// Per-cycle availability in the 1-cluster ST200 (see
+/// [`MachineConfig`](crate::MachineConfig)): 4 ALU slots, 2 multiplier
+/// slots, 1 load/store slot, 1 branch slot and 1 RFU dispatch slot, with at
+/// most 4 syllables issued in total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuClass {
+    /// Integer ALU, including the basic SIMD subset and the A1 extensions.
+    Alu,
+    /// 16×32 multiplier.
+    Mul,
+    /// Load/store unit (one data-cache access per cycle).
+    Mem,
+    /// Branch unit.
+    Branch,
+    /// RFU dispatch slot (`RFUSEND`/`RFUEXEC`/prefetch/loop instructions are
+    /// serialized on the single reconfigurable unit).
+    Rfu,
+}
+
+impl fmt::Display for FuClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FuClass::Alu => "alu",
+            FuClass::Mul => "mul",
+            FuClass::Mem => "mem",
+            FuClass::Branch => "branch",
+            FuClass::Rfu => "rfu",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Every operation understood by the machine.
+///
+/// Sub-word SIMD operations treat a 32-bit register as four unsigned bytes
+/// (suffix `4`) or two 16-bit lanes (suffix `2`), little-endian: byte 0 is
+/// bits 7..0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Opcode {
+    // ---- scalar ALU -----------------------------------------------------
+    /// `rd = rs1 + rs2`
+    Add,
+    /// `rd = rs1 - rs2`
+    Sub,
+    /// `rd = rs1 & rs2`
+    And,
+    /// `rd = rs1 & !rs2`
+    Andc,
+    /// `rd = rs1 | rs2`
+    Or,
+    /// `rd = rs1 ^ rs2`
+    Xor,
+    /// `rd = !(rs1 | rs2)`
+    Nor,
+    /// `rd = rs1 << rs2` (amounts ≥ 32 yield 0)
+    Sll,
+    /// `rd = rs1 >> rs2` logical (amounts ≥ 32 yield 0)
+    Srl,
+    /// `rd = rs1 >> rs2` arithmetic (amounts ≥ 32 yield the sign fill)
+    Sra,
+    /// `rd = min(rs1, rs2)` signed
+    Min,
+    /// `rd = max(rs1, rs2)` signed
+    Max,
+    /// `rd = min(rs1, rs2)` unsigned
+    Minu,
+    /// `rd = max(rs1, rs2)` unsigned
+    Maxu,
+    /// `rd = rs1` (also the canonical move-immediate when `rs1` is an
+    /// immediate operand)
+    Mov,
+    /// `rd = sign_extend_8(rs1)`
+    Sxtb,
+    /// `rd = sign_extend_16(rs1)`
+    Sxth,
+    /// `rd = rs1 & 0xff`
+    Zxtb,
+    /// `rd = rs1 & 0xffff`
+    Zxth,
+    /// `rd = byte<imm>(rs1)` zero-extended; `imm` in `0..4`
+    Extbu,
+    /// `rd = rs1 with byte<imm> replaced by low byte of rs2`
+    Insb,
+    /// `rd = (b ? rs1 : rs2)` — select on a branch register
+    Slct,
+
+    // ---- comparisons (destination may be a GPR or a branch register) ----
+    /// `d = (rs1 == rs2)`
+    CmpEq,
+    /// `d = (rs1 != rs2)`
+    CmpNe,
+    /// `d = (rs1 < rs2)` signed
+    CmpLt,
+    /// `d = (rs1 <= rs2)` signed
+    CmpLe,
+    /// `d = (rs1 > rs2)` signed
+    CmpGt,
+    /// `d = (rs1 >= rs2)` signed
+    CmpGe,
+    /// `d = (rs1 < rs2)` unsigned
+    CmpLtu,
+    /// `d = (rs1 <= rs2)` unsigned
+    CmpLeu,
+    /// `d = (rs1 > rs2)` unsigned
+    CmpGtu,
+    /// `d = (rs1 >= rs2)` unsigned
+    CmpGeu,
+
+    // ---- multiplier ------------------------------------------------------
+    /// `rd = rs1 * rs2` (low 32 bits; issues to a 16×32 multiplier pair)
+    Mul,
+    /// `rd = (rs1 * rs2) >> 32` signed high part
+    Mulh,
+    /// `rd = (low16(rs1) signed) * rs2`
+    Mull16,
+
+    // ---- basic SIMD subset (available to the optimized reference code) --
+    /// per-byte wrapping add
+    Add4,
+    /// per-byte wrapping subtract
+    Sub4,
+    /// per-byte saturating unsigned add
+    Adds4u,
+    /// per-byte saturating unsigned subtract
+    Subs4u,
+    /// per-byte floor average `(a+b)>>1`
+    Avg4,
+    /// per-byte rounded average `(a+b+1)>>1`
+    Avg4r,
+    /// per-byte absolute difference `|a-b|`
+    Absd4,
+    /// sum of the four per-byte absolute differences, scalar result
+    Sad4,
+    /// per-byte unsigned maximum
+    Max4u,
+    /// per-byte unsigned minimum
+    Min4u,
+
+    // ---- A1 ISA extensions (1-cycle RFU-fabric SIMD, 4-issue) ----------
+    /// Horizontal floor average over a 5-byte window: with
+    /// `a[0..4] = bytes(rs1)` and `a[4] = byte0(rs2)`,
+    /// `rd.byte[i] = (a[i] + a[i+1]) >> 1`.
+    Avgh4,
+    /// Horizontal LSB of the pair sums over the same window:
+    /// `rd.byte[i] = (a[i] + a[i+1]) & 1` — the bit lost by [`Opcode::Avgh4`],
+    /// needed for the exact rounding adjustment.
+    Lsbh4,
+    /// Per-byte rounding fix-up for the diagonal interpolation: given the two
+    /// per-row pair-sum LSB words `rs1`, `rs2` (from [`Opcode::Lsbh4`]) the
+    /// result byte is 1 when `l1 + l2 == 2`, else 0. Adding it to
+    /// `avg4r(hy, hy1)` is *almost* exact; the remaining half-LSB is folded
+    /// by [`Opcode::Dadj4`].
+    Rfix4,
+    /// Final diagonal adjustment: `rd.byte[i] = dsel(hy[i], hy1[i], fix[i])`
+    /// merges the floor averages with the carry information so that the
+    /// composite equals `(p00+p01+p10+p11+2)>>2` exactly. Semantically the
+    /// simulator computes `((hy+hy1+fix... ) )` — see `rvliw-sim` for the
+    /// reference semantics.
+    Dadj4,
+    /// 2-pixel (16-bit lane) horizontal pair sum: with the window
+    /// `a[0..2] = {byte<imm>(rs1), byte<imm+1>, byte<imm+2>}` the two lanes
+    /// of `rd` are `a[0]+a[1]` and `a[1]+a[2]`. The narrow 2-pixel variant of
+    /// the A1 family, for fabrics with a 16-bit internal datapath.
+    Hadd2,
+    /// Per-16-bit-lane `(x + 2) >> 2` with the result confined to 0..255 —
+    /// the diagonal rounding divide for the 2-pixel A1 variant.
+    Rnd2,
+    /// Pack the low bytes of the two 16-bit lanes of `rs1` and `rs2` into the
+    /// four bytes of `rd` (lanes of `rs1` become bytes 0–1).
+    Pack4,
+
+    // ---- load/store ------------------------------------------------------
+    /// `rd = mem32[rs1 + imm]`
+    Ldw,
+    /// `rd = sign_extend(mem16[rs1 + imm])`
+    Ldh,
+    /// `rd = zero_extend(mem16[rs1 + imm])`
+    Ldhu,
+    /// `rd = sign_extend(mem8[rs1 + imm])`
+    Ldb,
+    /// `rd = zero_extend(mem8[rs1 + imm])`
+    Ldbu,
+    /// `mem32[rs2 + imm] = rs1`
+    Stw,
+    /// `mem16[rs2 + imm] = low16(rs1)`
+    Sth,
+    /// `mem8[rs2 + imm] = low8(rs1)`
+    Stb,
+    /// Software prefetch of the line containing `rs1 + imm` into the
+    /// prefetch buffer; non-blocking.
+    Pft,
+
+    // ---- branch unit -----------------------------------------------------
+    /// Branch to `imm` (bundle label) when the branch register is true.
+    BrT,
+    /// Branch to `imm` when the branch register is false.
+    BrF,
+    /// Unconditional jump to `imm`.
+    Goto,
+    /// Call: `$r63 = return address`, jump to `imm`.
+    Call,
+    /// Return to the address in `$r63` (or `rs1` if given).
+    Ret,
+    /// Stop simulation.
+    Halt,
+    /// No operation (an explicit filler syllable).
+    Nop,
+
+    // ---- RFU custom-instruction protocol --------------------------------
+    /// `RFUINIT(#cfg)` — make configuration `cfg` current in the RFU.
+    /// With the paper's baseline assumption the reconfiguration penalty is
+    /// zero; a non-zero penalty model is available for ablations.
+    RfuInit,
+    /// `RFUSEND(#cfg, op1[, op2])` — load up to two explicit 32-bit operands
+    /// into the RFU input registers of configuration `cfg` (the slot counter
+    /// is implicit in the configuration state).
+    RfuSend,
+    /// `rd = RFUEXEC(#cfg, [op1[, op2]])` — execute configuration `cfg` over
+    /// the previously sent (implicit) and explicit operands, writing one
+    /// destination register.
+    RfuExec,
+    /// Custom macroblock-pattern prefetch: the RFU autonomously issues one
+    /// cache-line request per macroblock row starting at address `rs1`
+    /// (plus the crossing line when a row straddles a cache line), as a
+    /// separate non-blocking thread. `imm` selects the pattern
+    /// (reference / candidate, row count, gather-to-line-buffer).
+    RfuPref,
+    /// Long-latency kernel-loop instruction: the entire `GetSad` loop as one
+    /// RFU instruction with autonomous memory access. Sources carry the
+    /// candidate address and packed alignment/interpolation parameters; the
+    /// destination receives the SAD.
+    RfuLoop,
+}
+
+impl Opcode {
+    /// The functional-unit class this operation issues to.
+    #[must_use]
+    pub fn class(self) -> FuClass {
+        use Opcode::*;
+        match self {
+            Mul | Mulh | Mull16 => FuClass::Mul,
+            Ldw | Ldh | Ldhu | Ldb | Ldbu | Stw | Sth | Stb | Pft => FuClass::Mem,
+            BrT | BrF | Goto | Call | Ret | Halt => FuClass::Branch,
+            RfuInit | RfuSend | RfuExec | RfuPref | RfuLoop => FuClass::Rfu,
+            _ => FuClass::Alu,
+        }
+    }
+
+    /// Whether this is one of the A1-scenario ISA-extension operations
+    /// (1-cycle SIMD executed by the RFU fabric but issued on ALU slots).
+    #[must_use]
+    pub fn is_a1_extension(self) -> bool {
+        use Opcode::*;
+        matches!(self, Avgh4 | Lsbh4 | Rfix4 | Dadj4 | Hadd2 | Rnd2 | Pack4)
+    }
+
+    /// Whether the operation reads data memory.
+    #[must_use]
+    pub fn is_load(self) -> bool {
+        use Opcode::*;
+        matches!(self, Ldw | Ldh | Ldhu | Ldb | Ldbu)
+    }
+
+    /// Whether the operation writes data memory.
+    #[must_use]
+    pub fn is_store(self) -> bool {
+        use Opcode::*;
+        matches!(self, Stw | Sth | Stb)
+    }
+
+    /// Whether the operation may change control flow.
+    #[must_use]
+    pub fn is_control(self) -> bool {
+        use Opcode::*;
+        matches!(self, BrT | BrF | Goto | Call | Ret | Halt)
+    }
+
+    /// Whether the operation is a comparison (destination may be a branch
+    /// register).
+    #[must_use]
+    pub fn is_compare(self) -> bool {
+        use Opcode::*;
+        matches!(
+            self,
+            CmpEq | CmpNe | CmpLt | CmpLe | CmpGt | CmpGe | CmpLtu | CmpLeu | CmpGtu | CmpGeu
+        )
+    }
+
+    /// Whether the operation belongs to the RFU custom-instruction protocol.
+    #[must_use]
+    pub fn is_rfu(self) -> bool {
+        self.class() == FuClass::Rfu
+    }
+
+    /// The assembler mnemonic.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        use Opcode::*;
+        match self {
+            Add => "add",
+            Sub => "sub",
+            And => "and",
+            Andc => "andc",
+            Or => "or",
+            Xor => "xor",
+            Nor => "nor",
+            Sll => "sll",
+            Srl => "srl",
+            Sra => "sra",
+            Min => "min",
+            Max => "max",
+            Minu => "minu",
+            Maxu => "maxu",
+            Mov => "mov",
+            Sxtb => "sxtb",
+            Sxth => "sxth",
+            Zxtb => "zxtb",
+            Zxth => "zxth",
+            Extbu => "extbu",
+            Insb => "insb",
+            Slct => "slct",
+            CmpEq => "cmpeq",
+            CmpNe => "cmpne",
+            CmpLt => "cmplt",
+            CmpLe => "cmple",
+            CmpGt => "cmpgt",
+            CmpGe => "cmpge",
+            CmpLtu => "cmpltu",
+            CmpLeu => "cmpleu",
+            CmpGtu => "cmpgtu",
+            CmpGeu => "cmpgeu",
+            Mul => "mul",
+            Mulh => "mulh",
+            Mull16 => "mull16",
+            Add4 => "add4",
+            Sub4 => "sub4",
+            Adds4u => "adds4u",
+            Subs4u => "subs4u",
+            Avg4 => "avg4",
+            Avg4r => "avg4r",
+            Absd4 => "absd4",
+            Sad4 => "sad4",
+            Max4u => "max4u",
+            Min4u => "min4u",
+            Avgh4 => "avgh4",
+            Lsbh4 => "lsbh4",
+            Rfix4 => "rfix4",
+            Dadj4 => "dadj4",
+            Hadd2 => "hadd2",
+            Rnd2 => "rnd2",
+            Pack4 => "pack4",
+            Ldw => "ldw",
+            Ldh => "ldh",
+            Ldhu => "ldhu",
+            Ldb => "ldb",
+            Ldbu => "ldbu",
+            Stw => "stw",
+            Sth => "sth",
+            Stb => "stb",
+            Pft => "pft",
+            BrT => "br",
+            BrF => "brf",
+            Goto => "goto",
+            Call => "call",
+            Ret => "return",
+            Halt => "halt",
+            Nop => "nop",
+            RfuInit => "rfuinit",
+            RfuSend => "rfusend",
+            RfuExec => "rfuexec",
+            RfuPref => "rfupref",
+            RfuLoop => "rfuloop",
+        }
+    }
+
+    /// All opcodes, in declaration order (used by encode/decode and by
+    /// exhaustive tests).
+    #[must_use]
+    pub fn all() -> &'static [Opcode] {
+        use Opcode::*;
+        &[
+            Add, Sub, And, Andc, Or, Xor, Nor, Sll, Srl, Sra, Min, Max, Minu, Maxu, Mov, Sxtb,
+            Sxth, Zxtb, Zxth, Extbu, Insb, Slct, CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe, CmpLtu,
+            CmpLeu, CmpGtu, CmpGeu, Mul, Mulh, Mull16, Add4, Sub4, Adds4u, Subs4u, Avg4, Avg4r,
+            Absd4, Sad4, Max4u, Min4u, Avgh4, Lsbh4, Rfix4, Dadj4, Hadd2, Rnd2, Pack4, Ldw, Ldh,
+            Ldhu, Ldb, Ldbu, Stw, Sth, Stb, Pft, BrT, BrF, Goto, Call, Ret, Halt, Nop, RfuInit,
+            RfuSend, RfuExec, RfuPref, RfuLoop,
+        ]
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let mut seen = HashSet::new();
+        for op in Opcode::all() {
+            assert!(seen.insert(op.mnemonic()), "duplicate mnemonic {op}");
+        }
+    }
+
+    #[test]
+    fn class_partition_is_consistent() {
+        for &op in Opcode::all() {
+            if op.is_load() || op.is_store() || op == Opcode::Pft {
+                assert_eq!(op.class(), FuClass::Mem);
+            }
+            if op.is_control() {
+                assert_eq!(op.class(), FuClass::Branch);
+            }
+            if op.is_rfu() {
+                assert_eq!(op.class(), FuClass::Rfu);
+            }
+            assert!(!(op.is_load() && op.is_store()));
+        }
+    }
+
+    #[test]
+    fn a1_extensions_issue_on_alu_slots() {
+        for &op in Opcode::all() {
+            if op.is_a1_extension() {
+                assert_eq!(op.class(), FuClass::Alu, "{op} must be 4-issue");
+            }
+        }
+    }
+
+    #[test]
+    fn compares_are_alu() {
+        for &op in Opcode::all() {
+            if op.is_compare() {
+                assert_eq!(op.class(), FuClass::Alu);
+            }
+        }
+    }
+
+    #[test]
+    fn all_contains_every_discriminant_once() {
+        let all = Opcode::all();
+        let set: HashSet<_> = all.iter().collect();
+        assert_eq!(set.len(), all.len());
+    }
+}

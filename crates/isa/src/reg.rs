@@ -1,0 +1,221 @@
+//! Register names: general-purpose registers and 1-bit branch registers.
+//!
+//! The single-cluster ST200 of the paper has 64 32-bit general purpose
+//! registers and 8 1-bit branch registers (branch conditions, predicates and
+//! carries). `$r0` always reads as zero, following the Lx convention.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::{NUM_BRS, NUM_GPRS};
+
+/// A general-purpose 32-bit register, `$r0`..`$r63`.
+///
+/// `$r0` is hardwired to zero: the simulator discards writes to it and always
+/// reads 0, which gives the assembler a free source of the constant zero and
+/// a sink for unwanted results.
+///
+/// ```
+/// use rvliw_isa::Gpr;
+/// assert_eq!(Gpr::new(5).index(), 5);
+/// assert_eq!(Gpr::ZERO.to_string(), "$r0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Gpr(u8);
+
+impl Gpr {
+    /// The hardwired-zero register `$r0`.
+    pub const ZERO: Gpr = Gpr(0);
+    /// The link register used by `call`/`return` (by convention `$r63`).
+    pub const LINK: Gpr = Gpr(63);
+    /// The stack pointer (by convention `$r12`, as on ST200).
+    pub const SP: Gpr = Gpr(12);
+
+    /// Creates `$r<index>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 64`.
+    #[must_use]
+    pub const fn new(index: u8) -> Self {
+        assert!(
+            (index as usize) < NUM_GPRS,
+            "GPR index out of range (0..64)"
+        );
+        Gpr(index)
+    }
+
+    /// Creates `$r<index>` without bounds checking the index.
+    ///
+    /// Returns `None` when `index >= 64` instead of panicking.
+    #[must_use]
+    pub fn try_new(index: u8) -> Option<Self> {
+        ((index as usize) < NUM_GPRS).then_some(Gpr(index))
+    }
+
+    /// The register number, `0..64`.
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the hardwired-zero register.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Gpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "$r{}", self.0)
+    }
+}
+
+/// A 1-bit branch register, `$b0`..`$b7`.
+///
+/// Branch registers hold branch conditions, predicates and carries; they are
+/// written by compare operations and read by conditional branches and
+/// `slct` (select).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Br(u8);
+
+impl Br {
+    /// Creates `$b<index>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 8`.
+    #[must_use]
+    pub const fn new(index: u8) -> Self {
+        assert!(
+            (index as usize) < NUM_BRS,
+            "branch register index out of range (0..8)"
+        );
+        Br(index)
+    }
+
+    /// Creates `$b<index>`, returning `None` when out of range.
+    #[must_use]
+    pub fn try_new(index: u8) -> Option<Self> {
+        ((index as usize) < NUM_BRS).then_some(Br(index))
+    }
+
+    /// The register number, `0..8`.
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Br {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "$b{}", self.0)
+    }
+}
+
+/// Error returned when parsing a register name fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegParseError {
+    text: String,
+}
+
+impl RegParseError {
+    fn new(text: &str) -> Self {
+        RegParseError {
+            text: text.to_owned(),
+        }
+    }
+}
+
+impl fmt::Display for RegParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid register name `{}`", self.text)
+    }
+}
+
+impl std::error::Error for RegParseError {}
+
+impl FromStr for Gpr {
+    type Err = RegParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let body = s
+            .strip_prefix("$r")
+            .or_else(|| s.strip_prefix('r'))
+            .ok_or_else(|| RegParseError::new(s))?;
+        let idx: u8 = body.parse().map_err(|_| RegParseError::new(s))?;
+        Gpr::try_new(idx).ok_or_else(|| RegParseError::new(s))
+    }
+}
+
+impl FromStr for Br {
+    type Err = RegParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let body = s
+            .strip_prefix("$b")
+            .or_else(|| s.strip_prefix('b'))
+            .ok_or_else(|| RegParseError::new(s))?;
+        let idx: u8 = body.parse().map_err(|_| RegParseError::new(s))?;
+        Br::try_new(idx).ok_or_else(|| RegParseError::new(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpr_roundtrip_display_parse() {
+        for i in 0..64u8 {
+            let r = Gpr::new(i);
+            let parsed: Gpr = r.to_string().parse().unwrap();
+            assert_eq!(parsed, r);
+        }
+    }
+
+    #[test]
+    fn br_roundtrip_display_parse() {
+        for i in 0..8u8 {
+            let b = Br::new(i);
+            let parsed: Br = b.to_string().parse().unwrap();
+            assert_eq!(parsed, b);
+        }
+    }
+
+    #[test]
+    fn gpr_zero_is_zero() {
+        assert!(Gpr::ZERO.is_zero());
+        assert!(!Gpr::new(1).is_zero());
+    }
+
+    #[test]
+    fn try_new_bounds() {
+        assert!(Gpr::try_new(63).is_some());
+        assert!(Gpr::try_new(64).is_none());
+        assert!(Br::try_new(7).is_some());
+        assert!(Br::try_new(8).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gpr_new_panics_out_of_range() {
+        let _ = Gpr::new(64);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("$r64".parse::<Gpr>().is_err());
+        assert!("$b8".parse::<Br>().is_err());
+        assert!("x3".parse::<Gpr>().is_err());
+        assert!("$r".parse::<Gpr>().is_err());
+        assert!("$rxx".parse::<Gpr>().is_err());
+    }
+
+    #[test]
+    fn parse_accepts_bare_form() {
+        assert_eq!("r7".parse::<Gpr>().unwrap(), Gpr::new(7));
+        assert_eq!("b3".parse::<Br>().unwrap(), Br::new(3));
+    }
+}

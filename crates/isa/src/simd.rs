@@ -1,0 +1,360 @@
+//! Reference semantics of the sub-word SIMD operations.
+//!
+//! A 32-bit register is treated as four unsigned bytes (suffix `4`) or two
+//! 16-bit lanes (suffix `2`), little-endian. These pure functions are the
+//! single source of truth for both the simulator and the kernel unit tests.
+//!
+//! The `avgh4`/`lsbh4`/`rfix4`/`dadj4` and `hadd2`/`rnd2`/`pack4` families
+//! are the **A1-scenario ISA extensions**: the "similar (but less generic)
+//! missing instructions" the paper adds through the RFU to reformulate the
+//! diagonal half-sample interpolation with intermediate horizontal and
+//! vertical interpolations plus exact rounding adjustments.
+
+#[inline]
+fn bytes(x: u32) -> [u8; 4] {
+    x.to_le_bytes()
+}
+
+#[inline]
+fn pack(b: [u8; 4]) -> u32 {
+    u32::from_le_bytes(b)
+}
+
+#[inline]
+fn map2(a: u32, b: u32, f: impl Fn(u8, u8) -> u8) -> u32 {
+    let (a, b) = (bytes(a), bytes(b));
+    pack([f(a[0], b[0]), f(a[1], b[1]), f(a[2], b[2]), f(a[3], b[3])])
+}
+
+/// Per-byte wrapping add.
+#[must_use]
+pub fn add4(a: u32, b: u32) -> u32 {
+    map2(a, b, u8::wrapping_add)
+}
+
+/// Per-byte wrapping subtract.
+#[must_use]
+pub fn sub4(a: u32, b: u32) -> u32 {
+    map2(a, b, u8::wrapping_sub)
+}
+
+/// Per-byte saturating unsigned add.
+#[must_use]
+pub fn adds4u(a: u32, b: u32) -> u32 {
+    map2(a, b, u8::saturating_add)
+}
+
+/// Per-byte saturating unsigned subtract.
+#[must_use]
+pub fn subs4u(a: u32, b: u32) -> u32 {
+    map2(a, b, u8::saturating_sub)
+}
+
+/// Per-byte floor average `(a+b)>>1`.
+#[must_use]
+pub fn avg4(a: u32, b: u32) -> u32 {
+    map2(a, b, |x, y| ((u16::from(x) + u16::from(y)) >> 1) as u8)
+}
+
+/// Per-byte rounded average `(a+b+1)>>1` (the MPEG-4 half-sample average
+/// with rounding control 0).
+#[must_use]
+pub fn avg4r(a: u32, b: u32) -> u32 {
+    map2(a, b, |x, y| ((u16::from(x) + u16::from(y) + 1) >> 1) as u8)
+}
+
+/// Per-byte absolute difference.
+#[must_use]
+pub fn absd4(a: u32, b: u32) -> u32 {
+    map2(a, b, u8::abs_diff)
+}
+
+/// Scalar sum of the four per-byte absolute differences.
+#[must_use]
+pub fn sad4(a: u32, b: u32) -> u32 {
+    bytes(a)
+        .iter()
+        .zip(bytes(b))
+        .map(|(&x, y)| u32::from(x.abs_diff(y)))
+        .sum()
+}
+
+/// Per-byte unsigned maximum.
+#[must_use]
+pub fn max4u(a: u32, b: u32) -> u32 {
+    map2(a, b, u8::max)
+}
+
+/// Per-byte unsigned minimum.
+#[must_use]
+pub fn min4u(a: u32, b: u32) -> u32 {
+    map2(a, b, u8::min)
+}
+
+/// The 5-byte sliding window of the horizontal A1 operations: the four
+/// bytes of `a` extended with byte 0 of `b`.
+#[inline]
+fn window5(a: u32, b: u32) -> [u16; 5] {
+    let ab = bytes(a);
+    [
+        u16::from(ab[0]),
+        u16::from(ab[1]),
+        u16::from(ab[2]),
+        u16::from(ab[3]),
+        u16::from(bytes(b)[0]),
+    ]
+}
+
+/// A1: horizontal floor average over the 5-byte window:
+/// `out[i] = (w[i] + w[i+1]) >> 1`.
+#[must_use]
+pub fn avgh4(a: u32, b: u32) -> u32 {
+    let w = window5(a, b);
+    pack([
+        ((w[0] + w[1]) >> 1) as u8,
+        ((w[1] + w[2]) >> 1) as u8,
+        ((w[2] + w[3]) >> 1) as u8,
+        ((w[3] + w[4]) >> 1) as u8,
+    ])
+}
+
+/// A1: LSB of the horizontal pair sums over the 5-byte window — the bit
+/// [`avgh4`] discards, needed for the exact rounding adjustment.
+#[must_use]
+pub fn lsbh4(a: u32, b: u32) -> u32 {
+    let w = window5(a, b);
+    pack([
+        ((w[0] + w[1]) & 1) as u8,
+        ((w[1] + w[2]) & 1) as u8,
+        ((w[2] + w[3]) & 1) as u8,
+        ((w[3] + w[4]) & 1) as u8,
+    ])
+}
+
+/// A1: per-byte carry candidate `l1 & l2 & 1` (both pair sums odd).
+#[must_use]
+pub fn rfix4(l1: u32, l2: u32) -> u32 {
+    l1 & l2 & 0x0101_0101
+}
+
+/// A1: final diagonal adjustment. With `ty`/`ty1` the per-row horizontal
+/// floor averages and `c` the carry candidate from [`rfix4`]:
+///
+/// `out[i] = avg4r(ty, ty1)[i] + (c[i] & !(ty[i] ^ ty1[i]) & 1)`
+///
+/// so that the composite `dadj4(avgh4(y), avgh4(y1), rfix4(lsbh4(y),
+/// lsbh4(y1)))` equals the exact MPEG-4 diagonal interpolation
+/// `(p00+p01+p10+p11+2)>>2`.
+#[must_use]
+pub fn dadj4(ty: u32, ty1: u32, c: u32) -> u32 {
+    let base = avg4r(ty, ty1);
+    let parity_even = !(ty ^ ty1) & 0x0101_0101;
+    add4(base, c & parity_even)
+}
+
+/// The byte window of `a` extended by `b` (8 bytes) used by [`hadd2`].
+#[inline]
+fn window8(a: u32, b: u32) -> [u16; 8] {
+    let (a, b) = (bytes(a), bytes(b));
+    [
+        u16::from(a[0]),
+        u16::from(a[1]),
+        u16::from(a[2]),
+        u16::from(a[3]),
+        u16::from(b[0]),
+        u16::from(b[1]),
+        u16::from(b[2]),
+        u16::from(b[3]),
+    ]
+}
+
+/// A1 (2-pixel datapath): horizontal pair sums as 16-bit lanes. With the
+/// window `w = bytes(a) ++ bytes(b)` and byte offset `k` (0–5):
+/// lane 0 = `w[k] + w[k+1]`, lane 1 = `w[k+1] + w[k+2]`.
+///
+/// # Panics
+///
+/// Panics if `k > 5` (the window has 8 bytes).
+#[must_use]
+pub fn hadd2(a: u32, b: u32, k: u32) -> u32 {
+    let w = window8(a, b);
+    let k = k as usize;
+    assert!(k <= 5, "hadd2 offset {k} out of the 8-byte window");
+    let lane0 = w[k] + w[k + 1];
+    let lane1 = w[k + 1] + w[k + 2];
+    u32::from(lane0) | (u32::from(lane1) << 16)
+}
+
+/// A1 (2-pixel datapath): per-16-bit-lane `(x + 2) >> 2`, clamped to a byte
+/// — the diagonal rounding divide.
+#[must_use]
+pub fn rnd2(a: u32) -> u32 {
+    let lo = ((a & 0xffff) + 2) >> 2;
+    let hi = (((a >> 16) & 0xffff) + 2) >> 2;
+    (lo.min(255)) | ((hi.min(255)) << 16)
+}
+
+/// A1 (2-pixel datapath): packs the low bytes of the 16-bit lanes of `a`
+/// and `b` into four bytes (`a` lanes become bytes 0–1).
+#[must_use]
+pub fn pack4(a: u32, b: u32) -> u32 {
+    pack([
+        (a & 0xff) as u8,
+        ((a >> 16) & 0xff) as u8,
+        (b & 0xff) as u8,
+        ((b >> 16) & 0xff) as u8,
+    ])
+}
+
+/// Scalar shift semantics of the machine: amounts ≥ 32 yield 0 (logical) or
+/// the sign fill (arithmetic).
+#[must_use]
+pub fn sll(a: u32, amount: u32) -> u32 {
+    if amount >= 32 {
+        0
+    } else {
+        a << amount
+    }
+}
+
+/// Logical right shift; amounts ≥ 32 yield 0.
+#[must_use]
+pub fn srl(a: u32, amount: u32) -> u32 {
+    if amount >= 32 {
+        0
+    } else {
+        a >> amount
+    }
+}
+
+/// Arithmetic right shift; amounts ≥ 32 yield the sign fill.
+#[must_use]
+pub fn sra(a: u32, amount: u32) -> u32 {
+    let a = a as i32;
+    (if amount >= 32 { a >> 31 } else { a >> amount }) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact diagonal interpolation of one pixel, the golden model.
+    fn diag_exact(p00: u8, p01: u8, p10: u8, p11: u8) -> u8 {
+        ((u16::from(p00) + u16::from(p01) + u16::from(p10) + u16::from(p11) + 2) >> 2) as u8
+    }
+
+    #[test]
+    fn sad4_is_sum_of_absd4() {
+        let a = 0x10_80_ff_00;
+        let b = 0x20_70_fe_01;
+        let absd = absd4(a, b).to_le_bytes();
+        assert_eq!(sad4(a, b), absd.iter().map(|&x| u32::from(x)).sum());
+    }
+
+    #[test]
+    fn avg4r_rounds_up() {
+        assert_eq!(avg4r(0x0000_0001, 0x0000_0002), 0x0000_0002);
+        assert_eq!(avg4(0x0000_0001, 0x0000_0002), 0x0000_0001);
+    }
+
+    #[test]
+    fn saturating_ops_clamp() {
+        assert_eq!(adds4u(0xff00_00ff, 0x0100_0001), 0xff00_00ff);
+        assert_eq!(adds4u(0x0000_00f0, 0x0000_0020), 0x0000_00ff);
+        assert_eq!(subs4u(0x0000_0001, 0x0000_0002), 0);
+    }
+
+    #[test]
+    fn a1_four_pixel_family_is_exact_diagonal() {
+        // Exhaustive-ish: pseudo-random byte windows.
+        let mut seed = 0x1234_5678u32;
+        let mut next = || {
+            seed ^= seed << 13;
+            seed ^= seed >> 17;
+            seed ^= seed << 5;
+            seed
+        };
+        for _ in 0..2000 {
+            let (wy, wyn) = (next(), next());
+            let (wy1, wy1n) = (next(), next());
+            let ty = avgh4(wy, wyn);
+            let l1 = lsbh4(wy, wyn);
+            let ty1 = avgh4(wy1, wy1n);
+            let l2 = lsbh4(wy1, wy1n);
+            let out = dadj4(ty, ty1, rfix4(l1, l2)).to_le_bytes();
+            let y = [
+                wy.to_le_bytes()[0],
+                wy.to_le_bytes()[1],
+                wy.to_le_bytes()[2],
+                wy.to_le_bytes()[3],
+                wyn.to_le_bytes()[0],
+            ];
+            let y1 = [
+                wy1.to_le_bytes()[0],
+                wy1.to_le_bytes()[1],
+                wy1.to_le_bytes()[2],
+                wy1.to_le_bytes()[3],
+                wy1n.to_le_bytes()[0],
+            ];
+            for i in 0..4 {
+                assert_eq!(
+                    out[i],
+                    diag_exact(y[i], y[i + 1], y1[i], y1[i + 1]),
+                    "pixel {i} of window {y:?} / {y1:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn a1_two_pixel_family_is_exact_diagonal() {
+        let mut seed = 0x8765_4321u32;
+        let mut next = || {
+            seed ^= seed << 13;
+            seed ^= seed >> 17;
+            seed ^= seed << 5;
+            seed
+        };
+        for _ in 0..2000 {
+            let (ay, by) = (next(), next());
+            let (ay1, by1) = (next(), next());
+            for k in 0..=5u32 {
+                let s = (hadd2(ay, by, k) as u64) + (hadd2(ay1, by1, k) as u64);
+                // Lane-wise add never carries across (each lane ≤ 1020).
+                let s = s as u32;
+                let out = rnd2(s);
+                let wy = window8(ay, by);
+                let wy1 = window8(ay1, by1);
+                for lane in 0..2usize {
+                    let p = k as usize + lane;
+                    let exact =
+                        diag_exact(wy[p] as u8, wy[p + 1] as u8, wy1[p] as u8, wy1[p + 1] as u8);
+                    let got = ((out >> (16 * lane)) & 0xff) as u8;
+                    assert_eq!(got, exact, "lane {lane} at offset {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pack4_orders_lanes() {
+        let a = 0x0022_0011; // lanes 0x11, 0x22
+        let b = 0x0044_0033;
+        assert_eq!(pack4(a, b), 0x4433_2211);
+    }
+
+    #[test]
+    fn shift_semantics_saturate_amounts() {
+        assert_eq!(sll(0xffff_ffff, 32), 0);
+        assert_eq!(srl(0xffff_ffff, 40), 0);
+        assert_eq!(sra(0x8000_0000, 99), 0xffff_ffff);
+        assert_eq!(sra(0x4000_0000, 33), 0);
+        assert_eq!(sll(1, 4), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of the 8-byte window")]
+    fn hadd2_rejects_bad_offset() {
+        let _ = hadd2(0, 0, 6);
+    }
+}

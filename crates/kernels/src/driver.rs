@@ -1,0 +1,247 @@
+//! Loop-level driver programs (Tables 2–7): the ME kernel loop as one
+//! long-latency RFU instruction.
+//!
+//! Per reference macroblock, [`build_mb_prep`] issues the custom prefetch
+//! that gathers the reference macroblock into Line Buffer A and starts the
+//! prefetch of the macroblock's first candidate. Per candidate,
+//! [`build_me_loop_call`] does what the search loop of the C code does:
+//! computes the candidate address from its coordinates, issues the
+//! (non-blocking) prefetch for the **next** candidate — "in order to try to
+//! guarantee a wider time window for the predictor prefetches to complete"
+//! — executes the kernel-loop instruction over the current candidate and
+//! folds the running SAD minimum.
+
+use rvliw_asm::{schedule, Builder, Code};
+use rvliw_isa::{Br, Gpr, MachineConfig, Src};
+use rvliw_rfu::cfgs;
+
+use crate::regs::{
+    ARG_BASE, ARG_BEST, ARG_CX, ARG_CY, ARG_INTERP, ARG_NCX, ARG_NCY, ARG_REF, ARG_STRIDE,
+    NO_CANDIDATE, RESULT, RESULT_BEST,
+};
+
+/// Which local-memory scheme the loop-level driver uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DriverKind {
+    /// One line buffer (Line Buffer A for the reference macroblock);
+    /// candidate rows are fetched from the data cache (Tables 2–6).
+    SingleLineBuffer,
+    /// Two line buffers: candidates are double-buffered in Line Buffer B
+    /// (Table 7).
+    DoubleLineBuffer,
+}
+
+impl DriverKind {
+    /// The candidate-prefetch configuration id for this scheme.
+    #[must_use]
+    pub fn cand_prefetch_cfg(self) -> u16 {
+        match self {
+            DriverKind::SingleLineBuffer => cfgs::PREF_CAND,
+            DriverKind::DoubleLineBuffer => cfgs::PREF_CAND_LBB,
+        }
+    }
+}
+
+// Driver-local temporaries.
+const T_ROW: Gpr = Gpr::new(1);
+const CAND: Gpr = Gpr::new(2);
+const T_NROW: Gpr = Gpr::new(3);
+const NEXT: Gpr = Gpr::new(4);
+
+/// Emits the address computation `NEXT = base + ncy·stride + ncx` and the
+/// candidate prefetch, skipped when `ncx` carries the no-candidate
+/// sentinel.
+fn emit_next_prefetch(b: &mut Builder, kind: DriverKind) {
+    let skip = b.label();
+    let c = Br::new(0);
+    b.cmpeq_br(c, ARG_NCX, NO_CANDIDATE as i32);
+    b.br(c, skip);
+    b.mul(T_NROW, ARG_NCY, ARG_STRIDE);
+    b.add(T_NROW, T_NROW, ARG_BASE);
+    b.add(NEXT, T_NROW, ARG_NCX);
+    b.rfu_pref(kind.cand_prefetch_cfg(), NEXT);
+    b.bind(skip);
+}
+
+/// Per-macroblock preparation: make the kernel-loop configuration current,
+/// gather the reference macroblock into Line Buffer A (its address stays in
+/// RFU local registers) and launch the prefetch for the macroblock's first
+/// candidate (`ARG_NCX`/`ARG_NCY`, sentinel = none).
+///
+/// # Panics
+///
+/// Panics only on an internal generator bug.
+#[must_use]
+pub fn build_mb_prep(kind: DriverKind, cfg: &MachineConfig) -> Code {
+    let mut b = Builder::new("me_mb_prep");
+    // Free under the paper's zero-penalty assumption; the reconfiguration
+    // ablations charge it.
+    b.rfu_init(cfgs::ME_LOOP);
+    b.rfu_pref(cfgs::PREF_REF, ARG_REF);
+    emit_next_prefetch(&mut b, kind);
+    b.halt();
+    schedule(&b.build(), cfg).expect("prep program always schedules")
+}
+
+/// Per-candidate program: compute the candidate address, prefetch the next
+/// candidate, run the ME kernel loop, update the running best SAD.
+///
+/// # Panics
+///
+/// Panics only on an internal generator bug.
+#[must_use]
+pub fn build_me_loop_call(kind: DriverKind, cfg: &MachineConfig) -> Code {
+    let mut b = Builder::new(match kind {
+        DriverKind::SingleLineBuffer => "me_loop_call",
+        DriverKind::DoubleLineBuffer => "me_loop_call_lbb",
+    });
+    // Candidate address from its search coordinates (what the C search
+    // loop computes before calling GetSad).
+    b.mul(T_ROW, ARG_CY, ARG_STRIDE);
+    b.add(T_ROW, T_ROW, ARG_BASE);
+    b.add(CAND, T_ROW, ARG_CX);
+    emit_next_prefetch(&mut b, kind);
+    b.rfu_loop(
+        cfgs::ME_LOOP,
+        RESULT,
+        &[Src::Gpr(CAND), Src::Gpr(ARG_INTERP), Src::Gpr(ARG_REF)],
+    );
+    // The caller's running minimum (part of the ME loop in the C code).
+    b.op(rvliw_isa::Op::rrr(
+        rvliw_isa::Opcode::Minu,
+        RESULT_BEST,
+        ARG_BEST,
+        RESULT,
+    ));
+    b.halt();
+    schedule(&b.build(), cfg).expect("driver program always schedules")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvliw_mem::MemConfig;
+    use rvliw_rfu::{MeLoopCfg, Rfu, RfuBandwidth};
+    use rvliw_sim::Machine;
+
+    const STRIDE: u32 = 176;
+
+    fn setup(kind: DriverKind, bw: RfuBandwidth, beta: u64) -> (Machine, u32, u32) {
+        let mem_cfg = MemConfig::st200_loop_level();
+        let mut m = Machine::new(MachineConfig::st200(), mem_cfg);
+        let mut me = MeLoopCfg::new(bw, beta, STRIDE);
+        if kind == DriverKind::DoubleLineBuffer {
+            me = me.with_line_buffer_b();
+        }
+        m.rfu = Rfu::with_case_study_configs(me);
+        let cur = m.mem.ram.alloc(STRIDE * 160, 32);
+        let prev = m.mem.ram.alloc(STRIDE * 160, 32);
+        for i in 0..STRIDE * 160 {
+            m.mem.ram.store8(cur + i, (i % 253) as u8);
+            m.mem.ram.store8(prev + i, ((i * 3) % 251) as u8);
+        }
+        (m, cur, prev)
+    }
+
+    /// Sets the per-candidate driver arguments.
+    #[allow(clippy::too_many_arguments)]
+    fn set_call_args(
+        m: &mut Machine,
+        ref_addr: u32,
+        base: u32,
+        cx: u32,
+        cy: u32,
+        interp: u32,
+        next: Option<(u32, u32)>,
+        best: u32,
+    ) {
+        m.set_gpr(ARG_REF, ref_addr);
+        m.set_gpr(ARG_BASE, base);
+        m.set_gpr(ARG_CX, cx);
+        m.set_gpr(ARG_CY, cy);
+        m.set_gpr(ARG_INTERP, interp);
+        m.set_gpr(ARG_STRIDE, STRIDE);
+        let (ncx, ncy) = next.unwrap_or((NO_CANDIDATE, NO_CANDIDATE));
+        m.set_gpr(ARG_NCX, ncx);
+        m.set_gpr(ARG_NCY, ncy);
+        m.set_gpr(ARG_BEST, best);
+    }
+
+    #[test]
+    fn loop_call_returns_golden_sad_and_min() {
+        for kind in [DriverKind::SingleLineBuffer, DriverKind::DoubleLineBuffer] {
+            let (mut m, cur, prev) = setup(kind, RfuBandwidth::B1x32, 1);
+            let prep = build_mb_prep(kind, &MachineConfig::st200());
+            let call = build_me_loop_call(kind, &MachineConfig::st200());
+            let ref_addr = cur + 16 * STRIDE + 32;
+            let (cx, cy) = (37u32, 11u32);
+            let cand_addr = prev + cy * STRIDE + cx;
+            m.set_gpr(ARG_REF, ref_addr);
+            m.set_gpr(ARG_BASE, prev);
+            m.set_gpr(ARG_NCX, cx);
+            m.set_gpr(ARG_NCY, cy);
+            m.set_gpr(ARG_STRIDE, STRIDE);
+            m.run(&prep).unwrap();
+            set_call_args(&mut m, ref_addr, prev, cx, cy, 3, Some((cx + 1, cy)), 100);
+            m.run(&call).unwrap();
+            let golden = rvliw_rfu::meloop::golden_sad(
+                &m.mem.ram,
+                ref_addr,
+                cand_addr,
+                STRIDE,
+                rvliw_rfu::InterpMode::Diag,
+            );
+            assert_eq!(m.gpr(RESULT), golden, "{kind:?}");
+            assert_eq!(m.gpr(RESULT_BEST), golden.min(100), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn driver_overhead_is_moderate() {
+        // The per-call driver adds the address arithmetic, prefetch issue
+        // and minimum tracking around the RFU loop instruction: a real but
+        // bounded overhead.
+        let (mut m, cur, prev) = setup(DriverKind::SingleLineBuffer, RfuBandwidth::B1x32, 1);
+        let prep = build_mb_prep(DriverKind::SingleLineBuffer, &MachineConfig::st200());
+        let call = build_me_loop_call(DriverKind::SingleLineBuffer, &MachineConfig::st200());
+        let ref_addr = cur + 16 * STRIDE + 32;
+        m.set_gpr(ARG_REF, ref_addr);
+        m.set_gpr(ARG_NCX, NO_CANDIDATE);
+        m.run(&prep).unwrap();
+        let run_once = |m: &mut Machine| {
+            set_call_args(m, ref_addr, prev, 37, 11, 0, None, u32::MAX);
+            m.run(&call).unwrap().cycles
+        };
+        let _ = run_once(&mut m);
+        let warm = run_once(&mut m);
+        let static_lat = MeLoopCfg::new(RfuBandwidth::B1x32, 1, STRIDE).static_latency();
+        assert!(
+            warm >= static_lat + 5 && warm < static_lat + 30,
+            "warm {warm} vs Lat {static_lat}"
+        );
+    }
+
+    #[test]
+    fn higher_bandwidth_is_faster() {
+        let mut results = Vec::new();
+        for bw in RfuBandwidth::all() {
+            let (mut m, cur, prev) = setup(DriverKind::SingleLineBuffer, bw, 1);
+            let prep = build_mb_prep(DriverKind::SingleLineBuffer, &MachineConfig::st200());
+            let call = build_me_loop_call(DriverKind::SingleLineBuffer, &MachineConfig::st200());
+            let ref_addr = cur + 16 * STRIDE + 32;
+            m.set_gpr(ARG_REF, ref_addr);
+            m.set_gpr(ARG_NCX, NO_CANDIDATE);
+            m.run(&prep).unwrap();
+            let mut total = 0;
+            for i in 0..10u32 {
+                set_call_args(&mut m, ref_addr, prev, 30 + i, 11, i % 4, None, u32::MAX);
+                total += m.run(&call).unwrap().cycles;
+            }
+            results.push(total);
+        }
+        assert!(
+            results[0] > results[1] && results[1] > results[2],
+            "{results:?}"
+        );
+    }
+}

@@ -1,0 +1,275 @@
+//! Half-sample motion compensation as a VLIW program — the stage that
+//! consumes the motion vectors `GetSad` selects.
+//!
+//! Same structure as the `GetSad` kernels (interpolation-mode dispatch, a
+//! 16-row loop with run-time alignment) but instead of accumulating a SAD
+//! it **stores** the interpolated 16×16 prediction into the destination
+//! macroblock, ready for the residual computation. The diagonal path is
+//! the same scalar bottleneck as in ORIG — evidence that the paper's RFU
+//! instructions would pay off here too.
+//!
+//! Contract: [`regs::ARG_CAND`] = predictor address (any alignment),
+//! [`regs::ARG_INTERP`] = mode, [`regs::ARG_STRIDE`] = frame stride,
+//! [`MC_ARG_DST`] = 16-pixel-aligned destination.
+//!
+//! [`regs::ARG_CAND`]: crate::regs::ARG_CAND
+//! [`regs::ARG_INTERP`]: crate::regs::ARG_INTERP
+//! [`regs::ARG_STRIDE`]: crate::regs::ARG_STRIDE
+
+use rvliw_asm::{schedule, Builder, Code, Label};
+use rvliw_isa::{Gpr, MachineConfig};
+
+use crate::getsad::{
+    emit_align, emit_load_words, A, ALIGN, BY, BY1, CANDP, CNT, DD, DS, OW, PA, SH, SHL, SS, T1,
+    T2, TMP, TT, W,
+};
+use crate::regs::{ARG_CAND, ARG_INTERP, ARG_STRIDE};
+
+/// Destination macroblock address argument (16-pixel aligned).
+pub const MC_ARG_DST: Gpr = Gpr::new(15);
+
+const DSTP: Gpr = Gpr::new(4); // reuses GetSad's reference-pointer slot
+
+/// Stores the four prediction words of the current row and advances both
+/// pointers, closing the row loop.
+fn emit_store_advance_loop(b: &mut Builder, pred: &[Gpr], top: Label) {
+    for (k, &r) in pred.iter().enumerate().take(4) {
+        b.stw(r, DSTP, (k * 4) as i32);
+    }
+    b.add(CANDP, CANDP, ARG_STRIDE);
+    b.add(DSTP, DSTP, ARG_STRIDE);
+    b.subi(CNT, CNT, 1);
+    let c = rvliw_isa::Br::new(3);
+    b.cmpne_br(c, CNT, 0);
+    b.br(c, top);
+    b.halt();
+}
+
+fn emit_mc_none(b: &mut Builder) {
+    let top = b.label();
+    b.bind(top);
+    emit_load_words(b, &W);
+    emit_align(b, &A, false);
+    emit_store_advance_loop(b, &A[..4], top);
+}
+
+fn emit_mc_h(b: &mut Builder) {
+    let top = b.label();
+    b.bind(top);
+    emit_load_words(b, &W);
+    emit_align(b, &A, true);
+    for k in 0..4 {
+        b.sll(TT[k], A[k + 1], 24);
+        b.srl(W[k], A[k], 8);
+        b.or(W[k], W[k], TT[k]);
+        b.avg4r(W[k], A[k], W[k]);
+    }
+    emit_store_advance_loop(b, &W[..4], top);
+}
+
+fn emit_mc_v(b: &mut Builder) {
+    emit_load_words(b, &W);
+    emit_align(b, &PA, false);
+    b.add(CANDP, CANDP, ARG_STRIDE);
+    let top = b.label();
+    b.bind(top);
+    emit_load_words(b, &W);
+    emit_align(b, &A, false);
+    for k in 0..4 {
+        b.avg4r(W[k], PA[k], A[k]);
+    }
+    for k in 0..4 {
+        b.mov(PA[k], A[k]);
+    }
+    // The averaged row lives in W; PA already holds the next iteration's
+    // previous row.
+    emit_store_advance_loop(b, &W[..4], top);
+}
+
+/// The same scalar diagonal pipeline as ORIG `GetSad`, storing instead of
+/// accumulating.
+fn emit_mc_diag(b: &mut Builder) {
+    emit_load_words(b, &W);
+    emit_align(b, &PA, true);
+    b.add(CANDP, CANDP, ARG_STRIDE);
+    let top = b.label();
+    b.bind(top);
+    emit_load_words(b, &W);
+    emit_align(b, &A, true);
+    b.extbu(BY[0], PA[0], 0);
+    b.extbu(BY1[0], A[0], 0);
+    for i in 0..16usize {
+        let cur = i % 2;
+        let nxt = (i + 1) % 2;
+        let wi = (i + 1) / 4;
+        let lane = ((i + 1) % 4) as i32;
+        b.extbu(BY[nxt], PA[wi], lane);
+        b.extbu(BY1[nxt], A[wi], lane);
+        b.add(T1[cur], BY[cur], BY[nxt]);
+        b.add(T2[cur], BY1[cur], BY1[nxt]);
+        b.add(SS[cur], T1[cur], T2[cur]);
+        b.addi(SS[cur], SS[cur], 2);
+        b.srl(DD[cur], SS[cur], 2);
+        if i % 4 == 0 {
+            b.mov(OW, DD[cur]);
+        } else {
+            b.sll(DS, DD[cur], (8 * (i % 4)) as i32);
+            b.or(OW, OW, DS);
+        }
+        if i % 4 == 3 {
+            b.stw(OW, DSTP, ((i / 4) * 4) as i32);
+        }
+    }
+    for k in 0..5 {
+        b.mov(PA[k], A[k]);
+    }
+    b.add(CANDP, CANDP, ARG_STRIDE);
+    b.add(DSTP, DSTP, ARG_STRIDE);
+    b.subi(CNT, CNT, 1);
+    let c = rvliw_isa::Br::new(3);
+    b.cmpne_br(c, CNT, 0);
+    b.br(c, top);
+    b.halt();
+}
+
+/// Builds the motion-compensation program.
+///
+/// # Panics
+///
+/// Panics only on an internal generator bug.
+#[must_use]
+pub fn build_mc(cfg: &MachineConfig) -> Code {
+    let mut b = Builder::new("mc_predict_mb");
+    let l_none = b.label();
+    let l_h = b.label();
+    let l_v = b.label();
+    let l_diag = b.label();
+    // Shared setup, mirroring GetSad's dispatch.
+    b.and(CANDP, ARG_CAND, -4);
+    b.and(ALIGN, ARG_CAND, 3);
+    b.sll(SH, ALIGN, 3);
+    b.movi(TMP, 32);
+    b.sub(SHL, TMP, SH);
+    b.mov(DSTP, MC_ARG_DST);
+    b.movi(CNT, 16);
+    let c0 = rvliw_isa::Br::new(0);
+    let c1 = rvliw_isa::Br::new(1);
+    let c2 = rvliw_isa::Br::new(2);
+    b.cmpeq_br(c0, ARG_INTERP, 0);
+    b.cmpeq_br(c1, ARG_INTERP, 1);
+    b.cmpeq_br(c2, ARG_INTERP, 2);
+    b.br(c0, l_none);
+    b.br(c1, l_h);
+    b.br(c2, l_v);
+    b.goto(l_diag);
+    b.bind(l_none);
+    emit_mc_none(&mut b);
+    b.bind(l_h);
+    emit_mc_h(&mut b);
+    b.bind(l_v);
+    emit_mc_v(&mut b);
+    b.bind(l_diag);
+    emit_mc_diag(&mut b);
+    schedule(&b.build(), cfg).expect("MC kernel always schedules")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpeg4_enc::mc::predict_mb;
+    use mpeg4_enc::types::{Mv, Plane};
+    use rvliw_sim::Machine;
+
+    const STRIDE: u32 = 176;
+
+    fn textured(seed: u32) -> Plane {
+        let mut p = Plane::new(STRIDE as usize, 64);
+        for y in 0..64 {
+            for x in 0..STRIDE as usize {
+                let v = (x as u32)
+                    .wrapping_mul(37)
+                    .wrapping_add((y as u32).wrapping_mul(101))
+                    .wrapping_add(seed)
+                    .wrapping_mul(2_654_435_761);
+                p.set(x, y, (v >> 24) as u8);
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn mc_kernel_matches_golden_prediction() {
+        let prev = textured(3);
+        let code = build_mc(&MachineConfig::st200());
+        for (mvx, mvy) in [(0i16, 0i16), (5, 2), (3, 1), (2, 3), (1, 1), (-3, -1)] {
+            let mv = Mv::new(mvx, mvy);
+            let golden = predict_mb(&prev, 1, 1, mv);
+            let mut m = Machine::st200();
+            let base = m.mem.ram.alloc(STRIDE * 64, 32);
+            for y in 0..prev.height() {
+                m.mem
+                    .ram
+                    .write_bytes(base + (y * prev.width()) as u32, prev.row(y));
+            }
+            let dst = m.mem.ram.alloc(STRIDE * 16, 32);
+            let (ix, iy) = mv.int_part();
+            let cand = base
+                .wrapping_add((16 + i32::from(iy)) as u32 * STRIDE)
+                .wrapping_add((16 + i32::from(ix)) as u32);
+            let interp = match mv.half_flags() {
+                (false, false) => 0,
+                (true, false) => 1,
+                (false, true) => 2,
+                (true, true) => 3,
+            };
+            m.set_gpr(ARG_CAND, cand);
+            m.set_gpr(ARG_INTERP, interp);
+            m.set_gpr(ARG_STRIDE, STRIDE);
+            m.set_gpr(MC_ARG_DST, dst);
+            m.run(&code).unwrap();
+            for y in 0..16u32 {
+                for x in 0..16u32 {
+                    assert_eq!(
+                        m.mem.ram.load8(dst + y * STRIDE + x),
+                        golden[(y * 16 + x) as usize],
+                        "mv {mv} pixel ({x},{y})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mc_diag_is_the_slow_path() {
+        let prev = textured(9);
+        let code = build_mc(&MachineConfig::st200());
+        let mut cycles = [0u64; 4];
+        for (interp, slot) in cycles.iter_mut().enumerate() {
+            let mut m = Machine::st200();
+            let base = m.mem.ram.alloc(STRIDE * 64, 32);
+            for y in 0..prev.height() {
+                m.mem
+                    .ram
+                    .write_bytes(base + (y * prev.width()) as u32, prev.row(y));
+            }
+            let dst = m.mem.ram.alloc(STRIDE * 16, 32);
+            for pass in 0..2 {
+                m.set_gpr(ARG_CAND, base + 17 * STRIDE + 21);
+                m.set_gpr(ARG_INTERP, interp as u32);
+                m.set_gpr(ARG_STRIDE, STRIDE);
+                m.set_gpr(MC_ARG_DST, dst);
+                let before = m.cycle();
+                m.run(&code).unwrap();
+                if pass == 1 {
+                    *slot = m.cycle() - before;
+                }
+            }
+        }
+        assert!(
+            cycles[3] > 2 * cycles[0],
+            "diagonal {} vs none {}",
+            cycles[3],
+            cycles[0]
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Register calling conventions of the `GetSad` kernels and the loop-level
+//! driver.
+//!
+//! Arguments arrive in `$r14`–`$r22`; the SAD result is returned in `$r16`
+//! (reusing the first argument register, as a compiler would).
+
+use rvliw_isa::Gpr;
+
+/// Reference macroblock address (16-pixel aligned) — input.
+pub const ARG_REF: Gpr = Gpr::new(16);
+/// Candidate predictor address (any byte alignment) — input of the
+/// instruction-level kernels.
+pub const ARG_CAND: Gpr = Gpr::new(17);
+/// Interpolation mode, 0 = none, 1 = H, 2 = V, 3 = diagonal — input.
+pub const ARG_INTERP: Gpr = Gpr::new(18);
+/// Frame row stride in bytes — input.
+pub const ARG_STRIDE: Gpr = Gpr::new(19);
+/// Running best SAD (loop-level driver) — input.
+pub const ARG_BEST: Gpr = Gpr::new(15);
+/// Reference-frame (previous reconstruction) base address (loop-level
+/// driver) — input.
+pub const ARG_BASE: Gpr = Gpr::new(14);
+/// Candidate x coordinate in the reference frame (loop-level driver) —
+/// input; shares the register of [`ARG_CAND`].
+pub const ARG_CX: Gpr = Gpr::new(17);
+/// Candidate y coordinate (loop-level driver) — input.
+pub const ARG_CY: Gpr = Gpr::new(20);
+/// Next candidate x, or [`NO_CANDIDATE`] (loop-level driver) — input.
+pub const ARG_NCX: Gpr = Gpr::new(21);
+/// Next candidate y (loop-level driver) — input.
+pub const ARG_NCY: Gpr = Gpr::new(22);
+/// Sentinel for "no next candidate".
+pub const NO_CANDIDATE: u32 = u32::MAX;
+/// The SAD result — output.
+pub const RESULT: Gpr = Gpr::new(16);
+/// Updated best SAD (loop-level driver) — output.
+pub const RESULT_BEST: Gpr = Gpr::new(15);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn convention_registers_are_distinct() {
+        let all = [
+            ARG_REF, ARG_CAND, ARG_INTERP, ARG_STRIDE, ARG_BEST, ARG_BASE, ARG_CY, ARG_NCX, ARG_NCY,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert_eq!(RESULT, ARG_REF); // result reuses the first argument
+        assert_eq!(ARG_CX, ARG_CAND); // coordinate aliases the address slot
+    }
+}

@@ -1,0 +1,75 @@
+//! Memory-system configuration.
+
+use crate::cache::CacheGeometry;
+
+/// Timing and shape parameters of the memory system.
+///
+/// Defaults model the paper's platform: 32 KB 4-way data cache, 128 KB
+/// direct-mapped instruction cache, an 8-entry prefetch buffer and an
+/// early-2000s embedded SDRAM path a few tens of CPU cycles away.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemConfig {
+    /// Data-cache geometry.
+    pub dcache: CacheGeometry,
+    /// Instruction-cache geometry.
+    pub icache: CacheGeometry,
+    /// Simulated RAM size in bytes.
+    pub ram_size: u32,
+    /// Cycles from starting a line fill to data arrival.
+    pub fill_latency: u64,
+    /// Cycles a line fill occupies the memory bus (fills pipeline at this
+    /// rate; it bounds prefetch throughput).
+    pub bus_occupancy: u64,
+    /// Bus cycles consumed by a dirty-line writeback.
+    pub writeback_occupancy: u64,
+    /// Prefetch-buffer entries (8 baseline; the paper extends it to 64 for
+    /// the loop-level experiments).
+    pub prefetch_entries: usize,
+}
+
+impl MemConfig {
+    /// Baseline configuration (instruction-level experiments).
+    #[must_use]
+    pub fn st200() -> Self {
+        MemConfig {
+            dcache: CacheGeometry::st200_dcache(),
+            icache: CacheGeometry::st200_icache(),
+            ram_size: 4 * 1024 * 1024,
+            fill_latency: 10,
+            bus_occupancy: 5,
+            writeback_occupancy: 3,
+            prefetch_entries: 8,
+        }
+    }
+
+    /// Loop-level configuration: prefetch buffer extended to 64 entries.
+    #[must_use]
+    pub fn st200_loop_level() -> Self {
+        MemConfig {
+            prefetch_entries: 64,
+            ..Self::st200()
+        }
+    }
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig::st200()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_shapes() {
+        let c = MemConfig::default();
+        assert_eq!(c.dcache.capacity, 32 * 1024);
+        assert_eq!(c.dcache.ways, 4);
+        assert_eq!(c.icache.capacity, 128 * 1024);
+        assert_eq!(c.icache.ways, 1);
+        assert_eq!(c.prefetch_entries, 8);
+        assert_eq!(MemConfig::st200_loop_level().prefetch_entries, 64);
+    }
+}

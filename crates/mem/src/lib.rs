@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! # rvliw-mem
+//!
+//! Memory-hierarchy models for the rvliw simulator, matching the paper's
+//! platform:
+//!
+//! * a flat byte-addressed [`Ram`] with a bump [`Ram::alloc`]ator for frame
+//!   buffers (the paper aligns frames on 32-byte boundaries);
+//! * generic set-associative write-back [`Cache`]s — instantiated as the
+//!   **128 KB direct-mapped instruction cache** and the **32 KB 4-way data
+//!   cache** of the modelled ST200;
+//! * a [`PrefetchQueue`] modelling the 8-entry prefetch buffer (extended to
+//!   64 entries for the loop-level RFU experiments);
+//! * [`MemorySystem`], which combines them with a single-ported memory bus
+//!   and produces the *stall cycles* the paper reports in Tables 4 and 5
+//!   ("on data cache misses, the whole machine stalls as usual").
+//!
+//! ```
+//! use rvliw_mem::{MemConfig, MemorySystem};
+//!
+//! let mut mem = MemorySystem::new(MemConfig::default());
+//! let buf = mem.ram.alloc(64, 32);
+//! mem.ram.store32(buf, 0xdead_beef);
+//! let acc = mem.read(buf, 4, 0);
+//! assert_eq!(acc.value, 0xdead_beef);
+//! assert!(acc.stall > 0); // cold miss
+//! let acc2 = mem.read(buf, 4, 100);
+//! assert_eq!(acc2.stall, 0); // warm hit
+//! ```
+
+pub mod cache;
+pub mod config;
+pub mod prefetch;
+pub mod ram;
+pub mod stats;
+pub mod system;
+
+pub use cache::{Cache, CacheGeometry, ReplacementPolicy};
+pub use config::MemConfig;
+pub use prefetch::PrefetchQueue;
+pub use ram::Ram;
+pub use stats::MemStats;
+pub use system::{Access, MemorySystem};

@@ -1,0 +1,187 @@
+//! The prefetch buffer: in-flight non-blocking line fills.
+//!
+//! The modelled ST200 data cache has an 8-entry prefetch buffer; the paper
+//! extends it to 64 entries for the loop-level RFU experiments so that the
+//! custom macroblock-pattern prefetches (17 lines per macroblock plus
+//! crossings, double-buffered) fit.
+
+use std::collections::HashMap;
+
+/// Outcome of a prefetch request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefetchOutcome {
+    /// The fill was scheduled; the line arrives at the returned cycle.
+    Scheduled {
+        /// Absolute cycle at which the line is available.
+        ready_at: u64,
+    },
+    /// The line is already cached or already in flight.
+    Redundant,
+    /// The buffer was full; the request was dropped (counted as an
+    /// incomplete prefetch in the paper's terms).
+    Dropped,
+}
+
+/// Tracks outstanding prefetched lines and their arrival times.
+///
+/// ```
+/// use rvliw_mem::PrefetchQueue;
+///
+/// let mut q = PrefetchQueue::new(8);
+/// q.insert(0x1000, 24); // line arrives at cycle 24
+/// assert_eq!(q.pending_ready_at(0x1000), Some(24));
+/// assert_eq!(q.consume(0x1000, 30), Some(24)); // consumed after arrival
+/// assert_eq!(q.useful, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrefetchQueue {
+    capacity: usize,
+    pending: HashMap<u32, u64>,
+    /// Requests accepted into the buffer.
+    pub issued: u64,
+    /// Requests rejected because the buffer was full.
+    pub dropped: u64,
+    /// Requests for lines already present or in flight.
+    pub redundant: u64,
+    /// Demand accesses fully covered by a completed prefetch.
+    pub useful: u64,
+    /// Demand accesses that had to wait for an in-flight prefetch
+    /// ("late" prefetches).
+    pub late: u64,
+}
+
+impl PrefetchQueue {
+    /// Creates a queue holding at most `capacity` in-flight lines.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        PrefetchQueue {
+            capacity,
+            pending: HashMap::new(),
+            issued: 0,
+            dropped: 0,
+            redundant: 0,
+            useful: 0,
+            late: 0,
+        }
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of lines currently in flight or waiting to drain.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no prefetches are outstanding.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Records a scheduled fill for `line` arriving at `ready_at`.
+    /// Returns `false` (and counts a drop) when the buffer is full.
+    pub fn insert(&mut self, line: u32, ready_at: u64) -> bool {
+        if self.pending.contains_key(&line) {
+            self.redundant += 1;
+            return false;
+        }
+        if self.pending.len() >= self.capacity {
+            self.dropped += 1;
+            return false;
+        }
+        self.pending.insert(line, ready_at);
+        self.issued += 1;
+        true
+    }
+
+    /// Whether `line` is in flight, and when it arrives.
+    #[must_use]
+    pub fn pending_ready_at(&self, line: u32) -> Option<u64> {
+        self.pending.get(&line).copied()
+    }
+
+    /// Removes `line` (a demand access consumed it). Updates the
+    /// useful/late statistics against `now`.
+    pub fn consume(&mut self, line: u32, now: u64) -> Option<u64> {
+        let ready = self.pending.remove(&line)?;
+        if ready <= now {
+            self.useful += 1;
+        } else {
+            self.late += 1;
+        }
+        Some(ready)
+    }
+
+    /// Drains every fill that has completed by `now`, returning the line
+    /// addresses so the caller can install them in the cache.
+    pub fn drain_completed(&mut self, now: u64) -> Vec<u32> {
+        let done: Vec<u32> = self
+            .pending
+            .iter()
+            .filter(|&(_, &t)| t <= now)
+            .map(|(&l, _)| l)
+            .collect();
+        for l in &done {
+            self.pending.remove(l);
+            self.useful += 1;
+        }
+        done
+    }
+
+    /// Clears all in-flight state (statistics are kept).
+    pub fn flush(&mut self) {
+        self.pending.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_limit_drops() {
+        let mut q = PrefetchQueue::new(2);
+        assert!(q.insert(0, 10));
+        assert!(q.insert(64, 10));
+        assert!(!q.insert(128, 10));
+        assert_eq!(q.dropped, 1);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_insert_is_redundant() {
+        let mut q = PrefetchQueue::new(4);
+        assert!(q.insert(0, 10));
+        assert!(!q.insert(0, 20));
+        assert_eq!(q.redundant, 1);
+        assert_eq!(q.pending_ready_at(0), Some(10));
+    }
+
+    #[test]
+    fn consume_classifies_useful_vs_late() {
+        let mut q = PrefetchQueue::new(4);
+        q.insert(0, 10);
+        q.insert(64, 100);
+        assert_eq!(q.consume(0, 50), Some(10));
+        assert_eq!(q.consume(64, 50), Some(100));
+        assert_eq!(q.useful, 1);
+        assert_eq!(q.late, 1);
+        assert_eq!(q.consume(128, 50), None);
+    }
+
+    #[test]
+    fn drain_completed_returns_only_done() {
+        let mut q = PrefetchQueue::new(4);
+        q.insert(0, 10);
+        q.insert(64, 100);
+        let mut done = q.drain_completed(50);
+        done.sort_unstable();
+        assert_eq!(done, vec![0]);
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! Aggregated memory-system statistics.
+
+use std::fmt;
+
+/// Counters accumulated by [`MemorySystem`](crate::MemorySystem).
+///
+/// `d_stall_cycles` is the quantity the paper reports as "cache stalls"
+/// (Tables 4 and 5): cycles the whole machine is frozen waiting for the data
+/// cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Data loads issued.
+    pub loads: u64,
+    /// Data stores issued.
+    pub stores: u64,
+    /// Data-cache hits.
+    pub d_hits: u64,
+    /// Data-cache demand misses.
+    pub d_misses: u64,
+    /// Demand accesses that found their line in flight (late prefetch) and
+    /// paid a partial stall.
+    pub d_late_covered: u64,
+    /// Total machine-stall cycles caused by the data cache.
+    pub d_stall_cycles: u64,
+    /// Dirty-line writebacks.
+    pub writebacks: u64,
+    /// Instruction-cache misses.
+    pub i_misses: u64,
+    /// Stall cycles caused by the instruction cache.
+    pub i_stall_cycles: u64,
+    /// Prefetch requests accepted.
+    pub pf_issued: u64,
+    /// Prefetch requests dropped (buffer full).
+    pub pf_dropped: u64,
+    /// Prefetch requests that were redundant (line present or in flight).
+    pub pf_redundant: u64,
+    /// Prefetches fully completed before their demand use.
+    pub pf_useful: u64,
+    /// Prefetches still in flight at their demand use.
+    pub pf_late: u64,
+}
+
+impl MemStats {
+    /// Data-cache hit rate over demand accesses, in `0.0..=1.0`.
+    #[must_use]
+    pub fn d_hit_rate(&self) -> f64 {
+        let total = self.d_hits + self.d_misses + self.d_late_covered;
+        if total == 0 {
+            return 1.0;
+        }
+        self.d_hits as f64 / total as f64
+    }
+
+    /// Fraction of issued prefetches that were late or dropped — the
+    /// paper's "late and incomplete prefetch operations".
+    #[must_use]
+    pub fn pf_late_or_incomplete_rate(&self) -> f64 {
+        let denom = self.pf_issued + self.pf_dropped;
+        if denom == 0 {
+            return 0.0;
+        }
+        (self.pf_late + self.pf_dropped) as f64 / denom as f64
+    }
+
+    /// Element-wise difference (`self - earlier`), for measuring a region.
+    #[must_use]
+    pub fn delta(&self, earlier: &MemStats) -> MemStats {
+        MemStats {
+            loads: self.loads - earlier.loads,
+            stores: self.stores - earlier.stores,
+            d_hits: self.d_hits - earlier.d_hits,
+            d_misses: self.d_misses - earlier.d_misses,
+            d_late_covered: self.d_late_covered - earlier.d_late_covered,
+            d_stall_cycles: self.d_stall_cycles - earlier.d_stall_cycles,
+            writebacks: self.writebacks - earlier.writebacks,
+            i_misses: self.i_misses - earlier.i_misses,
+            i_stall_cycles: self.i_stall_cycles - earlier.i_stall_cycles,
+            pf_issued: self.pf_issued - earlier.pf_issued,
+            pf_dropped: self.pf_dropped - earlier.pf_dropped,
+            pf_redundant: self.pf_redundant - earlier.pf_redundant,
+            pf_useful: self.pf_useful - earlier.pf_useful,
+            pf_late: self.pf_late - earlier.pf_late,
+        }
+    }
+}
+
+impl fmt::Display for MemStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "loads {}  stores {}  D$ hits {}  misses {}  stall {}",
+            self.loads, self.stores, self.d_hits, self.d_misses, self.d_stall_cycles
+        )?;
+        write!(
+            f,
+            "pf issued {}  dropped {}  late {}  useful {}  I$ miss {}",
+            self.pf_issued, self.pf_dropped, self.pf_late, self.pf_useful, self.i_misses
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_of_empty_is_one() {
+        assert_eq!(MemStats::default().d_hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn delta_subtracts_fieldwise() {
+        let a = MemStats {
+            loads: 10,
+            d_stall_cycles: 100,
+            ..Default::default()
+        };
+        let b = MemStats {
+            loads: 4,
+            d_stall_cycles: 30,
+            ..Default::default()
+        };
+        let d = a.delta(&b);
+        assert_eq!(d.loads, 6);
+        assert_eq!(d.d_stall_cycles, 70);
+    }
+
+    #[test]
+    fn late_rate_counts_drops() {
+        let s = MemStats {
+            pf_issued: 8,
+            pf_dropped: 2,
+            pf_late: 3,
+            ..Default::default()
+        };
+        assert!((s.pf_late_or_incomplete_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,337 @@
+//! The combined memory system: RAM + caches + prefetch buffer + bus.
+
+use crate::cache::Cache;
+use crate::config::MemConfig;
+use crate::prefetch::PrefetchQueue;
+use crate::ram::Ram;
+use crate::stats::MemStats;
+
+/// Result of a timed data access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// The loaded value (zero-extended into 32 bits; undefined for writes).
+    pub value: u32,
+    /// Machine stall cycles this access caused.
+    pub stall: u64,
+    /// Whether the access hit in the data cache outright.
+    pub hit: bool,
+}
+
+/// The memory hierarchy as seen by the core and the RFU.
+///
+/// Functional state (bytes) always lives in [`Ram`]; the caches model
+/// *timing only*, so simulation results are functionally exact regardless of
+/// cache configuration.
+///
+/// Timing model: a single memory bus serves line fills (demand and prefetch)
+/// in order. A fill occupies the bus for [`MemConfig::bus_occupancy`] cycles
+/// and delivers its line [`MemConfig::fill_latency`] cycles after it starts;
+/// on a demand miss the whole machine stalls until delivery, as in the
+/// paper.
+#[derive(Debug)]
+pub struct MemorySystem {
+    /// Main memory (functional state).
+    pub ram: Ram,
+    /// The data cache (timing state).
+    pub dcache: Cache,
+    /// The instruction cache (timing state).
+    pub icache: Cache,
+    /// The prefetch buffer.
+    pub pfq: PrefetchQueue,
+    cfg: MemConfig,
+    bus_free_at: u64,
+    stats: MemStats,
+}
+
+impl MemorySystem {
+    /// Creates a cold memory system.
+    #[must_use]
+    pub fn new(cfg: MemConfig) -> Self {
+        MemorySystem {
+            ram: Ram::new(cfg.ram_size),
+            dcache: Cache::new(cfg.dcache),
+            icache: Cache::new(cfg.icache),
+            pfq: PrefetchQueue::new(cfg.prefetch_entries),
+            cfg,
+            bus_free_at: 0,
+            stats: MemStats::default(),
+        }
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &MemConfig {
+        &self.cfg
+    }
+
+    /// A snapshot of the counters (cache/prefetch counters folded in).
+    #[must_use]
+    pub fn stats(&self) -> MemStats {
+        let mut s = self.stats;
+        s.writebacks = self.dcache.writebacks;
+        s.pf_issued = self.pfq.issued;
+        s.pf_dropped = self.pfq.dropped;
+        s.pf_redundant = self.pfq.redundant;
+        s.pf_useful = self.pfq.useful;
+        s.pf_late = self.pfq.late;
+        s
+    }
+
+    /// First cycle at which the bus can accept a new fill.
+    #[must_use]
+    pub fn bus_free_at(&self) -> u64 {
+        self.bus_free_at
+    }
+
+    fn drain_prefetches(&mut self, now: u64) {
+        for line in self.pfq.drain_completed(now) {
+            if self.dcache.install(line).is_some() {
+                // Dirty eviction on drain: the writeback occupies the bus.
+                self.bus_free_at = self.bus_free_at.max(now) + self.cfg.writeback_occupancy;
+            }
+        }
+    }
+
+    /// Schedules a line fill on the bus; returns the delivery cycle.
+    fn schedule_fill(&mut self, now: u64) -> u64 {
+        let start = self.bus_free_at.max(now);
+        self.bus_free_at = start + self.cfg.bus_occupancy;
+        start + self.cfg.fill_latency
+    }
+
+    /// Core of the timing model, shared by loads and stores.
+    fn access_timed(&mut self, addr: u32, now: u64, write: bool) -> (u64, bool) {
+        self.drain_prefetches(now);
+        let line = self.dcache.line_of(addr);
+        // A line still in flight from a prefetch: wait for it.
+        if let Some(ready) = self.pfq.consume(line, now) {
+            if self.dcache.install(line).is_some() {
+                self.bus_free_at = self.bus_free_at.max(now) + self.cfg.writeback_occupancy;
+            }
+            // Mark hit/dirty state via a (now free) access.
+            let _ = self.dcache.access(addr, write);
+            let stall = ready.saturating_sub(now);
+            self.stats.d_late_covered += 1;
+            self.stats.d_stall_cycles += stall;
+            return (stall, false);
+        }
+        let out = self.dcache.access(addr, write);
+        if out.hit {
+            self.stats.d_hits += 1;
+            (0, true)
+        } else {
+            self.stats.d_misses += 1;
+            if out.writeback.is_some() {
+                self.bus_free_at = self.bus_free_at.max(now) + self.cfg.writeback_occupancy;
+            }
+            let ready = self.schedule_fill(now);
+            let stall = ready - now;
+            self.stats.d_stall_cycles += stall;
+            (stall, false)
+        }
+    }
+
+    /// Timed load of `size` ∈ {1, 2, 4} bytes at `addr`, `now` being the
+    /// current machine cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unsupported size or an out-of-range address.
+    pub fn read(&mut self, addr: u32, size: u32, now: u64) -> Access {
+        self.stats.loads += 1;
+        let (stall, hit) = self.access_timed(addr, now, false);
+        let value = match size {
+            1 => u32::from(self.ram.load8(addr)),
+            2 => u32::from(self.ram.load16(addr)),
+            4 => self.ram.load32(addr),
+            _ => panic!("unsupported access size {size}"),
+        };
+        Access { value, stall, hit }
+    }
+
+    /// Timed store (write-allocate): the line is fetched on a miss.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unsupported size or an out-of-range address.
+    pub fn write(&mut self, addr: u32, size: u32, value: u32, now: u64) -> Access {
+        self.stats.stores += 1;
+        let (stall, hit) = self.access_timed(addr, now, true);
+        match size {
+            1 => self.ram.store8(addr, value as u8),
+            2 => self.ram.store16(addr, value as u16),
+            4 => self.ram.store32(addr, value),
+            _ => panic!("unsupported access size {size}"),
+        }
+        Access { value, stall, hit }
+    }
+
+    /// Non-blocking prefetch of the line containing `addr`. Returns the
+    /// cycle the line will be available, or `None` when the request was
+    /// redundant or dropped.
+    pub fn prefetch(&mut self, addr: u32, now: u64) -> Option<u64> {
+        self.drain_prefetches(now);
+        let line = self.dcache.line_of(addr);
+        if self.dcache.probe(line) || self.pfq.pending_ready_at(line).is_some() {
+            self.pfq.redundant += 1;
+            return None;
+        }
+        if self.pfq.len() >= self.pfq.capacity() {
+            self.pfq.dropped += 1;
+            return None;
+        }
+        let ready = self.schedule_fill(now);
+        let inserted = self.pfq.insert(line, ready);
+        debug_assert!(inserted);
+        Some(ready)
+    }
+
+    /// Instruction fetch for the bundle at byte address `addr`; returns
+    /// stall cycles (0 on a hit).
+    pub fn ifetch(&mut self, addr: u32, _now: u64) -> u64 {
+        let out = self.icache.access(addr, false);
+        if out.hit {
+            0
+        } else {
+            self.stats.i_misses += 1;
+            let stall = self.cfg.fill_latency;
+            self.stats.i_stall_cycles += stall;
+            stall
+        }
+    }
+
+    /// Accounts stall cycles caused by waiting on memory outside the
+    /// load/store path (e.g. the RFU waiting on an in-flight line-buffer
+    /// fill). They are part of the paper's "cache stalls".
+    pub fn account_stall(&mut self, cycles: u64) {
+        self.stats.d_stall_cycles += cycles;
+    }
+
+    /// Invalidates both caches and the prefetch buffer (statistics kept).
+    pub fn flush_caches(&mut self) {
+        self.dcache.flush();
+        self.icache.flush();
+        self.pfq.flush();
+        self.bus_free_at = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> MemorySystem {
+        MemorySystem::new(MemConfig::default())
+    }
+
+    #[test]
+    fn cold_miss_costs_fill_latency() {
+        let mut m = sys();
+        let a = m.ram.alloc(64, 64);
+        let acc = m.read(a, 4, 0);
+        assert_eq!(acc.stall, m.config().fill_latency);
+        assert!(!acc.hit);
+        let acc2 = m.read(a + 4, 4, 100);
+        assert_eq!(acc2.stall, 0);
+        assert!(acc2.hit);
+    }
+
+    #[test]
+    fn functional_value_correct_even_on_miss() {
+        let mut m = sys();
+        let a = m.ram.alloc(64, 64);
+        m.ram.store32(a + 8, 1234);
+        assert_eq!(m.read(a + 8, 4, 0).value, 1234);
+    }
+
+    #[test]
+    fn prefetch_hides_latency_when_early() {
+        let mut m = sys();
+        let a = m.ram.alloc(256, 64);
+        let ready = m.prefetch(a, 0).unwrap();
+        assert_eq!(ready, m.config().fill_latency);
+        // Access long after arrival: free.
+        let acc = m.read(a, 4, ready + 10);
+        assert_eq!(acc.stall, 0);
+        let s = m.stats();
+        assert_eq!(s.pf_useful, 1);
+        assert_eq!(s.d_misses, 0);
+    }
+
+    #[test]
+    fn late_prefetch_pays_partial_stall() {
+        let mut m = sys();
+        let a = m.ram.alloc(256, 64);
+        let ready = m.prefetch(a, 0).unwrap();
+        // Access halfway through the fill.
+        let now = ready - 10;
+        let acc = m.read(a, 4, now);
+        assert_eq!(acc.stall, 10);
+        let s = m.stats();
+        assert_eq!(s.pf_late, 1);
+        assert_eq!(s.d_late_covered, 1);
+    }
+
+    #[test]
+    fn bus_serializes_fills() {
+        let mut m = sys();
+        let a = m.ram.alloc(1024, 64);
+        let r1 = m.prefetch(a, 0).unwrap();
+        let r2 = m.prefetch(a + 64, 0).unwrap();
+        assert_eq!(r2 - r1, m.config().bus_occupancy);
+    }
+
+    #[test]
+    fn redundant_prefetch_of_cached_line() {
+        let mut m = sys();
+        let a = m.ram.alloc(64, 64);
+        let _ = m.read(a, 4, 0);
+        assert!(m.prefetch(a, 10).is_none());
+        assert_eq!(m.stats().pf_redundant, 1);
+    }
+
+    #[test]
+    fn prefetch_buffer_capacity_drops() {
+        let mut m = sys();
+        let a = m.ram.alloc(64 * 64, 64);
+        let mut dropped = 0;
+        for i in 0..10u32 {
+            if m.prefetch(a + i * 64, 0).is_none() {
+                dropped += 1;
+            }
+        }
+        // 8-entry buffer: two of ten dropped.
+        assert_eq!(dropped, 2);
+        assert_eq!(m.stats().pf_dropped, 2);
+    }
+
+    #[test]
+    fn write_allocates_and_store_is_visible() {
+        let mut m = sys();
+        let a = m.ram.alloc(64, 64);
+        let w = m.write(a, 4, 777, 0);
+        assert!(!w.hit);
+        assert_eq!(m.read(a, 4, 50).value, 777);
+    }
+
+    #[test]
+    fn ifetch_miss_then_hit() {
+        let mut m = sys();
+        assert!(m.ifetch(0x1000, 0) > 0);
+        assert_eq!(m.ifetch(0x1000, 1), 0);
+        assert_eq!(m.stats().i_misses, 1);
+    }
+
+    #[test]
+    fn stall_cycles_accumulate() {
+        let mut m = sys();
+        let a = m.ram.alloc(4096, 64);
+        let mut now = 0;
+        for i in 0..4u32 {
+            let acc = m.read(a + i * 64, 4, now);
+            now += acc.stall + 1;
+        }
+        assert_eq!(m.stats().d_misses, 4);
+        assert!(m.stats().d_stall_cycles >= 4 * m.config().fill_latency);
+    }
+}

@@ -1,0 +1,232 @@
+//! 8×8 forward and inverse DCT (type-II / type-III), double-precision
+//! reference implementation with rounding to integer coefficients.
+
+use std::f64::consts::PI;
+
+/// Block edge.
+pub const N: usize = 8;
+
+/// Cosine basis, computed once.
+fn basis() -> [[f64; N]; N] {
+    let mut c = [[0.0; N]; N];
+    for (u, row) in c.iter_mut().enumerate() {
+        for (x, v) in row.iter_mut().enumerate() {
+            *v = ((2.0 * x as f64 + 1.0) * u as f64 * PI / 16.0).cos();
+        }
+    }
+    c
+}
+
+fn alpha(u: usize) -> f64 {
+    if u == 0 {
+        (1.0f64 / 8.0).sqrt()
+    } else {
+        (2.0f64 / 8.0).sqrt()
+    }
+}
+
+/// Forward 8×8 DCT of a residual block (values typically in −255..=255).
+/// Coefficients are rounded to the nearest integer.
+#[must_use]
+pub fn fdct(block: &[i32; 64]) -> [i32; 64] {
+    let c = basis();
+    let mut out = [0i32; 64];
+    for v in 0..N {
+        for u in 0..N {
+            let mut s = 0.0;
+            for y in 0..N {
+                for x in 0..N {
+                    s += f64::from(block[y * N + x]) * c[u][x] * c[v][y];
+                }
+            }
+            out[v * N + u] = (alpha(u) * alpha(v) * s).round() as i32;
+        }
+    }
+    out
+}
+
+/// Inverse 8×8 DCT, rounded to the nearest integer.
+#[must_use]
+pub fn idct(coefs: &[i32; 64]) -> [i32; 64] {
+    let c = basis();
+    let mut out = [0i32; 64];
+    for y in 0..N {
+        for x in 0..N {
+            let mut s = 0.0;
+            for v in 0..N {
+                for u in 0..N {
+                    s += alpha(u) * alpha(v) * f64::from(coefs[v * N + u]) * c[u][x] * c[v][y];
+                }
+            }
+            out[y * N + x] = s.round() as i32;
+        }
+    }
+    out
+}
+
+/// Fixed-point DCT constants: `round(α(u) · cos((2x+1)uπ/16) · 2^11)`.
+///
+/// This is the table an integer implementation (e.g. the VLIW kernel in
+/// `rvliw-kernels`) uses with 16×32 multiplies; [`fdct_fixed`] is the exact
+/// bit-true reference for it.
+#[must_use]
+pub fn fixed_coeffs() -> [[i32; N]; N] {
+    let c = basis();
+    let mut out = [[0i32; N]; N];
+    for u in 0..N {
+        for x in 0..N {
+            out[u][x] = (alpha(u) * c[u][x] * 2048.0).round() as i32;
+        }
+    }
+    out
+}
+
+/// One fixed-point 1-D pass: `out[u] = (Σ_x coeff[u][x]·input[x] + 2^10) >> 11`.
+fn fixed_pass(input: &[i32; N], coeffs: &[[i32; N]; N]) -> [i32; N] {
+    let mut out = [0i32; N];
+    for (u, o) in out.iter_mut().enumerate() {
+        let mut s = 0i32;
+        for x in 0..N {
+            s += coeffs[u][x] * input[x];
+        }
+        *o = (s + 1024) >> 11;
+    }
+    out
+}
+
+/// Bit-true fixed-point forward DCT (row pass then column pass, 11-bit
+/// scaled constants, round-to-nearest rescale after each pass).
+///
+/// Differs from the double-precision [`fdct`] by at most a couple of units
+/// per coefficient; it exists as the exact semantics the VLIW/RFU DCT
+/// kernels implement, so they can be verified bit-for-bit.
+#[must_use]
+pub fn fdct_fixed(block: &[i32; 64]) -> [i32; 64] {
+    let coeffs = fixed_coeffs();
+    let mut mid = [0i32; 64];
+    // Row pass.
+    for y in 0..N {
+        let mut row = [0i32; N];
+        row.copy_from_slice(&block[y * N..(y + 1) * N]);
+        let t = fixed_pass(&row, &coeffs);
+        mid[y * N..(y + 1) * N].copy_from_slice(&t);
+    }
+    // Column pass.
+    let mut out = [0i32; 64];
+    for u in 0..N {
+        let mut col = [0i32; N];
+        for y in 0..N {
+            col[y] = mid[y * N + u];
+        }
+        let t = fixed_pass(&col, &coeffs);
+        for v in 0..N {
+            out[v * N + u] = t[v];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_block(seed: i32) -> [i32; 64] {
+        let mut b = [0i32; 64];
+        for (i, v) in b.iter_mut().enumerate() {
+            *v = ((i as i32 * 37 + seed * 11) % 255) - 127;
+        }
+        b
+    }
+
+    #[test]
+    fn dc_of_flat_block() {
+        let block = [96i32; 64];
+        let coefs = fdct(&block);
+        // DC = 8 * mean = 8 * 96.
+        assert_eq!(coefs[0], 8 * 96);
+        assert!(coefs[1..].iter().all(|&c| c == 0), "AC of a flat block");
+    }
+
+    #[test]
+    fn roundtrip_within_rounding_error() {
+        for seed in 0..5 {
+            let block = sample_block(seed);
+            let rec = idct(&fdct(&block));
+            for i in 0..64 {
+                assert!(
+                    (rec[i] - block[i]).abs() <= 1,
+                    "seed {seed} idx {i}: {} vs {}",
+                    rec[i],
+                    block[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn linearity_of_fdct() {
+        let a = sample_block(1);
+        let b = sample_block(2);
+        let mut sum = [0i32; 64];
+        for i in 0..64 {
+            sum[i] = a[i] + b[i];
+        }
+        let ca = fdct(&a);
+        let cb = fdct(&b);
+        let cs = fdct(&sum);
+        for i in 0..64 {
+            assert!(
+                (cs[i] - ca[i] - cb[i]).abs() <= 2,
+                "idx {i}: {} vs {}",
+                cs[i],
+                ca[i] + cb[i]
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_dct_tracks_the_float_reference() {
+        for seed in 0..6 {
+            let block = sample_block(seed);
+            let float = fdct(&block);
+            let fixed = fdct_fixed(&block);
+            for i in 0..64 {
+                assert!(
+                    (float[i] - fixed[i]).abs() <= 3,
+                    "seed {seed} idx {i}: float {} fixed {}",
+                    float[i],
+                    fixed[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_dct_dc_of_flat_block() {
+        let block = [100i32; 64];
+        let out = fdct_fixed(&block);
+        assert!((out[0] - 800).abs() <= 2, "DC {}", out[0]);
+    }
+
+    #[test]
+    fn fixed_coeffs_are_11_bit_scaled() {
+        let c = fixed_coeffs();
+        // α(0)·cos(0)·2048 = 2048/√8 ≈ 724.
+        assert_eq!(c[0][0], 724);
+        for row in &c {
+            for &v in row {
+                assert!(v.abs() <= 1024, "coefficient {v} exceeds 2^10 magnitude");
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let block = sample_block(3);
+        let coefs = fdct(&block);
+        let es: i64 = block.iter().map(|&v| i64::from(v) * i64::from(v)).sum();
+        let ec: i64 = coefs.iter().map(|&v| i64::from(v) * i64::from(v)).sum();
+        let ratio = ec as f64 / es as f64;
+        assert!((ratio - 1.0).abs() < 0.01, "energy ratio {ratio}");
+    }
+}

@@ -1,0 +1,114 @@
+//! The Figure 2 rendering: packed-word data set of a predictor macroblock.
+//!
+//! Each 8-bit pixel is accessed through the 32-bit word it is packed into,
+//! so a predictor row of 17 pixels at byte alignment `a` touches five
+//! packed words (`W0`–`W4`); the diagonal interpolation additionally needs
+//! the 17th row. This module renders that footprint as ASCII art, matching
+//! the paper's Figure 2 (shaded = needed for alignment, black = needed for
+//! the diagonal interpolation).
+
+use crate::sad::InterpKind;
+use crate::MB;
+
+/// Renders the data set of a predictor macroblock with the given byte
+/// `alignment` (0–3) and interpolation kind.
+///
+/// Legend: each cell is one packed 32-bit word of four pixels; `####` =
+/// fully used, `::::` = partially used because of the alignment, `XXXX` =
+/// used only by the interpolation (the extra column/row), `....` = fetched
+/// but unused.
+///
+/// # Panics
+///
+/// Panics when `alignment > 3`.
+#[must_use]
+pub fn render(alignment: u32, kind: InterpKind) -> String {
+    assert!(alignment < 4, "alignment is a byte offset within a word");
+    let cols_px = kind.cols(); // 16 or 17
+    let rows = kind.rows(); // 16 or 17
+    let words = 5; // the paper's W0..W4
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Predictor macroblock data set: alignment {alignment}, {kind:?} interpolation\n"
+    ));
+    out.push_str("      ");
+    for w in 0..words {
+        out.push_str(&format!("  W{w}  "));
+    }
+    out.push('\n');
+    for row in 0..rows {
+        let extra_row = row == MB; // the 17th row, interpolation only
+        out.push_str(&format!("  r{row:2} "));
+        for w in 0..words {
+            // Pixels covered by word w: bytes [w*4, w*4+4) of the packed
+            // row; needed pixels: [alignment, alignment + cols_px).
+            let lo = (w * 4) as u32;
+            let hi = lo + 4;
+            let need_lo = alignment;
+            let need_hi = alignment + cols_px as u32;
+            let covered = hi.min(need_hi).saturating_sub(lo.max(need_lo));
+            let cell = if covered == 0 {
+                " ...."
+            } else if extra_row {
+                " XXXX"
+            } else if covered == 4 {
+                " ####"
+            } else if lo + 4 > alignment + MB as u32 && kind.cols() == 17 {
+                // Only the interpolation column lands in this word.
+                " XXXX"
+            } else {
+                " ::::"
+            };
+            out.push_str(cell);
+        }
+        out.push('\n');
+    }
+    out.push_str(
+        "legend: #### full word  :::: alignment partial  XXXX interpolation only  .... unused\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_no_interp_uses_four_words() {
+        let s = render(0, InterpKind::None);
+        let first_row = s.lines().nth(2).unwrap();
+        assert!(first_row.contains("####"));
+        // W4 unused when aligned without interpolation.
+        assert!(first_row.ends_with("...."));
+    }
+
+    #[test]
+    fn alignment_3_diag_matches_figure_2() {
+        // The paper's example: alignment 3 with diagonal interpolation
+        // touches all five words and a 17th row.
+        let s = render(3, InterpKind::Diag);
+        let rows: Vec<&str> = s.lines().collect();
+        // Header + 17 pixel rows + legend.
+        assert_eq!(rows.len(), 2 + 17 + 1);
+        let r0 = rows[2];
+        assert!(r0.contains("::::"), "partial first word: {r0}");
+        assert!(!r0.contains("...."), "all five words touched: {r0}");
+        let r16 = rows[2 + 16];
+        assert!(r16.contains("XXXX"), "extra interpolation row: {r16}");
+    }
+
+    #[test]
+    #[should_panic(expected = "byte offset")]
+    fn alignment_bounds_checked() {
+        let _ = render(4, InterpKind::None);
+    }
+
+    #[test]
+    fn vertical_interp_adds_row_not_column() {
+        let s = render(0, InterpKind::V);
+        let rows: Vec<&str> = s.lines().collect();
+        assert_eq!(rows.len(), 2 + 17 + 1);
+        // 16-pixel columns: W4 unused on ordinary rows.
+        assert!(rows[2].ends_with("...."));
+    }
+}

@@ -1,0 +1,235 @@
+//! Canonical Huffman coding.
+//!
+//! MPEG-4's texture layer uses fixed Huffman tables for `(last, run,
+//! level)` events. The shipped encoder uses exp-Golomb codes (a universal
+//! substitution, see [`bitstream`](crate::bitstream)); this module provides
+//! the table-driven alternative: build an optimal prefix code from symbol
+//! frequencies (as a two-pass encoder would), emit it canonically, and
+//! encode/decode symbol streams against it.
+
+use crate::bitstream::{BitReader, BitWriter};
+
+/// A canonical Huffman code over symbols `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalCode {
+    /// Code length per symbol (0 = symbol never occurs and has no code).
+    lengths: Vec<u8>,
+    /// Codeword per symbol, MSB-aligned to its length.
+    codes: Vec<u32>,
+}
+
+/// Maximum codeword length this implementation emits.
+pub const MAX_CODE_LEN: u8 = 32;
+
+impl CanonicalCode {
+    /// Builds an optimal prefix code for the given symbol frequencies
+    /// (Huffman's algorithm, then canonical reassignment). Symbols with
+    /// zero frequency get no code.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no symbol has a nonzero frequency.
+    #[must_use]
+    pub fn from_frequencies(freqs: &[u64]) -> Self {
+        let active: Vec<usize> = (0..freqs.len()).filter(|&i| freqs[i] > 0).collect();
+        assert!(!active.is_empty(), "at least one symbol must occur");
+        let mut lengths = vec![0u8; freqs.len()];
+        if active.len() == 1 {
+            // Degenerate alphabet: one symbol, one-bit code.
+            lengths[active[0]] = 1;
+        } else {
+            // Huffman tree via two-queue merge over sorted leaves.
+            #[derive(Clone)]
+            struct Node {
+                weight: u64,
+                symbols: Vec<usize>, // leaves under this node
+            }
+            let mut heap: Vec<Node> = active
+                .iter()
+                .map(|&i| Node {
+                    weight: freqs[i],
+                    symbols: vec![i],
+                })
+                .collect();
+            while heap.len() > 1 {
+                // Extract the two lightest nodes (linear scan: alphabets
+                // here are small).
+                heap.sort_by_key(|n| std::cmp::Reverse(n.weight));
+                let a = heap.pop().expect("two nodes remain");
+                let b = heap.pop().expect("two nodes remain");
+                for &s in a.symbols.iter().chain(&b.symbols) {
+                    lengths[s] += 1;
+                }
+                let mut symbols = a.symbols;
+                symbols.extend(b.symbols);
+                heap.push(Node {
+                    weight: a.weight + b.weight,
+                    symbols,
+                });
+            }
+        }
+        Self::from_lengths(lengths)
+    }
+
+    /// Builds the canonical code from per-symbol lengths (shorter codes
+    /// first; ties broken by symbol index — the canonical convention).
+    fn from_lengths(lengths: Vec<u8>) -> Self {
+        let mut order: Vec<usize> = (0..lengths.len()).filter(|&i| lengths[i] > 0).collect();
+        order.sort_by_key(|&i| (lengths[i], i));
+        let mut codes = vec![0u32; lengths.len()];
+        let mut code = 0u32;
+        let mut prev_len = 0u8;
+        for &i in &order {
+            code <<= lengths[i] - prev_len;
+            codes[i] = code;
+            code += 1;
+            prev_len = lengths[i];
+        }
+        CanonicalCode { lengths, codes }
+    }
+
+    /// The code length of `symbol` in bits (0 when the symbol has no code).
+    #[must_use]
+    pub fn length(&self, symbol: usize) -> u8 {
+        self.lengths[symbol]
+    }
+
+    /// Appends `symbol`'s codeword to the stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the symbol has no code (zero training frequency).
+    pub fn encode(&self, w: &mut BitWriter, symbol: usize) {
+        let len = self.lengths[symbol];
+        assert!(len > 0, "symbol {symbol} has no code");
+        w.put_bits(self.codes[symbol], len);
+    }
+
+    /// Decodes one symbol; `None` at end of stream or on an invalid prefix.
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Option<usize> {
+        let mut code = 0u32;
+        for len in 1..=MAX_CODE_LEN {
+            code = (code << 1) | u32::from(r.get_bit()?);
+            // Canonical property: at each length, valid codes form a
+            // contiguous range.
+            for (i, (&l, &c)) in self.lengths.iter().zip(&self.codes).enumerate() {
+                if l == len && c == code {
+                    return Some(i);
+                }
+            }
+        }
+        None
+    }
+
+    /// Expected bits per symbol under the training distribution.
+    #[must_use]
+    pub fn expected_length(&self, freqs: &[u64]) -> f64 {
+        let total: u64 = freqs.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        freqs
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| f as f64 * f64::from(self.lengths[i]))
+            .sum::<f64>()
+            / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skewed() -> Vec<u64> {
+        vec![100, 50, 25, 12, 6, 3, 2, 1]
+    }
+
+    #[test]
+    fn roundtrip_symbol_stream() {
+        let code = CanonicalCode::from_frequencies(&skewed());
+        let symbols = [0usize, 1, 0, 7, 3, 0, 2, 6, 0, 0, 5, 4];
+        let mut w = BitWriter::new();
+        for &s in &symbols {
+            code.encode(&mut w, s);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &s in &symbols {
+            assert_eq!(code.decode(&mut r), Some(s));
+        }
+    }
+
+    #[test]
+    fn frequent_symbols_get_shorter_codes() {
+        let code = CanonicalCode::from_frequencies(&skewed());
+        assert!(code.length(0) <= code.length(3));
+        assert!(code.length(3) <= code.length(7));
+        assert_eq!(code.length(0), 1, "the dominant symbol gets one bit");
+    }
+
+    #[test]
+    fn kraft_inequality_holds_with_equality() {
+        // A complete Huffman code satisfies Σ 2^-len = 1.
+        let code = CanonicalCode::from_frequencies(&skewed());
+        let kraft: f64 = (0..8).map(|i| 2f64.powi(-i32::from(code.length(i)))).sum();
+        assert!((kraft - 1.0).abs() < 1e-12, "kraft {kraft}");
+    }
+
+    #[test]
+    fn beats_fixed_width_on_skewed_data() {
+        let freqs = skewed();
+        let code = CanonicalCode::from_frequencies(&freqs);
+        // 8 symbols would need 3 fixed bits; Huffman must do better here.
+        assert!(code.expected_length(&freqs) < 3.0);
+        // And can never beat the entropy.
+        let total: u64 = freqs.iter().sum();
+        let entropy: f64 = freqs
+            .iter()
+            .map(|&f| {
+                let p = f as f64 / total as f64;
+                -p * p.log2()
+            })
+            .sum();
+        assert!(code.expected_length(&freqs) >= entropy - 1e-9);
+    }
+
+    #[test]
+    fn zero_frequency_symbols_get_no_code() {
+        let code = CanonicalCode::from_frequencies(&[10, 0, 5]);
+        assert_eq!(code.length(1), 0);
+        assert!(code.length(0) > 0 && code.length(2) > 0);
+    }
+
+    #[test]
+    fn degenerate_single_symbol_alphabet() {
+        let code = CanonicalCode::from_frequencies(&[0, 42, 0]);
+        assert_eq!(code.length(1), 1);
+        let mut w = BitWriter::new();
+        code.encode(&mut w, 1);
+        code.encode(&mut w, 1);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(code.decode(&mut r), Some(1));
+        assert_eq!(code.decode(&mut r), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "no code")]
+    fn encoding_untrained_symbol_panics() {
+        let code = CanonicalCode::from_frequencies(&[10, 0]);
+        let mut w = BitWriter::new();
+        code.encode(&mut w, 1);
+    }
+
+    #[test]
+    fn decode_detects_truncation() {
+        let code = CanonicalCode::from_frequencies(&skewed());
+        let mut w = BitWriter::new();
+        code.encode(&mut w, 7); // longest code
+        let bytes = w.into_bytes();
+        // Cut the stream to a single bit: no valid symbol completes.
+        let mut r = BitReader::new(&bytes[..0]);
+        assert_eq!(code.decode(&mut r), None);
+    }
+}

@@ -1,0 +1,69 @@
+//! PSNR quality metric.
+
+use crate::types::Plane;
+
+/// Mean squared error between two planes.
+///
+/// # Panics
+///
+/// Panics when the planes have different shapes.
+#[must_use]
+pub fn mse(a: &Plane, b: &Plane) -> f64 {
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "plane shape mismatch"
+    );
+    let sum: u64 = a
+        .data()
+        .iter()
+        .zip(b.data())
+        .map(|(&x, &y)| {
+            let d = i64::from(x) - i64::from(y);
+            (d * d) as u64
+        })
+        .sum();
+    sum as f64 / (a.width() * a.height()) as f64
+}
+
+/// Peak signal-to-noise ratio in dB; `f64::INFINITY` for identical planes.
+#[must_use]
+pub fn psnr(a: &Plane, b: &Plane) -> f64 {
+    let m = mse(a, b);
+    if m == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (255.0f64 * 255.0 / m).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_planes_have_infinite_psnr() {
+        let p = Plane::new(16, 16);
+        assert_eq!(psnr(&p, &p), f64::INFINITY);
+    }
+
+    #[test]
+    fn known_mse() {
+        let a = Plane::new(8, 8);
+        let mut b = Plane::new(8, 8);
+        for y in 0..8 {
+            for x in 0..8 {
+                b.set(x, y, 2);
+            }
+        }
+        assert!((mse(&a, &b) - 4.0).abs() < 1e-12);
+        // PSNR for MSE 4 = 10 log10(65025/4) ≈ 42.11 dB
+        assert!((psnr(&a, &b) - 42.110_202_970_909_52).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mismatched_planes_panic() {
+        let _ = mse(&Plane::new(8, 8), &Plane::new(16, 16));
+    }
+}

@@ -1,0 +1,151 @@
+//! Run-level coding of zig-zag-scanned coefficient blocks.
+
+use crate::bitstream::{BitReader, BitWriter};
+
+/// One `(last, run, level)` event of the MPEG-4 texture layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunLevel {
+    /// Zero coefficients skipped before this one.
+    pub run: u8,
+    /// The nonzero coefficient value.
+    pub level: i32,
+    /// Whether this is the last nonzero coefficient of the block.
+    pub last: bool,
+}
+
+/// Converts a zig-zag-ordered block to its run-level events.
+#[must_use]
+pub fn encode_events(zz: &[i32; 64]) -> Vec<RunLevel> {
+    let mut events = Vec::new();
+    let mut run = 0u8;
+    for &c in zz.iter() {
+        if c == 0 {
+            run += 1;
+        } else {
+            events.push(RunLevel {
+                run,
+                level: c,
+                last: false,
+            });
+            run = 0;
+        }
+    }
+    if let Some(last) = events.last_mut() {
+        last.last = true;
+    }
+    events
+}
+
+/// Rebuilds the zig-zag block from its events.
+///
+/// # Panics
+///
+/// Panics if the events overflow the 64-coefficient block.
+#[must_use]
+pub fn decode_events(events: &[RunLevel]) -> [i32; 64] {
+    let mut zz = [0i32; 64];
+    let mut pos = 0usize;
+    for e in events {
+        pos += usize::from(e.run);
+        assert!(pos < 64, "run-level events overflow the block");
+        zz[pos] = e.level;
+        pos += 1;
+    }
+    zz
+}
+
+/// Writes a block's events to the bitstream: a coded-block flag, then
+/// `ue(run)` + `se(level)` + a `last` bit per event.
+pub fn write_block(w: &mut BitWriter, zz: &[i32; 64]) {
+    let events = encode_events(zz);
+    w.put_bit(!events.is_empty());
+    for e in &events {
+        w.put_ue(u32::from(e.run));
+        w.put_se(e.level);
+        w.put_bit(e.last);
+    }
+}
+
+/// Reads a block written by [`write_block`].
+pub fn read_block(r: &mut BitReader<'_>) -> Option<[i32; 64]> {
+    let coded = r.get_bit()?;
+    let mut events = Vec::new();
+    if coded {
+        loop {
+            let run = r.get_ue()?;
+            let level = r.get_se()?;
+            let last = r.get_bit()?;
+            events.push(RunLevel {
+                run: run.try_into().ok()?,
+                level,
+                last,
+            });
+            if last {
+                break;
+            }
+        }
+    }
+    Some(decode_events(&events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_of_empty_block() {
+        assert!(encode_events(&[0i32; 64]).is_empty());
+    }
+
+    #[test]
+    fn events_track_runs_and_last() {
+        let mut zz = [0i32; 64];
+        zz[0] = 5;
+        zz[3] = -2;
+        zz[10] = 1;
+        let ev = encode_events(&zz);
+        assert_eq!(
+            ev,
+            vec![
+                RunLevel {
+                    run: 0,
+                    level: 5,
+                    last: false
+                },
+                RunLevel {
+                    run: 2,
+                    level: -2,
+                    last: false
+                },
+                RunLevel {
+                    run: 6,
+                    level: 1,
+                    last: true
+                },
+            ]
+        );
+        assert_eq!(decode_events(&ev), zz);
+    }
+
+    #[test]
+    fn bitstream_roundtrip() {
+        let mut zz = [0i32; 64];
+        zz[1] = -7;
+        zz[2] = 3;
+        zz[63] = 1;
+        let mut w = BitWriter::new();
+        write_block(&mut w, &zz);
+        write_block(&mut w, &[0i32; 64]);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(read_block(&mut r), Some(zz));
+        assert_eq!(read_block(&mut r), Some([0i32; 64]));
+    }
+
+    #[test]
+    fn uncoded_block_costs_one_bit() {
+        let mut w = BitWriter::new();
+        write_block(&mut w, &[0i32; 64]);
+        assert_eq!(w.bit_len(), 1);
+    }
+}

@@ -1,0 +1,189 @@
+//! `GetSad`: sum of absolute differences with exact half-sample
+//! interpolation — the golden model every VLIW kernel is verified against.
+
+use crate::types::{Mv, Plane};
+use crate::MB;
+
+/// Half-sample interpolation kind of a candidate predictor (the paper's
+/// "no / horizontal / vertical / diagonal interpolation" cases).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum InterpKind {
+    /// Integer-sample candidate.
+    #[default]
+    None,
+    /// Horizontal half-sample.
+    H,
+    /// Vertical half-sample.
+    V,
+    /// Diagonal half-sample (both components odd).
+    Diag,
+}
+
+impl InterpKind {
+    /// Columns of predictor pixels needed (16 or 17).
+    #[must_use]
+    pub fn cols(self) -> usize {
+        MB + usize::from(matches!(self, InterpKind::H | InterpKind::Diag))
+    }
+
+    /// Rows of predictor pixels needed (16 or 17).
+    #[must_use]
+    pub fn rows(self) -> usize {
+        MB + usize::from(matches!(self, InterpKind::V | InterpKind::Diag))
+    }
+}
+
+/// The interpolation kind selected by a motion vector's half-sample flags.
+#[must_use]
+pub fn interp_mode_of(mv: Mv) -> InterpKind {
+    match mv.half_flags() {
+        (false, false) => InterpKind::None,
+        (true, false) => InterpKind::H,
+        (false, true) => InterpKind::V,
+        (true, true) => InterpKind::Diag,
+    }
+}
+
+/// One interpolated predictor pixel at integer position `(x, y)` of the
+/// reference plane (rounding control 0, as in the case study).
+///
+/// # Panics
+///
+/// Panics when the required neighborhood leaves the plane.
+#[must_use]
+pub fn pred_pixel(plane: &Plane, x: usize, y: usize, kind: InterpKind) -> u8 {
+    let p = |dx: usize, dy: usize| u16::from(plane.at(x + dx, y + dy));
+    (match kind {
+        InterpKind::None => p(0, 0),
+        InterpKind::H => (p(0, 0) + p(1, 0) + 1) >> 1,
+        InterpKind::V => (p(0, 0) + p(0, 1) + 1) >> 1,
+        InterpKind::Diag => (p(0, 0) + p(1, 0) + p(0, 1) + p(1, 1) + 2) >> 2,
+    }) as u8
+}
+
+/// `GetSad`: SAD between the 16×16 reference block at `(rx, ry)` of `cur`
+/// and the (possibly interpolated) candidate at integer position `(cx, cy)`
+/// of `prev`.
+///
+/// # Panics
+///
+/// Panics when either block (including the interpolation border) leaves its
+/// plane.
+#[must_use]
+pub fn get_sad(
+    cur: &Plane,
+    rx: usize,
+    ry: usize,
+    prev: &Plane,
+    cx: usize,
+    cy: usize,
+    kind: InterpKind,
+) -> u32 {
+    let mut sad = 0u32;
+    for y in 0..MB {
+        for x in 0..MB {
+            let r = cur.at(rx + x, ry + y);
+            let p = pred_pixel(prev, cx + x, cy + y, kind);
+            sad += u32::from(r.abs_diff(p));
+        }
+    }
+    sad
+}
+
+/// Whether a candidate at integer position `(cx, cy)` with interpolation
+/// `kind` fits inside `plane`.
+#[must_use]
+pub fn candidate_fits(plane: &Plane, cx: isize, cy: isize, kind: InterpKind) -> bool {
+    cx >= 0
+        && cy >= 0
+        && (cx as usize) + kind.cols() <= plane.width()
+        && (cy as usize) + kind.rows() <= plane.height()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(w: usize, h: usize) -> Plane {
+        let mut p = Plane::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                p.set(x, y, ((x * 3 + y * 7) % 251) as u8);
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn sad_of_identical_blocks_is_zero() {
+        let p = ramp(64, 64);
+        assert_eq!(get_sad(&p, 8, 8, &p, 8, 8, InterpKind::None), 0);
+    }
+
+    #[test]
+    fn sad_positive_for_shifted_block() {
+        let p = ramp(64, 64);
+        assert!(get_sad(&p, 8, 8, &p, 9, 8, InterpKind::None) > 0);
+    }
+
+    #[test]
+    fn interp_mode_from_mv_flags() {
+        assert_eq!(interp_mode_of(Mv::new(2, 4)), InterpKind::None);
+        assert_eq!(interp_mode_of(Mv::new(3, 4)), InterpKind::H);
+        assert_eq!(interp_mode_of(Mv::new(2, 5)), InterpKind::V);
+        assert_eq!(interp_mode_of(Mv::new(-1, 1)), InterpKind::Diag);
+    }
+
+    #[test]
+    fn pred_pixel_rounding_matches_mpeg4() {
+        let mut p = Plane::new(4, 4);
+        p.set(0, 0, 10);
+        p.set(1, 0, 11);
+        p.set(0, 1, 20);
+        p.set(1, 1, 21);
+        assert_eq!(pred_pixel(&p, 0, 0, InterpKind::None), 10);
+        assert_eq!(pred_pixel(&p, 0, 0, InterpKind::H), 11); // (21+1)>>1
+        assert_eq!(pred_pixel(&p, 0, 0, InterpKind::V), 15); // (30+1)>>1
+        assert_eq!(pred_pixel(&p, 0, 0, InterpKind::Diag), 16); // (62+2)>>2
+    }
+
+    #[test]
+    fn footprint_dimensions_per_kind() {
+        assert_eq!((InterpKind::None.cols(), InterpKind::None.rows()), (16, 16));
+        assert_eq!((InterpKind::H.cols(), InterpKind::H.rows()), (17, 16));
+        assert_eq!((InterpKind::V.cols(), InterpKind::V.rows()), (16, 17));
+        assert_eq!((InterpKind::Diag.cols(), InterpKind::Diag.rows()), (17, 17));
+    }
+
+    #[test]
+    fn candidate_fits_respects_interpolation_border() {
+        let p = Plane::new(32, 32);
+        assert!(candidate_fits(&p, 16, 16, InterpKind::None));
+        assert!(!candidate_fits(&p, 16, 16, InterpKind::Diag));
+        assert!(candidate_fits(&p, 15, 15, InterpKind::Diag));
+        assert!(!candidate_fits(&p, -1, 0, InterpKind::None));
+    }
+
+    #[test]
+    fn diag_sad_uses_all_four_neighbours() {
+        let mut prev = Plane::new(40, 40);
+        let mut cur = Plane::new(40, 40);
+        for y in 0..40 {
+            for x in 0..40 {
+                prev.set(x, y, ((x + y) % 256) as u8);
+            }
+        }
+        // Build cur as the exact diagonal interpolation of prev at (4, 4):
+        // the SAD must then be exactly zero.
+        for y in 0..16 {
+            for x in 0..16 {
+                cur.set(
+                    x + 8,
+                    y + 8,
+                    pred_pixel(&prev, x + 4, y + 4, InterpKind::Diag),
+                );
+            }
+        }
+        assert_eq!(get_sad(&cur, 8, 8, &prev, 4, 4, InterpKind::Diag), 0);
+    }
+}

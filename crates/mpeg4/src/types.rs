@@ -1,0 +1,259 @@
+//! Image planes, frames and motion vectors.
+
+use std::fmt;
+
+use crate::MB;
+
+/// One 8-bit image plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plane {
+    width: usize,
+    height: usize,
+    data: Vec<u8>,
+}
+
+impl Plane {
+    /// A zero-filled plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either dimension is zero.
+    #[must_use]
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "plane dimensions must be nonzero");
+        Plane {
+            width,
+            height,
+            data: vec![0; width * height],
+        }
+    }
+
+    /// Builds a plane from existing samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != width * height`.
+    #[must_use]
+    pub fn from_data(width: usize, height: usize, data: Vec<u8>) -> Self {
+        assert_eq!(data.len(), width * height, "sample count mismatch");
+        Plane {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Plane width in pixels.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Plane height in pixels.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The raw samples, row major.
+    #[must_use]
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Sample at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[must_use]
+    pub fn at(&self, x: usize, y: usize) -> u8 {
+        assert!(x < self.width && y < self.height, "({x},{y}) out of plane");
+        self.data[y * self.width + x]
+    }
+
+    /// Sample at `(x, y)` with edge clamping (used by the synthesizer).
+    #[must_use]
+    pub fn at_clamped(&self, x: isize, y: isize) -> u8 {
+        let x = x.clamp(0, self.width as isize - 1) as usize;
+        let y = y.clamp(0, self.height as isize - 1) as usize;
+        self.data[y * self.width + x]
+    }
+
+    /// Writes sample `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn set(&mut self, x: usize, y: usize, v: u8) {
+        assert!(x < self.width && y < self.height, "({x},{y}) out of plane");
+        self.data[y * self.width + x] = v;
+    }
+
+    /// One pixel row.
+    #[must_use]
+    pub fn row(&self, y: usize) -> &[u8] {
+        &self.data[y * self.width..(y + 1) * self.width]
+    }
+
+    /// Number of 16×16 macroblocks horizontally.
+    #[must_use]
+    pub fn mbs_x(&self) -> usize {
+        self.width / MB
+    }
+
+    /// Number of 16×16 macroblocks vertically.
+    #[must_use]
+    pub fn mbs_y(&self) -> usize {
+        self.height / MB
+    }
+}
+
+/// A YUV 4:2:0 frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Luma plane.
+    pub y: Plane,
+    /// Blue-difference chroma plane (half resolution).
+    pub u: Plane,
+    /// Red-difference chroma plane (half resolution).
+    pub v: Plane,
+}
+
+impl Frame {
+    /// A black frame of the given luma size.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both dimensions are multiples of 16 (whole
+    /// macroblocks).
+    #[must_use]
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(
+            width.is_multiple_of(MB) && height.is_multiple_of(MB),
+            "frame dimensions must be whole macroblocks"
+        );
+        Frame {
+            y: Plane::new(width, height),
+            u: Plane::new(width / 2, height / 2),
+            v: Plane::new(width / 2, height / 2),
+        }
+    }
+
+    /// Luma width.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.y.width()
+    }
+
+    /// Luma height.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.y.height()
+    }
+}
+
+/// A motion vector in **half-sample units** (so `Mv { x: 3, y: -2 }` means
+/// +1.5 px right, −1 px up).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Mv {
+    /// Horizontal component, half-sample units.
+    pub x: i16,
+    /// Vertical component, half-sample units.
+    pub y: i16,
+}
+
+impl Mv {
+    /// A vector from half-sample components.
+    #[must_use]
+    pub fn new(x: i16, y: i16) -> Self {
+        Mv { x, y }
+    }
+
+    /// A vector from integer-sample components.
+    #[must_use]
+    pub fn from_int(x: i16, y: i16) -> Self {
+        Mv { x: x * 2, y: y * 2 }
+    }
+
+    /// Whether both components are integer-sample.
+    #[must_use]
+    pub fn is_integer(self) -> bool {
+        self.x % 2 == 0 && self.y % 2 == 0
+    }
+
+    /// The integer (floor) parts, in whole samples.
+    #[must_use]
+    pub fn int_part(self) -> (i16, i16) {
+        (self.x.div_euclid(2), self.y.div_euclid(2))
+    }
+
+    /// The half-sample flags `(x odd, y odd)`.
+    #[must_use]
+    pub fn half_flags(self) -> (bool, bool) {
+        (self.x.rem_euclid(2) == 1, self.y.rem_euclid(2) == 1)
+    }
+}
+
+impl fmt::Display for Mv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({:.1},{:.1})",
+            f64::from(self.x) / 2.0,
+            f64::from(self.y) / 2.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plane_roundtrip() {
+        let mut p = Plane::new(16, 16);
+        p.set(3, 5, 200);
+        assert_eq!(p.at(3, 5), 200);
+        assert_eq!(p.row(5)[3], 200);
+    }
+
+    #[test]
+    fn clamped_access_at_edges() {
+        let mut p = Plane::new(4, 4);
+        p.set(0, 0, 9);
+        p.set(3, 3, 7);
+        assert_eq!(p.at_clamped(-5, -5), 9);
+        assert_eq!(p.at_clamped(100, 100), 7);
+    }
+
+    #[test]
+    fn frame_chroma_is_half_size() {
+        let f = Frame::new(176, 144);
+        assert_eq!((f.u.width(), f.u.height()), (88, 72));
+        assert_eq!(f.y.mbs_x(), 11);
+        assert_eq!(f.y.mbs_y(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole macroblocks")]
+    fn frame_requires_mb_multiple() {
+        let _ = Frame::new(100, 100);
+    }
+
+    #[test]
+    fn mv_half_sample_decomposition() {
+        let mv = Mv::new(3, -1);
+        assert_eq!(mv.int_part(), (1, -1));
+        assert_eq!(mv.half_flags(), (true, true));
+        assert!(!mv.is_integer());
+        assert!(Mv::from_int(2, -3).is_integer());
+        assert_eq!(Mv::new(-3, 0).int_part(), (-2, 0));
+        assert_eq!(Mv::new(-3, 0).half_flags(), (true, false));
+    }
+
+    #[test]
+    fn mv_display_in_pixels() {
+        assert_eq!(Mv::new(3, -2).to_string(), "(1.5,-1.0)");
+    }
+}

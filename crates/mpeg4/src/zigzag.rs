@@ -1,0 +1,71 @@
+//! The 8×8 zig-zag scan.
+
+/// The classic zig-zag scan order: `SCAN[k]` is the raster index of the
+/// k-th scanned coefficient.
+pub const SCAN: [usize; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27, 20,
+    13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58, 59,
+    52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// Scans a raster-order block into zig-zag order.
+#[must_use]
+pub fn scan(block: &[i32; 64]) -> [i32; 64] {
+    let mut out = [0i32; 64];
+    for (k, &idx) in SCAN.iter().enumerate() {
+        out[k] = block[idx];
+    }
+    out
+}
+
+/// Inverse: places zig-zag-ordered values back into raster order.
+#[must_use]
+pub fn unscan(zz: &[i32; 64]) -> [i32; 64] {
+    let mut out = [0i32; 64];
+    for (k, &idx) in SCAN.iter().enumerate() {
+        out[idx] = zz[k];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn scan_is_a_permutation() {
+        let set: HashSet<usize> = SCAN.iter().copied().collect();
+        assert_eq!(set.len(), 64);
+        assert!(SCAN.iter().all(|&i| i < 64));
+    }
+
+    #[test]
+    fn scan_unscan_roundtrip() {
+        let mut block = [0i32; 64];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = i as i32 * 3 - 50;
+        }
+        assert_eq!(unscan(&scan(&block)), block);
+    }
+
+    #[test]
+    fn first_entries_follow_the_diagonal() {
+        assert_eq!(&SCAN[..6], &[0, 1, 8, 16, 9, 2]);
+        assert_eq!(SCAN[63], 63);
+    }
+
+    #[test]
+    fn scan_orders_low_frequencies_first() {
+        // A block with energy only in the top-left 2×2 must have all its
+        // nonzeros within the first 5 scanned positions.
+        let mut block = [0i32; 64];
+        block[0] = 5;
+        block[1] = 4;
+        block[8] = 3;
+        block[9] = 2;
+        let zz = scan(&block);
+        assert!(zz[..5].iter().filter(|&&v| v != 0).count() == 4);
+        assert!(zz[5..].iter().all(|&v| v == 0));
+    }
+}

@@ -1,0 +1,263 @@
+//! RFU configurations: the paper's `#x` contexts.
+
+/// Data bandwidth available to the RFU for autonomous memory access in the
+/// loop-level experiments (Table 2): "one 32-bit, one 64-bit or two 64-bit
+/// data accesses per cycle".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RfuBandwidth {
+    /// One 32-bit access per cycle (`1x32`).
+    #[default]
+    B1x32,
+    /// One 64-bit access per cycle (`1x64`).
+    B1x64,
+    /// Two 64-bit accesses per cycle (`2x64`).
+    B2x64,
+}
+
+impl RfuBandwidth {
+    /// Cycles of the load stage consumed per predictor macroblock row
+    /// (5 words = 20 bytes): the loop initiation interval under this
+    /// bandwidth.
+    #[must_use]
+    pub fn cycles_per_row(self) -> u64 {
+        match self {
+            // 5 words, one per cycle.
+            RfuBandwidth::B1x32 => 5,
+            // 3 double-word accesses, one per cycle.
+            RfuBandwidth::B1x64 => 3,
+            // 3 double-word accesses, two per cycle.
+            RfuBandwidth::B2x64 => 2,
+        }
+    }
+
+    /// The paper's label for this option.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            RfuBandwidth::B1x32 => "1x32",
+            RfuBandwidth::B1x64 => "1x64",
+            RfuBandwidth::B2x64 => "2x64",
+        }
+    }
+
+    /// All bandwidth options in Table 2's row order.
+    #[must_use]
+    pub fn all() -> [RfuBandwidth; 3] {
+        [
+            RfuBandwidth::B1x32,
+            RfuBandwidth::B1x64,
+            RfuBandwidth::B2x64,
+        ]
+    }
+}
+
+/// Parameters of the long-latency ME kernel-loop instruction.
+///
+/// The static loop latency is pipelined over load, computation and write
+/// stages; the technology-scaling factor β multiplies *only* the compute
+/// stages ("the read/write stages are constrained by the external
+/// architecture and therefore they are unchanged").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeLoopCfg {
+    /// Data bandwidth of the RFU load port.
+    pub bandwidth: RfuBandwidth,
+    /// Technology-scaling factor β (1 = same speed as the core's standard
+    /// cells; 5 = the paper's FPGA-like worst case).
+    pub beta: u64,
+    /// Compute pipeline depth at β = 1 (interpolate, absolute-difference,
+    /// accumulate).
+    pub compute_depth: u64,
+    /// Pipeline prologue (address setup, first-row latency).
+    pub prologue: u64,
+    /// Pipeline epilogue (final accumulation, result write).
+    pub epilogue: u64,
+    /// Frame row stride in bytes (the encoded image width).
+    pub stride: u32,
+    /// Whether candidate predictor rows are served from Line Buffer B
+    /// (the two-line-buffer scheme of Table 7; memory is then accessed at
+    /// 1×32 only on misses).
+    pub use_line_buffer_b: bool,
+}
+
+impl MeLoopCfg {
+    /// A configuration with the paper's pipeline shape and the given
+    /// bandwidth/β.
+    #[must_use]
+    pub fn new(bandwidth: RfuBandwidth, beta: u64, stride: u32) -> Self {
+        MeLoopCfg {
+            bandwidth,
+            beta,
+            compute_depth: 3,
+            // Software-pipeline fill through the data cache: address setup
+            // plus a cache round trip before the first row retires.
+            prologue: 16,
+            epilogue: 4,
+            stride,
+            use_line_buffer_b: false,
+        }
+    }
+
+    /// The two-line-buffer variant (Table 7): rows stream from Line Buffer
+    /// B at one row per cycle; cache is accessed (1×32) only on misses.
+    /// The pipeline fills from the local buffer, so the prologue shrinks.
+    #[must_use]
+    pub fn with_line_buffer_b(mut self) -> Self {
+        self.use_line_buffer_b = true;
+        self.bandwidth = RfuBandwidth::B1x32;
+        self.prologue = 6;
+        self
+    }
+
+    /// Cycles per predictor row in the load stage.
+    #[must_use]
+    pub fn initiation_interval(&self) -> u64 {
+        if self.use_line_buffer_b {
+            // One line-buffer row access per cycle (2-cycle latency,
+            // throughput 1).
+            1
+        } else {
+            self.bandwidth.cycles_per_row()
+        }
+    }
+
+    /// The compiler-visible static loop latency `Lat` (Table 2's `Lat`
+    /// column): prologue + 17 rows × II + β·depth + epilogue, plus the
+    /// Line Buffer B access pipe. The line buffer lives *inside* the RFU
+    /// fabric, so its 2-cycle access scales with β — unlike the read/write
+    /// stages, which are constrained by the external architecture and stay
+    /// fixed (the paper's technology-scaling rule).
+    #[must_use]
+    pub fn static_latency(&self) -> u64 {
+        let lb_pipe = if self.use_line_buffer_b {
+            crate::LineBufferB::ACCESS_LATENCY * self.beta
+        } else {
+            0
+        };
+        self.prologue
+            + crate::PRED_ROWS as u64 * self.initiation_interval()
+            + self.beta * self.compute_depth
+            + self.epilogue
+            + lb_pipe
+    }
+}
+
+/// Semantics of a short (1-cycle) `RFUEXEC` custom instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShortOp {
+    /// Scenario A2: diagonal half-pel interpolation over 4 pixels. The four
+    /// previously sent words are two adjacent words of predictor row *y*
+    /// and two of row *y+1*; the explicit operand carries the byte
+    /// alignment (0–3). The result packs the four interpolated pixels.
+    Diag4,
+    /// Scenario A3: diagonal interpolation over a 16-pixel macroblock row.
+    /// Ten previously sent words are the 5-word footprints of rows *y* and
+    /// *y+1*; the explicit operand is the alignment. The result is word 0;
+    /// words 1–3 are fetched with [`ShortOp::ReadOut`].
+    Diag16,
+    /// Reads result word `1..=3` left by a previous [`ShortOp::Diag16`].
+    ReadOut(u8),
+}
+
+/// Prefetch pattern hard-wired in a custom prefetch configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefetchPattern {
+    /// Prefetch the 16 rows of the *reference* macroblock and gather them
+    /// into Line Buffer A as each access completes (setting `Done` flags).
+    ReferenceMb {
+        /// Frame row stride in bytes.
+        stride: u32,
+    },
+    /// Prefetch the 17 rows of a *candidate predictor* macroblock (one
+    /// cache-line request per row plus the crossing line when the row
+    /// straddles a line).
+    CandidateMb {
+        /// Frame row stride in bytes.
+        stride: u32,
+    },
+    /// As [`PrefetchPattern::CandidateMb`], but also allocate the rows in
+    /// Line Buffer B (double-buffered bank switch per macroblock; fully
+    /// associative dedup against already-pending lines).
+    CandidateMbToLbB {
+        /// Frame row stride in bytes.
+        stride: u32,
+    },
+}
+
+/// One RFU configuration (`#x`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RfuConfig {
+    /// A short 1-cycle custom instruction.
+    Short(ShortOp),
+    /// The long-latency ME kernel loop.
+    MeLoop(MeLoopCfg),
+    /// The long-latency 8×8 forward-DCT instruction (future-work
+    /// extension).
+    DctLoop(crate::DctLoopCfg),
+    /// A custom prefetch pattern.
+    Prefetch(PrefetchPattern),
+}
+
+/// Well-known configuration ids used by the kernels and experiments.
+pub mod cfgs {
+    /// A2 diagonal interpolation over 4 pixels.
+    pub const DIAG4: u16 = 1;
+    /// A3 diagonal interpolation over 16 pixels (compute + word 0).
+    pub const DIAG16: u16 = 2;
+    /// A3 result word 1.
+    pub const DIAG16_R1: u16 = 3;
+    /// A3 result word 2.
+    pub const DIAG16_R2: u16 = 4;
+    /// A3 result word 3.
+    pub const DIAG16_R3: u16 = 5;
+    /// The ME kernel-loop instruction.
+    pub const ME_LOOP: u16 = 8;
+    /// The 8×8 forward-DCT instruction (future-work extension).
+    pub const DCT_LOOP: u16 = 9;
+    /// Reference-macroblock prefetch (gather into Line Buffer A).
+    pub const PREF_REF: u16 = 16;
+    /// Candidate-macroblock prefetch.
+    pub const PREF_CAND: u16 = 17;
+    /// Candidate-macroblock prefetch into Line Buffer B.
+    pub const PREF_CAND_LBB: u16 = 18;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_per_row_match_paper_bandwidths() {
+        assert_eq!(RfuBandwidth::B1x32.cycles_per_row(), 5);
+        assert_eq!(RfuBandwidth::B1x64.cycles_per_row(), 3);
+        assert_eq!(RfuBandwidth::B2x64.cycles_per_row(), 2);
+    }
+
+    #[test]
+    fn static_latency_shape() {
+        let stride = 176;
+        let l32 = MeLoopCfg::new(RfuBandwidth::B1x32, 1, stride).static_latency();
+        let l64 = MeLoopCfg::new(RfuBandwidth::B1x64, 1, stride).static_latency();
+        let l2x64 = MeLoopCfg::new(RfuBandwidth::B2x64, 1, stride).static_latency();
+        assert!(l32 > l64 && l64 > l2x64, "more bandwidth ⇒ shorter loop");
+        assert_eq!(l32, 16 + 17 * 5 + 3 + 4);
+    }
+
+    #[test]
+    fn beta_adds_fixed_latency_across_bandwidths() {
+        // The paper: "the loop latency increase is fixed among the three
+        // cases (it is 12 cycles)".
+        for bw in RfuBandwidth::all() {
+            let l1 = MeLoopCfg::new(bw, 1, 176).static_latency();
+            let l5 = MeLoopCfg::new(bw, 5, 176).static_latency();
+            assert_eq!(l5 - l1, 12, "{}", bw.label());
+        }
+    }
+
+    #[test]
+    fn line_buffer_b_shortens_the_loop() {
+        let base = MeLoopCfg::new(RfuBandwidth::B1x32, 1, 176);
+        let two_lb = base.with_line_buffer_b();
+        assert!(two_lb.static_latency() < base.static_latency());
+        assert_eq!(two_lb.initiation_interval(), 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! The RFU's 8×8 forward-DCT datapath (future-work extension).
+//!
+//! The paper's outlook — mapping *other parts of the application* onto the
+//! RFU — starts with the texture pipeline's DCT. This module implements
+//! the same bit-true fixed-point algorithm as the software kernel (11-bit
+//! scaled cosine constants, round-to-nearest rescale per 1-D pass); the
+//! integration tests cross-check it against `mpeg4_enc::dct::fdct_fixed`.
+
+use std::f64::consts::PI;
+
+/// Configuration of the long-latency DCT instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DctLoopCfg {
+    /// Technology-scaling factor β (multiplies the compute stages only).
+    pub beta: u64,
+    /// Compute pipeline depth at β = 1 (two multiply-accumulate pass
+    /// stages plus the rescale).
+    pub compute_depth: u64,
+    /// Pipeline prologue (address setup, first row fetch).
+    pub prologue: u64,
+    /// Epilogue (final column writes).
+    pub epilogue: u64,
+}
+
+impl DctLoopCfg {
+    /// A configuration with the default pipeline shape.
+    #[must_use]
+    pub fn new(beta: u64) -> Self {
+        DctLoopCfg {
+            beta,
+            compute_depth: 8,
+            prologue: 10,
+            epilogue: 4,
+        }
+    }
+
+    /// Static latency: prologue + 16 pipelined 1-D passes + β·depth +
+    /// epilogue.
+    #[must_use]
+    pub fn static_latency(&self) -> u64 {
+        self.prologue + 16 + self.beta * self.compute_depth + self.epilogue
+    }
+}
+
+fn fixed_coeffs() -> [[i32; 8]; 8] {
+    let mut out = [[0i32; 8]; 8];
+    for (u, row) in out.iter_mut().enumerate() {
+        let alpha = if u == 0 {
+            (1.0f64 / 8.0).sqrt()
+        } else {
+            (2.0f64 / 8.0).sqrt()
+        };
+        for (x, v) in row.iter_mut().enumerate() {
+            let c = ((2.0 * x as f64 + 1.0) * u as f64 * PI / 16.0).cos();
+            *v = (alpha * c * 2048.0).round() as i32;
+        }
+    }
+    out
+}
+
+fn pass(input: &[i32; 8], coeffs: &[[i32; 8]; 8]) -> [i32; 8] {
+    let mut out = [0i32; 8];
+    for (u, o) in out.iter_mut().enumerate() {
+        let mut s = 0i32;
+        for x in 0..8 {
+            s += coeffs[u][x] * input[x];
+        }
+        *o = (s + 1024) >> 11;
+    }
+    out
+}
+
+/// The RFU datapath's fixed-point 8×8 forward DCT (row pass then column
+/// pass) — bit-true to the software kernel's reference.
+#[must_use]
+pub fn fdct_fixed_rfu(block: &[i32; 64]) -> [i32; 64] {
+    let coeffs = fixed_coeffs();
+    let mut mid = [0i32; 64];
+    for y in 0..8 {
+        let mut row = [0i32; 8];
+        row.copy_from_slice(&block[y * 8..(y + 1) * 8]);
+        mid[y * 8..(y + 1) * 8].copy_from_slice(&pass(&row, &coeffs));
+    }
+    let mut out = [0i32; 64];
+    for u in 0..8 {
+        let mut col = [0i32; 8];
+        for y in 0..8 {
+            col[y] = mid[y * 8 + u];
+        }
+        let t = pass(&col, &coeffs);
+        for v in 0..8 {
+            out[v * 8 + u] = t[v];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_shape() {
+        let c1 = DctLoopCfg::new(1);
+        let c5 = DctLoopCfg::new(5);
+        assert_eq!(c1.static_latency(), 10 + 16 + 8 + 4);
+        assert_eq!(c5.static_latency() - c1.static_latency(), 4 * 8);
+    }
+
+    #[test]
+    fn dc_of_flat_block() {
+        let out = fdct_fixed_rfu(&[100i32; 64]);
+        assert!((out[0] - 800).abs() <= 2);
+        assert!(out[1..].iter().all(|&c| c.abs() <= 1));
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut block = [0i32; 64];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = (i as i32 * 31 % 255) - 127;
+        }
+        assert_eq!(fdct_fixed_rfu(&block), fdct_fixed_rfu(&block));
+    }
+}

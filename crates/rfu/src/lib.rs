@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+//! # rvliw-rfu
+//!
+//! Functional model of the run-time **Reconfigurable Functional Unit (RFU)**
+//! coupled to the ST200-like VLIW core — the primary contribution of the
+//! reproduced paper.
+//!
+//! Following the paper, the RFU is modelled *at functional level*: it is
+//! characterized by its functionality, throughput and latency, not by a
+//! specific fabric. The model covers everything the case study exercises:
+//!
+//! * **Configurations** ([`RfuConfig`]) — the paper's `#x` contexts, each
+//!   describing one custom instruction: short 1-cycle `RFUEXEC` semantics
+//!   (scenarios A2/A3), macroblock prefetch patterns, or the long-latency
+//!   ME kernel-loop instruction (Tables 2–7).
+//! * **The three-step protocol** `RFUINIT` → `RFUSEND` → `RFUEXEC`
+//!   ([`Rfu::init`], [`Rfu::send`], [`Rfu::exec`]) with explicit and
+//!   implicit operands.
+//! * **Line Buffer A** ([`LineBufferA`]) — 16×16-pixel level-0 storage for
+//!   the reference macroblock with per-row `Done` flags (Figure 3).
+//! * **Line Buffer B** ([`LineBufferB`]) — fully associative, double
+//!   buffered storage of 4×17 cache lines for candidate predictor
+//!   macroblocks (Figure 4).
+//! * **Custom prefetch patterns** — the non-blocking macroblock prefetch
+//!   instructions that issue one cache-line request per macroblock row
+//!   (plus crossings) to the cache controller.
+//! * **The pipelined kernel-loop latency model** ([`MeLoopCfg`]) — load /
+//!   compute / write stages, the initiation interval set by the configured
+//!   data bandwidth (1×32, 1×64, 2×64), and the technology-scaling factor β
+//!   applied to the compute stages only.
+//! * **Reconfiguration management** ([`reconfig`]) — the paper assumes zero
+//!   reconfiguration penalty; a penalty + multi-context configuration-cache
+//!   model is provided for the ablation studies the paper lists as future
+//!   work.
+
+pub mod config;
+pub mod dct;
+pub mod line_buffer;
+pub mod meloop;
+pub mod reconfig;
+pub mod stats;
+pub mod unit;
+
+pub use config::{cfgs, MeLoopCfg, PrefetchPattern, RfuBandwidth, RfuConfig, ShortOp};
+pub use dct::DctLoopCfg;
+pub use line_buffer::{LineBufferA, LineBufferB};
+pub use meloop::InterpMode;
+pub use reconfig::ReconfigModel;
+pub use stats::RfuStats;
+pub use unit::{ExecOutcome, Rfu, RfuError};
+
+/// Macroblock edge in pixels.
+pub const MB_SIZE: usize = 16;
+/// Predictor rows touched by a (possibly interpolated) candidate macroblock.
+pub const PRED_ROWS: usize = 17;
+/// Bytes of one predictor row's packed-word footprint (5 × 32-bit words
+/// covering 17 pixels at any alignment).
+pub const PRED_ROW_BYTES: u32 = 20;

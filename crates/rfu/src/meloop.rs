@@ -1,0 +1,266 @@
+//! The long-latency motion-estimation kernel-loop instruction.
+//!
+//! Functional semantics (exact MPEG-4 half-sample interpolation + SAD) and
+//! the timed walk over the memory system: the RFU autonomously fetches the
+//! predictor rows at the configured bandwidth while the reference macroblock
+//! streams from Line Buffer A; with the two-line-buffer scheme the predictor
+//! rows come from Line Buffer B and the cache is touched only on misses.
+
+use rvliw_mem::MemorySystem;
+
+use crate::config::MeLoopCfg;
+use crate::line_buffer::{LineBufferA, LineBufferB};
+use crate::stats::RfuStats;
+use crate::MB_SIZE;
+
+/// Half-sample interpolation mode of a candidate predictor, selected by the
+/// sub-pixel components of the motion vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum InterpMode {
+    /// Integer-pixel candidate: no interpolation.
+    #[default]
+    None,
+    /// Horizontal half-sample.
+    H,
+    /// Vertical half-sample.
+    V,
+    /// Diagonal half-sample (both components).
+    Diag,
+}
+
+impl InterpMode {
+    /// Encodes the mode into the 2-bit field carried by RFU instruction
+    /// operands.
+    #[must_use]
+    pub fn to_bits(self) -> u32 {
+        match self {
+            InterpMode::None => 0,
+            InterpMode::H => 1,
+            InterpMode::V => 2,
+            InterpMode::Diag => 3,
+        }
+    }
+
+    /// Decodes the 2-bit operand field.
+    #[must_use]
+    pub fn from_bits(bits: u32) -> Self {
+        match bits & 3 {
+            0 => InterpMode::None,
+            1 => InterpMode::H,
+            2 => InterpMode::V,
+            _ => InterpMode::Diag,
+        }
+    }
+
+    /// Whether the predictor needs pixel column 16 (one past the block).
+    #[must_use]
+    pub fn needs_extra_col(self) -> bool {
+        matches!(self, InterpMode::H | InterpMode::Diag)
+    }
+
+    /// Whether the predictor needs pixel row 16 (one below the block).
+    #[must_use]
+    pub fn needs_extra_row(self) -> bool {
+        matches!(self, InterpMode::V | InterpMode::Diag)
+    }
+}
+
+/// Exact MPEG-4 half-sample interpolation of one predictor pixel
+/// (rounding control 0).
+#[must_use]
+pub fn interp_pixel(p00: u8, p01: u8, p10: u8, p11: u8, mode: InterpMode) -> u8 {
+    let (a, b, c, d) = (
+        u16::from(p00),
+        u16::from(p01),
+        u16::from(p10),
+        u16::from(p11),
+    );
+    (match mode {
+        InterpMode::None => a,
+        InterpMode::H => (a + b + 1) >> 1,
+        InterpMode::V => (a + c + 1) >> 1,
+        InterpMode::Diag => (a + b + c + d + 2) >> 2,
+    }) as u8
+}
+
+/// Golden SAD between the (interpolated) predictor at `cand_addr` and the
+/// 16×16 reference at `ref_addr`, both laid out with row `stride`, reading
+/// bytes functionally from RAM.
+#[must_use]
+pub fn golden_sad(
+    ram: &rvliw_mem::Ram,
+    ref_addr: u32,
+    cand_addr: u32,
+    stride: u32,
+    mode: InterpMode,
+) -> u32 {
+    let p = |x: u32, y: u32| ram.load8(cand_addr + y * stride + x);
+    let mut sad = 0u32;
+    for y in 0..MB_SIZE as u32 {
+        for x in 0..MB_SIZE as u32 {
+            let pix = interp_pixel(p(x, y), p(x + 1, y), p(x, y + 1), p(x + 1, y + 1), mode);
+            let r = ram.load8(ref_addr + y * stride + x);
+            sad += u32::from(pix.abs_diff(r));
+        }
+    }
+    sad
+}
+
+/// Outcome of a timed kernel-loop execution (internal to the crate; the
+/// public wrapper is [`crate::ExecOutcome`]).
+pub(crate) struct LoopRun {
+    pub sad: u32,
+    pub busy: u64,
+    pub stall: u64,
+}
+
+/// Executes the ME kernel loop: timed memory walk + functional SAD.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_me_loop(
+    cfg: &MeLoopCfg,
+    cand_addr: u32,
+    ref_addr: u32,
+    mode: InterpMode,
+    lb_a: &LineBufferA,
+    lb_b: &mut LineBufferB,
+    mem: &mut MemorySystem,
+    now: u64,
+    stats: &mut RfuStats,
+) -> LoopRun {
+    let ii = cfg.initiation_interval();
+    let stride = cfg.stride;
+    let mut stall: u64 = 0;
+    let pred_rows = MB_SIZE as u32 + u32::from(mode.needs_extra_row());
+    let pred_cols = MB_SIZE as u32 + u32::from(mode.needs_extra_col());
+
+    for r in 0..pred_rows {
+        let offset = cfg.prologue + u64::from(r) * ii;
+        // --- predictor row: cache lines [row_addr, row_addr + cols) -------
+        let row_addr = cand_addr + r * stride;
+        let first_line = mem.dcache.line_of(row_addr);
+        let last_line = mem.dcache.line_of(row_addr + pred_cols - 1);
+        let mut line = first_line;
+        loop {
+            let eff = now + offset + stall;
+            if cfg.use_line_buffer_b {
+                match lb_b.read(line, eff) {
+                    Some(0) => {
+                        stats.lbb_hits += 1;
+                    }
+                    Some(extra) => {
+                        stats.lbb_late += 1;
+                        stall += extra;
+                        mem.account_stall(extra);
+                    }
+                    None => {
+                        stats.lbb_misses += 1;
+                        let acc = mem.read(line, 4, eff);
+                        stall += acc.stall;
+                    }
+                }
+            } else {
+                let acc = mem.read(line.max(row_addr), 4, eff);
+                stall += acc.stall;
+            }
+            if line == last_line {
+                break;
+            }
+            line += mem.dcache.geometry().line_size;
+        }
+        // --- reference row from Line Buffer A -----------------------------
+        if r < MB_SIZE as u32 {
+            let eff = now + offset + stall;
+            if lb_a.base() == Some(ref_addr) {
+                let ready = lb_a.row_ready_at(r as usize);
+                if ready == u64::MAX {
+                    // Gather was dropped: the RFU stalls the processor and
+                    // issues the corresponding cache accesses.
+                    let row_addr = ref_addr + r * stride;
+                    let acc = mem.read(row_addr, 4, eff);
+                    stall += acc.stall;
+                } else if ready > eff {
+                    let wait = ready - eff;
+                    stats.lba_waits += 1;
+                    stats.lba_wait_cycles += wait;
+                    stall += wait;
+                    mem.account_stall(wait);
+                }
+            } else {
+                // No gathered reference: plain cache accesses.
+                let row_addr = ref_addr + r * stride;
+                let acc = mem.read(row_addr, 4, eff);
+                stall += acc.stall;
+            }
+        }
+    }
+
+    let sad = golden_sad(&mem.ram, ref_addr, cand_addr, stride, mode);
+    let busy = cfg.static_latency();
+    stats.loops += 1;
+    stats.loop_busy_cycles += busy;
+    stats.loop_stall_cycles += stall;
+    LoopRun { sad, busy, stall }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interp_modes_match_mpeg4_rounding() {
+        assert_eq!(interp_pixel(10, 11, 20, 21, InterpMode::None), 10);
+        assert_eq!(interp_pixel(10, 11, 20, 21, InterpMode::H), 11); // (21+1)/2
+        assert_eq!(interp_pixel(10, 11, 20, 21, InterpMode::V), 15); // (30+1)/2
+        assert_eq!(interp_pixel(10, 11, 20, 21, InterpMode::Diag), 16); // (62+2)/4
+    }
+
+    #[test]
+    fn interp_bits_roundtrip() {
+        for m in [
+            InterpMode::None,
+            InterpMode::H,
+            InterpMode::V,
+            InterpMode::Diag,
+        ] {
+            assert_eq!(InterpMode::from_bits(m.to_bits()), m);
+        }
+    }
+
+    #[test]
+    fn extra_row_col_requirements() {
+        assert!(!InterpMode::None.needs_extra_col());
+        assert!(InterpMode::H.needs_extra_col());
+        assert!(!InterpMode::H.needs_extra_row());
+        assert!(InterpMode::Diag.needs_extra_col());
+        assert!(InterpMode::Diag.needs_extra_row());
+    }
+
+    #[test]
+    fn golden_sad_zero_for_identical_blocks() {
+        let mut ram = rvliw_mem::Ram::new(1 << 16);
+        let stride = 64;
+        let a = ram.alloc(stride * 32, 32);
+        for i in 0..stride * 20 {
+            ram.store8(a + i, (i * 7 % 251) as u8);
+        }
+        assert_eq!(golden_sad(&ram, a, a, stride, InterpMode::None), 0);
+    }
+
+    #[test]
+    fn golden_sad_counts_differences() {
+        let mut ram = rvliw_mem::Ram::new(1 << 16);
+        let stride = 64;
+        let r = ram.alloc(stride * 20, 32);
+        let c = ram.alloc(stride * 20, 32);
+        // reference all 10, candidate all 13 ⇒ SAD = 3 * 256
+        for y in 0..17 {
+            for x in 0..17 {
+                ram.store8(r + y * stride + x, 10);
+                ram.store8(c + y * stride + x, 13);
+            }
+        }
+        assert_eq!(golden_sad(&ram, r, c, stride, InterpMode::None), 3 * 256);
+        // flat field: every interpolation yields the same value
+        assert_eq!(golden_sad(&ram, r, c, stride, InterpMode::Diag), 3 * 256);
+    }
+}

@@ -1,0 +1,111 @@
+//! RFU activity counters.
+
+use std::fmt;
+
+/// Counters accumulated by the [`Rfu`](crate::Rfu) model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RfuStats {
+    /// `RFUINIT` operations executed.
+    pub inits: u64,
+    /// Reconfigurations that actually paid a penalty (0 under the paper's
+    /// zero-penalty assumption).
+    pub reconfigs: u64,
+    /// Total reconfiguration penalty cycles.
+    pub reconfig_penalty_cycles: u64,
+    /// `RFUSEND` operations executed.
+    pub sends: u64,
+    /// Short `RFUEXEC` operations executed.
+    pub execs: u64,
+    /// Kernel-loop instructions executed.
+    pub loops: u64,
+    /// DCT-loop instructions executed (future-work extension).
+    pub dct_loops: u64,
+    /// Macroblock prefetch instructions executed.
+    pub mb_prefetches: u64,
+    /// Cache-line requests issued by macroblock prefetches.
+    pub mb_prefetch_lines: u64,
+    /// Loop reads that waited on a Line Buffer A row (`Done` flag clear).
+    pub lba_waits: u64,
+    /// Cycles spent waiting on Line Buffer A rows.
+    pub lba_wait_cycles: u64,
+    /// Loop reads served by Line Buffer B without stalling.
+    pub lbb_hits: u64,
+    /// Loop reads that waited on an in-flight Line Buffer B entry.
+    pub lbb_late: u64,
+    /// Loop reads that missed Line Buffer B and fell back to the cache.
+    pub lbb_misses: u64,
+    /// Total stall cycles the RFU inflicted on the machine while executing
+    /// kernel loops (cache misses + line-buffer waits).
+    pub loop_stall_cycles: u64,
+    /// Total busy cycles of kernel-loop executions (static latencies).
+    pub loop_busy_cycles: u64,
+}
+
+impl fmt::Display for RfuStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "inits {}  sends {}  execs {}  loops {} (busy {} + stall {})  mb-pref {} ({} lines)",
+            self.inits,
+            self.sends,
+            self.execs,
+            self.loops,
+            self.loop_busy_cycles,
+            self.loop_stall_cycles,
+            self.mb_prefetches,
+            self.mb_prefetch_lines,
+        )
+    }
+}
+
+impl RfuStats {
+    /// Element-wise difference (`self - earlier`), for measuring a region.
+    #[must_use]
+    pub fn delta(&self, earlier: &RfuStats) -> RfuStats {
+        RfuStats {
+            inits: self.inits - earlier.inits,
+            reconfigs: self.reconfigs - earlier.reconfigs,
+            reconfig_penalty_cycles: self.reconfig_penalty_cycles - earlier.reconfig_penalty_cycles,
+            sends: self.sends - earlier.sends,
+            execs: self.execs - earlier.execs,
+            loops: self.loops - earlier.loops,
+            dct_loops: self.dct_loops - earlier.dct_loops,
+            mb_prefetches: self.mb_prefetches - earlier.mb_prefetches,
+            mb_prefetch_lines: self.mb_prefetch_lines - earlier.mb_prefetch_lines,
+            lba_waits: self.lba_waits - earlier.lba_waits,
+            lba_wait_cycles: self.lba_wait_cycles - earlier.lba_wait_cycles,
+            lbb_hits: self.lbb_hits - earlier.lbb_hits,
+            lbb_late: self.lbb_late - earlier.lbb_late,
+            lbb_misses: self.lbb_misses - earlier.lbb_misses,
+            loop_stall_cycles: self.loop_stall_cycles - earlier.loop_stall_cycles,
+            loop_busy_cycles: self.loop_busy_cycles - earlier.loop_busy_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_subtracts() {
+        let a = RfuStats {
+            loops: 10,
+            loop_busy_cycles: 900,
+            ..Default::default()
+        };
+        let b = RfuStats {
+            loops: 3,
+            loop_busy_cycles: 300,
+            ..Default::default()
+        };
+        let d = a.delta(&b);
+        assert_eq!(d.loops, 7);
+        assert_eq!(d.loop_busy_cycles, 600);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!RfuStats::default().to_string().is_empty());
+    }
+}

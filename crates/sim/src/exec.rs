@@ -1,0 +1,142 @@
+//! Pure functional semantics of the scalar and SIMD operations.
+//!
+//! Branch-register sources are resolved to `0`/`1` before reaching these
+//! functions, so every operand is a `u32`.
+
+use rvliw_isa::{simd, Opcode};
+
+/// Evaluates a pure (non-memory, non-control, non-RFU) operation over its
+/// resolved source values. Returns the destination value — a boolean result
+/// for comparisons is `0`/`1`.
+///
+/// # Panics
+///
+/// Panics when called for an operation with side effects (loads, stores,
+/// branches, RFU dispatch) — the machine handles those — or with too few
+/// sources, which the assembler-built programs never produce.
+#[must_use]
+pub fn eval_pure(opcode: Opcode, s: &[u32]) -> u32 {
+    use Opcode::*;
+    let a = || s[0];
+    let b = || s[1];
+    match opcode {
+        Add => a().wrapping_add(b()),
+        Sub => a().wrapping_sub(b()),
+        And => a() & b(),
+        Andc => a() & !b(),
+        Or => a() | b(),
+        Xor => a() ^ b(),
+        Nor => !(a() | b()),
+        Sll => simd::sll(a(), b()),
+        Srl => simd::srl(a(), b()),
+        Sra => simd::sra(a(), b()),
+        Min => (a() as i32).min(b() as i32) as u32,
+        Max => (a() as i32).max(b() as i32) as u32,
+        Minu => a().min(b()),
+        Maxu => a().max(b()),
+        Mov => a(),
+        Sxtb => a() as u8 as i8 as i32 as u32,
+        Sxth => a() as u16 as i16 as i32 as u32,
+        Zxtb => a() & 0xff,
+        Zxth => a() & 0xffff,
+        Extbu => (a() >> (8 * (b() & 3))) & 0xff,
+        // insb rd = rs1 with byte<s[2]> := low8(rs2)
+        Insb => {
+            let lane = s[2] & 3;
+            let mask = 0xffu32 << (8 * lane);
+            (a() & !mask) | ((b() & 0xff) << (8 * lane))
+        }
+        // slct rd = b ? rs1 : rs2 — s[0] is the resolved branch register.
+        Slct => {
+            if s[0] != 0 {
+                s[1]
+            } else {
+                s[2]
+            }
+        }
+        CmpEq => u32::from(a() == b()),
+        CmpNe => u32::from(a() != b()),
+        CmpLt => u32::from((a() as i32) < (b() as i32)),
+        CmpLe => u32::from((a() as i32) <= (b() as i32)),
+        CmpGt => u32::from((a() as i32) > (b() as i32)),
+        CmpGe => u32::from((a() as i32) >= (b() as i32)),
+        CmpLtu => u32::from(a() < b()),
+        CmpLeu => u32::from(a() <= b()),
+        CmpGtu => u32::from(a() > b()),
+        CmpGeu => u32::from(a() >= b()),
+        Mul => a().wrapping_mul(b()),
+        Mulh => (((a() as i32 as i64) * (b() as i32 as i64)) >> 32) as u32,
+        Mull16 => ((a() as u16 as i16 as i32).wrapping_mul(b() as i32)) as u32,
+        Add4 => simd::add4(a(), b()),
+        Sub4 => simd::sub4(a(), b()),
+        Adds4u => simd::adds4u(a(), b()),
+        Subs4u => simd::subs4u(a(), b()),
+        Avg4 => simd::avg4(a(), b()),
+        Avg4r => simd::avg4r(a(), b()),
+        Absd4 => simd::absd4(a(), b()),
+        Sad4 => simd::sad4(a(), b()),
+        Max4u => simd::max4u(a(), b()),
+        Min4u => simd::min4u(a(), b()),
+        Avgh4 => simd::avgh4(a(), b()),
+        Lsbh4 => simd::lsbh4(a(), b()),
+        Rfix4 => simd::rfix4(a(), b()),
+        Dadj4 => simd::dadj4(a(), b(), s[2]),
+        Hadd2 => simd::hadd2(a(), b(), s[2]),
+        Rnd2 => simd::rnd2(a()),
+        Pack4 => simd::pack4(a(), b()),
+        Nop => 0,
+        _ => panic!("{opcode} has side effects; handled by the machine"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_arithmetic() {
+        assert_eq!(eval_pure(Opcode::Add, &[3, 4]), 7);
+        assert_eq!(eval_pure(Opcode::Sub, &[3, 4]), u32::MAX);
+        assert_eq!(eval_pure(Opcode::Min, &[u32::MAX, 1]), u32::MAX); // signed -1 < 1
+        assert_eq!(eval_pure(Opcode::Minu, &[u32::MAX, 1]), 1);
+    }
+
+    #[test]
+    fn extract_insert_bytes() {
+        let w = 0x4433_2211;
+        assert_eq!(eval_pure(Opcode::Extbu, &[w, 0]), 0x11);
+        assert_eq!(eval_pure(Opcode::Extbu, &[w, 3]), 0x44);
+        assert_eq!(eval_pure(Opcode::Insb, &[w, 0xaa, 1]), 0x4433_aa11);
+    }
+
+    #[test]
+    fn select_uses_condition() {
+        assert_eq!(eval_pure(Opcode::Slct, &[1, 10, 20]), 10);
+        assert_eq!(eval_pure(Opcode::Slct, &[0, 10, 20]), 20);
+    }
+
+    #[test]
+    fn compares_signed_vs_unsigned() {
+        assert_eq!(eval_pure(Opcode::CmpLt, &[u32::MAX, 0]), 1); // -1 < 0
+        assert_eq!(eval_pure(Opcode::CmpLtu, &[u32::MAX, 0]), 0);
+    }
+
+    #[test]
+    fn multiply_high_part() {
+        assert_eq!(eval_pure(Opcode::Mulh, &[0x8000_0000, 2]), u32::MAX); // -2^31 * 2 >> 32 = -1
+        assert_eq!(eval_pure(Opcode::Mul, &[7, 6]), 42);
+    }
+
+    #[test]
+    fn sign_extensions() {
+        assert_eq!(eval_pure(Opcode::Sxtb, &[0x80]), 0xffff_ff80);
+        assert_eq!(eval_pure(Opcode::Sxth, &[0x8000]), 0xffff_8000);
+        assert_eq!(eval_pure(Opcode::Zxtb, &[0xabc]), 0xbc);
+    }
+
+    #[test]
+    #[should_panic(expected = "side effects")]
+    fn memory_ops_rejected() {
+        let _ = eval_pure(Opcode::Ldw, &[0, 0]);
+    }
+}

@@ -1,0 +1,688 @@
+//! The machine: register state, scoreboard, issue loop.
+
+use std::fmt;
+
+use rvliw_asm::Code;
+use rvliw_isa::{Dest, Gpr, MachineConfig, Op, Opcode, Src, NUM_BRS, NUM_GPRS};
+use rvliw_mem::{MemConfig, MemStats, MemorySystem};
+use rvliw_rfu::{Rfu, RfuStats};
+
+use crate::exec::eval_pure;
+use crate::stats::SimStats;
+use crate::BUNDLE_BYTES;
+
+/// Per-bundle execution-trace hook: `(cycle, pc, bundle)`.
+type TraceHook<'a> = &'a mut dyn FnMut(u64, usize, &rvliw_isa::Bundle);
+
+/// Widest bundle the issue scratch supports (the machine configuration may
+/// widen the datapath beyond the default 4-issue, up to this bound).
+pub const MAX_ISSUE: usize = 16;
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The cycle budget ran out before `halt` (runaway program).
+    CycleLimit {
+        /// The budget that was exceeded.
+        limit: u64,
+    },
+    /// An RFU dispatch failed (unknown configuration, missing operands…).
+    Rfu(String),
+    /// The program counter left the program without a `halt`.
+    FellOffEnd {
+        /// The out-of-range bundle index.
+        pc: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::CycleLimit { limit } => write!(f, "cycle limit {limit} exceeded"),
+            SimError::Rfu(e) => write!(f, "RFU error: {e}"),
+            SimError::FellOffEnd { pc } => write!(f, "execution fell off the program at {pc}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Summary of one [`Machine::run`] invocation (deltas over the run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Cycles elapsed during this run.
+    pub cycles: u64,
+    /// Core counters delta.
+    pub stats: SimStats,
+    /// Memory counters delta.
+    pub mem: MemStats,
+    /// RFU counters delta.
+    pub rfu: RfuStats,
+}
+
+/// A point-in-time snapshot of all counters, for measuring regions that
+/// span several runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Machine cycle at the snapshot.
+    pub cycle: u64,
+    /// Core counters.
+    pub stats: SimStats,
+    /// Memory counters.
+    pub mem: MemStats,
+    /// RFU counters.
+    pub rfu: RfuStats,
+}
+
+impl Snapshot {
+    /// The region between `earlier` and `self`.
+    #[must_use]
+    pub fn since(&self, earlier: &Snapshot) -> RunSummary {
+        RunSummary {
+            cycles: self.cycle - earlier.cycle,
+            stats: self.stats.delta(&earlier.stats),
+            mem: self.mem.delta(&earlier.mem),
+            rfu: self.rfu.delta(&earlier.rfu),
+        }
+    }
+}
+
+/// The RFU-augmented VLIW machine.
+///
+/// State persists across [`Machine::run`] calls — caches stay warm, the
+/// cycle counter keeps counting, RFU prefetches keep flying — so a workload
+/// driver can invoke a kernel once per motion-estimation candidate and
+/// measure realistic cross-call memory behaviour.
+#[derive(Debug)]
+pub struct Machine {
+    cfg: MachineConfig,
+    /// The memory hierarchy.
+    pub mem: MemorySystem,
+    /// The reconfigurable functional unit.
+    pub rfu: Rfu,
+    gpr: [u32; NUM_GPRS],
+    br: [bool; NUM_BRS],
+    gpr_ready: [u64; NUM_GPRS],
+    br_ready: [u64; NUM_BRS],
+    rfu_busy_until: u64,
+    cycle: u64,
+    stats: SimStats,
+    /// Extra cycles charged on a taken branch (pipeline refill).
+    pub branch_taken_penalty: u64,
+    /// Per-run cycle budget guarding against runaway programs.
+    pub cycle_limit: u64,
+}
+
+impl Machine {
+    /// A machine with the paper's default core and memory configuration.
+    #[must_use]
+    pub fn st200() -> Self {
+        Machine::new(MachineConfig::st200(), MemConfig::st200())
+    }
+
+    /// A machine with explicit configurations.
+    #[must_use]
+    pub fn new(cfg: MachineConfig, mem_cfg: MemConfig) -> Self {
+        Machine {
+            cfg,
+            mem: MemorySystem::new(mem_cfg),
+            rfu: Rfu::new(),
+            gpr: [0; NUM_GPRS],
+            br: [false; NUM_BRS],
+            gpr_ready: [0; NUM_GPRS],
+            br_ready: [0; NUM_BRS],
+            rfu_busy_until: 0,
+            cycle: 0,
+            stats: SimStats::default(),
+            branch_taken_penalty: 1,
+            cycle_limit: 200_000_000,
+        }
+    }
+
+    /// The core configuration.
+    #[must_use]
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Current machine cycle.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Reads a general-purpose register.
+    #[must_use]
+    pub fn gpr(&self, r: Gpr) -> u32 {
+        if r.is_zero() {
+            0
+        } else {
+            self.gpr[r.index() as usize]
+        }
+    }
+
+    /// Writes a general-purpose register (immediately ready — used to pass
+    /// arguments before a run).
+    pub fn set_gpr(&mut self, r: Gpr, value: u32) {
+        if !r.is_zero() {
+            self.gpr[r.index() as usize] = value;
+            self.gpr_ready[r.index() as usize] = self.cycle;
+        }
+    }
+
+    /// Reads a branch register.
+    #[must_use]
+    pub fn br(&self, b: rvliw_isa::Br) -> bool {
+        self.br[b.index() as usize]
+    }
+
+    /// Snapshot of every counter.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            cycle: self.cycle,
+            stats: self.stats,
+            mem: self.mem.stats(),
+            rfu: self.rfu.stats,
+        }
+    }
+
+    fn resolve(&self, s: Src) -> u32 {
+        match s {
+            Src::Gpr(r) => self.gpr(r),
+            Src::Br(b) => u32::from(self.br[b.index() as usize]),
+            Src::Imm(v) => v as u32,
+        }
+    }
+
+    fn src_ready(&self, s: Src) -> u64 {
+        match s {
+            Src::Gpr(r) => {
+                if r.is_zero() {
+                    0
+                } else {
+                    self.gpr_ready[r.index() as usize]
+                }
+            }
+            Src::Br(b) => self.br_ready[b.index() as usize],
+            Src::Imm(_) => 0,
+        }
+    }
+
+    /// Runs `code` like [`Machine::run`], invoking `trace` before each
+    /// bundle issues with `(cycle, pc, bundle)` — an execution trace for
+    /// debugging and teaching.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Machine::run`].
+    pub fn run_traced(
+        &mut self,
+        code: &Code,
+        mut trace: impl FnMut(u64, usize, &rvliw_isa::Bundle),
+    ) -> Result<RunSummary, SimError> {
+        self.run_inner(code, Some(&mut trace))
+    }
+
+    /// Runs `code` from its first bundle until `halt`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CycleLimit`] on runaway, [`SimError::FellOffEnd`] when
+    /// the program counter leaves the program, [`SimError::Rfu`] on an RFU
+    /// protocol violation.
+    pub fn run(&mut self, code: &Code) -> Result<RunSummary, SimError> {
+        self.run_inner(code, None)
+    }
+
+    fn run_inner(
+        &mut self,
+        code: &Code,
+        mut trace: Option<TraceHook<'_>>,
+    ) -> Result<RunSummary, SimError> {
+        let before = self.snapshot();
+        let limit = self.cycle + self.cycle_limit;
+        let bundles = code.bundles();
+        let mut pc = 0usize;
+        let mut halted = false;
+        // Call stack is implicit: `call` writes the return bundle index to
+        // `$r63`, `return` jumps to it.
+        while !halted {
+            if pc >= bundles.len() {
+                return Err(SimError::FellOffEnd { pc });
+            }
+            if self.cycle >= limit {
+                return Err(SimError::CycleLimit {
+                    limit: self.cycle_limit,
+                });
+            }
+            let bundle = &bundles[pc];
+            if let Some(t) = trace.as_deref_mut() {
+                t(self.cycle, pc, bundle);
+            }
+
+            // Instruction fetch.
+            let istall = self.mem.ifetch(pc as u32 * BUNDLE_BYTES, self.cycle);
+            self.cycle += istall;
+            self.stats.ifetch_stall_cycles += istall;
+
+            // Scoreboard interlock: every source of every operation must be
+            // ready (parallel-read semantics), and RFU operations wait for
+            // the unit to be free.
+            let mut ready_at = self.cycle;
+            for op in bundle.ops() {
+                for &s in op.srcs() {
+                    ready_at = ready_at.max(self.src_ready(s));
+                }
+                if op.opcode.is_rfu() {
+                    ready_at = ready_at.max(self.rfu_busy_until);
+                }
+            }
+            let wait = ready_at - self.cycle;
+            if wait > 0 {
+                // Any stall that overlaps the RFU's busy window is time the
+                // core spends waiting for the reconfigurable unit (either
+                // for the unit itself or for a long-latency result).
+                let rfu_wait = self.rfu_busy_until.saturating_sub(self.cycle).min(wait);
+                self.stats.rfu_busy_stalls += rfu_wait;
+                self.stats.interlock_stalls += wait - rfu_wait;
+                self.cycle += wait;
+            }
+
+            // Read phase: all sources observe pre-bundle state. Scratch
+            // arrays keep the hot loop allocation-free; MAX_ISSUE bounds
+            // the widest configurable machine, not the default 4-issue.
+            let nops = bundle.ops().len();
+            assert!(
+                nops <= MAX_ISSUE,
+                "bundle of {nops} ops exceeds the simulator's issue scratch"
+            );
+            let mut resolved = [[0u32; rvliw_isa::MAX_SRCS]; MAX_ISSUE];
+            for (op, slot) in bundle.ops().iter().zip(resolved.iter_mut()) {
+                for (s, v) in op.srcs().iter().zip(slot.iter_mut()) {
+                    *v = self.resolve(*s);
+                }
+            }
+
+            // Execute phase.
+            let mut writes: [(Dest, u32, u64); MAX_ISSUE] = [(Dest::None, 0, 0); MAX_ISSUE];
+            let mut nwrites = 0usize;
+            let mut next_pc: Option<usize> = None;
+            for (op, slot) in bundle.ops().iter().zip(resolved.iter()).take(nops) {
+                self.stats.ops += 1;
+                self.stats.ops_by_class[crate::stats::class_index(op.opcode.class())] += 1;
+                let srcs = &slot[..op.srcs().len()];
+                self.exec_op(
+                    op,
+                    srcs,
+                    &mut writes,
+                    &mut nwrites,
+                    &mut next_pc,
+                    &mut halted,
+                    pc,
+                )?;
+            }
+            let writes = &writes[..nwrites];
+
+            // Write-back phase.
+            for &(dest, value, ready) in writes {
+                match dest {
+                    Dest::None => {}
+                    Dest::Gpr(r) => {
+                        if !r.is_zero() {
+                            self.gpr[r.index() as usize] = value;
+                            self.gpr_ready[r.index() as usize] = ready;
+                        }
+                    }
+                    Dest::Br(b) => {
+                        self.br[b.index() as usize] = value != 0;
+                        self.br_ready[b.index() as usize] = ready;
+                    }
+                }
+            }
+
+            self.stats.bundles += 1;
+            self.cycle += 1;
+            match next_pc {
+                Some(t) => {
+                    pc = t;
+                    self.stats.branches_taken += 1;
+                    self.cycle += self.branch_taken_penalty;
+                    self.stats.branch_stall_cycles += self.branch_taken_penalty;
+                }
+                None => pc += 1,
+            }
+        }
+        self.stats.cycles = self.cycle;
+        Ok(self.snapshot().since(&before))
+    }
+
+    #[allow(clippy::too_many_lines)]
+    #[allow(clippy::too_many_arguments)]
+    fn exec_op(
+        &mut self,
+        op: &Op,
+        srcs: &[u32],
+        writes: &mut [(Dest, u32, u64); MAX_ISSUE],
+        nwrites: &mut usize,
+        next_pc: &mut Option<usize>,
+        halted: &mut bool,
+        pc: usize,
+    ) -> Result<(), SimError> {
+        let push = |writes: &mut [(Dest, u32, u64); MAX_ISSUE],
+                    nwrites: &mut usize,
+                    w: (Dest, u32, u64)| {
+            writes[*nwrites] = w;
+            *nwrites += 1;
+        };
+        use Opcode::*;
+        let lat = self.cfg.latency(op);
+        match op.opcode {
+            Ldw | Ldh | Ldhu | Ldb | Ldbu => {
+                let addr = srcs[0].wrapping_add(srcs.get(1).copied().unwrap_or(0));
+                let size = match op.opcode {
+                    Ldw => 4,
+                    Ldh | Ldhu => 2,
+                    _ => 1,
+                };
+                let acc = self.mem.read(addr, size, self.cycle);
+                // Whole-machine stall on a miss.
+                self.cycle += acc.stall;
+                let value = match op.opcode {
+                    Ldh => acc.value as u16 as i16 as i32 as u32,
+                    Ldb => acc.value as u8 as i8 as i32 as u32,
+                    _ => acc.value,
+                };
+                push(writes, nwrites, (op.dest, value, self.cycle + lat));
+            }
+            Stw | Sth | Stb => {
+                let value = srcs[0];
+                let addr = srcs[1].wrapping_add(srcs.get(2).copied().unwrap_or(0));
+                let size = match op.opcode {
+                    Stw => 4,
+                    Sth => 2,
+                    _ => 1,
+                };
+                let acc = self.mem.write(addr, size, value, self.cycle);
+                self.cycle += acc.stall;
+            }
+            Pft => {
+                let addr = srcs[0].wrapping_add(srcs.get(1).copied().unwrap_or(0));
+                let _ = self.mem.prefetch(addr, self.cycle);
+            }
+            BrT | BrF => {
+                let cond = srcs[0] != 0;
+                let take = if op.opcode == BrT { cond } else { !cond };
+                if take {
+                    *next_pc = Some(op.target.expect("resolved branch target") as usize);
+                }
+            }
+            Goto => *next_pc = Some(op.target.expect("resolved goto target") as usize),
+            Call => {
+                push(
+                    writes,
+                    nwrites,
+                    (Dest::Gpr(Gpr::LINK), (pc + 1) as u32, self.cycle + 1),
+                );
+                *next_pc = Some(op.target.expect("resolved call target") as usize);
+            }
+            Ret => {
+                let target = srcs.first().copied().unwrap_or_else(|| self.gpr(Gpr::LINK));
+                *next_pc = Some(target as usize);
+            }
+            Halt => *halted = true,
+            Nop => {}
+            RfuInit => {
+                let cfg = op.cfg.expect("rfuinit carries a configuration id");
+                let penalty = self
+                    .rfu
+                    .init(cfg, self.cycle)
+                    .map_err(|e| SimError::Rfu(e.to_string()))?;
+                self.cycle += penalty;
+            }
+            RfuSend => {
+                let cfg = op.cfg.expect("rfusend carries a configuration id");
+                self.rfu
+                    .send(cfg, srcs)
+                    .map_err(|e| SimError::Rfu(e.to_string()))?;
+            }
+            RfuExec | RfuLoop => {
+                let cfg = op.cfg.expect("rfuexec carries a configuration id");
+                let out = self
+                    .rfu
+                    .exec(cfg, srcs, &mut self.mem, self.cycle)
+                    .map_err(|e| SimError::Rfu(e.to_string()))?;
+                // Memory stalls freeze the whole machine, as usual.
+                self.cycle += out.stall;
+                let ready = self.cycle + out.busy.max(lat);
+                self.rfu_busy_until = ready;
+                push(writes, nwrites, (op.dest, out.value, ready));
+            }
+            RfuPref => {
+                let cfg = op.cfg.expect("rfupref carries a configuration id");
+                let addr = srcs[0];
+                self.rfu
+                    .pref(cfg, addr, &mut self.mem, self.cycle)
+                    .map_err(|e| SimError::Rfu(e.to_string()))?;
+            }
+            _ => {
+                let value = eval_pure(op.opcode, srcs);
+                push(writes, nwrites, (op.dest, value, self.cycle + lat));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvliw_asm::Builder;
+    use rvliw_isa::Br;
+
+    fn compile(b: Builder) -> Code {
+        rvliw_asm::schedule_st200(&b.build()).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let mut b = Builder::new("t");
+        b.movi(Gpr::new(1), 20);
+        b.addi(Gpr::new(2), Gpr::new(1), 22);
+        b.halt();
+        let mut m = Machine::st200();
+        let sum = m.run(&compile(b)).unwrap();
+        assert_eq!(m.gpr(Gpr::new(2)), 42);
+        assert!(sum.cycles >= 2);
+    }
+
+    #[test]
+    fn r0_reads_zero_and_discards_writes() {
+        let mut b = Builder::new("t");
+        b.movi(Gpr::ZERO, 99);
+        b.add(Gpr::new(1), Gpr::ZERO, 5);
+        b.halt();
+        let mut m = Machine::st200();
+        m.run(&compile(b)).unwrap();
+        assert_eq!(m.gpr(Gpr::ZERO), 0);
+        assert_eq!(m.gpr(Gpr::new(1)), 5);
+    }
+
+    #[test]
+    fn loop_sums_correctly() {
+        // acc = 1 + 2 + ... + 10
+        let mut b = Builder::new("t");
+        let (i, acc) = (Gpr::new(1), Gpr::new(2));
+        let c = Br::new(0);
+        b.movi(i, 10);
+        b.movi(acc, 0);
+        let top = b.label();
+        b.bind(top);
+        b.add(acc, acc, i);
+        b.subi(i, i, 1);
+        b.cmpne_br(c, i, 0);
+        b.br(c, top);
+        b.halt();
+        let mut m = Machine::st200();
+        m.run(&compile(b)).unwrap();
+        assert_eq!(m.gpr(acc), 55);
+    }
+
+    #[test]
+    fn load_store_roundtrip_through_cache() {
+        let mut m = Machine::st200();
+        let buf = m.mem.ram.alloc(64, 32);
+        let mut b = Builder::new("t");
+        let (a, v, out) = (Gpr::new(1), Gpr::new(2), Gpr::new(3));
+        b.movi(a, buf as i32);
+        b.movi(v, 1234);
+        b.stw(v, a, 8);
+        b.ldw(out, a, 8);
+        b.halt();
+        m.run(&compile(b)).unwrap();
+        assert_eq!(m.gpr(out), 1234);
+        assert_eq!(m.mem.ram.load32(buf + 8), 1234);
+    }
+
+    #[test]
+    fn interlock_counts_load_use_delay() {
+        let mut m = Machine::st200();
+        let buf = m.mem.ram.alloc(64, 32);
+        // Warm the line first.
+        let _ = m.mem.read(buf, 4, 0);
+        let mut b = Builder::new("t");
+        b.movi(Gpr::new(1), buf as i32);
+        b.ldw(Gpr::new(2), Gpr::new(1), 0);
+        b.addi(Gpr::new(3), Gpr::new(2), 1);
+        b.halt();
+        let sum = m.run(&compile(b)).unwrap();
+        // The scheduler already separated the load and its use by the
+        // latency, so no interlock stall should remain.
+        assert_eq!(sum.stats.interlock_stalls, 0);
+    }
+
+    #[test]
+    fn dcache_miss_stalls_whole_machine() {
+        let mut m = Machine::st200();
+        let buf = m.mem.ram.alloc(4096, 32);
+        let mut b = Builder::new("t");
+        b.movi(Gpr::new(1), buf as i32);
+        b.ldw(Gpr::new(2), Gpr::new(1), 0);
+        b.halt();
+        let sum = m.run(&compile(b)).unwrap();
+        assert!(sum.mem.d_misses >= 1);
+        assert!(sum.mem.d_stall_cycles >= m.mem.config().fill_latency);
+        assert!(sum.cycles > 5);
+    }
+
+    #[test]
+    fn call_and_return() {
+        let mut b = Builder::new("t");
+        let f = b.label();
+        let (x, y) = (Gpr::new(16), Gpr::new(17));
+        b.movi(x, 7);
+        b.call(f);
+        // after return:
+        b.addi(y, x, 1); // x was doubled by callee
+        b.halt();
+        b.bind(f);
+        b.add(x, x, x);
+        b.ret();
+        let mut m = Machine::st200();
+        m.run(&compile(b)).unwrap();
+        assert_eq!(m.gpr(x), 14);
+        assert_eq!(m.gpr(y), 15);
+    }
+
+    #[test]
+    fn cycle_limit_catches_runaway() {
+        let mut b = Builder::new("t");
+        let top = b.label();
+        b.bind(top);
+        b.goto(top);
+        b.halt();
+        let mut m = Machine::st200();
+        m.cycle_limit = 1000;
+        let err = m.run(&compile(b)).unwrap_err();
+        assert!(matches!(err, SimError::CycleLimit { .. }));
+    }
+
+    #[test]
+    fn state_persists_across_runs() {
+        let mut m = Machine::st200();
+        let buf = m.mem.ram.alloc(64, 32);
+        let mut b1 = Builder::new("w");
+        b1.movi(Gpr::new(1), buf as i32);
+        b1.movi(Gpr::new(2), 7);
+        b1.stw(Gpr::new(2), Gpr::new(1), 0);
+        b1.halt();
+        m.run(&compile(b1)).unwrap();
+        let c1 = m.cycle();
+        let mut b2 = Builder::new("r");
+        b2.movi(Gpr::new(1), buf as i32);
+        b2.ldw(Gpr::new(3), Gpr::new(1), 0);
+        b2.halt();
+        let sum2 = m.run(&compile(b2)).unwrap();
+        assert_eq!(m.gpr(Gpr::new(3)), 7);
+        assert!(m.cycle() > c1);
+        // Line already resident from the store: no new data miss.
+        assert_eq!(sum2.mem.d_misses, 0);
+    }
+
+    #[test]
+    fn wide_issue_machines_execute_full_bundles() {
+        // Regression: bundles wider than the default 4-issue must not drop
+        // operations (the scratch arrays are sized by MAX_ISSUE, not by
+        // the default configuration).
+        let cfg = MachineConfig {
+            issue_width: 8,
+            num_alus: 8,
+            num_muls: 4,
+            num_mem_units: 2,
+            ..MachineConfig::st200()
+        };
+        let mut b = Builder::new("wide");
+        for i in 1..9u8 {
+            b.movi(Gpr::new(i), i32::from(i) * 11);
+        }
+        b.halt();
+        let code = rvliw_asm::schedule(&b.build(), &cfg).unwrap();
+        // All eight moves must land in one bundle on this machine.
+        assert_eq!(code.bundles()[0].ops().len(), 8);
+        let mut m = Machine::new(cfg, rvliw_mem::MemConfig::st200());
+        m.run(&code).unwrap();
+        for i in 1..9u8 {
+            assert_eq!(m.gpr(Gpr::new(i)), u32::from(i) * 11, "reg {i}");
+        }
+    }
+
+    #[test]
+    fn fell_off_end_detected() {
+        let mut b = Builder::new("t");
+        b.movi(Gpr::new(1), 1);
+        // no halt
+        let code = compile(b);
+        let mut m = Machine::st200();
+        let err = m.run(&code).unwrap_err();
+        assert!(matches!(err, SimError::FellOffEnd { .. }));
+    }
+
+    #[test]
+    fn ipc_reported() {
+        let mut b = Builder::new("t");
+        for i in 1..9 {
+            b.movi(Gpr::new(i), i32::from(i));
+        }
+        b.halt();
+        let code = compile(b);
+        let mut m = Machine::st200();
+        let cold = m.run(&code).unwrap();
+        assert!(
+            cold.stats.ifetch_stall_cycles > 0,
+            "first pass fetches code"
+        );
+        let warm = m.run(&code).unwrap();
+        assert_eq!(warm.stats.ifetch_stall_cycles, 0);
+        assert!(warm.stats.ipc() > 1.0, "warm ipc {}", warm.stats.ipc());
+    }
+}

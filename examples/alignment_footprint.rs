@@ -1,0 +1,45 @@
+//! Figure 2 of the paper: the packed-word data set of a predictor
+//! macroblock, for every alignment and interpolation kind.
+//!
+//! Each 8-bit pixel is accessed through the 32-bit word it is packed into,
+//! so a 17-pixel row at alignment 3 needs five words, and the diagonal
+//! interpolation adds a 17th row — the footprint the RFU's custom prefetch
+//! instruction covers with one cache-line request per row.
+//!
+//! ```text
+//! cargo run --example alignment_footprint [-- <alignment 0-3>]
+//! ```
+
+use rvliw::mpeg4::footprint;
+use rvliw::mpeg4::sad::InterpKind;
+
+fn main() {
+    let align: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(3);
+
+    // The paper's Figure 2 case first: alignment 3 with diagonal
+    // interpolation.
+    println!("{}", footprint::render(align, InterpKind::Diag));
+
+    // The other interpolation kinds for comparison.
+    for kind in [InterpKind::None, InterpKind::H, InterpKind::V] {
+        println!("{}", footprint::render(align, kind));
+    }
+
+    // How the footprint translates to cache lines: per row, one 32-byte
+    // line plus a crossing when the 20-byte window straddles a boundary.
+    println!("cache-line view (32 B lines): a row footprint of 20 bytes");
+    for offset_in_line in [0u32, 8, 16, 24] {
+        let crosses = offset_in_line + 20 > 32;
+        println!(
+            "  row start at line offset {offset_in_line:>2} -> {}",
+            if crosses {
+                "2 line requests (crossing)"
+            } else {
+                "1 line request"
+            }
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Prints the scheduled VLIW code of a `GetSad` kernel variant — what the
+//! list scheduler produced for the 4-issue ST200 datapath.
+//!
+//! ```text
+//! cargo run --example disassemble_kernel [-- orig|a1|a2|a3]
+//! ```
+
+use rvliw::isa::MachineConfig;
+use rvliw::kernels::{build_getsad, Variant};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "orig".into());
+    let variant = match which.as_str() {
+        "a1" => Variant::A1,
+        "a2" => Variant::A2,
+        "a3" => Variant::A3,
+        _ => Variant::Orig,
+    };
+    let code = build_getsad(variant, &MachineConfig::st200());
+    println!("{}", code.disassemble());
+    let ops = code.num_ops();
+    let bundles = code.bundles().len();
+    println!(
+        "; {} operations in {} bundles (static ILP {:.2} ops/cycle), {} bytes of code",
+        ops,
+        bundles,
+        ops as f64 / bundles as f64,
+        code.size_words() * 4
+    );
+}

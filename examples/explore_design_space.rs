@@ -1,0 +1,56 @@
+//! Architecture exploration: the paper's core methodology — sweep the RFU
+//! design space on one platform and compare quantitatively.
+//!
+//! Sweeps bandwidth × technology scaling × line-buffer scheme and prints a
+//! speedup matrix against the ORIG software baseline, including points the
+//! paper did not publish (β = 2, 3).
+//!
+//! ```text
+//! cargo run --release --example explore_design_space
+//! ```
+
+use rvliw::exp::{run_me, Scenario, Workload};
+use rvliw::rfu::RfuBandwidth;
+
+fn main() {
+    println!("encoding the workload …");
+    let workload = Workload::qcif_frames(3);
+    println!(
+        "replaying {} GetSad calls per design point …\n",
+        workload.num_calls()
+    );
+
+    let orig = run_me(&Scenario::orig(), &workload);
+    println!(
+        "ORIG baseline: {} cycles ({} calls)\n",
+        orig.me_cycles, orig.calls
+    );
+
+    let betas = [1u64, 2, 3, 5];
+    print!("{:>14} |", "speedup");
+    for beta in betas {
+        print!("  b={beta}  ");
+    }
+    println!("\n{:-<14}-+{:-<28}", "", "");
+    for bw in RfuBandwidth::all() {
+        print!("{:>14} |", format!("loop {}", bw.label()));
+        for beta in betas {
+            let r = run_me(&Scenario::loop_level(bw, beta), &workload);
+            print!(" {:>5.2} ", r.speedup_vs(&orig));
+        }
+        println!();
+    }
+    print!("{:>14} |", "two line bufs");
+    for beta in betas {
+        let r = run_me(&Scenario::loop_two_lb(beta), &workload);
+        print!(" {:>5.2} ", r.speedup_vs(&orig));
+    }
+    println!();
+
+    println!(
+        "\nreading the matrix: bandwidth buys the most at β = 1; as the RFU\n\
+         fabric slows (β→5) the compute stages dominate and the options\n\
+         converge — aggressive pipelining (the fixed 17-row load stage)\n\
+         is what keeps the loop-level mapping ahead of the ISA extensions."
+    );
+}

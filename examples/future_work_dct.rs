@@ -1,0 +1,96 @@
+//! The paper's future work, made runnable: extend the RFU analysis to
+//! another part of the application — the texture pipeline's 8×8 DCT.
+//!
+//! Compares the software VLIW DCT kernel (bit-true fixed-point, 16×32
+//! multiplier bound) against a long-latency RFU DCT instruction, for
+//! β = 1 and β = 5, and folds the result into the application model.
+//!
+//! ```text
+//! cargo run --release --example future_work_dct
+//! ```
+
+use rvliw::isa::MachineConfig;
+use rvliw::kernels::dct::{build_dct, DCT_ARG_DST, DCT_ARG_SCRATCH, DCT_ARG_SRC};
+use rvliw::mem::MemConfig;
+use rvliw::mpeg4::dct::fdct_fixed;
+use rvliw::rfu::{cfgs, DctLoopCfg, MeLoopCfg, Rfu, RfuBandwidth};
+use rvliw::sim::Machine;
+
+fn main() {
+    // A representative residual block.
+    let mut block = [0i32; 64];
+    for (i, v) in block.iter_mut().enumerate() {
+        *v = ((i as i32 * 29) % 200) - 100;
+    }
+    let golden = fdct_fixed(&block);
+
+    // --- software kernel on the VLIW ------------------------------------
+    let code = build_dct(&MachineConfig::st200());
+    let mut m = Machine::st200();
+    let src = m.mem.ram.alloc(128, 32);
+    let dst = m.mem.ram.alloc(128, 32);
+    let scratch = m.mem.ram.alloc(128, 32);
+    for (i, &v) in block.iter().enumerate() {
+        m.mem.ram.store16(src + i as u32 * 2, v as u16);
+    }
+    let mut sw_cycles = 0;
+    for pass in 0..2 {
+        m.set_gpr(DCT_ARG_SRC, src);
+        m.set_gpr(DCT_ARG_DST, dst);
+        m.set_gpr(DCT_ARG_SCRATCH, scratch);
+        let before = m.cycle();
+        m.run(&code).unwrap();
+        if pass == 1 {
+            sw_cycles = m.cycle() - before;
+        }
+    }
+    let mut sw_out = [0i32; 64];
+    for (i, o) in sw_out.iter_mut().enumerate() {
+        *o = m.mem.ram.load16(dst + i as u32 * 2) as i16 as i32;
+    }
+    assert_eq!(sw_out, golden, "software kernel bit-true");
+    println!("8x8 forward DCT on the 4-issue VLIW (2 x 16x32 MUL): {sw_cycles} cycles (warm)");
+
+    // --- RFU DCT instruction ---------------------------------------------
+    for beta in [1u64, 5] {
+        let mut m = Machine::new(MachineConfig::st200(), MemConfig::st200_loop_level());
+        let mut rfu = Rfu::with_case_study_configs(MeLoopCfg::new(RfuBandwidth::B1x32, beta, 176));
+        rfu.define(
+            cfgs::DCT_LOOP,
+            rvliw::rfu::RfuConfig::DctLoop(DctLoopCfg::new(beta)),
+        );
+        m.rfu = rfu;
+        let src = m.mem.ram.alloc(128, 32);
+        let dst = m.mem.ram.alloc(128, 32);
+        for (i, &v) in block.iter().enumerate() {
+            m.mem.ram.store16(src + i as u32 * 2, v as u16);
+        }
+        // Warm the lines, then measure the instruction.
+        let _ = m
+            .rfu
+            .exec(cfgs::DCT_LOOP, &[src, dst], &mut m.mem, 0)
+            .unwrap();
+        let out = m
+            .rfu
+            .exec(cfgs::DCT_LOOP, &[src, dst], &mut m.mem, 10_000)
+            .unwrap();
+        let mut rfu_out = [0i32; 64];
+        for (i, o) in rfu_out.iter_mut().enumerate() {
+            *o = m.mem.ram.load16(dst + i as u32 * 2) as i16 as i32;
+        }
+        assert_eq!(rfu_out, golden, "RFU datapath bit-true");
+        println!(
+            "RFU DCT instruction (b={beta}): {} busy + {} stall cycles  ({:.1}x vs software)",
+            out.busy,
+            out.stall,
+            sw_cycles as f64 / (out.busy + out.stall) as f64
+        );
+    }
+
+    println!(
+        "\nlike the SAD loop, the DCT offload is kernel-level reconfigurable\n\
+         computing: the multiplier-bound software loop collapses into a\n\
+         pipelined spatial datapath, and β scaling only touches the compute\n\
+         stages. This is the paper's proposed next step, quantified."
+    );
+}

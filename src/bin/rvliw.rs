@@ -1,0 +1,111 @@
+//! `rvliw` — command-line front end for the toolchain.
+//!
+//! ```text
+//! rvliw asm <file.s>           parse + schedule, print the bundled code
+//! rvliw run <file.s> [rN=V..]  assemble and execute; prints changed GPRs
+//! rvliw trace <file.s> [rN=V]  like run, with a per-bundle execution trace
+//! rvliw arch                   print the Figure 1 block diagram
+//! ```
+//!
+//! Programs use the listing syntax of `rvliw::asm::parse_program` (see
+//! `examples/assemble_and_run.rs`).
+
+use std::process::ExitCode;
+
+use rvliw::asm::{parse_program, schedule_st200, Code};
+use rvliw::exp::arch;
+use rvliw::isa::{Gpr, MachineConfig};
+use rvliw::mem::MemConfig;
+use rvliw::sim::Machine;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: rvliw <asm|run|trace> <file.s> [rN=value ...]\n       rvliw arch");
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<Code, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let program = parse_program(path, &text).map_err(|e| format!("{path}:{e}"))?;
+    program.validate().map_err(|e| format!("{path}: {e}"))?;
+    schedule_st200(&program).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Parses `rN=value` argument overrides.
+fn parse_regs(args: &[String]) -> Result<Vec<(Gpr, u32)>, String> {
+    let mut out = Vec::new();
+    for a in args {
+        let (reg, val) = a
+            .split_once('=')
+            .ok_or_else(|| format!("bad register override `{a}` (want rN=value)"))?;
+        let reg: Gpr = reg.parse().map_err(|e| format!("`{a}`: {e}"))?;
+        let val = if let Some(hex) = val.strip_prefix("0x") {
+            u32::from_str_radix(hex, 16).map_err(|e| format!("`{a}`: {e}"))?
+        } else {
+            val.parse::<i64>().map_err(|e| format!("`{a}`: {e}"))? as u32
+        };
+        out.push((reg, val));
+    }
+    Ok(out)
+}
+
+fn execute(path: &str, regs: &[String], trace: bool) -> Result<(), String> {
+    let code = load(path)?;
+    let mut m = Machine::new(MachineConfig::st200(), MemConfig::st200());
+    for &(r, v) in &parse_regs(regs)? {
+        m.set_gpr(r, v);
+    }
+    let before: Vec<u32> = (0..64).map(|i| m.gpr(Gpr::new(i))).collect();
+    let summary = if trace {
+        m.run_traced(&code, |cycle, pc, bundle| {
+            let ops: Vec<String> = bundle.ops().iter().map(ToString::to_string).collect();
+            println!("{cycle:>6} {pc:>4}  {}", ops.join("  ||  "));
+        })
+    } else {
+        m.run(&code)
+    }
+    .map_err(|e| format!("execution failed: {e}"))?;
+    println!(
+        "halted after {} cycles ({} ops, ipc {:.2}, D$ stalls {})",
+        summary.cycles,
+        summary.stats.ops,
+        summary.stats.ipc(),
+        summary.mem.d_stall_cycles
+    );
+    for i in 0..64u8 {
+        let r = Gpr::new(i);
+        let v = m.gpr(r);
+        if v != before[i as usize] {
+            println!("  {r} = {v} ({v:#x})");
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("arch") => {
+            println!(
+                "{}",
+                arch::describe(&MachineConfig::st200(), &MemConfig::st200())
+            );
+            Ok(())
+        }
+        Some("asm") => match args.get(1) {
+            Some(path) => load(path).map(|code| println!("{}", code.disassemble())),
+            None => return usage(),
+        },
+        Some(cmd @ ("run" | "trace")) => match args.get(1) {
+            Some(path) => execute(path, &args[2..], cmd == "trace"),
+            None => return usage(),
+        },
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("rvliw: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

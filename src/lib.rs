@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! # rvliw — Reconfigurable-VLIW architecture exploration toolkit
+//!
+//! A from-scratch reproduction of *"A Video Compression Case Study on a
+//! Reconfigurable VLIW Architecture"* (Rizzo & Colavin, DATE 2002): an
+//! ST200/Lx-like 4-issue VLIW core tightly coupled with a run-time
+//! Reconfigurable Functional Unit (RFU), evaluated on the motion-estimation
+//! stage of an MPEG-4 simple-profile video encoder.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`isa`] — the instruction-set model (registers, opcodes, bundles).
+//! * [`asm`] — assembler DSL and resource-constrained list scheduler.
+//! * [`mem`] — memory hierarchy (caches, prefetch buffer, bus timing).
+//! * [`rfu`] — the RFU model (configurations, line buffers, prefetch engine,
+//!   pipelined kernel-loop timing, technology scaling).
+//! * [`sim`] — the cycle-level VLIW simulator.
+//! * [`mpeg4`] — MPEG-4 encoder substrate (synthetic sequences, motion
+//!   estimation, DCT/quantization/entropy coding).
+//! * [`kernels`] — the `GetSad` kernels as VLIW programs (ORIG, A1–A3,
+//!   loop-level drivers).
+//! * [`exp`] — the experiment driver regenerating the paper's Tables 1–7.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rvliw::exp::{Scenario, Workload};
+//!
+//! // A small workload keeps doc-tests fast; experiments use 25 frames.
+//! let workload = Workload::tiny();
+//! let orig = rvliw::exp::run_me(&Scenario::orig(), &workload);
+//! let a3 = rvliw::exp::run_me(&Scenario::a3(), &workload);
+//! assert!(a3.me_cycles < orig.me_cycles);
+//! ```
+
+pub use mpeg4_enc as mpeg4;
+pub use rvliw_asm as asm;
+pub use rvliw_core as exp;
+pub use rvliw_isa as isa;
+pub use rvliw_kernels as kernels;
+pub use rvliw_mem as mem;
+pub use rvliw_rfu as rfu;
+pub use rvliw_sim as sim;

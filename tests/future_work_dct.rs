@@ -1,0 +1,70 @@
+//! Cross-crate verification of the future-work DCT offload: the software
+//! VLIW kernel, the RFU datapath and the encoder's fixed-point reference
+//! must be bit-identical.
+
+use proptest::prelude::*;
+
+use rvliw::isa::MachineConfig;
+use rvliw::kernels::dct::{build_dct, DCT_ARG_DST, DCT_ARG_SCRATCH, DCT_ARG_SRC};
+use rvliw::mpeg4::dct::fdct_fixed;
+use rvliw::rfu::{cfgs, dct::fdct_fixed_rfu, MeLoopCfg, Rfu, RfuBandwidth};
+use rvliw::sim::Machine;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The RFU datapath's transform equals the encoder's reference for
+    /// arbitrary residual blocks.
+    #[test]
+    fn rfu_dct_matches_encoder_reference(vals in proptest::collection::vec(-255i32..=255, 64)) {
+        let mut block = [0i32; 64];
+        block.copy_from_slice(&vals);
+        prop_assert_eq!(fdct_fixed_rfu(&block), fdct_fixed(&block));
+    }
+}
+
+#[test]
+fn vliw_kernel_and_rfu_instruction_agree_bit_for_bit() {
+    let mut block = [0i32; 64];
+    for (i, v) in block.iter_mut().enumerate() {
+        *v = ((i as i32 * 61) % 511) - 255;
+    }
+    let golden = fdct_fixed(&block);
+
+    // Software kernel.
+    let code = build_dct(&MachineConfig::st200());
+    let mut m = Machine::st200();
+    let src = m.mem.ram.alloc(128, 32);
+    let dst = m.mem.ram.alloc(128, 32);
+    let scratch = m.mem.ram.alloc(128, 32);
+    for (i, &v) in block.iter().enumerate() {
+        m.mem.ram.store16(src + i as u32 * 2, v as u16);
+    }
+    m.set_gpr(DCT_ARG_SRC, src);
+    m.set_gpr(DCT_ARG_DST, dst);
+    m.set_gpr(DCT_ARG_SCRATCH, scratch);
+    m.run(&code).unwrap();
+    for (i, &g) in golden.iter().enumerate() {
+        assert_eq!(
+            m.mem.ram.load16(dst + i as u32 * 2) as i16 as i32,
+            g,
+            "sw idx {i}"
+        );
+    }
+
+    // RFU instruction (through the same machine's memory).
+    let mut rfu = Rfu::with_case_study_configs(MeLoopCfg::new(RfuBandwidth::B1x32, 1, 176));
+    let out_addr = m.mem.ram.alloc(128, 32);
+    let now = m.cycle();
+    let outcome = rfu
+        .exec(cfgs::DCT_LOOP, &[src, out_addr], &mut m.mem, now)
+        .unwrap();
+    assert!(outcome.busy > 0);
+    for (i, &g) in golden.iter().enumerate() {
+        assert_eq!(
+            m.mem.ram.load16(out_addr + i as u32 * 2) as i16 as i32,
+            g,
+            "rfu idx {i}"
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Randomized cross-validation: every `GetSad` kernel variant — and the
+//! loop-level RFU instruction — against the host golden model, over random
+//! planes, positions, alignments and interpolation kinds.
+
+use proptest::prelude::*;
+
+use rvliw::isa::MachineConfig;
+use rvliw::kernels::regs::{
+    ARG_BASE, ARG_BEST, ARG_CAND, ARG_CX, ARG_CY, ARG_INTERP, ARG_NCX, ARG_NCY, ARG_REF,
+    ARG_STRIDE, NO_CANDIDATE, RESULT,
+};
+use rvliw::kernels::{build_getsad, build_mb_prep, build_me_loop_call, DriverKind, Variant};
+use rvliw::mem::MemConfig;
+use rvliw::mpeg4::sad::{get_sad, InterpKind};
+use rvliw::mpeg4::types::Plane;
+use rvliw::rfu::{MeLoopCfg, Rfu, RfuBandwidth};
+use rvliw::sim::Machine;
+
+const STRIDE: u32 = 176;
+const H: usize = 64;
+
+fn arb_plane() -> impl Strategy<Value = Plane> {
+    proptest::collection::vec(any::<u8>(), STRIDE as usize * H)
+        .prop_map(|data| Plane::from_data(STRIDE as usize, H, data))
+}
+
+fn load_plane(m: &mut Machine, p: &Plane) -> u32 {
+    let base = m.mem.ram.alloc((p.width() * p.height()) as u32, 32);
+    for y in 0..p.height() {
+        m.mem
+            .ram
+            .write_bytes(base + (y * p.width()) as u32, p.row(y));
+    }
+    base
+}
+
+fn kind_of(bits: u32) -> InterpKind {
+    match bits {
+        0 => InterpKind::None,
+        1 => InterpKind::H,
+        2 => InterpKind::V,
+        _ => InterpKind::Diag,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// All four instruction-level kernels return the exact golden SAD for
+    /// random content, positions, alignments and interpolation modes.
+    #[test]
+    fn instruction_kernels_match_golden(
+        cur in arb_plane(),
+        prev in arb_plane(),
+        mb in (0usize..9, 0usize..2),
+        cand in (0usize..150, 0usize..40),
+        interp in 0u32..4,
+    ) {
+        let kind = kind_of(interp);
+        let (rx, ry) = (mb.0 * 16, mb.1 * 16);
+        let (cx, cy) = (
+            cand.0.min(STRIDE as usize - kind.cols()),
+            cand.1.min(H - kind.rows()),
+        );
+        let golden = get_sad(&cur, rx, ry, &prev, cx, cy, kind);
+        for variant in Variant::all() {
+            let code = build_getsad(variant, &MachineConfig::st200());
+            let mut m = Machine::st200();
+            m.rfu = Rfu::with_case_study_configs(MeLoopCfg::new(RfuBandwidth::B1x32, 1, STRIDE));
+            let cur_base = load_plane(&mut m, &cur);
+            let prev_base = load_plane(&mut m, &prev);
+            m.set_gpr(ARG_REF, cur_base + (ry as u32) * STRIDE + rx as u32);
+            m.set_gpr(ARG_CAND, prev_base + (cy as u32) * STRIDE + cx as u32);
+            m.set_gpr(ARG_INTERP, interp);
+            m.set_gpr(ARG_STRIDE, STRIDE);
+            m.run(&code).expect("kernel runs");
+            prop_assert_eq!(
+                m.gpr(RESULT),
+                golden,
+                "{:?} kind {:?} cand ({}, {})",
+                variant, kind, cx, cy
+            );
+        }
+    }
+
+    /// The loop-level RFU instruction (both line-buffer schemes, all
+    /// bandwidths and β values) returns the exact golden SAD.
+    #[test]
+    fn loop_kernels_match_golden(
+        cur in arb_plane(),
+        prev in arb_plane(),
+        cand in (0usize..150, 0usize..40),
+        interp in 0u32..4,
+        bw_i in 0usize..3,
+        beta in prop_oneof![Just(1u64), Just(5)],
+        two_lb in any::<bool>(),
+    ) {
+        let kind = kind_of(interp);
+        let (rx, ry) = (32usize, 16usize);
+        let (cx, cy) = (
+            cand.0.min(STRIDE as usize - kind.cols()),
+            cand.1.min(H - kind.rows()),
+        );
+        let golden = get_sad(&cur, rx, ry, &prev, cx, cy, kind);
+
+        let mut me = MeLoopCfg::new(RfuBandwidth::all()[bw_i], beta, STRIDE);
+        let dkind = if two_lb {
+            me = me.with_line_buffer_b();
+            DriverKind::DoubleLineBuffer
+        } else {
+            DriverKind::SingleLineBuffer
+        };
+        let mut m = Machine::new(MachineConfig::st200(), MemConfig::st200_loop_level());
+        m.rfu = Rfu::with_case_study_configs(me);
+        let cur_base = load_plane(&mut m, &cur);
+        let prev_base = load_plane(&mut m, &prev);
+        let prep = build_mb_prep(dkind, &MachineConfig::st200());
+        let call = build_me_loop_call(dkind, &MachineConfig::st200());
+
+        m.set_gpr(ARG_REF, cur_base + (ry as u32) * STRIDE + rx as u32);
+        m.set_gpr(ARG_BASE, prev_base);
+        m.set_gpr(ARG_STRIDE, STRIDE);
+        m.set_gpr(ARG_NCX, cx as u32);
+        m.set_gpr(ARG_NCY, cy as u32);
+        m.run(&prep).expect("prep runs");
+
+        m.set_gpr(ARG_REF, cur_base + (ry as u32) * STRIDE + rx as u32);
+        m.set_gpr(ARG_BASE, prev_base);
+        m.set_gpr(ARG_CX, cx as u32);
+        m.set_gpr(ARG_CY, cy as u32);
+        m.set_gpr(ARG_INTERP, interp);
+        m.set_gpr(ARG_STRIDE, STRIDE);
+        m.set_gpr(ARG_NCX, NO_CANDIDATE);
+        m.set_gpr(ARG_NCY, NO_CANDIDATE);
+        m.set_gpr(ARG_BEST, u32::MAX);
+        m.run(&call).expect("driver runs");
+        prop_assert_eq!(m.gpr(RESULT), golden, "{:?} b={} kind {:?}", dkind, beta, kind);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property test: programs round-trip through the text assembler.
+//!
+//! Any straight-line program the `Builder` can produce renders to a listing
+//! (`Display`) that `parse_program` reads back op-for-op.
+
+use proptest::prelude::*;
+
+use rvliw::asm::{parse_program, Builder};
+use rvliw::isa::{Br, Dest, Gpr, Op, Opcode, Src};
+
+/// Opcodes whose display form is plain `mnemonic [dest =] srcs…`.
+const TEXTABLE: &[Opcode] = &[
+    Opcode::Add,
+    Opcode::Sub,
+    Opcode::And,
+    Opcode::Or,
+    Opcode::Xor,
+    Opcode::Sll,
+    Opcode::Srl,
+    Opcode::Sra,
+    Opcode::Min,
+    Opcode::Maxu,
+    Opcode::Mov,
+    Opcode::Mul,
+    Opcode::Mulh,
+    Opcode::Sad4,
+    Opcode::Avg4r,
+    Opcode::Avgh4,
+    Opcode::Pack4,
+    Opcode::Extbu,
+    Opcode::Ldw,
+    Opcode::Ldbu,
+];
+
+fn arb_textable_op() -> impl Strategy<Value = Op> {
+    (
+        0..TEXTABLE.len(),
+        1u8..64,
+        0u8..64,
+        prop_oneof![
+            (0u8..64).prop_map(|r| Src::Gpr(Gpr::new(r))),
+            (-100_000i32..100_000).prop_map(Src::Imm),
+        ],
+    )
+        .prop_map(|(oi, d, s1, s2)| {
+            Op::new(
+                TEXTABLE[oi],
+                Dest::Gpr(Gpr::new(d)),
+                &[Src::Gpr(Gpr::new(s1)), s2],
+            )
+        })
+}
+
+proptest! {
+    #[test]
+    fn display_parse_roundtrip(ops in proptest::collection::vec(arb_textable_op(), 1..40)) {
+        let mut b = Builder::new("prop");
+        for op in &ops {
+            b.op(*op);
+        }
+        b.halt();
+        let p1 = b.build();
+        // Render the whole program and parse it back.
+        let text: String = p1.blocks[0].ops.iter().map(|o| format!("{o}\n")).collect();
+        let p2 = parse_program("prop", &text).expect("round-trip parses");
+        // Block 0 of the parse holds everything up to (and including) halt.
+        let parsed: Vec<Op> = p2.blocks.iter().flat_map(|bl| bl.ops.clone()).collect();
+        prop_assert_eq!(parsed, p1.blocks[0].ops.clone());
+    }
+
+    #[test]
+    fn cmp_and_branch_roundtrip(n in 1u8..8, imm in -256i32..256) {
+        let mut b = Builder::new("prop");
+        b.movi(Gpr::new(1), imm);
+        let top = b.label();
+        b.bind(top);
+        b.subi(Gpr::new(1), Gpr::new(1), 1);
+        b.cmpne_br(Br::new(n % 8), Gpr::new(1), 0);
+        b.br(Br::new(n % 8), top);
+        b.halt();
+        let p1 = b.build();
+        // Render with named labels (use the program Display, which prints
+        // label ids the parser can re-bind).
+        let text = p1.to_string();
+        // Strip the "program <name>:" header line.
+        let body: String = text.lines().skip(1).map(|l| format!("{l}\n")).collect();
+        let p2 = parse_program("prop", &body).expect("parses");
+        p2.validate().expect("valid");
+        // Same op multiset (labels renumbered is fine).
+        let count = |p: &rvliw::asm::Program| p.blocks.iter().map(|b| b.ops.len()).sum::<usize>();
+        prop_assert_eq!(count(&p1), count(&p2));
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests on the ISA layer: SIMD semantics against scalar
+//! references, and lossless operation encoding.
+
+use proptest::prelude::*;
+
+use rvliw::isa::{decode_op, encode_op, simd, Br, Dest, Gpr, Op, Opcode, Src};
+
+fn bytes(x: u32) -> [u8; 4] {
+    x.to_le_bytes()
+}
+
+proptest! {
+    #[test]
+    fn sad4_equals_scalar_sum(a in any::<u32>(), b in any::<u32>()) {
+        let expect: u32 = bytes(a)
+            .iter()
+            .zip(bytes(b))
+            .map(|(&x, y)| u32::from(x.abs_diff(y)))
+            .sum();
+        prop_assert_eq!(simd::sad4(a, b), expect);
+    }
+
+    #[test]
+    fn avg4r_is_exact_rounded_mean(a in any::<u32>(), b in any::<u32>()) {
+        let out = bytes(simd::avg4r(a, b));
+        for (i, &o) in out.iter().enumerate() {
+            let e = (u16::from(bytes(a)[i]) + u16::from(bytes(b)[i]) + 1) >> 1;
+            prop_assert_eq!(u16::from(o), e);
+        }
+    }
+
+    #[test]
+    fn add4_sub4_are_inverses(a in any::<u32>(), b in any::<u32>()) {
+        prop_assert_eq!(simd::sub4(simd::add4(a, b), b), a);
+    }
+
+    #[test]
+    fn saturating_ops_bound_results(a in any::<u32>(), b in any::<u32>()) {
+        let add = bytes(simd::adds4u(a, b));
+        let sub = bytes(simd::subs4u(a, b));
+        for i in 0..4 {
+            prop_assert!(u16::from(add[i]) >= u16::from(bytes(a)[i].max(bytes(b)[i])));
+            prop_assert!(sub[i] <= bytes(a)[i]);
+        }
+    }
+
+    #[test]
+    fn a1_composite_is_exact_diagonal(
+        wy in any::<u32>(), wyn in any::<u32>(),
+        wy1 in any::<u32>(), wy1n in any::<u32>(),
+    ) {
+        // avgh4/lsbh4/rfix4/dadj4 compose to the exact MPEG-4 diagonal.
+        let out = bytes(simd::dadj4(
+            simd::avgh4(wy, wyn),
+            simd::avgh4(wy1, wy1n),
+            simd::rfix4(simd::lsbh4(wy, wyn), simd::lsbh4(wy1, wy1n)),
+        ));
+        let mut w = [0u16; 5];
+        let mut w1 = [0u16; 5];
+        for i in 0..4 {
+            w[i] = u16::from(bytes(wy)[i]);
+            w1[i] = u16::from(bytes(wy1)[i]);
+        }
+        w[4] = u16::from(bytes(wyn)[0]);
+        w1[4] = u16::from(bytes(wy1n)[0]);
+        for i in 0..4 {
+            let exact = ((w[i] + w[i + 1] + w1[i] + w1[i + 1] + 2) >> 2) as u8;
+            prop_assert_eq!(out[i], exact, "pixel {}", i);
+        }
+    }
+
+    #[test]
+    fn hadd2_rnd2_composite_is_exact_diagonal(
+        ay in any::<u32>(), by in any::<u32>(),
+        ay1 in any::<u32>(), by1 in any::<u32>(),
+        k in 0u32..6,
+    ) {
+        let s = simd::hadd2(ay, by, k).wrapping_add(simd::hadd2(ay1, by1, k));
+        let out = simd::rnd2(s);
+        let win = |a: u32, b: u32, i: usize| -> u16 {
+            let all = [
+                bytes(a)[0], bytes(a)[1], bytes(a)[2], bytes(a)[3],
+                bytes(b)[0], bytes(b)[1], bytes(b)[2], bytes(b)[3],
+            ];
+            u16::from(all[i])
+        };
+        for lane in 0..2usize {
+            let p = k as usize + lane;
+            let exact = ((win(ay, by, p) + win(ay, by, p + 1)
+                + win(ay1, by1, p) + win(ay1, by1, p + 1) + 2) >> 2) as u32;
+            prop_assert_eq!((out >> (16 * lane)) & 0xff, exact);
+        }
+    }
+
+    #[test]
+    fn shift_semantics_match_spec(a in any::<u32>(), n in 0u32..64) {
+        prop_assert_eq!(simd::sll(a, n), if n >= 32 { 0 } else { a << n });
+        prop_assert_eq!(simd::srl(a, n), if n >= 32 { 0 } else { a >> n });
+        let expect_sra = if n >= 32 { ((a as i32) >> 31) as u32 } else { ((a as i32) >> n) as u32 };
+        prop_assert_eq!(simd::sra(a, n), expect_sra);
+    }
+}
+
+/// Strategy producing arbitrary well-formed operations.
+fn arb_op() -> impl Strategy<Value = Op> {
+    let opcode = (0..Opcode::all().len()).prop_map(|i| Opcode::all()[i]);
+    let dest = prop_oneof![
+        Just(Dest::None),
+        (0u8..64).prop_map(|r| Dest::Gpr(Gpr::new(r))),
+        (0u8..8).prop_map(|b| Dest::Br(Br::new(b))),
+    ];
+    let src = prop_oneof![
+        (0u8..64).prop_map(|r| Src::Gpr(Gpr::new(r))),
+        (0u8..8).prop_map(|b| Src::Br(Br::new(b))),
+        any::<i32>().prop_map(Src::Imm),
+    ];
+    let srcs = proptest::collection::vec(src, 0..8);
+    let cfg = proptest::option::of(any::<u16>());
+    let target = proptest::option::of(any::<u32>());
+    (opcode, dest, srcs, cfg, target).prop_map(|(opcode, dest, srcs, cfg, target)| {
+        let mut op = Op::new(opcode, dest, &srcs);
+        op.cfg = cfg;
+        op.target = target;
+        op
+    })
+}
+
+proptest! {
+    #[test]
+    fn op_encoding_roundtrips(op in arb_op()) {
+        let mut words = Vec::new();
+        encode_op(&op, &mut words);
+        let (decoded, used) = decode_op(&words).expect("decodes");
+        prop_assert_eq!(used, words.len());
+        prop_assert_eq!(decoded, op);
+    }
+
+    #[test]
+    fn op_streams_decode_sequentially(ops in proptest::collection::vec(arb_op(), 1..20)) {
+        let mut words = Vec::new();
+        for op in &ops {
+            encode_op(op, &mut words);
+        }
+        let mut pos = 0;
+        for op in &ops {
+            let (decoded, used) = decode_op(&words[pos..]).expect("decodes");
+            prop_assert_eq!(&decoded, op);
+            pos += used;
+        }
+        prop_assert_eq!(pos, words.len());
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests on the RFU model: functional exactness of the custom
+//! interpolation instructions and timing monotonicity of the kernel loop.
+
+use proptest::prelude::*;
+
+use rvliw::mem::{MemConfig, MemorySystem};
+use rvliw::rfu::{cfgs, unit, InterpMode, MeLoopCfg, Rfu, RfuBandwidth};
+
+/// Scalar reference for the diagonal interpolation of one pixel.
+fn diag_ref(p00: u8, p01: u8, p10: u8, p11: u8) -> u8 {
+    ((u16::from(p00) + u16::from(p01) + u16::from(p10) + u16::from(p11) + 2) >> 2) as u8
+}
+
+proptest! {
+    /// `diag4` equals the scalar reference for every alignment and window.
+    #[test]
+    fn diag4_is_exact(words in proptest::array::uniform4(any::<u32>()), align in 0u32..4) {
+        let out = unit::diag4(words, align).to_le_bytes();
+        let row = |w0: u32, w1: u32| {
+            let mut b = [0u8; 8];
+            b[..4].copy_from_slice(&w0.to_le_bytes());
+            b[4..].copy_from_slice(&w1.to_le_bytes());
+            b
+        };
+        let y = row(words[0], words[1]);
+        let y1 = row(words[2], words[3]);
+        let a = align as usize;
+        for i in 0..4 {
+            prop_assert_eq!(out[i], diag_ref(y[a + i], y[a + i + 1], y1[a + i], y1[a + i + 1]));
+        }
+    }
+
+    /// `diag16` agrees with four `diag4` windows over the same rows.
+    #[test]
+    fn diag16_decomposes_into_diag4(
+        y in proptest::array::uniform5(any::<u32>()),
+        y1 in proptest::array::uniform5(any::<u32>()),
+        align in 0u32..4,
+    ) {
+        let full = unit::diag16(y, y1, align);
+        for g in 0..4usize {
+            let part = unit::diag4([y[g], y[g + 1], y1[g], y1[g + 1]], align);
+            prop_assert_eq!(full[g], part, "group {}", g);
+        }
+    }
+
+    /// Static latency is monotone in β and anti-monotone in bandwidth, and
+    /// the β=1→5 increase is the paper's fixed 12 cycles for every
+    /// bandwidth.
+    #[test]
+    fn static_latency_monotonicity(beta in 1u64..6, stride in 64u32..512) {
+        let lats: Vec<u64> = RfuBandwidth::all()
+            .into_iter()
+            .map(|bw| MeLoopCfg::new(bw, beta, stride).static_latency())
+            .collect();
+        prop_assert!(lats[0] > lats[1] && lats[1] > lats[2]);
+        for bw in RfuBandwidth::all() {
+            let l1 = MeLoopCfg::new(bw, 1, stride).static_latency();
+            let l5 = MeLoopCfg::new(bw, 5, stride).static_latency();
+            prop_assert_eq!(l5 - l1, 12);
+            let lb = MeLoopCfg::new(bw, beta, stride).static_latency();
+            let lb_next = MeLoopCfg::new(bw, beta + 1, stride).static_latency();
+            prop_assert!(lb_next > lb);
+        }
+    }
+
+    /// The ME loop's functional SAD never depends on timing state: cold
+    /// caches, warm caches and prefetched line buffers all return the same
+    /// value.
+    #[test]
+    fn meloop_sad_is_timing_independent(
+        seed in any::<u32>(),
+        cand_off in 0u32..80,
+        interp in 0u32..4,
+    ) {
+        let stride = 176u32;
+        let fill = |m: &mut MemorySystem| -> (u32, u32) {
+            let frame = m.ram.alloc(stride * 120, 32);
+            for i in 0..stride * 80 {
+                let v = i.wrapping_mul(2_654_435_761).wrapping_add(seed);
+                m.ram.store8(frame + i, (v >> 24) as u8);
+            }
+            (frame + 32 * stride + 48, frame + 20 * stride + 16 + cand_off)
+        };
+        let run = |prefetch: bool| -> u32 {
+            let mut m = MemorySystem::new(MemConfig::st200_loop_level());
+            let (ref_addr, cand) = fill(&mut m);
+            let mut rfu = Rfu::with_case_study_configs(
+                MeLoopCfg::new(RfuBandwidth::B1x32, 1, stride).with_line_buffer_b(),
+            );
+            if prefetch {
+                rfu.pref(cfgs::PREF_REF, ref_addr, &mut m, 0).unwrap();
+                rfu.pref(cfgs::PREF_CAND_LBB, cand, &mut m, 0).unwrap();
+            }
+            rfu.exec(cfgs::ME_LOOP, &[cand, interp, ref_addr], &mut m, 500)
+                .unwrap()
+                .value
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+
+    /// Prefetching a candidate never increases the loop's stall cycles.
+    #[test]
+    fn prefetch_never_hurts(seed in any::<u32>(), cand_off in 0u32..60) {
+        let stride = 176u32;
+        let run = |prefetch: bool| -> u64 {
+            let mut m = MemorySystem::new(MemConfig::st200_loop_level());
+            let frame = m.ram.alloc(stride * 120, 32);
+            for i in 0..stride * 60 {
+                m.ram.store8(frame + i, (i.wrapping_add(seed) % 251) as u8);
+            }
+            let ref_addr = frame + 32 * stride + 48;
+            let cand = frame + 10 * stride + 16 + cand_off;
+            let mut rfu = Rfu::with_case_study_configs(MeLoopCfg::new(
+                RfuBandwidth::B1x32,
+                1,
+                stride,
+            ));
+            rfu.pref(cfgs::PREF_REF, ref_addr, &mut m, 0).unwrap();
+            if prefetch {
+                rfu.pref(cfgs::PREF_CAND, cand, &mut m, 0).unwrap();
+            }
+            rfu.exec(
+                cfgs::ME_LOOP,
+                &[cand, InterpMode::Diag.to_bits(), ref_addr],
+                &mut m,
+                10_000,
+            )
+            .unwrap()
+            .stall
+        };
+        prop_assert!(run(true) <= run(false));
+    }
+}
