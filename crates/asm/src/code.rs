@@ -2,30 +2,53 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use rvliw_isa::{encode_op, Bundle};
 
 use crate::program::Label;
+
+/// Source of unique program identities (see [`Code::id`]).
+static NEXT_CODE_ID: AtomicU64 = AtomicU64::new(1);
 
 /// A scheduled program: VLIW bundles with resolved branch targets.
 ///
 /// Branch operations inside the bundles carry *bundle indices* in their
 /// `target` field (the assembler resolved the labels). The simulator's
 /// program counter is a bundle index.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Code {
+    id: u64,
     name: String,
     bundles: Vec<Bundle>,
     label_at: HashMap<Label, usize>,
 }
 
+// Equality compares program content only; `id` is an identity tag for
+// caches (two separately scheduled but identical programs compare equal
+// while keeping distinct ids).
+impl PartialEq for Code {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.bundles == other.bundles && self.label_at == other.label_at
+    }
+}
+
 impl Code {
     pub(crate) fn new(name: String, bundles: Vec<Bundle>, label_at: HashMap<Label, usize>) -> Self {
         Code {
+            id: NEXT_CODE_ID.fetch_add(1, Ordering::Relaxed),
             name,
             bundles,
             label_at,
         }
+    }
+
+    /// A process-unique identity for this scheduled program, stable across
+    /// clones. Consumers (such as the simulator's pre-decode cache) may key
+    /// derived artifacts on it instead of hashing the whole program.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     /// The program name.

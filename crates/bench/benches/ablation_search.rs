@@ -60,7 +60,7 @@ fn bench_search(c: &mut Criterion) {
     for (name, w) in &cases {
         // Benchmark the ORIG replay under each search's trace; the full
         // search is far larger, so its wall time reflects the call count.
-        group.bench_function(*name, |b| b.iter(|| run_me(&Scenario::orig(), w)));
+        group.bench_function(name, |b| b.iter(|| run_me(&Scenario::orig(), w)));
     }
     group.finish();
 }

@@ -1,0 +1,42 @@
+//! Steady-state simulator throughput on the real kernels: simulated
+//! cycles per wall second while replaying the `GetSad` trace.
+//!
+//! `micro.rs` times a synthetic hot loop; this bench exercises the
+//! pre-decoded issue path end to end (scoreboard, cache model, RFU) on
+//! the same scenarios the tables use, so a regression in the decode
+//! cache or the issue loop shows up directly as cycles/sec.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rvliw_bench::bench_workload;
+use rvliw_core::{run_me, Scenario};
+use rvliw_rfu::RfuBandwidth;
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    let workload = bench_workload();
+    let mut group = c.benchmark_group("sim_throughput");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+
+    // Elements = simulated cycles, so the reported rate is the headline
+    // "simulated cycles per wall second" number.
+    for (id, scenario) in [
+        ("orig", Scenario::orig()),
+        ("a3", Scenario::a3()),
+        ("loop_1x32_b1", Scenario::loop_level(RfuBandwidth::B1x32, 1)),
+        ("two_lb_b1", Scenario::loop_two_lb(1)),
+    ] {
+        let probe = run_me(&scenario, &workload);
+        group.throughput(Throughput::Elements(probe.me_cycles));
+        group.bench_function(id, |b| {
+            b.iter(|| black_box(run_me(black_box(&scenario), &workload)));
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_throughput);
+criterion_main!(benches);

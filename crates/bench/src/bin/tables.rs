@@ -4,10 +4,15 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p rvliw-bench --bin tables [-- --write] [--frames N]
+//! cargo run --release -p rvliw-bench --bin tables \
+//!     [-- --write] [--frames N] [--csv DIR] [--bench-json] [--baseline-cps X]
 //! ```
 //!
 //! `--write` also rewrites `EXPERIMENTS.md` at the workspace root.
+//! `--bench-json` writes `BENCH_tables.json` (wall time per phase and per
+//! table, simulated cycles, cycles per wall second, thread count); with
+//! `--baseline-cps X` (a reference build's cycles/sec on the same host)
+//! the report also records the speedup over that baseline.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -116,9 +121,22 @@ fn write_csvs(dir: &str, cs: &CaseStudy) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Wall-clock of `f`, in seconds.
+fn secs(f: impl FnOnce()) -> f64 {
+    let t = Instant::now();
+    f();
+    t.elapsed().as_secs_f64()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let write = args.iter().any(|a| a == "--write");
+    let bench_json = args.iter().any(|a| a == "--bench-json");
+    let baseline_cps = args
+        .iter()
+        .position(|a| a == "--baseline-cps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<f64>().ok());
     let frames = args
         .iter()
         .position(|a| a == "--frames")
@@ -129,11 +147,13 @@ fn main() {
     let mut out = String::new();
     let t0 = Instant::now();
     eprintln!("generating + encoding the {frames}-frame QCIF workload …");
+    let t_encode = Instant::now();
     let workload = if frames == 25 {
-        Workload::paper()
+        Workload::paper_shared()
     } else {
-        Workload::qcif_frames(frames)
+        std::sync::Arc::new(Workload::qcif_frames(frames))
     };
+    let encode_wall_s = t_encode.elapsed().as_secs_f64();
     let (n, h, v, d) = workload.report.interp_shares();
     let _ = writeln!(
         out,
@@ -157,10 +177,13 @@ fn main() {
         paper::DIAG_CALL_SHARE * 100.0
     );
 
-    eprintln!("running the 12 architecture scenarios …");
+    let threads = rvliw_core::default_threads();
+    eprintln!("running the 12 architecture scenarios on {threads} thread(s) …");
+    let t_scenarios = Instant::now();
     let cs = CaseStudy::run_with_progress(&workload, |label| {
         eprintln!("  scenario {label} …");
     });
+    let scenarios_wall_s = t_scenarios.elapsed().as_secs_f64();
 
     let _ = writeln!(out, "```\n{}\n```\n", cs.table1());
     let _ = writeln!(out, "```\n{}\n```\n", cs.table2());
@@ -370,7 +393,61 @@ fn main() {
     );
 
     println!("{out}");
-    eprintln!("total runtime: {:.1}s", t0.elapsed().as_secs_f64());
+    let total_wall_s = t0.elapsed().as_secs_f64();
+    eprintln!("total runtime: {total_wall_s:.1}s");
+    if bench_json {
+        let table_wall_s: Vec<(&str, f64)> = vec![
+            ("table1", secs(|| drop(cs.table1()))),
+            ("table2", secs(|| drop(cs.table2()))),
+            ("table3", secs(|| drop(cs.table3()))),
+            ("table4", secs(|| drop(cs.table4()))),
+            ("table5", secs(|| drop(cs.table5()))),
+            ("table6", secs(|| drop(cs.table6()))),
+            ("table7", secs(|| drop(cs.table7()))),
+        ];
+        let simulated_cycles: u64 = std::iter::once(cs.orig.me_cycles)
+            .chain(cs.instr.iter().map(|(_, r)| r.me_cycles))
+            .chain(cs.loops.iter().map(|(_, _, _, r)| r.me_cycles))
+            .chain(cs.two_lb.iter().map(|(_, _, r)| r.me_cycles))
+            .sum();
+        let cycles_per_sec = simulated_cycles as f64 / scenarios_wall_s;
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"bin\": \"tables\",");
+        let _ = writeln!(json, "  \"threads\": {threads},");
+        let _ = writeln!(json, "  \"frames\": {frames},");
+        let _ = writeln!(json, "  \"getsad_calls\": {},", workload.num_calls());
+        let _ = writeln!(json, "  \"scenarios\": 12,");
+        let _ = writeln!(json, "  \"encode_wall_s\": {encode_wall_s:.3},");
+        let _ = writeln!(json, "  \"scenarios_wall_s\": {scenarios_wall_s:.3},");
+        let _ = writeln!(json, "  \"tables_wall_s\": {{");
+        let tables_total: f64 = table_wall_s.iter().map(|(_, s)| s).sum();
+        for (name, s) in &table_wall_s {
+            let _ = writeln!(json, "    \"{name}\": {s:.6},");
+        }
+        let _ = writeln!(json, "    \"total\": {tables_total:.6}");
+        let _ = writeln!(json, "  }},");
+        let _ = writeln!(json, "  \"total_wall_s\": {total_wall_s:.3},");
+        let _ = writeln!(json, "  \"simulated_cycles\": {simulated_cycles},");
+        let _ = writeln!(json, "  \"cycles_per_sec\": {cycles_per_sec:.0},");
+        match baseline_cps {
+            Some(base) => {
+                let _ = writeln!(json, "  \"baseline_cycles_per_sec\": {base:.0},");
+                let _ = writeln!(
+                    json,
+                    "  \"speedup_vs_baseline\": {:.2}",
+                    cycles_per_sec / base
+                );
+            }
+            None => {
+                let _ = writeln!(json, "  \"baseline_cycles_per_sec\": null,");
+                let _ = writeln!(json, "  \"speedup_vs_baseline\": null");
+            }
+        }
+        json.push_str("}\n");
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tables.json");
+        std::fs::write(path, json).expect("write BENCH_tables.json");
+        eprintln!("wrote {path}");
+    }
     if let Some(dir) = args
         .iter()
         .position(|a| a == "--csv")

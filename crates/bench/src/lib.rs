@@ -17,15 +17,20 @@
 
 pub mod paper;
 
+use std::sync::{Arc, OnceLock};
+
 use rvliw_core::{CaseStudy, Workload};
 
 pub use rvliw_core as core;
 
 /// The reduced workload used by the Criterion benches (QCIF, 4 frames);
-/// the `tables` binary uses the full 25 frames.
+/// the `tables` binary uses the full 25 frames. Host-encoded at most once
+/// per process and shared behind an [`Arc`] — every bench in a binary
+/// reuses the same immutable workload instead of re-encoding it.
 #[must_use]
-pub fn bench_workload() -> Workload {
-    Workload::qcif_frames(4)
+pub fn bench_workload() -> Arc<Workload> {
+    static BENCH: OnceLock<Arc<Workload>> = OnceLock::new();
+    Arc::clone(BENCH.get_or_init(|| Arc::new(Workload::qcif_frames(4))))
 }
 
 /// Runs the whole case study on a workload (shared by benches and tests).

@@ -32,7 +32,7 @@ pub use app_model::AppModel;
 pub use breakdown::CycleBreakdown;
 pub use runner::{run_me, MeResult};
 pub use scenario::Scenario;
-pub use tables::CaseStudy;
+pub use tables::{default_threads, CaseStudy};
 pub use workload::Workload;
 
 /// The paper's initial profile: share of total execution time spent in

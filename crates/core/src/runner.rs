@@ -71,6 +71,97 @@ fn interp_bits(kind: InterpKind) -> u32 {
     }
 }
 
+/// Argument registers for one simulated kernel invocation.
+///
+/// Every driver needs the reference-block address and the stride; the
+/// kernel kind decides the rest (candidate address for the instruction
+/// level, line-buffer base / coordinates / streaming lookahead for the
+/// loop level). `apply` writes exactly the registers that were set, in one
+/// place, instead of each call site carrying its own `set_gpr` block.
+#[derive(Debug, Clone, Copy, Default)]
+struct SadCallArgs {
+    ref_addr: u32,
+    stride: u32,
+    cand: Option<u32>,
+    base: Option<u32>,
+    interp: Option<u32>,
+    coords: Option<(u32, u32)>,
+    next: Option<(u32, u32)>,
+    best: Option<u32>,
+}
+
+impl SadCallArgs {
+    fn new(ref_addr: u32, stride: u32) -> Self {
+        SadCallArgs {
+            ref_addr,
+            stride,
+            ..SadCallArgs::default()
+        }
+    }
+
+    /// Candidate-block address (instruction-level kernels).
+    fn cand(mut self, addr: u32) -> Self {
+        self.cand = Some(addr);
+        self
+    }
+
+    /// Previous-frame base address (loop-level drivers).
+    fn base(mut self, addr: u32) -> Self {
+        self.base = Some(addr);
+        self
+    }
+
+    /// Half-sample interpolation mode.
+    fn interp(mut self, kind: InterpKind) -> Self {
+        self.interp = Some(interp_bits(kind));
+        self
+    }
+
+    /// Candidate coordinates (loop-level drivers).
+    fn coords(mut self, cx: u32, cy: u32) -> Self {
+        self.coords = Some((cx, cy));
+        self
+    }
+
+    /// Next-candidate coordinates for the streaming prefetch.
+    fn next(mut self, ncx: u32, ncy: u32) -> Self {
+        self.next = Some((ncx, ncy));
+        self
+    }
+
+    /// Best SAD so far (early-termination threshold).
+    fn best(mut self, best: u32) -> Self {
+        self.best = Some(best);
+        self
+    }
+
+    /// Writes the collected arguments into the machine's registers.
+    fn apply(&self, m: &mut Machine) {
+        m.set_gpr(ARG_REF, self.ref_addr);
+        m.set_gpr(ARG_STRIDE, self.stride);
+        if let Some(addr) = self.cand {
+            m.set_gpr(ARG_CAND, addr);
+        }
+        if let Some(addr) = self.base {
+            m.set_gpr(ARG_BASE, addr);
+        }
+        if let Some(bits) = self.interp {
+            m.set_gpr(ARG_INTERP, bits);
+        }
+        if let Some((cx, cy)) = self.coords {
+            m.set_gpr(ARG_CX, cx);
+            m.set_gpr(ARG_CY, cy);
+        }
+        if let Some((ncx, ncy)) = self.next {
+            m.set_gpr(ARG_NCX, ncx);
+            m.set_gpr(ARG_NCY, ncy);
+        }
+        if let Some(best) = self.best {
+            m.set_gpr(ARG_BEST, best);
+        }
+    }
+}
+
 /// Writes a plane's samples into simulator RAM at `base` (host-side, no
 /// timing — stands in for the non-simulated encoder stages that produced
 /// the data).
@@ -141,10 +232,10 @@ pub fn run_me(scenario: &Scenario, workload: &Workload) -> MeResult {
                 Kind::Instruction(_) => {
                     let code = kernel.as_ref().expect("kernel built");
                     for c in &trace.calls {
-                        m.set_gpr(ARG_REF, ref_addr);
-                        m.set_gpr(ARG_CAND, addr_of(c));
-                        m.set_gpr(ARG_INTERP, interp_bits(c.kind));
-                        m.set_gpr(ARG_STRIDE, stride);
+                        SadCallArgs::new(ref_addr, stride)
+                            .cand(addr_of(c))
+                            .interp(c.kind)
+                            .apply(&mut m);
                         m.run(code).expect("kernel run");
                         assert_eq!(
                             m.gpr(RESULT),
@@ -164,11 +255,10 @@ pub fn run_me(scenario: &Scenario, workload: &Workload) -> MeResult {
                         .first()
                         .map(&coords_of)
                         .unwrap_or((NO_CANDIDATE, NO_CANDIDATE));
-                    m.set_gpr(ARG_REF, ref_addr);
-                    m.set_gpr(ARG_BASE, prev_buf);
-                    m.set_gpr(ARG_STRIDE, stride);
-                    m.set_gpr(ARG_NCX, fx);
-                    m.set_gpr(ARG_NCY, fy);
+                    SadCallArgs::new(ref_addr, stride)
+                        .base(prev_buf)
+                        .next(fx, fy)
+                        .apply(&mut m);
                     m.run(prep).expect("prep run");
                     let mut best = u32::MAX;
                     for (i, c) in trace.calls.iter().enumerate() {
@@ -178,15 +268,13 @@ pub fn run_me(scenario: &Scenario, workload: &Workload) -> MeResult {
                             .map(&coords_of)
                             .unwrap_or((NO_CANDIDATE, NO_CANDIDATE));
                         let (cx, cy) = coords_of(c);
-                        m.set_gpr(ARG_REF, ref_addr);
-                        m.set_gpr(ARG_BASE, prev_buf);
-                        m.set_gpr(ARG_CX, cx);
-                        m.set_gpr(ARG_CY, cy);
-                        m.set_gpr(ARG_INTERP, interp_bits(c.kind));
-                        m.set_gpr(ARG_STRIDE, stride);
-                        m.set_gpr(ARG_NCX, ncx);
-                        m.set_gpr(ARG_NCY, ncy);
-                        m.set_gpr(ARG_BEST, best);
+                        SadCallArgs::new(ref_addr, stride)
+                            .base(prev_buf)
+                            .coords(cx, cy)
+                            .interp(c.kind)
+                            .next(ncx, ncy)
+                            .best(best)
+                            .apply(&mut m);
                         m.run(call_prog).expect("driver run");
                         assert_eq!(
                             m.gpr(RESULT),

@@ -1,6 +1,8 @@
 //! Tables 1–7 of the paper, regenerated from measurements.
 
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use rvliw_kernels::Variant;
 use rvliw_rfu::RfuBandwidth;
@@ -9,6 +11,21 @@ use crate::app_model::AppModel;
 use crate::runner::{run_me, MeResult};
 use crate::scenario::Scenario;
 use crate::workload::Workload;
+
+/// The default worker-thread count for [`CaseStudy`]: the `RVLIW_THREADS`
+/// environment variable when set to a positive integer, otherwise the
+/// machine's available parallelism.
+#[must_use]
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("RVLIW_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
 
 /// All measurements needed for every table, collected in one pass.
 #[derive(Debug, Clone)]
@@ -30,32 +47,104 @@ pub struct CaseStudy {
 }
 
 impl CaseStudy {
-    /// Runs every scenario of the paper over `workload`.
-    /// `progress` is called with a label before each scenario.
-    #[must_use]
-    pub fn run_with_progress(workload: &Workload, mut progress: impl FnMut(&str)) -> Self {
-        progress("Orig");
-        let orig = run_me(&Scenario::orig(), workload);
-        let mut instr = Vec::new();
-        for v in [Variant::A1, Variant::A2, Variant::A3] {
-            progress(v.name());
-            instr.push((v, run_me(&Scenario::instruction(v), workload)));
+    /// The paper's scenarios in presentation order: ORIG; A1–A3; the six
+    /// single-line-buffer loop points (bandwidth × β); the two
+    /// two-line-buffer points. Each scenario is independent — it owns its
+    /// machine, memory hierarchy and RFU — which is what makes the fan-out
+    /// in [`CaseStudy::run_with_threads`] trivially sound.
+    fn scenarios() -> Vec<Scenario> {
+        let mut v = vec![Scenario::orig()];
+        for variant in [Variant::A1, Variant::A2, Variant::A3] {
+            v.push(Scenario::instruction(variant));
         }
+        for bw in RfuBandwidth::all() {
+            for beta in [1u64, 5] {
+                v.push(Scenario::loop_level(bw, beta));
+            }
+        }
+        for beta in [1u64, 5] {
+            v.push(Scenario::loop_two_lb(beta));
+        }
+        v
+    }
+
+    /// Runs every scenario of the paper over `workload`, dispatching them
+    /// across [`default_threads`] worker threads. `progress` is called with
+    /// a scenario label as each scenario starts (from worker threads when
+    /// running parallel — labels may interleave, but every label appears
+    /// exactly once).
+    #[must_use]
+    pub fn run_with_progress(workload: &Workload, progress: impl Fn(&str) + Sync) -> Self {
+        Self::run_with_threads(workload, default_threads(), progress)
+    }
+
+    /// Runs every scenario on exactly `threads` worker threads (`<= 1`
+    /// runs serially on the calling thread). Results are reassembled in
+    /// the fixed scenario order, so the outcome — every table, bit for
+    /// bit — is independent of the thread count: each scenario owns its
+    /// own [`Machine`](rvliw_sim::Machine) and the simulation itself is
+    /// deterministic.
+    #[must_use]
+    pub fn run_with_threads(
+        workload: &Workload,
+        threads: usize,
+        progress: impl Fn(&str) + Sync,
+    ) -> Self {
+        let scenarios = Self::scenarios();
+        let n = scenarios.len();
+        let results: Vec<MeResult> = if threads <= 1 {
+            scenarios
+                .iter()
+                .map(|sc| {
+                    progress(&sc.label);
+                    run_me(sc, workload)
+                })
+                .collect()
+        } else {
+            // Work-stealing by atomic index: scenario costs are wildly
+            // uneven (ORIG simulates ~10× the cycles of a loop-level
+            // point), so a static partition would idle most workers.
+            let next = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<MeResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|s| {
+                for _ in 0..threads.min(n) {
+                    s.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(sc) = scenarios.get(i) else { break };
+                        progress(&sc.label);
+                        let r = run_me(sc, workload);
+                        *slots[i].lock().expect("result slot poisoned") = Some(r);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("result slot poisoned")
+                        .expect("every scenario index was claimed")
+                })
+                .collect()
+        };
+
+        // Reassemble in the fixed order `scenarios()` produced.
+        let mut results = results.into_iter();
+        let orig = results.next().expect("ORIG ran");
+        let instr = [Variant::A1, Variant::A2, Variant::A3]
+            .into_iter()
+            .map(|v| (v, results.next().expect("instruction scenario ran")))
+            .collect();
         let mut loops = Vec::new();
         for bw in RfuBandwidth::all() {
             for beta in [1u64, 5] {
-                let sc = Scenario::loop_level(bw, beta);
-                progress(&sc.label);
-                let lat = sc.static_latency(workload.stride);
-                loops.push((bw, beta, lat, run_me(&sc, workload)));
+                let lat = Scenario::loop_level(bw, beta).static_latency(workload.stride);
+                loops.push((bw, beta, lat, results.next().expect("loop scenario ran")));
             }
         }
         let mut two_lb = Vec::new();
         for beta in [1u64, 5] {
-            let sc = Scenario::loop_two_lb(beta);
-            progress(&sc.label);
-            let lat = sc.static_latency(workload.stride);
-            two_lb.push((beta, lat, run_me(&sc, workload)));
+            let lat = Scenario::loop_two_lb(beta).static_latency(workload.stride);
+            two_lb.push((beta, lat, results.next().expect("two-LB scenario ran")));
         }
         let app = AppModel::calibrated(orig.me_cycles);
         CaseStudy {
@@ -69,7 +158,7 @@ impl CaseStudy {
         }
     }
 
-    /// Runs silently.
+    /// Runs silently on the default thread count.
     #[must_use]
     pub fn run(workload: &Workload) -> Self {
         Self::run_with_progress(workload, |_| {})

@@ -1,6 +1,8 @@
 //! The benchmark workload: a synthetic sequence encoded on the host, with
 //! the full `GetSad` call trace.
 
+use std::sync::{Arc, OnceLock};
+
 use mpeg4_enc::{EncodeReport, Encoder, EncoderConfig, Frame, SyntheticSequence};
 
 /// An encoded sequence plus everything the simulator needs to replay its
@@ -21,6 +23,16 @@ impl Workload {
     #[must_use]
     pub fn paper() -> Self {
         Workload::from_sequence(&SyntheticSequence::qcif_25(), EncoderConfig::default())
+    }
+
+    /// The paper's workload, host-encoded at most once per process and
+    /// shared behind an [`Arc`]. Encoding the 25-frame sequence costs
+    /// seconds; everything downstream only reads the workload, so repeated
+    /// callers (the `tables` binary, benches, tests) should prefer this.
+    #[must_use]
+    pub fn paper_shared() -> Arc<Workload> {
+        static PAPER: OnceLock<Arc<Workload>> = OnceLock::new();
+        Arc::clone(PAPER.get_or_init(|| Arc::new(Workload::paper())))
     }
 
     /// A reduced workload for unit tests and doc-tests (64×48, 3 frames).

@@ -96,6 +96,19 @@ pub struct Cache {
     sets: Vec<Way>,
     tick: u64,
     rng: u32,
+    /// `log2(line_size)` — the line size is asserted to be a power of two.
+    line_shift: u32,
+    /// Set count, cached so the hot lookup path never re-derives it.
+    num_sets: u32,
+    /// `log2(num_sets)` when the set count is a power of two (the common
+    /// case, letting index/tag extraction use shifts instead of division).
+    sets_shift: Option<u32>,
+    /// Direct-mapped fast path: the line index of a known-resident line
+    /// (`u32::MAX` = none). With one way, a repeat read of this line is a
+    /// guaranteed hit and skips the lookup entirely; any fill resets the
+    /// memo. Only consulted when `ways == 1`, where LRU stamps cannot
+    /// influence victim selection.
+    last_line: u32,
     /// Lookup/fill counters.
     pub hits: u64,
     /// Demand misses (fills).
@@ -125,11 +138,18 @@ impl Cache {
     pub fn new(geom: CacheGeometry) -> Self {
         assert!(geom.line_size.is_power_of_two(), "line size power of two");
         assert!(geom.num_sets() > 0, "cache must have at least one set");
+        let num_sets = geom.num_sets();
         Cache {
             geom,
-            sets: vec![Way::default(); (geom.num_sets() * geom.ways) as usize],
+            sets: vec![Way::default(); (num_sets * geom.ways) as usize],
             tick: 0,
             rng: 0x2545_f491,
+            line_shift: geom.line_size.trailing_zeros(),
+            num_sets,
+            sets_shift: num_sets
+                .is_power_of_two()
+                .then(|| num_sets.trailing_zeros()),
+            last_line: u32::MAX,
             hits: 0,
             misses: 0,
             writebacks: 0,
@@ -149,11 +169,19 @@ impl Cache {
     }
 
     fn set_index(&self, addr: u32) -> u32 {
-        (addr / self.geom.line_size) % self.geom.num_sets()
+        let line = addr >> self.line_shift;
+        match self.sets_shift {
+            Some(s) => line & ((1 << s) - 1),
+            None => line % self.num_sets,
+        }
     }
 
     fn tag_of(&self, addr: u32) -> u32 {
-        addr / self.geom.line_size / self.geom.num_sets()
+        let line = addr >> self.line_shift;
+        match self.sets_shift {
+            Some(s) => line >> s,
+            None => line / self.num_sets,
+        }
     }
 
     fn set_ways(&mut self, set: u32) -> &mut [Way] {
@@ -177,11 +205,24 @@ impl Cache {
 
     /// Accesses `addr`, filling on miss; `write` marks the line dirty.
     pub fn access(&mut self, addr: u32, write: bool) -> FillOutcome {
+        // Direct-mapped repeat read of a known-resident line: a guaranteed
+        // hit. Skipping the stamp update is safe with a single way (the
+        // victim choice never consults stamps), and the dirty bit only
+        // changes on writes, which take the slow path.
+        if !write && self.geom.ways == 1 && (addr >> self.line_shift) == self.last_line {
+            self.tick += 1;
+            self.hits += 1;
+            return FillOutcome {
+                hit: true,
+                writeback: None,
+            };
+        }
         self.tick += 1;
         let tick = self.tick;
         let set = self.set_index(addr);
         let tag = self.tag_of(addr);
         let policy = self.geom.policy;
+        let ways = self.geom.ways;
         // Fast path: hit.
         if let Some(way) = self
             .set_ways(set)
@@ -193,6 +234,9 @@ impl Cache {
             }
             way.dirty |= write;
             self.hits += 1;
+            if ways == 1 {
+                self.last_line = addr >> self.line_shift;
+            }
             return FillOutcome {
                 hit: true,
                 writeback: None,
@@ -224,7 +268,7 @@ impl Cache {
         let set = self.set_index(addr);
         let tag = self.tag_of(addr);
         let line_size = self.geom.line_size;
-        let num_sets = self.geom.num_sets();
+        let num_sets = self.num_sets;
         let policy = self.geom.policy;
         // Victim selection. Advance the xorshift32 state up front so the
         // borrow of the set does not overlap the RNG update.
@@ -264,6 +308,13 @@ impl Cache {
         if writeback.is_some() {
             self.writebacks += 1;
         }
+        // A fill may have evicted the memoized line; repoint the memo at
+        // the line that is now certainly resident.
+        self.last_line = if self.geom.ways == 1 {
+            addr >> self.line_shift
+        } else {
+            u32::MAX
+        };
         writeback
     }
 
@@ -273,6 +324,7 @@ impl Cache {
             *w = Way::default();
         }
         self.tick = 0;
+        self.last_line = u32::MAX;
     }
 }
 

@@ -5,6 +5,10 @@
 
 use rvliw_isa::{simd, Opcode};
 
+/// The signature of a lowered pure operation: resolved sources in, result
+/// out.
+pub type PureFn = fn(&[u32]) -> u32;
+
 /// Evaluates a pure (non-memory, non-control, non-RFU) operation over its
 /// resolved source values. Returns the destination value — a boolean result
 /// for comparisons is `0`/`1`.
@@ -16,77 +20,81 @@ use rvliw_isa::{simd, Opcode};
 /// sources, which the assembler-built programs never produce.
 #[must_use]
 pub fn eval_pure(opcode: Opcode, s: &[u32]) -> u32 {
+    match pure_fn(opcode) {
+        Some(f) => f(s),
+        None => panic!("{opcode} has side effects; handled by the machine"),
+    }
+}
+
+/// The lowered evaluator for a pure opcode, or `None` for operations with
+/// side effects (handled by the machine's exec phase). The pre-decoded
+/// issue loop resolves this once per static operation instead of matching
+/// on the opcode every cycle.
+#[must_use]
+pub fn pure_fn(opcode: Opcode) -> Option<PureFn> {
     use Opcode::*;
-    let a = || s[0];
-    let b = || s[1];
-    match opcode {
-        Add => a().wrapping_add(b()),
-        Sub => a().wrapping_sub(b()),
-        And => a() & b(),
-        Andc => a() & !b(),
-        Or => a() | b(),
-        Xor => a() ^ b(),
-        Nor => !(a() | b()),
-        Sll => simd::sll(a(), b()),
-        Srl => simd::srl(a(), b()),
-        Sra => simd::sra(a(), b()),
-        Min => (a() as i32).min(b() as i32) as u32,
-        Max => (a() as i32).max(b() as i32) as u32,
-        Minu => a().min(b()),
-        Maxu => a().max(b()),
-        Mov => a(),
-        Sxtb => a() as u8 as i8 as i32 as u32,
-        Sxth => a() as u16 as i16 as i32 as u32,
-        Zxtb => a() & 0xff,
-        Zxth => a() & 0xffff,
-        Extbu => (a() >> (8 * (b() & 3))) & 0xff,
+    Some(match opcode {
+        Add => |s| s[0].wrapping_add(s[1]),
+        Sub => |s| s[0].wrapping_sub(s[1]),
+        And => |s| s[0] & s[1],
+        Andc => |s| s[0] & !s[1],
+        Or => |s| s[0] | s[1],
+        Xor => |s| s[0] ^ s[1],
+        Nor => |s| !(s[0] | s[1]),
+        Sll => |s| simd::sll(s[0], s[1]),
+        Srl => |s| simd::srl(s[0], s[1]),
+        Sra => |s| simd::sra(s[0], s[1]),
+        Min => |s| (s[0] as i32).min(s[1] as i32) as u32,
+        Max => |s| (s[0] as i32).max(s[1] as i32) as u32,
+        Minu => |s| s[0].min(s[1]),
+        Maxu => |s| s[0].max(s[1]),
+        Mov => |s| s[0],
+        Sxtb => |s| s[0] as u8 as i8 as i32 as u32,
+        Sxth => |s| s[0] as u16 as i16 as i32 as u32,
+        Zxtb => |s| s[0] & 0xff,
+        Zxth => |s| s[0] & 0xffff,
+        Extbu => |s| (s[0] >> (8 * (s[1] & 3))) & 0xff,
         // insb rd = rs1 with byte<s[2]> := low8(rs2)
-        Insb => {
+        Insb => |s| {
             let lane = s[2] & 3;
             let mask = 0xffu32 << (8 * lane);
-            (a() & !mask) | ((b() & 0xff) << (8 * lane))
-        }
+            (s[0] & !mask) | ((s[1] & 0xff) << (8 * lane))
+        },
         // slct rd = b ? rs1 : rs2 — s[0] is the resolved branch register.
-        Slct => {
-            if s[0] != 0 {
-                s[1]
-            } else {
-                s[2]
-            }
-        }
-        CmpEq => u32::from(a() == b()),
-        CmpNe => u32::from(a() != b()),
-        CmpLt => u32::from((a() as i32) < (b() as i32)),
-        CmpLe => u32::from((a() as i32) <= (b() as i32)),
-        CmpGt => u32::from((a() as i32) > (b() as i32)),
-        CmpGe => u32::from((a() as i32) >= (b() as i32)),
-        CmpLtu => u32::from(a() < b()),
-        CmpLeu => u32::from(a() <= b()),
-        CmpGtu => u32::from(a() > b()),
-        CmpGeu => u32::from(a() >= b()),
-        Mul => a().wrapping_mul(b()),
-        Mulh => (((a() as i32 as i64) * (b() as i32 as i64)) >> 32) as u32,
-        Mull16 => ((a() as u16 as i16 as i32).wrapping_mul(b() as i32)) as u32,
-        Add4 => simd::add4(a(), b()),
-        Sub4 => simd::sub4(a(), b()),
-        Adds4u => simd::adds4u(a(), b()),
-        Subs4u => simd::subs4u(a(), b()),
-        Avg4 => simd::avg4(a(), b()),
-        Avg4r => simd::avg4r(a(), b()),
-        Absd4 => simd::absd4(a(), b()),
-        Sad4 => simd::sad4(a(), b()),
-        Max4u => simd::max4u(a(), b()),
-        Min4u => simd::min4u(a(), b()),
-        Avgh4 => simd::avgh4(a(), b()),
-        Lsbh4 => simd::lsbh4(a(), b()),
-        Rfix4 => simd::rfix4(a(), b()),
-        Dadj4 => simd::dadj4(a(), b(), s[2]),
-        Hadd2 => simd::hadd2(a(), b(), s[2]),
-        Rnd2 => simd::rnd2(a()),
-        Pack4 => simd::pack4(a(), b()),
-        Nop => 0,
-        _ => panic!("{opcode} has side effects; handled by the machine"),
-    }
+        Slct => |s| if s[0] != 0 { s[1] } else { s[2] },
+        CmpEq => |s| u32::from(s[0] == s[1]),
+        CmpNe => |s| u32::from(s[0] != s[1]),
+        CmpLt => |s| u32::from((s[0] as i32) < (s[1] as i32)),
+        CmpLe => |s| u32::from((s[0] as i32) <= (s[1] as i32)),
+        CmpGt => |s| u32::from((s[0] as i32) > (s[1] as i32)),
+        CmpGe => |s| u32::from((s[0] as i32) >= (s[1] as i32)),
+        CmpLtu => |s| u32::from(s[0] < s[1]),
+        CmpLeu => |s| u32::from(s[0] <= s[1]),
+        CmpGtu => |s| u32::from(s[0] > s[1]),
+        CmpGeu => |s| u32::from(s[0] >= s[1]),
+        Mul => |s| s[0].wrapping_mul(s[1]),
+        Mulh => |s| (((s[0] as i32 as i64) * (s[1] as i32 as i64)) >> 32) as u32,
+        Mull16 => |s| ((s[0] as u16 as i16 as i32).wrapping_mul(s[1] as i32)) as u32,
+        Add4 => |s| simd::add4(s[0], s[1]),
+        Sub4 => |s| simd::sub4(s[0], s[1]),
+        Adds4u => |s| simd::adds4u(s[0], s[1]),
+        Subs4u => |s| simd::subs4u(s[0], s[1]),
+        Avg4 => |s| simd::avg4(s[0], s[1]),
+        Avg4r => |s| simd::avg4r(s[0], s[1]),
+        Absd4 => |s| simd::absd4(s[0], s[1]),
+        Sad4 => |s| simd::sad4(s[0], s[1]),
+        Max4u => |s| simd::max4u(s[0], s[1]),
+        Min4u => |s| simd::min4u(s[0], s[1]),
+        Avgh4 => |s| simd::avgh4(s[0], s[1]),
+        Lsbh4 => |s| simd::lsbh4(s[0], s[1]),
+        Rfix4 => |s| simd::rfix4(s[0], s[1]),
+        Dadj4 => |s| simd::dadj4(s[0], s[1], s[2]),
+        Hadd2 => |s| simd::hadd2(s[0], s[1], s[2]),
+        Rnd2 => |s| simd::rnd2(s[0]),
+        Pack4 => |s| simd::pack4(s[0], s[1]),
+        Nop => |_| 0,
+        _ => return None,
+    })
 }
 
 #[cfg(test)]
@@ -138,5 +146,14 @@ mod tests {
     #[should_panic(expected = "side effects")]
     fn memory_ops_rejected() {
         let _ = eval_pure(Opcode::Ldw, &[0, 0]);
+    }
+
+    #[test]
+    fn pure_fn_covers_exactly_the_side_effect_free_opcodes() {
+        use rvliw_isa::FuClass;
+        for &op in Opcode::all() {
+            let side_effects = matches!(op.class(), FuClass::Mem | FuClass::Branch | FuClass::Rfu);
+            assert_eq!(pure_fn(op).is_none(), side_effects, "{op}");
+        }
     }
 }

@@ -34,10 +34,12 @@
 //! assert_eq!(m.gpr(Gpr::new(2)), 42);
 //! ```
 
+pub mod decode;
 pub mod exec;
 pub mod machine;
 pub mod stats;
 
+pub use decode::DecodedCode;
 pub use machine::{Machine, RunSummary, SimError, Snapshot};
 pub use stats::SimStats;
 

@@ -1,13 +1,15 @@
 //! The machine: register state, scoreboard, issue loop.
 
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use rvliw_asm::Code;
-use rvliw_isa::{Dest, Gpr, MachineConfig, Op, Opcode, Src, NUM_BRS, NUM_GPRS};
+use rvliw_isa::{Dest, Gpr, MachineConfig, NUM_BRS, NUM_GPRS};
 use rvliw_mem::{MemConfig, MemStats, MemorySystem};
 use rvliw_rfu::{Rfu, RfuStats};
 
-use crate::exec::eval_pure;
+use crate::decode::{DSrc, DecodedCode, DecodedOp, ExecKind, ScoreRead};
 use crate::stats::SimStats;
 use crate::BUNDLE_BYTES;
 
@@ -111,6 +113,9 @@ pub struct Machine {
     pub branch_taken_penalty: u64,
     /// Per-run cycle budget guarding against runaway programs.
     pub cycle_limit: u64,
+    /// Pre-decoded programs, keyed by [`Code::id`]. The lowering bakes in
+    /// this machine's latencies, so the cache is per-instance.
+    decoded: HashMap<u64, Arc<DecodedCode>>,
 }
 
 impl Machine {
@@ -136,6 +141,7 @@ impl Machine {
             stats: SimStats::default(),
             branch_taken_penalty: 1,
             cycle_limit: 200_000_000,
+            decoded: HashMap::new(),
         }
     }
 
@@ -187,26 +193,15 @@ impl Machine {
         }
     }
 
-    fn resolve(&self, s: Src) -> u32 {
-        match s {
-            Src::Gpr(r) => self.gpr(r),
-            Src::Br(b) => u32::from(self.br[b.index() as usize]),
-            Src::Imm(v) => v as u32,
+    /// The pre-decoded form of `code` for this machine's configuration,
+    /// lowering and caching it on first sight (keyed by [`Code::id`]).
+    pub fn decoded(&mut self, code: &Code) -> Arc<DecodedCode> {
+        if let Some(d) = self.decoded.get(&code.id()) {
+            return Arc::clone(d);
         }
-    }
-
-    fn src_ready(&self, s: Src) -> u64 {
-        match s {
-            Src::Gpr(r) => {
-                if r.is_zero() {
-                    0
-                } else {
-                    self.gpr_ready[r.index() as usize]
-                }
-            }
-            Src::Br(b) => self.br_ready[b.index() as usize],
-            Src::Imm(_) => 0,
-        }
+        let d = Arc::new(DecodedCode::new(code, &self.cfg));
+        self.decoded.insert(code.id(), Arc::clone(&d));
+        d
     }
 
     /// Runs `code` like [`Machine::run`], invoking `trace` before each
@@ -221,7 +216,8 @@ impl Machine {
         code: &Code,
         mut trace: impl FnMut(u64, usize, &rvliw_isa::Bundle),
     ) -> Result<RunSummary, SimError> {
-        self.run_inner(code, Some(&mut trace))
+        let decoded = self.decoded(code);
+        self.run_inner(code, &decoded, Some(&mut trace))
     }
 
     /// Runs `code` from its first bundle until `halt`.
@@ -232,23 +228,24 @@ impl Machine {
     /// the program counter leaves the program, [`SimError::Rfu`] on an RFU
     /// protocol violation.
     pub fn run(&mut self, code: &Code) -> Result<RunSummary, SimError> {
-        self.run_inner(code, None)
+        let decoded = self.decoded(code);
+        self.run_inner(code, &decoded, None)
     }
 
     fn run_inner(
         &mut self,
         code: &Code,
+        decoded: &DecodedCode,
         mut trace: Option<TraceHook<'_>>,
     ) -> Result<RunSummary, SimError> {
         let before = self.snapshot();
         let limit = self.cycle + self.cycle_limit;
-        let bundles = code.bundles();
         let mut pc = 0usize;
         let mut halted = false;
         // Call stack is implicit: `call` writes the return bundle index to
         // `$r63`, `return` jumps to it.
         while !halted {
-            if pc >= bundles.len() {
+            if pc >= decoded.len() {
                 return Err(SimError::FellOffEnd { pc });
             }
             if self.cycle >= limit {
@@ -256,9 +253,8 @@ impl Machine {
                     limit: self.cycle_limit,
                 });
             }
-            let bundle = &bundles[pc];
             if let Some(t) = trace.as_deref_mut() {
-                t(self.cycle, pc, bundle);
+                t(self.cycle, pc, &code.bundles()[pc]);
             }
 
             // Instruction fetch.
@@ -268,15 +264,17 @@ impl Machine {
 
             // Scoreboard interlock: every source of every operation must be
             // ready (parallel-read semantics), and RFU operations wait for
-            // the unit to be free.
+            // the unit to be free. The decoded read list already excludes
+            // immediates and `$r0`, which are always ready.
             let mut ready_at = self.cycle;
-            for op in bundle.ops() {
-                for &s in op.srcs() {
-                    ready_at = ready_at.max(self.src_ready(s));
-                }
-                if op.opcode.is_rfu() {
-                    ready_at = ready_at.max(self.rfu_busy_until);
-                }
+            for &r in decoded.reads_of(pc) {
+                ready_at = ready_at.max(match r {
+                    ScoreRead::Gpr(i) => self.gpr_ready[i as usize],
+                    ScoreRead::Br(i) => self.br_ready[i as usize],
+                });
+            }
+            if decoded.has_rfu(pc) {
+                ready_at = ready_at.max(self.rfu_busy_until);
             }
             let wait = ready_at - self.cycle;
             if wait > 0 {
@@ -289,32 +287,40 @@ impl Machine {
                 self.cycle += wait;
             }
 
-            // Read phase: all sources observe pre-bundle state. Scratch
-            // arrays keep the hot loop allocation-free; MAX_ISSUE bounds
-            // the widest configurable machine, not the default 4-issue.
-            let nops = bundle.ops().len();
-            assert!(
-                nops <= MAX_ISSUE,
-                "bundle of {nops} ops exceeds the simulator's issue scratch"
-            );
-            let mut resolved = [[0u32; rvliw_isa::MAX_SRCS]; MAX_ISSUE];
-            for (op, slot) in bundle.ops().iter().zip(resolved.iter_mut()) {
-                for (s, v) in op.srcs().iter().zip(slot.iter_mut()) {
-                    *v = self.resolve(*s);
-                }
+            // Read + execute phase. All sources observe pre-bundle state
+            // (parallel-read semantics); resolving each op's sources right
+            // before it executes is equivalent because register state only
+            // mutates in the deferred write-back below. Fixed-size scratch
+            // keeps the hot loop allocation-free; MAX_ISSUE bounds the
+            // widest configurable machine, not the default 4-issue (the
+            // decoder rejects wider bundles).
+            let ops = decoded.ops_of(pc);
+            self.stats.ops += ops.len() as u64;
+            for (total, &n) in self
+                .stats
+                .ops_by_class
+                .iter_mut()
+                .zip(decoded.class_counts_of(pc))
+            {
+                *total += u64::from(n);
             }
-
-            // Execute phase.
             let mut writes: [(Dest, u32, u64); MAX_ISSUE] = [(Dest::None, 0, 0); MAX_ISSUE];
             let mut nwrites = 0usize;
             let mut next_pc: Option<usize> = None;
-            for (op, slot) in bundle.ops().iter().zip(resolved.iter()).take(nops) {
-                self.stats.ops += 1;
-                self.stats.ops_by_class[crate::stats::class_index(op.opcode.class())] += 1;
-                let srcs = &slot[..op.srcs().len()];
+            for op in ops {
+                let mut slot = [0u32; rvliw_isa::MAX_SRCS];
+                let nsrcs = op.srcs().len();
+                for (s, v) in op.srcs().iter().zip(slot.iter_mut()) {
+                    *v = match *s {
+                        DSrc::Gpr(i) => self.gpr[i as usize],
+                        DSrc::Zero => 0,
+                        DSrc::Br(i) => u32::from(self.br[i as usize]),
+                        DSrc::Imm(imm) => imm,
+                    };
+                }
                 self.exec_op(
                     op,
-                    srcs,
+                    &slot[..nsrcs],
                     &mut writes,
                     &mut nwrites,
                     &mut next_pc,
@@ -357,11 +363,10 @@ impl Machine {
         Ok(self.snapshot().since(&before))
     }
 
-    #[allow(clippy::too_many_lines)]
     #[allow(clippy::too_many_arguments)]
     fn exec_op(
         &mut self,
-        op: &Op,
+        op: &DecodedOp,
         srcs: &[u32],
         writes: &mut [(Dest, u32, u64); MAX_ISSUE],
         nwrites: &mut usize,
@@ -375,79 +380,70 @@ impl Machine {
             writes[*nwrites] = w;
             *nwrites += 1;
         };
-        use Opcode::*;
-        let lat = self.cfg.latency(op);
-        match op.opcode {
-            Ldw | Ldh | Ldhu | Ldb | Ldbu => {
+        let lat = op.lat;
+        match op.kind {
+            ExecKind::Pure(f) => {
+                let value = f(srcs);
+                push(writes, nwrites, (op.dest, value, self.cycle + lat));
+            }
+            ExecKind::Load { size, sext_from } => {
                 let addr = srcs[0].wrapping_add(srcs.get(1).copied().unwrap_or(0));
-                let size = match op.opcode {
-                    Ldw => 4,
-                    Ldh | Ldhu => 2,
-                    _ => 1,
-                };
                 let acc = self.mem.read(addr, size, self.cycle);
                 // Whole-machine stall on a miss.
                 self.cycle += acc.stall;
-                let value = match op.opcode {
-                    Ldh => acc.value as u16 as i16 as i32 as u32,
-                    Ldb => acc.value as u8 as i8 as i32 as u32,
+                let value = match sext_from {
+                    16 => acc.value as u16 as i16 as i32 as u32,
+                    8 => acc.value as u8 as i8 as i32 as u32,
                     _ => acc.value,
                 };
                 push(writes, nwrites, (op.dest, value, self.cycle + lat));
             }
-            Stw | Sth | Stb => {
+            ExecKind::Store { size } => {
                 let value = srcs[0];
                 let addr = srcs[1].wrapping_add(srcs.get(2).copied().unwrap_or(0));
-                let size = match op.opcode {
-                    Stw => 4,
-                    Sth => 2,
-                    _ => 1,
-                };
                 let acc = self.mem.write(addr, size, value, self.cycle);
                 self.cycle += acc.stall;
             }
-            Pft => {
+            ExecKind::Pft => {
                 let addr = srcs[0].wrapping_add(srcs.get(1).copied().unwrap_or(0));
                 let _ = self.mem.prefetch(addr, self.cycle);
             }
-            BrT | BrF => {
+            ExecKind::BrCond { on_true, target } => {
                 let cond = srcs[0] != 0;
-                let take = if op.opcode == BrT { cond } else { !cond };
-                if take {
-                    *next_pc = Some(op.target.expect("resolved branch target") as usize);
+                if cond == on_true {
+                    *next_pc = Some(target.expect("resolved branch target") as usize);
                 }
             }
-            Goto => *next_pc = Some(op.target.expect("resolved goto target") as usize),
-            Call => {
+            ExecKind::Goto { target } => {
+                *next_pc = Some(target.expect("resolved goto target") as usize);
+            }
+            ExecKind::Call { target } => {
                 push(
                     writes,
                     nwrites,
                     (Dest::Gpr(Gpr::LINK), (pc + 1) as u32, self.cycle + 1),
                 );
-                *next_pc = Some(op.target.expect("resolved call target") as usize);
+                *next_pc = Some(target.expect("resolved call target") as usize);
             }
-            Ret => {
+            ExecKind::Ret => {
                 let target = srcs.first().copied().unwrap_or_else(|| self.gpr(Gpr::LINK));
                 *next_pc = Some(target as usize);
             }
-            Halt => *halted = true,
-            Nop => {}
-            RfuInit => {
-                let cfg = op.cfg.expect("rfuinit carries a configuration id");
+            ExecKind::Halt => *halted = true,
+            ExecKind::Nop => {}
+            ExecKind::RfuInit(cfg) => {
                 let penalty = self
                     .rfu
                     .init(cfg, self.cycle)
                     .map_err(|e| SimError::Rfu(e.to_string()))?;
                 self.cycle += penalty;
             }
-            RfuSend => {
-                let cfg = op.cfg.expect("rfusend carries a configuration id");
+            ExecKind::RfuSend(cfg) => {
                 self.rfu
                     .send(cfg, srcs)
                     .map_err(|e| SimError::Rfu(e.to_string()))?;
             }
-            RfuExec | RfuLoop => {
-                let cfg = op.cfg.expect("rfuexec carries a configuration id");
+            ExecKind::RfuExec(cfg) => {
                 let out = self
                     .rfu
                     .exec(cfg, srcs, &mut self.mem, self.cycle)
@@ -458,16 +454,11 @@ impl Machine {
                 self.rfu_busy_until = ready;
                 push(writes, nwrites, (op.dest, out.value, ready));
             }
-            RfuPref => {
-                let cfg = op.cfg.expect("rfupref carries a configuration id");
+            ExecKind::RfuPref(cfg) => {
                 let addr = srcs[0];
                 self.rfu
                     .pref(cfg, addr, &mut self.mem, self.cycle)
                     .map_err(|e| SimError::Rfu(e.to_string()))?;
-            }
-            _ => {
-                let value = eval_pure(op.opcode, srcs);
-                push(writes, nwrites, (op.dest, value, self.cycle + lat));
             }
         }
         Ok(())

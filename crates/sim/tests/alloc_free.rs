@@ -1,0 +1,82 @@
+//! Guards the perf contract of the pre-decoded issue path: once a
+//! program's [`DecodedCode`] is cached, re-running it must not touch the
+//! heap — resolve scratch lives on the stack and write-backs go through
+//! fixed-size machine state.
+//!
+//! This file intentionally holds a single test: the counting allocator
+//! is process-global, and a concurrently running sibling test would
+//! pollute the count.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rvliw_asm::{schedule_st200, Builder};
+use rvliw_isa::{Br, Gpr};
+use rvliw_sim::Machine;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// A pure-arithmetic loop with cross-bundle dependencies: 512 iterations,
+/// ~10 ops each, enough cycles to make any per-cycle allocation obvious.
+fn hot_loop() -> rvliw_asm::Code {
+    let mut b = Builder::new("alloc_probe");
+    let i = Gpr::new(1);
+    let c = Br::new(0);
+    b.movi(i, 512);
+    let top = b.label();
+    b.bind(top);
+    for r in 2..10u8 {
+        b.addi(Gpr::new(r), Gpr::new(r), i32::from(r));
+    }
+    b.subi(i, i, 1);
+    b.cmpne_br(c, i, 0);
+    b.br(c, top);
+    b.halt();
+    schedule_st200(&b.build()).unwrap()
+}
+
+#[test]
+fn warm_issue_loop_does_not_allocate() {
+    let code = hot_loop();
+    let mut m = Machine::st200();
+
+    // First run pays the one-time decode (and may allocate for it).
+    m.run(&code).expect("warm-up run");
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    m.run(&code).expect("measured run");
+    let after = ALLOCS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state issue loop allocated {} time(s)",
+        after - before
+    );
+}

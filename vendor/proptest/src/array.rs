@@ -1,0 +1,42 @@
+//! `proptest::array` subset: fixed-size arrays of one element strategy.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates `[S::Value; N]` by drawing each element in index order.
+pub struct UniformArray<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|_| self.element.generate(rng))
+    }
+}
+
+macro_rules! uniform_ctor {
+    ($($name:ident => $n:literal),* $(,)?) => {$(
+        /// An array of values drawn from one element strategy.
+        pub fn $name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+            UniformArray { element }
+        }
+    )*};
+}
+
+uniform_ctor!(uniform4 => 4, uniform5 => 5, uniform32 => 32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrays_have_fixed_len_and_bounds() {
+        let mut rng = TestRng::for_test("arr");
+        let a = uniform4(0u32..16).generate(&mut rng);
+        assert!(a.iter().all(|&v| v < 16));
+        let b = uniform32(0u32..4).generate(&mut rng);
+        assert_eq!(b.len(), 32);
+    }
+}

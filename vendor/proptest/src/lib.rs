@@ -1,0 +1,124 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no network access, so the real proptest cannot
+//! be fetched. This crate implements the subset the workspace's property
+//! tests use — deterministic random generation driven by a seeded
+//! [`test_runner::TestRng`], the [`strategy::Strategy`] combinators
+//! (`prop_map`, `prop_filter`), `Just`, ranges, tuples, `collection::vec`,
+//! `array::uniform*`, `option::of`, weighted `prop_oneof!`, and the
+//! `proptest!` / `prop_assert*` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking** — a failing case panics with the generated inputs
+//!   (printed by the assertion message), but is not minimized.
+//! * **Fixed deterministic seeding** — every test function derives its RNG
+//!   seed from its own name, so runs are reproducible and failures stable.
+
+pub mod array;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+/// The `proptest::prelude` equivalent.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Runs one generated case inside `proptest!` (see the macro).
+#[doc(hidden)]
+pub fn __run_cases(
+    config: &test_runner::ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut test_runner::TestRng),
+) {
+    let mut rng = test_runner::TestRng::for_test(name);
+    for _ in 0..config.cases {
+        case(&mut rng);
+    }
+}
+
+/// The `proptest!` macro: declares `#[test]` functions whose arguments are
+/// drawn from strategies for `config.cases` iterations.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (
+        config = $config:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                #[allow(unused_variables)]
+                let config = $config;
+                $crate::__run_cases(&config, stringify!($name), |__rng| {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);
+                    )*
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+/// `prop_assert!`: asserts inside a property (panics on failure — the
+/// stand-in does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// `prop_oneof!`: picks one of several strategies, optionally weighted
+/// (`weight => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $weight:literal => $strat:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( ($weight as u32, $crate::strategy::boxed($strat)) ),+
+        ])
+    };
+    ( $( $strat:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( (1u32, $crate::strategy::boxed($strat)) ),+
+        ])
+    };
+}

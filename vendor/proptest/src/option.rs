@@ -1,0 +1,51 @@
+//! `proptest::option` subset: `of`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates `Option<S::Value>`, `Some` three times out of four (real
+/// proptest's default `Probability(0.5)` weights `Some` higher in practice
+/// for small cases; 3:1 keeps both arms well exercised).
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+/// A strategy producing `None` or `Some` of the inner strategy's values.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_arms_occur() {
+        let mut rng = TestRng::for_test("opt");
+        let s = of(0u32..10);
+        let mut some = 0;
+        let mut none = 0;
+        for _ in 0..200 {
+            match s.generate(&mut rng) {
+                Some(v) => {
+                    assert!(v < 10);
+                    some += 1;
+                }
+                None => none += 1,
+            }
+        }
+        assert!(some > 0 && none > 0);
+    }
+}

@@ -1,0 +1,289 @@
+//! The [`Strategy`] trait and core combinators.
+//!
+//! A strategy deterministically maps draws from a [`TestRng`] to values.
+//! Unlike real proptest there is no value tree and no shrinking: `generate`
+//! produces a finished value directly.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// Generates values of an associated type from a [`TestRng`].
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred`, retrying the draw otherwise.
+    fn prop_filter<F>(self, whence: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence: whence.into(),
+            pred,
+        }
+    }
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Boxes a strategy as a trait object (used by `prop_oneof!` so the arms
+/// unify to one type).
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: String,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        // Matches real proptest's local-reject behaviour, minus backtracking:
+        // resample until the predicate holds, with a cap so a predicate that
+        // can never hold fails loudly instead of hanging.
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter exhausted retries: {}", self.whence);
+    }
+}
+
+/// Weighted choice between boxed strategies (`prop_oneof!`).
+pub struct Union<V> {
+    options: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+    total: u32,
+}
+
+impl<V> Union<V> {
+    /// Builds a union from `(weight, strategy)` pairs. Weights must not all
+    /// be zero.
+    #[must_use]
+    pub fn new(options: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Self {
+        let total: u32 = options.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof!: total weight must be positive");
+        Union { options, total }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.below(u64::from(self.total)) as u32;
+        for (weight, strat) in &self.options {
+            if pick < *weight {
+                return strat.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weighted pick out of bounds")
+    }
+}
+
+/// Produces any value of `T` (the `any::<T>()` entry point).
+pub struct Any<T>(PhantomData<T>);
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy over the full domain of `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty => $via:ident),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.$via() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(
+    u8 => next_u32, u16 => next_u32, u32 => next_u32,
+    u64 => next_u64, usize => next_u64,
+    i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    i64 => next_u64, isize => next_u64,
+);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy range is empty");
+                // Span fits in u64 for every supported type (≤ 64 bits),
+                // computed in the signed domain so negative bounds work.
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "strategy range is empty");
+                let span = (high as i64).wrapping_sub(low as i64) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                low.wrapping_add(rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::for_test("ranges");
+        for _ in 0..1000 {
+            let v = (-255i32..=255).generate(&mut rng);
+            assert!((-255..=255).contains(&v));
+            let u = (0u8..64).generate(&mut rng);
+            assert!(u < 64);
+        }
+    }
+
+    #[test]
+    fn map_filter_compose() {
+        let mut rng = TestRng::for_test("mapfilter");
+        let s = (0u32..100)
+            .prop_map(|v| v * 2)
+            .prop_filter("nonzero", |v| *v > 0);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!(v > 0 && v < 200 && v % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn union_honours_weights() {
+        let mut rng = TestRng::for_test("union");
+        let u = Union::new(vec![(9, boxed(Just(1u32))), (1, boxed(Just(2u32)))]);
+        let mut ones = 0;
+        for _ in 0..1000 {
+            if u.generate(&mut rng) == 1 {
+                ones += 1;
+            }
+        }
+        assert!(ones > 700, "weight-9 arm drawn only {ones}/1000 times");
+    }
+}

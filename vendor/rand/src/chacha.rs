@@ -1,0 +1,170 @@
+//! ChaCha12 block generator, bit-compatible with `rand_chacha`'s
+//! `ChaCha12Rng` (the engine behind rand 0.8's `StdRng`).
+//!
+//! The generator buffers four 64-byte blocks per refill exactly like
+//! `rand_chacha` (whose `BUF_BLOCKS` is 4), and the `next_u32`/`next_u64`
+//! consumption rules replicate `rand_core::block::BlockRng` so word
+//! alignment across refills matches the real crate.
+
+const BUF_WORDS: usize = 64; // four 16-word ChaCha blocks per refill
+const ROUNDS: usize = 12;
+
+/// ChaCha12 core with a 64-bit block counter (words 12–13) and a 64-bit
+/// stream id (words 14–15, always zero for `StdRng`).
+#[derive(Debug, Clone)]
+pub struct ChaCha12 {
+    key: [u32; 8],
+    counter: u64,
+    results: [u32; BUF_WORDS],
+    index: usize,
+}
+
+#[inline(always)]
+fn quarter(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha12 {
+    /// Creates the generator from a 32-byte key (little-endian words).
+    pub fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaCha12 {
+            key,
+            counter: 0,
+            results: [0; BUF_WORDS],
+            index: BUF_WORDS, // empty: first use refills
+        }
+    }
+
+    fn block(&self, counter: u64, out: &mut [u32]) {
+        // "expand 32-byte k"
+        let mut state: [u32; 16] = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            counter as u32,
+            (counter >> 32) as u32,
+            0,
+            0,
+        ];
+        let initial = state;
+        for _ in 0..ROUNDS / 2 {
+            quarter(&mut state, 0, 4, 8, 12);
+            quarter(&mut state, 1, 5, 9, 13);
+            quarter(&mut state, 2, 6, 10, 14);
+            quarter(&mut state, 3, 7, 11, 15);
+            quarter(&mut state, 0, 5, 10, 15);
+            quarter(&mut state, 1, 6, 11, 12);
+            quarter(&mut state, 2, 7, 8, 13);
+            quarter(&mut state, 3, 4, 9, 14);
+        }
+        for (o, (s, i)) in out.iter_mut().zip(state.iter().zip(initial.iter())) {
+            *o = s.wrapping_add(*i);
+        }
+    }
+
+    fn refill(&mut self) {
+        for b in 0..BUF_WORDS / 16 {
+            let counter = self.counter.wrapping_add(b as u64);
+            let mut block = [0u32; 16];
+            self.block(counter, &mut block);
+            self.results[b * 16..(b + 1) * 16].copy_from_slice(&block);
+        }
+        self.counter = self.counter.wrapping_add((BUF_WORDS / 16) as u64);
+        self.index = 0;
+    }
+
+    /// `BlockRng::next_u32` semantics.
+    pub fn next_u32(&mut self) -> u32 {
+        if self.index >= BUF_WORDS {
+            self.refill();
+        }
+        let v = self.results[self.index];
+        self.index += 1;
+        v
+    }
+
+    /// `BlockRng::next_u64` semantics, including the buffer-crossing case.
+    pub fn next_u64(&mut self) -> u64 {
+        let read = |results: &[u32; BUF_WORDS], i: usize| {
+            (u64::from(results[i + 1]) << 32) | u64::from(results[i])
+        };
+        if self.index < BUF_WORDS - 1 {
+            let v = read(&self.results, self.index);
+            self.index += 2;
+            v
+        } else if self.index >= BUF_WORDS {
+            self.refill();
+            self.index = 2;
+            read(&self.results, 0)
+        } else {
+            // One word left: low half from the old buffer, high half from
+            // the fresh one (rand_core's exact crossing rule).
+            let low = u64::from(self.results[BUF_WORDS - 1]);
+            self.refill();
+            self.index = 1;
+            let high = u64::from(self.results[0]);
+            (high << 32) | low
+        }
+    }
+
+    /// `BlockRng::fill_bytes` equivalent (sequential u32 consumption).
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let v = self.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// IETF ChaCha test structure: with a zero key the first block must be
+    /// a fixed permutation — checked indirectly by determinism plus
+    /// distinctness across counters.
+    #[test]
+    fn blocks_differ_by_counter_and_are_deterministic() {
+        let g = ChaCha12::from_seed([0; 32]);
+        let mut b0 = [0u32; 16];
+        let mut b1 = [0u32; 16];
+        g.block(0, &mut b0);
+        g.block(1, &mut b1);
+        assert_ne!(b0, b1);
+        let mut b0_again = [0u32; 16];
+        g.block(0, &mut b0_again);
+        assert_eq!(b0, b0_again);
+    }
+
+    #[test]
+    fn word_stream_is_sequential_across_refills() {
+        let mut a = ChaCha12::from_seed([7; 32]);
+        let mut b = ChaCha12::from_seed([7; 32]);
+        let words: Vec<u32> = (0..BUF_WORDS + 8).map(|_| a.next_u32()).collect();
+        let pairs: Vec<u64> = (0..(BUF_WORDS + 8) / 2).map(|_| b.next_u64()).collect();
+        for (i, p) in pairs.iter().enumerate() {
+            assert_eq!(*p & 0xffff_ffff, u64::from(words[2 * i]));
+            assert_eq!(*p >> 32, u64::from(words[2 * i + 1]));
+        }
+    }
+}

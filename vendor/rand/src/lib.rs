@@ -1,0 +1,86 @@
+//! Offline stand-in for the `rand` crate (0.8 line).
+//!
+//! The build container has no network access and no vendored registry, so
+//! the real `rand` cannot be fetched. This crate implements the *exact*
+//! subset of rand 0.8 this workspace uses, bit-compatible with the real
+//! implementation so every seeded sequence (and therefore every committed
+//! experiment number) is unchanged:
+//!
+//! * [`rngs::StdRng`] — ChaCha12, identical to rand 0.8's `StdRng`;
+//! * [`SeedableRng::seed_from_u64`] — the PCG32-based seed expansion of
+//!   `rand_core` 0.6;
+//! * [`Rng::gen_range`] over float and integer ranges — the widening
+//!   sample algorithms of rand 0.8's `UniformFloat` / `UniformInt`;
+//! * [`Rng::gen`] for primitive integers, floats and booleans.
+//!
+//! Only the APIs exercised by this workspace are provided; anything else
+//! is intentionally absent so accidental new uses fail loudly at compile
+//! time rather than silently diverging from the real crate.
+
+pub mod rngs;
+
+mod chacha;
+mod uniform;
+
+/// Core RNG abstraction (the `rand_core` subset the workspace needs).
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+/// A seedable RNG (the `rand_core` subset the workspace needs).
+pub trait SeedableRng: Sized {
+    /// The fixed-size seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates an RNG from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates an RNG from a `u64`, expanding it with the same PCG32-based
+    /// key-derivation rand_core 0.6 uses (bit-identical output).
+    fn seed_from_u64(mut state: u64) -> Self {
+        // Constants from rand_core 0.6's default implementation.
+        const MUL: u64 = 6_364_136_223_846_793_005;
+        const INC: u64 = 11_634_580_027_462_260_723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-facing random-value API (the `rand::Rng` subset the workspace
+/// needs).
+pub trait Rng: RngCore {
+    /// Samples a uniform value from a range (`low..high` or `low..=high`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Samples a value of a primitive type uniformly (`Standard`
+    /// distribution semantics of rand 0.8).
+    fn gen<T: uniform::Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub use uniform::{SampleRange, Standard};
+
+/// Distribution types (minimal `rand::distributions` face).
+pub mod distributions {
+    pub use crate::uniform::Standard;
+}

@@ -1,0 +1,61 @@
+//! Named RNGs (`rand::rngs` subset).
+
+use crate::chacha::ChaCha12;
+use crate::{RngCore, SeedableRng};
+
+/// The standard RNG: ChaCha12, exactly as in rand 0.8.
+#[derive(Debug, Clone)]
+pub struct StdRng(ChaCha12);
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest);
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        StdRng(ChaCha12::from_seed(seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(0x4652_4d4e);
+        let mut b = StdRng::seed_from_u64(0x4652_4d4e);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_f64_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(0.1..0.7);
+            assert!((0.1..0.7).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,229 @@
+//! Uniform sampling, matching rand 0.8's algorithms bit for bit for the
+//! types the workspace draws (`f64` ranges via `gen_range`, plain
+//! primitives via `gen`).
+//!
+//! The trait shape mirrors rand 0.8 — a blanket `impl SampleRange<T> for
+//! Range<T> where T: SampleUniform` — so type inference behaves the same
+//! (a float literal range resolves to `f64` by fallback).
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::RngCore;
+
+/// A range that can produce uniform samples of `T` (rand 0.8's
+/// `SampleRange` face).
+pub trait SampleRange<T> {
+    /// Samples one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types samplable uniformly from a range (rand 0.8's `SampleUniform`).
+pub trait SampleUniform: Sized {
+    /// Samples from `[low, high)`.
+    fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+
+    /// Samples from `[low, high]`.
+    fn sample_range_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_range_inclusive(low, high, rng)
+    }
+}
+
+/// The `Standard` distribution face: uniform over the whole domain of a
+/// primitive type. Implemented as a trait on the sampled type so
+/// `Rng::gen::<T>()` works without a distribution object.
+pub trait Standard {
+    /// Samples one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty => $via:ident),* $(,)?) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$via() as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(
+    u8 => next_u32, u16 => next_u32, u32 => next_u32,
+    u64 => next_u64, usize => next_u64,
+    i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    i64 => next_u64, isize => next_u64,
+);
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand 0.8: `rng.next_u32() < (1 << 31)` — exactly half the domain.
+        rng.next_u32() < (1 << 31)
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits → [0, 1), rand 0.8's `Standard`.
+        let v = rng.next_u64() >> 11;
+        v as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let v = rng.next_u32() >> 8;
+        v as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// f64 in [1, 2) from 52 random mantissa bits (rand 0.8's
+/// `into_float_with_exponent(0)`).
+fn f64_1_2<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    let bits = rng.next_u64() >> 12; // discard 12, keep 52 fraction bits
+    f64::from_bits(bits | (1023u64 << 52))
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        assert!(low < high, "Uniform::sample_single: range is empty");
+        let scale = high - low;
+        // rand 0.8's UniformFloat::sample_single: multiply-add in [0, 1)
+        // and reject the (vanishingly rare) rounding onto `high`.
+        loop {
+            let value0_1 = f64_1_2(rng) - 1.0;
+            let res = value0_1 * scale + low;
+            if res < high {
+                return res;
+            }
+        }
+    }
+
+    fn sample_range_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        // rand 0.8 samples inclusive float ranges with the same multiply-add
+        // but scale adjusted so `high` is reachable; the workspace never
+        // draws one, so the half-open algorithm (a sub-ULP difference at the
+        // top end) suffices.
+        assert!(low <= high, "Uniform::sample_single: range is empty");
+        let scale = high - low;
+        let value0_1 = f64_1_2(rng) - 1.0;
+        (value0_1 * scale + low).min(high)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        assert!(low < high, "Uniform::sample_single: range is empty");
+        let scale = high - low;
+        loop {
+            let bits = rng.next_u32() >> 9; // 23 fraction bits
+            let value0_1 = f32::from_bits(bits | (127u32 << 23)) - 1.0;
+            let res = value0_1 * scale + low;
+            if res < high {
+                return res;
+            }
+        }
+    }
+
+    fn sample_range_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        assert!(low <= high, "Uniform::sample_single: range is empty");
+        let scale = high - low;
+        let bits = rng.next_u32() >> 9;
+        let value0_1 = f32::from_bits(bits | (127u32 << 23)) - 1.0;
+        (value0_1 * scale + low).min(high)
+    }
+}
+
+/// Widening multiply on u64 (rand's `wmul`).
+fn wmul64(a: u64, b: u64) -> (u64, u64) {
+    let t = u128::from(a) * u128::from(b);
+    ((t >> 64) as u64, t as u64)
+}
+
+/// Widening-multiply sample with rejection zone (rand 0.8's
+/// `UniformInt::sample_single` widened to u64). `range == 0` means the
+/// full 64-bit domain.
+fn sample_int_range<R: RngCore + ?Sized>(range: u64, rng: &mut R) -> u64 {
+    if range == 0 {
+        return rng.next_u64();
+    }
+    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u64();
+        let (hi, lo) = wmul64(v, range);
+        if lo <= zone {
+            return hi;
+        }
+    }
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "Uniform::sample_single: range is empty");
+                let range = (high as i64).wrapping_sub(low as i64) as u64;
+                low.wrapping_add(sample_int_range(range, rng) as $t)
+            }
+
+            fn sample_range_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low <= high, "Uniform::sample_single: range is empty");
+                let range = (high as i64)
+                    .wrapping_sub(low as i64)
+                    .wrapping_add(1) as u64;
+                low.wrapping_add(sample_int_range(range, rng) as $t)
+            }
+        }
+    )*};
+}
+
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn int_ranges_cover_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1000 {
+            let v = rng.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn float_literal_range_infers_f64() {
+        // Regression guard: this is the inference pattern synth.rs uses —
+        // a bare float-literal range, with the value's type pinned to f64
+        // only by a later use.
+        let mut rng = StdRng::seed_from_u64(9);
+        let v = rng.gen_range(0.4..1.2);
+        let pinned: f64 = v;
+        assert!((0.4..1.2).contains(&pinned));
+    }
+
+    #[test]
+    fn f64_standard_is_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}
