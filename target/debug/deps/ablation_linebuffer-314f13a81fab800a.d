@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_linebuffer-314f13a81fab800a.d: crates/bench/benches/ablation_linebuffer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_linebuffer-314f13a81fab800a.rmeta: crates/bench/benches/ablation_linebuffer.rs Cargo.toml
+
+crates/bench/benches/ablation_linebuffer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

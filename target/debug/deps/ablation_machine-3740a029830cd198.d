@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_machine-3740a029830cd198.d: crates/bench/benches/ablation_machine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_machine-3740a029830cd198.rmeta: crates/bench/benches/ablation_machine.rs Cargo.toml
+
+crates/bench/benches/ablation_machine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

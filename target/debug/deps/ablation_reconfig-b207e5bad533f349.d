@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_reconfig-b207e5bad533f349.d: crates/bench/benches/ablation_reconfig.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_reconfig-b207e5bad533f349.rmeta: crates/bench/benches/ablation_reconfig.rs Cargo.toml
+
+crates/bench/benches/ablation_reconfig.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

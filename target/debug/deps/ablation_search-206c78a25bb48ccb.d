@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_search-206c78a25bb48ccb.d: crates/bench/benches/ablation_search.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_search-206c78a25bb48ccb.rmeta: crates/bench/benches/ablation_search.rs Cargo.toml
+
+crates/bench/benches/ablation_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

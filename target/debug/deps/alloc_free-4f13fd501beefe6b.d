@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/alloc_free-4f13fd501beefe6b.d: crates/sim/tests/alloc_free.rs Cargo.toml
+
+/root/repo/target/debug/deps/liballoc_free-4f13fd501beefe6b.rmeta: crates/sim/tests/alloc_free.rs Cargo.toml
+
+crates/sim/tests/alloc_free.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

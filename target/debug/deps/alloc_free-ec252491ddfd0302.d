@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alloc_free-ec252491ddfd0302.d: crates/sim/tests/alloc_free.rs
+
+/root/repo/target/debug/deps/alloc_free-ec252491ddfd0302: crates/sim/tests/alloc_free.rs
+
+crates/sim/tests/alloc_free.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-3cb0b0f3cad05d6c.d: vendor/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-3cb0b0f3cad05d6c.rmeta: vendor/criterion/src/lib.rs Cargo.toml
+
+vendor/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-9cf527b0f603ebc1.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-9cf527b0f603ebc1: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/future_work_dct-cefcbe83cf214e9e.d: tests/future_work_dct.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuture_work_dct-cefcbe83cf214e9e.rmeta: tests/future_work_dct.rs Cargo.toml
+
+tests/future_work_dct.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/future_work_dct-f967d1388c3ae820.d: tests/future_work_dct.rs
+
+/root/repo/target/debug/deps/future_work_dct-f967d1388c3ae820: tests/future_work_dct.rs
+
+tests/future_work_dct.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_pipeline-8d7a996a9c3492a4.d: tests/integration_pipeline.rs
+
+/root/repo/target/debug/deps/integration_pipeline-8d7a996a9c3492a4: tests/integration_pipeline.rs
+
+tests/integration_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernels_golden-1dfb986706140682.d: tests/kernels_golden.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernels_golden-1dfb986706140682.rmeta: tests/kernels_golden.rs Cargo.toml
+
+tests/kernels_golden.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels_golden-8dcae0d6fd56c5f4.d: tests/kernels_golden.rs
+
+/root/repo/target/debug/deps/kernels_golden-8dcae0d6fd56c5f4: tests/kernels_golden.rs
+
+tests/kernels_golden.rs:

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/mpeg4_enc-c7322525c74240a8.d: crates/mpeg4/src/lib.rs crates/mpeg4/src/bitstream.rs crates/mpeg4/src/dct.rs crates/mpeg4/src/decoder.rs crates/mpeg4/src/encoder.rs crates/mpeg4/src/footprint.rs crates/mpeg4/src/huffman.rs crates/mpeg4/src/mc.rs crates/mpeg4/src/me.rs crates/mpeg4/src/psnr.rs crates/mpeg4/src/quant.rs crates/mpeg4/src/rlc.rs crates/mpeg4/src/sad.rs crates/mpeg4/src/synth.rs crates/mpeg4/src/types.rs crates/mpeg4/src/zigzag.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpeg4_enc-c7322525c74240a8.rmeta: crates/mpeg4/src/lib.rs crates/mpeg4/src/bitstream.rs crates/mpeg4/src/dct.rs crates/mpeg4/src/decoder.rs crates/mpeg4/src/encoder.rs crates/mpeg4/src/footprint.rs crates/mpeg4/src/huffman.rs crates/mpeg4/src/mc.rs crates/mpeg4/src/me.rs crates/mpeg4/src/psnr.rs crates/mpeg4/src/quant.rs crates/mpeg4/src/rlc.rs crates/mpeg4/src/sad.rs crates/mpeg4/src/synth.rs crates/mpeg4/src/types.rs crates/mpeg4/src/zigzag.rs Cargo.toml
+
+crates/mpeg4/src/lib.rs:
+crates/mpeg4/src/bitstream.rs:
+crates/mpeg4/src/dct.rs:
+crates/mpeg4/src/decoder.rs:
+crates/mpeg4/src/encoder.rs:
+crates/mpeg4/src/footprint.rs:
+crates/mpeg4/src/huffman.rs:
+crates/mpeg4/src/mc.rs:
+crates/mpeg4/src/me.rs:
+crates/mpeg4/src/psnr.rs:
+crates/mpeg4/src/quant.rs:
+crates/mpeg4/src/rlc.rs:
+crates/mpeg4/src/sad.rs:
+crates/mpeg4/src/synth.rs:
+crates/mpeg4/src/types.rs:
+crates/mpeg4/src/zigzag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

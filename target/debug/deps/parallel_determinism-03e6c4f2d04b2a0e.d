@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-03e6c4f2d04b2a0e.d: crates/core/tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-03e6c4f2d04b2a0e: crates/core/tests/parallel_determinism.rs
+
+crates/core/tests/parallel_determinism.rs:

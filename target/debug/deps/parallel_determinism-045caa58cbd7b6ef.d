@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_determinism-045caa58cbd7b6ef.d: crates/core/tests/parallel_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_determinism-045caa58cbd7b6ef.rmeta: crates/core/tests/parallel_determinism.rs Cargo.toml
+
+crates/core/tests/parallel_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

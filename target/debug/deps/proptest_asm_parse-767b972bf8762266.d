@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_asm_parse-767b972bf8762266.d: tests/proptest_asm_parse.rs
+
+/root/repo/target/debug/deps/proptest_asm_parse-767b972bf8762266: tests/proptest_asm_parse.rs
+
+tests/proptest_asm_parse.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_asm_parse-dcef3ec4d57f8147.d: tests/proptest_asm_parse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_asm_parse-dcef3ec4d57f8147.rmeta: tests/proptest_asm_parse.rs Cargo.toml
+
+tests/proptest_asm_parse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

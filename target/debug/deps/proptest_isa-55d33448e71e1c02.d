@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_isa-55d33448e71e1c02.d: tests/proptest_isa.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_isa-55d33448e71e1c02.rmeta: tests/proptest_isa.rs Cargo.toml
+
+tests/proptest_isa.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

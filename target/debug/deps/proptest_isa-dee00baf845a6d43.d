@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_isa-dee00baf845a6d43.d: tests/proptest_isa.rs
+
+/root/repo/target/debug/deps/proptest_isa-dee00baf845a6d43: tests/proptest_isa.rs
+
+tests/proptest_isa.rs:

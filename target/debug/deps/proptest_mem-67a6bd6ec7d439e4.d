@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_mem-67a6bd6ec7d439e4.d: tests/proptest_mem.rs
+
+/root/repo/target/debug/deps/proptest_mem-67a6bd6ec7d439e4: tests/proptest_mem.rs
+
+tests/proptest_mem.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_mem-c88382b08b435399.d: tests/proptest_mem.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_mem-c88382b08b435399.rmeta: tests/proptest_mem.rs Cargo.toml
+
+tests/proptest_mem.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_mpeg4-4ab2c9103b1dda4e.d: tests/proptest_mpeg4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_mpeg4-4ab2c9103b1dda4e.rmeta: tests/proptest_mpeg4.rs Cargo.toml
+
+tests/proptest_mpeg4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_mpeg4-d46f1f459abb84d7.d: tests/proptest_mpeg4.rs
+
+/root/repo/target/debug/deps/proptest_mpeg4-d46f1f459abb84d7: tests/proptest_mpeg4.rs
+
+tests/proptest_mpeg4.rs:

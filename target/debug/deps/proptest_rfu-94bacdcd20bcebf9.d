@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_rfu-94bacdcd20bcebf9.d: tests/proptest_rfu.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_rfu-94bacdcd20bcebf9.rmeta: tests/proptest_rfu.rs Cargo.toml
+
+tests/proptest_rfu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

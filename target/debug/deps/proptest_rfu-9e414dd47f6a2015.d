@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_rfu-9e414dd47f6a2015.d: tests/proptest_rfu.rs
+
+/root/repo/target/debug/deps/proptest_rfu-9e414dd47f6a2015: tests/proptest_rfu.rs
+
+tests/proptest_rfu.rs:

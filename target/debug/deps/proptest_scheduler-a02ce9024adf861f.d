@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_scheduler-a02ce9024adf861f.d: tests/proptest_scheduler.rs
+
+/root/repo/target/debug/deps/proptest_scheduler-a02ce9024adf861f: tests/proptest_scheduler.rs
+
+tests/proptest_scheduler.rs:

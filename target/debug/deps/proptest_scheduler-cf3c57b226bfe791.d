@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_scheduler-cf3c57b226bfe791.d: tests/proptest_scheduler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_scheduler-cf3c57b226bfe791.rmeta: tests/proptest_scheduler.rs Cargo.toml
+
+tests/proptest_scheduler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

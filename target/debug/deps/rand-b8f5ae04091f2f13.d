@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rand-b8f5ae04091f2f13.d: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/chacha.rs vendor/rand/src/uniform.rs
+
+/root/repo/target/debug/deps/librand-b8f5ae04091f2f13.rlib: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/chacha.rs vendor/rand/src/uniform.rs
+
+/root/repo/target/debug/deps/librand-b8f5ae04091f2f13.rmeta: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/chacha.rs vendor/rand/src/uniform.rs
+
+vendor/rand/src/lib.rs:
+vendor/rand/src/rngs.rs:
+vendor/rand/src/chacha.rs:
+vendor/rand/src/uniform.rs:

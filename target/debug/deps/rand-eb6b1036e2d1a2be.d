@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rand-eb6b1036e2d1a2be.d: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/chacha.rs vendor/rand/src/uniform.rs
+
+/root/repo/target/debug/deps/rand-eb6b1036e2d1a2be: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/chacha.rs vendor/rand/src/uniform.rs
+
+vendor/rand/src/lib.rs:
+vendor/rand/src/rngs.rs:
+vendor/rand/src/chacha.rs:
+vendor/rand/src/uniform.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproduction-a1eeec4d9711f6ea.d: tests/reproduction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduction-a1eeec4d9711f6ea.rmeta: tests/reproduction.rs Cargo.toml
+
+tests/reproduction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

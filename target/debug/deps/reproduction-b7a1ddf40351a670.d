@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduction-b7a1ddf40351a670.d: tests/reproduction.rs
+
+/root/repo/target/debug/deps/reproduction-b7a1ddf40351a670: tests/reproduction.rs
+
+tests/reproduction.rs:

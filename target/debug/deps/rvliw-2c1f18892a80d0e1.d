@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rvliw-2c1f18892a80d0e1.d: src/bin/rvliw.rs
+
+/root/repo/target/debug/deps/rvliw-2c1f18892a80d0e1: src/bin/rvliw.rs
+
+src/bin/rvliw.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rvliw-69aedd8ee0bfa8ed.d: src/bin/rvliw.rs Cargo.toml
+
+/root/repo/target/debug/deps/librvliw-69aedd8ee0bfa8ed.rmeta: src/bin/rvliw.rs Cargo.toml
+
+src/bin/rvliw.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

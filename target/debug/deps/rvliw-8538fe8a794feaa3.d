@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rvliw-8538fe8a794feaa3.d: src/bin/rvliw.rs
+
+/root/repo/target/debug/deps/rvliw-8538fe8a794feaa3: src/bin/rvliw.rs
+
+src/bin/rvliw.rs:

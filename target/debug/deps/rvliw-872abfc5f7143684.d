@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rvliw-872abfc5f7143684.d: src/lib.rs
+
+/root/repo/target/debug/deps/librvliw-872abfc5f7143684.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/librvliw-872abfc5f7143684.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rvliw-bbafdb1527facb4b.d: src/lib.rs
+
+/root/repo/target/debug/deps/rvliw-bbafdb1527facb4b: src/lib.rs
+
+src/lib.rs:

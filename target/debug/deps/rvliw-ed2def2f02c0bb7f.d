@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rvliw-ed2def2f02c0bb7f.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librvliw-ed2def2f02c0bb7f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rvliw-ed907e69dfd07461.d: src/bin/rvliw.rs Cargo.toml
+
+/root/repo/target/debug/deps/librvliw-ed907e69dfd07461.rmeta: src/bin/rvliw.rs Cargo.toml
+
+src/bin/rvliw.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

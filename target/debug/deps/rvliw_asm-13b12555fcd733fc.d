@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rvliw_asm-13b12555fcd733fc.d: crates/asm/src/lib.rs crates/asm/src/builder.rs crates/asm/src/code.rs crates/asm/src/parse.rs crates/asm/src/program.rs crates/asm/src/sched.rs Cargo.toml
+
+/root/repo/target/debug/deps/librvliw_asm-13b12555fcd733fc.rmeta: crates/asm/src/lib.rs crates/asm/src/builder.rs crates/asm/src/code.rs crates/asm/src/parse.rs crates/asm/src/program.rs crates/asm/src/sched.rs Cargo.toml
+
+crates/asm/src/lib.rs:
+crates/asm/src/builder.rs:
+crates/asm/src/code.rs:
+crates/asm/src/parse.rs:
+crates/asm/src/program.rs:
+crates/asm/src/sched.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rvliw_asm-49eb60fd33b247ee.d: crates/asm/src/lib.rs crates/asm/src/builder.rs crates/asm/src/code.rs crates/asm/src/parse.rs crates/asm/src/program.rs crates/asm/src/sched.rs
+
+/root/repo/target/debug/deps/rvliw_asm-49eb60fd33b247ee: crates/asm/src/lib.rs crates/asm/src/builder.rs crates/asm/src/code.rs crates/asm/src/parse.rs crates/asm/src/program.rs crates/asm/src/sched.rs
+
+crates/asm/src/lib.rs:
+crates/asm/src/builder.rs:
+crates/asm/src/code.rs:
+crates/asm/src/parse.rs:
+crates/asm/src/program.rs:
+crates/asm/src/sched.rs:

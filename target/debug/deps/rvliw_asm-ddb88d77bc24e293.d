@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rvliw_asm-ddb88d77bc24e293.d: crates/asm/src/lib.rs crates/asm/src/builder.rs crates/asm/src/code.rs crates/asm/src/parse.rs crates/asm/src/program.rs crates/asm/src/sched.rs
+
+/root/repo/target/debug/deps/librvliw_asm-ddb88d77bc24e293.rlib: crates/asm/src/lib.rs crates/asm/src/builder.rs crates/asm/src/code.rs crates/asm/src/parse.rs crates/asm/src/program.rs crates/asm/src/sched.rs
+
+/root/repo/target/debug/deps/librvliw_asm-ddb88d77bc24e293.rmeta: crates/asm/src/lib.rs crates/asm/src/builder.rs crates/asm/src/code.rs crates/asm/src/parse.rs crates/asm/src/program.rs crates/asm/src/sched.rs
+
+crates/asm/src/lib.rs:
+crates/asm/src/builder.rs:
+crates/asm/src/code.rs:
+crates/asm/src/parse.rs:
+crates/asm/src/program.rs:
+crates/asm/src/sched.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rvliw_bench-2210214374f08e3d.d: crates/bench/src/lib.rs crates/bench/src/paper.rs
+
+/root/repo/target/debug/deps/librvliw_bench-2210214374f08e3d.rlib: crates/bench/src/lib.rs crates/bench/src/paper.rs
+
+/root/repo/target/debug/deps/librvliw_bench-2210214374f08e3d.rmeta: crates/bench/src/lib.rs crates/bench/src/paper.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/paper.rs:

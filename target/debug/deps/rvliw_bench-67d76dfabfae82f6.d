@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/rvliw_bench-67d76dfabfae82f6.d: crates/bench/src/lib.rs crates/bench/src/paper.rs
+
+/root/repo/target/debug/deps/rvliw_bench-67d76dfabfae82f6: crates/bench/src/lib.rs crates/bench/src/paper.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/paper.rs:

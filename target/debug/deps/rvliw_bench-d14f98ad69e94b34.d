@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rvliw_bench-d14f98ad69e94b34.d: crates/bench/src/lib.rs crates/bench/src/paper.rs Cargo.toml
+
+/root/repo/target/debug/deps/librvliw_bench-d14f98ad69e94b34.rmeta: crates/bench/src/lib.rs crates/bench/src/paper.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/paper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

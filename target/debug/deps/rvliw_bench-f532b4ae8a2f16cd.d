@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rvliw_bench-f532b4ae8a2f16cd.d: crates/bench/src/lib.rs crates/bench/src/paper.rs Cargo.toml
+
+/root/repo/target/debug/deps/librvliw_bench-f532b4ae8a2f16cd.rmeta: crates/bench/src/lib.rs crates/bench/src/paper.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/paper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/rvliw_core-045e95cd06817fe4.d: crates/core/src/lib.rs crates/core/src/app_model.rs crates/core/src/arch.rs crates/core/src/breakdown.rs crates/core/src/runner.rs crates/core/src/scenario.rs crates/core/src/tables.rs crates/core/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/librvliw_core-045e95cd06817fe4.rmeta: crates/core/src/lib.rs crates/core/src/app_model.rs crates/core/src/arch.rs crates/core/src/breakdown.rs crates/core/src/runner.rs crates/core/src/scenario.rs crates/core/src/tables.rs crates/core/src/workload.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/app_model.rs:
+crates/core/src/arch.rs:
+crates/core/src/breakdown.rs:
+crates/core/src/runner.rs:
+crates/core/src/scenario.rs:
+crates/core/src/tables.rs:
+crates/core/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

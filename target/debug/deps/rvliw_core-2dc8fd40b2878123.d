@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rvliw_core-2dc8fd40b2878123.d: crates/core/src/lib.rs crates/core/src/app_model.rs crates/core/src/arch.rs crates/core/src/breakdown.rs crates/core/src/runner.rs crates/core/src/scenario.rs crates/core/src/tables.rs crates/core/src/workload.rs
+
+/root/repo/target/debug/deps/librvliw_core-2dc8fd40b2878123.rlib: crates/core/src/lib.rs crates/core/src/app_model.rs crates/core/src/arch.rs crates/core/src/breakdown.rs crates/core/src/runner.rs crates/core/src/scenario.rs crates/core/src/tables.rs crates/core/src/workload.rs
+
+/root/repo/target/debug/deps/librvliw_core-2dc8fd40b2878123.rmeta: crates/core/src/lib.rs crates/core/src/app_model.rs crates/core/src/arch.rs crates/core/src/breakdown.rs crates/core/src/runner.rs crates/core/src/scenario.rs crates/core/src/tables.rs crates/core/src/workload.rs
+
+crates/core/src/lib.rs:
+crates/core/src/app_model.rs:
+crates/core/src/arch.rs:
+crates/core/src/breakdown.rs:
+crates/core/src/runner.rs:
+crates/core/src/scenario.rs:
+crates/core/src/tables.rs:
+crates/core/src/workload.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rvliw_core-5cb201dfcdd9569b.d: crates/core/src/lib.rs crates/core/src/app_model.rs crates/core/src/arch.rs crates/core/src/breakdown.rs crates/core/src/runner.rs crates/core/src/scenario.rs crates/core/src/tables.rs crates/core/src/workload.rs
+
+/root/repo/target/debug/deps/rvliw_core-5cb201dfcdd9569b: crates/core/src/lib.rs crates/core/src/app_model.rs crates/core/src/arch.rs crates/core/src/breakdown.rs crates/core/src/runner.rs crates/core/src/scenario.rs crates/core/src/tables.rs crates/core/src/workload.rs
+
+crates/core/src/lib.rs:
+crates/core/src/app_model.rs:
+crates/core/src/arch.rs:
+crates/core/src/breakdown.rs:
+crates/core/src/runner.rs:
+crates/core/src/scenario.rs:
+crates/core/src/tables.rs:
+crates/core/src/workload.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rvliw_isa-289f21d5b31b4ab9.d: crates/isa/src/lib.rs crates/isa/src/bundle.rs crates/isa/src/config.rs crates/isa/src/encode.rs crates/isa/src/op.rs crates/isa/src/opcode.rs crates/isa/src/reg.rs crates/isa/src/simd.rs
+
+/root/repo/target/debug/deps/librvliw_isa-289f21d5b31b4ab9.rlib: crates/isa/src/lib.rs crates/isa/src/bundle.rs crates/isa/src/config.rs crates/isa/src/encode.rs crates/isa/src/op.rs crates/isa/src/opcode.rs crates/isa/src/reg.rs crates/isa/src/simd.rs
+
+/root/repo/target/debug/deps/librvliw_isa-289f21d5b31b4ab9.rmeta: crates/isa/src/lib.rs crates/isa/src/bundle.rs crates/isa/src/config.rs crates/isa/src/encode.rs crates/isa/src/op.rs crates/isa/src/opcode.rs crates/isa/src/reg.rs crates/isa/src/simd.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/bundle.rs:
+crates/isa/src/config.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/op.rs:
+crates/isa/src/opcode.rs:
+crates/isa/src/reg.rs:
+crates/isa/src/simd.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/rvliw_isa-7f21cb97927aecc8.d: crates/isa/src/lib.rs crates/isa/src/bundle.rs crates/isa/src/config.rs crates/isa/src/encode.rs crates/isa/src/op.rs crates/isa/src/opcode.rs crates/isa/src/reg.rs crates/isa/src/simd.rs Cargo.toml
+
+/root/repo/target/debug/deps/librvliw_isa-7f21cb97927aecc8.rmeta: crates/isa/src/lib.rs crates/isa/src/bundle.rs crates/isa/src/config.rs crates/isa/src/encode.rs crates/isa/src/op.rs crates/isa/src/opcode.rs crates/isa/src/reg.rs crates/isa/src/simd.rs Cargo.toml
+
+crates/isa/src/lib.rs:
+crates/isa/src/bundle.rs:
+crates/isa/src/config.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/op.rs:
+crates/isa/src/opcode.rs:
+crates/isa/src/reg.rs:
+crates/isa/src/simd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

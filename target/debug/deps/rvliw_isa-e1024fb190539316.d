@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rvliw_isa-e1024fb190539316.d: crates/isa/src/lib.rs crates/isa/src/bundle.rs crates/isa/src/config.rs crates/isa/src/encode.rs crates/isa/src/op.rs crates/isa/src/opcode.rs crates/isa/src/reg.rs crates/isa/src/simd.rs
+
+/root/repo/target/debug/deps/rvliw_isa-e1024fb190539316: crates/isa/src/lib.rs crates/isa/src/bundle.rs crates/isa/src/config.rs crates/isa/src/encode.rs crates/isa/src/op.rs crates/isa/src/opcode.rs crates/isa/src/reg.rs crates/isa/src/simd.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/bundle.rs:
+crates/isa/src/config.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/op.rs:
+crates/isa/src/opcode.rs:
+crates/isa/src/reg.rs:
+crates/isa/src/simd.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rvliw_kernels-3e0149a4a058c318.d: crates/kernels/src/lib.rs crates/kernels/src/dct.rs crates/kernels/src/driver.rs crates/kernels/src/getsad.rs crates/kernels/src/mc.rs crates/kernels/src/regs.rs Cargo.toml
+
+/root/repo/target/debug/deps/librvliw_kernels-3e0149a4a058c318.rmeta: crates/kernels/src/lib.rs crates/kernels/src/dct.rs crates/kernels/src/driver.rs crates/kernels/src/getsad.rs crates/kernels/src/mc.rs crates/kernels/src/regs.rs Cargo.toml
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/dct.rs:
+crates/kernels/src/driver.rs:
+crates/kernels/src/getsad.rs:
+crates/kernels/src/mc.rs:
+crates/kernels/src/regs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rvliw_kernels-7d487f54b075b186.d: crates/kernels/src/lib.rs crates/kernels/src/dct.rs crates/kernels/src/driver.rs crates/kernels/src/getsad.rs crates/kernels/src/mc.rs crates/kernels/src/regs.rs
+
+/root/repo/target/debug/deps/rvliw_kernels-7d487f54b075b186: crates/kernels/src/lib.rs crates/kernels/src/dct.rs crates/kernels/src/driver.rs crates/kernels/src/getsad.rs crates/kernels/src/mc.rs crates/kernels/src/regs.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/dct.rs:
+crates/kernels/src/driver.rs:
+crates/kernels/src/getsad.rs:
+crates/kernels/src/mc.rs:
+crates/kernels/src/regs.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rvliw_kernels-a8ed6b090b19e31e.d: crates/kernels/src/lib.rs crates/kernels/src/dct.rs crates/kernels/src/driver.rs crates/kernels/src/getsad.rs crates/kernels/src/mc.rs crates/kernels/src/regs.rs
+
+/root/repo/target/debug/deps/librvliw_kernels-a8ed6b090b19e31e.rlib: crates/kernels/src/lib.rs crates/kernels/src/dct.rs crates/kernels/src/driver.rs crates/kernels/src/getsad.rs crates/kernels/src/mc.rs crates/kernels/src/regs.rs
+
+/root/repo/target/debug/deps/librvliw_kernels-a8ed6b090b19e31e.rmeta: crates/kernels/src/lib.rs crates/kernels/src/dct.rs crates/kernels/src/driver.rs crates/kernels/src/getsad.rs crates/kernels/src/mc.rs crates/kernels/src/regs.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/dct.rs:
+crates/kernels/src/driver.rs:
+crates/kernels/src/getsad.rs:
+crates/kernels/src/mc.rs:
+crates/kernels/src/regs.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rvliw_mem-09061d1a2b94d0b3.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/prefetch.rs crates/mem/src/ram.rs crates/mem/src/stats.rs crates/mem/src/system.rs
+
+/root/repo/target/debug/deps/librvliw_mem-09061d1a2b94d0b3.rlib: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/prefetch.rs crates/mem/src/ram.rs crates/mem/src/stats.rs crates/mem/src/system.rs
+
+/root/repo/target/debug/deps/librvliw_mem-09061d1a2b94d0b3.rmeta: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/prefetch.rs crates/mem/src/ram.rs crates/mem/src/stats.rs crates/mem/src/system.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/config.rs:
+crates/mem/src/prefetch.rs:
+crates/mem/src/ram.rs:
+crates/mem/src/stats.rs:
+crates/mem/src/system.rs:

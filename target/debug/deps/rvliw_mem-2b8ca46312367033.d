@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/rvliw_mem-2b8ca46312367033.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/prefetch.rs crates/mem/src/ram.rs crates/mem/src/stats.rs crates/mem/src/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/librvliw_mem-2b8ca46312367033.rmeta: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/prefetch.rs crates/mem/src/ram.rs crates/mem/src/stats.rs crates/mem/src/system.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/config.rs:
+crates/mem/src/prefetch.rs:
+crates/mem/src/ram.rs:
+crates/mem/src/stats.rs:
+crates/mem/src/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/rvliw_rfu-32381c98a9c9ddac.d: crates/rfu/src/lib.rs crates/rfu/src/config.rs crates/rfu/src/dct.rs crates/rfu/src/line_buffer.rs crates/rfu/src/meloop.rs crates/rfu/src/reconfig.rs crates/rfu/src/stats.rs crates/rfu/src/unit.rs Cargo.toml
+
+/root/repo/target/debug/deps/librvliw_rfu-32381c98a9c9ddac.rmeta: crates/rfu/src/lib.rs crates/rfu/src/config.rs crates/rfu/src/dct.rs crates/rfu/src/line_buffer.rs crates/rfu/src/meloop.rs crates/rfu/src/reconfig.rs crates/rfu/src/stats.rs crates/rfu/src/unit.rs Cargo.toml
+
+crates/rfu/src/lib.rs:
+crates/rfu/src/config.rs:
+crates/rfu/src/dct.rs:
+crates/rfu/src/line_buffer.rs:
+crates/rfu/src/meloop.rs:
+crates/rfu/src/reconfig.rs:
+crates/rfu/src/stats.rs:
+crates/rfu/src/unit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

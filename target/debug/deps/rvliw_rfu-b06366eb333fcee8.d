@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rvliw_rfu-b06366eb333fcee8.d: crates/rfu/src/lib.rs crates/rfu/src/config.rs crates/rfu/src/dct.rs crates/rfu/src/line_buffer.rs crates/rfu/src/meloop.rs crates/rfu/src/reconfig.rs crates/rfu/src/stats.rs crates/rfu/src/unit.rs
+
+/root/repo/target/debug/deps/librvliw_rfu-b06366eb333fcee8.rlib: crates/rfu/src/lib.rs crates/rfu/src/config.rs crates/rfu/src/dct.rs crates/rfu/src/line_buffer.rs crates/rfu/src/meloop.rs crates/rfu/src/reconfig.rs crates/rfu/src/stats.rs crates/rfu/src/unit.rs
+
+/root/repo/target/debug/deps/librvliw_rfu-b06366eb333fcee8.rmeta: crates/rfu/src/lib.rs crates/rfu/src/config.rs crates/rfu/src/dct.rs crates/rfu/src/line_buffer.rs crates/rfu/src/meloop.rs crates/rfu/src/reconfig.rs crates/rfu/src/stats.rs crates/rfu/src/unit.rs
+
+crates/rfu/src/lib.rs:
+crates/rfu/src/config.rs:
+crates/rfu/src/dct.rs:
+crates/rfu/src/line_buffer.rs:
+crates/rfu/src/meloop.rs:
+crates/rfu/src/reconfig.rs:
+crates/rfu/src/stats.rs:
+crates/rfu/src/unit.rs:

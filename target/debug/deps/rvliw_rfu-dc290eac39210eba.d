@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rvliw_rfu-dc290eac39210eba.d: crates/rfu/src/lib.rs crates/rfu/src/config.rs crates/rfu/src/dct.rs crates/rfu/src/line_buffer.rs crates/rfu/src/meloop.rs crates/rfu/src/reconfig.rs crates/rfu/src/stats.rs crates/rfu/src/unit.rs
+
+/root/repo/target/debug/deps/rvliw_rfu-dc290eac39210eba: crates/rfu/src/lib.rs crates/rfu/src/config.rs crates/rfu/src/dct.rs crates/rfu/src/line_buffer.rs crates/rfu/src/meloop.rs crates/rfu/src/reconfig.rs crates/rfu/src/stats.rs crates/rfu/src/unit.rs
+
+crates/rfu/src/lib.rs:
+crates/rfu/src/config.rs:
+crates/rfu/src/dct.rs:
+crates/rfu/src/line_buffer.rs:
+crates/rfu/src/meloop.rs:
+crates/rfu/src/reconfig.rs:
+crates/rfu/src/stats.rs:
+crates/rfu/src/unit.rs:

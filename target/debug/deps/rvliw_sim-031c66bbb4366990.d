@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rvliw_sim-031c66bbb4366990.d: crates/sim/src/lib.rs crates/sim/src/decode.rs crates/sim/src/exec.rs crates/sim/src/machine.rs crates/sim/src/stats.rs
+
+/root/repo/target/debug/deps/librvliw_sim-031c66bbb4366990.rlib: crates/sim/src/lib.rs crates/sim/src/decode.rs crates/sim/src/exec.rs crates/sim/src/machine.rs crates/sim/src/stats.rs
+
+/root/repo/target/debug/deps/librvliw_sim-031c66bbb4366990.rmeta: crates/sim/src/lib.rs crates/sim/src/decode.rs crates/sim/src/exec.rs crates/sim/src/machine.rs crates/sim/src/stats.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/decode.rs:
+crates/sim/src/exec.rs:
+crates/sim/src/machine.rs:
+crates/sim/src/stats.rs:

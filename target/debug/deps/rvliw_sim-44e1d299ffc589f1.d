@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rvliw_sim-44e1d299ffc589f1.d: crates/sim/src/lib.rs crates/sim/src/decode.rs crates/sim/src/exec.rs crates/sim/src/machine.rs crates/sim/src/stats.rs
+
+/root/repo/target/debug/deps/rvliw_sim-44e1d299ffc589f1: crates/sim/src/lib.rs crates/sim/src/decode.rs crates/sim/src/exec.rs crates/sim/src/machine.rs crates/sim/src/stats.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/decode.rs:
+crates/sim/src/exec.rs:
+crates/sim/src/machine.rs:
+crates/sim/src/stats.rs:

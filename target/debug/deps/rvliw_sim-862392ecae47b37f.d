@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rvliw_sim-862392ecae47b37f.d: crates/sim/src/lib.rs crates/sim/src/decode.rs crates/sim/src/exec.rs crates/sim/src/machine.rs crates/sim/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/librvliw_sim-862392ecae47b37f.rmeta: crates/sim/src/lib.rs crates/sim/src/decode.rs crates/sim/src/exec.rs crates/sim/src/machine.rs crates/sim/src/stats.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/decode.rs:
+crates/sim/src/exec.rs:
+crates/sim/src/machine.rs:
+crates/sim/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_instruction_level-2da638b999c84acc.d: crates/bench/benches/table1_instruction_level.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_instruction_level-2da638b999c84acc.rmeta: crates/bench/benches/table1_instruction_level.rs Cargo.toml
+
+crates/bench/benches/table1_instruction_level.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_loop_level-83e9bef99dfa33b4.d: crates/bench/benches/table2_loop_level.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_loop_level-83e9bef99dfa33b4.rmeta: crates/bench/benches/table2_loop_level.rs Cargo.toml
+
+crates/bench/benches/table2_loop_level.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

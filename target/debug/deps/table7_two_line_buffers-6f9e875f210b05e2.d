@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table7_two_line_buffers-6f9e875f210b05e2.d: crates/bench/benches/table7_two_line_buffers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable7_two_line_buffers-6f9e875f210b05e2.rmeta: crates/bench/benches/table7_two_line_buffers.rs Cargo.toml
+
+crates/bench/benches/table7_two_line_buffers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tables-43bd1adf9e11cfdd.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/debug/deps/tables-43bd1adf9e11cfdd: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

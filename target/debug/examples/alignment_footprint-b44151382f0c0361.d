@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/alignment_footprint-b44151382f0c0361.d: examples/alignment_footprint.rs Cargo.toml
+
+/root/repo/target/debug/examples/libalignment_footprint-b44151382f0c0361.rmeta: examples/alignment_footprint.rs Cargo.toml
+
+examples/alignment_footprint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/alignment_footprint-cfd692879385388b.d: examples/alignment_footprint.rs
+
+/root/repo/target/debug/examples/alignment_footprint-cfd692879385388b: examples/alignment_footprint.rs
+
+examples/alignment_footprint.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/assemble_and_run-5f506d320301cae9.d: examples/assemble_and_run.rs
+
+/root/repo/target/debug/examples/assemble_and_run-5f506d320301cae9: examples/assemble_and_run.rs
+
+examples/assemble_and_run.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/assemble_and_run-d79ac56c9c99b307.d: examples/assemble_and_run.rs Cargo.toml
+
+/root/repo/target/debug/examples/libassemble_and_run-d79ac56c9c99b307.rmeta: examples/assemble_and_run.rs Cargo.toml
+
+examples/assemble_and_run.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

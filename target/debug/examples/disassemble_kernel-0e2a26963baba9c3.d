@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/disassemble_kernel-0e2a26963baba9c3.d: examples/disassemble_kernel.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdisassemble_kernel-0e2a26963baba9c3.rmeta: examples/disassemble_kernel.rs Cargo.toml
+
+examples/disassemble_kernel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

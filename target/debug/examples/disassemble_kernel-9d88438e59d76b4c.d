@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/disassemble_kernel-9d88438e59d76b4c.d: examples/disassemble_kernel.rs
+
+/root/repo/target/debug/examples/disassemble_kernel-9d88438e59d76b4c: examples/disassemble_kernel.rs
+
+examples/disassemble_kernel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/encode_video-18634fa6d8bd071d.d: examples/encode_video.rs
+
+/root/repo/target/debug/examples/encode_video-18634fa6d8bd071d: examples/encode_video.rs
+
+examples/encode_video.rs:

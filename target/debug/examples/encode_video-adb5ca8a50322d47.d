@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/encode_video-adb5ca8a50322d47.d: examples/encode_video.rs Cargo.toml
+
+/root/repo/target/debug/examples/libencode_video-adb5ca8a50322d47.rmeta: examples/encode_video.rs Cargo.toml
+
+examples/encode_video.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

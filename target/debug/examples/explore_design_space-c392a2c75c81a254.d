@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/explore_design_space-c392a2c75c81a254.d: examples/explore_design_space.rs
+
+/root/repo/target/debug/examples/explore_design_space-c392a2c75c81a254: examples/explore_design_space.rs
+
+examples/explore_design_space.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/explore_design_space-fc830cf412ee7928.d: examples/explore_design_space.rs Cargo.toml
+
+/root/repo/target/debug/examples/libexplore_design_space-fc830cf412ee7928.rmeta: examples/explore_design_space.rs Cargo.toml
+
+examples/explore_design_space.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

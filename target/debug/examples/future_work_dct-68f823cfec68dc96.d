@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/future_work_dct-68f823cfec68dc96.d: examples/future_work_dct.rs
+
+/root/repo/target/debug/examples/future_work_dct-68f823cfec68dc96: examples/future_work_dct.rs
+
+examples/future_work_dct.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/future_work_dct-fd6ed6a2dd0b90a4.d: examples/future_work_dct.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfuture_work_dct-fd6ed6a2dd0b90a4.rmeta: examples/future_work_dct.rs Cargo.toml
+
+examples/future_work_dct.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/line_buffers-0393832cedd72912.d: examples/line_buffers.rs Cargo.toml
+
+/root/repo/target/debug/examples/libline_buffers-0393832cedd72912.rmeta: examples/line_buffers.rs Cargo.toml
+
+examples/line_buffers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

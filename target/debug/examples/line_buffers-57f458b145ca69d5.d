@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/line_buffers-57f458b145ca69d5.d: examples/line_buffers.rs
+
+/root/repo/target/debug/examples/line_buffers-57f458b145ca69d5: examples/line_buffers.rs
+
+examples/line_buffers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-268506127217c6fc.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-268506127217c6fc: examples/quickstart.rs
+
+examples/quickstart.rs:

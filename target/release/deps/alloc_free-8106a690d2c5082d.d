@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/alloc_free-8106a690d2c5082d.d: crates/sim/tests/alloc_free.rs
+
+/root/repo/target/release/deps/alloc_free-8106a690d2c5082d: crates/sim/tests/alloc_free.rs
+
+crates/sim/tests/alloc_free.rs:

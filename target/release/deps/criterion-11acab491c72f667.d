@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-11acab491c72f667.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-11acab491c72f667.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-11acab491c72f667.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

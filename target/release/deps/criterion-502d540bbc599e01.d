@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-502d540bbc599e01.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-502d540bbc599e01: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

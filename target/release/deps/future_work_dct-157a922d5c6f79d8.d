@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/future_work_dct-157a922d5c6f79d8.d: tests/future_work_dct.rs
+
+/root/repo/target/release/deps/future_work_dct-157a922d5c6f79d8: tests/future_work_dct.rs
+
+tests/future_work_dct.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_pipeline-2f04180d230ec46d.d: tests/integration_pipeline.rs
+
+/root/repo/target/release/deps/integration_pipeline-2f04180d230ec46d: tests/integration_pipeline.rs
+
+tests/integration_pipeline.rs:

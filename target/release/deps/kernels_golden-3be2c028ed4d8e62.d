@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernels_golden-3be2c028ed4d8e62.d: tests/kernels_golden.rs
+
+/root/repo/target/release/deps/kernels_golden-3be2c028ed4d8e62: tests/kernels_golden.rs
+
+tests/kernels_golden.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-cb8f4d85d6882466.d: crates/bench/benches/micro.rs
+
+/root/repo/target/release/deps/micro-cb8f4d85d6882466: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/mpeg4_enc-6458bd38aebb7a45.d: crates/mpeg4/src/lib.rs crates/mpeg4/src/bitstream.rs crates/mpeg4/src/dct.rs crates/mpeg4/src/decoder.rs crates/mpeg4/src/encoder.rs crates/mpeg4/src/footprint.rs crates/mpeg4/src/huffman.rs crates/mpeg4/src/mc.rs crates/mpeg4/src/me.rs crates/mpeg4/src/psnr.rs crates/mpeg4/src/quant.rs crates/mpeg4/src/rlc.rs crates/mpeg4/src/sad.rs crates/mpeg4/src/synth.rs crates/mpeg4/src/types.rs crates/mpeg4/src/zigzag.rs
+
+/root/repo/target/release/deps/mpeg4_enc-6458bd38aebb7a45: crates/mpeg4/src/lib.rs crates/mpeg4/src/bitstream.rs crates/mpeg4/src/dct.rs crates/mpeg4/src/decoder.rs crates/mpeg4/src/encoder.rs crates/mpeg4/src/footprint.rs crates/mpeg4/src/huffman.rs crates/mpeg4/src/mc.rs crates/mpeg4/src/me.rs crates/mpeg4/src/psnr.rs crates/mpeg4/src/quant.rs crates/mpeg4/src/rlc.rs crates/mpeg4/src/sad.rs crates/mpeg4/src/synth.rs crates/mpeg4/src/types.rs crates/mpeg4/src/zigzag.rs
+
+crates/mpeg4/src/lib.rs:
+crates/mpeg4/src/bitstream.rs:
+crates/mpeg4/src/dct.rs:
+crates/mpeg4/src/decoder.rs:
+crates/mpeg4/src/encoder.rs:
+crates/mpeg4/src/footprint.rs:
+crates/mpeg4/src/huffman.rs:
+crates/mpeg4/src/mc.rs:
+crates/mpeg4/src/me.rs:
+crates/mpeg4/src/psnr.rs:
+crates/mpeg4/src/quant.rs:
+crates/mpeg4/src/rlc.rs:
+crates/mpeg4/src/sad.rs:
+crates/mpeg4/src/synth.rs:
+crates/mpeg4/src/types.rs:
+crates/mpeg4/src/zigzag.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_determinism-c0516cf8dd0e374f.d: crates/core/tests/parallel_determinism.rs
+
+/root/repo/target/release/deps/parallel_determinism-c0516cf8dd0e374f: crates/core/tests/parallel_determinism.rs
+
+crates/core/tests/parallel_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_asm_parse-38c3b38e64d771d3.d: tests/proptest_asm_parse.rs
+
+/root/repo/target/release/deps/proptest_asm_parse-38c3b38e64d771d3: tests/proptest_asm_parse.rs
+
+tests/proptest_asm_parse.rs:

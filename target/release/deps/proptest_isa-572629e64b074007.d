@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_isa-572629e64b074007.d: tests/proptest_isa.rs
+
+/root/repo/target/release/deps/proptest_isa-572629e64b074007: tests/proptest_isa.rs
+
+tests/proptest_isa.rs:

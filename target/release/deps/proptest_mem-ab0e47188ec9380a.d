@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_mem-ab0e47188ec9380a.d: tests/proptest_mem.rs
+
+/root/repo/target/release/deps/proptest_mem-ab0e47188ec9380a: tests/proptest_mem.rs
+
+tests/proptest_mem.rs:

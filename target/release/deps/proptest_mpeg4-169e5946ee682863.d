@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_mpeg4-169e5946ee682863.d: tests/proptest_mpeg4.rs
+
+/root/repo/target/release/deps/proptest_mpeg4-169e5946ee682863: tests/proptest_mpeg4.rs
+
+tests/proptest_mpeg4.rs:

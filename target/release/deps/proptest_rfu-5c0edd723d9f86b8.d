@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_rfu-5c0edd723d9f86b8.d: tests/proptest_rfu.rs
+
+/root/repo/target/release/deps/proptest_rfu-5c0edd723d9f86b8: tests/proptest_rfu.rs
+
+tests/proptest_rfu.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_scheduler-a2512580abed2cfe.d: tests/proptest_scheduler.rs
+
+/root/repo/target/release/deps/proptest_scheduler-a2512580abed2cfe: tests/proptest_scheduler.rs
+
+tests/proptest_scheduler.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/rand-f2bd873f00dade1c.d: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/chacha.rs vendor/rand/src/uniform.rs
+
+/root/repo/target/release/deps/rand-f2bd873f00dade1c: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/chacha.rs vendor/rand/src/uniform.rs
+
+vendor/rand/src/lib.rs:
+vendor/rand/src/rngs.rs:
+vendor/rand/src/chacha.rs:
+vendor/rand/src/uniform.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rand-fb5e3eccb86b491d.d: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/chacha.rs vendor/rand/src/uniform.rs
+
+/root/repo/target/release/deps/librand-fb5e3eccb86b491d.rlib: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/chacha.rs vendor/rand/src/uniform.rs
+
+/root/repo/target/release/deps/librand-fb5e3eccb86b491d.rmeta: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/chacha.rs vendor/rand/src/uniform.rs
+
+vendor/rand/src/lib.rs:
+vendor/rand/src/rngs.rs:
+vendor/rand/src/chacha.rs:
+vendor/rand/src/uniform.rs:

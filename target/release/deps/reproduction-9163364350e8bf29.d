@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduction-9163364350e8bf29.d: tests/reproduction.rs
+
+/root/repo/target/release/deps/reproduction-9163364350e8bf29: tests/reproduction.rs
+
+tests/reproduction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rvliw-310c2b6a059b4f7e.d: src/bin/rvliw.rs
+
+/root/repo/target/release/deps/rvliw-310c2b6a059b4f7e: src/bin/rvliw.rs
+
+src/bin/rvliw.rs:

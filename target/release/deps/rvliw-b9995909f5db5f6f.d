@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rvliw-b9995909f5db5f6f.d: src/lib.rs
+
+/root/repo/target/release/deps/rvliw-b9995909f5db5f6f: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rvliw-ef50b31170af1e6d.d: src/lib.rs
+
+/root/repo/target/release/deps/librvliw-ef50b31170af1e6d.rlib: src/lib.rs
+
+/root/repo/target/release/deps/librvliw-ef50b31170af1e6d.rmeta: src/lib.rs
+
+src/lib.rs:

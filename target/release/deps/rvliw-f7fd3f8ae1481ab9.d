@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rvliw-f7fd3f8ae1481ab9.d: src/bin/rvliw.rs
+
+/root/repo/target/release/deps/rvliw-f7fd3f8ae1481ab9: src/bin/rvliw.rs
+
+src/bin/rvliw.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rvliw_asm-6eb212e96b1b20b3.d: crates/asm/src/lib.rs crates/asm/src/builder.rs crates/asm/src/code.rs crates/asm/src/parse.rs crates/asm/src/program.rs crates/asm/src/sched.rs
+
+/root/repo/target/release/deps/rvliw_asm-6eb212e96b1b20b3: crates/asm/src/lib.rs crates/asm/src/builder.rs crates/asm/src/code.rs crates/asm/src/parse.rs crates/asm/src/program.rs crates/asm/src/sched.rs
+
+crates/asm/src/lib.rs:
+crates/asm/src/builder.rs:
+crates/asm/src/code.rs:
+crates/asm/src/parse.rs:
+crates/asm/src/program.rs:
+crates/asm/src/sched.rs:

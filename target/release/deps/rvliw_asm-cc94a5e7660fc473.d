@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/rvliw_asm-cc94a5e7660fc473.d: crates/asm/src/lib.rs crates/asm/src/builder.rs crates/asm/src/code.rs crates/asm/src/parse.rs crates/asm/src/program.rs crates/asm/src/sched.rs
+
+/root/repo/target/release/deps/librvliw_asm-cc94a5e7660fc473.rlib: crates/asm/src/lib.rs crates/asm/src/builder.rs crates/asm/src/code.rs crates/asm/src/parse.rs crates/asm/src/program.rs crates/asm/src/sched.rs
+
+/root/repo/target/release/deps/librvliw_asm-cc94a5e7660fc473.rmeta: crates/asm/src/lib.rs crates/asm/src/builder.rs crates/asm/src/code.rs crates/asm/src/parse.rs crates/asm/src/program.rs crates/asm/src/sched.rs
+
+crates/asm/src/lib.rs:
+crates/asm/src/builder.rs:
+crates/asm/src/code.rs:
+crates/asm/src/parse.rs:
+crates/asm/src/program.rs:
+crates/asm/src/sched.rs:

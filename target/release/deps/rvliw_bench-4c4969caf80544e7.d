@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/rvliw_bench-4c4969caf80544e7.d: crates/bench/src/lib.rs crates/bench/src/paper.rs
+
+/root/repo/target/release/deps/rvliw_bench-4c4969caf80544e7: crates/bench/src/lib.rs crates/bench/src/paper.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/paper.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/rvliw_bench-b9916788cb6861a8.d: crates/bench/src/lib.rs crates/bench/src/paper.rs
+
+/root/repo/target/release/deps/librvliw_bench-b9916788cb6861a8.rlib: crates/bench/src/lib.rs crates/bench/src/paper.rs
+
+/root/repo/target/release/deps/librvliw_bench-b9916788cb6861a8.rmeta: crates/bench/src/lib.rs crates/bench/src/paper.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/paper.rs:

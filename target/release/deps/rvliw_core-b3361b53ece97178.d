@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/rvliw_core-b3361b53ece97178.d: crates/core/src/lib.rs crates/core/src/app_model.rs crates/core/src/arch.rs crates/core/src/breakdown.rs crates/core/src/runner.rs crates/core/src/scenario.rs crates/core/src/tables.rs crates/core/src/workload.rs
+
+/root/repo/target/release/deps/rvliw_core-b3361b53ece97178: crates/core/src/lib.rs crates/core/src/app_model.rs crates/core/src/arch.rs crates/core/src/breakdown.rs crates/core/src/runner.rs crates/core/src/scenario.rs crates/core/src/tables.rs crates/core/src/workload.rs
+
+crates/core/src/lib.rs:
+crates/core/src/app_model.rs:
+crates/core/src/arch.rs:
+crates/core/src/breakdown.rs:
+crates/core/src/runner.rs:
+crates/core/src/scenario.rs:
+crates/core/src/tables.rs:
+crates/core/src/workload.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/rvliw_core-d6a9dba23e486bd4.d: crates/core/src/lib.rs crates/core/src/app_model.rs crates/core/src/arch.rs crates/core/src/breakdown.rs crates/core/src/runner.rs crates/core/src/scenario.rs crates/core/src/tables.rs crates/core/src/workload.rs
+
+/root/repo/target/release/deps/librvliw_core-d6a9dba23e486bd4.rlib: crates/core/src/lib.rs crates/core/src/app_model.rs crates/core/src/arch.rs crates/core/src/breakdown.rs crates/core/src/runner.rs crates/core/src/scenario.rs crates/core/src/tables.rs crates/core/src/workload.rs
+
+/root/repo/target/release/deps/librvliw_core-d6a9dba23e486bd4.rmeta: crates/core/src/lib.rs crates/core/src/app_model.rs crates/core/src/arch.rs crates/core/src/breakdown.rs crates/core/src/runner.rs crates/core/src/scenario.rs crates/core/src/tables.rs crates/core/src/workload.rs
+
+crates/core/src/lib.rs:
+crates/core/src/app_model.rs:
+crates/core/src/arch.rs:
+crates/core/src/breakdown.rs:
+crates/core/src/runner.rs:
+crates/core/src/scenario.rs:
+crates/core/src/tables.rs:
+crates/core/src/workload.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/rvliw_isa-645e419c9f31261e.d: crates/isa/src/lib.rs crates/isa/src/bundle.rs crates/isa/src/config.rs crates/isa/src/encode.rs crates/isa/src/op.rs crates/isa/src/opcode.rs crates/isa/src/reg.rs crates/isa/src/simd.rs
+
+/root/repo/target/release/deps/rvliw_isa-645e419c9f31261e: crates/isa/src/lib.rs crates/isa/src/bundle.rs crates/isa/src/config.rs crates/isa/src/encode.rs crates/isa/src/op.rs crates/isa/src/opcode.rs crates/isa/src/reg.rs crates/isa/src/simd.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/bundle.rs:
+crates/isa/src/config.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/op.rs:
+crates/isa/src/opcode.rs:
+crates/isa/src/reg.rs:
+crates/isa/src/simd.rs:

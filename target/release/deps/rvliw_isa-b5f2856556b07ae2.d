@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/rvliw_isa-b5f2856556b07ae2.d: crates/isa/src/lib.rs crates/isa/src/bundle.rs crates/isa/src/config.rs crates/isa/src/encode.rs crates/isa/src/op.rs crates/isa/src/opcode.rs crates/isa/src/reg.rs crates/isa/src/simd.rs
+
+/root/repo/target/release/deps/librvliw_isa-b5f2856556b07ae2.rlib: crates/isa/src/lib.rs crates/isa/src/bundle.rs crates/isa/src/config.rs crates/isa/src/encode.rs crates/isa/src/op.rs crates/isa/src/opcode.rs crates/isa/src/reg.rs crates/isa/src/simd.rs
+
+/root/repo/target/release/deps/librvliw_isa-b5f2856556b07ae2.rmeta: crates/isa/src/lib.rs crates/isa/src/bundle.rs crates/isa/src/config.rs crates/isa/src/encode.rs crates/isa/src/op.rs crates/isa/src/opcode.rs crates/isa/src/reg.rs crates/isa/src/simd.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/bundle.rs:
+crates/isa/src/config.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/op.rs:
+crates/isa/src/opcode.rs:
+crates/isa/src/reg.rs:
+crates/isa/src/simd.rs:

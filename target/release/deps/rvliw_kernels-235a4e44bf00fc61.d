@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/rvliw_kernels-235a4e44bf00fc61.d: crates/kernels/src/lib.rs crates/kernels/src/dct.rs crates/kernels/src/driver.rs crates/kernels/src/getsad.rs crates/kernels/src/mc.rs crates/kernels/src/regs.rs
+
+/root/repo/target/release/deps/librvliw_kernels-235a4e44bf00fc61.rlib: crates/kernels/src/lib.rs crates/kernels/src/dct.rs crates/kernels/src/driver.rs crates/kernels/src/getsad.rs crates/kernels/src/mc.rs crates/kernels/src/regs.rs
+
+/root/repo/target/release/deps/librvliw_kernels-235a4e44bf00fc61.rmeta: crates/kernels/src/lib.rs crates/kernels/src/dct.rs crates/kernels/src/driver.rs crates/kernels/src/getsad.rs crates/kernels/src/mc.rs crates/kernels/src/regs.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/dct.rs:
+crates/kernels/src/driver.rs:
+crates/kernels/src/getsad.rs:
+crates/kernels/src/mc.rs:
+crates/kernels/src/regs.rs:

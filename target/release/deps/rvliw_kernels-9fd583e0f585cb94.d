@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rvliw_kernels-9fd583e0f585cb94.d: crates/kernels/src/lib.rs crates/kernels/src/dct.rs crates/kernels/src/driver.rs crates/kernels/src/getsad.rs crates/kernels/src/mc.rs crates/kernels/src/regs.rs
+
+/root/repo/target/release/deps/rvliw_kernels-9fd583e0f585cb94: crates/kernels/src/lib.rs crates/kernels/src/dct.rs crates/kernels/src/driver.rs crates/kernels/src/getsad.rs crates/kernels/src/mc.rs crates/kernels/src/regs.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/dct.rs:
+crates/kernels/src/driver.rs:
+crates/kernels/src/getsad.rs:
+crates/kernels/src/mc.rs:
+crates/kernels/src/regs.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/rvliw_mem-d059b24968c1336d.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/prefetch.rs crates/mem/src/ram.rs crates/mem/src/stats.rs crates/mem/src/system.rs
+
+/root/repo/target/release/deps/rvliw_mem-d059b24968c1336d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/prefetch.rs crates/mem/src/ram.rs crates/mem/src/stats.rs crates/mem/src/system.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/config.rs:
+crates/mem/src/prefetch.rs:
+crates/mem/src/ram.rs:
+crates/mem/src/stats.rs:
+crates/mem/src/system.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/rvliw_rfu-106a838fc76314dd.d: crates/rfu/src/lib.rs crates/rfu/src/config.rs crates/rfu/src/dct.rs crates/rfu/src/line_buffer.rs crates/rfu/src/meloop.rs crates/rfu/src/reconfig.rs crates/rfu/src/stats.rs crates/rfu/src/unit.rs
+
+/root/repo/target/release/deps/librvliw_rfu-106a838fc76314dd.rlib: crates/rfu/src/lib.rs crates/rfu/src/config.rs crates/rfu/src/dct.rs crates/rfu/src/line_buffer.rs crates/rfu/src/meloop.rs crates/rfu/src/reconfig.rs crates/rfu/src/stats.rs crates/rfu/src/unit.rs
+
+/root/repo/target/release/deps/librvliw_rfu-106a838fc76314dd.rmeta: crates/rfu/src/lib.rs crates/rfu/src/config.rs crates/rfu/src/dct.rs crates/rfu/src/line_buffer.rs crates/rfu/src/meloop.rs crates/rfu/src/reconfig.rs crates/rfu/src/stats.rs crates/rfu/src/unit.rs
+
+crates/rfu/src/lib.rs:
+crates/rfu/src/config.rs:
+crates/rfu/src/dct.rs:
+crates/rfu/src/line_buffer.rs:
+crates/rfu/src/meloop.rs:
+crates/rfu/src/reconfig.rs:
+crates/rfu/src/stats.rs:
+crates/rfu/src/unit.rs:

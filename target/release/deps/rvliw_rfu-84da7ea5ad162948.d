@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/rvliw_rfu-84da7ea5ad162948.d: crates/rfu/src/lib.rs crates/rfu/src/config.rs crates/rfu/src/dct.rs crates/rfu/src/line_buffer.rs crates/rfu/src/meloop.rs crates/rfu/src/reconfig.rs crates/rfu/src/stats.rs crates/rfu/src/unit.rs
+
+/root/repo/target/release/deps/rvliw_rfu-84da7ea5ad162948: crates/rfu/src/lib.rs crates/rfu/src/config.rs crates/rfu/src/dct.rs crates/rfu/src/line_buffer.rs crates/rfu/src/meloop.rs crates/rfu/src/reconfig.rs crates/rfu/src/stats.rs crates/rfu/src/unit.rs
+
+crates/rfu/src/lib.rs:
+crates/rfu/src/config.rs:
+crates/rfu/src/dct.rs:
+crates/rfu/src/line_buffer.rs:
+crates/rfu/src/meloop.rs:
+crates/rfu/src/reconfig.rs:
+crates/rfu/src/stats.rs:
+crates/rfu/src/unit.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/rvliw_sim-99310f6b55e33709.d: crates/sim/src/lib.rs crates/sim/src/decode.rs crates/sim/src/exec.rs crates/sim/src/machine.rs crates/sim/src/stats.rs
+
+/root/repo/target/release/deps/librvliw_sim-99310f6b55e33709.rlib: crates/sim/src/lib.rs crates/sim/src/decode.rs crates/sim/src/exec.rs crates/sim/src/machine.rs crates/sim/src/stats.rs
+
+/root/repo/target/release/deps/librvliw_sim-99310f6b55e33709.rmeta: crates/sim/src/lib.rs crates/sim/src/decode.rs crates/sim/src/exec.rs crates/sim/src/machine.rs crates/sim/src/stats.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/decode.rs:
+crates/sim/src/exec.rs:
+crates/sim/src/machine.rs:
+crates/sim/src/stats.rs:

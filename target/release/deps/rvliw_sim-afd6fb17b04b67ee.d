@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rvliw_sim-afd6fb17b04b67ee.d: crates/sim/src/lib.rs crates/sim/src/decode.rs crates/sim/src/exec.rs crates/sim/src/machine.rs crates/sim/src/stats.rs
+
+/root/repo/target/release/deps/rvliw_sim-afd6fb17b04b67ee: crates/sim/src/lib.rs crates/sim/src/decode.rs crates/sim/src/exec.rs crates/sim/src/machine.rs crates/sim/src/stats.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/decode.rs:
+crates/sim/src/exec.rs:
+crates/sim/src/machine.rs:
+crates/sim/src/stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sim_throughput-91f65cdbb5754742.d: crates/bench/benches/sim_throughput.rs
+
+/root/repo/target/release/deps/sim_throughput-91f65cdbb5754742: crates/bench/benches/sim_throughput.rs
+
+crates/bench/benches/sim_throughput.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tables-9ad1bba3d6914ace.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/release/deps/tables-9ad1bba3d6914ace: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/alignment_footprint-abb05e4b00a73781.d: examples/alignment_footprint.rs
+
+/root/repo/target/release/examples/alignment_footprint-abb05e4b00a73781: examples/alignment_footprint.rs
+
+examples/alignment_footprint.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/assemble_and_run-72d5d58488432139.d: examples/assemble_and_run.rs
+
+/root/repo/target/release/examples/assemble_and_run-72d5d58488432139: examples/assemble_and_run.rs
+
+examples/assemble_and_run.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/disassemble_kernel-5df52b1bcb6f313e.d: examples/disassemble_kernel.rs
+
+/root/repo/target/release/examples/disassemble_kernel-5df52b1bcb6f313e: examples/disassemble_kernel.rs
+
+examples/disassemble_kernel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/encode_video-774a25e3dc54f002.d: examples/encode_video.rs
+
+/root/repo/target/release/examples/encode_video-774a25e3dc54f002: examples/encode_video.rs
+
+examples/encode_video.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/explore_design_space-0c644f39e7bba045.d: examples/explore_design_space.rs
+
+/root/repo/target/release/examples/explore_design_space-0c644f39e7bba045: examples/explore_design_space.rs
+
+examples/explore_design_space.rs:

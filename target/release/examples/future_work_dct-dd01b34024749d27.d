@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/future_work_dct-dd01b34024749d27.d: examples/future_work_dct.rs
+
+/root/repo/target/release/examples/future_work_dct-dd01b34024749d27: examples/future_work_dct.rs
+
+examples/future_work_dct.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/line_buffers-6a92068a81886353.d: examples/line_buffers.rs
+
+/root/repo/target/release/examples/line_buffers-6a92068a81886353: examples/line_buffers.rs
+
+examples/line_buffers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-8f6d98f09630cbf7.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-8f6d98f09630cbf7: examples/quickstart.rs
+
+examples/quickstart.rs:
