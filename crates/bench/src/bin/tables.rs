@@ -6,22 +6,35 @@
 //! ```text
 //! cargo run --release -p rvliw-bench --bin tables \
 //!     [-- --write] [--frames N] [--csv DIR] [--bench-json] [--baseline-cps X]
+//!     [--metrics-out FILE] [--trace FILE]
+//! cargo run --release -p rvliw-bench --bin tables -- --check BENCH_tables.json
 //! ```
 //!
 //! `--write` also rewrites `EXPERIMENTS.md` at the workspace root.
 //! `--bench-json` writes `BENCH_tables.json` (wall time per phase and per
-//! table, simulated cycles, cycles per wall second, thread count); with
+//! table, simulated cycles, cycles per wall second, thread count, and a
+//! `"tables"` snapshot of every integer table cell); with
 //! `--baseline-cps X` (a reference build's cycles/sec on the same host)
 //! the report also records the speedup over that baseline.
+//! `--metrics-out FILE` re-runs every scenario with a counting tracer and
+//! writes per-scenario stall/cache/RFU metrics as JSON.
+//! `--trace FILE` captures a Chrome `trace_event` JSON (Perfetto-loadable)
+//! of the ORIG scenario.
+//!
+//! `--check FILE` is the regression gate: it re-runs the case study and
+//! compares every integer cell of Tables 1–7 against the `"tables"`
+//! snapshot committed in FILE, exiting non-zero on any drift.
 
 use std::fmt::Write as _;
+use std::process::ExitCode;
 use std::time::Instant;
 
 use rvliw_bench::paper;
 use rvliw_core::tables::CaseStudy;
-use rvliw_core::{arch, Workload};
+use rvliw_core::{arch, run_me_with_tracer, Scenario, TablesSnapshot, Workload};
 use rvliw_isa::MachineConfig;
 use rvliw_mem::MemConfig;
+use rvliw_trace::{ChromeTracer, CountingTracer, Json};
 
 /// Writes one CSV per table (machine-readable series for plotting).
 fn write_csvs(dir: &str, cs: &CaseStudy) -> std::io::Result<()> {
@@ -128,8 +141,84 @@ fn secs(f: impl FnOnce()) -> f64 {
     t.elapsed().as_secs_f64()
 }
 
-fn main() {
+/// Builds the workload for `frames` frames, sharing the cached 25-frame
+/// paper workload when possible.
+fn build_workload(frames: usize) -> std::sync::Arc<Workload> {
+    if frames == 25 {
+        Workload::paper_shared()
+    } else {
+        std::sync::Arc::new(Workload::qcif_frames(frames))
+    }
+}
+
+/// The regression gate: re-runs the case study and diffs every integer
+/// table cell against the `"tables"` snapshot committed in `path`.
+fn run_check(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("tables --check: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let json = match Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("tables --check: {path}: invalid JSON: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(tables) = json.get("tables") else {
+        eprintln!(
+            "tables --check: {path} has no \"tables\" snapshot; \
+             regenerate it with `tables --bench-json`"
+        );
+        return ExitCode::from(2);
+    };
+    let baseline = match TablesSnapshot::from_json(tables) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("tables --check: {path}: bad \"tables\" snapshot: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let frames = json.get("frames").and_then(Json::as_u64).unwrap_or(25) as usize;
+    eprintln!("tables --check: re-running the case study on {frames} QCIF frames …");
+    let workload = build_workload(frames);
+    let cs = CaseStudy::run_with_progress(&workload, |label| {
+        eprintln!("  scenario {label} …");
+    });
+    let fresh = TablesSnapshot::capture(&cs);
+    let drift = fresh.diff(&baseline);
+    if drift.is_empty() {
+        eprintln!(
+            "tables --check: OK — {} table cells bit-identical to {path}",
+            fresh.cells.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "tables --check: FAIL — {} cell(s) drifted from {path}:",
+            drift.len()
+        );
+        for line in &drift {
+            eprintln!("  {line}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    if let Some(file) = flag_value("--check") {
+        return run_check(&file);
+    }
     let write = args.iter().any(|a| a == "--write");
     let bench_json = args.iter().any(|a| a == "--bench-json");
     let baseline_cps = args
@@ -148,11 +237,7 @@ fn main() {
     let t0 = Instant::now();
     eprintln!("generating + encoding the {frames}-frame QCIF workload …");
     let t_encode = Instant::now();
-    let workload = if frames == 25 {
-        Workload::paper_shared()
-    } else {
-        std::sync::Arc::new(Workload::qcif_frames(frames))
-    };
+    let workload = build_workload(frames);
     let encode_wall_s = t_encode.elapsed().as_secs_f64();
     let (n, h, v, d) = workload.report.interp_shares();
     let _ = writeln!(
@@ -434,27 +519,63 @@ fn main() {
                 let _ = writeln!(json, "  \"baseline_cycles_per_sec\": {base:.0},");
                 let _ = writeln!(
                     json,
-                    "  \"speedup_vs_baseline\": {:.2}",
+                    "  \"speedup_vs_baseline\": {:.2},",
                     cycles_per_sec / base
                 );
             }
             None => {
                 let _ = writeln!(json, "  \"baseline_cycles_per_sec\": null,");
-                let _ = writeln!(json, "  \"speedup_vs_baseline\": null");
+                let _ = writeln!(json, "  \"speedup_vs_baseline\": null,");
             }
         }
+        let _ = writeln!(
+            json,
+            "  \"tables\": {}",
+            TablesSnapshot::capture(&cs).to_json()
+        );
         json.push_str("}\n");
+        Json::parse(&json).expect("generated bench report must be valid JSON");
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tables.json");
         std::fs::write(path, json).expect("write BENCH_tables.json");
         eprintln!("wrote {path}");
     }
-    if let Some(dir) = args
-        .iter()
-        .position(|a| a == "--csv")
-        .and_then(|i| args.get(i + 1))
-    {
-        write_csvs(dir, &cs).expect("write CSV files");
+    if let Some(dir) = flag_value("--csv") {
+        write_csvs(&dir, &cs).expect("write CSV files");
         eprintln!("wrote table CSVs to {dir}");
+    }
+    if let Some(path) = flag_value("--metrics-out") {
+        eprintln!("collecting per-scenario tracer metrics …");
+        let scenarios = CaseStudy::scenarios();
+        let mut json = String::from("{\n");
+        for (i, sc) in scenarios.iter().enumerate() {
+            let mut tracer = CountingTracer::new();
+            let r = run_me_with_tracer(sc, &workload, &mut tracer);
+            let sep = if i + 1 == scenarios.len() { "" } else { "," };
+            let _ = writeln!(
+                json,
+                "\"{}\": {}{sep}",
+                r.label,
+                tracer.to_metrics_json().trim_end()
+            );
+        }
+        json.push_str("}\n");
+        Json::parse(&json).expect("generated metrics must be valid JSON");
+        std::fs::write(&path, &json).expect("write metrics JSON");
+        eprintln!("wrote per-scenario metrics to {path}");
+    }
+    if let Some(path) = flag_value("--trace") {
+        eprintln!("capturing a Chrome trace of the ORIG scenario …");
+        let mut tracer = ChromeTracer::without_bundles();
+        let _ = run_me_with_tracer(&Scenario::orig(), &workload, &mut tracer);
+        if tracer.dropped > 0 {
+            eprintln!(
+                "  note: {} events dropped past the {}-event cap",
+                tracer.dropped,
+                ChromeTracer::DEFAULT_MAX_EVENTS
+            );
+        }
+        std::fs::write(&path, tracer.to_json()).expect("write Chrome trace");
+        eprintln!("wrote Chrome trace ({} events) to {path}", tracer.len());
     }
     if write {
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../EXPERIMENTS.md");
@@ -462,4 +583,5 @@ fn main() {
         std::fs::write(path, format!("{header}{out}")).expect("write EXPERIMENTS.md");
         eprintln!("wrote {path}");
     }
+    ExitCode::SUCCESS
 }

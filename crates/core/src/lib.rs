@@ -23,6 +23,7 @@
 pub mod app_model;
 pub mod arch;
 pub mod breakdown;
+pub mod metrics;
 pub mod runner;
 pub mod scenario;
 pub mod tables;
@@ -30,7 +31,8 @@ pub mod workload;
 
 pub use app_model::AppModel;
 pub use breakdown::CycleBreakdown;
-pub use runner::{run_me, MeResult};
+pub use metrics::TablesSnapshot;
+pub use runner::{run_me, run_me_with_tracer, MeResult};
 pub use scenario::Scenario;
 pub use tables::{default_threads, CaseStudy};
 pub use workload::Workload;

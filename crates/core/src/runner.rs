@@ -11,6 +11,7 @@ use rvliw_kernels::{build_getsad, build_mb_prep, build_me_loop_call};
 use rvliw_mem::MemStats;
 use rvliw_rfu::{Rfu, RfuStats};
 use rvliw_sim::{Machine, SimStats};
+use rvliw_trace::{NullTracer, Tracer};
 
 use crate::scenario::{Kind, Scenario};
 use crate::workload::Workload;
@@ -184,6 +185,26 @@ fn store_plane(m: &mut Machine, base: u32, p: &Plane) {
 /// golden trace (either indicates a kernel or simulator bug).
 #[must_use]
 pub fn run_me(scenario: &Scenario, workload: &Workload) -> MeResult {
+    run_me_with_tracer(scenario, workload, &mut NullTracer)
+}
+
+/// [`run_me`], emitting structured trace events (bundle issues, stall
+/// causes, cache and RFU activity) into `tracer` for the entire replay.
+///
+/// With a [`NullTracer`] this monomorphizes to exactly [`run_me`]; with a
+/// [`CountingTracer`](rvliw_trace::CountingTracer) or
+/// [`ChromeTracer`](rvliw_trace::ChromeTracer) it powers the `--metrics-out`
+/// and `--trace` exports of the CLI tools.
+///
+/// # Panics
+///
+/// As for [`run_me`].
+#[must_use]
+pub fn run_me_with_tracer<T: Tracer + ?Sized>(
+    scenario: &Scenario,
+    workload: &Workload,
+    tracer: &mut T,
+) -> MeResult {
     let mut m = Machine::new(scenario.machine.clone(), scenario.mem.clone());
     let stride = workload.stride;
     let height = workload.frames[0].height();
@@ -236,7 +257,7 @@ pub fn run_me(scenario: &Scenario, workload: &Workload) -> MeResult {
                             .cand(addr_of(c))
                             .interp(c.kind)
                             .apply(&mut m);
-                        m.run(code).expect("kernel run");
+                        m.run_with_tracer(code, tracer).expect("kernel run");
                         assert_eq!(
                             m.gpr(RESULT),
                             c.sad,
@@ -259,7 +280,7 @@ pub fn run_me(scenario: &Scenario, workload: &Workload) -> MeResult {
                         .base(prev_buf)
                         .next(fx, fy)
                         .apply(&mut m);
-                    m.run(prep).expect("prep run");
+                    m.run_with_tracer(prep, tracer).expect("prep run");
                     let mut best = u32::MAX;
                     for (i, c) in trace.calls.iter().enumerate() {
                         let (ncx, ncy) = trace
@@ -275,7 +296,7 @@ pub fn run_me(scenario: &Scenario, workload: &Workload) -> MeResult {
                             .next(ncx, ncy)
                             .best(best)
                             .apply(&mut m);
-                        m.run(call_prog).expect("driver run");
+                        m.run_with_tracer(call_prog, tracer).expect("driver run");
                         assert_eq!(
                             m.gpr(RESULT),
                             c.sad,

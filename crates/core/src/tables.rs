@@ -52,7 +52,8 @@ impl CaseStudy {
     /// two-line-buffer points. Each scenario is independent — it owns its
     /// machine, memory hierarchy and RFU — which is what makes the fan-out
     /// in [`CaseStudy::run_with_threads`] trivially sound.
-    fn scenarios() -> Vec<Scenario> {
+    #[must_use]
+    pub fn scenarios() -> Vec<Scenario> {
         let mut v = vec![Scenario::orig()];
         for variant in [Variant::A1, Variant::A2, Variant::A3] {
             v.push(Scenario::instruction(variant));

@@ -5,6 +5,7 @@ use crate::config::MemConfig;
 use crate::prefetch::PrefetchQueue;
 use crate::ram::Ram;
 use crate::stats::MemStats;
+use rvliw_trace::{MemEvent, NullTracer, Tracer};
 
 /// Result of a timed data access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,11 +84,12 @@ impl MemorySystem {
         self.bus_free_at
     }
 
-    fn drain_prefetches(&mut self, now: u64) {
+    fn drain_prefetches<T: Tracer + ?Sized>(&mut self, now: u64, tracer: &mut T) {
         for line in self.pfq.drain_completed(now) {
             if self.dcache.install(line).is_some() {
                 // Dirty eviction on drain: the writeback occupies the bus.
                 self.bus_free_at = self.bus_free_at.max(now) + self.cfg.writeback_occupancy;
+                tracer.mem(now, MemEvent::Writeback);
             }
         }
     }
@@ -100,33 +102,44 @@ impl MemorySystem {
     }
 
     /// Core of the timing model, shared by loads and stores.
-    fn access_timed(&mut self, addr: u32, now: u64, write: bool) -> (u64, bool) {
-        self.drain_prefetches(now);
+    fn access_timed<T: Tracer + ?Sized>(
+        &mut self,
+        addr: u32,
+        now: u64,
+        write: bool,
+        tracer: &mut T,
+    ) -> (u64, bool) {
+        self.drain_prefetches(now, tracer);
         let line = self.dcache.line_of(addr);
         // A line still in flight from a prefetch: wait for it.
         if let Some(ready) = self.pfq.consume(line, now) {
             if self.dcache.install(line).is_some() {
                 self.bus_free_at = self.bus_free_at.max(now) + self.cfg.writeback_occupancy;
+                tracer.mem(now, MemEvent::Writeback);
             }
             // Mark hit/dirty state via a (now free) access.
             let _ = self.dcache.access(addr, write);
             let stall = ready.saturating_sub(now);
             self.stats.d_late_covered += 1;
             self.stats.d_stall_cycles += stall;
+            tracer.mem(now, MemEvent::DLateCovered { addr, stall });
             return (stall, false);
         }
         let out = self.dcache.access(addr, write);
         if out.hit {
             self.stats.d_hits += 1;
+            tracer.mem(now, MemEvent::DHit { addr });
             (0, true)
         } else {
             self.stats.d_misses += 1;
             if out.writeback.is_some() {
                 self.bus_free_at = self.bus_free_at.max(now) + self.cfg.writeback_occupancy;
+                tracer.mem(now, MemEvent::Writeback);
             }
             let ready = self.schedule_fill(now);
             let stall = ready - now;
             self.stats.d_stall_cycles += stall;
+            tracer.mem(now, MemEvent::DMiss { addr, stall });
             (stall, false)
         }
     }
@@ -138,8 +151,23 @@ impl MemorySystem {
     ///
     /// Panics on an unsupported size or an out-of-range address.
     pub fn read(&mut self, addr: u32, size: u32, now: u64) -> Access {
+        self.read_traced(addr, size, now, &mut NullTracer)
+    }
+
+    /// [`MemorySystem::read`], emitting cache events into `tracer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unsupported size or an out-of-range address.
+    pub fn read_traced<T: Tracer + ?Sized>(
+        &mut self,
+        addr: u32,
+        size: u32,
+        now: u64,
+        tracer: &mut T,
+    ) -> Access {
         self.stats.loads += 1;
-        let (stall, hit) = self.access_timed(addr, now, false);
+        let (stall, hit) = self.access_timed(addr, now, false, tracer);
         let value = match size {
             1 => u32::from(self.ram.load8(addr)),
             2 => u32::from(self.ram.load16(addr)),
@@ -155,8 +183,24 @@ impl MemorySystem {
     ///
     /// Panics on an unsupported size or an out-of-range address.
     pub fn write(&mut self, addr: u32, size: u32, value: u32, now: u64) -> Access {
+        self.write_traced(addr, size, value, now, &mut NullTracer)
+    }
+
+    /// [`MemorySystem::write`], emitting cache events into `tracer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unsupported size or an out-of-range address.
+    pub fn write_traced<T: Tracer + ?Sized>(
+        &mut self,
+        addr: u32,
+        size: u32,
+        value: u32,
+        now: u64,
+        tracer: &mut T,
+    ) -> Access {
         self.stats.stores += 1;
-        let (stall, hit) = self.access_timed(addr, now, true);
+        let (stall, hit) = self.access_timed(addr, now, true, tracer);
         match size {
             1 => self.ram.store8(addr, value as u8),
             2 => self.ram.store16(addr, value as u16),
@@ -170,25 +214,54 @@ impl MemorySystem {
     /// cycle the line will be available, or `None` when the request was
     /// redundant or dropped.
     pub fn prefetch(&mut self, addr: u32, now: u64) -> Option<u64> {
-        self.drain_prefetches(now);
+        self.prefetch_traced(addr, now, &mut NullTracer)
+    }
+
+    /// [`MemorySystem::prefetch`], emitting prefetch events into `tracer`.
+    pub fn prefetch_traced<T: Tracer + ?Sized>(
+        &mut self,
+        addr: u32,
+        now: u64,
+        tracer: &mut T,
+    ) -> Option<u64> {
+        self.drain_prefetches(now, tracer);
         let line = self.dcache.line_of(addr);
         if self.dcache.probe(line) || self.pfq.pending_ready_at(line).is_some() {
             self.pfq.redundant += 1;
+            tracer.mem(now, MemEvent::PrefetchRedundant { line });
             return None;
         }
         if self.pfq.len() >= self.pfq.capacity() {
             self.pfq.dropped += 1;
+            tracer.mem(now, MemEvent::PrefetchDropped { line });
             return None;
         }
         let ready = self.schedule_fill(now);
         let inserted = self.pfq.insert(line, ready);
         debug_assert!(inserted);
+        tracer.mem(
+            now,
+            MemEvent::PrefetchIssued {
+                line,
+                ready_at: ready,
+            },
+        );
         Some(ready)
     }
 
     /// Instruction fetch for the bundle at byte address `addr`; returns
     /// stall cycles (0 on a hit).
-    pub fn ifetch(&mut self, addr: u32, _now: u64) -> u64 {
+    pub fn ifetch(&mut self, addr: u32, now: u64) -> u64 {
+        self.ifetch_traced(addr, now, &mut NullTracer)
+    }
+
+    /// [`MemorySystem::ifetch`], emitting icache-miss events into `tracer`.
+    pub fn ifetch_traced<T: Tracer + ?Sized>(
+        &mut self,
+        addr: u32,
+        now: u64,
+        tracer: &mut T,
+    ) -> u64 {
         let out = self.icache.access(addr, false);
         if out.hit {
             0
@@ -196,6 +269,7 @@ impl MemorySystem {
             self.stats.i_misses += 1;
             let stall = self.cfg.fill_latency;
             self.stats.i_stall_cycles += stall;
+            tracer.mem(now, MemEvent::IMiss { addr, stall });
             stall
         }
     }

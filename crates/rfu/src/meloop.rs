@@ -7,6 +7,7 @@
 //! rows come from Line Buffer B and the cache is touched only on misses.
 
 use rvliw_mem::MemorySystem;
+use rvliw_trace::{RfuEvent, Tracer};
 
 use crate::config::MeLoopCfg;
 use crate::line_buffer::{LineBufferA, LineBufferB};
@@ -116,7 +117,7 @@ pub(crate) struct LoopRun {
 
 /// Executes the ME kernel loop: timed memory walk + functional SAD.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn run_me_loop(
+pub(crate) fn run_me_loop<T: Tracer + ?Sized>(
     cfg: &MeLoopCfg,
     cand_addr: u32,
     ref_addr: u32,
@@ -126,6 +127,7 @@ pub(crate) fn run_me_loop(
     mem: &mut MemorySystem,
     now: u64,
     stats: &mut RfuStats,
+    tracer: &mut T,
 ) -> LoopRun {
     let ii = cfg.initiation_interval();
     let stride = cfg.stride;
@@ -146,20 +148,23 @@ pub(crate) fn run_me_loop(
                 match lb_b.read(line, eff) {
                     Some(0) => {
                         stats.lbb_hits += 1;
+                        tracer.rfu(eff, RfuEvent::LbbHit);
                     }
                     Some(extra) => {
                         stats.lbb_late += 1;
                         stall += extra;
                         mem.account_stall(extra);
+                        tracer.rfu(eff, RfuEvent::LbbLate { wait: extra });
                     }
                     None => {
                         stats.lbb_misses += 1;
-                        let acc = mem.read(line, 4, eff);
+                        tracer.rfu(eff, RfuEvent::LbbMiss);
+                        let acc = mem.read_traced(line, 4, eff, tracer);
                         stall += acc.stall;
                     }
                 }
             } else {
-                let acc = mem.read(line.max(row_addr), 4, eff);
+                let acc = mem.read_traced(line.max(row_addr), 4, eff, tracer);
                 stall += acc.stall;
             }
             if line == last_line {
@@ -176,7 +181,7 @@ pub(crate) fn run_me_loop(
                     // Gather was dropped: the RFU stalls the processor and
                     // issues the corresponding cache accesses.
                     let row_addr = ref_addr + r * stride;
-                    let acc = mem.read(row_addr, 4, eff);
+                    let acc = mem.read_traced(row_addr, 4, eff, tracer);
                     stall += acc.stall;
                 } else if ready > eff {
                     let wait = ready - eff;
@@ -184,14 +189,22 @@ pub(crate) fn run_me_loop(
                     stats.lba_wait_cycles += wait;
                     stall += wait;
                     mem.account_stall(wait);
+                    tracer.rfu(eff, RfuEvent::LbaWait { row: r, wait });
                 }
             } else {
                 // No gathered reference: plain cache accesses.
                 let row_addr = ref_addr + r * stride;
-                let acc = mem.read(row_addr, 4, eff);
+                let acc = mem.read_traced(row_addr, 4, eff, tracer);
                 stall += acc.stall;
             }
         }
+        tracer.rfu(
+            now + offset,
+            RfuEvent::LoopRow {
+                row: r,
+                stall_so_far: stall,
+            },
+        );
     }
 
     let sad = golden_sad(&mem.ram, ref_addr, cand_addr, stride, mode);

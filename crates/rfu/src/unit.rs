@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use rvliw_mem::MemorySystem;
+use rvliw_trace::{NullTracer, RfuEvent, Tracer};
 
 use crate::config::{cfgs, MeLoopCfg, PrefetchPattern, RfuConfig, ShortOp};
 use crate::line_buffer::{LineBufferA, LineBufferB};
@@ -239,6 +240,20 @@ impl Rfu {
     ///
     /// [`RfuError::UnknownConfig`] when `id` is not registered.
     pub fn init(&mut self, id: u16, now: u64) -> Result<u64, RfuError> {
+        self.init_traced(id, now, &mut NullTracer)
+    }
+
+    /// [`Rfu::init`], emitting an [`RfuEvent::Init`] into `tracer`.
+    ///
+    /// # Errors
+    ///
+    /// [`RfuError::UnknownConfig`] when `id` is not registered.
+    pub fn init_traced<T: Tracer + ?Sized>(
+        &mut self,
+        id: u16,
+        now: u64,
+        tracer: &mut T,
+    ) -> Result<u64, RfuError> {
         let _ = self.lookup(id)?;
         self.stats.inits += 1;
         let penalty = self.reconfig.activate(id, now);
@@ -248,6 +263,7 @@ impl Rfu {
         }
         self.current = Some(id);
         self.inputs.clear();
+        tracer.rfu(now, RfuEvent::Init { cfg: id, penalty });
         Ok(penalty)
     }
 
@@ -258,6 +274,22 @@ impl Rfu {
     ///
     /// [`RfuError::UnknownConfig`] when `id` is not registered.
     pub fn send(&mut self, id: u16, values: &[u32]) -> Result<(), RfuError> {
+        self.send_traced(id, values, 0, &mut NullTracer)
+    }
+
+    /// [`Rfu::send`], emitting an [`RfuEvent::Send`] at cycle `now` into
+    /// `tracer`.
+    ///
+    /// # Errors
+    ///
+    /// [`RfuError::UnknownConfig`] when `id` is not registered.
+    pub fn send_traced<T: Tracer + ?Sized>(
+        &mut self,
+        id: u16,
+        values: &[u32],
+        now: u64,
+        tracer: &mut T,
+    ) -> Result<(), RfuError> {
         let _ = self.lookup(id)?;
         if self.current != Some(id) {
             // Implicit re-activation, free under zero penalty.
@@ -266,6 +298,7 @@ impl Rfu {
         }
         self.stats.sends += 1;
         self.inputs.extend_from_slice(values);
+        tracer.rfu(now, RfuEvent::Send { cfg: id });
         Ok(())
     }
 
@@ -283,11 +316,29 @@ impl Rfu {
         mem: &mut MemorySystem,
         now: u64,
     ) -> Result<ExecOutcome, RfuError> {
+        self.exec_traced(id, srcs, mem, now, &mut NullTracer)
+    }
+
+    /// [`Rfu::exec`], emitting RFU pipeline and cache events into `tracer`.
+    ///
+    /// # Errors
+    ///
+    /// [`RfuError`] when the configuration is unknown, of the wrong kind, or
+    /// under-supplied with operands.
+    pub fn exec_traced<T: Tracer + ?Sized>(
+        &mut self,
+        id: u16,
+        srcs: &[u32],
+        mem: &mut MemorySystem,
+        now: u64,
+        tracer: &mut T,
+    ) -> Result<ExecOutcome, RfuError> {
         let config = self.lookup(id)?;
         match config {
             RfuConfig::Short(op) => {
                 self.stats.execs += 1;
                 let value = self.exec_short(id, op, srcs)?;
+                tracer.rfu(now, RfuEvent::ShortExec { cfg: id });
                 Ok(ExecOutcome {
                     value,
                     busy: 1,
@@ -321,6 +372,15 @@ impl Rfu {
                     mem,
                     now,
                     &mut self.stats,
+                    tracer,
+                );
+                tracer.rfu(
+                    now,
+                    RfuEvent::LoopDone {
+                        cfg: id,
+                        busy: run.busy,
+                        stall: run.stall,
+                    },
                 );
                 Ok(ExecOutcome {
                     value: run.sad,
@@ -339,7 +399,16 @@ impl Rfu {
                     needed: 2,
                     got: srcs.len(),
                 })?;
-                Ok(self.exec_dct_loop(&cfg, src, dst, mem, now))
+                let out = self.exec_dct_loop(&cfg, src, dst, mem, now, tracer);
+                tracer.rfu(
+                    now,
+                    RfuEvent::LoopDone {
+                        cfg: id,
+                        busy: out.busy,
+                        stall: out.stall,
+                    },
+                );
+                Ok(out)
             }
             RfuConfig::Prefetch(_) => Err(RfuError::WrongKind {
                 cfg: id,
@@ -351,19 +420,20 @@ impl Rfu {
     /// The long-latency DCT instruction: timed row reads, bit-true
     /// fixed-point transform, timed write-back. Blocks are 64 × i16 with a
     /// 16-byte row stride.
-    fn exec_dct_loop(
+    fn exec_dct_loop<T: Tracer + ?Sized>(
         &mut self,
         cfg: &crate::DctLoopCfg,
         src: u32,
         dst: u32,
         mem: &mut MemorySystem,
         now: u64,
+        tracer: &mut T,
     ) -> ExecOutcome {
         let mut stall = 0u64;
         let mut block = [0i32; 64];
         for r in 0..8u32 {
             let eff = now + cfg.prologue + u64::from(r) + stall;
-            let acc = mem.read(src + r * 16, 4, eff);
+            let acc = mem.read_traced(src + r * 16, 4, eff, tracer);
             stall += acc.stall;
             for x in 0..8u32 {
                 block[(r * 8 + x) as usize] = mem.ram.load16(src + r * 16 + x * 2) as i16 as i32;
@@ -377,7 +447,7 @@ impl Rfu {
                 let lo = out[(r * 8 + w * 2) as usize] as u16;
                 let hi = out[(r * 8 + w * 2 + 1) as usize] as u16;
                 let word = u32::from(lo) | (u32::from(hi) << 16);
-                let acc = mem.write(dst + r * 16 + w * 4, 4, word, eff);
+                let acc = mem.write_traced(dst + r * 16 + w * 4, 4, word, eff, tracer);
                 stall += acc.stall;
             }
         }
@@ -442,6 +512,22 @@ impl Rfu {
         mem: &mut MemorySystem,
         now: u64,
     ) -> Result<(), RfuError> {
+        self.pref_traced(id, addr, mem, now, &mut NullTracer)
+    }
+
+    /// [`Rfu::pref`], emitting prefetch and line-buffer events into `tracer`.
+    ///
+    /// # Errors
+    ///
+    /// [`RfuError`] when `id` is unknown or not a prefetch configuration.
+    pub fn pref_traced<T: Tracer + ?Sized>(
+        &mut self,
+        id: u16,
+        addr: u32,
+        mem: &mut MemorySystem,
+        now: u64,
+        tracer: &mut T,
+    ) -> Result<(), RfuError> {
         let config = self.lookup(id)?;
         let RfuConfig::Prefetch(pattern) = config else {
             return Err(RfuError::WrongKind {
@@ -450,24 +536,32 @@ impl Rfu {
             });
         };
         self.stats.mb_prefetches += 1;
+        tracer.rfu(now, RfuEvent::MbPrefetch { cfg: id, addr });
         match pattern {
             PrefetchPattern::ReferenceMb { stride } => {
                 self.lb_a.begin_gather(addr);
                 for r in 0..MB_SIZE as u32 {
                     let row_addr = addr + r * stride;
-                    let ready = Self::line_ready(mem, row_addr, now);
+                    let ready = Self::line_ready(mem, row_addr, now, tracer);
                     self.stats.mb_prefetch_lines += 1;
                     // Gather: the row's pixels land in Line Buffer A when
                     // the access completes.
                     let mut data = [0u8; MB_SIZE];
                     data.copy_from_slice(mem.ram.read_bytes(row_addr, MB_SIZE as u32));
                     self.lb_a.fill_row(r as usize, data, ready);
+                    tracer.rfu(
+                        now,
+                        RfuEvent::LbaRowDone {
+                            row: r,
+                            ready_at: ready,
+                        },
+                    );
                 }
             }
             PrefetchPattern::CandidateMb { stride } => {
                 for line in Self::candidate_lines(mem, addr, stride) {
                     self.stats.mb_prefetch_lines += 1;
-                    let _ = mem.prefetch(line, now);
+                    let _ = mem.prefetch_traced(line, now, tracer);
                 }
             }
             PrefetchPattern::CandidateMbToLbB { stride } => {
@@ -480,7 +574,7 @@ impl Rfu {
                         let _ = self.lb_b.allocate(line, 0);
                         continue;
                     }
-                    let ready = Self::line_ready(mem, line, now);
+                    let ready = Self::line_ready(mem, line, now, tracer);
                     if ready != u64::MAX {
                         let _ = self.lb_b.allocate(line, ready);
                     }
@@ -493,8 +587,13 @@ impl Rfu {
     /// Issues a prefetch for the line containing `addr`, returning the cycle
     /// it will be ready: `now` when already cached, the in-flight arrival
     /// for pending lines, `u64::MAX` when dropped.
-    fn line_ready(mem: &mut MemorySystem, addr: u32, now: u64) -> u64 {
-        if let Some(ready) = mem.prefetch(addr, now) {
+    fn line_ready<T: Tracer + ?Sized>(
+        mem: &mut MemorySystem,
+        addr: u32,
+        now: u64,
+        tracer: &mut T,
+    ) -> u64 {
+        if let Some(ready) = mem.prefetch_traced(addr, now, tracer) {
             return ready;
         }
         let line = mem.dcache.line_of(addr);

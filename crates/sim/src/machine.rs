@@ -8,6 +8,7 @@ use rvliw_asm::Code;
 use rvliw_isa::{Dest, Gpr, MachineConfig, NUM_BRS, NUM_GPRS};
 use rvliw_mem::{MemConfig, MemStats, MemorySystem};
 use rvliw_rfu::{Rfu, RfuStats};
+use rvliw_trace::{NullTracer, StallCause, Tracer};
 
 use crate::decode::{DSrc, DecodedCode, DecodedOp, ExecKind, ScoreRead};
 use crate::stats::SimStats;
@@ -217,7 +218,7 @@ impl Machine {
         mut trace: impl FnMut(u64, usize, &rvliw_isa::Bundle),
     ) -> Result<RunSummary, SimError> {
         let decoded = self.decoded(code);
-        self.run_inner(code, &decoded, Some(&mut trace))
+        self.run_inner(code, &decoded, Some(&mut trace), &mut NullTracer)
     }
 
     /// Runs `code` from its first bundle until `halt`.
@@ -229,14 +230,52 @@ impl Machine {
     /// protocol violation.
     pub fn run(&mut self, code: &Code) -> Result<RunSummary, SimError> {
         let decoded = self.decoded(code);
-        self.run_inner(code, &decoded, None)
+        self.run_inner(code, &decoded, None, &mut NullTracer)
     }
 
-    fn run_inner(
+    /// Runs `code` like [`Machine::run`], emitting structured trace events
+    /// (bundle issues, stall causes, cache traffic, RFU pipeline activity)
+    /// into `tracer`.
+    ///
+    /// The issue loop is generic over the tracer type, so a
+    /// [`NullTracer`] monomorphizes to exactly the untraced loop — tracing
+    /// is zero-cost when disabled.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Machine::run`].
+    pub fn run_with_tracer<T: Tracer + ?Sized>(
+        &mut self,
+        code: &Code,
+        tracer: &mut T,
+    ) -> Result<RunSummary, SimError> {
+        let decoded = self.decoded(code);
+        self.run_inner(code, &decoded, None, tracer)
+    }
+
+    /// Runs `code` with both a per-bundle hook (as in
+    /// [`Machine::run_traced`]) and a structured event sink (as in
+    /// [`Machine::run_with_tracer`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Machine::run`].
+    pub fn run_traced_with_tracer<T: Tracer + ?Sized>(
+        &mut self,
+        code: &Code,
+        mut trace: impl FnMut(u64, usize, &rvliw_isa::Bundle),
+        tracer: &mut T,
+    ) -> Result<RunSummary, SimError> {
+        let decoded = self.decoded(code);
+        self.run_inner(code, &decoded, Some(&mut trace), tracer)
+    }
+
+    fn run_inner<T: Tracer + ?Sized>(
         &mut self,
         code: &Code,
         decoded: &DecodedCode,
         mut trace: Option<TraceHook<'_>>,
+        tracer: &mut T,
     ) -> Result<RunSummary, SimError> {
         let before = self.snapshot();
         let limit = self.cycle + self.cycle_limit;
@@ -258,7 +297,12 @@ impl Machine {
             }
 
             // Instruction fetch.
-            let istall = self.mem.ifetch(pc as u32 * BUNDLE_BYTES, self.cycle);
+            let istall = self
+                .mem
+                .ifetch_traced(pc as u32 * BUNDLE_BYTES, self.cycle, tracer);
+            if istall > 0 {
+                tracer.stall(self.cycle, pc, StallCause::Ifetch, istall);
+            }
             self.cycle += istall;
             self.stats.ifetch_stall_cycles += istall;
 
@@ -284,6 +328,12 @@ impl Machine {
                 let rfu_wait = self.rfu_busy_until.saturating_sub(self.cycle).min(wait);
                 self.stats.rfu_busy_stalls += rfu_wait;
                 self.stats.interlock_stalls += wait - rfu_wait;
+                if rfu_wait > 0 {
+                    tracer.stall(self.cycle, pc, StallCause::RfuBusy, rfu_wait);
+                }
+                if wait > rfu_wait {
+                    tracer.stall(self.cycle, pc, StallCause::Interlock, wait - rfu_wait);
+                }
                 self.cycle += wait;
             }
 
@@ -295,6 +345,7 @@ impl Machine {
             // widest configurable machine, not the default 4-issue (the
             // decoder rejects wider bundles).
             let ops = decoded.ops_of(pc);
+            tracer.bundle(self.cycle, pc, ops.len());
             self.stats.ops += ops.len() as u64;
             for (total, &n) in self
                 .stats
@@ -326,6 +377,7 @@ impl Machine {
                     &mut next_pc,
                     &mut halted,
                     pc,
+                    tracer,
                 )?;
             }
             let writes = &writes[..nwrites];
@@ -351,8 +403,16 @@ impl Machine {
             self.cycle += 1;
             match next_pc {
                 Some(t) => {
-                    pc = t;
                     self.stats.branches_taken += 1;
+                    if self.branch_taken_penalty > 0 {
+                        tracer.stall(
+                            self.cycle,
+                            pc,
+                            StallCause::BranchBubble,
+                            self.branch_taken_penalty,
+                        );
+                    }
+                    pc = t;
                     self.cycle += self.branch_taken_penalty;
                     self.stats.branch_stall_cycles += self.branch_taken_penalty;
                 }
@@ -364,7 +424,7 @@ impl Machine {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn exec_op(
+    fn exec_op<T: Tracer + ?Sized>(
         &mut self,
         op: &DecodedOp,
         srcs: &[u32],
@@ -373,6 +433,7 @@ impl Machine {
         next_pc: &mut Option<usize>,
         halted: &mut bool,
         pc: usize,
+        tracer: &mut T,
     ) -> Result<(), SimError> {
         let push = |writes: &mut [(Dest, u32, u64); MAX_ISSUE],
                     nwrites: &mut usize,
@@ -388,7 +449,10 @@ impl Machine {
             }
             ExecKind::Load { size, sext_from } => {
                 let addr = srcs[0].wrapping_add(srcs.get(1).copied().unwrap_or(0));
-                let acc = self.mem.read(addr, size, self.cycle);
+                let acc = self.mem.read_traced(addr, size, self.cycle, tracer);
+                if acc.stall > 0 {
+                    tracer.stall(self.cycle, pc, StallCause::DCache, acc.stall);
+                }
                 // Whole-machine stall on a miss.
                 self.cycle += acc.stall;
                 let value = match sext_from {
@@ -401,12 +465,15 @@ impl Machine {
             ExecKind::Store { size } => {
                 let value = srcs[0];
                 let addr = srcs[1].wrapping_add(srcs.get(2).copied().unwrap_or(0));
-                let acc = self.mem.write(addr, size, value, self.cycle);
+                let acc = self.mem.write_traced(addr, size, value, self.cycle, tracer);
+                if acc.stall > 0 {
+                    tracer.stall(self.cycle, pc, StallCause::DCache, acc.stall);
+                }
                 self.cycle += acc.stall;
             }
             ExecKind::Pft => {
                 let addr = srcs[0].wrapping_add(srcs.get(1).copied().unwrap_or(0));
-                let _ = self.mem.prefetch(addr, self.cycle);
+                let _ = self.mem.prefetch_traced(addr, self.cycle, tracer);
             }
             ExecKind::BrCond { on_true, target } => {
                 let cond = srcs[0] != 0;
@@ -434,20 +501,26 @@ impl Machine {
             ExecKind::RfuInit(cfg) => {
                 let penalty = self
                     .rfu
-                    .init(cfg, self.cycle)
+                    .init_traced(cfg, self.cycle, tracer)
                     .map_err(|e| SimError::Rfu(e.to_string()))?;
+                if penalty > 0 {
+                    tracer.stall(self.cycle, pc, StallCause::Reconfig, penalty);
+                }
                 self.cycle += penalty;
             }
             ExecKind::RfuSend(cfg) => {
                 self.rfu
-                    .send(cfg, srcs)
+                    .send_traced(cfg, srcs, self.cycle, tracer)
                     .map_err(|e| SimError::Rfu(e.to_string()))?;
             }
             ExecKind::RfuExec(cfg) => {
                 let out = self
                     .rfu
-                    .exec(cfg, srcs, &mut self.mem, self.cycle)
+                    .exec_traced(cfg, srcs, &mut self.mem, self.cycle, tracer)
                     .map_err(|e| SimError::Rfu(e.to_string()))?;
+                if out.stall > 0 {
+                    tracer.stall(self.cycle, pc, StallCause::RfuLoop, out.stall);
+                }
                 // Memory stalls freeze the whole machine, as usual.
                 self.cycle += out.stall;
                 let ready = self.cycle + out.busy.max(lat);
@@ -457,7 +530,7 @@ impl Machine {
             ExecKind::RfuPref(cfg) => {
                 let addr = srcs[0];
                 self.rfu
-                    .pref(cfg, addr, &mut self.mem, self.cycle)
+                    .pref_traced(cfg, addr, &mut self.mem, self.cycle, tracer)
                     .map_err(|e| SimError::Rfu(e.to_string()))?;
             }
         }

@@ -13,6 +13,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use rvliw_asm::{schedule_st200, Builder};
 use rvliw_isa::{Br, Gpr};
 use rvliw_sim::Machine;
+use rvliw_trace::NullTracer;
 
 struct CountingAlloc;
 
@@ -77,6 +78,21 @@ fn warm_issue_loop_does_not_allocate() {
         after - before,
         0,
         "steady-state issue loop allocated {} time(s)",
+        after - before
+    );
+
+    // The generic tracer path with tracing disabled must uphold the same
+    // contract: a `NullTracer` run monomorphizes to the untraced loop, so
+    // it may not allocate either.
+    let before = ALLOCS.load(Ordering::SeqCst);
+    m.run_with_tracer(&code, &mut NullTracer)
+        .expect("null-traced run");
+    let after = ALLOCS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "NullTracer issue loop allocated {} time(s)",
         after - before
     );
 }

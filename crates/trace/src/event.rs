@@ -1,0 +1,204 @@
+//! The event vocabulary of the tracing layer.
+//!
+//! Events are deliberately small `Copy` types: the hot path constructs them
+//! unconditionally, so they must cost nothing to build and nothing to drop
+//! when the tracer is [`NullTracer`](crate::NullTracer).
+
+/// Why the machine lost cycles. Each variant maps onto one of the stall
+/// accounts the paper's tables are built from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallCause {
+    /// Instruction-cache miss refill.
+    Ifetch,
+    /// Scoreboard interlock: an operand was not ready.
+    Interlock,
+    /// The RFU was busy with a kernel loop.
+    RfuBusy,
+    /// Taken-branch pipeline bubble.
+    BranchBubble,
+    /// Demand data-cache miss (or late prefetch) on a core load/store.
+    DCache,
+    /// Stalls inflicted by an RFU kernel-loop execution (its cache misses
+    /// and line-buffer waits).
+    RfuLoop,
+    /// Reconfiguration penalty paid by `RFUINIT`.
+    Reconfig,
+}
+
+impl StallCause {
+    /// Every cause, in [`StallCause::index`] order.
+    pub const ALL: [StallCause; 7] = [
+        StallCause::Ifetch,
+        StallCause::Interlock,
+        StallCause::RfuBusy,
+        StallCause::BranchBubble,
+        StallCause::DCache,
+        StallCause::RfuLoop,
+        StallCause::Reconfig,
+    ];
+
+    /// Stable dense index (histogram key).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            StallCause::Ifetch => 0,
+            StallCause::Interlock => 1,
+            StallCause::RfuBusy => 2,
+            StallCause::BranchBubble => 3,
+            StallCause::DCache => 4,
+            StallCause::RfuLoop => 5,
+            StallCause::Reconfig => 6,
+        }
+    }
+
+    /// Short human-readable label (also the Chrome trace event name).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            StallCause::Ifetch => "ifetch-stall",
+            StallCause::Interlock => "interlock",
+            StallCause::RfuBusy => "rfu-busy",
+            StallCause::BranchBubble => "branch-bubble",
+            StallCause::DCache => "dcache-stall",
+            StallCause::RfuLoop => "rfu-loop-stall",
+            StallCause::Reconfig => "reconfig",
+        }
+    }
+}
+
+/// Memory-hierarchy events, emitted by the memory system itself so that
+/// every consumer (core loads, RFU loop fetches, prefetch engine) is
+/// observed uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemEvent {
+    /// Demand access hit the data cache outright.
+    DHit {
+        /// Accessed byte address.
+        addr: u32,
+    },
+    /// Demand miss: the machine froze for `stall` cycles.
+    DMiss {
+        /// Accessed byte address.
+        addr: u32,
+        /// Whole-machine stall cycles paid.
+        stall: u64,
+    },
+    /// Demand access found its line in flight from a prefetch and paid a
+    /// partial stall.
+    DLateCovered {
+        /// Accessed byte address.
+        addr: u32,
+        /// Remaining fill cycles paid.
+        stall: u64,
+    },
+    /// Instruction-cache miss.
+    IMiss {
+        /// Bundle byte address.
+        addr: u32,
+        /// Refill stall cycles.
+        stall: u64,
+    },
+    /// A prefetch request was accepted by the bus.
+    PrefetchIssued {
+        /// Cache-line base address.
+        line: u32,
+        /// Cycle the line will be resident.
+        ready_at: u64,
+    },
+    /// A prefetch request was dropped (buffer full).
+    PrefetchDropped {
+        /// Cache-line base address.
+        line: u32,
+    },
+    /// A prefetch request was redundant (line resident or in flight).
+    PrefetchRedundant {
+        /// Cache-line base address.
+        line: u32,
+    },
+    /// A dirty line was written back to memory.
+    Writeback,
+}
+
+/// RFU pipeline events: configuration management, kernel-loop stage
+/// advance, line-buffer activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RfuEvent {
+    /// `RFUINIT` activated a configuration.
+    Init {
+        /// Configuration id.
+        cfg: u16,
+        /// Reconfiguration penalty paid (0 under the paper's assumption).
+        penalty: u64,
+    },
+    /// `RFUSEND` appended operands.
+    Send {
+        /// Configuration id.
+        cfg: u16,
+    },
+    /// A short (single-cycle) custom instruction executed.
+    ShortExec {
+        /// Configuration id.
+        cfg: u16,
+    },
+    /// One software-pipeline stage of a kernel loop advanced (one predictor
+    /// row processed).
+    LoopRow {
+        /// Row index within the macroblock walk.
+        row: u32,
+        /// Stall cycles accumulated so far in this loop execution.
+        stall_so_far: u64,
+    },
+    /// A kernel-loop instruction retired.
+    LoopDone {
+        /// Configuration id.
+        cfg: u16,
+        /// Static busy latency occupied by the loop.
+        busy: u64,
+        /// Machine-stall cycles the loop inflicted.
+        stall: u64,
+    },
+    /// A macroblock-pattern prefetch instruction launched.
+    MbPrefetch {
+        /// Configuration id.
+        cfg: u16,
+        /// Target base address.
+        addr: u32,
+    },
+    /// A Line Buffer A row gather completed (its `Done` flag set).
+    LbaRowDone {
+        /// Row index (0–15).
+        row: u32,
+        /// Cycle at which the row's data is available (`u64::MAX` when the
+        /// underlying prefetch was dropped).
+        ready_at: u64,
+    },
+    /// The kernel loop waited on a Line Buffer A row still being gathered.
+    LbaWait {
+        /// Row index waited on.
+        row: u32,
+        /// Wait cycles.
+        wait: u64,
+    },
+    /// A loop read was served by Line Buffer B without stalling.
+    LbbHit,
+    /// A loop read found its Line Buffer B entry still in flight.
+    LbbLate {
+        /// Remaining fill cycles paid.
+        wait: u64,
+    },
+    /// A loop read missed Line Buffer B and fell back to the data cache.
+    LbbMiss,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stall_cause_indices_are_dense_and_distinct() {
+        for (i, c) in StallCause::ALL.into_iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert!(!c.label().is_empty());
+        }
+    }
+}

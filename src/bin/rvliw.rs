@@ -7,6 +7,15 @@
 //! rvliw arch                   print the Figure 1 block diagram
 //! ```
 //!
+//! `run` and `trace` also accept:
+//!
+//! ```text
+//! --trace FILE        write a Chrome trace_event JSON of the run (load it
+//!                     in chrome://tracing or https://ui.perfetto.dev)
+//! --metrics-out FILE  write stall/cache/RFU counters and per-PC stall
+//!                     histograms as JSON
+//! ```
+//!
 //! Programs use the listing syntax of `rvliw::asm::parse_program` (see
 //! `examples/assemble_and_run.rs`).
 
@@ -14,12 +23,16 @@ use std::process::ExitCode;
 
 use rvliw::asm::{parse_program, schedule_st200, Code};
 use rvliw::exp::arch;
-use rvliw::isa::{Gpr, MachineConfig};
+use rvliw::isa::{Bundle, Gpr, MachineConfig};
 use rvliw::mem::MemConfig;
 use rvliw::sim::Machine;
+use rvliw::trace::{ChromeTracer, CountingTracer, TeeTracer};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: rvliw <asm|run|trace> <file.s> [rN=value ...]\n       rvliw arch");
+    eprintln!(
+        "usage: rvliw <asm|run|trace> <file.s> [rN=value ...] \
+         [--trace FILE] [--metrics-out FILE]\n       rvliw arch"
+    );
     ExitCode::from(2)
 }
 
@@ -48,22 +61,65 @@ fn parse_regs(args: &[String]) -> Result<Vec<(Gpr, u32)>, String> {
     Ok(out)
 }
 
-fn execute(path: &str, regs: &[String], trace: bool) -> Result<(), String> {
+/// The per-bundle listing printed by `rvliw trace`.
+fn print_bundle(cycle: u64, pc: usize, bundle: &Bundle) {
+    let ops: Vec<String> = bundle.ops().iter().map(ToString::to_string).collect();
+    println!("{cycle:>6} {pc:>4}  {}", ops.join("  ||  "));
+}
+
+fn execute(path: &str, rest: &[String], trace: bool) -> Result<(), String> {
+    let mut regs: Vec<String> = Vec::new();
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--trace" => {
+                trace_out = Some(it.next().ok_or("--trace needs an output file")?.clone());
+            }
+            "--metrics-out" => {
+                metrics_out = Some(
+                    it.next()
+                        .ok_or("--metrics-out needs an output file")?
+                        .clone(),
+                );
+            }
+            _ => regs.push(a.clone()),
+        }
+    }
     let code = load(path)?;
     let mut m = Machine::new(MachineConfig::st200(), MemConfig::st200());
-    for &(r, v) in &parse_regs(regs)? {
+    for &(r, v) in &parse_regs(&regs)? {
         m.set_gpr(r, v);
     }
     let before: Vec<u32> = (0..64).map(|i| m.gpr(Gpr::new(i))).collect();
-    let summary = if trace {
-        m.run_traced(&code, |cycle, pc, bundle| {
-            let ops: Vec<String> = bundle.ops().iter().map(ToString::to_string).collect();
-            println!("{cycle:>6} {pc:>4}  {}", ops.join("  ||  "));
-        })
-    } else {
-        m.run(&code)
+    let mut chrome = trace_out.as_ref().map(|_| ChromeTracer::new());
+    let mut counting = metrics_out.as_ref().map(|_| CountingTracer::new());
+    let summary = match (chrome.as_mut(), counting.as_mut()) {
+        (None, None) if trace => m.run_traced(&code, print_bundle),
+        (None, None) => m.run(&code),
+        (Some(c), None) if trace => m.run_traced_with_tracer(&code, print_bundle, c),
+        (Some(c), None) => m.run_with_tracer(&code, c),
+        (None, Some(k)) if trace => m.run_traced_with_tracer(&code, print_bundle, k),
+        (None, Some(k)) => m.run_with_tracer(&code, k),
+        (Some(c), Some(k)) => {
+            let mut tee = TeeTracer::new(c, k);
+            if trace {
+                m.run_traced_with_tracer(&code, print_bundle, &mut tee)
+            } else {
+                m.run_with_tracer(&code, &mut tee)
+            }
+        }
     }
     .map_err(|e| format!("execution failed: {e}"))?;
+    if let (Some(path), Some(c)) = (&trace_out, &chrome) {
+        std::fs::write(path, c.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote Chrome trace ({} events) to {path}", c.len());
+    }
+    if let (Some(path), Some(k)) = (&metrics_out, &counting) {
+        std::fs::write(path, k.to_metrics_json()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote metrics to {path}");
+    }
     println!(
         "halted after {} cycles ({} ops, ipc {:.2}, D$ stalls {})",
         summary.cycles,

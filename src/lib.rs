@@ -15,6 +15,8 @@
 //! * [`rfu`] — the RFU model (configurations, line buffers, prefetch engine,
 //!   pipelined kernel-loop timing, technology scaling).
 //! * [`sim`] — the cycle-level VLIW simulator.
+//! * [`trace`] — structured tracing (stall causes, cache/RFU events,
+//!   Chrome `trace_event` export, per-PC histograms).
 //! * [`mpeg4`] — MPEG-4 encoder substrate (synthetic sequences, motion
 //!   estimation, DCT/quantization/entropy coding).
 //! * [`kernels`] — the `GetSad` kernels as VLIW programs (ORIG, A1–A3,
@@ -41,3 +43,4 @@ pub use rvliw_kernels as kernels;
 pub use rvliw_mem as mem;
 pub use rvliw_rfu as rfu;
 pub use rvliw_sim as sim;
+pub use rvliw_trace as trace;

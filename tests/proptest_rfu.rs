@@ -4,6 +4,8 @@
 use proptest::prelude::*;
 
 use rvliw::mem::{MemConfig, MemorySystem};
+use rvliw::mpeg4::sad::{self, InterpKind};
+use rvliw::mpeg4::Plane;
 use rvliw::rfu::{cfgs, unit, InterpMode, MeLoopCfg, Rfu, RfuBandwidth};
 
 /// Scalar reference for the diagonal interpolation of one pixel.
@@ -97,6 +99,71 @@ proptest! {
                 .value
         };
         prop_assert_eq!(run(true), run(false));
+    }
+
+    /// Differential test against the scalar golden model: for every RFU
+    /// bandwidth, technology scaling β and interpolation mode (including
+    /// all three half-sample paths), the kernel loop's SAD equals
+    /// `mpeg4::sad::get_sad` on the same pixels — with the plain cache
+    /// path and with the Line Buffer B path.
+    #[test]
+    fn meloop_sad_matches_scalar_golden_model(
+        seed in any::<u32>(),
+        rx in 0usize..160,
+        ry in 0usize..79,
+        cx in 0usize..159,
+        cy in 0usize..79,
+        interp in 0u32..4,
+    ) {
+        let stride = 176usize;
+        let height = 96usize;
+        let kind = match interp {
+            0 => InterpKind::None,
+            1 => InterpKind::H,
+            2 => InterpKind::V,
+            _ => InterpKind::Diag,
+        };
+        let mut plane = Plane::new(stride, height);
+        for y in 0..height {
+            for x in 0..stride {
+                let i = (y * stride + x) as u32;
+                let v = i.wrapping_mul(2_654_435_761).wrapping_add(seed);
+                plane.set(x, y, (v >> 24) as u8);
+            }
+        }
+        let golden = sad::get_sad(&plane, rx, ry, &plane, cx, cy, kind);
+
+        // One memory image shared by every configuration: the SAD is
+        // functional, so cache state carried between runs cannot matter
+        // (`meloop_sad_is_timing_independent` guards that separately).
+        let mut m = MemorySystem::new(MemConfig::st200_loop_level());
+        let frame = m.ram.alloc((stride * height) as u32, 32);
+        for (i, &b) in plane.data().iter().enumerate() {
+            m.ram.store8(frame + i as u32, b);
+        }
+        let ref_addr = frame + (ry * stride + rx) as u32;
+        let cand = frame + (cy * stride + cx) as u32;
+
+        for bw in RfuBandwidth::all() {
+            for beta in [1u64, 5] {
+                for use_lbb in [false, true] {
+                    let cfg = MeLoopCfg::new(bw, beta, stride as u32);
+                    let cfg = if use_lbb { cfg.with_line_buffer_b() } else { cfg };
+                    let mut rfu = Rfu::with_case_study_configs(cfg);
+                    rfu.pref(cfgs::PREF_REF, ref_addr, &mut m, 0).unwrap();
+                    let pref_cfg = if use_lbb { cfgs::PREF_CAND_LBB } else { cfgs::PREF_CAND };
+                    rfu.pref(pref_cfg, cand, &mut m, 0).unwrap();
+                    let got = rfu
+                        .exec(cfgs::ME_LOOP, &[cand, interp, ref_addr], &mut m, 400)
+                        .unwrap()
+                        .value;
+                    prop_assert_eq!(
+                        got, golden,
+                        "bw {:?} beta {} lbb {} interp {:?}", bw, beta, use_lbb, kind
+                    );
+                }
+            }
+        }
     }
 
     /// Prefetching a candidate never increases the loop's stall cycles.

@@ -5,7 +5,8 @@
 //! produced by `cargo run --release -p rvliw-bench --bin tables`; these
 //! tests guard the shape on every `cargo test`.
 
-use rvliw::exp::{CaseStudy, Workload, GETSAD_SHARE_ORIG};
+use rvliw::exp::{CaseStudy, TablesSnapshot, Workload, GETSAD_SHARE_ORIG};
+use rvliw::trace::Json;
 
 fn case_study() -> CaseStudy {
     // QCIF, 2 frames: ~3000 GetSad calls — small enough for debug-mode CI,
@@ -107,6 +108,39 @@ fn reference_prefetches_are_rarely_late() {
     let r = rvliw::exp::run_me(&rvliw::exp::Scenario::loop_two_lb(1), &w);
     let late_rate = r.rfu.lba_waits as f64 / r.rfu.mb_prefetches.max(1) as f64 / 16.0;
     assert!(late_rate < 0.02, "late reference rows: {late_rate:.4}");
+}
+
+/// Golden exact-cycle test: every integer cell of Tables 1–7 on the full
+/// 25-frame workload must bit-match the `"tables"` snapshot committed in
+/// `BENCH_tables.json` (the same baseline `tables --check` gates CI on).
+/// The simulation is fully deterministic, so any drift is a semantic
+/// change that must be reviewed and re-baselined deliberately.
+///
+/// Debug builds skip it — the full workload takes minutes unoptimized;
+/// `cargo test --release` and the CI regression gate exercise it.
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full-workload golden check; run with --release"
+)]
+#[test]
+fn tables_bit_match_the_committed_baseline() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_tables.json");
+    let text = std::fs::read_to_string(path).expect("read BENCH_tables.json");
+    let json = Json::parse(&text).expect("BENCH_tables.json is valid JSON");
+    let baseline = TablesSnapshot::from_json(
+        json.get("tables")
+            .expect("BENCH_tables.json has a \"tables\" snapshot"),
+    )
+    .expect("snapshot well-formed");
+
+    let cs = CaseStudy::run(&Workload::paper_shared());
+    let drift = TablesSnapshot::capture(&cs).diff(&baseline);
+    assert!(
+        drift.is_empty(),
+        "{} table cell(s) drifted from the committed baseline:\n{}",
+        drift.len(),
+        drift.join("\n")
+    );
 }
 
 #[test]
