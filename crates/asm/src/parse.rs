@@ -152,7 +152,7 @@ pub fn parse_program(name: &str, text: &str) -> Result<Program, ParseError> {
         let is_control = op.opcode.is_control();
         blocks
             .last_mut()
-            .expect("at least the entry block")
+            .ok_or_else(|| err(line, "instruction precedes the entry block"))?
             .1
             .push(PendingOp {
                 op,

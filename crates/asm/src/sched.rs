@@ -265,13 +265,11 @@ pub fn schedule(program: &Program, cfg: &MachineConfig) -> Result<Code, Schedule
         label_at.insert(block.label, bundles.len());
         bundles.extend(bb);
     }
-    // Resolve branch targets from label ids to bundle indices.
-    let resolve = |label_id: u32| -> usize {
-        label_at
-            .get(&Label(label_id))
-            .copied()
-            .expect("validated label")
-    };
+    // Resolve branch targets from label ids to bundle indices. Validation
+    // already checked every reference, so a miss here (or a rebundling
+    // overflow below) is a scheduler bug surfaced as Unschedulable rather
+    // than a panic.
+    let resolve = |label_id: u32| -> Option<usize> { label_at.get(&Label(label_id)).copied() };
     let mut resolved = Vec::with_capacity(bundles.len());
     for b in bundles {
         let mut nb = Bundle::new();
@@ -279,10 +277,14 @@ pub fn schedule(program: &Program, cfg: &MachineConfig) -> Result<Code, Schedule
             let mut op = *op;
             if op.opcode.is_control() {
                 if let Some(t) = op.target {
-                    op.target = Some(resolve(t) as u32);
+                    let at = resolve(t).ok_or_else(|| ScheduleError::Unschedulable {
+                        op: format!("{op} (unresolved label {t})"),
+                    })?;
+                    op.target = Some(at as u32);
                 }
             }
-            nb.push(op, cfg).expect("rebundling preserves resources");
+            nb.push(op, cfg)
+                .map_err(|_| ScheduleError::Unschedulable { op: op.to_string() })?;
         }
         resolved.push(nb);
     }

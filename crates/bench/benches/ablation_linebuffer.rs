@@ -14,7 +14,7 @@ use rvliw_rfu::RfuBandwidth;
 
 fn bench_linebuffer(c: &mut Criterion) {
     let workload = bench_workload();
-    let orig = run_me(&Scenario::orig(), &workload);
+    let orig = run_me(&Scenario::orig(), &workload).expect("scenario replay succeeds");
 
     println!("\nLine Buffer B per-bank capacity sweep (two-line-buffer scheme, b=1):");
     println!(
@@ -24,7 +24,7 @@ fn bench_linebuffer(c: &mut Criterion) {
     let mut points = Vec::new();
     for lines in [8usize, 17, 34, 68] {
         let sc = Scenario::loop_two_lb(1).with_lbb_bank_lines(lines);
-        let r = run_me(&sc, &workload);
+        let r = run_me(&sc, &workload).expect("scenario replay succeeds");
         println!(
             "{:>10} {:>12} {:>6.2} {:>10} {:>10}",
             lines,
@@ -45,7 +45,7 @@ fn bench_linebuffer(c: &mut Criterion) {
         let mut sc = Scenario::loop_level(RfuBandwidth::B1x32, 1);
         sc.mem.prefetch_entries = entries;
         sc.label = format!("1x32 pfb={entries}");
-        let r = run_me(&sc, &workload);
+        let r = run_me(&sc, &workload).expect("scenario replay succeeds");
         println!(
             "{:>8} {:>12} {:>6.2} {:>10}",
             entries,

@@ -46,7 +46,7 @@ fn bench_machine(c: &mut Criterion) {
         let mut sc = Scenario::orig();
         sc.machine = issue_width(width);
         sc.label = format!("{width}-issue");
-        let r = run_me(&sc, &workload);
+        let r = run_me(&sc, &workload).expect("scenario replay succeeds");
         println!(
             "{:>18} {:>12} {:>8.2} {:>10}",
             sc.label,
@@ -63,7 +63,7 @@ fn bench_machine(c: &mut Criterion) {
             ..CacheGeometry::st200_icache()
         };
         sc.label = format!("I$ {icache_kb}KB");
-        let r = run_me(&sc, &workload);
+        let r = run_me(&sc, &workload).expect("scenario replay succeeds");
         println!(
             "{:>18} {:>12} {:>8.2} {:>10}",
             sc.label,

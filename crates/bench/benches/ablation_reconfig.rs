@@ -16,7 +16,7 @@ use rvliw_rfu::{ReconfigModel, RfuBandwidth};
 
 fn bench_reconfig(c: &mut Criterion) {
     let workload = bench_workload();
-    let orig = run_me(&Scenario::orig(), &workload);
+    let orig = run_me(&Scenario::orig(), &workload).expect("scenario replay succeeds");
     println!("\nReconfiguration-penalty ablation (loop 1x32, b=1; one RFUINIT per macroblock):");
     println!(
         "{:>22} {:>12} {:>6} {:>14}",
@@ -40,7 +40,7 @@ fn bench_reconfig(c: &mut Criterion) {
         points.push((format!("penalty {penalty} prefetched"), sc));
     }
     for (name, sc) in &points {
-        let r = run_me(sc, &workload);
+        let r = run_me(sc, &workload).expect("scenario replay succeeds");
         println!(
             "{:>22} {:>12} {:>6.2} {:>14}",
             name,

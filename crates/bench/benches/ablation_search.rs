@@ -40,8 +40,8 @@ fn bench_search(c: &mut Criterion) {
     let mut cases = Vec::new();
     for (name, algorithm) in algorithms {
         let w = workload_for(algorithm);
-        let orig = run_me(&Scenario::orig(), &w);
-        let a3 = run_me(&Scenario::a3(), &w);
+        let orig = run_me(&Scenario::orig(), &w).expect("scenario replay succeeds");
+        let a3 = run_me(&Scenario::a3(), &w).expect("scenario replay succeeds");
         println!(
             "{:>10} {:>8} {:>6.1}% {:>12} {:>9.1}%",
             name,

@@ -28,7 +28,7 @@ fn bench_sim_throughput(c: &mut Criterion) {
         ("loop_1x32_b1", Scenario::loop_level(RfuBandwidth::B1x32, 1)),
         ("two_lb_b1", Scenario::loop_two_lb(1)),
     ] {
-        let probe = run_me(&scenario, &workload);
+        let probe = run_me(&scenario, &workload).expect("scenario replay succeeds");
         group.throughput(Throughput::Elements(probe.me_cycles));
         group.bench_function(id, |b| {
             b.iter(|| black_box(run_me(black_box(&scenario), &workload)));

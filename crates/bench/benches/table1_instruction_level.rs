@@ -19,11 +19,11 @@ fn bench_table1(c: &mut Criterion) {
         Scenario::a2(),
         Scenario::a3(),
     ];
-    let orig = run_me(&scenarios[0], &workload);
+    let orig = run_me(&scenarios[0], &workload).expect("scenario replay succeeds");
     println!("\nTable 1 series ({} GetSad calls):", workload.num_calls());
     println!("{:>6} {:>12} {:>6} {:>9}", "", "CYCLES", "S.Up", "%Improv");
     for sc in &scenarios {
-        let r = run_me(sc, &workload);
+        let r = run_me(sc, &workload).expect("scenario replay succeeds");
         println!(
             "{:>6} {:>12} {:>6.2} {:>8.1}%",
             r.label,

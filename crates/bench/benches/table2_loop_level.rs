@@ -17,7 +17,7 @@ use rvliw_rfu::RfuBandwidth;
 
 fn bench_table2(c: &mut Criterion) {
     let workload = bench_workload();
-    let orig = run_me(&Scenario::orig(), &workload);
+    let orig = run_me(&Scenario::orig(), &workload).expect("ORIG replay succeeds");
     println!(
         "\nTables 2-6 series (Orig = {} cycles, {} stall cycles):",
         orig.me_cycles, orig.stall_cycles
@@ -31,7 +31,7 @@ fn bench_table2(c: &mut Criterion) {
         for beta in [1u64, 5] {
             let sc = Scenario::loop_level(bw, beta);
             let lat = sc.static_latency(workload.stride);
-            let r = run_me(&sc, &workload);
+            let r = run_me(&sc, &workload).expect("loop-level replay succeeds");
             let th = orig.me_cycles as f64 / (lat * r.calls) as f64;
             println!(
                 "{:>10} {:>5} {:>12} {:>6.2} {:>10} {:>7.2}% {:>8.2}",

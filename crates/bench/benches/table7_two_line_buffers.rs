@@ -10,7 +10,7 @@ use rvliw_core::{run_me, AppModel, Scenario};
 
 fn bench_table7(c: &mut Criterion) {
     let workload = bench_workload();
-    let orig = run_me(&Scenario::orig(), &workload);
+    let orig = run_me(&Scenario::orig(), &workload).expect("scenario replay succeeds");
     let app = AppModel::calibrated(orig.me_cycles);
     println!("\nTable 7 series:");
     println!(
@@ -30,7 +30,7 @@ fn bench_table7(c: &mut Criterion) {
     for beta in [1u64, 5] {
         let sc = Scenario::loop_two_lb(beta);
         let lat = sc.static_latency(workload.stride);
-        let r = run_me(&sc, &workload);
+        let r = run_me(&sc, &workload).expect("scenario replay succeeds");
         println!(
             "{:>6} {:>5} {:>12} {:>6.2} {:>6.2}% {:>10} {:>6.1}%",
             sc.label,

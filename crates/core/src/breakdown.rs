@@ -86,7 +86,7 @@ mod tests {
             Scenario::orig(),
             Scenario::loop_level(rvliw_rfu::RfuBandwidth::B1x32, 1),
         ] {
-            let r = run_me(&sc, &w);
+            let r = run_me(&sc, &w).unwrap();
             let b = CycleBreakdown::of(&r);
             assert_eq!(
                 b.issue + b.interlock + b.rfu_busy + b.branch + b.dcache + b.icache,
@@ -103,7 +103,7 @@ mod tests {
         // The whole point of the kernel-loop mapping: the core mostly waits
         // for the RFU, not for its own issue slots.
         let w = Workload::tiny();
-        let r = run_me(&Scenario::loop_two_lb(1), &w);
+        let r = run_me(&Scenario::loop_two_lb(1), &w).unwrap();
         let b = CycleBreakdown::of(&r);
         assert!(
             b.share(b.rfu_busy) > 0.4,
@@ -115,7 +115,7 @@ mod tests {
     #[test]
     fn orig_is_issue_and_interlock_dominated() {
         let w = Workload::tiny();
-        let r = run_me(&Scenario::orig(), &w);
+        let r = run_me(&Scenario::orig(), &w).unwrap();
         let b = CycleBreakdown::of(&r);
         assert!(b.share(b.issue) + b.share(b.interlock) > 0.6);
         assert!(b.share(b.rfu_busy) < 0.05);
@@ -124,7 +124,7 @@ mod tests {
     #[test]
     fn display_sums_to_about_100_percent() {
         let w = Workload::tiny();
-        let r = run_me(&Scenario::a2(), &w);
+        let r = run_me(&Scenario::a2(), &w).unwrap();
         let b = CycleBreakdown::of(&r);
         let sum = b.share(b.issue)
             + b.share(b.interlock)

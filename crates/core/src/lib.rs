@@ -32,9 +32,9 @@ pub mod workload;
 pub use app_model::AppModel;
 pub use breakdown::CycleBreakdown;
 pub use metrics::TablesSnapshot;
-pub use runner::{run_me, run_me_with_tracer, MeResult};
+pub use runner::{run_me, run_me_with_tracer, MeResult, ScenarioError};
 pub use scenario::Scenario;
-pub use tables::{default_threads, CaseStudy};
+pub use tables::{default_threads, CaseStudy, ScenarioResult};
 pub use workload::Workload;
 
 /// The paper's initial profile: share of total execution time spent in

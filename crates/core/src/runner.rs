@@ -1,20 +1,100 @@
 //! Replays a workload's `GetSad` trace against a scenario's simulated
 //! kernel and measures the motion-estimation stage.
 
+use std::fmt;
+
 use mpeg4_enc::sad::InterpKind;
 use mpeg4_enc::types::Plane;
+use rvliw_asm::Code;
 use rvliw_kernels::regs::{
     ARG_BASE, ARG_BEST, ARG_CAND, ARG_CX, ARG_CY, ARG_INTERP, ARG_NCX, ARG_NCY, ARG_REF,
     ARG_STRIDE, NO_CANDIDATE, RESULT,
 };
-use rvliw_kernels::{build_getsad, build_mb_prep, build_me_loop_call};
+use rvliw_kernels::{build_getsad, build_mb_prep, build_me_loop_call, DriverKind};
 use rvliw_mem::MemStats;
 use rvliw_rfu::{Rfu, RfuStats};
-use rvliw_sim::{Machine, SimStats};
+use rvliw_sim::{Machine, SimError, SimStats};
 use rvliw_trace::{NullTracer, Tracer};
 
 use crate::scenario::{Kind, Scenario};
 use crate::workload::Workload;
+
+/// Why one scenario of the case study failed. Failures are isolated: one
+/// failing scenario never affects the measurements of the others.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The simulator reported a typed error (memory violation, undecodable
+    /// operation, cycle-budget overrun, line-buffer deadlock, …).
+    Sim {
+        /// Scenario label.
+        label: String,
+        /// The underlying simulator error.
+        source: SimError,
+    },
+    /// A simulated SAD disagreed with the host golden trace — a functional
+    /// kernel divergence (e.g. an injected bit flip).
+    SadMismatch {
+        /// Scenario label.
+        label: String,
+        /// Frame index of the diverging call.
+        frame: usize,
+        /// Macroblock x coordinate.
+        mbx: usize,
+        /// Macroblock y coordinate.
+        mby: usize,
+        /// Host golden SAD.
+        expected: u32,
+        /// Simulated SAD.
+        got: u32,
+    },
+    /// The scenario panicked; the panic was caught at the scenario
+    /// boundary so the remaining scenarios still ran.
+    Panic {
+        /// Scenario label.
+        label: String,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+impl ScenarioError {
+    /// The label of the scenario that failed.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        match self {
+            ScenarioError::Sim { label, .. }
+            | ScenarioError::SadMismatch { label, .. }
+            | ScenarioError::Panic { label, .. } => label,
+        }
+    }
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Sim { label, source } => {
+                write!(f, "scenario `{label}`: simulation failed: {source}")
+            }
+            ScenarioError::SadMismatch {
+                label,
+                frame,
+                mbx,
+                mby,
+                expected,
+                got,
+            } => write!(
+                f,
+                "scenario `{label}`: SAD diverged at frame {frame} MB ({mbx},{mby}): \
+                 expected {expected}, got {got}"
+            ),
+            ScenarioError::Panic { label, message } => {
+                write!(f, "scenario `{label}`: panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
 
 /// Measured motion-estimation stage of one scenario.
 #[derive(Debug, Clone, PartialEq)]
@@ -174,17 +254,27 @@ fn store_plane(m: &mut Machine, base: u32, p: &Plane) {
     }
 }
 
+/// The scheduled programs one scenario kind replays. The enum (rather than
+/// a tuple of `Option`s) makes "the program exists for this kind" a
+/// structural fact instead of a runtime expectation.
+enum Programs {
+    Instr(Code),
+    Loop { prep: Code, call: Code },
+}
+
 /// Replays the whole `GetSad` trace of `workload` under `scenario`.
 ///
 /// Every simulated SAD is checked against the host golden value recorded in
 /// the trace — a full-workload functional regression of the kernels.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when the simulation fails or a simulated SAD disagrees with the
-/// golden trace (either indicates a kernel or simulator bug).
-#[must_use]
-pub fn run_me(scenario: &Scenario, workload: &Workload) -> MeResult {
+/// [`ScenarioError::Sim`] when the simulator reports a typed failure
+/// (memory violation, cycle-budget overrun, line-buffer deadlock, …) and
+/// [`ScenarioError::SadMismatch`] when a simulated SAD disagrees with the
+/// golden trace. Either indicates a kernel/simulator bug or an injected
+/// fault; the error never poisons other scenarios.
+pub fn run_me(scenario: &Scenario, workload: &Workload) -> Result<MeResult, ScenarioError> {
     run_me_with_tracer(scenario, workload, &mut NullTracer)
 }
 
@@ -196,15 +286,18 @@ pub fn run_me(scenario: &Scenario, workload: &Workload) -> MeResult {
 /// [`ChromeTracer`](rvliw_trace::ChromeTracer) it powers the `--metrics-out`
 /// and `--trace` exports of the CLI tools.
 ///
-/// # Panics
+/// # Errors
 ///
 /// As for [`run_me`].
-#[must_use]
 pub fn run_me_with_tracer<T: Tracer + ?Sized>(
     scenario: &Scenario,
     workload: &Workload,
     tracer: &mut T,
-) -> MeResult {
+) -> Result<MeResult, ScenarioError> {
+    let sim_err = |source: SimError| ScenarioError::Sim {
+        label: scenario.label.clone(),
+        source,
+    };
     let mut m = Machine::new(scenario.machine.clone(), scenario.mem.clone());
     let stride = workload.stride;
     let height = workload.frames[0].height();
@@ -213,28 +306,40 @@ pub fn run_me_with_tracer<T: Tracer + ?Sized>(
     let prev_buf = m.mem.ram.alloc(stride * height as u32, 32);
 
     // Configure the RFU and build the programs.
-    let (kernel, prep, call_prog) = match &scenario.kind {
+    let programs = match &scenario.kind {
         Kind::Instruction(variant) => {
             m.rfu = Rfu::with_case_study_configs(rvliw_rfu::MeLoopCfg::new(
                 rvliw_rfu::RfuBandwidth::B1x32,
                 1,
                 stride,
             ));
-            (Some(build_getsad(*variant, &scenario.machine)), None, None)
+            Programs::Instr(build_getsad(*variant, &scenario.machine))
         }
-        Kind::Loop { .. } => {
+        Kind::Loop {
+            two_line_buffers, ..
+        } => {
             m.rfu = Rfu::with_case_study_configs(scenario.me_loop_cfg(stride));
-            let kind = scenario.driver_kind().expect("loop scenario");
-            (
-                None,
-                Some(build_mb_prep(kind, &scenario.machine)),
-                Some(build_me_loop_call(kind, &scenario.machine)),
-            )
+            let kind = if *two_line_buffers {
+                DriverKind::DoubleLineBuffer
+            } else {
+                DriverKind::SingleLineBuffer
+            };
+            Programs::Loop {
+                prep: build_mb_prep(kind, &scenario.machine),
+                call: build_me_loop_call(kind, &scenario.machine),
+            }
         }
     };
     m.rfu.set_reconfig_model(scenario.reconfig.clone());
     if let Some(lines) = scenario.lbb_bank_lines {
         m.rfu.lb_b = rvliw_rfu::LineBufferB::with_bank_capacity(lines);
+    }
+    // After the RFU is in place: fault injectors (salted per scenario, so
+    // the same seed perturbs each scenario independently) and the
+    // per-scenario cycle budget.
+    m.set_fault_plan(&scenario.fault, &scenario.label);
+    if let Some(limit) = scenario.cycle_limit {
+        m.cycle_limit = limit;
     }
 
     let start = m.snapshot();
@@ -249,28 +354,34 @@ pub fn run_me_with_tracer<T: Tracer + ?Sized>(
             let ref_addr = cur_buf + (trace.mby * 16) as u32 * stride + (trace.mbx * 16) as u32;
             let addr_of = |c: &mpeg4_enc::SadCall| prev_buf + c.cy as u32 * stride + c.cx as u32;
             let coords_of = |c: &mpeg4_enc::SadCall| (c.cx as u32, c.cy as u32);
-            match &scenario.kind {
-                Kind::Instruction(_) => {
-                    let code = kernel.as_ref().expect("kernel built");
+            let check_sad = |m: &Machine, expected: u32| {
+                let got = m.gpr(RESULT);
+                if got == expected {
+                    Ok(())
+                } else {
+                    Err(ScenarioError::SadMismatch {
+                        label: scenario.label.clone(),
+                        frame: t,
+                        mbx: trace.mbx,
+                        mby: trace.mby,
+                        expected,
+                        got,
+                    })
+                }
+            };
+            match &programs {
+                Programs::Instr(code) => {
                     for c in &trace.calls {
                         SadCallArgs::new(ref_addr, stride)
                             .cand(addr_of(c))
                             .interp(c.kind)
                             .apply(&mut m);
-                        m.run_with_tracer(code, tracer).expect("kernel run");
-                        assert_eq!(
-                            m.gpr(RESULT),
-                            c.sad,
-                            "simulated SAD diverged at frame {t} MB ({},{})",
-                            trace.mbx,
-                            trace.mby
-                        );
+                        m.run_with_tracer(code, tracer).map_err(sim_err)?;
+                        check_sad(&m, c.sad)?;
                         calls += 1;
                     }
                 }
-                Kind::Loop { .. } => {
-                    let prep = prep.as_ref().expect("prep built");
-                    let call_prog = call_prog.as_ref().expect("driver built");
+                Programs::Loop { prep, call } => {
                     let (fx, fy) = trace
                         .calls
                         .first()
@@ -280,7 +391,7 @@ pub fn run_me_with_tracer<T: Tracer + ?Sized>(
                         .base(prev_buf)
                         .next(fx, fy)
                         .apply(&mut m);
-                    m.run_with_tracer(prep, tracer).expect("prep run");
+                    m.run_with_tracer(prep, tracer).map_err(sim_err)?;
                     let mut best = u32::MAX;
                     for (i, c) in trace.calls.iter().enumerate() {
                         let (ncx, ncy) = trace
@@ -296,14 +407,8 @@ pub fn run_me_with_tracer<T: Tracer + ?Sized>(
                             .next(ncx, ncy)
                             .best(best)
                             .apply(&mut m);
-                        m.run_with_tracer(call_prog, tracer).expect("driver run");
-                        assert_eq!(
-                            m.gpr(RESULT),
-                            c.sad,
-                            "RFU-loop SAD diverged at frame {t} MB ({},{})",
-                            trace.mbx,
-                            trace.mby
-                        );
+                        m.run_with_tracer(call, tracer).map_err(sim_err)?;
+                        check_sad(&m, c.sad)?;
                         best = best.min(c.sad);
                         calls += 1;
                     }
@@ -313,7 +418,7 @@ pub fn run_me_with_tracer<T: Tracer + ?Sized>(
     }
 
     let region = m.snapshot().since(&start);
-    MeResult {
+    Ok(MeResult {
         label: scenario.label.clone(),
         me_cycles: region.cycles,
         stall_cycles: region.mem.d_stall_cycles,
@@ -321,7 +426,7 @@ pub fn run_me_with_tracer<T: Tracer + ?Sized>(
         mem: region.mem,
         core: region.stats,
         rfu: region.rfu,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -332,26 +437,26 @@ mod tests {
     #[test]
     fn tiny_workload_runs_all_scenario_kinds() {
         let w = Workload::tiny();
-        let orig = run_me(&Scenario::orig(), &w);
+        let orig = run_me(&Scenario::orig(), &w).unwrap();
         assert!(orig.me_cycles > 0);
         assert_eq!(orig.calls as usize, w.num_calls());
 
-        let a3 = run_me(&Scenario::a3(), &w);
+        let a3 = run_me(&Scenario::a3(), &w).unwrap();
         assert!(a3.me_cycles < orig.me_cycles, "A3 beats ORIG");
 
-        let lp = run_me(&Scenario::loop_level(RfuBandwidth::B1x32, 1), &w);
+        let lp = run_me(&Scenario::loop_level(RfuBandwidth::B1x32, 1), &w).unwrap();
         assert!(lp.me_cycles < a3.me_cycles, "loop-level beats A3");
         assert_eq!(lp.calls, orig.calls);
 
-        let lb = run_me(&Scenario::loop_two_lb(1), &w);
+        let lb = run_me(&Scenario::loop_two_lb(1), &w).unwrap();
         assert!(lb.me_cycles < lp.me_cycles, "two line buffers beat one");
     }
 
     #[test]
     fn speedup_metrics_are_consistent() {
         let w = Workload::tiny();
-        let orig = run_me(&Scenario::orig(), &w);
-        let a2 = run_me(&Scenario::a2(), &w);
+        let orig = run_me(&Scenario::orig(), &w).unwrap();
+        let a2 = run_me(&Scenario::a2(), &w).unwrap();
         let s = a2.speedup_vs(&orig);
         let imp = a2.improvement_vs(&orig);
         assert!(s > 1.0);
@@ -361,8 +466,8 @@ mod tests {
     #[test]
     fn beta_scaling_slows_the_loop() {
         let w = Workload::tiny();
-        let b1 = run_me(&Scenario::loop_level(RfuBandwidth::B1x32, 1), &w);
-        let b5 = run_me(&Scenario::loop_level(RfuBandwidth::B1x32, 5), &w);
+        let b1 = run_me(&Scenario::loop_level(RfuBandwidth::B1x32, 1), &w).unwrap();
+        let b5 = run_me(&Scenario::loop_level(RfuBandwidth::B1x32, 5), &w).unwrap();
         assert!(b5.me_cycles > b1.me_cycles);
     }
 }

@@ -1,5 +1,6 @@
 //! Architecture scenarios: the points of the paper's design space.
 
+use rvliw_fault::FaultPlan;
 use rvliw_isa::MachineConfig;
 use rvliw_kernels::{DriverKind, Variant};
 use rvliw_mem::MemConfig;
@@ -40,6 +41,13 @@ pub struct Scenario {
     /// Override of Line Buffer B's per-bank capacity (ablations; `None` =
     /// the paper's 34 lines).
     pub lbb_bank_lines: Option<usize>,
+    /// Deterministic fault-injection plan. The default plan is inert: it
+    /// never draws from its RNG, so fault-free runs are bit-identical to
+    /// builds without the fault layer.
+    pub fault: FaultPlan,
+    /// Per-scenario cycle-budget override for each simulated kernel run
+    /// (`None` = the machine's default watchdog limit).
+    pub cycle_limit: Option<u64>,
     /// Human-readable label.
     pub label: String,
 }
@@ -54,6 +62,8 @@ impl Scenario {
             mem: MemConfig::st200(),
             reconfig: ReconfigModel::zero_penalty(),
             lbb_bank_lines: None,
+            fault: FaultPlan::none(),
+            cycle_limit: None,
             label: variant.name().to_owned(),
         }
     }
@@ -95,6 +105,8 @@ impl Scenario {
             mem: MemConfig::st200_loop_level(),
             reconfig: ReconfigModel::zero_penalty(),
             lbb_bank_lines: None,
+            fault: FaultPlan::none(),
+            cycle_limit: None,
             label: format!("{} b={beta}", bandwidth.label()),
         }
     }
@@ -112,6 +124,8 @@ impl Scenario {
             mem: MemConfig::st200_loop_level(),
             reconfig: ReconfigModel::zero_penalty(),
             lbb_bank_lines: None,
+            fault: FaultPlan::none(),
+            cycle_limit: None,
             label: format!("2LB b={beta}"),
         }
     }
@@ -167,6 +181,24 @@ impl Scenario {
     #[must_use]
     pub fn with_lbb_bank_lines(mut self, lines: usize) -> Self {
         self.lbb_bank_lines = Some(lines);
+        self
+    }
+
+    /// Installs a fault-injection plan (robustness experiments). The
+    /// injector substreams are salted with the scenario label, so the same
+    /// plan perturbs each scenario independently but deterministically.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = plan;
+        self
+    }
+
+    /// Caps every simulated kernel run at `limit` cycles; exceeding it
+    /// fails the scenario with a cycle-limit error instead of hanging the
+    /// case study.
+    #[must_use]
+    pub fn with_cycle_limit(mut self, limit: u64) -> Self {
+        self.cycle_limit = Some(limit);
         self
     }
 

@@ -2,15 +2,40 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
+use rvliw_fault::FaultPlan;
 use rvliw_kernels::Variant;
 use rvliw_rfu::RfuBandwidth;
 
 use crate::app_model::AppModel;
-use crate::runner::{run_me, MeResult};
+use crate::runner::{run_me, MeResult, ScenarioError};
 use crate::scenario::Scenario;
 use crate::workload::Workload;
+
+/// The per-scenario outcome slot of a [`CaseStudy`].
+pub type ScenarioResult = Result<MeResult, ScenarioError>;
+
+/// Runs one scenario with a panic backstop: a panicking scenario becomes
+/// [`ScenarioError::Panic`] instead of tearing down the whole case study
+/// (or poisoning a worker thread in the parallel path).
+fn run_isolated(sc: &Scenario, workload: &Workload) -> ScenarioResult {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_me(sc, workload))).unwrap_or_else(
+        |payload| {
+            let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_owned()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_owned()
+            };
+            Err(ScenarioError::Panic {
+                label: sc.label.clone(),
+                message,
+            })
+        },
+    )
+}
 
 /// The default worker-thread count for [`CaseStudy`]: the `RVLIW_THREADS`
 /// environment variable when set to a positive integer, otherwise the
@@ -28,21 +53,28 @@ pub fn default_threads() -> usize {
 }
 
 /// All measurements needed for every table, collected in one pass.
+///
+/// Each scenario slot holds a [`ScenarioResult`]: a failing scenario (typed
+/// simulator error, SAD divergence, or caught panic) is recorded in place
+/// while every other scenario still runs and keeps its bit-exact
+/// measurement. The table builders render partial tables, annotating what
+/// failed.
 #[derive(Debug, Clone)]
 pub struct CaseStudy {
     /// The workload that was replayed.
     pub stride: u32,
-    /// `GetSad` calls replayed per scenario.
+    /// `GetSad` calls replayed per scenario (0 when every scenario failed).
     pub calls: u64,
     /// ORIG baseline.
-    pub orig: MeResult,
+    pub orig: ScenarioResult,
     /// Instruction-level results (A1, A2, A3).
-    pub instr: Vec<(Variant, MeResult)>,
+    pub instr: Vec<(Variant, ScenarioResult)>,
     /// Loop-level, single line buffer: (bandwidth, β, static Lat, result).
-    pub loops: Vec<(RfuBandwidth, u64, u64, MeResult)>,
+    pub loops: Vec<(RfuBandwidth, u64, u64, ScenarioResult)>,
     /// Two line buffers: (β, static Lat, result).
-    pub two_lb: Vec<(u64, u64, MeResult)>,
-    /// Whole-application model calibrated on ORIG.
+    pub two_lb: Vec<(u64, u64, ScenarioResult)>,
+    /// Whole-application model calibrated on ORIG (degenerate when ORIG
+    /// failed).
     pub app: AppModel,
 }
 
@@ -92,65 +124,147 @@ impl CaseStudy {
         progress: impl Fn(&str) + Sync,
     ) -> Self {
         let scenarios = Self::scenarios();
+        let results = Self::run_list(&scenarios, workload, threads, &progress);
+        Self::assemble(workload, &scenarios, results)
+    }
+
+    /// Runs every scenario under `plan` across `threads` workers. Each
+    /// scenario derives its fault substreams from its own label, so the
+    /// same seed perturbs every scenario deterministically regardless of
+    /// thread scheduling. An inert plan reproduces
+    /// [`Self::run_with_threads`] bit for bit.
+    #[must_use]
+    pub fn run_with_fault_plan(
+        workload: &Workload,
+        plan: FaultPlan,
+        threads: usize,
+        progress: impl Fn(&str) + Sync,
+    ) -> Self {
+        let scenarios: Vec<Scenario> = Self::scenarios()
+            .into_iter()
+            .map(|sc| sc.with_fault_plan(plan))
+            .collect();
+        let results = Self::run_list(&scenarios, workload, threads, &progress);
+        Self::assemble(workload, &scenarios, results)
+    }
+
+    /// Runs an explicit scenario list — [`Self::scenarios`], possibly with
+    /// modified fault plans or cycle budgets — across `threads` workers.
+    /// The list must keep the fixed presentation order (ORIG, A1–A3, the
+    /// six loop points, the two two-line-buffer points); slots are
+    /// reassembled positionally.
+    #[must_use]
+    pub fn run_scenarios(
+        scenarios: &[Scenario],
+        workload: &Workload,
+        threads: usize,
+        progress: impl Fn(&str) + Sync,
+    ) -> Self {
+        let results = Self::run_list(scenarios, workload, threads, &progress);
+        Self::assemble(workload, scenarios, results)
+    }
+
+    /// Runs `scenarios` across `threads` workers, returning one
+    /// [`ScenarioResult`] per scenario in input order. A failing or
+    /// panicking scenario occupies its own slot without disturbing the
+    /// others.
+    fn run_list(
+        scenarios: &[Scenario],
+        workload: &Workload,
+        threads: usize,
+        progress: &(impl Fn(&str) + Sync),
+    ) -> Vec<ScenarioResult> {
         let n = scenarios.len();
-        let results: Vec<MeResult> = if threads <= 1 {
-            scenarios
+        if threads <= 1 {
+            return scenarios
                 .iter()
                 .map(|sc| {
                     progress(&sc.label);
-                    run_me(sc, workload)
+                    run_isolated(sc, workload)
                 })
-                .collect()
-        } else {
-            // Work-stealing by atomic index: scenario costs are wildly
-            // uneven (ORIG simulates ~10× the cycles of a loop-level
-            // point), so a static partition would idle most workers.
-            let next = AtomicUsize::new(0);
-            let slots: Vec<Mutex<Option<MeResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
-            std::thread::scope(|s| {
-                for _ in 0..threads.min(n) {
-                    s.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(sc) = scenarios.get(i) else { break };
-                        progress(&sc.label);
-                        let r = run_me(sc, workload);
-                        *slots[i].lock().expect("result slot poisoned") = Some(r);
-                    });
-                }
-            });
-            slots
-                .into_iter()
-                .map(|slot| {
-                    slot.into_inner()
-                        .expect("result slot poisoned")
-                        .expect("every scenario index was claimed")
-                })
-                .collect()
-        };
+                .collect();
+        }
+        // Work-stealing by atomic index: scenario costs are wildly
+        // uneven (ORIG simulates ~10× the cycles of a loop-level
+        // point), so a static partition would idle most workers.
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<ScenarioResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..threads.min(n) {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(sc) = scenarios.get(i) else { break };
+                    progress(&sc.label);
+                    let r = run_isolated(sc, workload);
+                    *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.into_inner()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .unwrap_or_else(|| {
+                        Err(ScenarioError::Panic {
+                            label: scenarios[i].label.clone(),
+                            message: "scenario result missing (worker died)".to_owned(),
+                        })
+                    })
+            })
+            .collect()
+    }
 
-        // Reassemble in the fixed order `scenarios()` produced.
-        let mut results = results.into_iter();
-        let orig = results.next().expect("ORIG ran");
+    /// Reassembles per-scenario results (in the fixed order [`Self::scenarios`]
+    /// produced) into the named slots of a `CaseStudy`.
+    fn assemble(workload: &Workload, scenarios: &[Scenario], results: Vec<ScenarioResult>) -> Self {
+        let calls = results
+            .iter()
+            .filter_map(|r| r.as_ref().ok())
+            .map(|r| r.calls)
+            .next()
+            .unwrap_or(0);
+        let orig_me = results
+            .first()
+            .and_then(|r| r.as_ref().ok())
+            .map_or(0, |r| r.me_cycles);
+        let mut it = results.into_iter();
+        let mut idx = 0usize;
+        let mut take = |slot: &mut usize| -> ScenarioResult {
+            let label = scenarios
+                .get(*slot)
+                .map_or("?", |sc| sc.label.as_str())
+                .to_owned();
+            *slot += 1;
+            it.next().unwrap_or_else(|| {
+                Err(ScenarioError::Panic {
+                    label,
+                    message: "scenario result missing".to_owned(),
+                })
+            })
+        };
+        let orig = take(&mut idx);
         let instr = [Variant::A1, Variant::A2, Variant::A3]
             .into_iter()
-            .map(|v| (v, results.next().expect("instruction scenario ran")))
+            .map(|v| (v, take(&mut idx)))
             .collect();
         let mut loops = Vec::new();
         for bw in RfuBandwidth::all() {
             for beta in [1u64, 5] {
                 let lat = Scenario::loop_level(bw, beta).static_latency(workload.stride);
-                loops.push((bw, beta, lat, results.next().expect("loop scenario ran")));
+                loops.push((bw, beta, lat, take(&mut idx)));
             }
         }
         let mut two_lb = Vec::new();
         for beta in [1u64, 5] {
             let lat = Scenario::loop_two_lb(beta).static_latency(workload.stride);
-            two_lb.push((beta, lat, results.next().expect("two-LB scenario ran")));
+            two_lb.push((beta, lat, take(&mut idx)));
         }
-        let app = AppModel::calibrated(orig.me_cycles);
+        let app = AppModel::calibrated(orig_me);
         CaseStudy {
             stride: workload.stride,
-            calls: orig.calls,
+            calls,
             orig,
             instr,
             loops,
@@ -165,55 +279,120 @@ impl CaseStudy {
         Self::run_with_progress(workload, |_| {})
     }
 
-    fn loop_result(&self, bw: RfuBandwidth, beta: u64) -> &(RfuBandwidth, u64, u64, MeResult) {
-        self.loops
-            .iter()
-            .find(|(b, be, _, _)| *b == bw && *be == beta)
-            .expect("all loop scenarios were run")
+    /// Every scenario slot in presentation order.
+    pub fn results(&self) -> impl Iterator<Item = &ScenarioResult> {
+        std::iter::once(&self.orig)
+            .chain(self.instr.iter().map(|(_, r)| r))
+            .chain(self.loops.iter().map(|(_, _, _, r)| r))
+            .chain(self.two_lb.iter().map(|(_, _, r)| r))
     }
 
-    /// Table 1: instruction-level optimization results.
+    /// The errors of every failed scenario, in presentation order.
+    #[must_use]
+    pub fn failures(&self) -> Vec<&ScenarioError> {
+        self.results().filter_map(|r| r.as_ref().err()).collect()
+    }
+
+    /// Whether every scenario produced a measurement.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.results().all(Result::is_ok)
+    }
+
+    fn orig_ok(&self) -> Option<&MeResult> {
+        self.orig.as_ref().ok()
+    }
+
+    /// ORIG, noting its failure in `failed` when it is unavailable.
+    fn note_orig(&self, failed: &mut Vec<String>) -> Option<&MeResult> {
+        match &self.orig {
+            Ok(o) => Some(o),
+            Err(e) => {
+                failed.push(e.to_string());
+                None
+            }
+        }
+    }
+
+    /// The (static latency, result) of a loop-level point, noting its
+    /// failure in `failed` when it is unavailable.
+    fn loop_ok(
+        &self,
+        bw: RfuBandwidth,
+        beta: u64,
+        failed: &mut Vec<String>,
+    ) -> Option<(u64, &MeResult)> {
+        let (_, _, lat, r) = self
+            .loops
+            .iter()
+            .find(|(b, be, _, _)| *b == bw && *be == beta)?;
+        match r {
+            Ok(r) => Some((*lat, r)),
+            Err(e) => {
+                failed.push(e.to_string());
+                None
+            }
+        }
+    }
+
+    fn speedup_of(&self, r: &MeResult) -> f64 {
+        self.orig_ok().map_or(0.0, |o| r.speedup_vs(o))
+    }
+
+    /// Table 1: instruction-level optimization results. Failed scenarios
+    /// lose their row and are listed in [`Table1::failed`].
     #[must_use]
     pub fn table1(&self) -> Table1 {
-        let mut rows = vec![Table1Row {
-            name: "Orig".into(),
-            cycles: self.orig.me_cycles,
-            speedup: 1.0,
-            improvement: 0.0,
-        }];
-        for (v, r) in &self.instr {
+        let mut failed = Vec::new();
+        let mut rows = Vec::new();
+        if self.note_orig(&mut failed).is_some() {
             rows.push(Table1Row {
-                name: v.name().into(),
-                cycles: r.me_cycles,
-                speedup: r.speedup_vs(&self.orig),
-                improvement: r.improvement_vs(&self.orig),
+                name: "Orig".into(),
+                cycles: self.orig_ok().map_or(0, |o| o.me_cycles),
+                speedup: 1.0,
+                improvement: 0.0,
             });
         }
-        Table1 { rows }
+        for (v, r) in &self.instr {
+            match r {
+                Ok(r) => rows.push(Table1Row {
+                    name: v.name().into(),
+                    cycles: r.me_cycles,
+                    speedup: self.speedup_of(r),
+                    improvement: self.orig_ok().map_or(0.0, |o| r.improvement_vs(o)),
+                }),
+                Err(e) => failed.push(e.to_string()),
+            }
+        }
+        Table1 { rows, failed }
     }
 
-    /// Table 2: loop-level results per bandwidth and β.
+    /// Table 2: loop-level results per bandwidth and β. A bandwidth row is
+    /// rendered only when both of its β points succeeded.
     #[must_use]
     pub fn table2(&self) -> Table2 {
-        let rows = RfuBandwidth::all()
-            .into_iter()
-            .map(|bw| {
-                let (_, _, lat1, r1) = self.loop_result(bw, 1);
-                let (_, _, lat5, r5) = self.loop_result(bw, 5);
-                Table2Row {
+        let mut failed = Vec::new();
+        let orig_cycles = self.note_orig(&mut failed).map_or(0, |o| o.me_cycles);
+        let mut rows = Vec::new();
+        for bw in RfuBandwidth::all() {
+            let b1 = self.loop_ok(bw, 1, &mut failed);
+            let b5 = self.loop_ok(bw, 5, &mut failed);
+            if let (Some((lat1, r1)), Some((lat5, r5))) = (b1, b5) {
+                rows.push(Table2Row {
                     bw,
-                    lat_b1: *lat1,
+                    lat_b1: lat1,
                     cycles_b1: r1.me_cycles,
-                    speedup_b1: r1.speedup_vs(&self.orig),
-                    lat_b5: *lat5,
+                    speedup_b1: self.speedup_of(r1),
+                    lat_b5: lat5,
                     cycles_b5: r5.me_cycles,
-                    speedup_b5: r5.speedup_vs(&self.orig),
-                }
-            })
-            .collect();
+                    speedup_b5: self.speedup_of(r5),
+                });
+            }
+        }
         Table2 {
-            orig_cycles: self.orig.me_cycles,
+            orig_cycles,
             rows,
+            failed,
         }
     }
 
@@ -221,114 +400,137 @@ impl CaseStudy {
     /// scaling.
     #[must_use]
     pub fn table3(&self) -> Table3 {
-        let rows = RfuBandwidth::all()
-            .into_iter()
-            .map(|bw| {
-                let (_, _, lat1, r1) = self.loop_result(bw, 1);
-                let (_, _, lat5, r5) = self.loop_result(bw, 5);
-                let s1 = r1.speedup_vs(&self.orig);
-                let s5 = r5.speedup_vs(&self.orig);
-                Table3Row {
+        let mut failed = Vec::new();
+        let mut rows = Vec::new();
+        for bw in RfuBandwidth::all() {
+            let b1 = self.loop_ok(bw, 1, &mut failed);
+            let b5 = self.loop_ok(bw, 5, &mut failed);
+            if let (Some((lat1, r1)), Some((lat5, r5))) = (b1, b5) {
+                let s1 = self.speedup_of(r1);
+                let s5 = self.speedup_of(r5);
+                rows.push(Table3Row {
                     bw,
-                    lat_b1: *lat1,
-                    lat_b5: *lat5,
-                    pct_latency_increase: (*lat5 as f64 - *lat1 as f64) / *lat1 as f64,
-                    pct_speedup_reduction: (s5 - s1) / s1,
-                }
-            })
-            .collect();
-        Table3 { rows }
+                    lat_b1: lat1,
+                    lat_b5: lat5,
+                    pct_latency_increase: (lat5 as f64 - lat1 as f64) / lat1 as f64,
+                    pct_speedup_reduction: if s1 == 0.0 { 0.0 } else { (s5 - s1) / s1 },
+                });
+            }
+        }
+        Table3 { rows, failed }
     }
 
     /// Table 4: ME cache stalls with one line buffer.
     #[must_use]
     pub fn table4(&self) -> Table4 {
-        let rows = RfuBandwidth::all()
-            .into_iter()
-            .map(|bw| {
-                let (_, _, _, r1) = self.loop_result(bw, 1);
-                let (_, _, _, r5) = self.loop_result(bw, 5);
-                Table4Row {
+        let mut failed = Vec::new();
+        let orig = self.note_orig(&mut failed);
+        let orig_stalls = orig.map_or(0, |o| o.stall_cycles);
+        let mut rows = Vec::new();
+        for bw in RfuBandwidth::all() {
+            let b1 = self.loop_ok(bw, 1, &mut failed);
+            let b5 = self.loop_ok(bw, 5, &mut failed);
+            if let (Some((_, r1)), Some((_, r5))) = (b1, b5) {
+                rows.push(Table4Row {
                     bw,
                     stalls_b1: r1.stall_cycles,
-                    reduction_b1: r1.stall_reduction_vs(&self.orig),
+                    reduction_b1: self.orig_ok().map_or(0.0, |o| r1.stall_reduction_vs(o)),
                     stalls_b5: r5.stall_cycles,
-                    reduction_b5: r5.stall_reduction_vs(&self.orig),
-                }
-            })
-            .collect();
+                    reduction_b5: self.orig_ok().map_or(0.0, |o| r5.stall_reduction_vs(o)),
+                });
+            }
+        }
         Table4 {
-            orig_stalls: self.orig.stall_cycles,
+            orig_stalls,
             rows,
+            failed,
         }
     }
 
     /// Table 5: cache stalls as a share of ME execution time.
     #[must_use]
     pub fn table5(&self) -> Table5 {
-        let rows = RfuBandwidth::all()
-            .into_iter()
-            .map(|bw| {
-                let (_, _, _, r1) = self.loop_result(bw, 1);
-                let (_, _, _, r5) = self.loop_result(bw, 5);
-                Table5Row {
+        let mut failed = Vec::new();
+        let orig_share = self
+            .note_orig(&mut failed)
+            .map_or(0.0, MeResult::stall_share);
+        let mut rows = Vec::new();
+        for bw in RfuBandwidth::all() {
+            let b1 = self.loop_ok(bw, 1, &mut failed);
+            let b5 = self.loop_ok(bw, 5, &mut failed);
+            if let (Some((_, r1)), Some((_, r5))) = (b1, b5) {
+                rows.push(Table5Row {
                     bw,
                     share_b1: r1.stall_share(),
                     share_b5: r5.stall_share(),
-                }
-            })
-            .collect();
+                });
+            }
+        }
         Table5 {
-            orig_share: self.orig.stall_share(),
+            orig_share,
             rows,
+            failed,
         }
     }
 
     /// Table 6: theoretical vs experimental speedups.
     #[must_use]
     pub fn table6(&self) -> Table6 {
+        let mut failed = Vec::new();
+        let orig_me = self.note_orig(&mut failed).map_or(0, |o| o.me_cycles);
         let mut rows = Vec::new();
         for beta in [1u64, 5] {
             for bw in RfuBandwidth::all() {
-                let (_, _, lat, r) = self.loop_result(bw, beta);
+                let Some((lat, r)) = self.loop_ok(bw, beta, &mut failed) else {
+                    continue;
+                };
                 // The loop executes once per GetSad call.
                 let static_cycles = lat * self.calls;
-                let th = self.orig.me_cycles as f64 / static_cycles as f64;
-                let sup = r.speedup_vs(&self.orig);
+                let th = if static_cycles == 0 {
+                    0.0
+                } else {
+                    orig_me as f64 / static_cycles as f64
+                };
+                let sup = self.speedup_of(r);
                 rows.push(Table6Row {
                     bw,
                     beta,
                     static_cycles,
                     th_speedup: th,
                     speedup: sup,
-                    ratio: sup / th,
+                    ratio: if th == 0.0 { 0.0 } else { sup / th },
                 });
             }
         }
-        Table6 { rows }
+        Table6 { rows, failed }
     }
 
     /// Table 7: the two-line-buffer scheme.
     #[must_use]
     pub fn table7(&self) -> Table7 {
-        let rows = self
-            .two_lb
-            .iter()
-            .map(|(beta, lat, r)| Table7Row {
-                beta: *beta,
-                lat: *lat,
-                ex_cycles: r.me_cycles,
-                speedup: r.speedup_vs(&self.orig),
-                rel_share: self.app.me_share(r.me_cycles),
-                stalls: r.stall_cycles,
-                stall_reduction: r.stall_reduction_vs(&self.orig),
-            })
-            .collect();
+        let mut failed = Vec::new();
+        let orig = self.note_orig(&mut failed);
+        let mut rows = Vec::new();
+        for (beta, lat, r) in &self.two_lb {
+            match r {
+                Ok(r) => rows.push(Table7Row {
+                    beta: *beta,
+                    lat: *lat,
+                    ex_cycles: r.me_cycles,
+                    speedup: self.speedup_of(r),
+                    rel_share: self.app.me_share(r.me_cycles),
+                    stalls: r.stall_cycles,
+                    stall_reduction: self.orig_ok().map_or(0.0, |o| r.stall_reduction_vs(o)),
+                }),
+                Err(e) => failed.push(e.to_string()),
+            }
+        }
         Table7 {
-            orig_cycles: self.orig.me_cycles,
-            orig_rel_share: self.app.me_share(self.orig.me_cycles),
-            orig_stalls: self.orig.stall_cycles,
+            orig_cycles: orig.map_or(0, |o| o.me_cycles),
+            orig_rel_share: orig.map_or(0.0, |o| self.app.me_share(o.me_cycles)),
+            orig_stalls: orig.map_or(0, |o| o.stall_cycles),
             rows,
+            failed,
         }
     }
 }
@@ -351,6 +553,9 @@ pub struct Table1Row {
 pub struct Table1 {
     /// Rows in Orig/A1/A2/A3 order.
     pub rows: Vec<Table1Row>,
+    /// Failed scenarios whose cells are absent from this table
+    /// (one rendered error per scenario).
+    pub failed: Vec<String>,
 }
 
 impl fmt::Display for Table1 {
@@ -370,6 +575,9 @@ impl fmt::Display for Table1 {
                 r.speedup,
                 r.improvement * 100.0
             )?;
+        }
+        for e in &self.failed {
+            writeln!(f, "  [failed] {e}")?;
         }
         Ok(())
     }
@@ -401,6 +609,9 @@ pub struct Table2 {
     pub orig_cycles: u64,
     /// Rows in 1×32 / 1×64 / 2×64 order.
     pub rows: Vec<Table2Row>,
+    /// Failed scenarios whose cells are absent from this table
+    /// (one rendered error per scenario).
+    pub failed: Vec<String>,
 }
 
 impl fmt::Display for Table2 {
@@ -433,6 +644,9 @@ impl fmt::Display for Table2 {
                 r.speedup_b5
             )?;
         }
+        for e in &self.failed {
+            writeln!(f, "  [failed] {e}")?;
+        }
         Ok(())
     }
 }
@@ -457,6 +671,9 @@ pub struct Table3Row {
 pub struct Table3 {
     /// Rows in bandwidth order.
     pub rows: Vec<Table3Row>,
+    /// Failed scenarios whose cells are absent from this table
+    /// (one rendered error per scenario).
+    pub failed: Vec<String>,
 }
 
 impl fmt::Display for Table3 {
@@ -480,6 +697,9 @@ impl fmt::Display for Table3 {
                 r.pct_latency_increase * 100.0,
                 r.pct_speedup_reduction * 100.0
             )?;
+        }
+        for e in &self.failed {
+            writeln!(f, "  [failed] {e}")?;
         }
         Ok(())
     }
@@ -507,6 +727,9 @@ pub struct Table4 {
     pub orig_stalls: u64,
     /// Rows in bandwidth order.
     pub rows: Vec<Table4Row>,
+    /// Failed scenarios whose cells are absent from this table
+    /// (one rendered error per scenario).
+    pub failed: Vec<String>,
 }
 
 impl fmt::Display for Table4 {
@@ -528,6 +751,9 @@ impl fmt::Display for Table4 {
                 r.stalls_b5,
                 r.reduction_b5 * 100.0
             )?;
+        }
+        for e in &self.failed {
+            writeln!(f, "  [failed] {e}")?;
         }
         Ok(())
     }
@@ -551,6 +777,9 @@ pub struct Table5 {
     pub orig_share: f64,
     /// Rows in bandwidth order.
     pub rows: Vec<Table5Row>,
+    /// Failed scenarios whose cells are absent from this table
+    /// (one rendered error per scenario).
+    pub failed: Vec<String>,
 }
 
 impl fmt::Display for Table5 {
@@ -566,6 +795,9 @@ impl fmt::Display for Table5 {
                 r.share_b1 * 100.0,
                 r.share_b5 * 100.0
             )?;
+        }
+        for e in &self.failed {
+            writeln!(f, "  [failed] {e}")?;
         }
         Ok(())
     }
@@ -593,6 +825,9 @@ pub struct Table6Row {
 pub struct Table6 {
     /// Rows grouped by β, then bandwidth.
     pub rows: Vec<Table6Row>,
+    /// Failed scenarios whose cells are absent from this table
+    /// (one rendered error per scenario).
+    pub failed: Vec<String>,
 }
 
 impl fmt::Display for Table6 {
@@ -617,6 +852,9 @@ impl fmt::Display for Table6 {
                 r.speedup,
                 r.ratio * 100.0
             )?;
+        }
+        for e in &self.failed {
+            writeln!(f, "  [failed] {e}")?;
         }
         Ok(())
     }
@@ -652,6 +890,9 @@ pub struct Table7 {
     pub orig_stalls: u64,
     /// Rows for β = 1 and β = 5.
     pub rows: Vec<Table7Row>,
+    /// Failed scenarios whose cells are absent from this table
+    /// (one rendered error per scenario).
+    pub failed: Vec<String>,
 }
 
 impl fmt::Display for Table7 {
@@ -684,6 +925,9 @@ impl fmt::Display for Table7 {
                 r.stalls,
                 r.stall_reduction * 100.0
             )?;
+        }
+        for e in &self.failed {
+            writeln!(f, "  [failed] {e}")?;
         }
         Ok(())
     }

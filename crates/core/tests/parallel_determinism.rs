@@ -26,10 +26,9 @@ fn parallel_case_study_matches_serial_bit_for_bit() {
     // thread scheduler, so compare as a multiset).
     let mut seen = labels.into_inner().unwrap();
     seen.sort();
-    let mut expected: Vec<String> = std::iter::once(serial.orig.label.clone())
-        .chain(serial.instr.iter().map(|(_, r)| r.label.clone()))
-        .chain(serial.loops.iter().map(|(_, _, _, r)| r.label.clone()))
-        .chain(serial.two_lb.iter().map(|(_, _, r)| r.label.clone()))
+    let mut expected: Vec<String> = serial
+        .results()
+        .map(|r| r.as_ref().expect("scenario succeeded").label.clone())
         .collect();
     expected.sort();
     assert_eq!(seen, expected);

@@ -16,12 +16,12 @@ fn counting_tracer_bit_matches_legacy_stats_on_every_scenario() {
     let w = Workload::tiny();
     for scenario in CaseStudy::scenarios() {
         let mut t = CountingTracer::new();
-        let r = run_me_with_tracer(&scenario, &w, &mut t);
+        let r = run_me_with_tracer(&scenario, &w, &mut t).expect("traced replay succeeds");
         let l = &r.label;
 
         // Tracing must not perturb the simulation: the traced replay
         // returns the exact result of the untraced one.
-        let baseline = run_me(&scenario, &w);
+        let baseline = run_me(&scenario, &w).expect("untraced replay succeeds");
         assert_eq!(r, baseline, "{l}: tracer perturbed the simulation");
 
         // Issue counters.

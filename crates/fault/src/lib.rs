@@ -1,0 +1,413 @@
+//! Deterministic, seeded fault injection for the rvliw simulator.
+//!
+//! A [`FaultPlan`] describes *which* bounded perturbations a run may
+//! suffer and *how often*; a [`FaultInjector`] is a plan specialised to
+//! one component of one run (one memory system, one RFU) and carries the
+//! random-number stream that decides *when* each perturbation fires.
+//!
+//! Design constraints, in order of importance:
+//!
+//! 1. **The zero-fault plan is inert.** [`FaultPlan::default`] has every
+//!    rate at zero; injectors derived from it answer every query with
+//!    "no fault" through an [`FaultInjector::is_inert`] early-out that
+//!    never touches the RNG, so golden tables are bit-identical whether
+//!    the fault layer exists or not.
+//! 2. **Determinism is independent of thread scheduling.** Substreams
+//!    are derived by hashing `(seed, component, salt)` — typically the
+//!    scenario label — so the same scenario sees the same faults no
+//!    matter which worker thread runs it or in what order.
+//! 3. **Faults are bounded.** Each knob has an explicit ceiling; no
+//!    injected perturbation can corrupt functional state outside the
+//!    simulated machine (a bit flip lands in line-buffer pixel data, not
+//!    in host memory).
+//!
+//! The RNG is xorshift64* — three shifts and a multiply, no
+//! dependencies, and good enough statistical quality for rate-based
+//! injection decisions.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Scale of all probability knobs: parts per million per opportunity.
+pub const PPM: u32 = 1_000_000;
+
+/// A named preset of fault rates, selectable from the command line via
+/// `--fault-profile`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultProfile {
+    /// No faults (the default plan).
+    None,
+    /// Extra D-cache/bus latency jitter on demand accesses.
+    Latency,
+    /// Spurious whole-cache flushes.
+    Flush,
+    /// Delayed (and occasionally stuck) line-buffer row completion.
+    LineBuffer,
+    /// Bit flips in RFU-loaded pixel data.
+    BitFlip,
+    /// All of the above at once.
+    Chaos,
+}
+
+impl FaultProfile {
+    /// Every profile name accepted by [`FromStr`].
+    pub const NAMES: [&'static str; 6] =
+        ["none", "latency", "flush", "linebuffer", "bitflip", "chaos"];
+}
+
+impl FromStr for FaultProfile {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "none" | "zero" => Ok(FaultProfile::None),
+            "latency" => Ok(FaultProfile::Latency),
+            "flush" => Ok(FaultProfile::Flush),
+            "linebuffer" | "lb" => Ok(FaultProfile::LineBuffer),
+            "bitflip" | "bit-flip" => Ok(FaultProfile::BitFlip),
+            "chaos" => Ok(FaultProfile::Chaos),
+            other => Err(format!(
+                "unknown fault profile `{other}` (expected one of: {})",
+                FaultProfile::NAMES.join(", ")
+            )),
+        }
+    }
+}
+
+impl fmt::Display for FaultProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            FaultProfile::None => "none",
+            FaultProfile::Latency => "latency",
+            FaultProfile::Flush => "flush",
+            FaultProfile::LineBuffer => "linebuffer",
+            FaultProfile::BitFlip => "bitflip",
+            FaultProfile::Chaos => "chaos",
+        };
+        f.write_str(name)
+    }
+}
+
+/// What happens to one line-buffer row gather under the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LbRowFault {
+    /// The row completes on time.
+    None,
+    /// The row's `Done` flag arrives this many extra cycles late.
+    Delay(u64),
+    /// The row's `Done` flag never arrives (deadlock-watchdog fodder).
+    Stuck,
+}
+
+/// A seeded description of which perturbations a run may suffer.
+///
+/// All rates are in parts per million per opportunity ([`PPM`]); the
+/// default plan has every rate at zero and is provably inert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Seed for every substream derived from this plan.
+    pub seed: u64,
+    /// Probability (ppm per demand access) of extra bus latency.
+    pub mem_latency_ppm: u32,
+    /// Ceiling on injected extra latency, in cycles.
+    pub mem_latency_max: u64,
+    /// Probability (ppm per demand access) of a spurious cache flush.
+    pub flush_ppm: u32,
+    /// Probability (ppm per row gather) of a delayed line-buffer row.
+    pub lb_delay_ppm: u32,
+    /// Ceiling on injected row-completion delay, in cycles.
+    pub lb_delay_max: u64,
+    /// Probability (ppm per row gather) that a row never completes.
+    pub lb_stuck_ppm: u32,
+    /// Probability (ppm per row load) of one bit flip in pixel data.
+    pub bitflip_ppm: u32,
+}
+
+impl FaultPlan {
+    /// The zero-fault plan (identical to [`FaultPlan::default`]).
+    #[must_use]
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Builds the plan for a named profile with the given seed.
+    #[must_use]
+    pub fn from_profile(profile: FaultProfile, seed: u64) -> Self {
+        let mut plan = FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        };
+        match profile {
+            FaultProfile::None => {}
+            FaultProfile::Latency => plan.set_latency(),
+            FaultProfile::Flush => plan.set_flush(),
+            FaultProfile::LineBuffer => plan.set_line_buffer(),
+            FaultProfile::BitFlip => plan.set_bitflip(),
+            FaultProfile::Chaos => {
+                plan.set_latency();
+                plan.set_flush();
+                plan.set_line_buffer();
+                plan.set_bitflip();
+            }
+        }
+        plan
+    }
+
+    fn set_latency(&mut self) {
+        self.mem_latency_ppm = 5_000; // one access in 200
+        self.mem_latency_max = 40;
+    }
+
+    fn set_flush(&mut self) {
+        self.flush_ppm = 200; // one access in 5000
+    }
+
+    fn set_line_buffer(&mut self) {
+        self.lb_delay_ppm = 20_000; // one row in 50
+        self.lb_delay_max = 250;
+        self.lb_stuck_ppm = 50;
+    }
+
+    fn set_bitflip(&mut self) {
+        self.bitflip_ppm = 5_000; // one row in 200
+    }
+
+    /// Whether this plan can never inject anything. Inert plans cost
+    /// nothing at runtime: injectors derived from them short-circuit
+    /// before touching the RNG.
+    #[must_use]
+    pub fn is_inert(&self) -> bool {
+        self.mem_latency_ppm == 0
+            && self.flush_ppm == 0
+            && self.lb_delay_ppm == 0
+            && self.lb_stuck_ppm == 0
+            && self.bitflip_ppm == 0
+    }
+
+    /// Derives the injector for one component of one run.
+    ///
+    /// `component` names the consulting subsystem (`"mem"`, `"rfu"`);
+    /// `salt` distinguishes runs (the scenario label in the case study).
+    /// The derivation hashes all three inputs, so substreams are
+    /// deterministic regardless of thread scheduling or run order.
+    #[must_use]
+    pub fn injector(&self, component: &str, salt: &str) -> FaultInjector {
+        let mut h = FNV_OFFSET;
+        for chunk in self.seed.to_le_bytes() {
+            h = fnv_step(h, chunk);
+        }
+        h = fnv_step(h, 0x1f); // domain separator
+        for &b in component.as_bytes() {
+            h = fnv_step(h, b);
+        }
+        h = fnv_step(h, 0x1f);
+        for &b in salt.as_bytes() {
+            h = fnv_step(h, b);
+        }
+        FaultInjector {
+            state: if h == 0 { GOLDEN_GAMMA } else { h },
+            plan: *self,
+            inert: self.is_inert(),
+        }
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+const GOLDEN_GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
+#[inline]
+fn fnv_step(h: u64, b: u8) -> u64 {
+    (h ^ u64::from(b)).wrapping_mul(FNV_PRIME)
+}
+
+/// A [`FaultPlan`] specialised to one component of one run, carrying
+/// the substream state that decides when each perturbation fires.
+///
+/// Every query method takes `&mut self` (it advances the RNG) and has
+/// an inert early-out that costs one branch.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    state: u64,
+    plan: FaultPlan,
+    inert: bool,
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        FaultInjector::inert()
+    }
+}
+
+impl FaultInjector {
+    /// An injector that never fires (derived from the zero-fault plan).
+    #[must_use]
+    pub fn inert() -> Self {
+        FaultPlan::default().injector("", "")
+    }
+
+    /// Whether this injector can never fire.
+    #[inline]
+    #[must_use]
+    pub fn is_inert(&self) -> bool {
+        self.inert
+    }
+
+    /// The plan this injector was derived from.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// xorshift64*: the substream generator.
+    #[inline]
+    fn next(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// One biased coin flip at `ppm` parts per million.
+    #[inline]
+    fn chance(&mut self, ppm: u32) -> bool {
+        if ppm == 0 {
+            return false;
+        }
+        (self.next() >> 11) % u64::from(PPM) < u64::from(ppm)
+    }
+
+    /// Uniform draw in `1..=max` (`max` ≥ 1).
+    #[inline]
+    fn draw(&mut self, max: u64) -> u64 {
+        1 + (self.next() >> 11) % max
+    }
+
+    /// Extra bus latency (cycles) to add to a demand access; 0 almost
+    /// always, and always 0 under the inert plan.
+    #[inline]
+    pub fn extra_mem_latency(&mut self) -> u64 {
+        if self.inert || !self.chance(self.plan.mem_latency_ppm) {
+            return 0;
+        }
+        self.draw(self.plan.mem_latency_max.max(1))
+    }
+
+    /// Whether to spuriously flush the caches before this access.
+    #[inline]
+    pub fn spurious_flush(&mut self) -> bool {
+        !self.inert && self.chance(self.plan.flush_ppm)
+    }
+
+    /// The fate of one line-buffer row gather.
+    #[inline]
+    pub fn lb_row_fault(&mut self) -> LbRowFault {
+        if self.inert {
+            return LbRowFault::None;
+        }
+        if self.chance(self.plan.lb_stuck_ppm) {
+            return LbRowFault::Stuck;
+        }
+        if self.chance(self.plan.lb_delay_ppm) {
+            return LbRowFault::Delay(self.draw(self.plan.lb_delay_max.max(1)));
+        }
+        LbRowFault::None
+    }
+
+    /// Maybe flip one bit of a freshly loaded pixel row. Returns the
+    /// byte index and the xor mask applied, or `None` when no fault
+    /// fired (always `None` under the inert plan or for empty rows).
+    #[inline]
+    pub fn bit_flip(&mut self, data: &mut [u8]) -> Option<(usize, u8)> {
+        if self.inert || data.is_empty() || !self.chance(self.plan.bitflip_ppm) {
+            return None;
+        }
+        let byte = ((self.next() >> 11) % data.len() as u64) as usize;
+        let mask = 1u8 << ((self.next() >> 11) % 8);
+        data[byte] ^= mask;
+        Some((byte, mask))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_inert());
+        let mut inj = plan.injector("mem", "ORIG");
+        assert!(inj.is_inert());
+        let before = inj.state;
+        for _ in 0..1000 {
+            assert_eq!(inj.extra_mem_latency(), 0);
+            assert!(!inj.spurious_flush());
+            assert_eq!(inj.lb_row_fault(), LbRowFault::None);
+            let mut row = [7u8; 20];
+            assert_eq!(inj.bit_flip(&mut row), None);
+            assert_eq!(row, [7u8; 20]);
+        }
+        assert_eq!(inj.state, before, "inert queries never touch the RNG");
+    }
+
+    #[test]
+    fn substreams_are_deterministic_and_distinct() {
+        let plan = FaultPlan::from_profile(FaultProfile::Chaos, 42);
+        let seq = |component: &str, salt: &str| {
+            let mut inj = plan.injector(component, salt);
+            (0..64).map(|_| inj.next()).collect::<Vec<_>>()
+        };
+        assert_eq!(seq("mem", "ORIG"), seq("mem", "ORIG"));
+        assert_ne!(seq("mem", "ORIG"), seq("rfu", "ORIG"));
+        assert_ne!(seq("mem", "ORIG"), seq("mem", "A1"));
+        let other = FaultPlan::from_profile(FaultProfile::Chaos, 43);
+        let mut inj = other.injector("mem", "ORIG");
+        let other_seq: Vec<u64> = (0..64).map(|_| inj.next()).collect();
+        assert_ne!(seq("mem", "ORIG"), other_seq);
+    }
+
+    #[test]
+    fn profiles_parse_and_set_expected_knobs() {
+        for name in FaultProfile::NAMES {
+            let p: FaultProfile = name.parse().unwrap();
+            assert_eq!(p.to_string(), name);
+        }
+        assert!("garbage".parse::<FaultProfile>().is_err());
+        let latency = FaultPlan::from_profile(FaultProfile::Latency, 1);
+        assert!(latency.mem_latency_ppm > 0 && latency.bitflip_ppm == 0);
+        assert!(!latency.is_inert());
+        let chaos = FaultPlan::from_profile(FaultProfile::Chaos, 1);
+        assert!(
+            chaos.mem_latency_ppm > 0
+                && chaos.flush_ppm > 0
+                && chaos.lb_delay_ppm > 0
+                && chaos.bitflip_ppm > 0
+        );
+        assert!(FaultPlan::from_profile(FaultProfile::None, 9).is_inert());
+    }
+
+    #[test]
+    fn injected_faults_are_bounded() {
+        let plan = FaultPlan::from_profile(FaultProfile::Chaos, 7);
+        let mut inj = plan.injector("mem", "bounds");
+        let mut fired = 0u32;
+        for _ in 0..200_000 {
+            let extra = inj.extra_mem_latency();
+            assert!(extra <= plan.mem_latency_max);
+            fired += u32::from(extra > 0);
+            if let LbRowFault::Delay(d) = inj.lb_row_fault() {
+                assert!(1 <= d && d <= plan.lb_delay_max);
+            }
+            let mut row = [0u8; 20];
+            if let Some((byte, mask)) = inj.bit_flip(&mut row) {
+                assert!(byte < row.len());
+                assert_eq!(mask.count_ones(), 1);
+                assert_eq!(row[byte], mask);
+            }
+        }
+        assert!(fired > 0, "the latency fault fires at a nonzero rate");
+    }
+}

@@ -51,7 +51,8 @@ pub fn encode_op(op: &Op, out: &mut Vec<u32>) {
     let opcode_idx = Opcode::all()
         .iter()
         .position(|&o| o == op.opcode)
-        .expect("opcode present in Opcode::all()") as u32;
+        .unwrap_or_else(|| unreachable!("Opcode::all() covers every variant"))
+        as u32;
     let (dkind, didx) = match op.dest {
         Dest::None => (0u32, 0u32),
         Dest::Gpr(r) => (1, u32::from(r.index())),

@@ -184,7 +184,7 @@ pub fn build_dct(cfg: &MachineConfig) -> Code {
     b.mov(DSTP, DCT_ARG_DST);
     emit_pass(&mut b, &plan, 16, 16, 2, 2);
     b.halt();
-    schedule(&b.build(), cfg).expect("DCT kernel always schedules")
+    schedule(&b.build(), cfg).unwrap_or_else(|e| panic!("DCT kernel always schedules: {e}"))
 }
 
 #[cfg(test)]

@@ -80,7 +80,7 @@ pub fn build_mb_prep(kind: DriverKind, cfg: &MachineConfig) -> Code {
     b.rfu_pref(cfgs::PREF_REF, ARG_REF);
     emit_next_prefetch(&mut b, kind);
     b.halt();
-    schedule(&b.build(), cfg).expect("prep program always schedules")
+    schedule(&b.build(), cfg).unwrap_or_else(|e| panic!("prep program always schedules: {e}"))
 }
 
 /// Per-candidate program: compute the candidate address, prefetch the next
@@ -114,7 +114,7 @@ pub fn build_me_loop_call(kind: DriverKind, cfg: &MachineConfig) -> Code {
         RESULT,
     ));
     b.halt();
-    schedule(&b.build(), cfg).expect("driver program always schedules")
+    schedule(&b.build(), cfg).unwrap_or_else(|e| panic!("driver program always schedules: {e}"))
 }
 
 #[cfg(test)]

@@ -142,7 +142,7 @@ pub fn build_getsad(variant: Variant, cfg: &MachineConfig) -> Code {
     }
 
     let program = b.build();
-    schedule(&program, cfg).expect("GetSad kernels always schedule")
+    schedule(&program, cfg).unwrap_or_else(|e| panic!("GetSad kernels always schedule: {e}"))
 }
 
 /// Common initialisation and the interpolation-mode dispatch.

@@ -170,7 +170,7 @@ pub fn build_mc(cfg: &MachineConfig) -> Code {
     emit_mc_v(&mut b);
     b.bind(l_diag);
     emit_mc_diag(&mut b);
-    schedule(&b.build(), cfg).expect("MC kernel always schedules")
+    schedule(&b.build(), cfg).unwrap_or_else(|e| panic!("MC kernel always schedules: {e}"))
 }
 
 #[cfg(test)]

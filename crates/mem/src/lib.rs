@@ -21,10 +21,10 @@
 //! let mut mem = MemorySystem::new(MemConfig::default());
 //! let buf = mem.ram.alloc(64, 32);
 //! mem.ram.store32(buf, 0xdead_beef);
-//! let acc = mem.read(buf, 4, 0);
+//! let acc = mem.read(buf, 4, 0).unwrap();
 //! assert_eq!(acc.value, 0xdead_beef);
 //! assert!(acc.stall > 0); // cold miss
-//! let acc2 = mem.read(buf, 4, 100);
+//! let acc2 = mem.read(buf, 4, 100).unwrap();
 //! assert_eq!(acc2.stall, 0); // warm hit
 //! ```
 
@@ -40,4 +40,4 @@ pub use config::MemConfig;
 pub use prefetch::PrefetchQueue;
 pub use ram::Ram;
 pub use stats::MemStats;
-pub use system::{Access, MemorySystem};
+pub use system::{Access, MemError, MemorySystem};

@@ -1,11 +1,51 @@
 //! The combined memory system: RAM + caches + prefetch buffer + bus.
 
+use std::fmt;
+
 use crate::cache::Cache;
 use crate::config::MemConfig;
 use crate::prefetch::PrefetchQueue;
 use crate::ram::Ram;
 use crate::stats::MemStats;
-use rvliw_trace::{MemEvent, NullTracer, Tracer};
+use rvliw_fault::FaultInjector;
+use rvliw_trace::{FaultEvent, MemEvent, NullTracer, Tracer};
+
+/// A rejected memory access. These are *simulated-program* errors — the
+/// memory system reports them instead of unwinding so a bad scenario can
+/// fail in isolation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// Access size was not 1, 2 or 4 bytes.
+    UnsupportedSize {
+        /// The rejected size.
+        size: u32,
+    },
+    /// The access extends past the end of simulated memory.
+    OutOfRange {
+        /// Base byte address of the access.
+        addr: u32,
+        /// Access size in bytes.
+        size: u32,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::UnsupportedSize { size } => {
+                write!(f, "unsupported access size {size} (expected 1, 2 or 4)")
+            }
+            MemError::OutOfRange { addr, size } => {
+                write!(
+                    f,
+                    "access of {size} byte(s) at {addr:#x} is outside simulated memory"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
 
 /// Result of a timed data access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +82,7 @@ pub struct MemorySystem {
     cfg: MemConfig,
     bus_free_at: u64,
     stats: MemStats,
+    fault: FaultInjector,
 }
 
 impl MemorySystem {
@@ -56,7 +97,15 @@ impl MemorySystem {
             cfg,
             bus_free_at: 0,
             stats: MemStats::default(),
+            fault: FaultInjector::inert(),
         }
+    }
+
+    /// Installs a fault injector; the default is the inert injector,
+    /// under which the timing model is bit-identical to a build without
+    /// the fault layer.
+    pub fn set_fault(&mut self, fault: FaultInjector) {
+        self.fault = fault;
     }
 
     /// The configuration in effect.
@@ -101,8 +150,35 @@ impl MemorySystem {
         start + self.cfg.fill_latency
     }
 
-    /// Core of the timing model, shared by loads and stores.
+    /// Core of the timing model, shared by loads and stores, plus the
+    /// fault-injection envelope (a spurious flush may hit before the
+    /// access, latency jitter after it). Under the inert injector the
+    /// envelope reduces to one never-taken branch.
     fn access_timed<T: Tracer + ?Sized>(
+        &mut self,
+        addr: u32,
+        now: u64,
+        write: bool,
+        tracer: &mut T,
+    ) -> (u64, bool) {
+        if !self.fault.is_inert() {
+            if self.fault.spurious_flush() {
+                self.flush_caches();
+                tracer.fault(now, FaultEvent::CacheFlush);
+            }
+            let (mut stall, hit) = self.access_timed_inner(addr, now, write, tracer);
+            let extra = self.fault.extra_mem_latency();
+            if extra > 0 {
+                stall += extra;
+                self.stats.d_stall_cycles += extra;
+                tracer.fault(now, FaultEvent::MemLatency { addr, extra });
+            }
+            return (stall, hit);
+        }
+        self.access_timed_inner(addr, now, write, tracer)
+    }
+
+    fn access_timed_inner<T: Tracer + ?Sized>(
         &mut self,
         addr: u32,
         now: u64,
@@ -144,53 +220,75 @@ impl MemorySystem {
         }
     }
 
+    /// Rejects accesses the hardware could never perform, *before* any
+    /// timing state is touched: a rejected access perturbs no counters.
+    fn check_access(&self, addr: u32, size: u32) -> Result<(), MemError> {
+        if !matches!(size, 1 | 2 | 4) {
+            return Err(MemError::UnsupportedSize { size });
+        }
+        if u64::from(addr) + u64::from(size) > u64::from(self.ram.size()) {
+            return Err(MemError::OutOfRange { addr, size });
+        }
+        Ok(())
+    }
+
     /// Timed load of `size` ∈ {1, 2, 4} bytes at `addr`, `now` being the
     /// current machine cycle.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on an unsupported size or an out-of-range address.
-    pub fn read(&mut self, addr: u32, size: u32, now: u64) -> Access {
+    /// Returns [`MemError`] on an unsupported size or an out-of-range
+    /// address; the timing state is untouched in that case.
+    pub fn read(&mut self, addr: u32, size: u32, now: u64) -> Result<Access, MemError> {
         self.read_traced(addr, size, now, &mut NullTracer)
     }
 
     /// [`MemorySystem::read`], emitting cache events into `tracer`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on an unsupported size or an out-of-range address.
+    /// Returns [`MemError`] on an unsupported size or an out-of-range
+    /// address; the timing state is untouched in that case.
     pub fn read_traced<T: Tracer + ?Sized>(
         &mut self,
         addr: u32,
         size: u32,
         now: u64,
         tracer: &mut T,
-    ) -> Access {
+    ) -> Result<Access, MemError> {
+        self.check_access(addr, size)?;
         self.stats.loads += 1;
         let (stall, hit) = self.access_timed(addr, now, false, tracer);
         let value = match size {
             1 => u32::from(self.ram.load8(addr)),
             2 => u32::from(self.ram.load16(addr)),
-            4 => self.ram.load32(addr),
-            _ => panic!("unsupported access size {size}"),
+            _ => self.ram.load32(addr),
         };
-        Access { value, stall, hit }
+        Ok(Access { value, stall, hit })
     }
 
     /// Timed store (write-allocate): the line is fetched on a miss.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on an unsupported size or an out-of-range address.
-    pub fn write(&mut self, addr: u32, size: u32, value: u32, now: u64) -> Access {
+    /// Returns [`MemError`] on an unsupported size or an out-of-range
+    /// address; the timing state is untouched in that case.
+    pub fn write(
+        &mut self,
+        addr: u32,
+        size: u32,
+        value: u32,
+        now: u64,
+    ) -> Result<Access, MemError> {
         self.write_traced(addr, size, value, now, &mut NullTracer)
     }
 
     /// [`MemorySystem::write`], emitting cache events into `tracer`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on an unsupported size or an out-of-range address.
+    /// Returns [`MemError`] on an unsupported size or an out-of-range
+    /// address; the timing state is untouched in that case.
     pub fn write_traced<T: Tracer + ?Sized>(
         &mut self,
         addr: u32,
@@ -198,16 +296,16 @@ impl MemorySystem {
         value: u32,
         now: u64,
         tracer: &mut T,
-    ) -> Access {
+    ) -> Result<Access, MemError> {
+        self.check_access(addr, size)?;
         self.stats.stores += 1;
         let (stall, hit) = self.access_timed(addr, now, true, tracer);
         match size {
             1 => self.ram.store8(addr, value as u8),
             2 => self.ram.store16(addr, value as u16),
-            4 => self.ram.store32(addr, value),
-            _ => panic!("unsupported access size {size}"),
+            _ => self.ram.store32(addr, value),
         }
-        Access { value, stall, hit }
+        Ok(Access { value, stall, hit })
     }
 
     /// Non-blocking prefetch of the line containing `addr`. Returns the
@@ -302,10 +400,10 @@ mod tests {
     fn cold_miss_costs_fill_latency() {
         let mut m = sys();
         let a = m.ram.alloc(64, 64);
-        let acc = m.read(a, 4, 0);
+        let acc = m.read(a, 4, 0).unwrap();
         assert_eq!(acc.stall, m.config().fill_latency);
         assert!(!acc.hit);
-        let acc2 = m.read(a + 4, 4, 100);
+        let acc2 = m.read(a + 4, 4, 100).unwrap();
         assert_eq!(acc2.stall, 0);
         assert!(acc2.hit);
     }
@@ -315,7 +413,7 @@ mod tests {
         let mut m = sys();
         let a = m.ram.alloc(64, 64);
         m.ram.store32(a + 8, 1234);
-        assert_eq!(m.read(a + 8, 4, 0).value, 1234);
+        assert_eq!(m.read(a + 8, 4, 0).unwrap().value, 1234);
     }
 
     #[test]
@@ -325,7 +423,7 @@ mod tests {
         let ready = m.prefetch(a, 0).unwrap();
         assert_eq!(ready, m.config().fill_latency);
         // Access long after arrival: free.
-        let acc = m.read(a, 4, ready + 10);
+        let acc = m.read(a, 4, ready + 10).unwrap();
         assert_eq!(acc.stall, 0);
         let s = m.stats();
         assert_eq!(s.pf_useful, 1);
@@ -339,7 +437,7 @@ mod tests {
         let ready = m.prefetch(a, 0).unwrap();
         // Access halfway through the fill.
         let now = ready - 10;
-        let acc = m.read(a, 4, now);
+        let acc = m.read(a, 4, now).unwrap();
         assert_eq!(acc.stall, 10);
         let s = m.stats();
         assert_eq!(s.pf_late, 1);
@@ -359,7 +457,7 @@ mod tests {
     fn redundant_prefetch_of_cached_line() {
         let mut m = sys();
         let a = m.ram.alloc(64, 64);
-        let _ = m.read(a, 4, 0);
+        let _ = m.read(a, 4, 0).unwrap();
         assert!(m.prefetch(a, 10).is_none());
         assert_eq!(m.stats().pf_redundant, 1);
     }
@@ -383,9 +481,9 @@ mod tests {
     fn write_allocates_and_store_is_visible() {
         let mut m = sys();
         let a = m.ram.alloc(64, 64);
-        let w = m.write(a, 4, 777, 0);
+        let w = m.write(a, 4, 777, 0).unwrap();
         assert!(!w.hit);
-        assert_eq!(m.read(a, 4, 50).value, 777);
+        assert_eq!(m.read(a, 4, 50).unwrap().value, 777);
     }
 
     #[test]
@@ -402,7 +500,7 @@ mod tests {
         let a = m.ram.alloc(4096, 64);
         let mut now = 0;
         for i in 0..4u32 {
-            let acc = m.read(a + i * 64, 4, now);
+            let acc = m.read(a + i * 64, 4, now).unwrap();
             now += acc.stall + 1;
         }
         assert_eq!(m.stats().d_misses, 4);

@@ -75,11 +75,9 @@ pub fn decode(
     let mut out: Vec<Frame> = Vec::with_capacity(config.frames);
     for (t, &frame_bits) in bits_per_frame.iter().enumerate() {
         let start_bits = r.bit_pos();
-        let frame = if t == 0 {
-            decode_intra(&mut r, config, t)?
-        } else {
-            let prev = out.last().expect("previous frame decoded");
-            decode_inter(&mut r, prev, config, t)?
+        let frame = match out.last() {
+            None => decode_intra(&mut r, config, t)?,
+            Some(prev) => decode_inter(&mut r, prev, config, t)?,
         };
         let consumed = r.bit_pos() - start_bits;
         if consumed > frame_bits {

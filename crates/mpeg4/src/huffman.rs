@@ -55,8 +55,9 @@ impl CanonicalCode {
                 // Extract the two lightest nodes (linear scan: alphabets
                 // here are small).
                 heap.sort_by_key(|n| std::cmp::Reverse(n.weight));
-                let a = heap.pop().expect("two nodes remain");
-                let b = heap.pop().expect("two nodes remain");
+                let (Some(a), Some(b)) = (heap.pop(), heap.pop()) else {
+                    break; // unreachable: the loop guard holds ≥ 2 nodes
+                };
                 for &s in a.symbols.iter().chain(&b.symbols) {
                     lengths[s] += 1;
                 }

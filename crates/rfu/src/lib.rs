@@ -49,6 +49,18 @@ pub use reconfig::ReconfigModel;
 pub use stats::RfuStats;
 pub use unit::{ExecOutcome, Rfu, RfuError};
 
+/// Wait threshold (in cycles) beyond which the kernel loop declares a
+/// line-buffer row deadlocked ([`RfuError::LineBufferDeadlock`]): a `Done`
+/// flag that far in the future can only come from a hardware fault, never
+/// from a legitimate in-flight memory access.
+pub const LB_DEADLOCK_LIMIT: u64 = 1_000_000;
+
+/// Ready-time sentinel installed by the fault injector for a line-buffer
+/// row whose `Done` flag never arrives. Distinct from `u64::MAX`, which
+/// marks a *dropped* gather that legitimately falls back to plain cache
+/// accesses.
+pub const LB_STUCK_READY: u64 = u64::MAX - 1;
+
 /// Macroblock edge in pixels.
 pub const MB_SIZE: usize = 16;
 /// Predictor rows touched by a (possibly interpolated) candidate macroblock.

@@ -6,13 +6,14 @@
 //! streams from Line Buffer A; with the two-line-buffer scheme the predictor
 //! rows come from Line Buffer B and the cache is touched only on misses.
 
-use rvliw_mem::MemorySystem;
+use rvliw_mem::{MemError, MemorySystem};
 use rvliw_trace::{RfuEvent, Tracer};
 
 use crate::config::MeLoopCfg;
 use crate::line_buffer::{LineBufferA, LineBufferB};
 use crate::stats::RfuStats;
-use crate::MB_SIZE;
+use crate::unit::RfuError;
+use crate::{LB_DEADLOCK_LIMIT, MB_SIZE};
 
 /// Half-sample interpolation mode of a candidate predictor, selected by the
 /// sub-pixel components of the motion vector.
@@ -116,6 +117,13 @@ pub(crate) struct LoopRun {
 }
 
 /// Executes the ME kernel loop: timed memory walk + functional SAD.
+///
+/// # Errors
+///
+/// [`RfuError::Mem`] when a macroblock footprint reaches outside simulated
+/// memory, [`RfuError::LineBufferDeadlock`] when a line-buffer row's `Done`
+/// flag is further than [`LB_DEADLOCK_LIMIT`] cycles away (only reachable
+/// under injected faults).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_me_loop<T: Tracer + ?Sized>(
     cfg: &MeLoopCfg,
@@ -128,12 +136,31 @@ pub(crate) fn run_me_loop<T: Tracer + ?Sized>(
     now: u64,
     stats: &mut RfuStats,
     tracer: &mut T,
-) -> LoopRun {
+) -> Result<LoopRun, RfuError> {
     let ii = cfg.initiation_interval();
     let stride = cfg.stride;
     let mut stall: u64 = 0;
     let pred_rows = MB_SIZE as u32 + u32::from(mode.needs_extra_row());
     let pred_cols = MB_SIZE as u32 + u32::from(mode.needs_extra_col());
+
+    // Validate both macroblock footprints before the timed walk so the
+    // functional byte reads below can never index outside RAM.
+    let ram_size = u64::from(mem.ram.size());
+    let cand_end =
+        u64::from(cand_addr) + u64::from(pred_rows - 1) * u64::from(stride) + u64::from(pred_cols);
+    if cand_end > ram_size {
+        return Err(RfuError::Mem(MemError::OutOfRange {
+            addr: cand_addr,
+            size: pred_cols,
+        }));
+    }
+    let ref_end = u64::from(ref_addr) + (MB_SIZE as u64 - 1) * u64::from(stride) + MB_SIZE as u64;
+    if ref_end > ram_size {
+        return Err(RfuError::Mem(MemError::OutOfRange {
+            addr: ref_addr,
+            size: MB_SIZE as u32,
+        }));
+    }
 
     for r in 0..pred_rows {
         let offset = cfg.prologue + u64::from(r) * ii;
@@ -151,6 +178,12 @@ pub(crate) fn run_me_loop<T: Tracer + ?Sized>(
                         tracer.rfu(eff, RfuEvent::LbbHit);
                     }
                     Some(extra) => {
+                        if extra > LB_DEADLOCK_LIMIT {
+                            return Err(RfuError::LineBufferDeadlock {
+                                row: r,
+                                waited: extra,
+                            });
+                        }
                         stats.lbb_late += 1;
                         stall += extra;
                         mem.account_stall(extra);
@@ -159,12 +192,12 @@ pub(crate) fn run_me_loop<T: Tracer + ?Sized>(
                     None => {
                         stats.lbb_misses += 1;
                         tracer.rfu(eff, RfuEvent::LbbMiss);
-                        let acc = mem.read_traced(line, 4, eff, tracer);
+                        let acc = mem.read_traced(line, 4, eff, tracer)?;
                         stall += acc.stall;
                     }
                 }
             } else {
-                let acc = mem.read_traced(line.max(row_addr), 4, eff, tracer);
+                let acc = mem.read_traced(line.max(row_addr), 4, eff, tracer)?;
                 stall += acc.stall;
             }
             if line == last_line {
@@ -181,10 +214,18 @@ pub(crate) fn run_me_loop<T: Tracer + ?Sized>(
                     // Gather was dropped: the RFU stalls the processor and
                     // issues the corresponding cache accesses.
                     let row_addr = ref_addr + r * stride;
-                    let acc = mem.read_traced(row_addr, 4, eff, tracer);
+                    let acc = mem.read_traced(row_addr, 4, eff, tracer)?;
                     stall += acc.stall;
                 } else if ready > eff {
                     let wait = ready - eff;
+                    if wait > LB_DEADLOCK_LIMIT {
+                        // The row's Done flag is unreachably far away — a
+                        // stuck gather (fault injection), not a slow one.
+                        return Err(RfuError::LineBufferDeadlock {
+                            row: r,
+                            waited: wait,
+                        });
+                    }
                     stats.lba_waits += 1;
                     stats.lba_wait_cycles += wait;
                     stall += wait;
@@ -194,7 +235,7 @@ pub(crate) fn run_me_loop<T: Tracer + ?Sized>(
             } else {
                 // No gathered reference: plain cache accesses.
                 let row_addr = ref_addr + r * stride;
-                let acc = mem.read_traced(row_addr, 4, eff, tracer);
+                let acc = mem.read_traced(row_addr, 4, eff, tracer)?;
                 stall += acc.stall;
             }
         }
@@ -207,12 +248,47 @@ pub(crate) fn run_me_loop<T: Tracer + ?Sized>(
         );
     }
 
-    let sad = golden_sad(&mem.ram, ref_addr, cand_addr, stride, mode);
+    // Reference pixels come from Line Buffer A when it holds the gathered
+    // macroblock — under fault-free operation the rows are bit-identical
+    // copies of RAM, but an injected bit flip in the gather must surface in
+    // the SAD the scenario observes.
+    let sad = if lb_a.base() == Some(ref_addr) {
+        sad_via_lba(lb_a, &mem.ram, ref_addr, cand_addr, stride, mode)
+    } else {
+        golden_sad(&mem.ram, ref_addr, cand_addr, stride, mode)
+    };
     let busy = cfg.static_latency();
     stats.loops += 1;
     stats.loop_busy_cycles += busy;
     stats.loop_stall_cycles += stall;
-    LoopRun { sad, busy, stall }
+    Ok(LoopRun { sad, busy, stall })
+}
+
+/// SAD with reference pixels sourced from Line Buffer A's gathered rows
+/// (dropped rows fall back to RAM, mirroring the timed walk above).
+fn sad_via_lba(
+    lb_a: &LineBufferA,
+    ram: &rvliw_mem::Ram,
+    ref_addr: u32,
+    cand_addr: u32,
+    stride: u32,
+    mode: InterpMode,
+) -> u32 {
+    let p = |x: u32, y: u32| ram.load8(cand_addr + y * stride + x);
+    let mut sad = 0u32;
+    for y in 0..MB_SIZE as u32 {
+        let gathered = lb_a.row_ready_at(y as usize) != u64::MAX;
+        for x in 0..MB_SIZE as u32 {
+            let pix = interp_pixel(p(x, y), p(x + 1, y), p(x, y + 1), p(x + 1, y + 1), mode);
+            let r = if gathered {
+                lb_a.row(y as usize)[x as usize]
+            } else {
+                ram.load8(ref_addr + y * stride + x)
+            };
+            sad += u32::from(pix.abs_diff(r));
+        }
+    }
+    sad
 }
 
 #[cfg(test)]

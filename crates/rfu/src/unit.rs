@@ -4,8 +4,9 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use rvliw_mem::MemorySystem;
-use rvliw_trace::{NullTracer, RfuEvent, Tracer};
+use rvliw_fault::{FaultInjector, LbRowFault};
+use rvliw_mem::{MemError, MemorySystem};
+use rvliw_trace::{FaultEvent, NullTracer, RfuEvent, Tracer};
 
 use crate::config::{cfgs, MeLoopCfg, PrefetchPattern, RfuConfig, ShortOp};
 use crate::line_buffer::{LineBufferA, LineBufferB};
@@ -48,6 +49,17 @@ pub enum RfuError {
         /// Operands present.
         got: usize,
     },
+    /// A memory access on behalf of the RFU was rejected.
+    Mem(MemError),
+    /// A kernel loop waited on a line-buffer row whose `Done` flag can
+    /// never arrive (deadlock watchdog; see
+    /// [`LB_DEADLOCK_LIMIT`](crate::LB_DEADLOCK_LIMIT)).
+    LineBufferDeadlock {
+        /// The row index waited on.
+        row: u32,
+        /// Cycles the loop would have waited.
+        waited: u64,
+    },
 }
 
 impl fmt::Display for RfuError {
@@ -61,11 +73,22 @@ impl fmt::Display for RfuError {
                 f,
                 "RFU configuration #{cfg} needs {needed} sent operands, got {got}"
             ),
+            RfuError::Mem(e) => write!(f, "RFU memory access rejected: {e}"),
+            RfuError::LineBufferDeadlock { row, waited } => write!(
+                f,
+                "deadlock: line-buffer row {row} will never complete (wait of {waited} cycles)"
+            ),
         }
     }
 }
 
 impl std::error::Error for RfuError {}
+
+impl From<MemError> for RfuError {
+    fn from(e: MemError) -> Self {
+        RfuError::Mem(e)
+    }
+}
 
 /// Exact diagonal half-sample interpolation over 4 pixels (scenario A2).
 ///
@@ -157,6 +180,7 @@ pub struct Rfu {
     reconfig: ReconfigModel,
     /// Activity counters.
     pub stats: RfuStats,
+    fault: FaultInjector,
 }
 
 impl Default for Rfu {
@@ -179,7 +203,15 @@ impl Rfu {
             lb_b: LineBufferB::new(),
             reconfig: ReconfigModel::zero_penalty(),
             stats: RfuStats::default(),
+            fault: FaultInjector::inert(),
         }
+    }
+
+    /// Installs a fault injector; the default is the inert injector,
+    /// under which gathers and loops behave exactly as without the
+    /// fault layer.
+    pub fn set_fault(&mut self, fault: FaultInjector) {
+        self.fault = fault;
     }
 
     /// An RFU preloaded with the case study's standard configurations
@@ -373,7 +405,7 @@ impl Rfu {
                     now,
                     &mut self.stats,
                     tracer,
-                );
+                )?;
                 tracer.rfu(
                     now,
                     RfuEvent::LoopDone {
@@ -399,7 +431,7 @@ impl Rfu {
                     needed: 2,
                     got: srcs.len(),
                 })?;
-                let out = self.exec_dct_loop(&cfg, src, dst, mem, now, tracer);
+                let out = self.exec_dct_loop(&cfg, src, dst, mem, now, tracer)?;
                 tracer.rfu(
                     now,
                     RfuEvent::LoopDone {
@@ -428,12 +460,23 @@ impl Rfu {
         mem: &mut MemorySystem,
         now: u64,
         tracer: &mut T,
-    ) -> ExecOutcome {
+    ) -> Result<ExecOutcome, RfuError> {
+        // The block is 8 rows at a 16-byte stride; validate the whole
+        // footprint up front so the direct `ram` loads below cannot panic
+        // on CLI-supplied addresses.
+        for base in [src, dst] {
+            if u64::from(base) + 8 * 16 > u64::from(mem.ram.size()) {
+                return Err(RfuError::Mem(MemError::OutOfRange {
+                    addr: base,
+                    size: 8 * 16,
+                }));
+            }
+        }
         let mut stall = 0u64;
         let mut block = [0i32; 64];
         for r in 0..8u32 {
             let eff = now + cfg.prologue + u64::from(r) + stall;
-            let acc = mem.read_traced(src + r * 16, 4, eff, tracer);
+            let acc = mem.read_traced(src + r * 16, 4, eff, tracer)?;
             stall += acc.stall;
             for x in 0..8u32 {
                 block[(r * 8 + x) as usize] = mem.ram.load16(src + r * 16 + x * 2) as i16 as i32;
@@ -447,7 +490,7 @@ impl Rfu {
                 let lo = out[(r * 8 + w * 2) as usize] as u16;
                 let hi = out[(r * 8 + w * 2 + 1) as usize] as u16;
                 let word = u32::from(lo) | (u32::from(hi) << 16);
-                let acc = mem.write_traced(dst + r * 16 + w * 4, 4, word, eff, tracer);
+                let acc = mem.write_traced(dst + r * 16 + w * 4, 4, word, eff, tracer)?;
                 stall += acc.stall;
             }
         }
@@ -455,11 +498,11 @@ impl Rfu {
         self.stats.dct_loops += 1;
         self.stats.loop_busy_cycles += busy;
         self.stats.loop_stall_cycles += stall;
-        ExecOutcome {
+        Ok(ExecOutcome {
             value: dst,
             busy,
             stall,
-        }
+        })
     }
 
     fn exec_short(&mut self, id: u16, op: ShortOp, srcs: &[u32]) -> Result<u32, RfuError> {
@@ -488,8 +531,10 @@ impl Rfu {
                 }
                 let w = &self.inputs[self.inputs.len() - 10..];
                 let align = srcs.first().copied().unwrap_or(0);
-                let y: [u32; 5] = w[..5].try_into().expect("five words");
-                let y1: [u32; 5] = w[5..10].try_into().expect("five words");
+                let mut y = [0u32; 5];
+                let mut y1 = [0u32; 5];
+                y.copy_from_slice(&w[..5]);
+                y1.copy_from_slice(&w[5..10]);
                 self.out_words = diag16(y, y1, align & 3);
                 self.inputs.clear();
                 Ok(self.out_words[0])
@@ -541,13 +586,49 @@ impl Rfu {
             PrefetchPattern::ReferenceMb { stride } => {
                 self.lb_a.begin_gather(addr);
                 for r in 0..MB_SIZE as u32 {
-                    let row_addr = addr + r * stride;
-                    let ready = Self::line_ready(mem, row_addr, now, tracer);
+                    let row_addr = addr.checked_add(r * stride).ok_or(RfuError::Mem(
+                        MemError::OutOfRange {
+                            addr,
+                            size: MB_SIZE as u32,
+                        },
+                    ))?;
+                    if u64::from(row_addr) + MB_SIZE as u64 > u64::from(mem.ram.size()) {
+                        return Err(RfuError::Mem(MemError::OutOfRange {
+                            addr: row_addr,
+                            size: MB_SIZE as u32,
+                        }));
+                    }
+                    let mut ready = Self::line_ready(mem, row_addr, now, tracer);
                     self.stats.mb_prefetch_lines += 1;
                     // Gather: the row's pixels land in Line Buffer A when
                     // the access completes.
                     let mut data = [0u8; MB_SIZE];
                     data.copy_from_slice(mem.ram.read_bytes(row_addr, MB_SIZE as u32));
+                    if !self.fault.is_inert() {
+                        match self.fault.lb_row_fault() {
+                            LbRowFault::None => {}
+                            LbRowFault::Delay(extra) => {
+                                if ready != u64::MAX {
+                                    ready = ready.saturating_add(extra).min(crate::LB_STUCK_READY);
+                                    tracer.fault(now, FaultEvent::LbRowDelay { row: r, extra });
+                                }
+                            }
+                            LbRowFault::Stuck => {
+                                ready = crate::LB_STUCK_READY;
+                                tracer.fault(now, FaultEvent::LbRowStuck { row: r });
+                            }
+                        }
+                        if let Some((byte, mask)) = self.fault.bit_flip(&mut data) {
+                            tracer.fault(
+                                now,
+                                FaultEvent::BitFlip {
+                                    row: r,
+                                    byte: byte as u32,
+                                    mask,
+                                },
+                            );
+                        }
+                    }
                     self.lb_a.fill_row(r as usize, data, ready);
                     tracer.rfu(
                         now,
@@ -566,7 +647,10 @@ impl Rfu {
             }
             PrefetchPattern::CandidateMbToLbB { stride } => {
                 self.lb_b.swap_banks();
-                for line in Self::candidate_lines(mem, addr, stride) {
+                for (i, line) in Self::candidate_lines(mem, addr, stride)
+                    .into_iter()
+                    .enumerate()
+                {
                     self.stats.mb_prefetch_lines += 1;
                     if self.lb_b.probe(line).is_some() {
                         // Fully associative dedup: inherit the pending or
@@ -574,7 +658,26 @@ impl Rfu {
                         let _ = self.lb_b.allocate(line, 0);
                         continue;
                     }
-                    let ready = Self::line_ready(mem, line, now, tracer);
+                    let mut ready = Self::line_ready(mem, line, now, tracer);
+                    if !self.fault.is_inert() && ready != u64::MAX {
+                        match self.fault.lb_row_fault() {
+                            LbRowFault::None => {}
+                            LbRowFault::Delay(extra) => {
+                                ready = ready.saturating_add(extra).min(crate::LB_STUCK_READY);
+                                tracer.fault(
+                                    now,
+                                    FaultEvent::LbRowDelay {
+                                        row: i as u32,
+                                        extra,
+                                    },
+                                );
+                            }
+                            LbRowFault::Stuck => {
+                                ready = crate::LB_STUCK_READY;
+                                tracer.fault(now, FaultEvent::LbRowStuck { row: i as u32 });
+                            }
+                        }
+                    }
                     if ready != u64::MAX {
                         let _ = self.lb_b.allocate(line, ready);
                     }

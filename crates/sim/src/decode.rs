@@ -103,6 +103,15 @@ pub enum ExecKind {
     RfuPref(u16),
     /// Side-effect-free operation, lowered to a direct evaluator.
     Pure(PureFn),
+    /// An operation the decoder could not lower (an RFU opcode built
+    /// without its configuration id, or an opcode with no evaluator).
+    /// Executing it fails with
+    /// [`SimError::Undecodable`](crate::SimError::Undecodable) instead
+    /// of panicking; scheduled programs never contain one.
+    Undecodable {
+        /// What was missing.
+        what: &'static str,
+    },
 }
 
 /// One lowered operation.
@@ -259,6 +268,15 @@ impl DecodedCode {
     }
 }
 
+/// Lowers an RFU opcode, degrading to [`ExecKind::Undecodable`] when the
+/// configuration id is absent (possible only in hand-built code).
+fn rfu_kind(cfg: Option<u16>, make: fn(u16) -> ExecKind, what: &'static str) -> ExecKind {
+    match cfg {
+        Some(c) => make(c),
+        None => ExecKind::Undecodable { what },
+    }
+}
+
 fn decode_op(op: &rvliw_isa::Op, cfg: &MachineConfig) -> DecodedOp {
     use Opcode::*;
     let kind = match op.opcode {
@@ -299,11 +317,32 @@ fn decode_op(op: &rvliw_isa::Op, cfg: &MachineConfig) -> DecodedOp {
         Ret => ExecKind::Ret,
         Halt => ExecKind::Halt,
         Nop => ExecKind::Nop,
-        RfuInit => ExecKind::RfuInit(op.cfg.expect("rfuinit carries a configuration id")),
-        RfuSend => ExecKind::RfuSend(op.cfg.expect("rfusend carries a configuration id")),
-        RfuExec | RfuLoop => ExecKind::RfuExec(op.cfg.expect("rfuexec carries a configuration id")),
-        RfuPref => ExecKind::RfuPref(op.cfg.expect("rfupref carries a configuration id")),
-        opcode => ExecKind::Pure(pure_fn(opcode).expect("non-special opcodes are pure")),
+        RfuInit => rfu_kind(
+            op.cfg,
+            ExecKind::RfuInit,
+            "rfuinit without a configuration id",
+        ),
+        RfuSend => rfu_kind(
+            op.cfg,
+            ExecKind::RfuSend,
+            "rfusend without a configuration id",
+        ),
+        RfuExec | RfuLoop => rfu_kind(
+            op.cfg,
+            ExecKind::RfuExec,
+            "rfuexec without a configuration id",
+        ),
+        RfuPref => rfu_kind(
+            op.cfg,
+            ExecKind::RfuPref,
+            "rfupref without a configuration id",
+        ),
+        opcode => match pure_fn(opcode) {
+            Some(f) => ExecKind::Pure(f),
+            None => ExecKind::Undecodable {
+                what: "opcode has no evaluator",
+            },
+        },
     };
     let mut srcs = [DSrc::Imm(0); MAX_SRCS];
     for (d, &s) in srcs.iter_mut().zip(op.srcs()) {

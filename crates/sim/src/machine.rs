@@ -5,8 +5,9 @@ use std::fmt;
 use std::sync::Arc;
 
 use rvliw_asm::Code;
+use rvliw_fault::FaultPlan;
 use rvliw_isa::{Dest, Gpr, MachineConfig, NUM_BRS, NUM_GPRS};
-use rvliw_mem::{MemConfig, MemStats, MemorySystem};
+use rvliw_mem::{MemConfig, MemError, MemStats, MemorySystem};
 use rvliw_rfu::{Rfu, RfuStats};
 use rvliw_trace::{NullTracer, StallCause, Tracer};
 
@@ -36,6 +37,20 @@ pub enum SimError {
         /// The out-of-range bundle index.
         pc: usize,
     },
+    /// A load or store was rejected by the memory system.
+    Mem(MemError),
+    /// A taken branch, goto or call had no resolved target (hand-built,
+    /// unscheduled code).
+    UnresolvedTarget {
+        /// Bundle index of the faulting control-flow operation.
+        pc: usize,
+    },
+    /// An operation could not be lowered at decode time (hand-built
+    /// code; see [`ExecKind::Undecodable`](crate::decode::ExecKind)).
+    Undecodable {
+        /// What was missing.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -44,11 +59,22 @@ impl fmt::Display for SimError {
             SimError::CycleLimit { limit } => write!(f, "cycle limit {limit} exceeded"),
             SimError::Rfu(e) => write!(f, "RFU error: {e}"),
             SimError::FellOffEnd { pc } => write!(f, "execution fell off the program at {pc}"),
+            SimError::Mem(e) => write!(f, "memory error: {e}"),
+            SimError::UnresolvedTarget { pc } => {
+                write!(f, "control-flow operation at {pc} has no resolved target")
+            }
+            SimError::Undecodable { what } => write!(f, "undecodable operation: {what}"),
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+impl From<MemError> for SimError {
+    fn from(e: MemError) -> Self {
+        SimError::Mem(e)
+    }
+}
 
 /// Summary of one [`Machine::run`] invocation (deltas over the run).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -192,6 +218,14 @@ impl Machine {
             mem: self.mem.stats(),
             rfu: self.rfu.stats,
         }
+    }
+
+    /// Derives per-component injectors from `plan` (salted with `salt`,
+    /// typically a scenario label) and installs them into the memory
+    /// system and the RFU. The zero-fault plan installs inert injectors.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan, salt: &str) {
+        self.mem.set_fault(plan.injector("mem", salt));
+        self.rfu.set_fault(plan.injector("rfu", salt));
     }
 
     /// The pre-decoded form of `code` for this machine's configuration,
@@ -449,7 +483,7 @@ impl Machine {
             }
             ExecKind::Load { size, sext_from } => {
                 let addr = srcs[0].wrapping_add(srcs.get(1).copied().unwrap_or(0));
-                let acc = self.mem.read_traced(addr, size, self.cycle, tracer);
+                let acc = self.mem.read_traced(addr, size, self.cycle, tracer)?;
                 if acc.stall > 0 {
                     tracer.stall(self.cycle, pc, StallCause::DCache, acc.stall);
                 }
@@ -465,7 +499,9 @@ impl Machine {
             ExecKind::Store { size } => {
                 let value = srcs[0];
                 let addr = srcs[1].wrapping_add(srcs.get(2).copied().unwrap_or(0));
-                let acc = self.mem.write_traced(addr, size, value, self.cycle, tracer);
+                let acc = self
+                    .mem
+                    .write_traced(addr, size, value, self.cycle, tracer)?;
                 if acc.stall > 0 {
                     tracer.stall(self.cycle, pc, StallCause::DCache, acc.stall);
                 }
@@ -478,11 +514,13 @@ impl Machine {
             ExecKind::BrCond { on_true, target } => {
                 let cond = srcs[0] != 0;
                 if cond == on_true {
-                    *next_pc = Some(target.expect("resolved branch target") as usize);
+                    let t = target.ok_or(SimError::UnresolvedTarget { pc })?;
+                    *next_pc = Some(t as usize);
                 }
             }
             ExecKind::Goto { target } => {
-                *next_pc = Some(target.expect("resolved goto target") as usize);
+                let t = target.ok_or(SimError::UnresolvedTarget { pc })?;
+                *next_pc = Some(t as usize);
             }
             ExecKind::Call { target } => {
                 push(
@@ -490,7 +528,8 @@ impl Machine {
                     nwrites,
                     (Dest::Gpr(Gpr::LINK), (pc + 1) as u32, self.cycle + 1),
                 );
-                *next_pc = Some(target.expect("resolved call target") as usize);
+                let t = target.ok_or(SimError::UnresolvedTarget { pc })?;
+                *next_pc = Some(t as usize);
             }
             ExecKind::Ret => {
                 let target = srcs.first().copied().unwrap_or_else(|| self.gpr(Gpr::LINK));
@@ -533,6 +572,7 @@ impl Machine {
                     .pref_traced(cfg, addr, &mut self.mem, self.cycle, tracer)
                     .map_err(|e| SimError::Rfu(e.to_string()))?;
             }
+            ExecKind::Undecodable { what } => return Err(SimError::Undecodable { what }),
         }
         Ok(())
     }

@@ -5,7 +5,7 @@
 //! One simulated cycle maps to one microsecond of trace time. Events land
 //! on three tracks (Chrome "threads") of one process: `core`, `mem`, `rfu`.
 
-use crate::event::{MemEvent, RfuEvent, StallCause};
+use crate::event::{FaultEvent, MemEvent, RfuEvent, StallCause};
 use crate::json::escape_json;
 use crate::tracer::Tracer;
 
@@ -15,6 +15,8 @@ const TID_CORE: u32 = 1;
 const TID_MEM: u32 = 2;
 /// Track id of the RFU.
 const TID_RFU: u32 = 3;
+/// Track id of the fault-injection layer.
+const TID_FAULT: u32 = 4;
 
 /// A [`Tracer`] that records Chrome `trace_event` JSON.
 ///
@@ -114,7 +116,12 @@ impl ChromeTracer {
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\"traceEvents\":[\n");
         // Track-name metadata first.
-        for (tid, name) in [(TID_CORE, "core"), (TID_MEM, "mem"), (TID_RFU, "rfu")] {
+        for (tid, name) in [
+            (TID_CORE, "core"),
+            (TID_MEM, "mem"),
+            (TID_RFU, "rfu"),
+            (TID_FAULT, "fault"),
+        ] {
             s.push_str(&format!(
                 "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"args\":{{\"name\":\"{name}\"}}}},\n"
             ));
@@ -253,6 +260,38 @@ impl Tracer for ChromeTracer {
             RfuEvent::LbbMiss => self.instant(TID_RFU, "lbb-miss", cycle, ""),
         }
     }
+
+    fn fault(&mut self, cycle: u64, event: FaultEvent) {
+        match event {
+            FaultEvent::MemLatency { addr, extra } => self.slice(
+                TID_FAULT,
+                "fault-mem-latency",
+                cycle,
+                extra.max(1),
+                &format!(",\"args\":{{\"addr\":{addr},\"extra\":{extra}}}"),
+            ),
+            FaultEvent::CacheFlush => self.instant(TID_FAULT, "fault-cache-flush", cycle, ""),
+            FaultEvent::LbRowDelay { row, extra } => self.slice(
+                TID_FAULT,
+                "fault-lb-row-delay",
+                cycle,
+                extra.max(1),
+                &format!(",\"args\":{{\"row\":{row},\"extra\":{extra}}}"),
+            ),
+            FaultEvent::LbRowStuck { row } => self.instant(
+                TID_FAULT,
+                "fault-lb-row-stuck",
+                cycle,
+                &format!(",\"args\":{{\"row\":{row}}}"),
+            ),
+            FaultEvent::BitFlip { row, byte, mask } => self.instant(
+                TID_FAULT,
+                "fault-bit-flip",
+                cycle,
+                &format!(",\"args\":{{\"row\":{row},\"byte\":{byte},\"mask\":{mask}}}"),
+            ),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -286,10 +325,31 @@ mod tests {
             .get("traceEvents")
             .and_then(Json::as_array)
             .expect("traceEvents array");
-        // 3 metadata + 4 recorded.
-        assert_eq!(events.len(), 7);
+        // 4 metadata + 4 recorded.
+        assert_eq!(events.len(), 8);
         assert!(json.contains("\"dcache-stall\""));
         assert!(json.contains("\"kernel-loop\""));
+    }
+
+    #[test]
+    fn fault_events_land_on_their_own_track() {
+        let mut t = ChromeTracer::new();
+        t.fault(10, FaultEvent::MemLatency { addr: 64, extra: 7 });
+        t.fault(20, FaultEvent::CacheFlush);
+        t.fault(
+            30,
+            FaultEvent::BitFlip {
+                row: 3,
+                byte: 5,
+                mask: 0x10,
+            },
+        );
+        let json = t.to_json();
+        assert!(Json::parse(&json).is_ok());
+        assert!(json.contains("\"fault-mem-latency\""));
+        assert!(json.contains("\"fault-cache-flush\""));
+        assert!(json.contains("\"fault-bit-flip\""));
+        assert!(json.contains("\"args\":{\"name\":\"fault\"}"));
     }
 
     #[test]

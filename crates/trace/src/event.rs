@@ -190,6 +190,44 @@ pub enum RfuEvent {
     LbbMiss,
 }
 
+/// Injected-fault events, emitted at the point a
+/// [`FaultPlan`](../rvliw_fault/struct.FaultPlan.html) perturbation
+/// actually fires so a perturbed run is distinguishable from a healthy
+/// one in every tracer backend. A zero-fault run emits none of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Extra bus latency was added to a demand access.
+    MemLatency {
+        /// Accessed byte address.
+        addr: u32,
+        /// Extra stall cycles injected.
+        extra: u64,
+    },
+    /// The caches and prefetch buffer were spuriously flushed.
+    CacheFlush,
+    /// A line-buffer row's completion was delayed.
+    LbRowDelay {
+        /// Row index within the gather.
+        row: u32,
+        /// Extra cycles before the row's `Done` flag arrives.
+        extra: u64,
+    },
+    /// A line-buffer row will never complete (its `Done` flag is stuck).
+    LbRowStuck {
+        /// Row index within the gather.
+        row: u32,
+    },
+    /// One bit of a freshly loaded pixel row was flipped.
+    BitFlip {
+        /// Row index within the gather.
+        row: u32,
+        /// Byte offset within the row.
+        byte: u32,
+        /// Xor mask applied (a single set bit).
+        mask: u8,
+    },
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

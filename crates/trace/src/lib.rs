@@ -38,6 +38,6 @@ pub mod json;
 pub mod tracer;
 
 pub use chrome::ChromeTracer;
-pub use event::{MemEvent, RfuEvent, StallCause};
+pub use event::{FaultEvent, MemEvent, RfuEvent, StallCause};
 pub use json::Json;
 pub use tracer::{CountingTracer, NullTracer, PcCounters, TeeTracer, Tracer};

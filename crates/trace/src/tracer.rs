@@ -2,7 +2,7 @@
 //! (zero-cost disabled tracing) and [`CountingTracer`] (histogram-grade
 //! counters).
 
-use crate::event::{MemEvent, RfuEvent, StallCause};
+use crate::event::{FaultEvent, MemEvent, RfuEvent, StallCause};
 
 /// A sink for cycle-accurate simulation events.
 ///
@@ -36,6 +36,13 @@ pub trait Tracer {
     /// An RFU event at `cycle`.
     #[inline]
     fn rfu(&mut self, cycle: u64, event: RfuEvent) {
+        let _ = (cycle, event);
+    }
+
+    /// An injected fault fired at `cycle`. Zero-fault runs never call
+    /// this hook.
+    #[inline]
+    fn fault(&mut self, cycle: u64, event: FaultEvent) {
         let _ = (cycle, event);
     }
 }
@@ -86,6 +93,12 @@ impl<A: Tracer + ?Sized, B: Tracer + ?Sized> Tracer for TeeTracer<'_, A, B> {
     fn rfu(&mut self, cycle: u64, event: RfuEvent) {
         self.a.rfu(cycle, event);
         self.b.rfu(cycle, event);
+    }
+
+    #[inline]
+    fn fault(&mut self, cycle: u64, event: FaultEvent) {
+        self.a.fault(cycle, event);
+        self.b.fault(cycle, event);
     }
 }
 
@@ -169,6 +182,20 @@ pub struct CountingTracer {
     pub lbb_late: u64,
     /// Line Buffer B misses.
     pub lbb_misses: u64,
+    /// Injected faults observed, in total (zero on a healthy run).
+    pub faults_injected: u64,
+    /// Injected extra-latency faults observed.
+    pub fault_mem_latency: u64,
+    /// Extra stall cycles injected by latency faults.
+    pub fault_mem_latency_cycles: u64,
+    /// Injected spurious cache flushes observed.
+    pub fault_cache_flushes: u64,
+    /// Injected line-buffer row delays observed.
+    pub fault_lb_delays: u64,
+    /// Injected stuck line-buffer rows observed.
+    pub fault_lb_stuck: u64,
+    /// Injected pixel bit flips observed.
+    pub fault_bit_flips: u64,
 }
 
 impl CountingTracer {
@@ -259,6 +286,17 @@ impl CountingTracer {
         field(&mut s, "lbb_hits", self.lbb_hits);
         field(&mut s, "lbb_late", self.lbb_late);
         field(&mut s, "lbb_misses", self.lbb_misses);
+        field(&mut s, "faults_injected", self.faults_injected);
+        field(&mut s, "fault_mem_latency", self.fault_mem_latency);
+        field(
+            &mut s,
+            "fault_mem_latency_cycles",
+            self.fault_mem_latency_cycles,
+        );
+        field(&mut s, "fault_cache_flushes", self.fault_cache_flushes);
+        field(&mut s, "fault_lb_delays", self.fault_lb_delays);
+        field(&mut s, "fault_lb_stuck", self.fault_lb_stuck);
+        field(&mut s, "fault_bit_flips", self.fault_bit_flips);
         s.push_str("  \"stalls\": {\n");
         for (i, cause) in StallCause::ALL.into_iter().enumerate() {
             let sep = if i + 1 == StallCause::ALL.len() {
@@ -352,6 +390,21 @@ impl Tracer for CountingTracer {
                 self.d_stall_cycles += wait;
             }
             RfuEvent::LbbMiss => self.lbb_misses += 1,
+        }
+    }
+
+    #[inline]
+    fn fault(&mut self, _cycle: u64, event: FaultEvent) {
+        self.faults_injected += 1;
+        match event {
+            FaultEvent::MemLatency { extra, .. } => {
+                self.fault_mem_latency += 1;
+                self.fault_mem_latency_cycles += extra;
+            }
+            FaultEvent::CacheFlush => self.fault_cache_flushes += 1,
+            FaultEvent::LbRowDelay { .. } => self.fault_lb_delays += 1,
+            FaultEvent::LbRowStuck { .. } => self.fault_lb_stuck += 1,
+            FaultEvent::BitFlip { .. } => self.fault_bit_flips += 1,
         }
     }
 }

@@ -12,7 +12,7 @@
 use rvliw::exp::{run_me, Scenario, Workload};
 use rvliw::rfu::RfuBandwidth;
 
-fn main() {
+fn main() -> Result<(), rvliw::exp::ScenarioError> {
     println!("encoding the workload …");
     let workload = Workload::qcif_frames(3);
     println!(
@@ -20,7 +20,7 @@ fn main() {
         workload.num_calls()
     );
 
-    let orig = run_me(&Scenario::orig(), &workload);
+    let orig = run_me(&Scenario::orig(), &workload)?;
     println!(
         "ORIG baseline: {} cycles ({} calls)\n",
         orig.me_cycles, orig.calls
@@ -35,14 +35,14 @@ fn main() {
     for bw in RfuBandwidth::all() {
         print!("{:>14} |", format!("loop {}", bw.label()));
         for beta in betas {
-            let r = run_me(&Scenario::loop_level(bw, beta), &workload);
+            let r = run_me(&Scenario::loop_level(bw, beta), &workload)?;
             print!(" {:>5.2} ", r.speedup_vs(&orig));
         }
         println!();
     }
     print!("{:>14} |", "two line bufs");
     for beta in betas {
-        let r = run_me(&Scenario::loop_two_lb(beta), &workload);
+        let r = run_me(&Scenario::loop_two_lb(beta), &workload)?;
         print!(" {:>5.2} ", r.speedup_vs(&orig));
     }
     println!();
@@ -53,4 +53,5 @@ fn main() {
          converge — aggressive pipelining (the fixed 17-row load stage)\n\
          is what keeps the loop-level mapping ahead of the ISA extensions."
     );
+    Ok(())
 }

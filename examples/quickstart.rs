@@ -14,7 +14,7 @@ use rvliw::isa::MachineConfig;
 use rvliw::mem::MemConfig;
 use rvliw::rfu::RfuBandwidth;
 
-fn main() {
+fn main() -> Result<(), rvliw::exp::ScenarioError> {
     println!(
         "{}\n",
         arch::describe(&MachineConfig::st200(), &MemConfig::st200())
@@ -31,27 +31,27 @@ fn main() {
     );
 
     println!("replaying the ME trace on the simulated machine …");
-    let orig = run_me(&Scenario::orig(), &workload);
+    let orig = run_me(&Scenario::orig(), &workload)?;
     println!(
         "  ORIG     : {:>9} cycles  (scalar diagonal interpolation)",
         orig.me_cycles
     );
 
-    let a3 = run_me(&Scenario::a3(), &workload);
+    let a3 = run_me(&Scenario::a3(), &workload)?;
     println!(
         "  A3       : {:>9} cycles  ({:.2}x — 16-pixel RFUEXEC interpolation)",
         a3.me_cycles,
         a3.speedup_vs(&orig)
     );
 
-    let lp = run_me(&Scenario::loop_level(RfuBandwidth::B1x32, 1), &workload);
+    let lp = run_me(&Scenario::loop_level(RfuBandwidth::B1x32, 1), &workload)?;
     println!(
         "  loop 1x32: {:>9} cycles  ({:.2}x — whole kernel loop as one RFU instruction)",
         lp.me_cycles,
         lp.speedup_vs(&orig)
     );
 
-    let lb = run_me(&Scenario::loop_two_lb(1), &workload);
+    let lb = run_me(&Scenario::loop_two_lb(1), &workload)?;
     println!(
         "  loop +LBB: {:>9} cycles  ({:.2}x — plus double-buffered candidate line buffer)",
         lb.me_cycles,
@@ -64,4 +64,5 @@ fn main() {
         lp.speedup_vs(&orig),
         lb.speedup_vs(&orig)
     );
+    Ok(())
 }

@@ -14,6 +14,9 @@
 //!                     in chrome://tracing or https://ui.perfetto.dev)
 //! --metrics-out FILE  write stall/cache/RFU counters and per-PC stall
 //!                     histograms as JSON
+//! --fault-profile P   run under a deterministic seeded fault plan
+//!                     (none | latency | flush | linebuffer | bitflip | chaos)
+//! --fault-seed N      seed for the fault plan (default 0)
 //! ```
 //!
 //! Programs use the listing syntax of `rvliw::asm::parse_program` (see
@@ -23,6 +26,7 @@ use std::process::ExitCode;
 
 use rvliw::asm::{parse_program, schedule_st200, Code};
 use rvliw::exp::arch;
+use rvliw::fault::{FaultPlan, FaultProfile};
 use rvliw::isa::{Bundle, Gpr, MachineConfig};
 use rvliw::mem::MemConfig;
 use rvliw::sim::Machine;
@@ -31,7 +35,8 @@ use rvliw::trace::{ChromeTracer, CountingTracer, TeeTracer};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: rvliw <asm|run|trace> <file.s> [rN=value ...] \
-         [--trace FILE] [--metrics-out FILE]\n       rvliw arch"
+         [--trace FILE] [--metrics-out FILE]\n       \
+         [--fault-profile PROFILE] [--fault-seed N]\n       rvliw arch"
     );
     ExitCode::from(2)
 }
@@ -71,6 +76,8 @@ fn execute(path: &str, rest: &[String], trace: bool) -> Result<(), String> {
     let mut regs: Vec<String> = Vec::new();
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut fault_seed = 0u64;
+    let mut fault_profile = FaultProfile::None;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -84,11 +91,27 @@ fn execute(path: &str, rest: &[String], trace: bool) -> Result<(), String> {
                         .clone(),
                 );
             }
+            "--fault-seed" => {
+                fault_seed = it
+                    .next()
+                    .ok_or("--fault-seed needs an integer")?
+                    .parse::<u64>()
+                    .map_err(|e| format!("--fault-seed: {e}"))?;
+            }
+            "--fault-profile" => {
+                fault_profile = it
+                    .next()
+                    .ok_or("--fault-profile needs a profile name")?
+                    .parse::<FaultProfile>()?;
+            }
             _ => regs.push(a.clone()),
         }
     }
     let code = load(path)?;
     let mut m = Machine::new(MachineConfig::st200(), MemConfig::st200());
+    // Salt the fault substreams with the program path so distinct programs
+    // under the same seed draw independent perturbations.
+    m.set_fault_plan(&FaultPlan::from_profile(fault_profile, fault_seed), path);
     for &(r, v) in &parse_regs(&regs)? {
         m.set_gpr(r, v);
     }

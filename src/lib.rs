@@ -21,23 +21,29 @@
 //!   estimation, DCT/quantization/entropy coding).
 //! * [`kernels`] — the `GetSad` kernels as VLIW programs (ORIG, A1–A3,
 //!   loop-level drivers).
+//! * [`fault`] — deterministic seeded fault injection (latency jitter,
+//!   spurious flushes, delayed/stuck line-buffer rows, bit flips).
 //! * [`exp`] — the experiment driver regenerating the paper's Tables 1–7.
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use rvliw::exp::{Scenario, Workload};
+//! use rvliw::exp::{Scenario, ScenarioError, Workload};
 //!
+//! # fn main() -> Result<(), ScenarioError> {
 //! // A small workload keeps doc-tests fast; experiments use 25 frames.
 //! let workload = Workload::tiny();
-//! let orig = rvliw::exp::run_me(&Scenario::orig(), &workload);
-//! let a3 = rvliw::exp::run_me(&Scenario::a3(), &workload);
+//! let orig = rvliw::exp::run_me(&Scenario::orig(), &workload)?;
+//! let a3 = rvliw::exp::run_me(&Scenario::a3(), &workload)?;
 //! assert!(a3.me_cycles < orig.me_cycles);
+//! # Ok(())
+//! # }
 //! ```
 
 pub use mpeg4_enc as mpeg4;
 pub use rvliw_asm as asm;
 pub use rvliw_core as exp;
+pub use rvliw_fault as fault;
 pub use rvliw_isa as isa;
 pub use rvliw_kernels as kernels;
 pub use rvliw_mem as mem;

@@ -12,7 +12,7 @@ fn full_pipeline_tiny() {
     let w = Workload::tiny();
     assert!(w.num_calls() > 100);
     // Replaying verifies every simulated SAD against the host trace.
-    let orig = run_me(&Scenario::orig(), &w);
+    let orig = run_me(&Scenario::orig(), &w).expect("scenario replay succeeds");
     assert_eq!(orig.calls as usize, w.num_calls());
     // Useful ILP on a 4-issue machine.
     let ipc = orig.core.ipc();
@@ -24,11 +24,12 @@ fn reconfiguration_penalty_erodes_instruction_level_gains() {
     // The paper assumes zero reconfiguration penalty and calls management
     // techniques future work; this extension quantifies the assumption.
     let w = Workload::tiny();
-    let free = run_me(&Scenario::a3(), &w);
+    let free = run_me(&Scenario::a3(), &w).expect("scenario replay succeeds");
     let costly = run_me(
         &Scenario::a3().with_reconfig(ReconfigModel::with_penalty(64, 1)),
         &w,
-    );
+    )
+    .expect("scenario replay succeeds");
     assert!(
         costly.me_cycles > free.me_cycles,
         "penalty must cost cycles: {} vs {}",
@@ -40,19 +41,20 @@ fn reconfiguration_penalty_erodes_instruction_level_gains() {
     let multi = run_me(
         &Scenario::a3().with_reconfig(ReconfigModel::with_penalty(64, 4)),
         &w,
-    );
+    )
+    .expect("scenario replay succeeds");
     assert!(multi.me_cycles <= costly.me_cycles);
 }
 
 #[test]
 fn loop_level_speedup_survives_moderate_reconfig_penalty() {
     let w = Workload::tiny();
-    let orig = run_me(&Scenario::orig(), &w);
+    let orig = run_me(&Scenario::orig(), &w).expect("scenario replay succeeds");
     // One reconfiguration per macroblock (the prep's RFUINIT) at 512
     // cycles, single context: the loop-level approach still wins big.
     let sc = Scenario::loop_level(RfuBandwidth::B1x32, 1)
         .with_reconfig(ReconfigModel::with_penalty(512, 1));
-    let r = run_me(&sc, &w);
+    let r = run_me(&sc, &w).expect("scenario replay succeeds");
     assert!(
         r.speedup_vs(&orig) > 1.5,
         "speedup with penalty {:.2}",
@@ -82,7 +84,7 @@ fn search_algorithm_changes_the_workload_not_the_kernels() {
                 },
             },
         );
-        let r = run_me(&Scenario::orig(), &w);
+        let r = run_me(&Scenario::orig(), &w).expect("scenario replay succeeds");
         assert_eq!(r.calls as usize, w.num_calls(), "{algorithm:?}");
     }
 }
@@ -96,8 +98,9 @@ fn prefetch_buffer_size_matters_for_loop_level() {
     let mut small = Scenario::loop_level(RfuBandwidth::B1x32, 1);
     small.mem.prefetch_entries = 8;
     small.label = "1x32 pfb=8".into();
-    let r_small = run_me(&small, &w);
-    let r_big = run_me(&Scenario::loop_level(RfuBandwidth::B1x32, 1), &w);
+    let r_small = run_me(&small, &w).expect("scenario replay succeeds");
+    let r_big = run_me(&Scenario::loop_level(RfuBandwidth::B1x32, 1), &w)
+        .expect("scenario replay succeeds");
     assert!(
         r_small.mem.pf_dropped > r_big.mem.pf_dropped,
         "8-entry buffer drops prefetches: {} vs {}",

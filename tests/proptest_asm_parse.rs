@@ -51,6 +51,34 @@ fn arb_textable_op() -> impl Strategy<Value = Op> {
         })
 }
 
+/// Arbitrary printable text (plus newlines and tabs).
+fn arb_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![Just('\n'), Just('\t'), (32u8..127).prop_map(|b| b as char),],
+        0..400,
+    )
+    .prop_map(|v| v.into_iter().collect())
+}
+
+/// Short junk built from the parser's own meta-characters.
+fn arb_fragment() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            (97u8..123).prop_map(|b| b as char),
+            Just('$'),
+            Just('#'),
+            Just('='),
+            Just(','),
+            Just('>'),
+            Just(':'),
+            Just(' '),
+            Just('-'),
+        ],
+        0..24,
+    )
+    .prop_map(|v| v.into_iter().collect())
+}
+
 proptest! {
     #[test]
     fn display_parse_roundtrip(ops in proptest::collection::vec(arb_textable_op(), 1..40)) {
@@ -89,5 +117,42 @@ proptest! {
         // Same op multiset (labels renumbered is fine).
         let count = |p: &rvliw::asm::Program| p.blocks.iter().map(|b| b.ops.len()).sum::<usize>();
         prop_assert_eq!(count(&p1), count(&p2));
+    }
+
+    /// Arbitrary printable input never panics the parser: it either parses
+    /// (and then validates without panicking) or returns a typed error.
+    #[test]
+    fn malformed_assembly_errors_never_panic(text in arb_text()) {
+        if let Ok(p) = parse_program("fuzz", &text) {
+            let _ = p.validate();
+        }
+    }
+
+    /// Mangled mixtures of real listing fragments never panic either —
+    /// this biases the fuzzing toward inputs that get deep into the
+    /// parser (labels, configuration ids, branch targets, operands).
+    #[test]
+    fn mangled_listing_fragments_error_never_panic(
+        lines in proptest::collection::vec(
+            prop_oneof![
+                Just("add $r1 = $r2, $r3".to_owned()),
+                Just("L1:".to_owned()),
+                Just("goto -> L1".to_owned()),
+                Just("goto -> nowhere".to_owned()),
+                Just("rfusend#9 $r1, $r2".to_owned()),
+                Just("rfusend#x $r1".to_owned()),
+                Just("stw $r1, $r2, 8".to_owned()),
+                Just("halt".to_owned()),
+                Just(":".to_owned()),
+                Just("= $r1".to_owned()),
+                arb_fragment(),
+            ],
+            0..32,
+        )
+    ) {
+        let text = lines.join("\n");
+        if let Ok(p) = parse_program("fuzz", &text) {
+            let _ = p.validate();
+        }
     }
 }

@@ -37,7 +37,7 @@ proptest! {
         let base = m.ram.alloc(4096 + 4, 32);
         let mut now = 0u64;
         for (i, &(off, v)) in writes.iter().enumerate() {
-            let acc = m.write(base + off, 4, v, now);
+            let acc = m.write(base + off, 4, v, now).unwrap();
             now += acc.stall + 1;
             let _ = i;
         }
@@ -62,7 +62,7 @@ proptest! {
                     .take_while(|(o, _)| *o != off)
                     .any(|(o, _)| (*o < off + 4) && (off < *o + 4));
                 if !aliased {
-                    let acc = m.read(base + off, 4, now);
+                    let acc = m.read(base + off, 4, now).unwrap();
                     now += acc.stall + 1;
                     prop_assert_eq!(acc.value, expect);
                 }
@@ -111,7 +111,7 @@ proptest! {
             }
         }
         for &(addr, t) in &readies {
-            let acc = m.read(addr, 4, t + 1);
+            let acc = m.read(addr, 4, t + 1).unwrap();
             prop_assert_eq!(acc.stall, 0, "line at {:#x} ready at {}", addr, t);
         }
     }
@@ -125,7 +125,7 @@ proptest! {
         let mut now = 0u64;
         let mut total = 0u64;
         for &a in &addrs {
-            let acc = m.read(base + a, 4, now);
+            let acc = m.read(base + a, 4, now).unwrap();
             total += acc.stall;
             now += acc.stall + 1;
         }

@@ -105,7 +105,8 @@ fn reference_prefetches_are_rarely_late() {
     // The paper: "the number of late and incomplete prefetch operations is
     // relatively low (<1%)" for the reference macroblock gathers.
     let w = Workload::qcif_frames(2);
-    let r = rvliw::exp::run_me(&rvliw::exp::Scenario::loop_two_lb(1), &w);
+    let r = rvliw::exp::run_me(&rvliw::exp::Scenario::loop_two_lb(1), &w)
+        .expect("scenario replay succeeds");
     let late_rate = r.rfu.lba_waits as f64 / r.rfu.mb_prefetches.max(1) as f64 / 16.0;
     assert!(late_rate < 0.02, "late reference rows: {late_rate:.4}");
 }

@@ -36,7 +36,7 @@ impl ChaCha12 {
     pub fn from_seed(seed: [u8; 32]) -> Self {
         let mut key = [0u32; 8];
         for (i, chunk) in seed.chunks_exact(4).enumerate() {
-            key[i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+            key[i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
         }
         ChaCha12 {
             key,
