@@ -6,12 +6,21 @@
 //! ```text
 //! cargo run --release -p rvliw-bench --bin tables \
 //!     [-- --write] [--frames N] [--csv DIR] [--bench-json] [--baseline-cps X]
-//!     [--metrics-out FILE] [--trace FILE]
+//!     [--metrics-out FILE] [--trace FILE] [--threads N] [--spec PATH]
 //!     [--fault-seed N] [--fault-profile PROFILE]
 //! cargo run --release -p rvliw-bench --bin tables -- --check BENCH_tables.json
 //! ```
 //!
 //! `--write` also rewrites `EXPERIMENTS.md` at the workspace root.
+//! `--threads N` overrides the worker-thread count (default: the
+//! `RVLIW_THREADS` environment variable, else all cores).
+//! `--spec PATH` drives the run from declarative experiment specs instead
+//! of the built-in grid: a single `.json` spec file, or a directory whose
+//! `table*.json` files (the seven checked-in paper tables under `specs/`)
+//! are unioned. The specs must cover the paper grid exactly — this is the
+//! proof that the spec layer is behavior-preserving; combine with
+//! `--check` to assert the result bit-identical to the golden snapshot.
+//! Off-grid specs run through `rvliw sweep` instead.
 //! `--bench-json` writes `BENCH_tables.json` (wall time per phase and per
 //! table, simulated cycles, cycles per wall second, thread count, and a
 //! `"tables"` snapshot of every integer table cell); with
@@ -41,7 +50,7 @@ use std::time::Instant;
 
 use rvliw_bench::paper;
 use rvliw_core::tables::CaseStudy;
-use rvliw_core::{arch, run_me_with_tracer, Scenario, TablesSnapshot, Workload};
+use rvliw_core::{arch, run_me_with_tracer, ExperimentSpec, Scenario, TablesSnapshot, Workload};
 use rvliw_fault::{FaultPlan, FaultProfile};
 use rvliw_isa::MachineConfig;
 use rvliw_mem::MemConfig;
@@ -162,9 +171,62 @@ fn build_workload(frames: usize) -> std::sync::Arc<Workload> {
     }
 }
 
-/// The regression gate: re-runs the case study and diffs every integer
-/// table cell against the `"tables"` snapshot committed in `path`.
-fn run_check(path: &str) -> ExitCode {
+/// Loads experiment specs from `path`: a single `.json` file, or a
+/// directory whose `table*.json` files are loaded in sorted order (other
+/// spec files in the directory — off-grid sweeps — are ignored, since they
+/// are not part of the paper grid the tables pipeline asserts).
+fn load_specs(path: &str) -> Result<Vec<ExperimentSpec>, String> {
+    let meta = std::fs::metadata(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut files: Vec<std::path::PathBuf> = if meta.is_dir() {
+        let mut v: Vec<_> = std::fs::read_dir(path)
+            .map_err(|e| format!("{path}: {e}"))?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("table") && n.ends_with(".json"))
+            })
+            .collect();
+        v.sort();
+        if v.is_empty() {
+            return Err(format!("{path}: no table*.json spec files found"));
+        }
+        v
+    } else {
+        vec![std::path::PathBuf::from(path)]
+    };
+    files
+        .drain(..)
+        .map(|p| {
+            let text = std::fs::read_to_string(&p).map_err(|e| format!("{}: {e}", p.display()))?;
+            ExperimentSpec::from_json_str(&text).map_err(|e| format!("{}: {e}", p.display()))
+        })
+        .collect()
+}
+
+/// Runs the case study — from `specs` when given, else the built-in grid.
+fn run_case_study(
+    specs: Option<&[ExperimentSpec]>,
+    workload: &Workload,
+    plan: FaultPlan,
+    threads: usize,
+) -> Result<CaseStudy, String> {
+    let progress = |label: &str| eprintln!("  scenario {label} …");
+    match specs {
+        Some(specs) => {
+            CaseStudy::run_from_specs(specs, workload, threads, progress).map_err(|e| e.to_string())
+        }
+        None => Ok(CaseStudy::run_with_fault_plan(
+            workload, plan, threads, progress,
+        )),
+    }
+}
+
+/// The regression gate: re-runs the case study (spec-driven when `specs`
+/// is given) and diffs every integer table cell against the `"tables"`
+/// snapshot committed in `path`.
+fn run_check(path: &str, specs: Option<&[ExperimentSpec]>, threads: usize) -> ExitCode {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -194,11 +256,20 @@ fn run_check(path: &str) -> ExitCode {
         }
     };
     let frames = json.get("frames").and_then(Json::as_u64).unwrap_or(25) as usize;
-    eprintln!("tables --check: re-running the case study on {frames} QCIF frames …");
+    let how = if specs.is_some() {
+        "from specs"
+    } else {
+        "from the built-in grid"
+    };
+    eprintln!("tables --check: re-running the case study {how} on {frames} QCIF frames …");
     let workload = build_workload(frames);
-    let cs = CaseStudy::run_with_progress(&workload, |label| {
-        eprintln!("  scenario {label} …");
-    });
+    let cs = match run_case_study(specs, &workload, FaultPlan::none(), threads) {
+        Ok(cs) => cs,
+        Err(e) => {
+            eprintln!("tables --check: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let fresh = TablesSnapshot::capture(&cs);
     let drift = fresh.diff(&baseline);
     if drift.is_empty() {
@@ -244,12 +315,39 @@ fn main() -> ExitCode {
         }
     };
     let plan = FaultPlan::from_profile(fault_profile, fault_seed);
+    let threads = match flag_value("--threads") {
+        None => rvliw_core::default_threads(),
+        Some(v) => match rvliw_core::parse_threads(&v) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("tables: --threads: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let specs: Option<Vec<ExperimentSpec>> = match flag_value("--spec") {
+        None => None,
+        Some(path) => match load_specs(&path) {
+            Ok(specs) => Some(specs),
+            Err(e) => {
+                eprintln!("tables: --spec: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    if specs.is_some() && !plan.is_inert() {
+        eprintln!(
+            "tables: --spec and --fault-profile conflict; put the fault profile \
+             in the spec's \"fault\" object instead"
+        );
+        return ExitCode::from(2);
+    }
     if let Some(file) = flag_value("--check") {
         if !plan.is_inert() {
             eprintln!("tables: --check compares against golden tables; drop --fault-profile");
             return ExitCode::from(2);
         }
-        return run_check(&file);
+        return run_check(&file, specs.as_deref(), threads);
     }
     let write = args.iter().any(|a| a == "--write");
     let bench_json = args.iter().any(|a| a == "--bench-json");
@@ -265,12 +363,31 @@ fn main() -> ExitCode {
         .position(|a| a == "--baseline-cps")
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse::<f64>().ok());
-    let frames = args
+    let frames = match args
         .iter()
         .position(|a| a == "--frames")
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or(25);
+    {
+        Some(n) => n,
+        None => match &specs {
+            // Without an explicit override every spec must agree on the
+            // workload length — the scenarios share one encoded sequence.
+            Some(specs) => {
+                let frames = specs.first().map_or(25, |s| s.frames);
+                if let Some(odd) = specs.iter().find(|s| s.frames != frames) {
+                    eprintln!(
+                        "tables: specs disagree on frames ({} wants {}, `{}` wants {}); \
+                         pass --frames to override",
+                        specs[0].name, frames, odd.name, odd.frames
+                    );
+                    return ExitCode::from(2);
+                }
+                frames
+            }
+            None => 25,
+        },
+    };
 
     let mut out = String::new();
     let t0 = Instant::now();
@@ -301,7 +418,6 @@ fn main() -> ExitCode {
         paper::DIAG_CALL_SHARE * 100.0
     );
 
-    let threads = rvliw_core::default_threads();
     if plan.is_inert() {
         eprintln!("running the 12 architecture scenarios on {threads} thread(s) …");
     } else {
@@ -311,9 +427,13 @@ fn main() -> ExitCode {
         );
     }
     let t_scenarios = Instant::now();
-    let cs = CaseStudy::run_with_fault_plan(&workload, plan, threads, |label| {
-        eprintln!("  scenario {label} …");
-    });
+    let cs = match run_case_study(specs.as_deref(), &workload, plan, threads) {
+        Ok(cs) => cs,
+        Err(e) => {
+            eprintln!("tables: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let scenarios_wall_s = t_scenarios.elapsed().as_secs_f64();
 
     let _ = writeln!(out, "```\n{}\n```\n", cs.table1());
@@ -507,6 +627,59 @@ fn main() -> ExitCode {
          refinement, consistent with that share (a full search would \
          dilute it below 2 % — see `ablation_search`).",
         d * 100.0
+    );
+
+    // ---- declarative sweeps -------------------------------------------------
+    let _ = writeln!(out, "\n## Writing your own sweep\n");
+    let _ = writeln!(
+        out,
+        "The scenario grid above is not hardcoded: it is declared by seven \
+         **experiment specs** under `specs/` — `table1.json` … `table7.json`, \
+         one per paper table — and every run of this binary can be driven \
+         from them instead of the built-in grid:\n\n\
+         ```\n\
+         cargo run --release -p rvliw-bench --bin tables -- --spec specs/ --check BENCH_tables.json\n\
+         ```\n\n\
+         unions the `table*.json` specs, verifies they cover the paper grid \
+         exactly, re-runs them, and asserts every table cell bit-identical \
+         to the golden snapshot (CI runs this as the `sweep-golden` job). A \
+         spec is plain JSON:\n\n\
+         ```json\n\
+         {{\n  \
+           \"name\": \"offgrid-beta-sweep\",\n  \
+           \"title\": \"2x64 bandwidth, beta swept 1..8\",\n  \
+           \"frames\": 3,\n  \
+           \"baseline\": \"Orig\",\n  \
+           \"sweeps\": [\n    \
+             {{\"kind\": \"instruction\", \"variants\": [\"Orig\"]}},\n    \
+             {{\"kind\": \"loop\", \"bandwidths\": [\"2x64\"],\n     \
+              \"betas\": [1, 2, 3, 4, 5, 6, 7, 8]}}\n  \
+           ]\n\
+         }}\n\
+         ```\n\n\
+         Top-level keys: `name` (required), `title`, `frames` (QCIF \
+         workload length, default 25), `baseline` (label speedups are \
+         computed against), `fault` (`{{\"profile\": \"chaos\", \"seed\": 7}}` \
+         — the seeded fault plans described below), `cycle_limit` (per-run \
+         watchdog override) and `sweeps` (required). Each sweep is either \
+         `{{\"kind\": \"instruction\", \"variants\": [\"Orig\"|\"A1\"|\"A2\"|\"A3\"]}}` \
+         or `{{\"kind\": \"loop\", ...}}` with axes `bandwidths` \
+         (`\"1x32\"|\"1x64\"|\"2x64\"`), `betas` (integers ≥ 1), and \
+         optionally `two_line_buffers` (`[true]` for the Table 7 scheme), \
+         `lbb_bank_lines` (Line Buffer B per-bank capacity, `null` = the \
+         paper's 34) and `reconfig` \
+         (`{{\"penalty\": cycles, \"contexts\": n, \"prefetch_hiding\": bool}}`); \
+         a loop sweep expands to the full cross-product of its axes. \
+         Scenario labels must be unique — the engine rejects colliding \
+         points with a typed error, since labels key fault substreams and \
+         snapshot cells.\n\n\
+         Off-grid specs (points in no paper table, like the β sweep above, \
+         checked in as `specs/offgrid_beta_sweep.json`) run through the \
+         CLI, bit-identically for any thread count:\n\n\
+         ```\n\
+         cargo run --release --bin rvliw -- sweep specs/offgrid_beta_sweep.json \\\n    \
+         --threads 4 --out sweep.json\n\
+         ```"
     );
 
     // ---- fault injection ----------------------------------------------------

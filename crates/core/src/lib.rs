@@ -17,6 +17,12 @@
 //! * [`AppModel`] — folds measured ME cycles into whole-application cycles
 //!   using the paper's initial profile (`GetSad` = 25.6 % of execution in
 //!   ORIG), which the %Rel column of Table 7 is defined against.
+//! * [`SimSession`] — the single builder assembling core, memory, RFU,
+//!   reconfiguration, line-buffer, fault and cycle-budget configuration
+//!   into a runnable machine.
+//! * [`ExperimentSpec`] / [`Sweep`] — declarative, JSON-serializable
+//!   descriptions of a scenario grid plus the engine that expands and runs
+//!   them; the paper's tables are seven checked-in specs under `specs/`.
 //! * [`tables`] — Tables 1–7 as typed, printable structures.
 //! * [`arch`] — the Figure 1 block diagram of the modified ST200.
 
@@ -26,7 +32,11 @@ pub mod breakdown;
 pub mod metrics;
 pub mod runner;
 pub mod scenario;
+pub mod session;
+pub mod spec;
+pub mod sweep;
 pub mod tables;
+pub mod threads;
 pub mod workload;
 
 pub use app_model::AppModel;
@@ -34,7 +44,11 @@ pub use breakdown::CycleBreakdown;
 pub use metrics::TablesSnapshot;
 pub use runner::{run_me, run_me_with_tracer, MeResult, ScenarioError};
 pub use scenario::Scenario;
-pub use tables::{default_threads, CaseStudy, ScenarioResult};
+pub use session::SimSession;
+pub use spec::{ExperimentSpec, ReconfigSpec, SpecError, SweepAxes};
+pub use sweep::{run_scenario_list, ScenarioResult, Sweep, SweepOutcome, SweepRow};
+pub use tables::CaseStudy;
+pub use threads::{default_threads, parse_threads};
 pub use workload::Workload;
 
 /// The paper's initial profile: share of total execution time spent in

@@ -12,7 +12,7 @@ use rvliw_kernels::regs::{
 };
 use rvliw_kernels::{build_getsad, build_mb_prep, build_me_loop_call, DriverKind};
 use rvliw_mem::MemStats;
-use rvliw_rfu::{Rfu, RfuStats};
+use rvliw_rfu::RfuStats;
 use rvliw_sim::{Machine, SimError, SimStats};
 use rvliw_trace::{NullTracer, Tracer};
 
@@ -298,27 +298,22 @@ pub fn run_me_with_tracer<T: Tracer + ?Sized>(
         label: scenario.label.clone(),
         source,
     };
-    let mut m = Machine::new(scenario.machine.clone(), scenario.mem.clone());
     let stride = workload.stride;
+    // The scenario's SimSession assembles the machine — core + memory
+    // configuration, RFU, reconfiguration model, line-buffer geometry,
+    // fault injectors and cycle budget — in the one correct order.
+    let mut m = scenario.session(stride).build();
     let height = workload.frames[0].height();
     // Fixed frame buffers, reused every frame as in the reference encoder.
     let cur_buf = m.mem.ram.alloc(stride * height as u32, 32);
     let prev_buf = m.mem.ram.alloc(stride * height as u32, 32);
 
-    // Configure the RFU and build the programs.
+    // Build the programs the replay drives.
     let programs = match &scenario.kind {
-        Kind::Instruction(variant) => {
-            m.rfu = Rfu::with_case_study_configs(rvliw_rfu::MeLoopCfg::new(
-                rvliw_rfu::RfuBandwidth::B1x32,
-                1,
-                stride,
-            ));
-            Programs::Instr(build_getsad(*variant, &scenario.machine))
-        }
+        Kind::Instruction(variant) => Programs::Instr(build_getsad(*variant, &scenario.machine)),
         Kind::Loop {
             two_line_buffers, ..
         } => {
-            m.rfu = Rfu::with_case_study_configs(scenario.me_loop_cfg(stride));
             let kind = if *two_line_buffers {
                 DriverKind::DoubleLineBuffer
             } else {
@@ -330,17 +325,6 @@ pub fn run_me_with_tracer<T: Tracer + ?Sized>(
             }
         }
     };
-    m.rfu.set_reconfig_model(scenario.reconfig.clone());
-    if let Some(lines) = scenario.lbb_bank_lines {
-        m.rfu.lb_b = rvliw_rfu::LineBufferB::with_bank_capacity(lines);
-    }
-    // After the RFU is in place: fault injectors (salted per scenario, so
-    // the same seed perturbs each scenario independently) and the
-    // per-scenario cycle budget.
-    m.set_fault_plan(&scenario.fault, &scenario.label);
-    if let Some(limit) = scenario.cycle_limit {
-        m.cycle_limit = limit;
-    }
 
     let start = m.snapshot();
     let mut calls = 0u64;

@@ -6,6 +6,8 @@ use rvliw_kernels::{DriverKind, Variant};
 use rvliw_mem::MemConfig;
 use rvliw_rfu::{MeLoopCfg, ReconfigModel, RfuBandwidth};
 
+use crate::session::SimSession;
+
 /// What runs on the machine for one experiment.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Kind {
@@ -200,6 +202,35 @@ impl Scenario {
     pub fn with_cycle_limit(mut self, limit: u64) -> Self {
         self.cycle_limit = Some(limit);
         self
+    }
+
+    /// The [`SimSession`] this scenario describes (for a given frame
+    /// stride): core + memory configuration, the case-study RFU (with the
+    /// scenario's ME-loop configuration for loop-level points, the shared
+    /// instruction-level configurations otherwise), reconfiguration model,
+    /// line-buffer geometry, fault plan (salted with the scenario label)
+    /// and cycle budget. `session(stride).build()` is the one way a
+    /// scenario becomes a machine.
+    #[must_use]
+    pub fn session(&self, stride: u32) -> SimSession {
+        let me = match self.kind {
+            // Instruction-level scenarios still carry the case-study RFU
+            // (its instruction-level configurations); the ME-loop slot is
+            // the 1x32 default and never invoked.
+            Kind::Instruction(_) => MeLoopCfg::new(RfuBandwidth::B1x32, 1, stride),
+            Kind::Loop { .. } => self.me_loop_cfg(stride),
+        };
+        let mut session = SimSession::with_configs(self.machine.clone(), self.mem.clone())
+            .me_loop(me)
+            .reconfig(self.reconfig.clone())
+            .fault_plan(self.fault, &self.label);
+        if let Some(lines) = self.lbb_bank_lines {
+            session = session.lbb_bank_lines(lines);
+        }
+        if let Some(limit) = self.cycle_limit {
+            session = session.cycle_limit(limit);
+        }
+        session
     }
 
     /// The static loop latency of a loop-level scenario (Table 2's `Lat`).

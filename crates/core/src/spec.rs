@@ -1,0 +1,1038 @@
+//! Declarative experiment specifications.
+//!
+//! An [`ExperimentSpec`] is a serializable description of a scenario grid:
+//! which design-space axes to sweep (kernel variant, RFU bandwidth,
+//! technology scaling β, line-buffer scheme and geometry, reconfiguration
+//! model) plus run-wide knobs (workload frames, baseline label, fault
+//! profile/seed, cycle budget). The sweep engine (`crate::sweep`) expands
+//! it into concrete [`Scenario`]s and runs them on the deterministic
+//! parallel runner.
+//!
+//! Specs serialize as hand-rolled JSON over [`rvliw_trace::Json`] — the
+//! build environment is offline, so no serde. Parsing is strict: unknown
+//! keys, wrong types and out-of-range values are typed [`SpecError`]s,
+//! never panics, and `parse(serialize(spec)) == spec` holds for every
+//! representable spec.
+//!
+//! The seven `specs/table*.json` files at the workspace root describe the
+//! paper's Tables 1–7; their union is exactly the hardcoded grid of
+//! [`CaseStudy::scenarios`](crate::CaseStudy::scenarios), which CI asserts
+//! bit-identical against the golden `BENCH_tables.json`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use rvliw_fault::{FaultPlan, FaultProfile};
+use rvliw_kernels::Variant;
+use rvliw_rfu::{ReconfigModel, RfuBandwidth};
+use rvliw_trace::Json;
+
+use crate::scenario::Scenario;
+
+/// Why a spec could not be parsed or expanded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The text is not JSON at all.
+    Json(String),
+    /// The JSON does not match the spec schema; `path` names the
+    /// offending location (e.g. `sweeps[1].betas[0]`).
+    Schema {
+        /// Dotted path of the offending field.
+        path: String,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// Two expanded scenarios share a label. Labels key fault substreams
+    /// and snapshot cells, so duplicates would silently alias state.
+    DuplicateLabel {
+        /// The label that appeared twice.
+        label: String,
+    },
+    /// The expanded grid does not match what the consumer needs (the
+    /// tables binary requires exactly the paper grid).
+    GridMismatch {
+        /// What differed.
+        message: String,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Json(e) => write!(f, "invalid spec JSON: {e}"),
+            SpecError::Schema { path, message } => write!(f, "spec field `{path}`: {message}"),
+            SpecError::DuplicateLabel { label } => write!(
+                f,
+                "duplicate scenario label `{label}` (labels key fault substreams \
+                 and snapshot cells and must be unique within a spec)"
+            ),
+            SpecError::GridMismatch { message } => write!(f, "scenario grid mismatch: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn schema(path: impl Into<String>, message: impl Into<String>) -> SpecError {
+    SpecError::Schema {
+        path: path.into(),
+        message: message.into(),
+    }
+}
+
+/// A serializable reconfiguration model: the paper's zero-penalty baseline
+/// or a multi-context penalty model (optionally with configuration
+/// prefetch hiding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconfigSpec {
+    /// Cycles per configuration load (0 = the paper's free baseline).
+    pub penalty: u64,
+    /// Resident configuration contexts (ignored when `penalty` is 0).
+    pub contexts: usize,
+    /// Whether idle time since the previous activation hides the penalty.
+    pub prefetch_hiding: bool,
+}
+
+impl ReconfigSpec {
+    /// The paper's baseline: reconfiguration is free.
+    #[must_use]
+    pub fn zero() -> Self {
+        ReconfigSpec {
+            penalty: 0,
+            contexts: 1,
+            prefetch_hiding: false,
+        }
+    }
+
+    /// The runnable [`ReconfigModel`] this spec describes.
+    #[must_use]
+    pub fn model(&self) -> ReconfigModel {
+        if self.penalty == 0 {
+            return ReconfigModel::zero_penalty();
+        }
+        let m = ReconfigModel::with_penalty(self.penalty, self.contexts.max(1));
+        if self.prefetch_hiding {
+            m.with_prefetch_hiding()
+        } else {
+            m
+        }
+    }
+
+    /// Label suffix distinguishing non-baseline models (empty for the
+    /// zero-penalty baseline, so paper-grid labels are unchanged).
+    fn label_suffix(&self) -> String {
+        if self.penalty == 0 {
+            String::new()
+        } else {
+            let pf = if self.prefetch_hiding { "+pf" } else { "" };
+            format!(" rc={}x{}{}", self.penalty, self.contexts, pf)
+        }
+    }
+
+    fn to_json(self) -> Json {
+        let mut m = BTreeMap::new();
+        m.insert("penalty".to_owned(), Json::Num(self.penalty.to_string()));
+        m.insert("contexts".to_owned(), Json::Num(self.contexts.to_string()));
+        m.insert(
+            "prefetch_hiding".to_owned(),
+            Json::Bool(self.prefetch_hiding),
+        );
+        Json::Obj(m)
+    }
+
+    fn from_json(j: &Json, path: &str) -> Result<Self, SpecError> {
+        let m = as_obj(j, path)?;
+        check_keys(m, &["penalty", "contexts", "prefetch_hiding"], path)?;
+        let penalty = match m.get("penalty") {
+            None => 0,
+            Some(v) => parse_u64(v, &format!("{path}.penalty"))?,
+        };
+        let contexts = match m.get("contexts") {
+            None => 1,
+            Some(v) => parse_usize(v, &format!("{path}.contexts"))?,
+        };
+        if contexts == 0 {
+            return Err(schema(
+                format!("{path}.contexts"),
+                "at least one resident context is required",
+            ));
+        }
+        let prefetch_hiding = match m.get("prefetch_hiding") {
+            None => false,
+            Some(Json::Bool(b)) => *b,
+            Some(_) => {
+                return Err(schema(
+                    format!("{path}.prefetch_hiding"),
+                    "expected a boolean",
+                ))
+            }
+        };
+        Ok(ReconfigSpec {
+            penalty,
+            contexts,
+            prefetch_hiding,
+        })
+    }
+}
+
+/// One sweep of an [`ExperimentSpec`]: either a list of instruction-level
+/// kernel variants or a cross-product of loop-level axes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepAxes {
+    /// Instruction-level points (Table 1): one scenario per variant.
+    Instruction {
+        /// Kernel variants to run.
+        variants: Vec<Variant>,
+    },
+    /// Loop-level points (Tables 2–7): the full cross-product
+    /// `bandwidths × betas × two_line_buffers × lbb_bank_lines ×
+    /// reconfig`, expanded with the leftmost axis outermost.
+    Loop {
+        /// RFU data bandwidths.
+        bandwidths: Vec<RfuBandwidth>,
+        /// Technology-scaling factors β (each ≥ 1).
+        betas: Vec<u64>,
+        /// Line-buffer schemes (`false` = one buffer, `true` = two).
+        two_line_buffers: Vec<bool>,
+        /// Line Buffer B per-bank capacities (`None` = the paper's 34).
+        lbb_bank_lines: Vec<Option<usize>>,
+        /// Reconfiguration models.
+        reconfig: Vec<ReconfigSpec>,
+    },
+}
+
+impl SweepAxes {
+    /// An instruction-level sweep over `variants`.
+    #[must_use]
+    pub fn instruction(variants: Vec<Variant>) -> Self {
+        SweepAxes::Instruction { variants }
+    }
+
+    /// A single-line-buffer loop-level sweep over `bandwidths × betas`
+    /// with the paper's default line-buffer geometry and zero-penalty
+    /// reconfiguration.
+    #[must_use]
+    pub fn loop_grid(bandwidths: Vec<RfuBandwidth>, betas: Vec<u64>) -> Self {
+        SweepAxes::Loop {
+            bandwidths,
+            betas,
+            two_line_buffers: vec![false],
+            lbb_bank_lines: vec![None],
+            reconfig: vec![ReconfigSpec::zero()],
+        }
+    }
+
+    /// A two-line-buffer sweep over `betas` (Table 7; bandwidth is forced
+    /// to 1×32 by the scheme).
+    #[must_use]
+    pub fn loop_two_lb(betas: Vec<u64>) -> Self {
+        SweepAxes::Loop {
+            bandwidths: vec![RfuBandwidth::B1x32],
+            betas,
+            two_line_buffers: vec![true],
+            lbb_bank_lines: vec![None],
+            reconfig: vec![ReconfigSpec::zero()],
+        }
+    }
+
+    /// The number of scenarios this sweep expands to.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            SweepAxes::Instruction { variants } => variants.len(),
+            SweepAxes::Loop {
+                bandwidths,
+                betas,
+                two_line_buffers,
+                lbb_bank_lines,
+                reconfig,
+            } => {
+                bandwidths.len()
+                    * betas.len()
+                    * two_line_buffers.len()
+                    * lbb_bank_lines.len()
+                    * reconfig.len()
+            }
+        }
+    }
+
+    /// Whether the sweep expands to no scenarios.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn to_json(&self) -> Json {
+        let mut m = BTreeMap::new();
+        match self {
+            SweepAxes::Instruction { variants } => {
+                m.insert("kind".to_owned(), Json::Str("instruction".to_owned()));
+                m.insert(
+                    "variants".to_owned(),
+                    Json::Arr(
+                        variants
+                            .iter()
+                            .map(|v| Json::Str(v.name().to_owned()))
+                            .collect(),
+                    ),
+                );
+            }
+            SweepAxes::Loop {
+                bandwidths,
+                betas,
+                two_line_buffers,
+                lbb_bank_lines,
+                reconfig,
+            } => {
+                m.insert("kind".to_owned(), Json::Str("loop".to_owned()));
+                m.insert(
+                    "bandwidths".to_owned(),
+                    Json::Arr(
+                        bandwidths
+                            .iter()
+                            .map(|b| Json::Str(b.label().to_owned()))
+                            .collect(),
+                    ),
+                );
+                m.insert(
+                    "betas".to_owned(),
+                    Json::Arr(betas.iter().map(|b| Json::Num(b.to_string())).collect()),
+                );
+                if *two_line_buffers != [false] {
+                    m.insert(
+                        "two_line_buffers".to_owned(),
+                        Json::Arr(two_line_buffers.iter().map(|&b| Json::Bool(b)).collect()),
+                    );
+                }
+                if *lbb_bank_lines != [None] {
+                    m.insert(
+                        "lbb_bank_lines".to_owned(),
+                        Json::Arr(
+                            lbb_bank_lines
+                                .iter()
+                                .map(|l| match l {
+                                    None => Json::Null,
+                                    Some(n) => Json::Num(n.to_string()),
+                                })
+                                .collect(),
+                        ),
+                    );
+                }
+                if *reconfig != [ReconfigSpec::zero()] {
+                    m.insert(
+                        "reconfig".to_owned(),
+                        Json::Arr(reconfig.iter().map(|r| r.to_json()).collect()),
+                    );
+                }
+            }
+        }
+        Json::Obj(m)
+    }
+
+    fn from_json(j: &Json, path: &str) -> Result<Self, SpecError> {
+        let m = as_obj(j, path)?;
+        let kind = req_str(m, "kind", path)?;
+        match kind {
+            "instruction" => {
+                check_keys(m, &["kind", "variants"], path)?;
+                let arr = req_arr(m, "variants", path)?;
+                if arr.is_empty() {
+                    return Err(schema(format!("{path}.variants"), "must not be empty"));
+                }
+                let variants = arr
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        let p = format!("{path}.variants[{i}]");
+                        let s = v.as_str().ok_or_else(|| schema(&p, "expected a string"))?;
+                        Variant::all()
+                            .into_iter()
+                            .find(|var| var.name() == s)
+                            .ok_or_else(|| {
+                                schema(p, format!("unknown variant `{s}` (want Orig, A1, A2, A3)"))
+                            })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(SweepAxes::Instruction { variants })
+            }
+            "loop" => {
+                check_keys(
+                    m,
+                    &[
+                        "kind",
+                        "bandwidths",
+                        "betas",
+                        "two_line_buffers",
+                        "lbb_bank_lines",
+                        "reconfig",
+                    ],
+                    path,
+                )?;
+                let bw_arr = req_arr(m, "bandwidths", path)?;
+                if bw_arr.is_empty() {
+                    return Err(schema(format!("{path}.bandwidths"), "must not be empty"));
+                }
+                let bandwidths = bw_arr
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        let p = format!("{path}.bandwidths[{i}]");
+                        let s = v.as_str().ok_or_else(|| schema(&p, "expected a string"))?;
+                        RfuBandwidth::all()
+                            .into_iter()
+                            .find(|b| b.label() == s)
+                            .ok_or_else(|| {
+                                schema(
+                                    p,
+                                    format!("unknown bandwidth `{s}` (want 1x32, 1x64, 2x64)"),
+                                )
+                            })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                let beta_arr = req_arr(m, "betas", path)?;
+                if beta_arr.is_empty() {
+                    return Err(schema(format!("{path}.betas"), "must not be empty"));
+                }
+                let betas = beta_arr
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        let p = format!("{path}.betas[{i}]");
+                        let b = parse_u64(v, &p)?;
+                        if b == 0 {
+                            return Err(schema(p, "beta must be at least 1"));
+                        }
+                        Ok(b)
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                let two_line_buffers = match m.get("two_line_buffers") {
+                    None => vec![false],
+                    Some(v) => {
+                        let p = format!("{path}.two_line_buffers");
+                        let arr = v
+                            .as_array()
+                            .ok_or_else(|| schema(&p, "expected an array of booleans"))?;
+                        if arr.is_empty() {
+                            return Err(schema(p, "must not be empty"));
+                        }
+                        arr.iter()
+                            .enumerate()
+                            .map(|(i, v)| match v {
+                                Json::Bool(b) => Ok(*b),
+                                _ => Err(schema(format!("{p}[{i}]"), "expected a boolean")),
+                            })
+                            .collect::<Result<Vec<_>, _>>()?
+                    }
+                };
+                let lbb_bank_lines = match m.get("lbb_bank_lines") {
+                    None => vec![None],
+                    Some(v) => {
+                        let p = format!("{path}.lbb_bank_lines");
+                        let arr = v
+                            .as_array()
+                            .ok_or_else(|| schema(&p, "expected an array of lines-or-null"))?;
+                        if arr.is_empty() {
+                            return Err(schema(p, "must not be empty"));
+                        }
+                        arr.iter()
+                            .enumerate()
+                            .map(|(i, v)| {
+                                let p = format!("{p}[{i}]");
+                                match v {
+                                    Json::Null => Ok(None),
+                                    other => {
+                                        let n = parse_usize(other, &p)?;
+                                        if n == 0 {
+                                            return Err(schema(
+                                                p,
+                                                "per-bank capacity must be at least 1 line",
+                                            ));
+                                        }
+                                        Ok(Some(n))
+                                    }
+                                }
+                            })
+                            .collect::<Result<Vec<_>, _>>()?
+                    }
+                };
+                let reconfig = match m.get("reconfig") {
+                    None => vec![ReconfigSpec::zero()],
+                    Some(v) => {
+                        let p = format!("{path}.reconfig");
+                        let arr = v
+                            .as_array()
+                            .ok_or_else(|| schema(&p, "expected an array of reconfig objects"))?;
+                        if arr.is_empty() {
+                            return Err(schema(p, "must not be empty"));
+                        }
+                        arr.iter()
+                            .enumerate()
+                            .map(|(i, v)| ReconfigSpec::from_json(v, &format!("{p}[{i}]")))
+                            .collect::<Result<Vec<_>, _>>()?
+                    }
+                };
+                Ok(SweepAxes::Loop {
+                    bandwidths,
+                    betas,
+                    two_line_buffers,
+                    lbb_bank_lines,
+                    reconfig,
+                })
+            }
+            other => Err(schema(
+                format!("{path}.kind"),
+                format!("unknown sweep kind `{other}` (want instruction or loop)"),
+            )),
+        }
+    }
+}
+
+/// A declarative experiment: run-wide knobs plus a list of sweeps whose
+/// expansions concatenate into one scenario list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentSpec {
+    /// Spec name (reported in results).
+    pub name: String,
+    /// Optional human-readable title.
+    pub title: Option<String>,
+    /// QCIF workload frames (the paper uses 25).
+    pub frames: usize,
+    /// Label of the baseline scenario speedups are computed against
+    /// (usually `Orig`; `None` = no speedup column).
+    pub baseline: Option<String>,
+    /// Fault profile every scenario runs under (default: none).
+    pub fault_profile: FaultProfile,
+    /// Seed for the fault plan.
+    pub fault_seed: u64,
+    /// Per-scenario cycle budget override (`None` = the watchdog default).
+    pub cycle_limit: Option<u64>,
+    /// The sweeps, expanded in order.
+    pub sweeps: Vec<SweepAxes>,
+}
+
+impl ExperimentSpec {
+    /// An empty spec with the defaults: 25 frames, no baseline, no
+    /// faults, no cycle-budget override.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        ExperimentSpec {
+            name: name.to_owned(),
+            title: None,
+            frames: 25,
+            baseline: None,
+            fault_profile: FaultProfile::None,
+            fault_seed: 0,
+            cycle_limit: None,
+            sweeps: Vec::new(),
+        }
+    }
+
+    /// Sets the baseline scenario label.
+    #[must_use]
+    pub fn with_baseline(mut self, label: &str) -> Self {
+        self.baseline = Some(label.to_owned());
+        self
+    }
+
+    /// Appends a sweep.
+    #[must_use]
+    pub fn sweep(mut self, axes: SweepAxes) -> Self {
+        self.sweeps.push(axes);
+        self
+    }
+
+    /// The paper's full 12-scenario grid in presentation order: ORIG,
+    /// A1–A3, the six single-line-buffer loop points (bandwidth × β ∈
+    /// {1, 5}), the two two-line-buffer points. This is the grid
+    /// [`CaseStudy::scenarios`](crate::CaseStudy::scenarios) expands, and
+    /// the union of the seven checked-in `specs/table*.json` files.
+    #[must_use]
+    pub fn paper_grid() -> Self {
+        ExperimentSpec::new("paper")
+            .with_baseline("Orig")
+            .sweep(SweepAxes::instruction(Variant::all().to_vec()))
+            .sweep(SweepAxes::loop_grid(
+                RfuBandwidth::all().to_vec(),
+                vec![1, 5],
+            ))
+            .sweep(SweepAxes::loop_two_lb(vec![1, 5]))
+    }
+
+    /// The fault plan every expanded scenario runs under.
+    #[must_use]
+    pub fn fault_plan(&self) -> FaultPlan {
+        FaultPlan::from_profile(self.fault_profile, self.fault_seed)
+    }
+
+    /// Expands the sweeps into concrete scenarios, in order, with the
+    /// run-wide fault plan and cycle budget applied and label-uniqueness
+    /// enforced.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::DuplicateLabel`] when two expanded points share a
+    /// label (labels key fault substreams and snapshot cells).
+    pub fn scenarios(&self) -> Result<Vec<Scenario>, SpecError> {
+        let plan = self.fault_plan();
+        let mut out: Vec<Scenario> = Vec::new();
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        let mut push = |mut sc: Scenario| -> Result<(), SpecError> {
+            sc = sc.with_fault_plan(plan);
+            if let Some(limit) = self.cycle_limit {
+                sc = sc.with_cycle_limit(limit);
+            }
+            if !seen.insert(sc.label.clone()) {
+                return Err(SpecError::DuplicateLabel { label: sc.label });
+            }
+            out.push(sc);
+            Ok(())
+        };
+        for sweep in &self.sweeps {
+            match sweep {
+                SweepAxes::Instruction { variants } => {
+                    for &v in variants {
+                        push(Scenario::instruction(v))?;
+                    }
+                }
+                SweepAxes::Loop {
+                    bandwidths,
+                    betas,
+                    two_line_buffers,
+                    lbb_bank_lines,
+                    reconfig,
+                } => {
+                    for &bw in bandwidths {
+                        for &beta in betas {
+                            for &two_lb in two_line_buffers {
+                                for &lbb in lbb_bank_lines {
+                                    for &rc in reconfig {
+                                        let mut sc = if two_lb {
+                                            Scenario::loop_two_lb(beta)
+                                        } else {
+                                            Scenario::loop_level(bw, beta)
+                                        };
+                                        if let Some(lines) = lbb {
+                                            sc = sc.with_lbb_bank_lines(lines);
+                                            sc.label.push_str(&format!(" lbb={lines}"));
+                                        }
+                                        sc = sc.with_reconfig(rc.model());
+                                        sc.label.push_str(&rc.label_suffix());
+                                        push(sc)?;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses a spec from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Json`] on malformed JSON, [`SpecError::Schema`] on a
+    /// schema violation. Never panics, whatever the input.
+    pub fn from_json_str(text: &str) -> Result<Self, SpecError> {
+        let json = Json::parse(text).map_err(SpecError::Json)?;
+        Self::from_json(&json)
+    }
+
+    /// Parses a spec from an already-parsed JSON value.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Schema`] on any schema violation (wrong type, unknown
+    /// key, out-of-range value).
+    pub fn from_json(json: &Json) -> Result<Self, SpecError> {
+        let m = as_obj(json, "spec")?;
+        check_keys(
+            m,
+            &[
+                "name",
+                "title",
+                "frames",
+                "baseline",
+                "fault",
+                "cycle_limit",
+                "sweeps",
+            ],
+            "spec",
+        )?;
+        let name = req_str(m, "name", "spec")?.to_owned();
+        if name.is_empty() {
+            return Err(schema("spec.name", "must not be empty"));
+        }
+        let title = match m.get("title") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or_else(|| schema("spec.title", "expected a string"))?
+                    .to_owned(),
+            ),
+        };
+        let frames = match m.get("frames") {
+            None => 25,
+            Some(v) => {
+                let n = parse_usize(v, "spec.frames")?;
+                if n == 0 {
+                    return Err(schema("spec.frames", "must be at least 1"));
+                }
+                n
+            }
+        };
+        let baseline = match m.get("baseline") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or_else(|| schema("spec.baseline", "expected a string"))?
+                    .to_owned(),
+            ),
+        };
+        let (fault_profile, fault_seed) = match m.get("fault") {
+            None => (FaultProfile::None, 0),
+            Some(v) => {
+                let fm = as_obj(v, "spec.fault")?;
+                check_keys(fm, &["profile", "seed"], "spec.fault")?;
+                let profile = match fm.get("profile") {
+                    None => FaultProfile::None,
+                    Some(p) => p
+                        .as_str()
+                        .ok_or_else(|| schema("spec.fault.profile", "expected a string"))?
+                        .parse::<FaultProfile>()
+                        .map_err(|e| schema("spec.fault.profile", e))?,
+                };
+                let seed = match fm.get("seed") {
+                    None => 0,
+                    Some(s) => parse_u64(s, "spec.fault.seed")?,
+                };
+                (profile, seed)
+            }
+        };
+        let cycle_limit = match m.get("cycle_limit") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(parse_u64(v, "spec.cycle_limit")?),
+        };
+        let sweeps_arr = req_arr(m, "sweeps", "spec")?;
+        if sweeps_arr.is_empty() {
+            return Err(schema("spec.sweeps", "must not be empty"));
+        }
+        let sweeps = sweeps_arr
+            .iter()
+            .enumerate()
+            .map(|(i, v)| SweepAxes::from_json(v, &format!("spec.sweeps[{i}]")))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ExperimentSpec {
+            name,
+            title,
+            frames,
+            baseline,
+            fault_profile,
+            fault_seed,
+            cycle_limit,
+            sweeps,
+        })
+    }
+
+    /// The spec as a JSON value. Defaulted fields are omitted, so
+    /// [`Self::from_json`] round-trips to an equal spec.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut m = BTreeMap::new();
+        m.insert("name".to_owned(), Json::Str(self.name.clone()));
+        if let Some(t) = &self.title {
+            m.insert("title".to_owned(), Json::Str(t.clone()));
+        }
+        m.insert("frames".to_owned(), Json::Num(self.frames.to_string()));
+        if let Some(b) = &self.baseline {
+            m.insert("baseline".to_owned(), Json::Str(b.clone()));
+        }
+        if self.fault_profile != FaultProfile::None || self.fault_seed != 0 {
+            let mut fm = BTreeMap::new();
+            fm.insert(
+                "profile".to_owned(),
+                Json::Str(self.fault_profile.to_string()),
+            );
+            fm.insert("seed".to_owned(), Json::Num(self.fault_seed.to_string()));
+            m.insert("fault".to_owned(), Json::Obj(fm));
+        }
+        if let Some(l) = self.cycle_limit {
+            m.insert("cycle_limit".to_owned(), Json::Num(l.to_string()));
+        }
+        m.insert(
+            "sweeps".to_owned(),
+            Json::Arr(self.sweeps.iter().map(SweepAxes::to_json).collect()),
+        );
+        Json::Obj(m)
+    }
+
+    /// The spec as pretty-printed JSON text (the format of the checked-in
+    /// `specs/*.json` files).
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        pretty(&self.to_json(), 0, &mut out);
+        out.push('\n');
+        out
+    }
+}
+
+/// Pretty-prints `j` with two-space indentation (compact leaf arrays).
+pub(crate) fn pretty(j: &Json, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match j {
+        Json::Arr(v) if v.iter().any(|e| matches!(e, Json::Obj(_) | Json::Arr(_))) => {
+            out.push_str("[\n");
+            for (i, e) in v.iter().enumerate() {
+                out.push_str(&pad);
+                out.push_str("  ");
+                pretty(e, indent + 1, out);
+                if i + 1 < v.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Json::Obj(m) => {
+            out.push_str("{\n");
+            for (i, (k, v)) in m.iter().enumerate() {
+                out.push_str(&pad);
+                out.push_str("  ");
+                out.push_str(&format!("\"{}\": ", rvliw_trace::json::escape_json(k)));
+                pretty(v, indent + 1, out);
+                if i + 1 < m.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+        other => out.push_str(&other.to_string()),
+    }
+}
+
+fn as_obj<'a>(j: &'a Json, path: &str) -> Result<&'a BTreeMap<String, Json>, SpecError> {
+    match j {
+        Json::Obj(m) => Ok(m),
+        _ => Err(schema(path, "expected an object")),
+    }
+}
+
+fn check_keys(m: &BTreeMap<String, Json>, allowed: &[&str], path: &str) -> Result<(), SpecError> {
+    for k in m.keys() {
+        if !allowed.contains(&k.as_str()) {
+            return Err(schema(
+                format!("{path}.{k}"),
+                format!("unknown key (allowed: {})", allowed.join(", ")),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn req_str<'a>(m: &'a BTreeMap<String, Json>, key: &str, path: &str) -> Result<&'a str, SpecError> {
+    m.get(key)
+        .ok_or_else(|| schema(format!("{path}.{key}"), "missing required key"))?
+        .as_str()
+        .ok_or_else(|| schema(format!("{path}.{key}"), "expected a string"))
+}
+
+fn req_arr<'a>(
+    m: &'a BTreeMap<String, Json>,
+    key: &str,
+    path: &str,
+) -> Result<&'a [Json], SpecError> {
+    m.get(key)
+        .ok_or_else(|| schema(format!("{path}.{key}"), "missing required key"))?
+        .as_array()
+        .ok_or_else(|| schema(format!("{path}.{key}"), "expected an array"))
+}
+
+fn parse_u64(j: &Json, path: &str) -> Result<u64, SpecError> {
+    j.as_u64()
+        .ok_or_else(|| schema(path, "expected a non-negative integer"))
+}
+
+fn parse_usize(j: &Json, path: &str) -> Result<usize, SpecError> {
+    let n = parse_u64(j, path)?;
+    usize::try_from(n).map_err(|_| schema(path, "integer too large"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_round_trips_through_json() {
+        let spec = ExperimentSpec::paper_grid();
+        let text = spec.to_json_string();
+        let parsed = ExperimentSpec::from_json_str(&text).unwrap();
+        assert_eq!(parsed, spec);
+        // And the pretty text itself re-parses to the same value.
+        let again = ExperimentSpec::from_json_str(&parsed.to_json_string()).unwrap();
+        assert_eq!(again, spec);
+    }
+
+    #[test]
+    fn paper_grid_expands_to_twelve_unique_labels() {
+        let scenarios = ExperimentSpec::paper_grid().scenarios().unwrap();
+        let labels: Vec<&str> = scenarios.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            [
+                "Orig", "A1", "A2", "A3", "1x32 b=1", "1x32 b=5", "1x64 b=1", "1x64 b=5",
+                "2x64 b=1", "2x64 b=5", "2LB b=1", "2LB b=5"
+            ]
+        );
+    }
+
+    #[test]
+    fn duplicate_labels_yield_a_typed_error() {
+        let spec = ExperimentSpec::new("dup")
+            .sweep(SweepAxes::loop_grid(vec![RfuBandwidth::B1x32], vec![1]))
+            .sweep(SweepAxes::loop_grid(vec![RfuBandwidth::B1x32], vec![1]));
+        assert_eq!(
+            spec.scenarios(),
+            Err(SpecError::DuplicateLabel {
+                label: "1x32 b=1".to_owned()
+            })
+        );
+    }
+
+    #[test]
+    fn two_lb_with_multiple_bandwidths_is_a_duplicate() {
+        // loop_two_lb forces 1x32, so extra bandwidths collapse onto the
+        // same label — rejected, not silently aliased.
+        let spec = ExperimentSpec::new("dup2").sweep(SweepAxes::Loop {
+            bandwidths: vec![RfuBandwidth::B1x32, RfuBandwidth::B1x64],
+            betas: vec![1],
+            two_line_buffers: vec![true],
+            lbb_bank_lines: vec![None],
+            reconfig: vec![ReconfigSpec::zero()],
+        });
+        assert!(matches!(
+            spec.scenarios(),
+            Err(SpecError::DuplicateLabel { .. })
+        ));
+    }
+
+    #[test]
+    fn off_default_axes_get_label_suffixes() {
+        let spec = ExperimentSpec::new("ablate").sweep(SweepAxes::Loop {
+            bandwidths: vec![RfuBandwidth::B1x32],
+            betas: vec![1],
+            two_line_buffers: vec![false],
+            lbb_bank_lines: vec![None, Some(17)],
+            reconfig: vec![
+                ReconfigSpec::zero(),
+                ReconfigSpec {
+                    penalty: 100,
+                    contexts: 2,
+                    prefetch_hiding: true,
+                },
+            ],
+        });
+        let labels: Vec<String> = spec
+            .scenarios()
+            .unwrap()
+            .into_iter()
+            .map(|s| s.label)
+            .collect();
+        assert_eq!(
+            labels,
+            [
+                "1x32 b=1",
+                "1x32 b=1 rc=100x2+pf",
+                "1x32 b=1 lbb=17",
+                "1x32 b=1 lbb=17 rc=100x2+pf"
+            ]
+        );
+    }
+
+    #[test]
+    fn expansion_counts_are_the_cross_product() {
+        let axes = SweepAxes::Loop {
+            bandwidths: vec![RfuBandwidth::B1x32, RfuBandwidth::B2x64],
+            betas: vec![1, 2, 3],
+            two_line_buffers: vec![false],
+            lbb_bank_lines: vec![None, Some(8)],
+            reconfig: vec![ReconfigSpec::zero()],
+        };
+        assert_eq!(axes.len(), 12);
+        let spec = ExperimentSpec::new("count")
+            .sweep(SweepAxes::instruction(vec![Variant::Orig, Variant::A3]))
+            .sweep(axes);
+        assert_eq!(spec.scenarios().unwrap().len(), 14);
+    }
+
+    #[test]
+    fn schema_violations_are_typed_errors() {
+        for (text, needle) in [
+            ("[]", "expected an object"),
+            ("{\"sweeps\": []}", "missing required key"),
+            ("{\"name\": \"x\", \"sweeps\": []}", "must not be empty"),
+            (
+                "{\"name\": \"x\", \"bogus\": 1, \"sweeps\": [{\"kind\": \"loop\", \
+                 \"bandwidths\": [\"1x32\"], \"betas\": [1]}]}",
+                "unknown key",
+            ),
+            (
+                "{\"name\": \"x\", \"sweeps\": [{\"kind\": \"warp\"}]}",
+                "unknown sweep kind",
+            ),
+            (
+                "{\"name\": \"x\", \"sweeps\": [{\"kind\": \"loop\", \
+                 \"bandwidths\": [\"9x9\"], \"betas\": [1]}]}",
+                "unknown bandwidth",
+            ),
+            (
+                "{\"name\": \"x\", \"sweeps\": [{\"kind\": \"loop\", \
+                 \"bandwidths\": [\"1x32\"], \"betas\": [0]}]}",
+                "beta must be at least 1",
+            ),
+            (
+                "{\"name\": \"x\", \"frames\": 0, \"sweeps\": [{\"kind\": \
+                 \"instruction\", \"variants\": [\"Orig\"]}]}",
+                "at least 1",
+            ),
+            (
+                "{\"name\": \"x\", \"sweeps\": [{\"kind\": \"loop\", \
+                 \"bandwidths\": [\"1x32\"], \"betas\": [1], \
+                 \"reconfig\": [{\"penalty\": 5, \"contexts\": 0}]}]}",
+                "resident context",
+            ),
+        ] {
+            match ExperimentSpec::from_json_str(text) {
+                Err(SpecError::Schema { message, path }) => assert!(
+                    format!("{path}: {message}").contains(needle),
+                    "`{text}` gave `{path}: {message}`, wanted `{needle}`"
+                ),
+                other => panic!("`{text}` gave {other:?}, wanted a Schema error"),
+            }
+        }
+        assert!(matches!(
+            ExperimentSpec::from_json_str("not json"),
+            Err(SpecError::Json(_))
+        ));
+    }
+
+    #[test]
+    fn fault_and_cycle_limit_round_trip() {
+        let mut spec =
+            ExperimentSpec::new("faulty").sweep(SweepAxes::instruction(vec![Variant::Orig]));
+        spec.fault_profile = FaultProfile::Chaos;
+        spec.fault_seed = 7;
+        spec.cycle_limit = Some(123_456);
+        spec.frames = 2;
+        let parsed = ExperimentSpec::from_json_str(&spec.to_json_string()).unwrap();
+        assert_eq!(parsed, spec);
+        let sc = &parsed.scenarios().unwrap()[0];
+        assert_eq!(sc.cycle_limit, Some(123_456));
+        assert!(!sc.fault.is_inert());
+    }
+}

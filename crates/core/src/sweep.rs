@@ -1,0 +1,357 @@
+//! The sweep engine: expand an [`ExperimentSpec`] into scenarios, run them
+//! on the deterministic parallel runner, and collect a result matrix.
+//!
+//! This is the execution seam both the tables pipeline and `rvliw sweep`
+//! sit on: [`run_scenario_list`] fans scenarios out across worker threads
+//! with per-scenario panic isolation, and results are reassembled in input
+//! order so the outcome — every cell, bit for bit — is independent of the
+//! thread count.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use rvliw_trace::Json;
+
+use crate::runner::{run_me, MeResult, ScenarioError};
+use crate::scenario::{Kind, Scenario};
+use crate::spec::{pretty, ExperimentSpec, SpecError};
+use crate::workload::Workload;
+
+/// The per-scenario outcome slot of a sweep or case study.
+pub type ScenarioResult = Result<MeResult, ScenarioError>;
+
+/// Runs one scenario with a panic backstop: a panicking scenario becomes
+/// [`ScenarioError::Panic`] instead of tearing down the whole sweep (or
+/// poisoning a worker thread in the parallel path).
+fn run_isolated(sc: &Scenario, workload: &Workload) -> ScenarioResult {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_me(sc, workload))).unwrap_or_else(
+        |payload| {
+            let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_owned()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_owned()
+            };
+            Err(ScenarioError::Panic {
+                label: sc.label.clone(),
+                message,
+            })
+        },
+    )
+}
+
+/// Runs `scenarios` across `threads` workers (`<= 1` runs serially on the
+/// calling thread), returning one [`ScenarioResult`] per scenario in input
+/// order. A failing or panicking scenario occupies its own slot without
+/// disturbing the others. `progress` is called with a scenario label as
+/// each scenario starts (from worker threads when running parallel —
+/// labels may interleave, but every label appears exactly once).
+#[must_use]
+pub fn run_scenario_list(
+    scenarios: &[Scenario],
+    workload: &Workload,
+    threads: usize,
+    progress: &(impl Fn(&str) + Sync),
+) -> Vec<ScenarioResult> {
+    let n = scenarios.len();
+    if threads <= 1 {
+        return scenarios
+            .iter()
+            .map(|sc| {
+                progress(&sc.label);
+                run_isolated(sc, workload)
+            })
+            .collect();
+    }
+    // Work-stealing by atomic index: scenario costs are wildly uneven
+    // (ORIG simulates ~10× the cycles of a loop-level point), so a
+    // static partition would idle most workers.
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<ScenarioResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(n) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(sc) = scenarios.get(i) else { break };
+                progress(&sc.label);
+                let r = run_isolated(sc, workload);
+                *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .unwrap_or_else(|| {
+                    Err(ScenarioError::Panic {
+                        label: scenarios[i].label.clone(),
+                        message: "scenario result missing (worker died)".to_owned(),
+                    })
+                })
+        })
+        .collect()
+}
+
+/// An expanded [`ExperimentSpec`]: the spec plus its concrete scenario
+/// list, ready to run.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    spec: ExperimentSpec,
+    scenarios: Vec<Scenario>,
+}
+
+impl Sweep {
+    /// Expands `spec` into its scenario list.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SpecError`] from [`ExperimentSpec::scenarios`] (duplicate
+    /// labels, chiefly).
+    pub fn expand(spec: ExperimentSpec) -> Result<Self, SpecError> {
+        let scenarios = spec.scenarios()?;
+        Ok(Sweep { spec, scenarios })
+    }
+
+    /// The spec this sweep was expanded from.
+    #[must_use]
+    pub fn spec(&self) -> &ExperimentSpec {
+        &self.spec
+    }
+
+    /// The expanded scenarios, in run order.
+    #[must_use]
+    pub fn scenarios(&self) -> &[Scenario] {
+        &self.scenarios
+    }
+
+    /// Runs every scenario over `workload` across `threads` workers and
+    /// collects the result matrix. Bit-identical for any thread count.
+    #[must_use]
+    pub fn run(
+        &self,
+        workload: &Workload,
+        threads: usize,
+        progress: impl Fn(&str) + Sync,
+    ) -> SweepOutcome {
+        let results = run_scenario_list(&self.scenarios, workload, threads, &progress);
+        let rows = self
+            .scenarios
+            .iter()
+            .zip(results)
+            .map(|(sc, result)| SweepRow {
+                label: sc.label.clone(),
+                static_latency: match sc.kind {
+                    Kind::Instruction(_) => None,
+                    Kind::Loop { .. } => Some(sc.static_latency(workload.stride)),
+                },
+                result,
+            })
+            .collect();
+        SweepOutcome {
+            name: self.spec.name.clone(),
+            baseline: self.spec.baseline.clone(),
+            rows,
+        }
+    }
+}
+
+/// One row of a [`SweepOutcome`]: a scenario's label, its static RFU
+/// latency (loop-level scenarios only) and its measurement or error.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// The scenario label.
+    pub label: String,
+    /// Static `GetSadLoop` latency in cycles (`None` for instruction-level
+    /// scenarios, which have no loop engine).
+    pub static_latency: Option<u64>,
+    /// The measurement, or the typed error that replaced it.
+    pub result: ScenarioResult,
+}
+
+/// The result matrix of one sweep run.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// The spec name.
+    pub name: String,
+    /// Baseline label speedups are computed against, when the spec set one.
+    pub baseline: Option<String>,
+    /// One row per scenario, in run order.
+    pub rows: Vec<SweepRow>,
+}
+
+impl SweepOutcome {
+    /// The baseline row's measurement, when a baseline label was set and
+    /// that row succeeded.
+    #[must_use]
+    pub fn baseline_result(&self) -> Option<&MeResult> {
+        let label = self.baseline.as_deref()?;
+        self.rows
+            .iter()
+            .find(|r| r.label == label)?
+            .result
+            .as_ref()
+            .ok()
+    }
+
+    /// The errors of every failed row, in run order.
+    pub fn failures(&self) -> impl Iterator<Item = &ScenarioError> {
+        self.rows.iter().filter_map(|r| r.result.as_ref().err())
+    }
+
+    /// Whether every row succeeded.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.failures().next().is_none()
+    }
+
+    /// The outcome as a JSON value (the `rvliw sweep --out` format).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let base = self.baseline_result();
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("sweep".to_owned(), Json::Str(self.name.clone()));
+        m.insert(
+            "baseline".to_owned(),
+            match &self.baseline {
+                Some(b) => Json::Str(b.clone()),
+                None => Json::Null,
+            },
+        );
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| {
+                let mut r = std::collections::BTreeMap::new();
+                r.insert("label".to_owned(), Json::Str(row.label.clone()));
+                r.insert(
+                    "static_latency".to_owned(),
+                    match row.static_latency {
+                        Some(l) => Json::Num(l.to_string()),
+                        None => Json::Null,
+                    },
+                );
+                match &row.result {
+                    Ok(res) => {
+                        r.insert("me_cycles".to_owned(), Json::Num(res.me_cycles.to_string()));
+                        r.insert(
+                            "stall_cycles".to_owned(),
+                            Json::Num(res.stall_cycles.to_string()),
+                        );
+                        r.insert("calls".to_owned(), Json::Num(res.calls.to_string()));
+                        r.insert(
+                            "speedup".to_owned(),
+                            match base {
+                                Some(b) => Json::Num(format!("{:.4}", res.speedup_vs(b))),
+                                None => Json::Null,
+                            },
+                        );
+                        r.insert("error".to_owned(), Json::Null);
+                    }
+                    Err(e) => {
+                        r.insert("error".to_owned(), Json::Str(e.to_string()));
+                    }
+                }
+                Json::Obj(r)
+            })
+            .collect();
+        m.insert("rows".to_owned(), Json::Arr(rows));
+        Json::Obj(m)
+    }
+
+    /// The outcome as pretty-printed JSON text.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        pretty(&self.to_json(), 0, &mut out);
+        out.push('\n');
+        out
+    }
+}
+
+impl fmt::Display for SweepOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Sweep `{}`:", self.name)?;
+        let base = self.baseline_result();
+        writeln!(
+            f,
+            "{:<24} {:>8} {:>12} {:>12} {:>8} {:>8}",
+            "Scenario", "Lat", "MeCycles", "Stalls", "Calls", "S.Up"
+        )?;
+        for row in &self.rows {
+            let lat = row
+                .static_latency
+                .map_or_else(|| "-".to_owned(), |l| l.to_string());
+            match &row.result {
+                Ok(res) => {
+                    let speedup = base
+                        .map_or_else(|| "-".to_owned(), |b| format!("{:.2}", res.speedup_vs(b)));
+                    writeln!(
+                        f,
+                        "{:<24} {:>8} {:>12} {:>12} {:>8} {:>8}",
+                        row.label, lat, res.me_cycles, res.stall_cycles, res.calls, speedup
+                    )?;
+                }
+                Err(e) => {
+                    writeln!(f, "{:<24} {:>8} [failed] {e}", row.label, lat)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_labels_fail_expansion() {
+        use crate::spec::SweepAxes;
+        use rvliw_kernels::Variant;
+        let spec = ExperimentSpec::new("dup")
+            .sweep(SweepAxes::instruction(vec![Variant::Orig]))
+            .sweep(SweepAxes::instruction(vec![Variant::Orig]));
+        assert!(matches!(
+            Sweep::expand(spec),
+            Err(SpecError::DuplicateLabel { .. })
+        ));
+    }
+
+    #[test]
+    fn sweep_runs_and_reports_speedups() {
+        use crate::spec::SweepAxes;
+        use rvliw_kernels::Variant;
+        use rvliw_rfu::RfuBandwidth;
+        let spec = ExperimentSpec::new("smoke")
+            .with_baseline("Orig")
+            .sweep(SweepAxes::instruction(vec![Variant::Orig]))
+            .sweep(SweepAxes::loop_grid(vec![RfuBandwidth::B2x64], vec![5]));
+        let sweep = Sweep::expand(spec).unwrap();
+        let workload = Workload::tiny();
+        let out = sweep.run(&workload, 1, |_| {});
+        assert!(out.is_complete(), "failures: {:?}", out.failures().count());
+        assert_eq!(out.rows.len(), 2);
+        assert!(out.baseline_result().is_some());
+        // The loop-level point must beat the software baseline.
+        let base = out.baseline_result().unwrap().me_cycles;
+        let fast = out.rows[1].result.as_ref().unwrap().me_cycles;
+        assert!(fast < base);
+        assert!(out.rows[1].static_latency.is_some());
+        assert!(out.rows[0].static_latency.is_none());
+        // JSON rendering round-trips through the parser.
+        let json = Json::parse(&out.to_json_string()).unwrap();
+        assert_eq!(json.get("sweep").and_then(Json::as_str), Some("smoke"));
+        assert_eq!(
+            json.get("rows").and_then(Json::as_array).map(<[Json]>::len),
+            Some(2)
+        );
+        // Text rendering mentions every label.
+        let text = out.to_string();
+        assert!(text.contains("Orig") && text.contains("2x64 b=5"));
+    }
+}

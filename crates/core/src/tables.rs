@@ -1,56 +1,21 @@
 //! Tables 1–7 of the paper, regenerated from measurements.
 
+use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
 
 use rvliw_fault::FaultPlan;
 use rvliw_kernels::Variant;
 use rvliw_rfu::RfuBandwidth;
 
 use crate::app_model::AppModel;
-use crate::runner::{run_me, MeResult, ScenarioError};
+use crate::runner::{MeResult, ScenarioError};
 use crate::scenario::Scenario;
+use crate::spec::{ExperimentSpec, SpecError};
+use crate::sweep::run_scenario_list;
+use crate::threads::default_threads;
 use crate::workload::Workload;
 
-/// The per-scenario outcome slot of a [`CaseStudy`].
-pub type ScenarioResult = Result<MeResult, ScenarioError>;
-
-/// Runs one scenario with a panic backstop: a panicking scenario becomes
-/// [`ScenarioError::Panic`] instead of tearing down the whole case study
-/// (or poisoning a worker thread in the parallel path).
-fn run_isolated(sc: &Scenario, workload: &Workload) -> ScenarioResult {
-    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_me(sc, workload))).unwrap_or_else(
-        |payload| {
-            let message = if let Some(s) = payload.downcast_ref::<&str>() {
-                (*s).to_owned()
-            } else if let Some(s) = payload.downcast_ref::<String>() {
-                s.clone()
-            } else {
-                "non-string panic payload".to_owned()
-            };
-            Err(ScenarioError::Panic {
-                label: sc.label.clone(),
-                message,
-            })
-        },
-    )
-}
-
-/// The default worker-thread count for [`CaseStudy`]: the `RVLIW_THREADS`
-/// environment variable when set to a positive integer, otherwise the
-/// machine's available parallelism.
-#[must_use]
-pub fn default_threads() -> usize {
-    if let Ok(v) = std::env::var("RVLIW_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-}
+pub use crate::sweep::ScenarioResult;
 
 /// All measurements needed for every table, collected in one pass.
 ///
@@ -84,21 +49,17 @@ impl CaseStudy {
     /// two-line-buffer points. Each scenario is independent — it owns its
     /// machine, memory hierarchy and RFU — which is what makes the fan-out
     /// in [`CaseStudy::run_with_threads`] trivially sound.
+    ///
+    /// The grid is declared once, as [`ExperimentSpec::paper_grid`], and
+    /// expanded here; the checked-in `specs/table*.json` files union to
+    /// exactly this list.
     #[must_use]
     pub fn scenarios() -> Vec<Scenario> {
-        let mut v = vec![Scenario::orig()];
-        for variant in [Variant::A1, Variant::A2, Variant::A3] {
-            v.push(Scenario::instruction(variant));
+        match ExperimentSpec::paper_grid().scenarios() {
+            Ok(v) => v,
+            // The paper grid is a compile-time constant with unique labels.
+            Err(e) => unreachable!("paper grid failed to expand: {e}"),
         }
-        for bw in RfuBandwidth::all() {
-            for beta in [1u64, 5] {
-                v.push(Scenario::loop_level(bw, beta));
-            }
-        }
-        for beta in [1u64, 5] {
-            v.push(Scenario::loop_two_lb(beta));
-        }
-        v
     }
 
     /// Runs every scenario of the paper over `workload`, dispatching them
@@ -164,56 +125,81 @@ impl CaseStudy {
         Self::assemble(workload, scenarios, results)
     }
 
-    /// Runs `scenarios` across `threads` workers, returning one
-    /// [`ScenarioResult`] per scenario in input order. A failing or
-    /// panicking scenario occupies its own slot without disturbing the
-    /// others.
+    /// Runs `scenarios` across `threads` workers on the shared sweep
+    /// engine ([`run_scenario_list`]), returning one [`ScenarioResult`]
+    /// per scenario in input order.
     fn run_list(
         scenarios: &[Scenario],
         workload: &Workload,
         threads: usize,
         progress: &(impl Fn(&str) + Sync),
     ) -> Vec<ScenarioResult> {
-        let n = scenarios.len();
-        if threads <= 1 {
-            return scenarios
-                .iter()
-                .map(|sc| {
-                    progress(&sc.label);
-                    run_isolated(sc, workload)
-                })
-                .collect();
-        }
-        // Work-stealing by atomic index: scenario costs are wildly
-        // uneven (ORIG simulates ~10× the cycles of a loop-level
-        // point), so a static partition would idle most workers.
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<ScenarioResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|s| {
-            for _ in 0..threads.min(n) {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(sc) = scenarios.get(i) else { break };
-                    progress(&sc.label);
-                    let r = run_isolated(sc, workload);
-                    *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
-                });
+        run_scenario_list(scenarios, workload, threads, progress)
+    }
+
+    /// Runs the case study from declarative specs — the `tables --spec`
+    /// path. The specs' scenarios are unioned by label (identical
+    /// duplicates collapse, e.g. every table spec carries the ORIG
+    /// baseline) and must cover the paper grid exactly; the union then
+    /// runs through [`Self::run_scenarios`] in canonical order, so the
+    /// result is bit-identical to [`Self::run_with_threads`].
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::DuplicateLabel`] from a spec's own expansion, and
+    /// [`SpecError::GridMismatch`] when two specs disagree about a label's
+    /// configuration, a paper-grid scenario is missing, or a spec
+    /// contributes an off-grid scenario (those run through `rvliw sweep`,
+    /// not the tables pipeline).
+    pub fn run_from_specs(
+        specs: &[ExperimentSpec],
+        workload: &Workload,
+        threads: usize,
+        progress: impl Fn(&str) + Sync,
+    ) -> Result<Self, SpecError> {
+        let mut by_label: BTreeMap<String, Scenario> = BTreeMap::new();
+        for spec in specs {
+            for sc in spec.scenarios()? {
+                match by_label.get(&sc.label) {
+                    None => {
+                        by_label.insert(sc.label.clone(), sc);
+                    }
+                    Some(existing) if *existing == sc => {}
+                    Some(_) => {
+                        return Err(SpecError::GridMismatch {
+                            message: format!(
+                                "specs disagree about scenario `{}` (same label, \
+                                 different configuration)",
+                                sc.label
+                            ),
+                        });
+                    }
+                }
             }
-        });
-        slots
-            .into_iter()
-            .enumerate()
-            .map(|(i, slot)| {
-                slot.into_inner()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .unwrap_or_else(|| {
-                        Err(ScenarioError::Panic {
-                            label: scenarios[i].label.clone(),
-                            message: "scenario result missing (worker died)".to_owned(),
-                        })
-                    })
-            })
-            .collect()
+        }
+        let mut ordered = Vec::new();
+        for canonical in Self::scenarios() {
+            match by_label.remove(&canonical.label) {
+                Some(sc) => ordered.push(sc),
+                None => {
+                    return Err(SpecError::GridMismatch {
+                        message: format!(
+                            "paper-grid scenario `{}` is missing from the specs",
+                            canonical.label
+                        ),
+                    });
+                }
+            }
+        }
+        if let Some(label) = by_label.into_keys().next() {
+            return Err(SpecError::GridMismatch {
+                message: format!(
+                    "scenario `{label}` is not part of the paper grid \
+                     (off-grid specs run through `rvliw sweep`)"
+                ),
+            });
+        }
+        Ok(Self::run_scenarios(&ordered, workload, threads, progress))
     }
 
     /// Reassembles per-scenario results (in the fixed order [`Self::scenarios`]

@@ -1,0 +1,50 @@
+//! Worker-thread configuration, shared by the case study and the sweep
+//! engine.
+
+/// The default worker-thread count: the `RVLIW_THREADS` environment
+/// variable when set to a positive integer, otherwise the machine's
+/// available parallelism. An invalid value produces a stderr warning and
+/// falls back to auto-detection instead of being silently ignored.
+#[must_use]
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("RVLIW_THREADS") {
+        match parse_threads(&v) {
+            Ok(n) => return n,
+            Err(e) => eprintln!("warning: RVLIW_THREADS: {e}; using available parallelism"),
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Parses a worker-thread count (the `--threads` flag, the
+/// `RVLIW_THREADS` variable): a positive integer.
+///
+/// # Errors
+///
+/// A human-readable message when `s` is not a positive integer.
+pub fn parse_threads(s: &str) -> Result<usize, String> {
+    match s.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!(
+            "invalid thread count `{s}` (want a positive integer)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_threads_accepts_positive_integers() {
+        assert_eq!(parse_threads("1"), Ok(1));
+        assert_eq!(parse_threads(" 16 "), Ok(16));
+    }
+
+    #[test]
+    fn parse_threads_rejects_junk() {
+        for bad in ["0", "-3", "many", "1.5", ""] {
+            assert!(parse_threads(bad).is_err(), "`{bad}` should be rejected");
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! The checked-in `specs/` files against the built-in paper grid, and the
+//! sweep engine's determinism guarantees.
+//!
+//! These are the behavior-preservation proofs for the spec-driven layer:
+//! the seven `table*.json` specs union to exactly the hardcoded grid,
+//! running them yields a bit-identical `TablesSnapshot`, and the off-grid
+//! example spec runs deterministically across thread counts.
+
+use std::path::{Path, PathBuf};
+
+use rvliw_core::{
+    CaseStudy, ExperimentSpec, Scenario, SpecError, Sweep, SweepAxes, TablesSnapshot, Workload,
+};
+
+fn specs_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs")
+}
+
+fn load_spec(name: &str) -> ExperimentSpec {
+    let path = specs_dir().join(name);
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    ExperimentSpec::from_json_str(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+fn table_specs() -> Vec<ExperimentSpec> {
+    (1..=7)
+        .map(|i| load_spec(&format!("table{i}.json")))
+        .collect()
+}
+
+/// The union of the seven table specs is exactly the built-in grid: same
+/// labels, same order (after canonical reordering), same configuration.
+#[test]
+fn table_specs_union_to_the_paper_grid() {
+    let mut by_label: Vec<Scenario> = Vec::new();
+    for spec in table_specs() {
+        assert_eq!(spec.frames, 25, "{}: paper tables use 25 frames", spec.name);
+        assert_eq!(spec.baseline.as_deref(), Some("Orig"), "{}", spec.name);
+        for sc in spec.scenarios().expect("table specs expand") {
+            match by_label.iter().find(|s| s.label == sc.label) {
+                None => by_label.push(sc),
+                Some(existing) => {
+                    assert_eq!(*existing, sc, "specs disagree about `{}`", existing.label)
+                }
+            }
+        }
+    }
+    let canonical = CaseStudy::scenarios();
+    assert_eq!(
+        canonical
+            .iter()
+            .map(|s| s.label.as_str())
+            .collect::<Vec<_>>(),
+        [
+            "Orig", "A1", "A2", "A3", "1x32 b=1", "1x32 b=5", "1x64 b=1", "1x64 b=5", "2x64 b=1",
+            "2x64 b=5", "2LB b=1", "2LB b=5"
+        ],
+        "the canonical grid order is load-bearing (snapshot keys, fault salts)"
+    );
+    assert_eq!(by_label.len(), canonical.len());
+    for want in &canonical {
+        let got = by_label
+            .iter()
+            .find(|s| s.label == want.label)
+            .unwrap_or_else(|| panic!("specs miss `{}`", want.label));
+        assert_eq!(got, want, "spec scenario `{}` drifted", want.label);
+    }
+}
+
+/// Spec-driven tables are bit-identical to the built-in grid on a tiny
+/// workload (the full 25-frame equivalence is CI's `sweep-golden` job).
+#[test]
+fn spec_driven_tables_match_builtin_grid_bit_for_bit() {
+    let workload = Workload::tiny();
+    let specs = table_specs();
+    let from_specs = CaseStudy::run_from_specs(&specs, &workload, 2, |_| {})
+        .expect("table specs cover the grid");
+    let builtin = CaseStudy::run_with_threads(&workload, 1, |_| {});
+    assert!(from_specs.is_complete() && builtin.is_complete());
+    assert_eq!(
+        TablesSnapshot::capture(&from_specs).cells,
+        TablesSnapshot::capture(&builtin).cells
+    );
+}
+
+/// The off-grid example spec runs end-to-end and is bit-identical across
+/// thread counts.
+#[test]
+fn offgrid_spec_runs_deterministically_across_thread_counts() {
+    let spec = load_spec("offgrid_beta_sweep.json");
+    let sweep = Sweep::expand(spec).expect("off-grid spec expands");
+    // 1 ORIG + 8 betas at 2x64.
+    assert_eq!(sweep.scenarios().len(), 9);
+    let workload = Workload::tiny();
+    let serial = sweep.run(&workload, 1, |_| {});
+    let parallel = sweep.run(&workload, 4, |_| {});
+    assert!(serial.is_complete(), "off-grid sweep must complete");
+    assert_eq!(serial.to_json_string(), parallel.to_json_string());
+    // Higher β slows the RFU: me_cycles must be non-decreasing in β.
+    let cycles: Vec<u64> = serial.rows[1..]
+        .iter()
+        .map(|r| r.result.as_ref().expect("loop point runs").me_cycles)
+        .collect();
+    assert!(
+        cycles.windows(2).all(|w| w[0] <= w[1]),
+        "me_cycles not monotone in beta: {cycles:?}"
+    );
+}
+
+/// The off-grid spec is rejected by the tables pipeline with a typed
+/// grid-mismatch error, not a panic.
+#[test]
+fn offgrid_spec_is_rejected_by_the_tables_pipeline() {
+    let mut specs = table_specs();
+    specs.push(load_spec("offgrid_beta_sweep.json"));
+    let workload = Workload::tiny();
+    match CaseStudy::run_from_specs(&specs, &workload, 1, |_| {}) {
+        Err(SpecError::GridMismatch { message }) => {
+            assert!(message.contains("not part of the paper grid"), "{message}");
+        }
+        other => panic!(
+            "expected GridMismatch, got {other:?}",
+            other = other.map(|_| ())
+        ),
+    }
+}
+
+/// Duplicate labels across a single spec's sweeps are a typed error.
+#[test]
+fn duplicate_labels_are_a_typed_error() {
+    let spec = ExperimentSpec::new("dup")
+        .sweep(SweepAxes::loop_two_lb(vec![1]))
+        .sweep(SweepAxes::loop_two_lb(vec![1]));
+    assert_eq!(
+        spec.scenarios().unwrap_err(),
+        SpecError::DuplicateLabel {
+            label: "2LB b=1".to_owned()
+        }
+    );
+}
+
+/// Missing paper-grid coverage is a typed error naming the missing label.
+#[test]
+fn missing_grid_coverage_is_a_typed_error() {
+    let specs = vec![load_spec("table1.json")];
+    let workload = Workload::tiny();
+    match CaseStudy::run_from_specs(&specs, &workload, 1, |_| {}) {
+        Err(SpecError::GridMismatch { message }) => {
+            assert!(message.contains("missing"), "{message}");
+        }
+        other => panic!(
+            "expected GridMismatch, got {other:?}",
+            other = other.map(|_| ())
+        ),
+    }
+}

@@ -120,20 +120,18 @@ pub fn build_me_loop_call(kind: DriverKind, cfg: &MachineConfig) -> Code {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rvliw_mem::MemConfig;
-    use rvliw_rfu::{MeLoopCfg, Rfu, RfuBandwidth};
+    use rvliw_core::SimSession;
+    use rvliw_rfu::{MeLoopCfg, RfuBandwidth};
     use rvliw_sim::Machine;
 
     const STRIDE: u32 = 176;
 
     fn setup(kind: DriverKind, bw: RfuBandwidth, beta: u64) -> (Machine, u32, u32) {
-        let mem_cfg = MemConfig::st200_loop_level();
-        let mut m = Machine::new(MachineConfig::st200(), mem_cfg);
         let mut me = MeLoopCfg::new(bw, beta, STRIDE);
         if kind == DriverKind::DoubleLineBuffer {
             me = me.with_line_buffer_b();
         }
-        m.rfu = Rfu::with_case_study_configs(me);
+        let mut m = SimSession::st200_loop_level().me_loop(me).build();
         let cur = m.mem.ram.alloc(STRIDE * 160, 32);
         let prev = m.mem.ram.alloc(STRIDE * 160, 32);
         for i in 0..STRIDE * 160 {

@@ -441,7 +441,6 @@ mod tests {
     use super::*;
     use mpeg4_enc::sad::{get_sad, InterpKind};
     use mpeg4_enc::types::Plane;
-    use rvliw_mem::MemConfig;
     use rvliw_rfu::{MeLoopCfg, RfuBandwidth};
     use rvliw_sim::Machine;
 
@@ -474,10 +473,9 @@ mod tests {
     }
 
     fn machine_with_rfu() -> Machine {
-        let mut m = Machine::new(MachineConfig::st200(), MemConfig::st200());
-        m.rfu =
-            rvliw_rfu::Rfu::with_case_study_configs(MeLoopCfg::new(RfuBandwidth::B1x32, 1, STRIDE));
-        m
+        rvliw_core::SimSession::st200()
+            .me_loop(MeLoopCfg::new(RfuBandwidth::B1x32, 1, STRIDE))
+            .build()
     }
 
     fn run_kernel(m: &mut Machine, code: &Code, ref_addr: u32, cand_addr: u32, interp: u32) -> u32 {

@@ -1,51 +1,43 @@
 //! Architecture exploration: the paper's core methodology — sweep the RFU
 //! design space on one platform and compare quantitatively.
 //!
-//! Sweeps bandwidth × technology scaling × line-buffer scheme and prints a
-//! speedup matrix against the ORIG software baseline, including points the
-//! paper did not publish (β = 2, 3).
+//! Builds an [`ExperimentSpec`] programmatically (the same declarative
+//! layer the checked-in `specs/*.json` files and `rvliw sweep` use),
+//! sweeping bandwidth × technology scaling × line-buffer scheme, and
+//! prints the result matrix against the ORIG software baseline — including
+//! points the paper did not publish (β = 2, 3).
 //!
 //! ```text
 //! cargo run --release --example explore_design_space
 //! ```
 
-use rvliw::exp::{run_me, Scenario, Workload};
+use rvliw::exp::{ExperimentSpec, SpecError, Sweep, SweepAxes, Workload};
+use rvliw::kernels::Variant;
 use rvliw::rfu::RfuBandwidth;
 
-fn main() -> Result<(), rvliw::exp::ScenarioError> {
+fn main() -> Result<(), SpecError> {
+    let betas = vec![1u64, 2, 3, 5];
+    let spec = ExperimentSpec::new("explore-design-space")
+        .with_baseline("Orig")
+        .sweep(SweepAxes::instruction(vec![Variant::Orig]))
+        .sweep(SweepAxes::loop_grid(
+            RfuBandwidth::all().to_vec(),
+            betas.clone(),
+        ))
+        .sweep(SweepAxes::loop_two_lb(betas));
+    // The spec is serializable — `println!("{}", spec.to_json_string())`
+    // yields a file `rvliw sweep` runs directly.
+    let sweep = Sweep::expand(spec)?;
+
     println!("encoding the workload …");
     let workload = Workload::qcif_frames(3);
     println!(
-        "replaying {} GetSad calls per design point …\n",
-        workload.num_calls()
+        "replaying {} GetSad calls across {} design points …\n",
+        workload.num_calls(),
+        sweep.scenarios().len()
     );
-
-    let orig = run_me(&Scenario::orig(), &workload)?;
-    println!(
-        "ORIG baseline: {} cycles ({} calls)\n",
-        orig.me_cycles, orig.calls
-    );
-
-    let betas = [1u64, 2, 3, 5];
-    print!("{:>14} |", "speedup");
-    for beta in betas {
-        print!("  b={beta}  ");
-    }
-    println!("\n{:-<14}-+{:-<28}", "", "");
-    for bw in RfuBandwidth::all() {
-        print!("{:>14} |", format!("loop {}", bw.label()));
-        for beta in betas {
-            let r = run_me(&Scenario::loop_level(bw, beta), &workload)?;
-            print!(" {:>5.2} ", r.speedup_vs(&orig));
-        }
-        println!();
-    }
-    print!("{:>14} |", "two line bufs");
-    for beta in betas {
-        let r = run_me(&Scenario::loop_two_lb(beta), &workload)?;
-        print!(" {:>5.2} ", r.speedup_vs(&orig));
-    }
-    println!();
+    let outcome = sweep.run(&workload, rvliw::exp::default_threads(), |_| {});
+    print!("{outcome}");
 
     println!(
         "\nreading the matrix: bandwidth buys the most at β = 1; as the RFU\n\

@@ -9,12 +9,11 @@
 //! cargo run --release --example future_work_dct
 //! ```
 
+use rvliw::exp::SimSession;
 use rvliw::isa::MachineConfig;
 use rvliw::kernels::dct::{build_dct, DCT_ARG_DST, DCT_ARG_SCRATCH, DCT_ARG_SRC};
-use rvliw::mem::MemConfig;
 use rvliw::mpeg4::dct::fdct_fixed;
-use rvliw::rfu::{cfgs, DctLoopCfg, MeLoopCfg, Rfu, RfuBandwidth};
-use rvliw::sim::Machine;
+use rvliw::rfu::{cfgs, DctLoopCfg, MeLoopCfg, RfuBandwidth};
 
 fn main() {
     // A representative residual block.
@@ -26,7 +25,7 @@ fn main() {
 
     // --- software kernel on the VLIW ------------------------------------
     let code = build_dct(&MachineConfig::st200());
-    let mut m = Machine::st200();
+    let mut m = SimSession::st200().build();
     let src = m.mem.ram.alloc(128, 32);
     let dst = m.mem.ram.alloc(128, 32);
     let scratch = m.mem.ram.alloc(128, 32);
@@ -53,13 +52,15 @@ fn main() {
 
     // --- RFU DCT instruction ---------------------------------------------
     for beta in [1u64, 5] {
-        let mut m = Machine::new(MachineConfig::st200(), MemConfig::st200_loop_level());
-        let mut rfu = Rfu::with_case_study_configs(MeLoopCfg::new(RfuBandwidth::B1x32, beta, 176));
-        rfu.define(
+        let mut m = SimSession::st200_loop_level()
+            .me_loop(MeLoopCfg::new(RfuBandwidth::B1x32, beta, 176))
+            .build();
+        // The DCT configuration is an extension beyond the case-study set;
+        // define it on the built machine's RFU.
+        m.rfu.define(
             cfgs::DCT_LOOP,
             rvliw::rfu::RfuConfig::DctLoop(DctLoopCfg::new(beta)),
         );
-        m.rfu = rfu;
         let src = m.mem.ram.alloc(128, 32);
         let dst = m.mem.ram.alloc(128, 32);
         for (i, &v) in block.iter().enumerate() {

@@ -4,6 +4,7 @@
 //! rvliw asm <file.s>           parse + schedule, print the bundled code
 //! rvliw run <file.s> [rN=V..]  assemble and execute; prints changed GPRs
 //! rvliw trace <file.s> [rN=V]  like run, with a per-bundle execution trace
+//! rvliw sweep <spec.json>      expand and run a declarative experiment spec
 //! rvliw arch                   print the Figure 1 block diagram
 //! ```
 //!
@@ -19,24 +20,34 @@
 //! --fault-seed N      seed for the fault plan (default 0)
 //! ```
 //!
+//! `sweep` accepts:
+//!
+//! ```text
+//! --threads N         worker threads (default: RVLIW_THREADS or all cores)
+//! --frames N          override the spec's QCIF workload length
+//! --out FILE          also write the result matrix as JSON
+//! ```
+//!
 //! Programs use the listing syntax of `rvliw::asm::parse_program` (see
-//! `examples/assemble_and_run.rs`).
+//! `examples/assemble_and_run.rs`); spec files use the schema documented
+//! in EXPERIMENTS.md § "Writing your own sweep".
 
 use std::process::ExitCode;
 
 use rvliw::asm::{parse_program, schedule_st200, Code};
-use rvliw::exp::arch;
+use rvliw::exp::{arch, ExperimentSpec, SimSession, Sweep, Workload};
 use rvliw::fault::{FaultPlan, FaultProfile};
 use rvliw::isa::{Bundle, Gpr, MachineConfig};
 use rvliw::mem::MemConfig;
-use rvliw::sim::Machine;
 use rvliw::trace::{ChromeTracer, CountingTracer, TeeTracer};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: rvliw <asm|run|trace> <file.s> [rN=value ...] \
          [--trace FILE] [--metrics-out FILE]\n       \
-         [--fault-profile PROFILE] [--fault-seed N]\n       rvliw arch"
+         [--fault-profile PROFILE] [--fault-seed N]\n       \
+         rvliw sweep <spec.json> [--threads N] [--frames N] [--out FILE]\n       \
+         rvliw arch"
     );
     ExitCode::from(2)
 }
@@ -108,10 +119,11 @@ fn execute(path: &str, rest: &[String], trace: bool) -> Result<(), String> {
         }
     }
     let code = load(path)?;
-    let mut m = Machine::new(MachineConfig::st200(), MemConfig::st200());
     // Salt the fault substreams with the program path so distinct programs
     // under the same seed draw independent perturbations.
-    m.set_fault_plan(&FaultPlan::from_profile(fault_profile, fault_seed), path);
+    let mut m = SimSession::st200()
+        .fault_plan(FaultPlan::from_profile(fault_profile, fault_seed), path)
+        .build();
     for &(r, v) in &parse_regs(&regs)? {
         m.set_gpr(r, v);
     }
@@ -160,6 +172,67 @@ fn execute(path: &str, rest: &[String], trace: bool) -> Result<(), String> {
     Ok(())
 }
 
+/// `rvliw sweep <spec.json>`: expand a declarative experiment spec and run
+/// its scenario matrix on the deterministic parallel runner.
+fn run_sweep(path: &str, rest: &[String]) -> Result<(), String> {
+    let mut threads = rvliw::exp::default_threads();
+    let mut frames: Option<usize> = None;
+    let mut out_path: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a positive integer")?;
+                threads = rvliw::exp::parse_threads(v).map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--frames" => {
+                let v = it.next().ok_or("--frames needs a positive integer")?;
+                let n = v.parse::<usize>().map_err(|e| format!("--frames: {e}"))?;
+                if n == 0 {
+                    return Err("--frames: must be at least 1".to_owned());
+                }
+                frames = Some(n);
+            }
+            "--out" => {
+                out_path = Some(it.next().ok_or("--out needs an output file")?.clone());
+            }
+            other => return Err(format!("unknown sweep argument `{other}`")),
+        }
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let spec = ExperimentSpec::from_json_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    let sweep = Sweep::expand(spec).map_err(|e| format!("{path}: {e}"))?;
+    let frames = frames.unwrap_or(sweep.spec().frames);
+    eprintln!(
+        "encoding {frames}-frame workload, then {} scenarios on {threads} thread(s)",
+        sweep.scenarios().len()
+    );
+    // The 25-frame paper workload is cached process-wide; anything else is
+    // encoded fresh for this run.
+    let workload = if frames == 25 {
+        (*Workload::paper_shared()).clone()
+    } else {
+        Workload::qcif_frames(frames)
+    };
+    let outcome = sweep.run(&workload, threads, |label| eprintln!("  running {label}"));
+    print!("{outcome}");
+    if let Some(out_path) = out_path {
+        std::fs::write(&out_path, outcome.to_json_string())
+            .map_err(|e| format!("{out_path}: {e}"))?;
+        eprintln!("wrote result matrix to {out_path}");
+    }
+    if outcome.is_complete() {
+        Ok(())
+    } else {
+        let labels: Vec<String> = outcome.failures().map(ToString::to_string).collect();
+        Err(format!(
+            "{} scenario(s) failed:\n  {}",
+            labels.len(),
+            labels.join("\n  ")
+        ))
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
@@ -176,6 +249,10 @@ fn main() -> ExitCode {
         },
         Some(cmd @ ("run" | "trace")) => match args.get(1) {
             Some(path) => execute(path, &args[2..], cmd == "trace"),
+            None => return usage(),
+        },
+        Some("sweep") => match args.get(1) {
+            Some(path) => run_sweep(path, &args[2..]),
             None => return usage(),
         },
         _ => return usage(),

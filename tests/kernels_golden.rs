@@ -4,16 +4,16 @@
 
 use proptest::prelude::*;
 
+use rvliw::exp::SimSession;
 use rvliw::isa::MachineConfig;
 use rvliw::kernels::regs::{
     ARG_BASE, ARG_BEST, ARG_CAND, ARG_CX, ARG_CY, ARG_INTERP, ARG_NCX, ARG_NCY, ARG_REF,
     ARG_STRIDE, NO_CANDIDATE, RESULT,
 };
 use rvliw::kernels::{build_getsad, build_mb_prep, build_me_loop_call, DriverKind, Variant};
-use rvliw::mem::MemConfig;
 use rvliw::mpeg4::sad::{get_sad, InterpKind};
 use rvliw::mpeg4::types::Plane;
-use rvliw::rfu::{MeLoopCfg, Rfu, RfuBandwidth};
+use rvliw::rfu::{MeLoopCfg, RfuBandwidth};
 use rvliw::sim::Machine;
 
 const STRIDE: u32 = 176;
@@ -65,8 +65,9 @@ proptest! {
         let golden = get_sad(&cur, rx, ry, &prev, cx, cy, kind);
         for variant in Variant::all() {
             let code = build_getsad(variant, &MachineConfig::st200());
-            let mut m = Machine::st200();
-            m.rfu = Rfu::with_case_study_configs(MeLoopCfg::new(RfuBandwidth::B1x32, 1, STRIDE));
+            let mut m = SimSession::st200()
+                .me_loop(MeLoopCfg::new(RfuBandwidth::B1x32, 1, STRIDE))
+                .build();
             let cur_base = load_plane(&mut m, &cur);
             let prev_base = load_plane(&mut m, &prev);
             m.set_gpr(ARG_REF, cur_base + (ry as u32) * STRIDE + rx as u32);
@@ -110,8 +111,7 @@ proptest! {
         } else {
             DriverKind::SingleLineBuffer
         };
-        let mut m = Machine::new(MachineConfig::st200(), MemConfig::st200_loop_level());
-        m.rfu = Rfu::with_case_study_configs(me);
+        let mut m = SimSession::st200_loop_level().me_loop(me).build();
         let cur_base = load_plane(&mut m, &cur);
         let prev_base = load_plane(&mut m, &prev);
         let prep = build_mb_prep(dkind, &MachineConfig::st200());
