@@ -7,13 +7,21 @@
 //! cargo run --release -p rvliw-bench --bin tables \
 //!     [-- --write] [--frames N] [--csv DIR] [--bench-json] [--baseline-cps X]
 //!     [--metrics-out FILE] [--trace FILE] [--threads N] [--spec PATH]
+//!     [--cache-dir DIR] [--no-cache]
 //!     [--fault-seed N] [--fault-profile PROFILE]
 //! cargo run --release -p rvliw-bench --bin tables -- --check BENCH_tables.json
 //! ```
 //!
 //! `--write` also rewrites `EXPERIMENTS.md` at the workspace root.
 //! `--threads N` overrides the worker-thread count (default: the
-//! `RVLIW_THREADS` environment variable, else all cores).
+//! `RVLIW_THREADS` environment variable, else all cores; `0` means auto).
+//! `--cache-dir DIR` enables the content-addressed scenario result cache:
+//! previously simulated scenarios are served from disk instead of being
+//! re-simulated, and every table stays bit-identical to the cold path —
+//! `--check` against a warm cache is the proof. Without the flag the cache
+//! directory comes from `RVLIW_CACHE_DIR` (unset = caching off);
+//! `--no-cache` disables it regardless. A `cache: hits=… misses=…` summary
+//! goes to stderr, and `--metrics-out` gains a top-level `"cache"` object.
 //! `--spec PATH` drives the run from declarative experiment specs instead
 //! of the built-in grid: a single `.json` spec file, or a directory whose
 //! `table*.json` files (the seven checked-in paper tables under `specs/`)
@@ -50,7 +58,9 @@ use std::time::Instant;
 
 use rvliw_bench::paper;
 use rvliw_core::tables::CaseStudy;
-use rvliw_core::{arch, run_me_with_tracer, ExperimentSpec, Scenario, TablesSnapshot, Workload};
+use rvliw_core::{
+    arch, run_me_with_tracer, ExperimentSpec, Scenario, ScenarioCache, TablesSnapshot, Workload,
+};
 use rvliw_fault::{FaultPlan, FaultProfile};
 use rvliw_isa::MachineConfig;
 use rvliw_mem::MemConfig;
@@ -171,6 +181,31 @@ fn build_workload(frames: usize) -> std::sync::Arc<Workload> {
     }
 }
 
+/// Opens the scenario result cache for `workload`, honouring the flag
+/// precedence `--no-cache` > `--cache-dir` > `RVLIW_CACHE_DIR` > off.
+fn open_cache(
+    cache_dir: Option<&str>,
+    no_cache: bool,
+    workload: &Workload,
+    frames: usize,
+) -> Result<Option<ScenarioCache>, String> {
+    if no_cache {
+        return Ok(None);
+    }
+    let dir = match cache_dir {
+        Some(d) => std::path::PathBuf::from(d),
+        None => match rvliw_core::default_cache_dir() {
+            Some(d) => d,
+            None => return Ok(None),
+        },
+    };
+    let kind = if frames == 25 { "paper" } else { "qcif" };
+    match ScenarioCache::open(&dir, workload, kind) {
+        Ok(c) => Ok(Some(c)),
+        Err(e) => Err(format!("cache: {e}")),
+    }
+}
+
 /// Loads experiment specs from `path`: a single `.json` file, or a
 /// directory whose `table*.json` files are loaded in sorted order (other
 /// spec files in the directory — off-grid sweeps — are ignored, since they
@@ -211,22 +246,41 @@ fn run_case_study(
     workload: &Workload,
     plan: FaultPlan,
     threads: usize,
+    cache: Option<&ScenarioCache>,
 ) -> Result<CaseStudy, String> {
     let progress = |label: &str| eprintln!("  scenario {label} …");
     match specs {
-        Some(specs) => {
-            CaseStudy::run_from_specs(specs, workload, threads, progress).map_err(|e| e.to_string())
+        Some(specs) => CaseStudy::run_from_specs_cached(specs, workload, threads, progress, cache)
+            .map_err(|e| e.to_string()),
+        None => {
+            let scenarios: Vec<Scenario> = CaseStudy::scenarios()
+                .into_iter()
+                .map(|sc| sc.with_fault_plan(plan))
+                .collect();
+            Ok(CaseStudy::run_scenarios_cached(
+                &scenarios, workload, threads, progress, cache,
+            ))
         }
-        None => Ok(CaseStudy::run_with_fault_plan(
-            workload, plan, threads, progress,
-        )),
+    }
+}
+
+/// Prints the cache traffic summary after a (potentially warm) run.
+fn report_cache(cache: Option<&ScenarioCache>) {
+    if let Some(cache) = cache {
+        eprintln!("{}", cache.counts().summary_line());
     }
 }
 
 /// The regression gate: re-runs the case study (spec-driven when `specs`
 /// is given) and diffs every integer table cell against the `"tables"`
 /// snapshot committed in `path`.
-fn run_check(path: &str, specs: Option<&[ExperimentSpec]>, threads: usize) -> ExitCode {
+fn run_check(
+    path: &str,
+    specs: Option<&[ExperimentSpec]>,
+    threads: usize,
+    cache_dir: Option<&str>,
+    no_cache: bool,
+) -> ExitCode {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -263,13 +317,21 @@ fn run_check(path: &str, specs: Option<&[ExperimentSpec]>, threads: usize) -> Ex
     };
     eprintln!("tables --check: re-running the case study {how} on {frames} QCIF frames …");
     let workload = build_workload(frames);
-    let cs = match run_case_study(specs, &workload, FaultPlan::none(), threads) {
+    let cache = match open_cache(cache_dir, no_cache, &workload, frames) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("tables --check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let cs = match run_case_study(specs, &workload, FaultPlan::none(), threads, cache.as_ref()) {
         Ok(cs) => cs,
         Err(e) => {
             eprintln!("tables --check: {e}");
             return ExitCode::from(2);
         }
     };
+    report_cache(cache.as_ref());
     let fresh = TablesSnapshot::capture(&cs);
     let drift = fresh.diff(&baseline);
     if drift.is_empty() {
@@ -342,12 +404,20 @@ fn main() -> ExitCode {
         );
         return ExitCode::from(2);
     }
+    let cache_dir = flag_value("--cache-dir");
+    let no_cache = args.iter().any(|a| a == "--no-cache");
     if let Some(file) = flag_value("--check") {
         if !plan.is_inert() {
             eprintln!("tables: --check compares against golden tables; drop --fault-profile");
             return ExitCode::from(2);
         }
-        return run_check(&file, specs.as_deref(), threads);
+        return run_check(
+            &file,
+            specs.as_deref(),
+            threads,
+            cache_dir.as_deref(),
+            no_cache,
+        );
     }
     let write = args.iter().any(|a| a == "--write");
     let bench_json = args.iter().any(|a| a == "--bench-json");
@@ -426,8 +496,15 @@ fn main() -> ExitCode {
              under fault profile `{fault_profile}`, seed {fault_seed} …"
         );
     }
+    let cache = match open_cache(cache_dir.as_deref(), no_cache, &workload, frames) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("tables: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let t_scenarios = Instant::now();
-    let cs = match run_case_study(specs.as_deref(), &workload, plan, threads) {
+    let cs = match run_case_study(specs.as_deref(), &workload, plan, threads, cache.as_ref()) {
         Ok(cs) => cs,
         Err(e) => {
             eprintln!("tables: {e}");
@@ -435,6 +512,7 @@ fn main() -> ExitCode {
         }
     };
     let scenarios_wall_s = t_scenarios.elapsed().as_secs_f64();
+    report_cache(cache.as_ref());
 
     let _ = writeln!(out, "```\n{}\n```\n", cs.table1());
     let _ = writeln!(out, "```\n{}\n```\n", cs.table2());
@@ -715,6 +793,62 @@ fn main() -> ExitCode {
          alongside the pipeline and memory tracks."
     );
 
+    // ---- result cache -------------------------------------------------------
+    let _ = writeln!(out, "\n## Caching and incremental sweeps\n");
+    let _ = writeln!(
+        out,
+        "Every measurement above is a pure function of (kernel program, \
+         machine/memory/RFU/line-buffer configuration, fault plan, \
+         workload), so results are cacheable on disk and reusable across \
+         invocations — the iterate-a-sweep loop re-simulates only what \
+         changed. Pass `--cache-dir DIR` (or set `RVLIW_CACHE_DIR`; \
+         `--no-cache` wins over both) to `rvliw sweep` or this binary:\n\n\
+         ```\n\
+         cargo run --release -p rvliw-bench --bin tables -- \\\n    \
+         --spec specs/ --check BENCH_tables.json --cache-dir .rvliw-cache\n\
+         ```\n\n\
+         The first (cold) run simulates and publishes every scenario; a \
+         second (warm) run serves them from disk and `--check` still \
+         passes bit-identically — the differential guarantee enforced by \
+         the `cache_differential` tests and CI's `cache-smoke` job. \
+         Entries are **content-addressed**: the file name is a 128-bit \
+         FNV-1a hash over the canonicalized scenario (kind, bandwidth, β, \
+         line-buffer scheme and capacity, reconfiguration model, cycle \
+         budget, label), the assembled kernel program words, every fault-plan \
+         knob including the seed, a workload digest (frame pixels plus the \
+         recorded motion trace) and a cache schema version. Changing *any* \
+         of those — editing a kernel, bumping β, reseeding a fault plan, \
+         regenerating the workload — changes the key, so stale results are \
+         never served; superseded entries are merely orphaned (`rvliw cache \
+         clear` removes them). Corrupt, truncated or wrong-schema files are \
+         warned about and treated as misses, never trusted. Writes are \
+         atomic (temp file + rename into place), so concurrent sweeps may \
+         share a directory. Each cached run prints a `cache: hits=… \
+         misses=… stale=… writes=…` summary to stderr, `--metrics-out` \
+         gains a top-level `\"cache\"` object, and the store is auditable:\n\n\
+         ```\n\
+         cargo run --release --bin rvliw -- cache stats  --cache-dir .rvliw-cache\n\
+         cargo run --release --bin rvliw -- cache verify --cache-dir .rvliw-cache\n\
+         cargo run --release --bin rvliw -- cache clear  --cache-dir .rvliw-cache\n\
+         ```\n\n\
+         `cache verify` re-simulates a sample of entries (`--sample N`, \
+         default 4) and reports any divergence as a typed error with a \
+         non-zero exit: with a deterministic simulator the only ways an \
+         entry can diverge are on-disk corruption that still parses, or a \
+         code change that should have bumped the schema version.\n\n\
+         **Determinism caveats.** Caching leans on the same guarantee as \
+         the fault-injection harness above: a scenario's measurement \
+         depends only on its configuration — fault substreams are keyed by \
+         (seed, component, scenario label), never by thread scheduling or \
+         wall-clock. Two caveats follow. Failed scenarios (fault-induced \
+         or watchdog-tripped) are *not* cached: errors re-run every time, \
+         so a chaos sweep keeps exercising the failure paths instead of \
+         replaying a stale verdict. And a hit returns the full stored \
+         measurement (cycles, SAD checks, cache/RFU statistics), so a warm \
+         run is indistinguishable from a cold one everywhere except wall \
+         time and the stderr cache summary."
+    );
+
     // ---- figures -----------------------------------------------------------
     let _ = writeln!(out, "\n## Figure 1 (architecture)\n");
     let _ = writeln!(
@@ -812,6 +946,11 @@ fn main() -> ExitCode {
                 )),
                 Err(e) => eprintln!("  metrics: skipping failed scenario: {e}"),
             }
+        }
+        if let Some(cache) = &cache {
+            // Cache traffic of the table run above (the tracer replays are
+            // never cached — they measure, they don't simulate afresh).
+            entries.push(format!("\"cache\": {}", cache.counts().to_json()));
         }
         let json = format!("{{\n{}\n}}\n", entries.join(",\n"));
         Json::parse(&json).expect("generated metrics must be valid JSON");

@@ -1,0 +1,817 @@
+//! Content-addressed caching of scenario results.
+//!
+//! A scenario's measurement is a pure function of the scheduled kernel
+//! programs, the machine/memory/RFU/fault configuration and the workload
+//! trace. [`scenario_key`] hashes exactly those inputs (plus a schema
+//! version) into a [`CacheKey`]; [`ScenarioCache`] stores each
+//! [`MeResult`] under its key so repeated sweeps skip unchanged
+//! scenarios. The runner consults the cache *before* simulating and
+//! records *after* — a cached sweep is bit-identical to a cold one by
+//! construction, because the stored value is the full measurement, not a
+//! recomputation.
+//!
+//! Invalidation is by over-approximation: the canonicalized scenario is
+//! its `Debug` rendering, which automatically covers every field (new
+//! fields invalidate old keys — a safe failure mode: re-simulation, never
+//! a wrong result). Program bytes are hashed from the scheduled bundles,
+//! not from process-local code identities, so keys are stable across
+//! processes. The scenario label participates in the key because fault
+//! substreams are salted with it.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use mpeg4_enc::sad::InterpKind;
+use mpeg4_enc::types::Plane;
+use rvliw_asm::Code;
+use rvliw_cache::{CacheCounts, CacheError, CacheKey, KeyBuilder, ResultCache};
+use rvliw_fault::FaultPlan;
+use rvliw_isa::encode_op;
+use rvliw_kernels::{build_getsad, build_mb_prep, build_me_loop_call, DriverKind, Variant};
+use rvliw_mem::MemStats;
+use rvliw_rfu::{RfuBandwidth, RfuStats};
+use rvliw_sim::SimStats;
+use rvliw_trace::Json;
+
+use crate::runner::MeResult;
+use crate::scenario::{Kind, Scenario};
+use crate::sweep::run_scenario_list;
+use crate::workload::Workload;
+
+/// Version of the core result payload layout inside a cache entry. Bump
+/// when [`MeResult`] serialization changes shape; old entries then stop
+/// matching by key and are re-simulated.
+pub const RESULT_SCHEMA: u64 = 1;
+
+/// The cache directory implied by the environment: `RVLIW_CACHE_DIR` when
+/// set and non-empty. Caching stays off when this returns `None` and no
+/// `--cache-dir` was given.
+#[must_use]
+pub fn default_cache_dir() -> Option<PathBuf> {
+    std::env::var_os("RVLIW_CACHE_DIR")
+        .filter(|v| !v.is_empty())
+        .map(PathBuf::from)
+}
+
+fn interp_bits(kind: InterpKind) -> u32 {
+    match kind {
+        InterpKind::None => 0,
+        InterpKind::H => 1,
+        InterpKind::V => 2,
+        InterpKind::Diag => 3,
+    }
+}
+
+fn hash_plane(kb: &mut KeyBuilder, tag: &str, p: &Plane) {
+    let mut bytes = Vec::with_capacity(p.width() * p.height());
+    for y in 0..p.height() {
+        bytes.extend_from_slice(p.row(y));
+    }
+    kb.field_u64(tag, p.width() as u64);
+    kb.field_bytes(tag, &bytes);
+}
+
+/// Digest of everything the replay reads from a workload: the stride, the
+/// source and reconstructed luma planes, and the full `GetSad` call trace
+/// (coordinates, interpolation kinds and golden SADs).
+#[must_use]
+pub fn workload_digest(w: &Workload) -> CacheKey {
+    let mut kb = KeyBuilder::new("workload", rvliw_cache::SCHEMA_VERSION);
+    kb.field_u64("stride", u64::from(w.stride));
+    kb.field_u64("frames", w.frames.len() as u64);
+    for (i, frame) in w.frames.iter().enumerate() {
+        hash_plane(&mut kb, &format!("frame.{i}.y"), &frame.y);
+    }
+    for (i, frame) in w.report.recon.iter().enumerate() {
+        hash_plane(&mut kb, &format!("recon.{i}.y"), &frame.y);
+    }
+    let mut motion: Vec<u32> = Vec::new();
+    for fr in &w.report.frames {
+        motion.push(fr.motion.len() as u32);
+        for mb in &fr.motion {
+            motion.push(mb.mbx as u32);
+            motion.push(mb.mby as u32);
+            motion.push(mb.calls.len() as u32);
+            for c in &mb.calls {
+                motion.push(c.cx as u32);
+                motion.push(c.cy as u32);
+                motion.push(interp_bits(c.kind));
+                motion.push(c.sad);
+            }
+        }
+    }
+    kb.field_words("motion", &motion);
+    kb.finish()
+}
+
+/// Hashes a scheduled program: its name, the encoded operation words and
+/// the bundle boundaries (two schedules of the same operations must not
+/// alias).
+fn hash_code(kb: &mut KeyBuilder, tag: &str, code: &Code) {
+    kb.field_str(tag, code.name());
+    let mut words: Vec<u32> = Vec::new();
+    let mut bundle_sizes: Vec<u32> = Vec::new();
+    for bundle in code.bundles() {
+        let before = words.len();
+        for op in bundle.ops() {
+            encode_op(op, &mut words);
+        }
+        bundle_sizes.push((words.len() - before) as u32);
+    }
+    kb.field_words(tag, &words);
+    kb.field_words(tag, &bundle_sizes);
+}
+
+/// Hashes the exact programs the runner would build for this scenario
+/// (mirroring `run_me`'s program construction).
+fn hash_programs(kb: &mut KeyBuilder, sc: &Scenario) {
+    match &sc.kind {
+        Kind::Instruction(variant) => {
+            hash_code(kb, "prog.instr", &build_getsad(*variant, &sc.machine));
+        }
+        Kind::Loop {
+            two_line_buffers, ..
+        } => {
+            let kind = if *two_line_buffers {
+                DriverKind::DoubleLineBuffer
+            } else {
+                DriverKind::SingleLineBuffer
+            };
+            hash_code(kb, "prog.prep", &build_mb_prep(kind, &sc.machine));
+            hash_code(kb, "prog.call", &build_me_loop_call(kind, &sc.machine));
+        }
+    }
+}
+
+/// The content address of one scenario's measurement over one workload.
+///
+/// Covers the canonicalized scenario (every field of [`Scenario`],
+/// including machine, memory, reconfiguration, line-buffer, fault-plan
+/// parameters and the label — fault substreams are salted with it), the
+/// scheduled kernel program bytes, the workload digest and the schema
+/// versions. Any single-field perturbation changes the key.
+#[must_use]
+pub fn scenario_key(sc: &Scenario, workload: CacheKey) -> CacheKey {
+    let mut kb = KeyBuilder::new("scenario-result", rvliw_cache::SCHEMA_VERSION);
+    kb.field_u64("result-schema", RESULT_SCHEMA);
+    kb.field_str("scenario", &format!("{sc:?}"));
+    hash_programs(&mut kb, sc);
+    kb.field_str("workload", &workload.hex());
+    kb.finish()
+}
+
+fn num(v: u64) -> Json {
+    Json::Num(v.to_string())
+}
+
+fn mem_to_json(m: &MemStats) -> Json {
+    // Exhaustive destructuring: adding a MemStats field breaks this
+    // function until the serialization (and RESULT_SCHEMA) is updated.
+    let MemStats {
+        loads,
+        stores,
+        d_hits,
+        d_misses,
+        d_late_covered,
+        d_stall_cycles,
+        writebacks,
+        i_misses,
+        i_stall_cycles,
+        pf_issued,
+        pf_dropped,
+        pf_redundant,
+        pf_useful,
+        pf_late,
+    } = *m;
+    let mut o = BTreeMap::new();
+    o.insert("loads".to_owned(), num(loads));
+    o.insert("stores".to_owned(), num(stores));
+    o.insert("d_hits".to_owned(), num(d_hits));
+    o.insert("d_misses".to_owned(), num(d_misses));
+    o.insert("d_late_covered".to_owned(), num(d_late_covered));
+    o.insert("d_stall_cycles".to_owned(), num(d_stall_cycles));
+    o.insert("writebacks".to_owned(), num(writebacks));
+    o.insert("i_misses".to_owned(), num(i_misses));
+    o.insert("i_stall_cycles".to_owned(), num(i_stall_cycles));
+    o.insert("pf_issued".to_owned(), num(pf_issued));
+    o.insert("pf_dropped".to_owned(), num(pf_dropped));
+    o.insert("pf_redundant".to_owned(), num(pf_redundant));
+    o.insert("pf_useful".to_owned(), num(pf_useful));
+    o.insert("pf_late".to_owned(), num(pf_late));
+    Json::Obj(o)
+}
+
+fn field(j: &Json, key: &str) -> Option<u64> {
+    j.get(key).and_then(Json::as_u64)
+}
+
+fn mem_from_json(j: &Json) -> Option<MemStats> {
+    Some(MemStats {
+        loads: field(j, "loads")?,
+        stores: field(j, "stores")?,
+        d_hits: field(j, "d_hits")?,
+        d_misses: field(j, "d_misses")?,
+        d_late_covered: field(j, "d_late_covered")?,
+        d_stall_cycles: field(j, "d_stall_cycles")?,
+        writebacks: field(j, "writebacks")?,
+        i_misses: field(j, "i_misses")?,
+        i_stall_cycles: field(j, "i_stall_cycles")?,
+        pf_issued: field(j, "pf_issued")?,
+        pf_dropped: field(j, "pf_dropped")?,
+        pf_redundant: field(j, "pf_redundant")?,
+        pf_useful: field(j, "pf_useful")?,
+        pf_late: field(j, "pf_late")?,
+    })
+}
+
+fn core_to_json(s: &SimStats) -> Json {
+    let SimStats {
+        cycles,
+        bundles,
+        ops,
+        interlock_stalls,
+        rfu_busy_stalls,
+        branches_taken,
+        branch_stall_cycles,
+        ifetch_stall_cycles,
+        ops_by_class,
+    } = *s;
+    let mut o = BTreeMap::new();
+    o.insert("cycles".to_owned(), num(cycles));
+    o.insert("bundles".to_owned(), num(bundles));
+    o.insert("ops".to_owned(), num(ops));
+    o.insert("interlock_stalls".to_owned(), num(interlock_stalls));
+    o.insert("rfu_busy_stalls".to_owned(), num(rfu_busy_stalls));
+    o.insert("branches_taken".to_owned(), num(branches_taken));
+    o.insert("branch_stall_cycles".to_owned(), num(branch_stall_cycles));
+    o.insert("ifetch_stall_cycles".to_owned(), num(ifetch_stall_cycles));
+    o.insert(
+        "ops_by_class".to_owned(),
+        Json::Arr(ops_by_class.iter().map(|&v| num(v)).collect()),
+    );
+    Json::Obj(o)
+}
+
+fn core_from_json(j: &Json) -> Option<SimStats> {
+    let classes = j.get("ops_by_class")?.as_array()?;
+    if classes.len() != 5 {
+        return None;
+    }
+    let mut ops_by_class = [0u64; 5];
+    for (slot, v) in ops_by_class.iter_mut().zip(classes) {
+        *slot = v.as_u64()?;
+    }
+    Some(SimStats {
+        cycles: field(j, "cycles")?,
+        bundles: field(j, "bundles")?,
+        ops: field(j, "ops")?,
+        interlock_stalls: field(j, "interlock_stalls")?,
+        rfu_busy_stalls: field(j, "rfu_busy_stalls")?,
+        branches_taken: field(j, "branches_taken")?,
+        branch_stall_cycles: field(j, "branch_stall_cycles")?,
+        ifetch_stall_cycles: field(j, "ifetch_stall_cycles")?,
+        ops_by_class,
+    })
+}
+
+fn rfu_to_json(s: &RfuStats) -> Json {
+    let RfuStats {
+        inits,
+        reconfigs,
+        reconfig_penalty_cycles,
+        sends,
+        execs,
+        loops,
+        dct_loops,
+        mb_prefetches,
+        mb_prefetch_lines,
+        lba_waits,
+        lba_wait_cycles,
+        lbb_hits,
+        lbb_late,
+        lbb_misses,
+        loop_stall_cycles,
+        loop_busy_cycles,
+    } = *s;
+    let mut o = BTreeMap::new();
+    o.insert("inits".to_owned(), num(inits));
+    o.insert("reconfigs".to_owned(), num(reconfigs));
+    o.insert(
+        "reconfig_penalty_cycles".to_owned(),
+        num(reconfig_penalty_cycles),
+    );
+    o.insert("sends".to_owned(), num(sends));
+    o.insert("execs".to_owned(), num(execs));
+    o.insert("loops".to_owned(), num(loops));
+    o.insert("dct_loops".to_owned(), num(dct_loops));
+    o.insert("mb_prefetches".to_owned(), num(mb_prefetches));
+    o.insert("mb_prefetch_lines".to_owned(), num(mb_prefetch_lines));
+    o.insert("lba_waits".to_owned(), num(lba_waits));
+    o.insert("lba_wait_cycles".to_owned(), num(lba_wait_cycles));
+    o.insert("lbb_hits".to_owned(), num(lbb_hits));
+    o.insert("lbb_late".to_owned(), num(lbb_late));
+    o.insert("lbb_misses".to_owned(), num(lbb_misses));
+    o.insert("loop_stall_cycles".to_owned(), num(loop_stall_cycles));
+    o.insert("loop_busy_cycles".to_owned(), num(loop_busy_cycles));
+    Json::Obj(o)
+}
+
+fn rfu_from_json(j: &Json) -> Option<RfuStats> {
+    Some(RfuStats {
+        inits: field(j, "inits")?,
+        reconfigs: field(j, "reconfigs")?,
+        reconfig_penalty_cycles: field(j, "reconfig_penalty_cycles")?,
+        sends: field(j, "sends")?,
+        execs: field(j, "execs")?,
+        loops: field(j, "loops")?,
+        dct_loops: field(j, "dct_loops")?,
+        mb_prefetches: field(j, "mb_prefetches")?,
+        mb_prefetch_lines: field(j, "mb_prefetch_lines")?,
+        lba_waits: field(j, "lba_waits")?,
+        lba_wait_cycles: field(j, "lba_wait_cycles")?,
+        lbb_hits: field(j, "lbb_hits")?,
+        lbb_late: field(j, "lbb_late")?,
+        lbb_misses: field(j, "lbb_misses")?,
+        loop_stall_cycles: field(j, "loop_stall_cycles")?,
+        loop_busy_cycles: field(j, "loop_busy_cycles")?,
+    })
+}
+
+/// Serializes a measurement for storage.
+#[must_use]
+pub fn me_result_to_json(r: &MeResult) -> Json {
+    let MeResult {
+        label,
+        me_cycles,
+        stall_cycles,
+        calls,
+        mem,
+        core,
+        rfu,
+    } = r;
+    let mut o = BTreeMap::new();
+    o.insert("label".to_owned(), Json::Str(label.clone()));
+    o.insert("me_cycles".to_owned(), num(*me_cycles));
+    o.insert("stall_cycles".to_owned(), num(*stall_cycles));
+    o.insert("calls".to_owned(), num(*calls));
+    o.insert("mem".to_owned(), mem_to_json(mem));
+    o.insert("core".to_owned(), core_to_json(core));
+    o.insert("rfu".to_owned(), rfu_to_json(rfu));
+    Json::Obj(o)
+}
+
+/// Deserializes a stored measurement (`None` when the payload does not
+/// decode under this build — the caller treats that as a stale miss).
+#[must_use]
+pub fn me_result_from_json(j: &Json) -> Option<MeResult> {
+    Some(MeResult {
+        label: j.get("label")?.as_str()?.to_owned(),
+        me_cycles: field(j, "me_cycles")?,
+        stall_cycles: field(j, "stall_cycles")?,
+        calls: field(j, "calls")?,
+        mem: mem_from_json(j.get("mem")?)?,
+        core: core_from_json(j.get("core")?)?,
+        rfu: rfu_from_json(j.get("rfu")?)?,
+    })
+}
+
+fn fault_to_json(p: &FaultPlan) -> Json {
+    let FaultPlan {
+        seed,
+        mem_latency_ppm,
+        mem_latency_max,
+        flush_ppm,
+        lb_delay_ppm,
+        lb_delay_max,
+        lb_stuck_ppm,
+        bitflip_ppm,
+    } = *p;
+    let mut o = BTreeMap::new();
+    o.insert("seed".to_owned(), num(seed));
+    o.insert(
+        "mem_latency_ppm".to_owned(),
+        num(u64::from(mem_latency_ppm)),
+    );
+    o.insert("mem_latency_max".to_owned(), num(mem_latency_max));
+    o.insert("flush_ppm".to_owned(), num(u64::from(flush_ppm)));
+    o.insert("lb_delay_ppm".to_owned(), num(u64::from(lb_delay_ppm)));
+    o.insert("lb_delay_max".to_owned(), num(lb_delay_max));
+    o.insert("lb_stuck_ppm".to_owned(), num(u64::from(lb_stuck_ppm)));
+    o.insert("bitflip_ppm".to_owned(), num(u64::from(bitflip_ppm)));
+    Json::Obj(o)
+}
+
+fn ppm(j: &Json, key: &str) -> Option<u32> {
+    field(j, key).and_then(|v| u32::try_from(v).ok())
+}
+
+fn fault_from_json(j: &Json) -> Option<FaultPlan> {
+    Some(FaultPlan {
+        seed: field(j, "seed")?,
+        mem_latency_ppm: ppm(j, "mem_latency_ppm")?,
+        mem_latency_max: field(j, "mem_latency_max")?,
+        flush_ppm: ppm(j, "flush_ppm")?,
+        lb_delay_ppm: ppm(j, "lb_delay_ppm")?,
+        lb_delay_max: field(j, "lb_delay_max")?,
+        lb_stuck_ppm: ppm(j, "lb_stuck_ppm")?,
+        bitflip_ppm: ppm(j, "bitflip_ppm")?,
+    })
+}
+
+/// A descriptor of the scenario, enough for `verify` to rebuild
+/// preset-configured scenarios and re-simulate them. Scenarios with
+/// custom machine/memory/reconfiguration settings rebuild to a different
+/// key and are reported as unverifiable rather than mis-verified.
+fn scenario_desc(sc: &Scenario) -> Json {
+    let mut o = BTreeMap::new();
+    match &sc.kind {
+        Kind::Instruction(v) => {
+            o.insert("kind".to_owned(), Json::Str("instruction".to_owned()));
+            o.insert("variant".to_owned(), Json::Str(v.name().to_owned()));
+        }
+        Kind::Loop {
+            bandwidth,
+            beta,
+            two_line_buffers,
+        } => {
+            o.insert("kind".to_owned(), Json::Str("loop".to_owned()));
+            o.insert(
+                "bandwidth".to_owned(),
+                Json::Str(bandwidth.label().to_owned()),
+            );
+            o.insert("beta".to_owned(), num(*beta));
+            o.insert("two_lb".to_owned(), Json::Bool(*two_line_buffers));
+        }
+    }
+    o.insert(
+        "lbb_bank_lines".to_owned(),
+        match sc.lbb_bank_lines {
+            Some(n) => num(n as u64),
+            None => Json::Null,
+        },
+    );
+    o.insert(
+        "cycle_limit".to_owned(),
+        match sc.cycle_limit {
+            Some(n) => num(n),
+            None => Json::Null,
+        },
+    );
+    o.insert("fault".to_owned(), fault_to_json(&sc.fault));
+    o.insert("label".to_owned(), Json::Str(sc.label.clone()));
+    Json::Obj(o)
+}
+
+fn scenario_from_desc(j: &Json) -> Option<Scenario> {
+    let mut sc = match j.get("kind")?.as_str()? {
+        "instruction" => {
+            let name = j.get("variant")?.as_str()?;
+            let variant = Variant::all().into_iter().find(|v| v.name() == name)?;
+            Scenario::instruction(variant)
+        }
+        "loop" => {
+            let label = j.get("bandwidth")?.as_str()?;
+            let bandwidth = RfuBandwidth::all()
+                .into_iter()
+                .find(|b| b.label() == label)?;
+            let beta = field(j, "beta")?;
+            if j.get("two_lb")? == &Json::Bool(true) {
+                if bandwidth != RfuBandwidth::B1x32 {
+                    return None;
+                }
+                Scenario::loop_two_lb(beta)
+            } else {
+                Scenario::loop_level(bandwidth, beta)
+            }
+        }
+        _ => return None,
+    };
+    match j.get("lbb_bank_lines")? {
+        Json::Null => {}
+        v => sc.lbb_bank_lines = Some(usize::try_from(v.as_u64()?).ok()?),
+    }
+    match j.get("cycle_limit")? {
+        Json::Null => {}
+        v => sc.cycle_limit = Some(v.as_u64()?),
+    }
+    sc.fault = fault_from_json(j.get("fault")?)?;
+    sc.label = j.get("label")?.as_str()?.to_owned();
+    Some(sc)
+}
+
+fn workload_desc(kind: &str, w: &Workload) -> Json {
+    let mut o = BTreeMap::new();
+    o.insert("kind".to_owned(), Json::Str(kind.to_owned()));
+    o.insert("frames".to_owned(), num(w.frames.len() as u64));
+    Json::Obj(o)
+}
+
+fn workload_from_desc(j: &Json) -> Option<Workload> {
+    let frames = usize::try_from(field(j, "frames")?).ok()?;
+    match j.get("kind")?.as_str()? {
+        "paper" if frames == 25 => Some((*Workload::paper_shared()).clone()),
+        "qcif" => Some(Workload::qcif_frames(frames)),
+        "tiny" if frames == 3 => Some(Workload::tiny()),
+        _ => None,
+    }
+}
+
+/// A scenario result cache bound to one workload: the workload is
+/// digested once at construction and folded into every key.
+///
+/// `Sync`: lookups and records happen from the parallel runner's worker
+/// threads; the underlying store uses atomic counters and atomic
+/// temp-file + rename writes.
+#[derive(Debug)]
+pub struct ScenarioCache {
+    store: ResultCache,
+    digest: CacheKey,
+    workload: Json,
+}
+
+impl ScenarioCache {
+    /// Opens a cache at `dir` for `workload`. `workload_kind` names how
+    /// the workload was built (`"paper"`, `"qcif"`, `"tiny"`, or any
+    /// other tag for custom workloads — those entries are still correct
+    /// cache hits, but `verify` reports them as unverifiable).
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::Io`] when the directory cannot be created.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        workload: &Workload,
+        workload_kind: &str,
+    ) -> Result<Self, CacheError> {
+        Ok(ScenarioCache {
+            store: ResultCache::open(dir)?,
+            digest: workload_digest(workload),
+            workload: workload_desc(workload_kind, workload),
+        })
+    }
+
+    /// The cache directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        self.store.dir()
+    }
+
+    /// The content key of `sc` over this cache's workload.
+    #[must_use]
+    pub fn key_for(&self, sc: &Scenario) -> CacheKey {
+        scenario_key(sc, self.digest)
+    }
+
+    /// Looks up the cached measurement for `sc`. Misses, corrupt entries
+    /// and undecodable payloads all return `None` (and count as miss or
+    /// stale); a hit whose stored label disagrees with the scenario is
+    /// rejected as stale too.
+    #[must_use]
+    pub fn lookup(&self, sc: &Scenario) -> Option<MeResult> {
+        let key = self.key_for(sc);
+        self.store.lookup_map(&key, |payload| {
+            let result = me_result_from_json(payload.get("result")?)?;
+            if result.label != sc.label {
+                return None;
+            }
+            Some(result)
+        })
+    }
+
+    /// Records a successful measurement. Failed scenarios are never
+    /// cached — they re-run (and re-report) on every sweep.
+    pub fn record(&self, sc: &Scenario, result: &MeResult) {
+        let key = self.key_for(sc);
+        let mut o = BTreeMap::new();
+        o.insert("result".to_owned(), me_result_to_json(result));
+        o.insert("scenario".to_owned(), scenario_desc(sc));
+        o.insert("workload".to_owned(), self.workload.clone());
+        self.store.store(&key, &Json::Obj(o));
+    }
+
+    /// Lifetime hit/miss/stale/write counters for this handle.
+    #[must_use]
+    pub fn counts(&self) -> CacheCounts {
+        self.store.counts()
+    }
+}
+
+/// The outcome of [`verify_cache`].
+#[derive(Debug, Default)]
+pub struct VerifyReport {
+    /// Entries re-simulated and compared.
+    pub checked: usize,
+    /// Entries whose scenario or workload could not be rebuilt from the
+    /// stored descriptor (custom configurations) — skipped, not failed.
+    pub unverifiable: usize,
+    /// Entry files that did not read back as valid envelopes.
+    pub unreadable: usize,
+    /// Entries whose fresh re-simulation differed from the stored result.
+    pub divergent: Vec<CacheError>,
+}
+
+impl VerifyReport {
+    /// Whether no divergence was found.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.divergent.is_empty()
+    }
+}
+
+impl std::fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cache verify: checked={} divergent={} unverifiable={} unreadable={}",
+            self.checked,
+            self.divergent.len(),
+            self.unverifiable,
+            self.unreadable
+        )
+    }
+}
+
+/// Re-simulates up to `sample` cache entries (in key order, so the choice
+/// is deterministic) across `threads` workers and compares the fresh
+/// measurements with the stored ones. Entries from custom scenario or
+/// workload configurations that cannot be rebuilt from their stored
+/// descriptors — detected by recomputing the content key — are counted as
+/// unverifiable and skipped.
+///
+/// # Errors
+///
+/// [`CacheError::Io`] when the cache directory cannot be read.
+pub fn verify_cache(
+    dir: impl Into<PathBuf>,
+    sample: usize,
+    threads: usize,
+) -> Result<VerifyReport, CacheError> {
+    let store = ResultCache::open(dir)?;
+    let (entries, bad) = store.entries()?;
+    let mut report = VerifyReport {
+        unreadable: bad.len(),
+        ..VerifyReport::default()
+    };
+    for e in &bad {
+        eprintln!("warning: {e}");
+    }
+    // Group verifiable entries by workload descriptor so each workload is
+    // rebuilt (and each group fanned out) once.
+    type Group = Vec<(Scenario, MeResult, CacheKey)>;
+    let mut groups: BTreeMap<String, Group> = BTreeMap::new();
+    for entry in entries.into_iter().take(sample) {
+        let rebuilt = entry.payload.get("scenario").and_then(scenario_from_desc);
+        let expected = entry.payload.get("result").and_then(me_result_from_json);
+        let wl_desc = entry.payload.get("workload");
+        match (rebuilt, expected, wl_desc) {
+            (Some(sc), Some(exp), Some(wl)) => groups
+                .entry(wl.to_string())
+                .or_default()
+                .push((sc, exp, entry.key)),
+            _ => report.unverifiable += 1,
+        }
+    }
+    for (wl_desc, group) in groups {
+        let parsed = Json::parse(&wl_desc).ok();
+        let Some(workload) = parsed.as_ref().and_then(workload_from_desc) else {
+            report.unverifiable += group.len();
+            continue;
+        };
+        let digest = workload_digest(&workload);
+        // An entry whose recomputed key differs was written from a
+        // configuration the descriptor cannot express — skip it instead
+        // of reporting a spurious divergence.
+        let (verifiable, skipped): (Group, Group) = group
+            .into_iter()
+            .partition(|(sc, _, key)| scenario_key(sc, digest) == *key);
+        report.unverifiable += skipped.len();
+        let scenarios: Vec<Scenario> = verifiable.iter().map(|(sc, _, _)| sc.clone()).collect();
+        let fresh = run_scenario_list(&scenarios, &workload, threads, &|_| {});
+        for ((sc, expected, key), fresh) in verifiable.into_iter().zip(fresh) {
+            report.checked += 1;
+            let detail = match fresh {
+                Ok(got) if got == expected => continue,
+                Ok(got) => format!(
+                    "stored me_cycles={} stall_cycles={}, fresh me_cycles={} stall_cycles={}",
+                    expected.me_cycles, expected.stall_cycles, got.me_cycles, got.stall_cycles
+                ),
+                Err(e) => format!("fresh run failed: {e}"),
+            };
+            report.divergent.push(CacheError::Divergence {
+                label: sc.label,
+                key: key.hex(),
+                detail,
+            });
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_me;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "rvliw-core-cache-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn me_result_json_roundtrips() {
+        let w = Workload::tiny();
+        let r = run_me(&Scenario::a2(), &w).unwrap();
+        let j = me_result_to_json(&r);
+        assert_eq!(me_result_from_json(&j), Some(r.clone()));
+        // And through a textual round-trip (what the disk sees).
+        let back = Json::parse(&j.to_string()).unwrap();
+        assert_eq!(me_result_from_json(&back), Some(r));
+    }
+
+    #[test]
+    fn scenario_descriptors_rebuild_presets() {
+        let w = Workload::tiny();
+        let digest = workload_digest(&w);
+        let scenarios = [
+            Scenario::orig(),
+            Scenario::a3(),
+            Scenario::loop_level(RfuBandwidth::B2x64, 5),
+            Scenario::loop_two_lb(1),
+            Scenario::loop_level(RfuBandwidth::B1x32, 1)
+                .with_fault_plan(FaultPlan::from_profile(rvliw_fault::FaultProfile::Chaos, 7))
+                .with_cycle_limit(1_000_000),
+        ];
+        for sc in scenarios {
+            let desc = scenario_desc(&sc);
+            let back = scenario_from_desc(&desc).unwrap();
+            assert_eq!(back, sc, "descriptor must rebuild {}", sc.label);
+            assert_eq!(scenario_key(&back, digest), scenario_key(&sc, digest));
+        }
+    }
+
+    #[test]
+    fn cache_round_trip_and_verify() {
+        let dir = tmpdir("roundtrip");
+        let w = Workload::tiny();
+        let cache = ScenarioCache::open(&dir, &w, "tiny").unwrap();
+        let sc = Scenario::a1();
+        assert!(cache.lookup(&sc).is_none());
+        let fresh = run_me(&sc, &w).unwrap();
+        cache.record(&sc, &fresh);
+        assert_eq!(cache.lookup(&sc), Some(fresh));
+        let c = cache.counts();
+        assert_eq!((c.hits, c.misses, c.writes), (1, 1, 1));
+
+        let report = verify_cache(&dir, 10, 1).unwrap();
+        assert!(report.is_clean(), "divergent: {:?}", report.divergent);
+        assert_eq!(report.checked, 1);
+        assert_eq!(report.unverifiable, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verify_flags_a_tampered_entry() {
+        let dir = tmpdir("tamper");
+        let w = Workload::tiny();
+        let cache = ScenarioCache::open(&dir, &w, "tiny").unwrap();
+        let sc = Scenario::a2();
+        let mut fresh = run_me(&sc, &w).unwrap();
+        fresh.me_cycles += 1; // stored result lies about the measurement
+        cache.record(&sc, &fresh);
+        let report = verify_cache(&dir, 10, 1).unwrap();
+        assert_eq!(report.checked, 1);
+        assert_eq!(report.divergent.len(), 1);
+        assert!(matches!(report.divergent[0], CacheError::Divergence { .. }));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn custom_configurations_are_unverifiable_not_divergent() {
+        let dir = tmpdir("custom");
+        let w = Workload::tiny();
+        let cache = ScenarioCache::open(&dir, &w, "tiny").unwrap();
+        // An ablation the descriptor cannot express: shrunken Line
+        // Buffer B. The descriptor stores it, but wait — lbb_bank_lines
+        // *is* expressible. Use a custom machine config knob instead.
+        let mut sc = Scenario::loop_two_lb(1);
+        sc.mem = rvliw_mem::MemConfig::st200(); // not the preset loop-level mem
+        sc.label = "custom-mem".to_owned();
+        let fresh = run_me(&sc, &w).unwrap();
+        cache.record(&sc, &fresh);
+        // The entry is a perfectly good hit for the same scenario…
+        assert_eq!(cache.lookup(&sc), Some(fresh));
+        // …but verify cannot rebuild it, and must say so rather than
+        // report a divergence.
+        let report = verify_cache(&dir, 10, 1).unwrap();
+        assert_eq!(report.checked, 0);
+        assert_eq!(report.unverifiable, 1);
+        assert!(report.is_clean());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -29,6 +29,7 @@
 pub mod app_model;
 pub mod arch;
 pub mod breakdown;
+pub mod cache;
 pub mod metrics;
 pub mod runner;
 pub mod scenario;
@@ -41,14 +42,19 @@ pub mod workload;
 
 pub use app_model::AppModel;
 pub use breakdown::CycleBreakdown;
+pub use cache::{
+    default_cache_dir, scenario_key, verify_cache, workload_digest, ScenarioCache, VerifyReport,
+};
 pub use metrics::TablesSnapshot;
 pub use runner::{run_me, run_me_with_tracer, MeResult, ScenarioError};
 pub use scenario::Scenario;
 pub use session::SimSession;
 pub use spec::{ExperimentSpec, ReconfigSpec, SpecError, SweepAxes};
-pub use sweep::{run_scenario_list, ScenarioResult, Sweep, SweepOutcome, SweepRow};
+pub use sweep::{
+    run_scenario_list, run_scenario_list_cached, ScenarioResult, Sweep, SweepOutcome, SweepRow,
+};
 pub use tables::CaseStudy;
-pub use threads::{default_threads, parse_threads};
+pub use threads::{auto_threads, default_threads, parse_threads};
 pub use workload::Workload;
 
 /// The paper's initial profile: share of total execution time spent in

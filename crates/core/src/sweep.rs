@@ -13,6 +13,7 @@ use std::sync::{Mutex, PoisonError};
 
 use rvliw_trace::Json;
 
+use crate::cache::ScenarioCache;
 use crate::runner::{run_me, MeResult, ScenarioError};
 use crate::scenario::{Kind, Scenario};
 use crate::spec::{pretty, ExperimentSpec, SpecError};
@@ -55,13 +56,48 @@ pub fn run_scenario_list(
     threads: usize,
     progress: &(impl Fn(&str) + Sync),
 ) -> Vec<ScenarioResult> {
+    run_scenario_list_cached(scenarios, workload, threads, progress, None)
+}
+
+/// Runs one scenario through the cache when one is attached: a valid
+/// cached measurement is returned without simulating; a miss simulates
+/// and records the fresh measurement. Failed scenarios are never cached.
+fn run_through_cache(
+    sc: &Scenario,
+    workload: &Workload,
+    cache: Option<&ScenarioCache>,
+) -> ScenarioResult {
+    if let Some(cache) = cache {
+        if let Some(hit) = cache.lookup(sc) {
+            return Ok(hit);
+        }
+    }
+    let result = run_isolated(sc, workload);
+    if let (Some(cache), Ok(res)) = (cache, &result) {
+        cache.record(sc, res);
+    }
+    result
+}
+
+/// [`run_scenario_list`] with an optional lookup-before-simulate cache
+/// layer. The result vector is bit-identical with or without the cache
+/// (the cache stores full measurements, not recomputations) and for any
+/// thread count.
+#[must_use]
+pub fn run_scenario_list_cached(
+    scenarios: &[Scenario],
+    workload: &Workload,
+    threads: usize,
+    progress: &(impl Fn(&str) + Sync),
+    cache: Option<&ScenarioCache>,
+) -> Vec<ScenarioResult> {
     let n = scenarios.len();
     if threads <= 1 {
         return scenarios
             .iter()
             .map(|sc| {
                 progress(&sc.label);
-                run_isolated(sc, workload)
+                run_through_cache(sc, workload, cache)
             })
             .collect();
     }
@@ -76,7 +112,7 @@ pub fn run_scenario_list(
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(sc) = scenarios.get(i) else { break };
                 progress(&sc.label);
-                let r = run_isolated(sc, workload);
+                let r = run_through_cache(sc, workload, cache);
                 *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
             });
         }
@@ -138,7 +174,23 @@ impl Sweep {
         threads: usize,
         progress: impl Fn(&str) + Sync,
     ) -> SweepOutcome {
-        let results = run_scenario_list(&self.scenarios, workload, threads, &progress);
+        self.run_cached(workload, threads, progress, None)
+    }
+
+    /// [`Sweep::run`] with an optional result cache. The outcome —
+    /// including its JSON rendering — is bit-identical to an uncached
+    /// run; cache traffic is reported separately (through
+    /// [`ScenarioCache::counts`]), never embedded in the matrix.
+    #[must_use]
+    pub fn run_cached(
+        &self,
+        workload: &Workload,
+        threads: usize,
+        progress: impl Fn(&str) + Sync,
+        cache: Option<&ScenarioCache>,
+    ) -> SweepOutcome {
+        let results =
+            run_scenario_list_cached(&self.scenarios, workload, threads, &progress, cache);
         let rows = self
             .scenarios
             .iter()

@@ -8,10 +8,11 @@ use rvliw_kernels::Variant;
 use rvliw_rfu::RfuBandwidth;
 
 use crate::app_model::AppModel;
+use crate::cache::ScenarioCache;
 use crate::runner::{MeResult, ScenarioError};
 use crate::scenario::Scenario;
 use crate::spec::{ExperimentSpec, SpecError};
-use crate::sweep::run_scenario_list;
+use crate::sweep::run_scenario_list_cached;
 use crate::threads::default_threads;
 use crate::workload::Workload;
 
@@ -85,7 +86,7 @@ impl CaseStudy {
         progress: impl Fn(&str) + Sync,
     ) -> Self {
         let scenarios = Self::scenarios();
-        let results = Self::run_list(&scenarios, workload, threads, &progress);
+        let results = Self::run_list(&scenarios, workload, threads, &progress, None);
         Self::assemble(workload, &scenarios, results)
     }
 
@@ -105,7 +106,7 @@ impl CaseStudy {
             .into_iter()
             .map(|sc| sc.with_fault_plan(plan))
             .collect();
-        let results = Self::run_list(&scenarios, workload, threads, &progress);
+        let results = Self::run_list(&scenarios, workload, threads, &progress, None);
         Self::assemble(workload, &scenarios, results)
     }
 
@@ -121,20 +122,36 @@ impl CaseStudy {
         threads: usize,
         progress: impl Fn(&str) + Sync,
     ) -> Self {
-        let results = Self::run_list(scenarios, workload, threads, &progress);
+        Self::run_scenarios_cached(scenarios, workload, threads, progress, None)
+    }
+
+    /// [`Self::run_scenarios`] with an optional result cache consulted
+    /// before each simulation. Every table is bit-identical with or
+    /// without the cache; cache traffic is reported separately via
+    /// [`ScenarioCache::counts`].
+    #[must_use]
+    pub fn run_scenarios_cached(
+        scenarios: &[Scenario],
+        workload: &Workload,
+        threads: usize,
+        progress: impl Fn(&str) + Sync,
+        cache: Option<&ScenarioCache>,
+    ) -> Self {
+        let results = Self::run_list(scenarios, workload, threads, &progress, cache);
         Self::assemble(workload, scenarios, results)
     }
 
     /// Runs `scenarios` across `threads` workers on the shared sweep
-    /// engine ([`run_scenario_list`]), returning one [`ScenarioResult`]
-    /// per scenario in input order.
+    /// engine ([`run_scenario_list_cached`]), returning one
+    /// [`ScenarioResult`] per scenario in input order.
     fn run_list(
         scenarios: &[Scenario],
         workload: &Workload,
         threads: usize,
         progress: &(impl Fn(&str) + Sync),
+        cache: Option<&ScenarioCache>,
     ) -> Vec<ScenarioResult> {
-        run_scenario_list(scenarios, workload, threads, progress)
+        run_scenario_list_cached(scenarios, workload, threads, progress, cache)
     }
 
     /// Runs the case study from declarative specs — the `tables --spec`
@@ -156,6 +173,23 @@ impl CaseStudy {
         workload: &Workload,
         threads: usize,
         progress: impl Fn(&str) + Sync,
+    ) -> Result<Self, SpecError> {
+        Self::run_from_specs_cached(specs, workload, threads, progress, None)
+    }
+
+    /// [`Self::run_from_specs`] with an optional result cache — the warm
+    /// fast path of `tables --spec --check`. Bit-identical to the cold
+    /// path: hits return the full stored measurement.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::run_from_specs`].
+    pub fn run_from_specs_cached(
+        specs: &[ExperimentSpec],
+        workload: &Workload,
+        threads: usize,
+        progress: impl Fn(&str) + Sync,
+        cache: Option<&ScenarioCache>,
     ) -> Result<Self, SpecError> {
         let mut by_label: BTreeMap<String, Scenario> = BTreeMap::new();
         for spec in specs {
@@ -199,7 +233,9 @@ impl CaseStudy {
                 ),
             });
         }
-        Ok(Self::run_scenarios(&ordered, workload, threads, progress))
+        Ok(Self::run_scenarios_cached(
+            &ordered, workload, threads, progress, cache,
+        ))
     }
 
     /// Reassembles per-scenario results (in the fixed order [`Self::scenarios`]

@@ -1,10 +1,22 @@
 //! Worker-thread configuration, shared by the case study and the sweep
 //! engine.
+//!
+//! Both CLI front ends (`rvliw sweep` and the `tables` binary) parse
+//! `--threads` and `RVLIW_THREADS` through [`parse_threads`], so the
+//! convention is defined once: a positive integer is an explicit worker
+//! count, and `0` means "auto" — the machine's available parallelism.
+
+/// The machine's available parallelism (at least 1).
+#[must_use]
+pub fn auto_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
 
 /// The default worker-thread count: the `RVLIW_THREADS` environment
-/// variable when set to a positive integer, otherwise the machine's
-/// available parallelism. An invalid value produces a stderr warning and
-/// falls back to auto-detection instead of being silently ignored.
+/// variable when set to a valid count (`0` means auto), otherwise the
+/// machine's available parallelism. An invalid value produces a stderr
+/// warning and falls back to auto-detection instead of being silently
+/// ignored.
 #[must_use]
 pub fn default_threads() -> usize {
     if let Ok(v) = std::env::var("RVLIW_THREADS") {
@@ -13,20 +25,22 @@ pub fn default_threads() -> usize {
             Err(e) => eprintln!("warning: RVLIW_THREADS: {e}; using available parallelism"),
         }
     }
-    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    auto_threads()
 }
 
 /// Parses a worker-thread count (the `--threads` flag, the
-/// `RVLIW_THREADS` variable): a positive integer.
+/// `RVLIW_THREADS` variable): a non-negative integer, where `0` resolves
+/// to [`auto_threads`].
 ///
 /// # Errors
 ///
-/// A human-readable message when `s` is not a positive integer.
+/// A human-readable message when `s` is not a non-negative integer.
 pub fn parse_threads(s: &str) -> Result<usize, String> {
     match s.trim().parse::<usize>() {
-        Ok(n) if n >= 1 => Ok(n),
-        _ => Err(format!(
-            "invalid thread count `{s}` (want a positive integer)"
+        Ok(0) => Ok(auto_threads()),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "invalid thread count `{s}` (want a non-negative integer; 0 means auto)"
         )),
     }
 }
@@ -42,8 +56,19 @@ mod tests {
     }
 
     #[test]
+    fn zero_means_auto_in_both_cli_entry_points() {
+        // The shared contract for `rvliw sweep --threads 0` and
+        // `tables --threads 0` (and RVLIW_THREADS=0): resolve to the
+        // machine's available parallelism, never reject, never 0.
+        let auto = auto_threads();
+        assert!(auto >= 1);
+        assert_eq!(parse_threads("0"), Ok(auto));
+        assert_eq!(parse_threads(" 0 "), Ok(auto));
+    }
+
+    #[test]
     fn parse_threads_rejects_junk() {
-        for bad in ["0", "-3", "many", "1.5", ""] {
+        for bad in ["-3", "many", "1.5", ""] {
             assert!(parse_threads(bad).is_err(), "`{bad}` should be rejected");
         }
     }

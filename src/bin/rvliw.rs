@@ -5,6 +5,7 @@
 //! rvliw run <file.s> [rN=V..]  assemble and execute; prints changed GPRs
 //! rvliw trace <file.s> [rN=V]  like run, with a per-bundle execution trace
 //! rvliw sweep <spec.json>      expand and run a declarative experiment spec
+//! rvliw cache <stats|clear|verify>  inspect the scenario result cache
 //! rvliw arch                   print the Figure 1 block diagram
 //! ```
 //!
@@ -23,9 +24,26 @@
 //! `sweep` accepts:
 //!
 //! ```text
-//! --threads N         worker threads (default: RVLIW_THREADS or all cores)
+//! --threads N         worker threads (0 = auto; default: RVLIW_THREADS or
+//!                     all cores)
 //! --frames N          override the spec's QCIF workload length
 //! --out FILE          also write the result matrix as JSON
+//! --cache-dir DIR     reuse cached scenario results from DIR (also:
+//!                     RVLIW_CACHE_DIR); results are bit-identical to an
+//!                     uncached run, a summary line reports hits/misses
+//! --no-cache          ignore --cache-dir / RVLIW_CACHE_DIR for this run
+//! ```
+//!
+//! `cache` manages the scenario result cache (the directory comes from
+//! `--cache-dir` or `RVLIW_CACHE_DIR`):
+//!
+//! ```text
+//! rvliw cache stats   [--cache-dir DIR]                 entry count + size
+//! rvliw cache clear   [--cache-dir DIR]                 delete every entry
+//! rvliw cache verify  [--cache-dir DIR] [--sample N] [--threads N]
+//!                     re-simulate up to N entries (default 4) and compare
+//!                     with the stored results; a divergence is a typed
+//!                     error and a non-zero exit
 //! ```
 //!
 //! Programs use the listing syntax of `rvliw::asm::parse_program` (see
@@ -35,7 +53,7 @@
 use std::process::ExitCode;
 
 use rvliw::asm::{parse_program, schedule_st200, Code};
-use rvliw::exp::{arch, ExperimentSpec, SimSession, Sweep, Workload};
+use rvliw::exp::{arch, ExperimentSpec, ScenarioCache, SimSession, Sweep, Workload};
 use rvliw::fault::{FaultPlan, FaultProfile};
 use rvliw::isa::{Bundle, Gpr, MachineConfig};
 use rvliw::mem::MemConfig;
@@ -47,6 +65,8 @@ fn usage() -> ExitCode {
          [--trace FILE] [--metrics-out FILE]\n       \
          [--fault-profile PROFILE] [--fault-seed N]\n       \
          rvliw sweep <spec.json> [--threads N] [--frames N] [--out FILE]\n       \
+         [--cache-dir DIR] [--no-cache]\n       \
+         rvliw cache <stats|clear|verify> [--cache-dir DIR] [--sample N] [--threads N]\n       \
          rvliw arch"
     );
     ExitCode::from(2)
@@ -178,11 +198,13 @@ fn run_sweep(path: &str, rest: &[String]) -> Result<(), String> {
     let mut threads = rvliw::exp::default_threads();
     let mut frames: Option<usize> = None;
     let mut out_path: Option<String> = None;
+    let mut cache_dir = rvliw::exp::default_cache_dir();
+    let mut no_cache = false;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--threads" => {
-                let v = it.next().ok_or("--threads needs a positive integer")?;
+                let v = it.next().ok_or("--threads needs an integer (0 = auto)")?;
                 threads = rvliw::exp::parse_threads(v).map_err(|e| format!("--threads: {e}"))?;
             }
             "--frames" => {
@@ -196,6 +218,10 @@ fn run_sweep(path: &str, rest: &[String]) -> Result<(), String> {
             "--out" => {
                 out_path = Some(it.next().ok_or("--out needs an output file")?.clone());
             }
+            "--cache-dir" => {
+                cache_dir = Some(it.next().ok_or("--cache-dir needs a directory")?.into());
+            }
+            "--no-cache" => no_cache = true,
             other => return Err(format!("unknown sweep argument `{other}`")),
         }
     }
@@ -209,13 +235,27 @@ fn run_sweep(path: &str, rest: &[String]) -> Result<(), String> {
     );
     // The 25-frame paper workload is cached process-wide; anything else is
     // encoded fresh for this run.
-    let workload = if frames == 25 {
-        (*Workload::paper_shared()).clone()
+    let (workload, workload_kind) = if frames == 25 {
+        ((*Workload::paper_shared()).clone(), "paper")
     } else {
-        Workload::qcif_frames(frames)
+        (Workload::qcif_frames(frames), "qcif")
     };
-    let outcome = sweep.run(&workload, threads, |label| eprintln!("  running {label}"));
+    let cache = match cache_dir.filter(|_| !no_cache) {
+        Some(dir) => {
+            Some(ScenarioCache::open(dir, &workload, workload_kind).map_err(|e| e.to_string())?)
+        }
+        None => None,
+    };
+    let outcome = sweep.run_cached(
+        &workload,
+        threads,
+        |label| eprintln!("  running {label}"),
+        cache.as_ref(),
+    );
     print!("{outcome}");
+    if let Some(cache) = &cache {
+        eprintln!("{}", cache.counts().summary_line());
+    }
     if let Some(out_path) = out_path {
         std::fs::write(&out_path, outcome.to_json_string())
             .map_err(|e| format!("{out_path}: {e}"))?;
@@ -230,6 +270,85 @@ fn run_sweep(path: &str, rest: &[String]) -> Result<(), String> {
             labels.len(),
             labels.join("\n  ")
         ))
+    }
+}
+
+/// `rvliw cache <stats|clear|verify>`: inspect, empty or spot-check the
+/// scenario result cache. The cache directory comes from `--cache-dir` or
+/// the `RVLIW_CACHE_DIR` environment variable.
+fn run_cache(cmd: &str, rest: &[String]) -> Result<(), String> {
+    let mut dir = rvliw::exp::default_cache_dir();
+    let mut sample = 4usize;
+    let mut threads = rvliw::exp::default_threads();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--cache-dir" => {
+                dir = Some(it.next().ok_or("--cache-dir needs a directory")?.into());
+            }
+            "--sample" => {
+                let v = it.next().ok_or("--sample needs a positive integer")?;
+                sample = v.parse().map_err(|e| format!("--sample: {e}"))?;
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs an integer (0 = auto)")?;
+                threads = rvliw::exp::parse_threads(v).map_err(|e| format!("--threads: {e}"))?;
+            }
+            other => return Err(format!("unknown cache argument `{other}`")),
+        }
+    }
+    let dir = dir.ok_or("no cache directory (pass --cache-dir or set RVLIW_CACHE_DIR)")?;
+    match cmd {
+        "stats" => {
+            let store = rvliw::cache::ResultCache::open(&dir).map_err(|e| e.to_string())?;
+            let (entries, bad) = store.entries().map_err(|e| e.to_string())?;
+            for e in &bad {
+                eprintln!("warning: {e}");
+            }
+            let bytes: u64 = entries
+                .iter()
+                .filter_map(|e| std::fs::metadata(&e.path).ok())
+                .map(|m| m.len())
+                .sum();
+            println!("cache dir: {}", dir.display());
+            println!(
+                "entries={} bytes={} unreadable={}",
+                entries.len(),
+                bytes,
+                bad.len()
+            );
+            Ok(())
+        }
+        "clear" => {
+            let store = rvliw::cache::ResultCache::open(&dir).map_err(|e| e.to_string())?;
+            let removed = store.clear().map_err(|e| e.to_string())?;
+            println!("removed {removed} file(s) from {}", dir.display());
+            Ok(())
+        }
+        "verify" => {
+            let report =
+                rvliw::exp::verify_cache(&dir, sample, threads).map_err(|e| e.to_string())?;
+            println!("{report}");
+            if report.is_clean() {
+                Ok(())
+            } else {
+                for d in &report.divergent {
+                    eprintln!("rvliw: {d}");
+                }
+                Err(format!(
+                    "{} divergent cache entr{}",
+                    report.divergent.len(),
+                    if report.divergent.len() == 1 {
+                        "y"
+                    } else {
+                        "ies"
+                    }
+                ))
+            }
+        }
+        other => Err(format!(
+            "unknown cache command `{other}` (want stats, clear or verify)"
+        )),
     }
 }
 
@@ -253,6 +372,10 @@ fn main() -> ExitCode {
         },
         Some("sweep") => match args.get(1) {
             Some(path) => run_sweep(path, &args[2..]),
+            None => return usage(),
+        },
+        Some("cache") => match args.get(1) {
+            Some(cmd) => run_cache(cmd, &args[2..]),
             None => return usage(),
         },
         _ => return usage(),

@@ -23,6 +23,9 @@
 //!   loop-level drivers).
 //! * [`fault`] — deterministic seeded fault injection (latency jitter,
 //!   spurious flushes, delayed/stuck line-buffer rows, bit flips).
+//! * [`cache`] — content-addressed, on-disk scenario result cache
+//!   (incremental sweeps; see EXPERIMENTS.md § "Caching and incremental
+//!   sweeps").
 //! * [`exp`] — the experiment driver regenerating the paper's Tables 1–7.
 //!
 //! ## Quickstart
@@ -42,6 +45,7 @@
 
 pub use mpeg4_enc as mpeg4;
 pub use rvliw_asm as asm;
+pub use rvliw_cache as cache;
 pub use rvliw_core as exp;
 pub use rvliw_fault as fault;
 pub use rvliw_isa as isa;
