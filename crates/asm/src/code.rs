@@ -3,13 +3,38 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
+use rvliw_cache::KeyBuilder;
 use rvliw_isa::{encode_op, Bundle};
 
 use crate::program::Label;
 
 /// Source of unique program identities (see [`Code::id`]).
 static NEXT_CODE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// The 128-bit content address of a scheduled program (see
+/// [`Code::content_key`]): two independent FNV-1a streams over the encoded
+/// syllable words and bundle boundaries, following `rvliw-cache`'s
+/// [`KeyBuilder`] discipline. Two separately scheduled but identical
+/// programs share a key; any difference in operations, operands, resolved
+/// targets or bundle packing yields a different key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CodeKey(rvliw_cache::CacheKey);
+
+impl CodeKey {
+    /// The key as 32 lowercase hex digits.
+    #[must_use]
+    pub fn hex(&self) -> String {
+        self.0.hex()
+    }
+}
+
+impl fmt::Display for CodeKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
 
 /// A scheduled program: VLIW bundles with resolved branch targets.
 ///
@@ -22,6 +47,9 @@ pub struct Code {
     name: String,
     bundles: Vec<Bundle>,
     label_at: HashMap<Label, usize>,
+    /// Lazily computed content address (see [`Code::content_key`]). A
+    /// clone copies the computed value, so repeated keying stays cheap.
+    content_key: OnceLock<CodeKey>,
 }
 
 // Equality compares program content only; `id` is an identity tag for
@@ -40,7 +68,38 @@ impl Code {
             name,
             bundles,
             label_at,
+            content_key: OnceLock::new(),
         }
+    }
+
+    /// The 128-bit content address of this program: a hash over every
+    /// bundle's encoded syllable words plus the bundle boundaries
+    /// ([`encode_op`] is lossless, so resolved branch targets and RFU
+    /// configuration ids are covered). Unlike [`Code::id`] — a
+    /// process-unique counter — the content key identifies *what* the
+    /// program is, so derived artifacts (pre-decoded code, compiled
+    /// blocks) can be shared between separately scheduled but identical
+    /// programs and can never be cross-served between different ones.
+    ///
+    /// Computed once and cached; the program name is deliberately
+    /// excluded (execution semantics do not depend on it).
+    #[must_use]
+    pub fn content_key(&self) -> CodeKey {
+        *self.content_key.get_or_init(|| {
+            let mut kb = KeyBuilder::new("code-content", 1);
+            let mut words = Vec::new();
+            let mut sizes = Vec::with_capacity(self.bundles.len());
+            for b in &self.bundles {
+                let start = words.len();
+                for op in b.ops() {
+                    encode_op(op, &mut words);
+                }
+                sizes.push((words.len() - start) as u32);
+            }
+            kb.field_words("words", &words);
+            kb.field_words("bundle-sizes", &sizes);
+            CodeKey(kb.finish())
+        })
     }
 
     /// A process-unique identity for this scheduled program, stable across
@@ -198,5 +257,41 @@ mod tests {
     fn display_matches_disassemble() {
         let code = sample();
         assert_eq!(code.to_string(), code.disassemble());
+    }
+
+    #[test]
+    fn content_key_is_content_addressed() {
+        // Two separately scheduled identical programs: distinct ids,
+        // identical content keys.
+        let a = sample();
+        let b = sample();
+        assert_ne!(a.id(), b.id());
+        assert_eq!(a.content_key(), b.content_key());
+        // A clone shares both.
+        let c = a.clone();
+        assert_eq!(a.id(), c.id());
+        assert_eq!(a.content_key(), c.content_key());
+    }
+
+    #[test]
+    fn content_key_differs_for_different_programs() {
+        let a = sample();
+        let mut b = Builder::new("sample");
+        b.movi(Gpr::new(1), 4); // immediate differs from sample()'s 3
+        b.halt();
+        let b = crate::schedule_st200(&b.build()).unwrap();
+        assert_ne!(a.content_key(), b.content_key());
+        assert_eq!(a.content_key().hex().len(), 32);
+    }
+
+    #[test]
+    fn content_key_ignores_the_program_name() {
+        let mk = |name: &str| {
+            let mut b = Builder::new(name);
+            b.movi(Gpr::new(1), 7);
+            b.halt();
+            crate::schedule_st200(&b.build()).unwrap()
+        };
+        assert_eq!(mk("x").content_key(), mk("y").content_key());
     }
 }

@@ -36,7 +36,7 @@ pub mod program;
 pub mod sched;
 
 pub use builder::Builder;
-pub use code::Code;
+pub use code::{Code, CodeKey};
 pub use parse::{parse_program, ParseError};
 pub use program::{Block, Label, Program, ProgramError};
 pub use sched::{schedule, ScheduleError};

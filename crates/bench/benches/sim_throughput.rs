@@ -12,6 +12,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughpu
 use rvliw_bench::bench_workload;
 use rvliw_core::{run_me, Scenario};
 use rvliw_rfu::RfuBandwidth;
+use rvliw_sim::ExecBackend;
 
 fn bench_sim_throughput(c: &mut Criterion) {
     let workload = bench_workload();
@@ -21,19 +22,26 @@ fn bench_sim_throughput(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(5));
 
     // Elements = simulated cycles, so the reported rate is the headline
-    // "simulated cycles per wall second" number.
-    for (id, scenario) in [
-        ("orig", Scenario::orig()),
-        ("a3", Scenario::a3()),
-        ("loop_1x32_b1", Scenario::loop_level(RfuBandwidth::B1x32, 1)),
-        ("two_lb_b1", Scenario::loop_two_lb(1)),
-    ] {
-        let probe = run_me(&scenario, &workload).expect("scenario replay succeeds");
-        group.throughput(Throughput::Elements(probe.me_cycles));
-        group.bench_function(id, |b| {
-            b.iter(|| black_box(run_me(black_box(&scenario), &workload)));
-        });
+    // "simulated cycles per wall second" number. Each scenario runs under
+    // both execution backends so an interpreter regression and a
+    // block-compilation regression are both visible, as is the speedup
+    // between them.
+    for backend in [ExecBackend::Interpreter, ExecBackend::BlockCompiled] {
+        backend.set_process_default();
+        for (id, scenario) in [
+            ("orig", Scenario::orig()),
+            ("a3", Scenario::a3()),
+            ("loop_1x32_b1", Scenario::loop_level(RfuBandwidth::B1x32, 1)),
+            ("two_lb_b1", Scenario::loop_two_lb(1)),
+        ] {
+            let probe = run_me(&scenario, &workload).expect("scenario replay succeeds");
+            group.throughput(Throughput::Elements(probe.me_cycles));
+            group.bench_function(&format!("{id}/{backend}"), |b| {
+                b.iter(|| black_box(run_me(black_box(&scenario), &workload)));
+            });
+        }
     }
+    ExecBackend::Auto.set_process_default();
 
     group.finish();
 }

@@ -7,9 +7,10 @@
 //! cargo run --release -p rvliw-bench --bin tables \
 //!     [-- --write] [--frames N] [--csv DIR] [--bench-json] [--baseline-cps X]
 //!     [--metrics-out FILE] [--trace FILE] [--threads N] [--spec PATH]
-//!     [--cache-dir DIR] [--no-cache]
+//!     [--cache-dir DIR] [--no-cache] [--backend B]
 //!     [--fault-seed N] [--fault-profile PROFILE]
-//! cargo run --release -p rvliw-bench --bin tables -- --check BENCH_tables.json
+//! cargo run --release -p rvliw-bench --bin tables -- --check BENCH_tables.json \
+//!     [--min-cycles-per-sec-ratio R]
 //! ```
 //!
 //! `--write` also rewrites `EXPERIMENTS.md` at the workspace root.
@@ -39,9 +40,20 @@
 //! `--trace FILE` captures a Chrome `trace_event` JSON (Perfetto-loadable)
 //! of the ORIG scenario.
 //!
+//! `--backend B` (one of `interpreter`, `block-compiled`, `auto`; default
+//! `auto`) selects the simulator's execution backend for every scenario.
+//! The backend never changes results — `--check --backend block-compiled`
+//! proves it bit-identically — only how fast they are simulated.
+//!
 //! `--check FILE` is the regression gate: it re-runs the case study and
 //! compares every integer cell of Tables 1–7 against the `"tables"`
-//! snapshot committed in FILE, exiting non-zero on any drift.
+//! snapshot committed in FILE, exiting non-zero on any drift. With
+//! `--min-cycles-per-sec-ratio R` it additionally fails when the check
+//! run's simulation throughput falls below `R` times the
+//! `cycles_per_sec` recorded in FILE — the throughput ratchet CI runs at
+//! `R = 0.8` to catch >20 % simulator slowdowns (skip it on warm-cache
+//! runs only if you want the trivial pass: cached scenarios are served
+//! from disk, so the ratio is then meaningless in the other direction).
 //!
 //! `--fault-profile PROFILE` (one of `none`, `latency`, `flush`,
 //! `linebuffer`, `bitflip`, `chaos`) with `--fault-seed N` runs the whole
@@ -64,6 +76,7 @@ use rvliw_core::{
 use rvliw_fault::{FaultPlan, FaultProfile};
 use rvliw_isa::MachineConfig;
 use rvliw_mem::MemConfig;
+use rvliw_sim::{backend_totals, ExecBackend};
 use rvliw_trace::{ChromeTracer, CountingTracer, Json};
 
 /// Writes one CSV per table (machine-readable series for plotting).
@@ -264,6 +277,91 @@ fn run_case_study(
     }
 }
 
+/// One timed, uncached pass of the paper grid under a forced backend.
+struct BackendPass {
+    name: &'static str,
+    cycles_per_sec: f64,
+    block_cache_hit_rate: f64,
+    fallbacks: u64,
+}
+
+/// Times the full scenario grid once per execution backend — same specs,
+/// workload and thread count, never cached (a cache hit measures disk, not
+/// the simulator) — and restores `chosen` as the process default.
+fn bench_backends(
+    specs: Option<&[ExperimentSpec]>,
+    workload: &Workload,
+    threads: usize,
+    chosen: ExecBackend,
+) -> Result<Vec<BackendPass>, String> {
+    let mut passes = Vec::new();
+    for backend in [ExecBackend::Interpreter, ExecBackend::BlockCompiled] {
+        backend.set_process_default();
+        let before = backend_totals();
+        let t = Instant::now();
+        let cs = run_case_study(specs, workload, FaultPlan::none(), threads, None)?;
+        let wall_s = t.elapsed().as_secs_f64();
+        let after = backend_totals();
+        let simulated: u64 = cs
+            .results()
+            .filter_map(|r| r.as_ref().ok())
+            .map(|r| r.me_cycles)
+            .sum();
+        let lookups = after.compile_lookups - before.compile_lookups;
+        let misses = after.compile_misses - before.compile_misses;
+        let hit_rate = if lookups == 0 {
+            1.0
+        } else {
+            1.0 - misses as f64 / lookups as f64
+        };
+        let pass = BackendPass {
+            name: backend.name(),
+            cycles_per_sec: simulated as f64 / wall_s,
+            block_cache_hit_rate: hit_rate,
+            fallbacks: after.fallbacks - before.fallbacks,
+        };
+        eprintln!(
+            "  {}: {:.1}M cycles/sec (block-cache hit rate {:.4})",
+            pass.name,
+            pass.cycles_per_sec / 1e6,
+            pass.block_cache_hit_rate
+        );
+        passes.push(pass);
+    }
+    chosen.set_process_default();
+    Ok(passes)
+}
+
+/// The `"backends"` JSON object of the bench envelope and the metrics
+/// report: per-backend simulation throughput plus block-cache behaviour.
+fn backends_json(passes: &[BackendPass], selected: ExecBackend) -> String {
+    let mut s = String::from("{\n");
+    for p in passes {
+        let _ = writeln!(s, "    \"{}\": {{", p.name);
+        let _ = writeln!(s, "      \"cycles_per_sec\": {:.0},", p.cycles_per_sec);
+        let _ = writeln!(
+            s,
+            "      \"block_cache_hit_rate\": {:.6},",
+            p.block_cache_hit_rate
+        );
+        let _ = writeln!(s, "      \"fallbacks\": {}", p.fallbacks);
+        let _ = writeln!(s, "    }},");
+    }
+    if let (Some(interp), Some(block)) = (
+        passes.iter().find(|p| p.name == "interpreter"),
+        passes.iter().find(|p| p.name == "block-compiled"),
+    ) {
+        let _ = writeln!(
+            s,
+            "    \"block_speedup_vs_interpreter\": {:.2},",
+            block.cycles_per_sec / interp.cycles_per_sec
+        );
+    }
+    let _ = writeln!(s, "    \"selected\": \"{selected}\"");
+    s.push_str("  }");
+    s
+}
+
 /// Prints the cache traffic summary after a (potentially warm) run.
 fn report_cache(cache: Option<&ScenarioCache>) {
     if let Some(cache) = cache {
@@ -280,6 +378,7 @@ fn run_check(
     threads: usize,
     cache_dir: Option<&str>,
     no_cache: bool,
+    min_cps_ratio: Option<f64>,
 ) -> ExitCode {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -324,6 +423,7 @@ fn run_check(
             return ExitCode::from(2);
         }
     };
+    let t_run = Instant::now();
     let cs = match run_case_study(specs, &workload, FaultPlan::none(), threads, cache.as_ref()) {
         Ok(cs) => cs,
         Err(e) => {
@@ -331,6 +431,7 @@ fn run_check(
             return ExitCode::from(2);
         }
     };
+    let run_wall_s = t_run.elapsed().as_secs_f64();
     report_cache(cache.as_ref());
     let fresh = TablesSnapshot::capture(&cs);
     let drift = fresh.diff(&baseline);
@@ -339,6 +440,41 @@ fn run_check(
             "tables --check: OK — {} table cells bit-identical to {path}",
             fresh.cells.len()
         );
+        if let Some(ratio) = min_cps_ratio {
+            // The throughput ratchet: the check run must sustain at least
+            // `ratio` of the cycles/sec recorded in the golden envelope.
+            let Some(recorded) = json
+                .get("cycles_per_sec")
+                .and_then(Json::as_f64)
+                .filter(|v| *v > 0.0)
+            else {
+                eprintln!(
+                    "tables --check: {path} records no usable \"cycles_per_sec\"; \
+                     regenerate it with `tables --bench-json` before gating throughput"
+                );
+                return ExitCode::from(2);
+            };
+            let simulated: u64 = cs
+                .results()
+                .filter_map(|r| r.as_ref().ok())
+                .map(|r| r.me_cycles)
+                .sum();
+            let achieved = simulated as f64 / run_wall_s;
+            eprintln!(
+                "tables --check: throughput {:.1}M cycles/sec vs recorded {:.1}M \
+                 (ratio {:.2}, floor {ratio:.2})",
+                achieved / 1e6,
+                recorded / 1e6,
+                achieved / recorded
+            );
+            if achieved < ratio * recorded {
+                eprintln!(
+                    "tables --check: FAIL — simulation throughput regressed below \
+                     {ratio:.2}x the recorded baseline"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
         ExitCode::SUCCESS
     } else {
         eprintln!(
@@ -404,6 +540,27 @@ fn main() -> ExitCode {
         );
         return ExitCode::from(2);
     }
+    let backend = match flag_value("--backend").map(|v| v.parse::<ExecBackend>()) {
+        None => ExecBackend::Auto,
+        Some(Ok(b)) => b,
+        Some(Err(e)) => {
+            eprintln!("tables: --backend: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    backend.set_process_default();
+    let min_cps_ratio = match flag_value("--min-cycles-per-sec-ratio").map(|v| v.parse::<f64>()) {
+        None => None,
+        Some(Ok(r)) if r > 0.0 && r.is_finite() => Some(r),
+        Some(Ok(r)) => {
+            eprintln!("tables: --min-cycles-per-sec-ratio: {r} is not a positive ratio");
+            return ExitCode::from(2);
+        }
+        Some(Err(e)) => {
+            eprintln!("tables: --min-cycles-per-sec-ratio: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let cache_dir = flag_value("--cache-dir");
     let no_cache = args.iter().any(|a| a == "--no-cache");
     if let Some(file) = flag_value("--check") {
@@ -417,7 +574,12 @@ fn main() -> ExitCode {
             threads,
             cache_dir.as_deref(),
             no_cache,
+            min_cps_ratio,
         );
+    }
+    if min_cps_ratio.is_some() {
+        eprintln!("tables: --min-cycles-per-sec-ratio only applies with --check");
+        return ExitCode::from(2);
     }
     let write = args.iter().any(|a| a == "--write");
     let bench_json = args.iter().any(|a| a == "--bench-json");
@@ -869,6 +1031,24 @@ fn main() -> ExitCode {
     println!("{out}");
     let total_wall_s = t0.elapsed().as_secs_f64();
     eprintln!("total runtime: {total_wall_s:.1}s");
+    let metrics_path = flag_value("--metrics-out");
+    // The per-backend benchmark reruns the grid once per backend; both the
+    // bench envelope and the metrics report embed its result. Skipped
+    // under a fault plan (where --bench-json is refused anyway and the
+    // metrics replay is the only consumer): fault runs force the
+    // interpreter, so the comparison would not measure the backends.
+    let backend_passes = if (bench_json || metrics_path.is_some()) && plan.is_inert() {
+        eprintln!("benchmarking both execution backends ({threads} thread(s), uncached) …");
+        match bench_backends(specs.as_deref(), &workload, threads, backend) {
+            Ok(p) => Some(p),
+            Err(e) => {
+                eprintln!("tables: backend benchmark: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        None
+    };
     if bench_json {
         let table_wall_s: Vec<(&str, f64)> = vec![
             ("table1", secs(|| drop(cs.table1()))),
@@ -903,6 +1083,9 @@ fn main() -> ExitCode {
         let _ = writeln!(json, "  \"total_wall_s\": {total_wall_s:.3},");
         let _ = writeln!(json, "  \"simulated_cycles\": {simulated_cycles},");
         let _ = writeln!(json, "  \"cycles_per_sec\": {cycles_per_sec:.0},");
+        if let Some(passes) = &backend_passes {
+            let _ = writeln!(json, "  \"backends\": {},", backends_json(passes, backend));
+        }
         match baseline_cps {
             Some(base) => {
                 let _ = writeln!(json, "  \"baseline_cycles_per_sec\": {base:.0},");
@@ -932,9 +1115,12 @@ fn main() -> ExitCode {
         write_csvs(&dir, &cs).expect("write CSV files");
         eprintln!("wrote table CSVs to {dir}");
     }
-    if let Some(path) = flag_value("--metrics-out") {
+    if let Some(path) = metrics_path {
         eprintln!("collecting per-scenario tracer metrics …");
         let mut entries = Vec::new();
+        if let Some(passes) = &backend_passes {
+            entries.push(format!("\"backends\": {}", backends_json(passes, backend)));
+        }
         for sc in CaseStudy::scenarios() {
             let sc = sc.with_fault_plan(plan);
             let mut tracer = CountingTracer::new();

@@ -1,0 +1,129 @@
+//! Basic-block boundary discovery over scheduled bundles.
+//!
+//! A *leader* is a bundle index where straight-line execution can begin:
+//! the entry bundle, every resolved control-flow target, and the bundle
+//! after any control-flow operation (the fall-through of a conditional
+//! branch, the return point of a call). The maximal runs between leaders
+//! are the basic blocks a block-compiling simulator backend precompiles —
+//! within a run, execution is straight-line by construction.
+//!
+//! Discovery works over the scheduled [`Bundle`]s (the same artifact the
+//! encoder serializes): each bundle holds at most one control operation
+//! ([`Bundle::control_op`]), and scheduled control operations carry
+//! resolved bundle-index targets. Unresolved targets (possible only in
+//! hand-built code) contribute no leader; a simulator taking such an edge
+//! must handle it dynamically.
+
+use crate::bundle::Bundle;
+use crate::opcode::Opcode;
+
+/// Marks the basic-block leaders of a scheduled program.
+///
+/// Returns one flag per bundle: `true` where a basic block may begin. The
+/// entry bundle is always a leader (when the program is non-empty), as is
+/// every resolved branch/goto/call target and every bundle following a
+/// control operation. `call` return points (`pc + 1`) are leaders through
+/// the latter rule, so `return`s into scheduled code always land on a
+/// block boundary.
+#[must_use]
+pub fn block_leaders(bundles: &[Bundle]) -> Vec<bool> {
+    let mut leaders = vec![false; bundles.len()];
+    if let Some(first) = leaders.first_mut() {
+        *first = true;
+    }
+    for (i, bundle) in bundles.iter().enumerate() {
+        let Some(op) = bundle.control_op() else {
+            continue;
+        };
+        if i + 1 < bundles.len() {
+            leaders[i + 1] = true;
+        }
+        // `ret` targets are dynamic and `halt` has none; everything else
+        // carries a resolved bundle index after scheduling.
+        if !matches!(op.opcode, Opcode::Ret | Opcode::Halt) {
+            if let Some(t) = op.target {
+                if let Some(flag) = leaders.get_mut(t as usize) {
+                    *flag = true;
+                }
+            }
+        }
+    }
+    leaders
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use crate::op::{Dest, Op, Src};
+    use crate::reg::{Br, Gpr};
+
+    fn bundle(ops: Vec<Op>) -> Bundle {
+        let cfg = MachineConfig::st200();
+        let mut b = Bundle::new();
+        for op in ops {
+            b.push(op, &cfg).unwrap();
+        }
+        b
+    }
+
+    fn movi(rd: u8, v: i32) -> Op {
+        Op::new(Opcode::Mov, Dest::Gpr(Gpr::new(rd)), &[Src::Imm(v)])
+    }
+
+    fn halt() -> Op {
+        Op::new(Opcode::Halt, Dest::None, &[])
+    }
+
+    #[test]
+    fn empty_program_has_no_leaders() {
+        assert!(block_leaders(&[]).is_empty());
+    }
+
+    #[test]
+    fn straight_line_code_is_one_block() {
+        let bundles = vec![
+            bundle(vec![movi(1, 1)]),
+            bundle(vec![movi(2, 2)]),
+            bundle(vec![halt()]),
+        ];
+        assert_eq!(block_leaders(&bundles), vec![true, false, false]);
+    }
+
+    #[test]
+    fn branch_targets_and_fallthroughs_are_leaders() {
+        // 0: movi        <- entry leader
+        // 1: br $b0 -> 3 <- control: 2 and 3 become leaders
+        // 2: movi
+        // 3: halt
+        let br = Op::new(Opcode::BrT, Dest::None, &[Src::Br(Br::new(0))]).with_target(3);
+        let bundles = vec![
+            bundle(vec![movi(1, 1)]),
+            bundle(vec![br]),
+            bundle(vec![movi(2, 2)]),
+            bundle(vec![halt()]),
+        ];
+        assert_eq!(block_leaders(&bundles), vec![true, false, true, true]);
+    }
+
+    #[test]
+    fn call_return_point_is_a_leader() {
+        let call = Op::new(Opcode::Call, Dest::None, &[]).with_target(3);
+        let bundles = vec![
+            bundle(vec![movi(1, 1)]),
+            bundle(vec![call]),
+            bundle(vec![halt()]),
+            bundle(vec![Op::new(Opcode::Ret, Dest::None, &[])]),
+        ];
+        // Return point (2) and call target (3) are leaders; 3 is also
+        // followed by nothing, so no out-of-range flag is set.
+        assert_eq!(block_leaders(&bundles), vec![true, false, true, true]);
+    }
+
+    #[test]
+    fn out_of_range_target_sets_no_leader() {
+        let goto = Op::new(Opcode::Goto, Dest::None, &[]).with_target(99);
+        let bundles = vec![bundle(vec![goto]), bundle(vec![halt()])];
+        assert_eq!(block_leaders(&bundles), vec![true, true]);
+    }
+}

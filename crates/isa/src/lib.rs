@@ -32,6 +32,7 @@
 //! assert_eq!(op.to_string(), "add $r3 = $r1, $r2");
 //! ```
 
+pub mod blocks;
 pub mod bundle;
 pub mod config;
 pub mod encode;
@@ -40,6 +41,7 @@ pub mod opcode;
 pub mod reg;
 pub mod simd;
 
+pub use blocks::block_leaders;
 pub use bundle::{Bundle, BundleError, ResourceUse};
 pub use config::MachineConfig;
 pub use encode::{decode_op, encode_op, DecodeError};

@@ -109,6 +109,10 @@ pub struct Cache {
     /// memo. Only consulted when `ways == 1`, where LRU stamps cannot
     /// influence victim selection.
     last_line: u32,
+    /// Bumped whenever the set of resident lines can shrink (any fill or
+    /// flush). While this is unchanged, every line observed resident is
+    /// still resident — the basis for [`Cache::contents_gen`] memos.
+    gen: u64,
     /// Lookup/fill counters.
     pub hits: u64,
     /// Demand misses (fills).
@@ -150,6 +154,7 @@ impl Cache {
                 .is_power_of_two()
                 .then(|| num_sets.trailing_zeros()),
             last_line: u32::MAX,
+            gen: 0,
             hits: 0,
             misses: 0,
             writebacks: 0,
@@ -190,6 +195,46 @@ impl Cache {
         &mut self.sets[base..base + w]
     }
 
+    /// Accounts a repeat access to the same line the previous access
+    /// touched, without re-running the lookup.
+    ///
+    /// Valid only for a direct-mapped cache (`ways == 1`) and only when
+    /// the caller knows the previous access was to the same line (then
+    /// this access is a guaranteed hit, nothing can have evicted the line
+    /// in between, and — with a single way — LRU stamps never influence
+    /// victim selection). The bookkeeping is exactly what
+    /// [`Cache::access`]'s resident-line fast path performs, so counters
+    /// stay bit-identical to issuing the access.
+    ///
+    /// The block-compiled simulator backend uses this to batch per-bundle
+    /// instruction fetches that stay within one cache line.
+    pub fn note_repeat_hit(&mut self) {
+        debug_assert_eq!(
+            self.geom.ways, 1,
+            "repeat-hit shortcut is direct-mapped only"
+        );
+        self.tick += 1;
+        self.hits += 1;
+    }
+
+    /// [`Cache::note_repeat_hit`], `n` accesses at once. The same validity
+    /// conditions apply to every one of them.
+    pub fn note_repeat_hits(&mut self, n: u64) {
+        debug_assert!(self.geom.ways == 1 || n == 0);
+        self.tick += n;
+        self.hits += n;
+    }
+
+    /// An opaque stamp of the resident-line set: unchanged means no line
+    /// has been evicted or invalidated since the stamp was taken, so any
+    /// line observed resident then is resident now (fills only add lines).
+    /// Lets the block-compiled simulator backend skip re-looking-up lines
+    /// it has already proven resident.
+    #[must_use]
+    pub fn contents_gen(&self) -> u64 {
+        self.gen
+    }
+
     /// Whether the line containing `addr` is present (no state change, no
     /// statistics).
     #[must_use]
@@ -204,6 +249,7 @@ impl Cache {
     }
 
     /// Accesses `addr`, filling on miss; `write` marks the line dirty.
+    #[inline(always)]
     pub fn access(&mut self, addr: u32, write: bool) -> FillOutcome {
         // Direct-mapped repeat read of a known-resident line: a guaranteed
         // hit. Skipping the stamp update is safe with a single way (the
@@ -308,6 +354,7 @@ impl Cache {
         if writeback.is_some() {
             self.writebacks += 1;
         }
+        self.gen += 1;
         // A fill may have evicted the memoized line; repoint the memo at
         // the line that is now certainly resident.
         self.last_line = if self.geom.ways == 1 {
@@ -325,6 +372,7 @@ impl Cache {
         }
         self.tick = 0;
         self.last_line = u32::MAX;
+        self.gen += 1;
     }
 }
 

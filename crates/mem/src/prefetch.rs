@@ -79,6 +79,7 @@ impl PrefetchQueue {
 
     /// Whether no prefetches are outstanding.
     #[must_use]
+    #[inline(always)]
     pub fn is_empty(&self) -> bool {
         self.pending.is_empty()
     }
@@ -107,7 +108,13 @@ impl PrefetchQueue {
 
     /// Removes `line` (a demand access consumed it). Updates the
     /// useful/late statistics against `now`.
+    #[inline(always)]
     pub fn consume(&mut self, line: u32, now: u64) -> Option<u64> {
+        // Every demand access probes here; skip the hash when nothing is
+        // in flight (always true outside the loop-level scenarios).
+        if self.pending.is_empty() {
+            return None;
+        }
         let ready = self.pending.remove(&line)?;
         if ready <= now {
             self.useful += 1;

@@ -63,12 +63,14 @@ impl Ram {
 
     /// Loads one byte.
     #[must_use]
+    #[inline]
     pub fn load8(&self, addr: u32) -> u8 {
         self.bytes[addr as usize]
     }
 
     /// Loads a 16-bit little-endian value.
     #[must_use]
+    #[inline]
     pub fn load16(&self, addr: u32) -> u16 {
         let a = addr as usize;
         u16::from_le_bytes([self.bytes[a], self.bytes[a + 1]])
@@ -76,6 +78,7 @@ impl Ram {
 
     /// Loads a 32-bit little-endian value.
     #[must_use]
+    #[inline]
     pub fn load32(&self, addr: u32) -> u32 {
         let a = addr as usize;
         u32::from_le_bytes([
@@ -87,16 +90,19 @@ impl Ram {
     }
 
     /// Stores one byte.
+    #[inline]
     pub fn store8(&mut self, addr: u32, v: u8) {
         self.bytes[addr as usize] = v;
     }
 
     /// Stores a 16-bit little-endian value.
+    #[inline]
     pub fn store16(&mut self, addr: u32, v: u16) {
         self.bytes[addr as usize..addr as usize + 2].copy_from_slice(&v.to_le_bytes());
     }
 
     /// Stores a 32-bit little-endian value.
+    #[inline]
     pub fn store32(&mut self, addr: u32, v: u32) {
         self.bytes[addr as usize..addr as usize + 4].copy_from_slice(&v.to_le_bytes());
     }

@@ -133,7 +133,11 @@ impl MemorySystem {
         self.bus_free_at
     }
 
+    #[inline]
     fn drain_prefetches<T: Tracer + ?Sized>(&mut self, now: u64, tracer: &mut T) {
+        if self.pfq.is_empty() {
+            return;
+        }
         for line in self.pfq.drain_completed(now) {
             if self.dcache.install(line).is_some() {
                 // Dirty eviction on drain: the writeback occupies the bus.
@@ -154,6 +158,7 @@ impl MemorySystem {
     /// fault-injection envelope (a spurious flush may hit before the
     /// access, latency jitter after it). Under the inert injector the
     /// envelope reduces to one never-taken branch.
+    #[inline(always)]
     fn access_timed<T: Tracer + ?Sized>(
         &mut self,
         addr: u32,
@@ -178,6 +183,7 @@ impl MemorySystem {
         self.access_timed_inner(addr, now, write, tracer)
     }
 
+    #[inline(always)]
     fn access_timed_inner<T: Tracer + ?Sized>(
         &mut self,
         addr: u32,
@@ -222,6 +228,7 @@ impl MemorySystem {
 
     /// Rejects accesses the hardware could never perform, *before* any
     /// timing state is touched: a rejected access perturbs no counters.
+    #[inline(always)]
     fn check_access(&self, addr: u32, size: u32) -> Result<(), MemError> {
         if !matches!(size, 1 | 2 | 4) {
             return Err(MemError::UnsupportedSize { size });
@@ -239,6 +246,7 @@ impl MemorySystem {
     ///
     /// Returns [`MemError`] on an unsupported size or an out-of-range
     /// address; the timing state is untouched in that case.
+    #[inline(always)]
     pub fn read(&mut self, addr: u32, size: u32, now: u64) -> Result<Access, MemError> {
         self.read_traced(addr, size, now, &mut NullTracer)
     }
@@ -249,6 +257,7 @@ impl MemorySystem {
     ///
     /// Returns [`MemError`] on an unsupported size or an out-of-range
     /// address; the timing state is untouched in that case.
+    #[inline(always)]
     pub fn read_traced<T: Tracer + ?Sized>(
         &mut self,
         addr: u32,
@@ -273,6 +282,7 @@ impl MemorySystem {
     ///
     /// Returns [`MemError`] on an unsupported size or an out-of-range
     /// address; the timing state is untouched in that case.
+    #[inline(always)]
     pub fn write(
         &mut self,
         addr: u32,
@@ -289,6 +299,7 @@ impl MemorySystem {
     ///
     /// Returns [`MemError`] on an unsupported size or an out-of-range
     /// address; the timing state is untouched in that case.
+    #[inline(always)]
     pub fn write_traced<T: Tracer + ?Sized>(
         &mut self,
         addr: u32,
@@ -349,11 +360,13 @@ impl MemorySystem {
 
     /// Instruction fetch for the bundle at byte address `addr`; returns
     /// stall cycles (0 on a hit).
+    #[inline]
     pub fn ifetch(&mut self, addr: u32, now: u64) -> u64 {
         self.ifetch_traced(addr, now, &mut NullTracer)
     }
 
     /// [`MemorySystem::ifetch`], emitting icache-miss events into `tracer`.
+    #[inline]
     pub fn ifetch_traced<T: Tracer + ?Sized>(
         &mut self,
         addr: u32,

@@ -42,7 +42,7 @@ pub enum DSrc {
 }
 
 /// A register read that participates in the scoreboard interlock.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScoreRead {
     /// Wait on a general-purpose register.
     Gpr(u8),

@@ -34,11 +34,13 @@
 //! assert_eq!(m.gpr(Gpr::new(2)), 42);
 //! ```
 
+pub mod block;
 pub mod decode;
 pub mod exec;
 pub mod machine;
 pub mod stats;
 
+pub use block::{backend_totals, BackendStats, ExecBackend};
 pub use decode::DecodedCode;
 pub use machine::{Machine, RunSummary, SimError, Snapshot};
 pub use stats::SimStats;

@@ -4,13 +4,14 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-use rvliw_asm::Code;
+use rvliw_asm::{Code, CodeKey};
 use rvliw_fault::FaultPlan;
 use rvliw_isa::{Dest, Gpr, MachineConfig, NUM_BRS, NUM_GPRS};
 use rvliw_mem::{MemConfig, MemError, MemStats, MemorySystem};
 use rvliw_rfu::{Rfu, RfuStats};
 use rvliw_trace::{NullTracer, StallCause, Tracer};
 
+use crate::block::{self, BackendStats, BlockExit, CompiledBlocks, ExecBackend};
 use crate::decode::{DSrc, DecodedCode, DecodedOp, ExecKind, ScoreRead};
 use crate::stats::SimStats;
 use crate::BUNDLE_BYTES;
@@ -129,20 +130,47 @@ pub struct Machine {
     pub mem: MemorySystem,
     /// The reconfigurable functional unit.
     pub rfu: Rfu,
-    gpr: [u32; NUM_GPRS],
-    br: [bool; NUM_BRS],
-    gpr_ready: [u64; NUM_GPRS],
-    br_ready: [u64; NUM_BRS],
-    rfu_busy_until: u64,
-    cycle: u64,
-    stats: SimStats,
+    pub(crate) gpr: [u32; NUM_GPRS],
+    pub(crate) br: [bool; NUM_BRS],
+    pub(crate) gpr_ready: [u64; NUM_GPRS],
+    pub(crate) br_ready: [u64; NUM_BRS],
+    pub(crate) rfu_busy_until: u64,
+    pub(crate) cycle: u64,
+    pub(crate) stats: SimStats,
     /// Extra cycles charged on a taken branch (pipeline refill).
     pub branch_taken_penalty: u64,
     /// Per-run cycle budget guarding against runaway programs.
     pub cycle_limit: u64,
-    /// Pre-decoded programs, keyed by [`Code::id`]. The lowering bakes in
-    /// this machine's latencies, so the cache is per-instance.
-    decoded: HashMap<u64, Arc<DecodedCode>>,
+    /// Which issue loop runs eligible programs (new machines inherit
+    /// [`ExecBackend::process_default`]). The choice never changes results
+    /// — only how fast they are simulated.
+    pub backend: ExecBackend,
+    /// Pre-decoded programs, keyed by content address
+    /// ([`Code::content_key`]) so separately scheduled but identical
+    /// programs share one lowering and different programs can never
+    /// collide. The lowering bakes in this machine's latencies, so the
+    /// cache is per-instance.
+    decoded: HashMap<CodeKey, Arc<DecodedCode>>,
+    /// Block-compiled programs, same keying discipline as `decoded`.
+    blocks: HashMap<CodeKey, Arc<CompiledBlocks>>,
+    /// Whether the installed fault plan is the zero plan — the
+    /// block-compiled backend only engages when it is (fault injection
+    /// observes individual accesses, which blocks do not replay for it).
+    fault_inert: bool,
+    pub(crate) backend_stats: BackendStats,
+    /// Identity memo for the hot run-the-same-program-again path: the
+    /// [`Code::id`] whose artifacts `memo_decoded`/`memo_blocks` hold
+    /// (`0` = none; ids start at 1). Purely an accelerator over the
+    /// content-keyed maps — two distinct `Code` objects with equal content
+    /// still share one lowering through the maps.
+    memo_code_id: u64,
+    memo_decoded: Option<Arc<DecodedCode>>,
+    memo_blocks: Option<Arc<CompiledBlocks>>,
+    /// Block-residency memo for the block backend: `(block address,
+    /// icache contents generation)` of a block whose lines were all
+    /// resident on its last full pass. Block addresses stay valid because
+    /// compiled blocks are cached for the machine's lifetime.
+    pub(crate) icache_resident: (usize, u64),
 }
 
 impl Machine {
@@ -168,7 +196,15 @@ impl Machine {
             stats: SimStats::default(),
             branch_taken_penalty: 1,
             cycle_limit: 200_000_000,
+            backend: ExecBackend::process_default(),
             decoded: HashMap::new(),
+            blocks: HashMap::new(),
+            fault_inert: true,
+            backend_stats: BackendStats::default(),
+            memo_code_id: 0,
+            memo_decoded: None,
+            memo_blocks: None,
+            icache_resident: (0, 0),
         }
     }
 
@@ -224,19 +260,77 @@ impl Machine {
     /// typically a scenario label) and installs them into the memory
     /// system and the RFU. The zero-fault plan installs inert injectors.
     pub fn set_fault_plan(&mut self, plan: &FaultPlan, salt: &str) {
+        self.fault_inert = plan.is_inert();
         self.mem.set_fault(plan.injector("mem", salt));
         self.rfu.set_fault(plan.injector("rfu", salt));
     }
 
+    /// Telemetry of the execution-backend dispatch on this machine (see
+    /// [`BackendStats`]; process-wide totals are at
+    /// [`backend_totals`](crate::backend_totals)).
+    #[must_use]
+    pub fn backend_stats(&self) -> BackendStats {
+        self.backend_stats
+    }
+
     /// The pre-decoded form of `code` for this machine's configuration,
-    /// lowering and caching it on first sight (keyed by [`Code::id`]).
+    /// lowering and caching it on first sight, keyed by content address
+    /// ([`Code::content_key`]) rather than the process-unique [`Code::id`]
+    /// so identical programs scheduled separately share one lowering.
     pub fn decoded(&mut self, code: &Code) -> Arc<DecodedCode> {
-        if let Some(d) = self.decoded.get(&code.id()) {
-            return Arc::clone(d);
+        if self.memo_code_id == code.id() {
+            if let Some(d) = &self.memo_decoded {
+                return Arc::clone(d);
+            }
         }
-        let d = Arc::new(DecodedCode::new(code, &self.cfg));
-        self.decoded.insert(code.id(), Arc::clone(&d));
+        let key = code.content_key();
+        let d = match self.decoded.get(&key) {
+            Some(d) => Arc::clone(d),
+            None => {
+                let d = Arc::new(DecodedCode::new(code, &self.cfg));
+                self.decoded.insert(key, Arc::clone(&d));
+                d
+            }
+        };
+        self.memo_code_id = code.id();
+        self.memo_decoded = Some(Arc::clone(&d));
+        self.memo_blocks = None;
         d
+    }
+
+    /// The block-compiled form of `code` (same content-address keying as
+    /// [`Machine::decoded`]), compiling on first sight and bumping the
+    /// backend telemetry.
+    fn compiled_blocks(&mut self, code: &Code, decoded: &DecodedCode) -> Arc<CompiledBlocks> {
+        self.backend_stats.block_runs += 1;
+        self.backend_stats.compile_lookups += 1;
+        if self.memo_code_id == code.id() {
+            if let Some(b) = &self.memo_blocks {
+                block::note_block_run(false);
+                return Arc::clone(b);
+            }
+        }
+        let key = code.content_key();
+        let b = match self.blocks.get(&key) {
+            Some(b) => {
+                block::note_block_run(false);
+                Arc::clone(b)
+            }
+            None => {
+                self.backend_stats.compile_misses += 1;
+                block::note_block_run(true);
+                let shift = block::icache_line_shift(&self.mem);
+                let b = Arc::new(CompiledBlocks::compile(code, decoded, shift));
+                self.blocks.insert(key, Arc::clone(&b));
+                b
+            }
+        };
+        // `decoded` ran first in every run path, so the memo already names
+        // this code object; attach the blocks to it.
+        if self.memo_code_id == code.id() {
+            self.memo_blocks = Some(Arc::clone(&b));
+        }
+        b
     }
 
     /// Runs `code` like [`Machine::run`], invoking `trace` before each
@@ -314,6 +408,34 @@ impl Machine {
         let before = self.snapshot();
         let limit = self.cycle + self.cycle_limit;
         let mut pc = 0usize;
+        // Backend dispatch: block-compiled execution requires an
+        // observation-free run — no per-bundle trace hook, a null tracer
+        // and no armed fault injection — because compiled blocks do not
+        // replay per-access events for observers. When a control transfer
+        // lands mid-block (a computed `return` target), block execution
+        // hands the current pc back and the interpreter continues the same
+        // run below.
+        if self.backend != ExecBackend::Interpreter
+            && trace.is_none()
+            && tracer.is_null()
+            && self.fault_inert
+        {
+            let blocks = self.compiled_blocks(code, decoded);
+            match block::run_blocks(self, &blocks, limit)? {
+                BlockExit::Halted => {
+                    self.stats.cycles = self.cycle;
+                    return Ok(self.snapshot().since(&before));
+                }
+                BlockExit::Fallback(p) => {
+                    pc = p;
+                    self.backend_stats.fallbacks += 1;
+                    block::note_fallback();
+                }
+            }
+        } else {
+            self.backend_stats.interp_runs += 1;
+            block::note_interp_run();
+        }
         let mut halted = false;
         // Call stack is implicit: `call` writes the return bundle index to
         // `$r63`, `return` jumps to it.
@@ -458,7 +580,7 @@ impl Machine {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn exec_op<T: Tracer + ?Sized>(
+    pub(crate) fn exec_op<T: Tracer + ?Sized>(
         &mut self,
         op: &DecodedOp,
         srcs: &[u32],
@@ -758,6 +880,36 @@ mod tests {
         for i in 1..9u8 {
             assert_eq!(m.gpr(Gpr::new(i)), u32::from(i) * 11, "reg {i}");
         }
+    }
+
+    #[test]
+    fn decoded_cache_is_content_addressed() {
+        // Regression: the pre-decode cache used to key on `Code::id` — a
+        // process-unique counter — so two separately scheduled but
+        // identical programs each got their own lowering (and, had the key
+        // ever been a content hash of insufficient width, could have
+        // collided). Content-address keying dedups identical programs and
+        // keeps distinct ones apart.
+        let mk = || {
+            let mut b = Builder::new("same");
+            b.movi(Gpr::new(1), 20);
+            b.addi(Gpr::new(2), Gpr::new(1), 22);
+            b.halt();
+            compile(b)
+        };
+        let (a, b) = (mk(), mk());
+        assert_ne!(a.id(), b.id(), "separately scheduled: distinct ids");
+        let mut m = Machine::st200();
+        let da = m.decoded(&a);
+        let db = m.decoded(&b);
+        assert!(Arc::ptr_eq(&da, &db), "identical programs share a lowering");
+        assert_eq!(m.decoded.len(), 1);
+        let mut c = Builder::new("same");
+        c.movi(Gpr::new(1), 21); // differs by one immediate
+        c.halt();
+        let dc = m.decoded(&compile(c));
+        assert!(!Arc::ptr_eq(&da, &dc));
+        assert_eq!(m.decoded.len(), 2);
     }
 
     #[test]

@@ -45,13 +45,29 @@ pub trait Tracer {
     fn fault(&mut self, cycle: u64, event: FaultEvent) {
         let _ = (cycle, event);
     }
+
+    /// Whether every hook of this tracer is a no-op, so a simulator may
+    /// take an event-free fast path without losing observations. Only
+    /// [`NullTracer`] answers `true`; implementors whose hooks all discard
+    /// their events may override this, and must never return `true` while
+    /// any hook observes anything.
+    #[inline]
+    #[must_use]
+    fn is_null(&self) -> bool {
+        false
+    }
 }
 
 /// The disabled tracer: every hook is a no-op that the optimizer erases.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NullTracer;
 
-impl Tracer for NullTracer {}
+impl Tracer for NullTracer {
+    #[inline]
+    fn is_null(&self) -> bool {
+        true
+    }
+}
 
 /// Fans every event out to two sinks, so a single deterministic run can
 /// feed e.g. a [`crate::ChromeTracer`] and a [`CountingTracer`] at once.

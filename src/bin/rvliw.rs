@@ -19,6 +19,8 @@
 //! --fault-profile P   run under a deterministic seeded fault plan
 //!                     (none | latency | flush | linebuffer | bitflip | chaos)
 //! --fault-seed N      seed for the fault plan (default 0)
+//! --backend B         execution backend (interpreter | block-compiled |
+//!                     auto); never changes results, only simulation speed
 //! ```
 //!
 //! `sweep` accepts:
@@ -32,6 +34,7 @@
 //!                     RVLIW_CACHE_DIR); results are bit-identical to an
 //!                     uncached run, a summary line reports hits/misses
 //! --no-cache          ignore --cache-dir / RVLIW_CACHE_DIR for this run
+//! --backend B         execution backend for every simulated scenario
 //! ```
 //!
 //! `cache` manages the scenario result cache (the directory comes from
@@ -57,15 +60,16 @@ use rvliw::exp::{arch, ExperimentSpec, ScenarioCache, SimSession, Sweep, Workloa
 use rvliw::fault::{FaultPlan, FaultProfile};
 use rvliw::isa::{Bundle, Gpr, MachineConfig};
 use rvliw::mem::MemConfig;
+use rvliw::sim::ExecBackend;
 use rvliw::trace::{ChromeTracer, CountingTracer, TeeTracer};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: rvliw <asm|run|trace> <file.s> [rN=value ...] \
          [--trace FILE] [--metrics-out FILE]\n       \
-         [--fault-profile PROFILE] [--fault-seed N]\n       \
+         [--fault-profile PROFILE] [--fault-seed N] [--backend B]\n       \
          rvliw sweep <spec.json> [--threads N] [--frames N] [--out FILE]\n       \
-         [--cache-dir DIR] [--no-cache]\n       \
+         [--cache-dir DIR] [--no-cache] [--backend B]\n       \
          rvliw cache <stats|clear|verify> [--cache-dir DIR] [--sample N] [--threads N]\n       \
          rvliw arch"
     );
@@ -134,6 +138,12 @@ fn execute(path: &str, rest: &[String], trace: bool) -> Result<(), String> {
                     .next()
                     .ok_or("--fault-profile needs a profile name")?
                     .parse::<FaultProfile>()?;
+            }
+            "--backend" => {
+                it.next()
+                    .ok_or("--backend needs a backend name")?
+                    .parse::<ExecBackend>()?
+                    .set_process_default();
             }
             _ => regs.push(a.clone()),
         }
@@ -222,6 +232,12 @@ fn run_sweep(path: &str, rest: &[String]) -> Result<(), String> {
                 cache_dir = Some(it.next().ok_or("--cache-dir needs a directory")?.into());
             }
             "--no-cache" => no_cache = true,
+            "--backend" => {
+                it.next()
+                    .ok_or("--backend needs a backend name")?
+                    .parse::<ExecBackend>()?
+                    .set_process_default();
+            }
             other => return Err(format!("unknown sweep argument `{other}`")),
         }
     }
