@@ -21,6 +21,7 @@ fn workload_for(algorithm: SearchAlgorithm) -> Workload {
             search: MotionSearch {
                 algorithm,
                 half_sample: true,
+                approx: mpeg4_enc::ApproxSad::Exact,
             },
         },
     )

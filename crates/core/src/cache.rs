@@ -23,18 +23,21 @@ use std::path::{Path, PathBuf};
 
 use mpeg4_enc::sad::InterpKind;
 use mpeg4_enc::types::Plane;
+use mpeg4_enc::QualityMetrics;
 use rvliw_asm::Code;
 use rvliw_cache::{CacheCounts, CacheError, CacheKey, KeyBuilder, ResultCache};
 use rvliw_fault::FaultPlan;
 use rvliw_isa::encode_op;
-use rvliw_kernels::{build_getsad, build_mb_prep, build_me_loop_call, DriverKind, Variant};
+use rvliw_kernels::{build_getsad_approx, build_mb_prep, build_me_loop_call, DriverKind, Variant};
 use rvliw_mem::MemStats;
 use rvliw_rfu::{RfuBandwidth, RfuStats};
 use rvliw_sim::SimStats;
 use rvliw_trace::Json;
 
 use crate::runner::MeResult;
-use crate::scenario::{Kind, Scenario};
+use crate::scenario::{
+    approx_token, parse_approx, parse_search, sad_approx_to_rfu, search_token, Kind, Scenario,
+};
 use crate::sweep::run_scenario_list;
 use crate::workload::Workload;
 
@@ -127,7 +130,13 @@ fn hash_code(kb: &mut KeyBuilder, tag: &str, code: &Code) {
 fn hash_programs(kb: &mut KeyBuilder, sc: &Scenario) {
     match &sc.kind {
         Kind::Instruction(variant) => {
-            hash_code(kb, "prog.instr", &build_getsad(*variant, &sc.machine));
+            // Exact scenarios build byte-identical code to the historical
+            // `build_getsad`, so pre-existing keys are untouched.
+            hash_code(
+                kb,
+                "prog.instr",
+                &build_getsad_approx(*variant, sad_approx_to_rfu(sc.approx), &sc.machine),
+            );
         }
         Kind::Loop {
             two_line_buffers, ..
@@ -348,6 +357,7 @@ pub fn me_result_to_json(r: &MeResult) -> Json {
         mem,
         core,
         rfu,
+        quality,
     } = r;
     let mut o = BTreeMap::new();
     o.insert("label".to_owned(), Json::Str(label.clone()));
@@ -357,6 +367,21 @@ pub fn me_result_to_json(r: &MeResult) -> Json {
     o.insert("mem".to_owned(), mem_to_json(mem));
     o.insert("core".to_owned(), core_to_json(core));
     o.insert("rfu".to_owned(), rfu_to_json(rfu));
+    if let Some(q) = quality {
+        // Bit-exact float storage: the cache must round-trip the
+        // measurement without decimal noise. Omitted entirely for
+        // full-quality results so pre-existing payloads keep decoding.
+        let mut qo = BTreeMap::new();
+        qo.insert(
+            "sad_inflation_bits".to_owned(),
+            num(q.sad_inflation.to_bits()),
+        );
+        qo.insert(
+            "psnr_delta_db_bits".to_owned(),
+            num(q.psnr_delta_db.to_bits()),
+        );
+        o.insert("quality".to_owned(), Json::Obj(qo));
+    }
     Json::Obj(o)
 }
 
@@ -364,6 +389,13 @@ pub fn me_result_to_json(r: &MeResult) -> Json {
 /// decode under this build — the caller treats that as a stale miss).
 #[must_use]
 pub fn me_result_from_json(j: &Json) -> Option<MeResult> {
+    let quality = match j.get("quality") {
+        None => None,
+        Some(q) => Some(QualityMetrics {
+            sad_inflation: f64::from_bits(field(q, "sad_inflation_bits")?),
+            psnr_delta_db: f64::from_bits(field(q, "psnr_delta_db_bits")?),
+        }),
+    };
     Some(MeResult {
         label: j.get("label")?.as_str()?.to_owned(),
         me_cycles: field(j, "me_cycles")?,
@@ -372,6 +404,7 @@ pub fn me_result_from_json(j: &Json) -> Option<MeResult> {
         mem: mem_from_json(j.get("mem")?)?,
         core: core_from_json(j.get("core")?)?,
         rfu: rfu_from_json(j.get("rfu")?)?,
+        quality,
     })
 }
 
@@ -459,6 +492,15 @@ fn scenario_desc(sc: &Scenario) -> Json {
     );
     o.insert("fault".to_owned(), fault_to_json(&sc.fault));
     o.insert("label".to_owned(), Json::Str(sc.label.clone()));
+    // Omitted when at their defaults, so descriptors of full-quality
+    // scenarios are byte-identical to those written before the
+    // approximation axis existed.
+    if !sc.approx.is_exact() {
+        o.insert("approx".to_owned(), Json::Str(approx_token(sc.approx)));
+    }
+    if let Some(search) = sc.search {
+        o.insert("search".to_owned(), Json::Str(search_token(search)));
+    }
     Json::Obj(o)
 }
 
@@ -496,6 +538,12 @@ fn scenario_from_desc(j: &Json) -> Option<Scenario> {
     }
     sc.fault = fault_from_json(j.get("fault")?)?;
     sc.label = j.get("label")?.as_str()?.to_owned();
+    if let Some(v) = j.get("approx") {
+        sc.approx = parse_approx(v.as_str()?)?;
+    }
+    if let Some(v) = j.get("search") {
+        sc.search = Some(parse_search(v.as_str()?)?);
+    }
     Some(sc)
 }
 
@@ -728,8 +776,20 @@ mod tests {
         let w = Workload::tiny();
         let r = run_me(&Scenario::a2(), &w).unwrap();
         let j = me_result_to_json(&r);
+        assert!(j.get("quality").is_none(), "exact results omit quality");
         assert_eq!(me_result_from_json(&j), Some(r.clone()));
         // And through a textual round-trip (what the disk sees).
+        let back = Json::parse(&j.to_string()).unwrap();
+        assert_eq!(me_result_from_json(&back), Some(r));
+    }
+
+    #[test]
+    fn me_result_json_roundtrips_quality_bit_exactly() {
+        let w = Workload::tiny();
+        let sc = Scenario::a2().with_approx(mpeg4_enc::ApproxSad::SubsampledRows { step: 2 });
+        let r = run_me(&sc, &w).unwrap();
+        assert!(r.quality.is_some());
+        let j = me_result_to_json(&r);
         let back = Json::parse(&j.to_string()).unwrap();
         assert_eq!(me_result_from_json(&back), Some(r));
     }
@@ -746,6 +806,13 @@ mod tests {
             Scenario::loop_level(RfuBandwidth::B1x32, 1)
                 .with_fault_plan(FaultPlan::from_profile(rvliw_fault::FaultProfile::Chaos, 7))
                 .with_cycle_limit(1_000_000),
+            Scenario::a3().with_approx(mpeg4_enc::ApproxSad::EarlyExit { threshold: 4096 }),
+            Scenario::loop_level(RfuBandwidth::B1x64, 1)
+                .with_approx(mpeg4_enc::ApproxSad::SubsampledRows { step: 2 })
+                .with_search(mpeg4_enc::me::SearchAlgorithm::Spiral {
+                    range: 8,
+                    threshold: 256,
+                }),
         ];
         for sc in scenarios {
             let desc = scenario_desc(&sc);

@@ -51,7 +51,8 @@ pub use scenario::Scenario;
 pub use session::SimSession;
 pub use spec::{ExperimentSpec, ReconfigSpec, SpecError, SweepAxes};
 pub use sweep::{
-    run_scenario_list, run_scenario_list_cached, ScenarioResult, Sweep, SweepOutcome, SweepRow,
+    run_scenario_list, run_scenario_list_cached, Pareto, ParetoPoint, ScenarioResult, Sweep,
+    SweepOutcome, SweepRow,
 };
 pub use tables::CaseStudy;
 pub use threads::{auto_threads, default_threads, parse_threads};

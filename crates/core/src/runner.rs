@@ -5,18 +5,19 @@ use std::fmt;
 
 use mpeg4_enc::sad::InterpKind;
 use mpeg4_enc::types::Plane;
+use mpeg4_enc::QualityMetrics;
 use rvliw_asm::Code;
 use rvliw_kernels::regs::{
     ARG_BASE, ARG_BEST, ARG_CAND, ARG_CX, ARG_CY, ARG_INTERP, ARG_NCX, ARG_NCY, ARG_REF,
     ARG_STRIDE, NO_CANDIDATE, RESULT,
 };
-use rvliw_kernels::{build_getsad, build_mb_prep, build_me_loop_call, DriverKind};
+use rvliw_kernels::{build_getsad_approx, build_mb_prep, build_me_loop_call, DriverKind};
 use rvliw_mem::MemStats;
 use rvliw_rfu::RfuStats;
 use rvliw_sim::{Machine, SimError, SimStats};
 use rvliw_trace::{NullTracer, Tracer};
 
-use crate::scenario::{Kind, Scenario};
+use crate::scenario::{sad_approx_to_rfu, Kind, Scenario};
 use crate::workload::Workload;
 
 /// Why one scenario of the case study failed. Failures are isolated: one
@@ -114,6 +115,10 @@ pub struct MeResult {
     pub core: SimStats,
     /// RFU counters over the stage.
     pub rfu: RfuStats,
+    /// Speed-vs-quality metrics of the replayed motion field against the
+    /// golden full-search encode. `None` for exact full-quality scenarios
+    /// (no derived workload, nothing to compare).
+    pub quality: Option<QualityMetrics>,
 }
 
 impl MeResult {
@@ -298,6 +303,17 @@ pub fn run_me_with_tracer<T: Tracer + ?Sized>(
         label: scenario.label.clone(),
         source,
     };
+    // Approximate or search-overridden scenarios replay a *derived*
+    // workload: the same source frames re-encoded with the scenario's
+    // approximation so the host trace and the simulated kernel agree
+    // bit-exactly. The derivation also attaches the quality metrics.
+    let derived;
+    let workload = if scenario.needs_derived_workload() {
+        derived = workload.derived(scenario.approx, scenario.search);
+        &*derived
+    } else {
+        workload
+    };
     let stride = workload.stride;
     // The scenario's SimSession assembles the machine — core + memory
     // configuration, RFU, reconfiguration model, line-buffer geometry,
@@ -310,7 +326,11 @@ pub fn run_me_with_tracer<T: Tracer + ?Sized>(
 
     // Build the programs the replay drives.
     let programs = match &scenario.kind {
-        Kind::Instruction(variant) => Programs::Instr(build_getsad(*variant, &scenario.machine)),
+        Kind::Instruction(variant) => Programs::Instr(build_getsad_approx(
+            *variant,
+            sad_approx_to_rfu(scenario.approx),
+            &scenario.machine,
+        )),
         Kind::Loop {
             two_line_buffers, ..
         } => {
@@ -410,6 +430,7 @@ pub fn run_me_with_tracer<T: Tracer + ?Sized>(
         mem: region.mem,
         core: region.stats,
         rfu: region.rfu,
+        quality: workload.quality,
     })
 }
 
@@ -445,6 +466,31 @@ mod tests {
         let imp = a2.improvement_vs(&orig);
         assert!(s > 1.0);
         assert!((imp - (1.0 - 1.0 / s)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn approximate_scenarios_replay_their_derived_trace() {
+        let w = Workload::tiny();
+        let approx = mpeg4_enc::ApproxSad::SubsampledRows { step: 2 };
+        let a3 = run_me(&Scenario::a3().with_approx(approx), &w).unwrap();
+        let q = a3.quality.expect("approx scenarios carry quality");
+        assert!(q.sad_inflation >= 0.0);
+        let lp = run_me(
+            &Scenario::loop_level(RfuBandwidth::B1x32, 1).with_approx(approx),
+            &w,
+        )
+        .unwrap();
+        // Same derived workload, same quality, at both abstraction levels.
+        assert_eq!(lp.quality, a3.quality);
+        // A search override alone also derives (and scores) a workload.
+        let se = run_me(
+            &Scenario::a3().with_search(mpeg4_enc::me::SearchAlgorithm::ThreeStep),
+            &w,
+        )
+        .unwrap();
+        assert!(se.quality.is_some());
+        // Exact full-quality scenarios replay the base workload: no quality.
+        assert!(run_me(&Scenario::a3(), &w).unwrap().quality.is_none());
     }
 
     #[test]

@@ -1,12 +1,103 @@
 //! Architecture scenarios: the points of the paper's design space.
 
+use std::fmt;
+
+use mpeg4_enc::me::SearchAlgorithm;
+use mpeg4_enc::ApproxSad;
 use rvliw_fault::FaultPlan;
 use rvliw_isa::MachineConfig;
 use rvliw_kernels::{DriverKind, Variant};
 use rvliw_mem::MemConfig;
-use rvliw_rfu::{MeLoopCfg, ReconfigModel, RfuBandwidth};
+use rvliw_rfu::{MeLoopCfg, ReconfigModel, RfuBandwidth, SadApprox};
 
 use crate::session::SimSession;
+
+/// Maps the host encoder's SAD approximation onto the RFU's mirror enum
+/// (the RFU crate cannot depend on the encoder crate).
+#[must_use]
+pub fn sad_approx_to_rfu(approx: ApproxSad) -> SadApprox {
+    match approx {
+        ApproxSad::Exact => SadApprox::Exact,
+        ApproxSad::SubsampledRows { step } => SadApprox::SubsampledRows { step },
+        ApproxSad::ReducedPrecision { bits } => SadApprox::ReducedPrecision { bits },
+        ApproxSad::EarlyExit { threshold } => SadApprox::EarlyExit { threshold },
+    }
+}
+
+/// Compact token for an approximation mode, used by spec axes and cache
+/// descriptors: `exact`, `rows/2`, `bits/3`, `early/4096`.
+#[must_use]
+pub fn approx_token(approx: ApproxSad) -> String {
+    match approx {
+        ApproxSad::Exact => "exact".to_owned(),
+        ApproxSad::SubsampledRows { step } => format!("rows/{step}"),
+        ApproxSad::ReducedPrecision { bits } => format!("bits/{bits}"),
+        ApproxSad::EarlyExit { threshold } => format!("early/{threshold}"),
+    }
+}
+
+/// Parses an [`approx_token`] back; `None` for unknown shapes.
+#[must_use]
+pub fn parse_approx(s: &str) -> Option<ApproxSad> {
+    if s == "exact" {
+        return Some(ApproxSad::Exact);
+    }
+    let (name, arg) = s.split_once('/')?;
+    match name {
+        "rows" => {
+            let step: u8 = arg.parse().ok()?;
+            (step >= 2).then_some(ApproxSad::SubsampledRows { step })
+        }
+        "bits" => {
+            let bits: u8 = arg.parse().ok()?;
+            (1..=7)
+                .contains(&bits)
+                .then_some(ApproxSad::ReducedPrecision { bits })
+        }
+        "early" => Some(ApproxSad::EarlyExit {
+            threshold: arg.parse().ok()?,
+        }),
+        _ => None,
+    }
+}
+
+/// Compact token for a search algorithm: `diamond`, `three-step`,
+/// `full/8`, `spiral/8/256`.
+#[must_use]
+pub fn search_token(search: SearchAlgorithm) -> String {
+    match search {
+        SearchAlgorithm::Diamond => "diamond".to_owned(),
+        SearchAlgorithm::ThreeStep => "three-step".to_owned(),
+        SearchAlgorithm::Full { range } => format!("full/{range}"),
+        SearchAlgorithm::Spiral { range, threshold } => format!("spiral/{range}/{threshold}"),
+    }
+}
+
+/// Parses a [`search_token`] back; `None` for unknown shapes.
+#[must_use]
+pub fn parse_search(s: &str) -> Option<SearchAlgorithm> {
+    match s {
+        "diamond" => return Some(SearchAlgorithm::Diamond),
+        "three-step" => return Some(SearchAlgorithm::ThreeStep),
+        _ => {}
+    }
+    let (name, rest) = s.split_once('/')?;
+    match name {
+        "full" => {
+            let range: i16 = rest.parse().ok()?;
+            (range > 0).then_some(SearchAlgorithm::Full { range })
+        }
+        "spiral" => {
+            let (range, threshold) = rest.split_once('/')?;
+            let range: i16 = range.parse().ok()?;
+            (range > 0).then_some(SearchAlgorithm::Spiral {
+                range,
+                threshold: threshold.parse().ok()?,
+            })
+        }
+        _ => None,
+    }
+}
 
 /// What runs on the machine for one experiment.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,7 +119,7 @@ pub enum Kind {
 
 /// One architecture point: the kind plus machine/memory configuration and
 /// the reconfiguration model.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Clone, PartialEq)]
 pub struct Scenario {
     /// Scenario kind.
     pub kind: Kind,
@@ -52,6 +143,55 @@ pub struct Scenario {
     pub cycle_limit: Option<u64>,
     /// Human-readable label.
     pub label: String,
+    /// SAD approximation applied end to end: the host encoder computes its
+    /// motion trace with this approximation and the simulated kernel (or
+    /// RFU loop) reproduces it bit-exactly.
+    pub approx: ApproxSad,
+    /// Motion-search algorithm override. `None` keeps the workload's own
+    /// (full-quality) search; `Some` re-encodes the workload's frames with
+    /// the given algorithm before replaying its trace.
+    pub search: Option<SearchAlgorithm>,
+}
+
+// The cache canonicalizes a scenario by hashing its `Debug` string
+// (`cache::scenario_key`). This manual impl renders exactly what the old
+// `#[derive(Debug)]` rendered when the approximation axis is at its
+// defaults, so every pre-existing cache key — and the golden-invariance
+// fixtures built on them — stays byte-identical. The two new fields are
+// appended only when they deviate from the defaults.
+impl fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Exhaustive destructure: adding a Scenario field without deciding
+        // how it feeds the cache key is a compile error here.
+        let Scenario {
+            kind,
+            machine,
+            mem,
+            reconfig,
+            lbb_bank_lines,
+            fault,
+            cycle_limit,
+            label,
+            approx,
+            search,
+        } = self;
+        let mut d = f.debug_struct("Scenario");
+        d.field("kind", kind)
+            .field("machine", machine)
+            .field("mem", mem)
+            .field("reconfig", reconfig)
+            .field("lbb_bank_lines", lbb_bank_lines)
+            .field("fault", fault)
+            .field("cycle_limit", cycle_limit)
+            .field("label", label);
+        if !approx.is_exact() {
+            d.field("approx", approx);
+        }
+        if search.is_some() {
+            d.field("search", search);
+        }
+        d.finish()
+    }
 }
 
 impl Scenario {
@@ -67,6 +207,8 @@ impl Scenario {
             fault: FaultPlan::none(),
             cycle_limit: None,
             label: variant.name().to_owned(),
+            approx: ApproxSad::Exact,
+            search: None,
         }
     }
 
@@ -110,6 +252,8 @@ impl Scenario {
             fault: FaultPlan::none(),
             cycle_limit: None,
             label: format!("{} b={beta}", bandwidth.label()),
+            approx: ApproxSad::Exact,
+            search: None,
         }
     }
 
@@ -129,6 +273,8 @@ impl Scenario {
             fault: FaultPlan::none(),
             cycle_limit: None,
             label: format!("2LB b={beta}"),
+            approx: ApproxSad::Exact,
+            search: None,
         }
     }
 
@@ -146,7 +292,8 @@ impl Scenario {
                 beta,
                 two_line_buffers,
             } => {
-                let cfg = MeLoopCfg::new(bandwidth, beta, stride);
+                let cfg = MeLoopCfg::new(bandwidth, beta, stride)
+                    .with_approx(sad_approx_to_rfu(self.approx));
                 if two_line_buffers {
                     cfg.with_line_buffer_b()
                 } else {
@@ -202,6 +349,30 @@ impl Scenario {
     pub fn with_cycle_limit(mut self, limit: u64) -> Self {
         self.cycle_limit = Some(limit);
         self
+    }
+
+    /// Selects a SAD approximation for both the host encoder and the
+    /// simulated kernel (speed-vs-quality sweeps).
+    #[must_use]
+    pub fn with_approx(mut self, approx: ApproxSad) -> Self {
+        self.approx = approx;
+        self
+    }
+
+    /// Overrides the motion-search algorithm the workload is encoded with
+    /// (adaptive-search sweeps).
+    #[must_use]
+    pub fn with_search(mut self, search: SearchAlgorithm) -> Self {
+        self.search = Some(search);
+        self
+    }
+
+    /// Whether this scenario needs a derived workload: its trace must be
+    /// re-encoded with a non-default approximation or search algorithm
+    /// before replay.
+    #[must_use]
+    pub fn needs_derived_workload(&self) -> bool {
+        !self.approx.is_exact() || self.search.is_some()
     }
 
     /// The [`SimSession`] this scenario describes (for a given frame
@@ -273,6 +444,58 @@ mod tests {
     #[should_panic(expected = "not a loop-level")]
     fn instruction_scenario_has_no_loop_cfg() {
         let _ = Scenario::orig().me_loop_cfg(176);
+    }
+
+    #[test]
+    fn approx_and_search_tokens_round_trip() {
+        for approx in [
+            ApproxSad::Exact,
+            ApproxSad::SubsampledRows { step: 2 },
+            ApproxSad::ReducedPrecision { bits: 3 },
+            ApproxSad::EarlyExit { threshold: 4096 },
+        ] {
+            assert_eq!(parse_approx(&approx_token(approx)), Some(approx));
+        }
+        for search in [
+            SearchAlgorithm::Diamond,
+            SearchAlgorithm::ThreeStep,
+            SearchAlgorithm::Full { range: 8 },
+            SearchAlgorithm::Spiral {
+                range: 8,
+                threshold: 256,
+            },
+        ] {
+            assert_eq!(parse_search(&search_token(search)), Some(search));
+        }
+        assert_eq!(parse_approx("rows/1"), None);
+        assert_eq!(parse_approx("bits/8"), None);
+        assert_eq!(parse_search("full/0"), None);
+        assert_eq!(parse_search("mystery"), None);
+    }
+
+    #[test]
+    fn debug_string_appends_approx_fields_only_when_set() {
+        let base = format!("{:?}", Scenario::a3());
+        assert!(
+            !base.contains("approx") && !base.contains("search"),
+            "{base}"
+        );
+        let ap = Scenario::a3().with_approx(ApproxSad::SubsampledRows { step: 2 });
+        assert!(format!("{ap:?}").contains("approx"));
+        let se = Scenario::a3().with_search(SearchAlgorithm::Diamond);
+        assert!(format!("{se:?}").contains("search"));
+    }
+
+    #[test]
+    fn approx_scenarios_thread_the_loop_cfg() {
+        let sc = Scenario::loop_level(RfuBandwidth::B1x32, 1)
+            .with_approx(ApproxSad::SubsampledRows { step: 2 });
+        assert_eq!(
+            sc.me_loop_cfg(176).approx,
+            SadApprox::SubsampledRows { step: 2 }
+        );
+        assert!(sc.needs_derived_workload());
+        assert!(!Scenario::orig().needs_derived_workload());
     }
 
     #[test]

@@ -22,12 +22,14 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
+use mpeg4_enc::me::SearchAlgorithm;
+use mpeg4_enc::ApproxSad;
 use rvliw_fault::{FaultPlan, FaultProfile};
 use rvliw_kernels::Variant;
 use rvliw_rfu::{ReconfigModel, RfuBandwidth};
 use rvliw_trace::Json;
 
-use crate::scenario::Scenario;
+use crate::scenario::{approx_token, parse_approx, parse_search, search_token, Scenario};
 
 /// Why a spec could not be parsed or expanded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -179,14 +181,20 @@ impl ReconfigSpec {
 /// kernel variants or a cross-product of loop-level axes.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SweepAxes {
-    /// Instruction-level points (Table 1): one scenario per variant.
+    /// Instruction-level points (Table 1): `variants × approx × search`.
     Instruction {
         /// Kernel variants to run.
         variants: Vec<Variant>,
+        /// SAD approximations (default `[exact]`).
+        approx: Vec<ApproxSad>,
+        /// Search-algorithm overrides (`None` = the workload's own search;
+        /// default `[None]`).
+        search: Vec<Option<SearchAlgorithm>>,
     },
     /// Loop-level points (Tables 2–7): the full cross-product
     /// `bandwidths × betas × two_line_buffers × lbb_bank_lines ×
-    /// reconfig`, expanded with the leftmost axis outermost.
+    /// reconfig × approx × search`, expanded with the leftmost axis
+    /// outermost.
     Loop {
         /// RFU data bandwidths.
         bandwidths: Vec<RfuBandwidth>,
@@ -198,6 +206,10 @@ pub enum SweepAxes {
         lbb_bank_lines: Vec<Option<usize>>,
         /// Reconfiguration models.
         reconfig: Vec<ReconfigSpec>,
+        /// SAD approximations (default `[exact]`).
+        approx: Vec<ApproxSad>,
+        /// Search-algorithm overrides (default `[None]`).
+        search: Vec<Option<SearchAlgorithm>>,
     },
 }
 
@@ -205,7 +217,11 @@ impl SweepAxes {
     /// An instruction-level sweep over `variants`.
     #[must_use]
     pub fn instruction(variants: Vec<Variant>) -> Self {
-        SweepAxes::Instruction { variants }
+        SweepAxes::Instruction {
+            variants,
+            approx: vec![ApproxSad::Exact],
+            search: vec![None],
+        }
     }
 
     /// A single-line-buffer loop-level sweep over `bandwidths × betas`
@@ -219,6 +235,8 @@ impl SweepAxes {
             two_line_buffers: vec![false],
             lbb_bank_lines: vec![None],
             reconfig: vec![ReconfigSpec::zero()],
+            approx: vec![ApproxSad::Exact],
+            search: vec![None],
         }
     }
 
@@ -232,26 +250,58 @@ impl SweepAxes {
             two_line_buffers: vec![true],
             lbb_bank_lines: vec![None],
             reconfig: vec![ReconfigSpec::zero()],
+            approx: vec![ApproxSad::Exact],
+            search: vec![None],
         }
+    }
+
+    /// Replaces the SAD-approximation axis (either sweep kind).
+    #[must_use]
+    pub fn with_approx_axis(mut self, axis: Vec<ApproxSad>) -> Self {
+        match &mut self {
+            SweepAxes::Instruction { approx, .. } | SweepAxes::Loop { approx, .. } => {
+                *approx = axis;
+            }
+        }
+        self
+    }
+
+    /// Replaces the search-algorithm axis (either sweep kind).
+    #[must_use]
+    pub fn with_search_axis(mut self, axis: Vec<Option<SearchAlgorithm>>) -> Self {
+        match &mut self {
+            SweepAxes::Instruction { search, .. } | SweepAxes::Loop { search, .. } => {
+                *search = axis;
+            }
+        }
+        self
     }
 
     /// The number of scenarios this sweep expands to.
     #[must_use]
     pub fn len(&self) -> usize {
         match self {
-            SweepAxes::Instruction { variants } => variants.len(),
+            SweepAxes::Instruction {
+                variants,
+                approx,
+                search,
+            } => variants.len() * approx.len() * search.len(),
             SweepAxes::Loop {
                 bandwidths,
                 betas,
                 two_line_buffers,
                 lbb_bank_lines,
                 reconfig,
+                approx,
+                search,
             } => {
                 bandwidths.len()
                     * betas.len()
                     * two_line_buffers.len()
                     * lbb_bank_lines.len()
                     * reconfig.len()
+                    * approx.len()
+                    * search.len()
             }
         }
     }
@@ -262,10 +312,118 @@ impl SweepAxes {
         self.len() == 0
     }
 
+    /// Serializes the shared `approx`/`search` axes into `m`, omitting
+    /// each when at its default (so paper-grid specs are unchanged).
+    fn axes_to_json(
+        m: &mut BTreeMap<String, Json>,
+        approx: &[ApproxSad],
+        search: &[Option<SearchAlgorithm>],
+    ) {
+        if approx != [ApproxSad::Exact] {
+            m.insert(
+                "approx".to_owned(),
+                Json::Arr(approx.iter().map(|&a| Json::Str(approx_token(a))).collect()),
+            );
+        }
+        if search != [None] {
+            m.insert(
+                "search".to_owned(),
+                Json::Arr(
+                    search
+                        .iter()
+                        .map(|s| match s {
+                            None => Json::Null,
+                            Some(alg) => Json::Str(search_token(*alg)),
+                        })
+                        .collect(),
+                ),
+            );
+        }
+    }
+
+    fn approx_axis_from_json(
+        m: &BTreeMap<String, Json>,
+        path: &str,
+    ) -> Result<Vec<ApproxSad>, SpecError> {
+        match m.get("approx") {
+            None => Ok(vec![ApproxSad::Exact]),
+            Some(v) => {
+                let p = format!("{path}.approx");
+                let arr = v
+                    .as_array()
+                    .ok_or_else(|| schema(&p, "expected an array of approx tokens"))?;
+                if arr.is_empty() {
+                    return Err(schema(p, "must not be empty"));
+                }
+                arr.iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        let p = format!("{p}[{i}]");
+                        let s = v.as_str().ok_or_else(|| schema(&p, "expected a string"))?;
+                        parse_approx(s).ok_or_else(|| {
+                            schema(
+                                p,
+                                format!(
+                                    "unknown approximation `{s}` (want exact, rows/N, \
+                                     bits/N or early/N)"
+                                ),
+                            )
+                        })
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    fn search_axis_from_json(
+        m: &BTreeMap<String, Json>,
+        path: &str,
+    ) -> Result<Vec<Option<SearchAlgorithm>>, SpecError> {
+        match m.get("search") {
+            None => Ok(vec![None]),
+            Some(v) => {
+                let p = format!("{path}.search");
+                let arr = v
+                    .as_array()
+                    .ok_or_else(|| schema(&p, "expected an array of search tokens or nulls"))?;
+                if arr.is_empty() {
+                    return Err(schema(p, "must not be empty"));
+                }
+                arr.iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        let p = format!("{p}[{i}]");
+                        match v {
+                            Json::Null => Ok(None),
+                            other => {
+                                let s = other
+                                    .as_str()
+                                    .ok_or_else(|| schema(&p, "expected a string or null"))?;
+                                parse_search(s).map(Some).ok_or_else(|| {
+                                    schema(
+                                        p,
+                                        format!(
+                                            "unknown search `{s}` (want diamond, three-step, \
+                                             full/R or spiral/R/T)"
+                                        ),
+                                    )
+                                })
+                            }
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+
     fn to_json(&self) -> Json {
         let mut m = BTreeMap::new();
         match self {
-            SweepAxes::Instruction { variants } => {
+            SweepAxes::Instruction {
+                variants,
+                approx,
+                search,
+            } => {
                 m.insert("kind".to_owned(), Json::Str("instruction".to_owned()));
                 m.insert(
                     "variants".to_owned(),
@@ -276,6 +434,7 @@ impl SweepAxes {
                             .collect(),
                     ),
                 );
+                Self::axes_to_json(&mut m, approx, search);
             }
             SweepAxes::Loop {
                 bandwidths,
@@ -283,6 +442,8 @@ impl SweepAxes {
                 two_line_buffers,
                 lbb_bank_lines,
                 reconfig,
+                approx,
+                search,
             } => {
                 m.insert("kind".to_owned(), Json::Str("loop".to_owned()));
                 m.insert(
@@ -324,6 +485,7 @@ impl SweepAxes {
                         Json::Arr(reconfig.iter().map(|r| r.to_json()).collect()),
                     );
                 }
+                Self::axes_to_json(&mut m, approx, search);
             }
         }
         Json::Obj(m)
@@ -334,7 +496,7 @@ impl SweepAxes {
         let kind = req_str(m, "kind", path)?;
         match kind {
             "instruction" => {
-                check_keys(m, &["kind", "variants"], path)?;
+                check_keys(m, &["kind", "variants", "approx", "search"], path)?;
                 let arr = req_arr(m, "variants", path)?;
                 if arr.is_empty() {
                     return Err(schema(format!("{path}.variants"), "must not be empty"));
@@ -353,7 +515,11 @@ impl SweepAxes {
                             })
                     })
                     .collect::<Result<Vec<_>, _>>()?;
-                Ok(SweepAxes::Instruction { variants })
+                Ok(SweepAxes::Instruction {
+                    variants,
+                    approx: Self::approx_axis_from_json(m, path)?,
+                    search: Self::search_axis_from_json(m, path)?,
+                })
             }
             "loop" => {
                 check_keys(
@@ -365,6 +531,8 @@ impl SweepAxes {
                         "two_line_buffers",
                         "lbb_bank_lines",
                         "reconfig",
+                        "approx",
+                        "search",
                     ],
                     path,
                 )?;
@@ -477,6 +645,8 @@ impl SweepAxes {
                     two_line_buffers,
                     lbb_bank_lines,
                     reconfig,
+                    approx: Self::approx_axis_from_json(m, path)?,
+                    search: Self::search_axis_from_json(m, path)?,
                 })
             }
             other => Err(schema(
@@ -587,11 +757,34 @@ impl ExperimentSpec {
             out.push(sc);
             Ok(())
         };
+        // Applies one (approx, search) point to a scenario, appending the
+        // label suffixes that keep expanded labels unique per point.
+        // Default points leave the scenario and its label untouched, so
+        // paper-grid labels are unchanged.
+        let quality_point = |mut sc: Scenario, ap: ApproxSad, se: Option<SearchAlgorithm>| {
+            if !ap.is_exact() {
+                sc = sc.with_approx(ap);
+                sc.label.push_str(&format!(" ap={}", approx_token(ap)));
+            }
+            if let Some(alg) = se {
+                sc = sc.with_search(alg);
+                sc.label.push_str(&format!(" se={}", search_token(alg)));
+            }
+            sc
+        };
         for sweep in &self.sweeps {
             match sweep {
-                SweepAxes::Instruction { variants } => {
+                SweepAxes::Instruction {
+                    variants,
+                    approx,
+                    search,
+                } => {
                     for &v in variants {
-                        push(Scenario::instruction(v))?;
+                        for &ap in approx {
+                            for &se in search {
+                                push(quality_point(Scenario::instruction(v), ap, se))?;
+                            }
+                        }
                     }
                 }
                 SweepAxes::Loop {
@@ -600,24 +793,30 @@ impl ExperimentSpec {
                     two_line_buffers,
                     lbb_bank_lines,
                     reconfig,
+                    approx,
+                    search,
                 } => {
                     for &bw in bandwidths {
                         for &beta in betas {
                             for &two_lb in two_line_buffers {
                                 for &lbb in lbb_bank_lines {
                                     for &rc in reconfig {
-                                        let mut sc = if two_lb {
-                                            Scenario::loop_two_lb(beta)
-                                        } else {
-                                            Scenario::loop_level(bw, beta)
-                                        };
-                                        if let Some(lines) = lbb {
-                                            sc = sc.with_lbb_bank_lines(lines);
-                                            sc.label.push_str(&format!(" lbb={lines}"));
+                                        for &ap in approx {
+                                            for &se in search {
+                                                let mut sc = if two_lb {
+                                                    Scenario::loop_two_lb(beta)
+                                                } else {
+                                                    Scenario::loop_level(bw, beta)
+                                                };
+                                                if let Some(lines) = lbb {
+                                                    sc = sc.with_lbb_bank_lines(lines);
+                                                    sc.label.push_str(&format!(" lbb={lines}"));
+                                                }
+                                                sc = sc.with_reconfig(rc.model());
+                                                sc.label.push_str(&rc.label_suffix());
+                                                push(quality_point(sc, ap, se))?;
+                                            }
                                         }
-                                        sc = sc.with_reconfig(rc.model());
-                                        sc.label.push_str(&rc.label_suffix());
-                                        push(sc)?;
                                     }
                                 }
                             }
@@ -914,6 +1113,8 @@ mod tests {
             two_line_buffers: vec![true],
             lbb_bank_lines: vec![None],
             reconfig: vec![ReconfigSpec::zero()],
+            approx: vec![ApproxSad::Exact],
+            search: vec![None],
         });
         assert!(matches!(
             spec.scenarios(),
@@ -936,6 +1137,8 @@ mod tests {
                     prefetch_hiding: true,
                 },
             ],
+            approx: vec![ApproxSad::Exact],
+            search: vec![None],
         });
         let labels: Vec<String> = spec
             .scenarios()
@@ -962,12 +1165,75 @@ mod tests {
             two_line_buffers: vec![false],
             lbb_bank_lines: vec![None, Some(8)],
             reconfig: vec![ReconfigSpec::zero()],
+            approx: vec![ApproxSad::Exact],
+            search: vec![None],
         };
         assert_eq!(axes.len(), 12);
         let spec = ExperimentSpec::new("count")
             .sweep(SweepAxes::instruction(vec![Variant::Orig, Variant::A3]))
             .sweep(axes);
         assert_eq!(spec.scenarios().unwrap().len(), 14);
+    }
+
+    #[test]
+    fn approx_and_search_axes_expand_with_label_suffixes() {
+        let spec = ExperimentSpec::new("approx").sweep(
+            SweepAxes::instruction(vec![Variant::A3])
+                .with_approx_axis(vec![
+                    ApproxSad::Exact,
+                    ApproxSad::SubsampledRows { step: 2 },
+                    ApproxSad::EarlyExit { threshold: 4096 },
+                ])
+                .with_search_axis(vec![None, Some(SearchAlgorithm::Full { range: 8 })]),
+        );
+        let scenarios = spec.scenarios().unwrap();
+        let labels: Vec<&str> = scenarios.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            [
+                "A3",
+                "A3 se=full/8",
+                "A3 ap=rows/2",
+                "A3 ap=rows/2 se=full/8",
+                "A3 ap=early/4096",
+                "A3 ap=early/4096 se=full/8",
+            ]
+        );
+        assert_eq!(scenarios[0].approx, ApproxSad::Exact);
+        assert_eq!(scenarios[2].approx, ApproxSad::SubsampledRows { step: 2 });
+        assert_eq!(
+            scenarios[3].search,
+            Some(SearchAlgorithm::Full { range: 8 })
+        );
+        // And the whole thing round-trips through JSON.
+        let parsed = ExperimentSpec::from_json_str(&spec.to_json_string()).unwrap();
+        assert_eq!(parsed, spec);
+    }
+
+    #[test]
+    fn approx_axes_parse_from_json_tokens() {
+        let text = "{\"name\": \"x\", \"sweeps\": [{\"kind\": \"loop\", \
+                    \"bandwidths\": [\"1x32\"], \"betas\": [1], \
+                    \"approx\": [\"exact\", \"rows/2\", \"bits/3\", \"early/100\"], \
+                    \"search\": [null, \"diamond\", \"spiral/8/256\"]}]}";
+        let spec = ExperimentSpec::from_json_str(text).unwrap();
+        assert_eq!(spec.sweeps[0].len(), 12);
+        for (bad, needle) in [
+            ("\"approx\": [\"rows/1\"]", "unknown approximation"),
+            ("\"approx\": []", "must not be empty"),
+            ("\"search\": [\"warp\"]", "unknown search"),
+        ] {
+            let text = format!(
+                "{{\"name\": \"x\", \"sweeps\": [{{\"kind\": \"instruction\", \
+                 \"variants\": [\"A3\"], {bad}}}]}}"
+            );
+            match ExperimentSpec::from_json_str(&text) {
+                Err(SpecError::Schema { message, .. }) => {
+                    assert!(message.contains(needle), "`{bad}` gave `{message}`");
+                }
+                other => panic!("`{bad}` gave {other:?}"),
+            }
+        }
     }
 
     #[test]

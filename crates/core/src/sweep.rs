@@ -11,6 +11,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
 
+use mpeg4_enc::QualityMetrics;
 use rvliw_trace::Json;
 
 use crate::cache::ScenarioCache;
@@ -236,6 +237,27 @@ pub struct SweepOutcome {
     pub rows: Vec<SweepRow>,
 }
 
+/// Renders a quality block as the compact speed-vs-quality cell used by
+/// the text matrix: `+1.23%/+0.05dB` (SAD inflation, PSNR delta). Rows
+/// with no quality block (exact full-quality scenarios) render `-`.
+fn quality_cell(q: Option<&QualityMetrics>) -> String {
+    match q {
+        None => "-".to_owned(),
+        Some(q) => format!("{:+.2}%/{:+.2}dB", q.sad_inflation * 100.0, q.psnr_delta_db),
+    }
+}
+
+/// A finite float as a JSON number; non-finite values (infinite SAD
+/// inflation against a zero-cost golden field) degrade to `null` rather
+/// than emitting invalid JSON.
+fn fnum(v: f64) -> Json {
+    if v.is_finite() {
+        Json::Num(format!("{v:.6}"))
+    } else {
+        Json::Null
+    }
+}
+
 impl SweepOutcome {
     /// The baseline row's measurement, when a baseline label was set and
     /// that row succeeded.
@@ -302,6 +324,18 @@ impl SweepOutcome {
                                 None => Json::Null,
                             },
                         );
+                        r.insert(
+                            "quality".to_owned(),
+                            match &res.quality {
+                                Some(q) => {
+                                    let mut qm = std::collections::BTreeMap::new();
+                                    qm.insert("sad_inflation".to_owned(), fnum(q.sad_inflation));
+                                    qm.insert("psnr_delta_db".to_owned(), fnum(q.psnr_delta_db));
+                                    Json::Obj(qm)
+                                }
+                                None => Json::Null,
+                            },
+                        );
                         r.insert("error".to_owned(), Json::Null);
                     }
                     Err(e) => {
@@ -323,6 +357,133 @@ impl SweepOutcome {
         out.push('\n');
         out
     }
+
+    /// The cycles-vs-quality Pareto partition of this outcome.
+    ///
+    /// Only successful rows carrying a quality block participate — exact
+    /// full-quality rows have no quality number to trade against and are
+    /// skipped, as are failed rows. A point is *dominated* when some other
+    /// point is no worse on both axes (ME cycles, SAD inflation) and
+    /// strictly better on at least one; the frontier is every point no
+    /// other point dominates. Coincident points dominate neither way and
+    /// share the frontier.
+    #[must_use]
+    pub fn pareto(&self) -> Pareto {
+        let mut points: Vec<ParetoPoint> = self
+            .rows
+            .iter()
+            .filter_map(|row| {
+                let res = row.result.as_ref().ok()?;
+                let q = res.quality?;
+                Some(ParetoPoint {
+                    label: row.label.clone(),
+                    me_cycles: res.me_cycles,
+                    sad_inflation: q.sad_inflation,
+                    psnr_delta_db: q.psnr_delta_db,
+                })
+            })
+            .collect();
+        // Deterministic order for both partitions: cheapest first, then
+        // best quality, then label as the final tie-break.
+        points.sort_by(|a, b| {
+            a.me_cycles
+                .cmp(&b.me_cycles)
+                .then(a.sad_inflation.total_cmp(&b.sad_inflation))
+                .then_with(|| a.label.cmp(&b.label))
+        });
+        let all = points.clone();
+        let (mut frontier, mut dominated) = (Vec::new(), Vec::new());
+        for p in points {
+            if all.iter().any(|o| o.dominates(&p)) {
+                dominated.push(p);
+            } else {
+                frontier.push(p);
+            }
+        }
+        Pareto {
+            name: self.name.clone(),
+            frontier,
+            dominated,
+        }
+    }
+}
+
+/// One scenario's position in the cycles-vs-quality plane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoPoint {
+    /// The scenario label.
+    pub label: String,
+    /// ME cycles (the speed axis — lower is better).
+    pub me_cycles: u64,
+    /// Exact-SAD inflation vs the golden encode (the quality axis —
+    /// lower is better).
+    pub sad_inflation: f64,
+    /// PSNR delta vs the golden encode, carried along for reporting (not
+    /// a dominance axis).
+    pub psnr_delta_db: f64,
+}
+
+impl ParetoPoint {
+    /// Whether `self` dominates `other`: no worse on both axes, strictly
+    /// better on at least one. Irreflexive — a point never dominates
+    /// itself or a coincident twin.
+    #[must_use]
+    pub fn dominates(&self, other: &ParetoPoint) -> bool {
+        self.me_cycles <= other.me_cycles
+            && self.sad_inflation <= other.sad_inflation
+            && (self.me_cycles < other.me_cycles || self.sad_inflation < other.sad_inflation)
+    }
+
+    fn to_json(&self) -> Json {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("label".to_owned(), Json::Str(self.label.clone()));
+        m.insert(
+            "me_cycles".to_owned(),
+            Json::Num(self.me_cycles.to_string()),
+        );
+        m.insert("sad_inflation".to_owned(), fnum(self.sad_inflation));
+        m.insert("psnr_delta_db".to_owned(), fnum(self.psnr_delta_db));
+        Json::Obj(m)
+    }
+}
+
+/// The Pareto partition of a sweep: the cycles-vs-quality frontier plus
+/// every dominated point, both sorted by ascending ME cycles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pareto {
+    /// The sweep name the partition was computed from.
+    pub name: String,
+    /// Non-dominated points, cheapest first.
+    pub frontier: Vec<ParetoPoint>,
+    /// Dominated points, cheapest first.
+    pub dominated: Vec<ParetoPoint>,
+}
+
+impl Pareto {
+    /// The partition as a JSON value (the `rvliw sweep --pareto` format).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("sweep".to_owned(), Json::Str(self.name.clone()));
+        m.insert(
+            "frontier".to_owned(),
+            Json::Arr(self.frontier.iter().map(ParetoPoint::to_json).collect()),
+        );
+        m.insert(
+            "dominated".to_owned(),
+            Json::Arr(self.dominated.iter().map(ParetoPoint::to_json).collect()),
+        );
+        Json::Obj(m)
+    }
+
+    /// The partition as pretty-printed JSON text.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        pretty(&self.to_json(), 0, &mut out);
+        out.push('\n');
+        out
+    }
 }
 
 impl fmt::Display for SweepOutcome {
@@ -331,8 +492,8 @@ impl fmt::Display for SweepOutcome {
         let base = self.baseline_result();
         writeln!(
             f,
-            "{:<24} {:>8} {:>12} {:>12} {:>8} {:>8}",
-            "Scenario", "Lat", "MeCycles", "Stalls", "Calls", "S.Up"
+            "{:<24} {:>8} {:>12} {:>12} {:>8} {:>8} {:>16}",
+            "Scenario", "Lat", "MeCycles", "Stalls", "Calls", "S.Up", "Quality"
         )?;
         for row in &self.rows {
             let lat = row
@@ -344,8 +505,14 @@ impl fmt::Display for SweepOutcome {
                         .map_or_else(|| "-".to_owned(), |b| format!("{:.2}", res.speedup_vs(b)));
                     writeln!(
                         f,
-                        "{:<24} {:>8} {:>12} {:>12} {:>8} {:>8}",
-                        row.label, lat, res.me_cycles, res.stall_cycles, res.calls, speedup
+                        "{:<24} {:>8} {:>12} {:>12} {:>8} {:>8} {:>16}",
+                        row.label,
+                        lat,
+                        res.me_cycles,
+                        res.stall_cycles,
+                        res.calls,
+                        speedup,
+                        quality_cell(res.quality.as_ref())
                     )?;
                 }
                 Err(e) => {
@@ -405,5 +572,150 @@ mod tests {
         // Text rendering mentions every label.
         let text = out.to_string();
         assert!(text.contains("Orig") && text.contains("2x64 b=5"));
+        // Exact scenarios have no quality block: the column shows `-` and
+        // the JSON rows carry an explicit null.
+        assert!(text.contains("Quality"));
+        let rows = json.get("rows").and_then(Json::as_array).unwrap();
+        assert!(rows
+            .iter()
+            .all(|r| matches!(r.get("quality"), Some(Json::Null))));
+    }
+
+    /// A synthetic successful row with the given cost and quality block.
+    fn row(label: &str, me_cycles: u64, quality: Option<QualityMetrics>) -> SweepRow {
+        SweepRow {
+            label: label.to_owned(),
+            static_latency: None,
+            result: Ok(MeResult {
+                label: label.to_owned(),
+                me_cycles,
+                stall_cycles: 0,
+                calls: 1,
+                mem: Default::default(),
+                core: Default::default(),
+                rfu: Default::default(),
+                quality,
+            }),
+        }
+    }
+
+    fn q(sad_inflation: f64, psnr_delta_db: f64) -> Option<QualityMetrics> {
+        Some(QualityMetrics {
+            sad_inflation,
+            psnr_delta_db,
+        })
+    }
+
+    #[test]
+    fn quality_cell_renders_metrics_or_dash() {
+        assert_eq!(quality_cell(None), "-");
+        let m = QualityMetrics {
+            sad_inflation: 0.0123,
+            psnr_delta_db: -0.05,
+        };
+        assert_eq!(quality_cell(Some(&m)), "+1.23%/-0.05dB");
+    }
+
+    #[test]
+    fn quality_rows_serialize_finite_floats_and_null_infinities() {
+        let out = SweepOutcome {
+            name: "q".to_owned(),
+            baseline: None,
+            rows: vec![
+                row("ap", 10, q(0.5, 1.25)),
+                row("inf", 20, q(f64::INFINITY, 0.0)),
+            ],
+        };
+        let json = Json::parse(&out.to_json_string()).unwrap();
+        let rows = json.get("rows").and_then(Json::as_array).unwrap();
+        let quality = rows[0].get("quality").unwrap();
+        assert_eq!(
+            quality.get("sad_inflation").map(ToString::to_string),
+            Some("0.500000".to_owned())
+        );
+        assert_eq!(
+            quality.get("psnr_delta_db").map(ToString::to_string),
+            Some("1.250000".to_owned())
+        );
+        // Infinite inflation (zero-cost golden field) degrades to null
+        // instead of emitting invalid JSON.
+        assert!(matches!(
+            rows[1]
+                .get("quality")
+                .and_then(|qj| qj.get("sad_inflation")),
+            Some(Json::Null)
+        ));
+    }
+
+    #[test]
+    fn pareto_partition_is_sorted_and_dominance_free() {
+        let out = SweepOutcome {
+            name: "pareto".to_owned(),
+            baseline: None,
+            rows: vec![
+                row("exact", 200, None), // no quality block: not a point
+                row("a", 100, q(0.00, 0.0)),
+                row("c", 120, q(0.005, 0.1)), // dominated by `a`
+                row("b", 80, q(0.01, 0.2)),
+                row("d", 90, q(0.02, 0.3)), // dominated by `b`
+                SweepRow {
+                    label: "boom".to_owned(),
+                    static_latency: None,
+                    result: Err(ScenarioError::Panic {
+                        label: "boom".to_owned(),
+                        message: "x".to_owned(),
+                    }),
+                },
+            ],
+        };
+        let p = out.pareto();
+        let labels: Vec<&str> = p.frontier.iter().map(|pt| pt.label.as_str()).collect();
+        assert_eq!(labels, ["b", "a"]);
+        // Both partitions are sorted by ascending ME cycles.
+        for part in [&p.frontier, &p.dominated] {
+            assert!(part.windows(2).all(|w| w[0].me_cycles <= w[1].me_cycles));
+        }
+        // The frontier is dominance-free...
+        for x in &p.frontier {
+            for y in &p.frontier {
+                assert!(!x.dominates(y), "{} dominates {}", x.label, y.label);
+            }
+        }
+        // ...and every dominated point has a frontier witness.
+        assert_eq!(p.dominated.len(), 2);
+        for d in &p.dominated {
+            assert!(
+                p.frontier.iter().any(|f| f.dominates(d)),
+                "{} dominated without witness",
+                d.label
+            );
+        }
+        // JSON rendering parses and keeps the partition sizes.
+        let json = Json::parse(&p.to_json_string()).unwrap();
+        assert_eq!(json.get("sweep").and_then(Json::as_str), Some("pareto"));
+        assert_eq!(
+            json.get("frontier")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(2)
+        );
+        assert_eq!(
+            json.get("dominated")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn coincident_points_share_the_frontier() {
+        let out = SweepOutcome {
+            name: "tie".to_owned(),
+            baseline: None,
+            rows: vec![row("x", 50, q(0.01, 0.0)), row("y", 50, q(0.01, 0.0))],
+        };
+        let p = out.pareto();
+        assert_eq!(p.frontier.len(), 2);
+        assert!(p.dominated.is_empty());
     }
 }

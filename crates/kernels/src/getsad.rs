@@ -15,7 +15,7 @@
 
 use rvliw_asm::{schedule, Builder, Code, Label};
 use rvliw_isa::{Gpr, MachineConfig, Src};
-use rvliw_rfu::cfgs;
+use rvliw_rfu::{cfgs, SadApprox};
 
 use crate::regs::{ARG_CAND, ARG_INTERP, ARG_REF, ARG_STRIDE, RESULT};
 
@@ -110,6 +110,12 @@ const SUM: [Gpr; 2] = [Gpr::new(54), Gpr::new(61)];
 const D2: [Gpr; 2] = [Gpr::new(56), Gpr::new(49)];
 // A3 row result words.
 const OWS: [Gpr; 4] = [Gpr::new(58), Gpr::new(57), Gpr::new(37), Gpr::new(38)];
+// Approximate-mode registers. The two are never live together: a kernel is
+// built for exactly one approximation, and subsampling and early exit do
+// not combine.
+const DSTRIDE: Gpr = Gpr::new(39); // stride between *sampled* rows
+const THRESH: Gpr = Gpr::new(39); // early-exit threshold
+const CANDP2: Gpr = Gpr::new(63); // row-below pointer (subsampled V/diag)
 
 /// Builds and schedules the `GetSad` program for `variant`.
 ///
@@ -119,34 +125,73 @@ const OWS: [Gpr; 4] = [Gpr::new(58), Gpr::new(57), Gpr::new(37), Gpr::new(38)];
 /// validates and schedules).
 #[must_use]
 pub fn build_getsad(variant: Variant, cfg: &MachineConfig) -> Code {
-    let mut b = Builder::new(format!("getsad_{}", variant.name().to_lowercase()));
+    build_getsad_approx(variant, SadApprox::Exact, cfg)
+}
+
+/// Builds `variant`'s kernel with an approximate SAD datapath. With
+/// [`SadApprox::Exact`] the emitted program is byte-identical to
+/// [`build_getsad`]'s — the approximation hooks emit nothing — which keeps
+/// exact-mode program hashes (and hence cache keys) stable.
+///
+/// # Panics
+///
+/// Panics only on an internal generator bug (the emitted program always
+/// validates and schedules).
+#[must_use]
+pub fn build_getsad_approx(variant: Variant, approx: SadApprox, cfg: &MachineConfig) -> Code {
+    let mut name = format!("getsad_{}", variant.name().to_lowercase());
+    if !approx.is_exact() {
+        name.push_str("_approx");
+    }
+    let mut b = Builder::new(name);
     let l_none = b.label();
     let l_h = b.label();
     let l_v = b.label();
     let l_diag = b.label();
 
-    emit_init_dispatch(&mut b, l_none, l_h, l_v, l_diag);
+    emit_init_dispatch(&mut b, l_none, l_h, l_v, l_diag, approx);
 
     b.bind(l_none);
-    emit_body_none(&mut b);
+    emit_body_none(&mut b, approx);
     b.bind(l_h);
-    emit_body_h(&mut b);
+    emit_body_h(&mut b, approx);
     b.bind(l_v);
-    emit_body_v(&mut b);
+    emit_body_v(&mut b, approx);
     b.bind(l_diag);
     match variant {
-        Variant::Orig => emit_diag_scalar(&mut b),
-        Variant::A1 => emit_diag_a1(&mut b),
-        Variant::A2 => emit_diag_a2(&mut b),
-        Variant::A3 => emit_diag_a3(&mut b),
+        Variant::Orig => emit_diag_scalar(&mut b, approx),
+        Variant::A1 => emit_diag_a1(&mut b, approx),
+        Variant::A2 => emit_diag_a2(&mut b, approx),
+        Variant::A3 => emit_diag_a3(&mut b, approx),
     }
 
     let program = b.build();
     schedule(&program, cfg).unwrap_or_else(|e| panic!("GetSad kernels always schedule: {e}"))
 }
 
+/// Row subsampling step of the loop (1 = every row).
+fn sub_step(approx: SadApprox) -> u32 {
+    match approx {
+        SadApprox::SubsampledRows { step } if step > 1 => u32::from(step),
+        _ => 1,
+    }
+}
+
+/// The 4-lane pixel mask word, when the mode masks pixels at all.
+fn mask_word(approx: SadApprox) -> Option<i32> {
+    let m = approx.pixel_mask();
+    (m != 0xFF).then(|| i32::from_ne_bytes([m; 4]))
+}
+
 /// Common initialisation and the interpolation-mode dispatch.
-fn emit_init_dispatch(b: &mut Builder, l_none: Label, l_h: Label, l_v: Label, l_diag: Label) {
+fn emit_init_dispatch(
+    b: &mut Builder,
+    l_none: Label,
+    l_h: Label,
+    l_v: Label,
+    l_diag: Label,
+    approx: SadApprox,
+) {
     // Pointer/shift setup: the candidate address is split into the aligned
     // word pointer and the byte alignment.
     b.and(CANDP, ARG_CAND, -4);
@@ -156,7 +201,15 @@ fn emit_init_dispatch(b: &mut Builder, l_none: Label, l_h: Label, l_v: Label, l_
     b.sub(SHL, TMP, SH);
     b.mov(REFP, ARG_REF);
     b.movi(ACC, 0);
-    b.movi(CNT, 16);
+    let step = sub_step(approx);
+    b.movi(CNT, (16 / step) as i32);
+    if step > 1 {
+        // Stride between consecutive *sampled* rows (step is 2 or 4).
+        b.sll(DSTRIDE, ARG_STRIDE, step.trailing_zeros() as i32);
+    }
+    if let SadApprox::EarlyExit { threshold } = approx {
+        b.movi(THRESH, threshold as i32);
+    }
     let c0 = rvliw_isa::Br::new(0);
     let c1 = rvliw_isa::Br::new(1);
     let c2 = rvliw_isa::Br::new(2);
@@ -171,8 +224,14 @@ fn emit_init_dispatch(b: &mut Builder, l_none: Label, l_h: Label, l_v: Label, l_
 
 /// Loads the five packed words of the current predictor row.
 pub(crate) fn emit_load_words(b: &mut Builder, dst: &[Gpr; 5]) {
+    emit_load_words_from(b, CANDP, dst);
+}
+
+/// Loads five packed row words from an arbitrary word-aligned base (the
+/// subsampled bodies fetch the row below through a second pointer).
+fn emit_load_words_from(b: &mut Builder, base: Gpr, dst: &[Gpr; 5]) {
     for (k, &r) in dst.iter().enumerate() {
-        b.ldw(r, CANDP, (k * 4) as i32);
+        b.ldw(r, base, (k * 4) as i32);
     }
 }
 
@@ -189,18 +248,33 @@ pub(crate) fn emit_align(b: &mut Builder, dst: &[Gpr; 5], with_a4: bool) {
     }
 }
 
-/// Loads the four reference words of the current row.
-fn emit_ref_loads(b: &mut Builder) {
+/// Loads the four reference words of the current row, masking them in
+/// place under reduced precision (they are reloaded every row).
+fn emit_ref_loads(b: &mut Builder, approx: SadApprox) {
     for (k, &r) in REF.iter().enumerate() {
         b.ldw(r, REFP, (k * 4) as i32);
     }
+    if let Some(m) = mask_word(approx) {
+        for &r in &REF {
+            b.and(r, r, m);
+        }
+    }
+}
+
+/// One `sad4` against a reference word, masking the (dead-after-use)
+/// predictor word first under reduced precision.
+fn emit_masked_sad4(b: &mut Builder, dst: Gpr, pred: Gpr, refw: Gpr, approx: SadApprox) {
+    if let Some(m) = mask_word(approx) {
+        b.and(pred, pred, m);
+    }
+    b.sad4(dst, pred, refw);
 }
 
 /// `sad4` the four predictor words in `pred` against the reference row and
 /// accumulates (balanced tree to keep the dependence chain short).
-fn emit_sad_acc(b: &mut Builder, pred: &[Gpr]) {
+fn emit_sad_acc(b: &mut Builder, pred: &[Gpr], approx: SadApprox) {
     for k in 0..4 {
-        b.sad4(S[k], pred[k], REF[k]);
+        emit_masked_sad4(b, S[k], pred[k], REF[k], approx);
     }
     b.add(S[0], S[0], S[1]);
     b.add(S[2], S[2], S[3]);
@@ -208,14 +282,38 @@ fn emit_sad_acc(b: &mut Builder, pred: &[Gpr]) {
     b.add(ACC, ACC, S[2]);
 }
 
-/// Pointer advance, loop counter and back edge.
-fn emit_advance_loop(b: &mut Builder, top: Label) {
-    b.add(CANDP, CANDP, ARG_STRIDE);
-    b.add(REFP, REFP, ARG_STRIDE);
+/// Pointer advance, loop counter and back edge. Subsampled kernels step
+/// both pointers by `step` rows at once.
+fn emit_advance_loop(b: &mut Builder, top: Label, approx: SadApprox) {
+    let stride: Gpr = if sub_step(approx) > 1 {
+        DSTRIDE
+    } else {
+        ARG_STRIDE
+    };
+    b.add(CANDP, CANDP, stride);
+    b.add(REFP, REFP, stride);
     b.subi(CNT, CNT, 1);
     let c = rvliw_isa::Br::new(3);
     b.cmpne_br(c, CNT, 0);
     b.br(c, top);
+}
+
+/// Ends a row body: the optional early-exit test, the loop back edge and
+/// the epilogue. In exact mode this is exactly `advance + epilogue`.
+fn emit_loop_end(b: &mut Builder, top: Label, approx: SadApprox) {
+    if matches!(approx, SadApprox::EarlyExit { .. }) {
+        // ACC > THRESH (unsigned) ⇒ the partial sum is the result.
+        let l_done = b.label();
+        let c4 = rvliw_isa::Br::new(4);
+        b.cmpltu_br(c4, THRESH, ACC);
+        b.br(c4, l_done);
+        emit_advance_loop(b, top, approx);
+        b.bind(l_done);
+        emit_epilogue(b);
+    } else {
+        emit_advance_loop(b, top, approx);
+        emit_epilogue(b);
+    }
 }
 
 /// Result in `$r16`, stop.
@@ -225,25 +323,24 @@ fn emit_epilogue(b: &mut Builder) {
 }
 
 /// Integer-pixel body: align and SAD.
-fn emit_body_none(b: &mut Builder) {
+fn emit_body_none(b: &mut Builder, approx: SadApprox) {
     let top = b.label();
     b.bind(top);
     emit_load_words(b, &W);
     emit_align(b, &A, false);
-    emit_ref_loads(b);
-    emit_sad_acc(b, &A[..4]);
-    emit_advance_loop(b, top);
-    emit_epilogue(b);
+    emit_ref_loads(b, approx);
+    emit_sad_acc(b, &A[..4], approx);
+    emit_loop_end(b, top, approx);
 }
 
 /// Horizontal half-sample body: `avg4r` of the aligned row with its
 /// one-byte-shifted window.
-fn emit_body_h(b: &mut Builder) {
+fn emit_body_h(b: &mut Builder, approx: SadApprox) {
     let top = b.label();
     b.bind(top);
     emit_load_words(b, &W);
     emit_align(b, &A, true);
-    emit_ref_loads(b);
+    emit_ref_loads(b, approx);
     // Shifted windows: bytes k*4+1 .. k*4+5 of the aligned row. The raw
     // words are dead after alignment, so they host the shifted values.
     for k in 0..4 {
@@ -252,47 +349,71 @@ fn emit_body_h(b: &mut Builder) {
         b.or(W[k], W[k], TT[k]);
         b.avg4r(W[k], A[k], W[k]);
     }
-    emit_sad_acc(b, &W[..4]);
-    emit_advance_loop(b, top);
-    emit_epilogue(b);
+    emit_sad_acc(b, &W[..4], approx);
+    emit_loop_end(b, top, approx);
 }
 
 /// Vertical half-sample body: `avg4r` of the previous and current aligned
-/// rows (the previous row is carried across iterations).
-fn emit_body_v(b: &mut Builder) {
-    // Prologue: align row 0 into PA.
-    emit_load_words(b, &W);
-    emit_align(b, &PA, false);
-    b.add(CANDP, CANDP, ARG_STRIDE);
+/// rows. With every row visited the previous row is carried across
+/// iterations; a subsampled kernel instead fetches the row below through a
+/// second pointer, because the next iteration's row is `step` rows away.
+fn emit_body_v(b: &mut Builder, approx: SadApprox) {
     let top = b.label();
-    b.bind(top);
-    emit_load_words(b, &W);
-    emit_align(b, &A, false);
-    emit_ref_loads(b);
-    for k in 0..4 {
-        b.avg4r(W[k], PA[k], A[k]);
+    if sub_step(approx) == 1 {
+        // Prologue: align row 0 into PA.
+        emit_load_words(b, &W);
+        emit_align(b, &PA, false);
+        b.add(CANDP, CANDP, ARG_STRIDE);
+        b.bind(top);
+        emit_load_words(b, &W);
+        emit_align(b, &A, false);
+        emit_ref_loads(b, approx);
+        for k in 0..4 {
+            b.avg4r(W[k], PA[k], A[k]);
+        }
+        emit_sad_acc(b, &W[..4], approx);
+        for k in 0..4 {
+            b.mov(PA[k], A[k]);
+        }
+    } else {
+        b.bind(top);
+        b.add(CANDP2, CANDP, ARG_STRIDE);
+        emit_load_words(b, &W);
+        emit_align(b, &PA, false);
+        emit_load_words_from(b, CANDP2, &W);
+        emit_align(b, &A, false);
+        emit_ref_loads(b, approx);
+        for k in 0..4 {
+            b.avg4r(W[k], PA[k], A[k]);
+        }
+        emit_sad_acc(b, &W[..4], approx);
     }
-    emit_sad_acc(b, &W[..4]);
-    for k in 0..4 {
-        b.mov(PA[k], A[k]);
-    }
-    emit_advance_loop(b, top);
-    emit_epilogue(b);
+    emit_loop_end(b, top, approx);
 }
 
 /// ORIG diagonal body: exact but **scalar** — byte extracts, 10-bit sums,
 /// rounding shift, repack. The basic SIMD subset has no exact 4-input
 /// rounded average, so this is what the compiled reference code does; it is
 /// the hot spot the RFU scenarios attack.
-fn emit_diag_scalar(b: &mut Builder) {
-    emit_load_words(b, &W);
-    emit_align(b, &PA, true);
-    b.add(CANDP, CANDP, ARG_STRIDE);
+fn emit_diag_scalar(b: &mut Builder, approx: SadApprox) {
+    let carry = sub_step(approx) == 1;
     let top = b.label();
-    b.bind(top);
-    emit_load_words(b, &W);
-    emit_align(b, &A, true);
-    emit_ref_loads(b);
+    if carry {
+        emit_load_words(b, &W);
+        emit_align(b, &PA, true);
+        b.add(CANDP, CANDP, ARG_STRIDE);
+        b.bind(top);
+        emit_load_words(b, &W);
+        emit_align(b, &A, true);
+    } else {
+        b.bind(top);
+        b.add(CANDP2, CANDP, ARG_STRIDE);
+        emit_load_words(b, &W);
+        emit_align(b, &PA, true);
+        emit_load_words_from(b, CANDP2, &W);
+        emit_align(b, &A, true);
+    }
+    emit_ref_loads(b, approx);
     // Pixel 0's left neighbours.
     b.extbu(BY[0], PA[0], 0);
     b.extbu(BY1[0], A[0], 0);
@@ -319,29 +440,40 @@ fn emit_diag_scalar(b: &mut Builder) {
         }
         if i % 4 == 3 {
             let g = i / 4;
-            b.sad4(S[g], OW, REF[g]);
+            emit_masked_sad4(b, S[g], OW, REF[g], approx);
             b.add(ACC, ACC, S[g]);
         }
     }
-    for k in 0..5 {
-        b.mov(PA[k], A[k]);
+    if carry {
+        for k in 0..5 {
+            b.mov(PA[k], A[k]);
+        }
     }
-    emit_advance_loop(b, top);
-    emit_epilogue(b);
+    emit_loop_end(b, top, approx);
 }
 
 /// A1 diagonal body: the 2-pixel exact family (`hadd2` horizontal pair
 /// sums, plain adds for the vertical combine, `rnd2` rounding divide,
 /// `pack4` repack) over the *aligned* rows — 4-issue 1-cycle operations.
-fn emit_diag_a1(b: &mut Builder) {
-    emit_load_words(b, &W);
-    emit_align(b, &PA, true);
-    b.add(CANDP, CANDP, ARG_STRIDE);
+fn emit_diag_a1(b: &mut Builder, approx: SadApprox) {
+    let carry = sub_step(approx) == 1;
     let top = b.label();
-    b.bind(top);
-    emit_load_words(b, &W);
-    emit_align(b, &A, true);
-    emit_ref_loads(b);
+    if carry {
+        emit_load_words(b, &W);
+        emit_align(b, &PA, true);
+        b.add(CANDP, CANDP, ARG_STRIDE);
+        b.bind(top);
+        emit_load_words(b, &W);
+        emit_align(b, &A, true);
+    } else {
+        b.bind(top);
+        b.add(CANDP2, CANDP, ARG_STRIDE);
+        emit_load_words(b, &W);
+        emit_align(b, &PA, true);
+        emit_load_words_from(b, CANDP2, &W);
+        emit_align(b, &A, true);
+    }
+    emit_ref_loads(b, approx);
     for g in 0..8usize {
         let px = 2 * g;
         let wi = px / 4;
@@ -370,51 +502,69 @@ fn emit_diag_a1(b: &mut Builder) {
                 OW.into(),
                 &[D2[0].into(), D2[1].into()],
             ));
-            b.sad4(S[word], OW, REF[word]);
+            emit_masked_sad4(b, S[word], OW, REF[word], approx);
             b.add(ACC, ACC, S[word]);
         }
     }
-    for k in 0..5 {
-        b.mov(PA[k], A[k]);
+    if carry {
+        for k in 0..5 {
+            b.mov(PA[k], A[k]);
+        }
     }
-    emit_advance_loop(b, top);
-    emit_epilogue(b);
+    emit_loop_end(b, top, approx);
 }
 
 /// A2 diagonal body: `RFUSEND` the raw word pairs of both rows, one
 /// `RFUEXEC` per 4 pixels (alignment handled inside the configuration).
-fn emit_diag_a2(b: &mut Builder) {
+fn emit_diag_a2(b: &mut Builder, approx: SadApprox) {
+    let carry = sub_step(approx) == 1;
     b.rfu_init(cfgs::DIAG4);
-    emit_load_words(b, &PW);
-    b.add(CANDP, CANDP, ARG_STRIDE);
     let top = b.label();
-    b.bind(top);
-    emit_load_words(b, &W);
-    emit_ref_loads(b);
+    if carry {
+        emit_load_words(b, &PW);
+        b.add(CANDP, CANDP, ARG_STRIDE);
+        b.bind(top);
+        emit_load_words(b, &W);
+    } else {
+        b.bind(top);
+        b.add(CANDP2, CANDP, ARG_STRIDE);
+        emit_load_words(b, &PW);
+        emit_load_words_from(b, CANDP2, &W);
+    }
+    emit_ref_loads(b, approx);
     for g in 0..4usize {
         b.rfu_send(cfgs::DIAG4, &[PW[g], PW[g + 1]]);
         b.rfu_send(cfgs::DIAG4, &[W[g], W[g + 1]]);
         b.rfu_exec(cfgs::DIAG4, OW, &[Src::Gpr(ALIGN)]);
-        b.sad4(S[g], OW, REF[g]);
+        emit_masked_sad4(b, S[g], OW, REF[g], approx);
         b.add(ACC, ACC, S[g]);
     }
-    for k in 0..5 {
-        b.mov(PW[k], W[k]);
+    if carry {
+        for k in 0..5 {
+            b.mov(PW[k], W[k]);
+        }
     }
-    emit_advance_loop(b, top);
-    emit_epilogue(b);
+    emit_loop_end(b, top, approx);
 }
 
 /// A3 diagonal body: ten words sent, one `RFUEXEC` per 16-pixel row plus
 /// three result reads.
-fn emit_diag_a3(b: &mut Builder) {
+fn emit_diag_a3(b: &mut Builder, approx: SadApprox) {
+    let carry = sub_step(approx) == 1;
     b.rfu_init(cfgs::DIAG16);
-    emit_load_words(b, &PW);
-    b.add(CANDP, CANDP, ARG_STRIDE);
     let top = b.label();
-    b.bind(top);
-    emit_load_words(b, &W);
-    emit_ref_loads(b);
+    if carry {
+        emit_load_words(b, &PW);
+        b.add(CANDP, CANDP, ARG_STRIDE);
+        b.bind(top);
+        emit_load_words(b, &W);
+    } else {
+        b.bind(top);
+        b.add(CANDP2, CANDP, ARG_STRIDE);
+        emit_load_words(b, &PW);
+        emit_load_words_from(b, CANDP2, &W);
+    }
+    emit_ref_loads(b, approx);
     // Row y then row y+1, five words each.
     b.rfu_send(cfgs::DIAG16, &[PW[0], PW[1]]);
     b.rfu_send(cfgs::DIAG16, &[PW[2], PW[3]]);
@@ -426,14 +576,15 @@ fn emit_diag_a3(b: &mut Builder) {
     b.rfu_exec(cfgs::DIAG16_R2, OWS[2], &[]);
     b.rfu_exec(cfgs::DIAG16_R3, OWS[3], &[]);
     for g in 0..4usize {
-        b.sad4(S[g], OWS[g], REF[g]);
+        emit_masked_sad4(b, S[g], OWS[g], REF[g], approx);
         b.add(ACC, ACC, S[g]);
     }
-    for k in 0..5 {
-        b.mov(PW[k], W[k]);
+    if carry {
+        for k in 0..5 {
+            b.mov(PW[k], W[k]);
+        }
     }
-    emit_advance_loop(b, top);
-    emit_epilogue(b);
+    emit_loop_end(b, top, approx);
 }
 
 #[cfg(test)]
@@ -530,6 +681,83 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    /// Every variant × approx mode × interpolation × alignment matches the
+    /// scalar approximate reference bit for bit.
+    #[test]
+    fn approx_kernels_match_scalar_reference_exactly() {
+        use mpeg4_enc::sad::{get_sad_approx, ApproxSad};
+        let cur = textured_plane(176, 48, 7);
+        let prev = textured_plane(176, 48, 8);
+        let cases = [
+            (
+                ApproxSad::SubsampledRows { step: 2 },
+                SadApprox::SubsampledRows { step: 2 },
+            ),
+            (
+                ApproxSad::SubsampledRows { step: 4 },
+                SadApprox::SubsampledRows { step: 4 },
+            ),
+            (
+                ApproxSad::ReducedPrecision { bits: 1 },
+                SadApprox::ReducedPrecision { bits: 1 },
+            ),
+            (
+                ApproxSad::ReducedPrecision { bits: 3 },
+                SadApprox::ReducedPrecision { bits: 3 },
+            ),
+            (
+                ApproxSad::EarlyExit { threshold: 0 },
+                SadApprox::EarlyExit { threshold: 0 },
+            ),
+            (
+                ApproxSad::EarlyExit { threshold: 2000 },
+                SadApprox::EarlyExit { threshold: 2000 },
+            ),
+        ];
+        for variant in Variant::all() {
+            for (host, hw) in cases {
+                let code = build_getsad_approx(variant, hw, &MachineConfig::st200());
+                let mut m = machine_with_rfu();
+                let cur_base = load_plane(&mut m, &cur);
+                let prev_base = load_plane(&mut m, &prev);
+                for kind in [
+                    InterpKind::None,
+                    InterpKind::H,
+                    InterpKind::V,
+                    InterpKind::Diag,
+                ] {
+                    for align in 0..4usize {
+                        let (rx, ry) = (16, 16);
+                        let (cx, cy) = (20 + align, 9);
+                        let golden = get_sad_approx(&cur, rx, ry, &prev, cx, cy, kind, host);
+                        let got = run_kernel(
+                            &mut m,
+                            &code,
+                            cur_base + (ry * 176 + rx) as u32,
+                            prev_base + (cy * 176 + cx) as u32,
+                            interp_code(kind),
+                        );
+                        assert_eq!(
+                            got, golden,
+                            "variant {variant:?} approx {hw:?} kind {kind:?} align {align}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The exact-mode approx builder is the plain builder, program for
+    /// program (cache keys hash the program words).
+    #[test]
+    fn exact_approx_build_is_byte_identical() {
+        for variant in Variant::all() {
+            let a = build_getsad(variant, &MachineConfig::st200());
+            let b = build_getsad_approx(variant, SadApprox::Exact, &MachineConfig::st200());
+            assert_eq!(a.content_key().hex(), b.content_key().hex(), "{variant:?}");
         }
     }
 

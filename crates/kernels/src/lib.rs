@@ -37,5 +37,5 @@ pub mod regs;
 
 pub use dct::build_dct;
 pub use driver::{build_mb_prep, build_me_loop_call, DriverKind};
-pub use getsad::{build_getsad, Variant};
+pub use getsad::{build_getsad, build_getsad_approx, Variant};
 pub use mc::build_mc;

@@ -469,6 +469,7 @@ mod tests {
             search: MotionSearch {
                 algorithm: crate::me::SearchAlgorithm::Full { range: 8 },
                 half_sample: true,
+                approx: crate::sad::ApproxSad::Exact,
             },
         })
         .encode(&seq);

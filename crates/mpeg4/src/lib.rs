@@ -43,6 +43,7 @@ pub mod huffman;
 pub mod mc;
 pub mod me;
 pub mod psnr;
+pub mod quality;
 pub mod quant;
 pub mod rlc;
 pub mod sad;
@@ -53,7 +54,8 @@ pub mod zigzag;
 pub use decoder::{decode, DecoderConfig};
 pub use encoder::{EncodeReport, Encoder, EncoderConfig, FrameReport};
 pub use me::{MotionSearch, SadCall, SearchAlgorithm};
-pub use sad::{interp_mode_of, InterpKind};
+pub use quality::QualityMetrics;
+pub use sad::{get_sad_approx, interp_mode_of, ApproxSad, InterpKind};
 pub use synth::SyntheticSequence;
 pub use types::{Frame, Mv, Plane};
 

@@ -16,7 +16,7 @@
 
 use std::collections::HashSet;
 
-use crate::sad::{candidate_fits, get_sad, interp_mode_of, InterpKind};
+use crate::sad::{candidate_fits, get_sad_approx, interp_mode_of, ApproxSad, InterpKind};
 use crate::types::{Mv, Plane};
 use crate::MB;
 
@@ -84,6 +84,10 @@ pub struct MotionSearch {
     /// Whether to refine to half-sample precision (the case study's
     /// sub-pixel motion vectors).
     pub half_sample: bool,
+    /// The SAD approximation every candidate is evaluated with. The
+    /// recorded trace carries the *approximate* SADs, so the simulator
+    /// replays exactly what the search decided on.
+    pub approx: ApproxSad,
 }
 
 impl Default for MotionSearch {
@@ -91,6 +95,7 @@ impl Default for MotionSearch {
         MotionSearch {
             algorithm: SearchAlgorithm::Diamond,
             half_sample: true,
+            approx: ApproxSad::Exact,
         }
     }
 }
@@ -101,18 +106,20 @@ struct SearchCtx<'a> {
     prev: &'a Plane,
     rx: usize,
     ry: usize,
+    approx: ApproxSad,
     visited: HashSet<(i32, i32)>,
     calls: Vec<SadCall>,
     best: (Mv, u32),
 }
 
 impl<'a> SearchCtx<'a> {
-    fn new(cur: &'a Plane, prev: &'a Plane, mbx: usize, mby: usize) -> Self {
+    fn new(cur: &'a Plane, prev: &'a Plane, mbx: usize, mby: usize, approx: ApproxSad) -> Self {
         SearchCtx {
             cur,
             prev,
             rx: mbx * MB,
             ry: mby * MB,
+            approx,
             visited: HashSet::new(),
             calls: Vec::new(),
             best: (Mv::default(), u32::MAX),
@@ -134,7 +141,16 @@ impl<'a> SearchCtx<'a> {
             return None;
         }
         let (cx, cy) = (cx as usize, cy as usize);
-        let sad = get_sad(self.cur, self.rx, self.ry, self.prev, cx, cy, kind);
+        let sad = get_sad_approx(
+            self.cur,
+            self.rx,
+            self.ry,
+            self.prev,
+            cx,
+            cy,
+            kind,
+            self.approx,
+        );
         self.calls.push(SadCall { cx, cy, kind, sad });
         if sad < self.best.1 {
             self.best = (mv, sad);
@@ -161,7 +177,7 @@ impl MotionSearch {
         pred: Mv,
     ) -> MbMotion {
         assert!(mbx < cur.mbs_x() && mby < cur.mbs_y(), "MB out of frame");
-        let mut ctx = SearchCtx::new(cur, prev, mbx, mby);
+        let mut ctx = SearchCtx::new(cur, prev, mbx, mby, self.approx);
         // Every strategy evaluates the zero vector and the prediction.
         let _ = ctx.try_mv(Mv::default());
         let (px, py) = pred.int_part();
@@ -306,6 +322,7 @@ mod tests {
         let ms = MotionSearch {
             algorithm: SearchAlgorithm::Full { range: 8 },
             half_sample: true,
+            approx: ApproxSad::Exact,
         };
         let m = ms.search_mb(&cur, &prev, 2, 2, Mv::default());
         assert_eq!(m.mv, Mv::from_int(3, -2));
@@ -327,6 +344,7 @@ mod tests {
         let ms = MotionSearch {
             algorithm: SearchAlgorithm::ThreeStep,
             half_sample: false,
+            approx: ApproxSad::Exact,
         };
         let m = ms.search_mb(&cur, &prev, 2, 2, Mv::default());
         assert_eq!(m.mv, Mv::from_int(-3, 2));
@@ -341,11 +359,80 @@ mod tests {
                 threshold: 0,
             },
             half_sample: false,
+            approx: ApproxSad::Exact,
         };
         let m = ms.search_mb(&cur, &prev, 1, 1, Mv::default());
         assert_eq!(m.best_sad, 0);
         // Early exit: far fewer calls than the full 17² candidates.
         assert!(m.calls.len() < 10, "{} calls", m.calls.len());
+    }
+
+    #[test]
+    fn diamond_visits_fewer_candidates_than_full_search() {
+        // Flat-motion synthetic sequence: a uniform (2, 1) shift.
+        let (cur, prev) = shifted_pair(2, 1);
+        let full = MotionSearch {
+            algorithm: SearchAlgorithm::Full { range: 8 },
+            half_sample: true,
+            approx: ApproxSad::Exact,
+        };
+        let diamond = MotionSearch::default();
+        let f = full.search_mb(&cur, &prev, 2, 2, Mv::default());
+        let d = diamond.search_mb(&cur, &prev, 2, 2, Mv::default());
+        assert_eq!(d.mv, f.mv, "diamond must find the same motion vector");
+        assert_eq!(d.best_sad, f.best_sad);
+        assert!(
+            d.calls.len() < f.calls.len(),
+            "diamond visited {} candidates, full search {}",
+            d.calls.len(),
+            f.calls.len()
+        );
+    }
+
+    #[test]
+    fn spiral_visits_fewer_candidates_than_full_search() {
+        let (cur, prev) = shifted_pair(2, 1);
+        let full = MotionSearch {
+            algorithm: SearchAlgorithm::Full { range: 8 },
+            half_sample: true,
+            approx: ApproxSad::Exact,
+        };
+        let spiral = MotionSearch {
+            algorithm: SearchAlgorithm::Spiral {
+                range: 8,
+                threshold: 0,
+            },
+            half_sample: true,
+            approx: ApproxSad::Exact,
+        };
+        let f = full.search_mb(&cur, &prev, 2, 2, Mv::default());
+        let s = spiral.search_mb(&cur, &prev, 2, 2, Mv::default());
+        assert_eq!(s.mv, f.mv, "spiral must find the same motion vector");
+        assert_eq!(s.best_sad, f.best_sad);
+        assert!(
+            s.calls.len() < f.calls.len(),
+            "spiral visited {} candidates, full search {}",
+            s.calls.len(),
+            f.calls.len()
+        );
+    }
+
+    #[test]
+    fn approximate_trace_carries_approximate_sads() {
+        let (cur, prev) = shifted_pair(1, 1);
+        let approx = ApproxSad::SubsampledRows { step: 2 };
+        let ms = MotionSearch {
+            approx,
+            ..MotionSearch::default()
+        };
+        let m = ms.search_mb(&cur, &prev, 1, 1, Mv::default());
+        for c in &m.calls {
+            assert_eq!(
+                c.sad,
+                crate::sad::get_sad_approx(&cur, 16, 16, &prev, c.cx, c.cy, c.kind, approx),
+                "{c:?}"
+            );
+        }
     }
 
     #[test]
@@ -367,7 +454,7 @@ mod tests {
         for c in &m.calls {
             assert_eq!(
                 c.sad,
-                get_sad(&cur, 16, 16, &prev, c.cx, c.cy, c.kind),
+                crate::sad::get_sad(&cur, 16, 16, &prev, c.cx, c.cy, c.kind),
                 "{c:?}"
             );
         }
@@ -402,6 +489,7 @@ mod tests {
         let ms = MotionSearch {
             algorithm: SearchAlgorithm::Full { range: 20 },
             half_sample: true,
+            approx: ApproxSad::Exact,
         };
         // Corner macroblock: large range would leave the plane.
         let m = ms.search_mb(&cur, &prev, 0, 0, Mv::default());

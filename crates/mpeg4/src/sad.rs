@@ -90,6 +90,97 @@ pub fn get_sad(
     sad
 }
 
+/// An approximate-SAD mode: trade SAD fidelity for kernel cycles. The
+/// scalar semantics here are the golden model; the VLIW kernels and the
+/// RFU loop implement exactly the same arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ApproxSad {
+    /// The exact SAD (the paper's baseline).
+    #[default]
+    Exact,
+    /// Sum only rows `0, step, 2·step, …` of the block.
+    SubsampledRows {
+        /// Row step; a power of two in `{2, 4}`.
+        step: u8,
+    },
+    /// Mask the `bits` low bits of every reference and (interpolated)
+    /// predictor pixel before the absolute difference.
+    ReducedPrecision {
+        /// Low bits dropped per pixel (`1..=4`).
+        bits: u8,
+    },
+    /// Accumulate full rows in order and stop as soon as the running SAD
+    /// exceeds `threshold` (the partial sum is returned).
+    EarlyExit {
+        /// The abort threshold.
+        threshold: u32,
+    },
+}
+
+impl ApproxSad {
+    /// Whether this is the exact mode.
+    #[must_use]
+    pub fn is_exact(self) -> bool {
+        self == ApproxSad::Exact
+    }
+
+    /// The per-pixel byte mask (`0xFF` except for
+    /// [`ApproxSad::ReducedPrecision`]).
+    #[must_use]
+    pub fn pixel_mask(self) -> u8 {
+        match self {
+            ApproxSad::ReducedPrecision { bits } => !((1u8 << bits.min(7)) - 1),
+            _ => 0xFF,
+        }
+    }
+
+    /// The row step (1 except for [`ApproxSad::SubsampledRows`]).
+    #[must_use]
+    pub fn row_step(self) -> usize {
+        match self {
+            ApproxSad::SubsampledRows { step } => usize::from(step.max(1)),
+            _ => 1,
+        }
+    }
+}
+
+/// [`get_sad`] under an approximation mode. `ApproxSad::Exact` is
+/// bit-identical to [`get_sad`].
+///
+/// # Panics
+///
+/// As for [`get_sad`].
+#[must_use]
+#[allow(clippy::too_many_arguments)] // mirrors `get_sad` plus the mode
+pub fn get_sad_approx(
+    cur: &Plane,
+    rx: usize,
+    ry: usize,
+    prev: &Plane,
+    cx: usize,
+    cy: usize,
+    kind: InterpKind,
+    approx: ApproxSad,
+) -> u32 {
+    let mask = approx.pixel_mask();
+    let mut sad = 0u32;
+    let mut y = 0;
+    while y < MB {
+        for x in 0..MB {
+            let r = cur.at(rx + x, ry + y) & mask;
+            let p = pred_pixel(prev, cx + x, cy + y, kind) & mask;
+            sad += u32::from(r.abs_diff(p));
+        }
+        if let ApproxSad::EarlyExit { threshold } = approx {
+            if sad > threshold {
+                return sad;
+            }
+        }
+        y += approx.row_step();
+    }
+    sad
+}
+
 /// Whether a candidate at integer position `(cx, cy)` with interpolation
 /// `kind` fits inside `plane`.
 #[must_use]
@@ -162,6 +253,118 @@ mod tests {
         assert!(!candidate_fits(&p, 16, 16, InterpKind::Diag));
         assert!(candidate_fits(&p, 15, 15, InterpKind::Diag));
         assert!(!candidate_fits(&p, -1, 0, InterpKind::None));
+    }
+
+    #[test]
+    fn exact_approx_mode_matches_get_sad() {
+        let p = ramp(64, 64);
+        for kind in [
+            InterpKind::None,
+            InterpKind::H,
+            InterpKind::V,
+            InterpKind::Diag,
+        ] {
+            assert_eq!(
+                get_sad_approx(&p, 8, 8, &p, 9, 10, kind, ApproxSad::Exact),
+                get_sad(&p, 8, 8, &p, 9, 10, kind),
+                "{kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn approx_modes_never_exceed_the_exact_sad() {
+        let p = ramp(64, 64);
+        for kind in [
+            InterpKind::None,
+            InterpKind::H,
+            InterpKind::V,
+            InterpKind::Diag,
+        ] {
+            let exact = get_sad(&p, 8, 8, &p, 11, 9, kind);
+            for approx in [
+                ApproxSad::SubsampledRows { step: 2 },
+                ApproxSad::SubsampledRows { step: 4 },
+                ApproxSad::EarlyExit { threshold: 100 },
+                ApproxSad::EarlyExit { threshold: 0 },
+            ] {
+                let a = get_sad_approx(&p, 8, 8, &p, 11, 9, kind, approx);
+                assert!(a <= exact, "{kind:?} {approx:?}: {a} > {exact}");
+            }
+        }
+    }
+
+    #[test]
+    fn early_exit_is_exact_or_above_threshold() {
+        let p = ramp(64, 64);
+        for threshold in [0u32, 50, 500, 5000, u32::MAX] {
+            let exact = get_sad(&p, 8, 8, &p, 12, 13, InterpKind::None);
+            let a = get_sad_approx(
+                &p,
+                8,
+                8,
+                &p,
+                12,
+                13,
+                InterpKind::None,
+                ApproxSad::EarlyExit { threshold },
+            );
+            assert!(a == exact || a > threshold, "t={threshold}: {a} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn reduced_precision_masks_both_operands() {
+        let mut cur = Plane::new(32, 32);
+        let mut prev = Plane::new(32, 32);
+        // Differences live entirely in the low 2 bits: masking them away
+        // must null the SAD.
+        for y in 0..32 {
+            for x in 0..32 {
+                cur.set(x, y, 0x40 | ((x as u8) & 3));
+                prev.set(x, y, 0x40 | ((y as u8) & 3));
+            }
+        }
+        assert_eq!(
+            get_sad_approx(
+                &cur,
+                0,
+                0,
+                &prev,
+                0,
+                0,
+                InterpKind::None,
+                ApproxSad::ReducedPrecision { bits: 2 }
+            ),
+            0
+        );
+        assert!(get_sad(&cur, 0, 0, &prev, 0, 0, InterpKind::None) > 0);
+    }
+
+    #[test]
+    fn subsampled_rows_sum_only_sampled_rows() {
+        let p = ramp(64, 64);
+        let mut manual = 0u32;
+        for y in (0..MB).step_by(4) {
+            for x in 0..MB {
+                let r = p.at(8 + x, 8 + y);
+                let q = pred_pixel(&p, 9 + x, 10 + y, InterpKind::Diag);
+                manual += u32::from(r.abs_diff(q));
+            }
+        }
+        assert_eq!(
+            get_sad_approx(
+                &p,
+                8,
+                8,
+                &p,
+                9,
+                10,
+                InterpKind::Diag,
+                ApproxSad::SubsampledRows { step: 4 }
+            ),
+            manual
+        );
     }
 
     #[test]

@@ -51,6 +51,65 @@ impl RfuBandwidth {
     }
 }
 
+/// SAD approximation realized by the RFU hardware (both the instruction
+/// kernels and the kernel-loop instruction).
+///
+/// This mirrors the encoder-side `ApproxSad` knob bit for bit — the host
+/// search records approximate SADs in its trace and the simulator replays
+/// them against these hardware semantics, so the two must agree exactly.
+/// The RFU crate cannot depend on the encoder crate, hence the mirror.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SadApprox {
+    /// Bit-exact SAD over all 256 pixels.
+    #[default]
+    Exact,
+    /// Only rows `0, step, 2·step, …` contribute; the hardware skips the
+    /// load and compute stages of the other rows entirely.
+    SubsampledRows {
+        /// Row subsampling step (2 or 4).
+        step: u8,
+    },
+    /// The low `bits` bits of every predictor and reference pixel are
+    /// forced to zero before the absolute difference (narrower adders).
+    ReducedPrecision {
+        /// Number of low bits dropped (1–4).
+        bits: u8,
+    },
+    /// Rows accumulate in order; once the partial SAD exceeds the
+    /// threshold the remaining rows no longer change the result. The loop
+    /// latency stays fixed — only the datapath gates off.
+    EarlyExit {
+        /// Partial-SAD threshold that stops further accumulation.
+        threshold: u32,
+    },
+}
+
+impl SadApprox {
+    /// Whether this is the exact mode.
+    #[must_use]
+    pub fn is_exact(self) -> bool {
+        matches!(self, SadApprox::Exact)
+    }
+
+    /// The AND-mask applied to every pixel before differencing.
+    #[must_use]
+    pub fn pixel_mask(self) -> u8 {
+        match self {
+            SadApprox::ReducedPrecision { bits } => !((1u8 << bits.min(7)) - 1),
+            _ => 0xFF,
+        }
+    }
+
+    /// Row stride of the accumulation (1 except for row subsampling).
+    #[must_use]
+    pub fn row_step(self) -> u32 {
+        match self {
+            SadApprox::SubsampledRows { step } => u32::from(step.max(1)),
+            _ => 1,
+        }
+    }
+}
+
 /// Parameters of the long-latency ME kernel-loop instruction.
 ///
 /// The static loop latency is pipelined over load, computation and write
@@ -77,6 +136,8 @@ pub struct MeLoopCfg {
     /// (the two-line-buffer scheme of Table 7; memory is then accessed at
     /// 1×32 only on misses).
     pub use_line_buffer_b: bool,
+    /// The SAD approximation the loop datapath implements.
+    pub approx: SadApprox,
 }
 
 impl MeLoopCfg {
@@ -94,7 +155,15 @@ impl MeLoopCfg {
             epilogue: 4,
             stride,
             use_line_buffer_b: false,
+            approx: SadApprox::Exact,
         }
+    }
+
+    /// The same loop with an approximate SAD datapath.
+    #[must_use]
+    pub fn with_approx(mut self, approx: SadApprox) -> Self {
+        self.approx = approx;
+        self
     }
 
     /// The two-line-buffer variant (Table 7): rows stream from Line Buffer
@@ -134,10 +203,26 @@ impl MeLoopCfg {
             0
         };
         self.prologue
-            + crate::PRED_ROWS as u64 * self.initiation_interval()
+            + self.loop_rows() * self.initiation_interval()
             + self.beta * self.compute_depth
             + self.epilogue
             + lb_pipe
+    }
+
+    /// Rows the pipelined loop statically iterates. Row subsampling
+    /// shortens the schedule: each sampled row needs itself plus (worst
+    /// case, for vertical/diagonal interpolation) the row below, so the
+    /// compiler sees `2·(16/step)` rows regardless of interpolation mode.
+    /// Early exit and reduced precision keep the full 17-row schedule —
+    /// they are datapath changes, not schedule changes.
+    #[must_use]
+    pub fn loop_rows(&self) -> u64 {
+        match self.approx {
+            SadApprox::SubsampledRows { step } if step > 1 => {
+                2 * (crate::MB_SIZE as u64 / u64::from(step))
+            }
+            _ => crate::PRED_ROWS as u64,
+        }
     }
 }
 
@@ -250,6 +335,33 @@ mod tests {
             let l1 = MeLoopCfg::new(bw, 1, 176).static_latency();
             let l5 = MeLoopCfg::new(bw, 5, 176).static_latency();
             assert_eq!(l5 - l1, 12, "{}", bw.label());
+        }
+    }
+
+    #[test]
+    fn subsampling_shortens_the_loop_schedule() {
+        let base = MeLoopCfg::new(RfuBandwidth::B1x32, 1, 176);
+        let s2 = base.with_approx(SadApprox::SubsampledRows { step: 2 });
+        let s4 = base.with_approx(SadApprox::SubsampledRows { step: 4 });
+        assert_eq!(base.loop_rows(), 17);
+        assert_eq!(s2.loop_rows(), 16);
+        assert_eq!(s4.loop_rows(), 8);
+        assert!(s4.static_latency() < s2.static_latency());
+        assert!(s2.static_latency() < base.static_latency());
+    }
+
+    #[test]
+    fn datapath_approximations_keep_the_schedule() {
+        let base = MeLoopCfg::new(RfuBandwidth::B1x64, 5, 176);
+        for approx in [
+            SadApprox::ReducedPrecision { bits: 2 },
+            SadApprox::EarlyExit { threshold: 4096 },
+        ] {
+            assert_eq!(
+                base.with_approx(approx).static_latency(),
+                base.static_latency(),
+                "{approx:?}"
+            );
         }
     }
 

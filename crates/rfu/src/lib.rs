@@ -41,10 +41,10 @@ pub mod reconfig;
 pub mod stats;
 pub mod unit;
 
-pub use config::{cfgs, MeLoopCfg, PrefetchPattern, RfuBandwidth, RfuConfig, ShortOp};
+pub use config::{cfgs, MeLoopCfg, PrefetchPattern, RfuBandwidth, RfuConfig, SadApprox, ShortOp};
 pub use dct::DctLoopCfg;
 pub use line_buffer::{LineBufferA, LineBufferB};
-pub use meloop::InterpMode;
+pub use meloop::{golden_sad_approx, InterpMode};
 pub use reconfig::ReconfigModel;
 pub use stats::RfuStats;
 pub use unit::{ExecOutcome, Rfu, RfuError};

@@ -9,7 +9,7 @@
 use rvliw_mem::{MemError, MemorySystem};
 use rvliw_trace::{RfuEvent, Tracer};
 
-use crate::config::MeLoopCfg;
+use crate::config::{MeLoopCfg, SadApprox};
 use crate::line_buffer::{LineBufferA, LineBufferB};
 use crate::stats::RfuStats;
 use crate::unit::RfuError;
@@ -96,14 +96,37 @@ pub fn golden_sad(
     stride: u32,
     mode: InterpMode,
 ) -> u32 {
+    golden_sad_approx(ram, ref_addr, cand_addr, stride, mode, SadApprox::Exact)
+}
+
+/// [`golden_sad`] under an approximate datapath: the same interpolation,
+/// with the mode's pixel mask, row subsampling and early-exit cutoff
+/// applied exactly as the encoder-side reference does.
+#[must_use]
+pub fn golden_sad_approx(
+    ram: &rvliw_mem::Ram,
+    ref_addr: u32,
+    cand_addr: u32,
+    stride: u32,
+    mode: InterpMode,
+    approx: SadApprox,
+) -> u32 {
     let p = |x: u32, y: u32| ram.load8(cand_addr + y * stride + x);
+    let mask = approx.pixel_mask();
     let mut sad = 0u32;
-    for y in 0..MB_SIZE as u32 {
+    let mut y = 0;
+    while y < MB_SIZE as u32 {
         for x in 0..MB_SIZE as u32 {
-            let pix = interp_pixel(p(x, y), p(x + 1, y), p(x, y + 1), p(x + 1, y + 1), mode);
-            let r = ram.load8(ref_addr + y * stride + x);
+            let pix = interp_pixel(p(x, y), p(x + 1, y), p(x, y + 1), p(x + 1, y + 1), mode) & mask;
+            let r = ram.load8(ref_addr + y * stride + x) & mask;
             sad += u32::from(pix.abs_diff(r));
         }
+        if let SadApprox::EarlyExit { threshold } = approx {
+            if sad > threshold {
+                return sad;
+            }
+        }
+        y += approx.row_step();
     }
     sad
 }
@@ -162,8 +185,27 @@ pub(crate) fn run_me_loop<T: Tracer + ?Sized>(
         }));
     }
 
-    for r in 0..pred_rows {
-        let offset = cfg.prologue + u64::from(r) * ii;
+    // The rows the walk actually touches: all of them in the exact modes,
+    // only the sampled rows (plus the row below each, for vertical and
+    // diagonal interpolation) under row subsampling. Early exit does not
+    // shorten the walk — the loop latency is compiler-visible and fixed.
+    let row_step = cfg.approx.row_step();
+    let needed_rows: Vec<u32> = if row_step == 1 {
+        (0..pred_rows).collect()
+    } else {
+        let mut v = Vec::new();
+        let mut y = 0;
+        while y < MB_SIZE as u32 {
+            v.push(y);
+            if mode.needs_extra_row() {
+                v.push(y + 1);
+            }
+            y += row_step;
+        }
+        v
+    };
+    for (i, &r) in needed_rows.iter().enumerate() {
+        let offset = cfg.prologue + i as u64 * ii;
         // --- predictor row: cache lines [row_addr, row_addr + cols) -------
         let row_addr = cand_addr + r * stride;
         let first_line = mem.dcache.line_of(row_addr);
@@ -206,7 +248,9 @@ pub(crate) fn run_me_loop<T: Tracer + ?Sized>(
             line += mem.dcache.geometry().line_size;
         }
         // --- reference row from Line Buffer A -----------------------------
-        if r < MB_SIZE as u32 {
+        // Only sampled rows difference against the reference; the +1 rows
+        // of a subsampled walk feed interpolation only.
+        if r % row_step == 0 && r < MB_SIZE as u32 {
             let eff = now + offset + stall;
             if lb_a.base() == Some(ref_addr) {
                 let ready = lb_a.row_ready_at(r as usize);
@@ -253,9 +297,11 @@ pub(crate) fn run_me_loop<T: Tracer + ?Sized>(
     // copies of RAM, but an injected bit flip in the gather must surface in
     // the SAD the scenario observes.
     let sad = if lb_a.base() == Some(ref_addr) {
-        sad_via_lba(lb_a, &mem.ram, ref_addr, cand_addr, stride, mode)
+        sad_via_lba(
+            lb_a, &mem.ram, ref_addr, cand_addr, stride, mode, cfg.approx,
+        )
     } else {
-        golden_sad(&mem.ram, ref_addr, cand_addr, stride, mode)
+        golden_sad_approx(&mem.ram, ref_addr, cand_addr, stride, mode, cfg.approx)
     };
     let busy = cfg.static_latency();
     stats.loops += 1;
@@ -273,20 +319,29 @@ fn sad_via_lba(
     cand_addr: u32,
     stride: u32,
     mode: InterpMode,
+    approx: SadApprox,
 ) -> u32 {
     let p = |x: u32, y: u32| ram.load8(cand_addr + y * stride + x);
+    let mask = approx.pixel_mask();
     let mut sad = 0u32;
-    for y in 0..MB_SIZE as u32 {
+    let mut y = 0;
+    while y < MB_SIZE as u32 {
         let gathered = lb_a.row_ready_at(y as usize) != u64::MAX;
         for x in 0..MB_SIZE as u32 {
-            let pix = interp_pixel(p(x, y), p(x + 1, y), p(x, y + 1), p(x + 1, y + 1), mode);
+            let pix = interp_pixel(p(x, y), p(x + 1, y), p(x, y + 1), p(x + 1, y + 1), mode) & mask;
             let r = if gathered {
                 lb_a.row(y as usize)[x as usize]
             } else {
                 ram.load8(ref_addr + y * stride + x)
-            };
+            } & mask;
             sad += u32::from(pix.abs_diff(r));
         }
+        if let SadApprox::EarlyExit { threshold } = approx {
+            if sad > threshold {
+                return sad;
+            }
+        }
+        y += approx.row_step();
     }
     sad
 }

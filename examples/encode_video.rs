@@ -23,6 +23,7 @@ fn main() {
         search: MotionSearch {
             algorithm: SearchAlgorithm::Diamond,
             half_sample: true,
+            approx: rvliw::mpeg4::ApproxSad::Exact,
         },
     });
     let report = encoder.encode(&seq);

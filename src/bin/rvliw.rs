@@ -5,6 +5,7 @@
 //! rvliw run <file.s> [rN=V..]  assemble and execute; prints changed GPRs
 //! rvliw trace <file.s> [rN=V]  like run, with a per-bundle execution trace
 //! rvliw sweep <spec.json>      expand and run a declarative experiment spec
+//!                              (also: rvliw sweep --spec <spec.json>)
 //! rvliw cache <stats|clear|verify>  inspect the scenario result cache
 //! rvliw arch                   print the Figure 1 block diagram
 //! ```
@@ -26,10 +27,14 @@
 //! `sweep` accepts:
 //!
 //! ```text
+//! --spec FILE         the spec file (equivalent to the positional path)
 //! --threads N         worker threads (0 = auto; default: RVLIW_THREADS or
 //!                     all cores)
 //! --frames N          override the spec's QCIF workload length
 //! --out FILE          also write the result matrix as JSON
+//! --pareto            print the cycles-vs-quality Pareto partition as
+//!                     JSON (rows without a quality block are skipped)
+//! --pareto-out FILE   write that partition to FILE instead of stdout
 //! --cache-dir DIR     reuse cached scenario results from DIR (also:
 //!                     RVLIW_CACHE_DIR); results are bit-identical to an
 //!                     uncached run, a summary line reports hits/misses
@@ -68,8 +73,8 @@ fn usage() -> ExitCode {
         "usage: rvliw <asm|run|trace> <file.s> [rN=value ...] \
          [--trace FILE] [--metrics-out FILE]\n       \
          [--fault-profile PROFILE] [--fault-seed N] [--backend B]\n       \
-         rvliw sweep <spec.json> [--threads N] [--frames N] [--out FILE]\n       \
-         [--cache-dir DIR] [--no-cache] [--backend B]\n       \
+         rvliw sweep <spec.json | --spec FILE> [--threads N] [--frames N] [--out FILE]\n       \
+         [--pareto] [--pareto-out FILE] [--cache-dir DIR] [--no-cache] [--backend B]\n       \
          rvliw cache <stats|clear|verify> [--cache-dir DIR] [--sample N] [--threads N]\n       \
          rvliw arch"
     );
@@ -202,17 +207,32 @@ fn execute(path: &str, rest: &[String], trace: bool) -> Result<(), String> {
     Ok(())
 }
 
-/// `rvliw sweep <spec.json>`: expand a declarative experiment spec and run
-/// its scenario matrix on the deterministic parallel runner.
-fn run_sweep(path: &str, rest: &[String]) -> Result<(), String> {
+/// `rvliw sweep <spec.json>` (or `--spec <spec.json>`): expand a
+/// declarative experiment spec and run its scenario matrix on the
+/// deterministic parallel runner.
+fn run_sweep(rest: &[String]) -> Result<(), String> {
+    let mut path: Option<String> = None;
     let mut threads = rvliw::exp::default_threads();
     let mut frames: Option<usize> = None;
     let mut out_path: Option<String> = None;
+    let mut pareto = false;
+    let mut pareto_out: Option<String> = None;
     let mut cache_dir = rvliw::exp::default_cache_dir();
     let mut no_cache = false;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--spec" => {
+                path = Some(it.next().ok_or("--spec needs a spec file")?.clone());
+            }
+            "--pareto" => pareto = true,
+            "--pareto-out" => {
+                pareto_out = Some(
+                    it.next()
+                        .ok_or("--pareto-out needs an output file")?
+                        .clone(),
+                );
+            }
             "--threads" => {
                 let v = it.next().ok_or("--threads needs an integer (0 = auto)")?;
                 threads = rvliw::exp::parse_threads(v).map_err(|e| format!("--threads: {e}"))?;
@@ -238,9 +258,15 @@ fn run_sweep(path: &str, rest: &[String]) -> Result<(), String> {
                     .parse::<ExecBackend>()?
                     .set_process_default();
             }
+            other if !other.starts_with('-') && path.is_none() => {
+                path = Some(other.to_owned());
+            }
             other => return Err(format!("unknown sweep argument `{other}`")),
         }
     }
+    let path =
+        path.ok_or("no spec file (pass a spec path, positionally or through --spec FILE)")?;
+    let path = path.as_str();
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let spec = ExperimentSpec::from_json_str(&text).map_err(|e| format!("{path}: {e}"))?;
     let sweep = Sweep::expand(spec).map_err(|e| format!("{path}: {e}"))?;
@@ -276,6 +302,16 @@ fn run_sweep(path: &str, rest: &[String]) -> Result<(), String> {
         std::fs::write(&out_path, outcome.to_json_string())
             .map_err(|e| format!("{out_path}: {e}"))?;
         eprintln!("wrote result matrix to {out_path}");
+    }
+    if pareto || pareto_out.is_some() {
+        let partition = outcome.pareto();
+        if pareto {
+            print!("{}", partition.to_json_string());
+        }
+        if let Some(pp) = pareto_out {
+            std::fs::write(&pp, partition.to_json_string()).map_err(|e| format!("{pp}: {e}"))?;
+            eprintln!("wrote Pareto partition to {pp}");
+        }
     }
     if outcome.is_complete() {
         Ok(())
@@ -387,7 +423,7 @@ fn main() -> ExitCode {
             None => return usage(),
         },
         Some("sweep") => match args.get(1) {
-            Some(path) => run_sweep(path, &args[2..]),
+            Some(_) => run_sweep(&args[1..]),
             None => return usage(),
         },
         Some("cache") => match args.get(1) {

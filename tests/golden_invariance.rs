@@ -1,0 +1,72 @@
+//! Golden invariance of the content-addressed cache under the
+//! approximation axis.
+//!
+//! The approximate-ME work added `approx`/`search` fields to [`Scenario`],
+//! rerouted the instruction-level program build through
+//! `build_getsad_approx` and extended the result payload with an optional
+//! quality block. None of that may move a single pre-existing cache key:
+//! a warm cache populated before the axis existed must keep hitting.
+//!
+//! The hex digests below were captured by the pre-change build (same
+//! workload, same scenarios). They are fixtures, not derived values — do
+//! not regenerate them from the code under test.
+
+use rvliw::exp::{scenario_key, workload_digest, Scenario, Workload};
+use rvliw::rfu::RfuBandwidth;
+
+fn tiny() -> Workload {
+    Workload::tiny()
+}
+
+#[test]
+fn tiny_workload_digest_is_stable() {
+    assert_eq!(
+        workload_digest(&tiny()).hex(),
+        "7151fa919db994634ed0b82612ed9887"
+    );
+}
+
+#[test]
+fn paper_grid_scenario_keys_are_stable() {
+    let digest = workload_digest(&tiny());
+    let expected = [
+        (Scenario::orig(), "cea882f92fcb1350cd347468db5779a4"),
+        (Scenario::a1(), "1c60ac26421e37d53b9e574c2e0e3831"),
+        (Scenario::a2(), "ed65772231c83055b03188dded8bb369"),
+        (Scenario::a3(), "2df9f03b155a7e0e020eb2c3f27507a2"),
+        (
+            Scenario::loop_level(RfuBandwidth::B1x32, 1),
+            "4cec9115c2ec5f6f9428618d1c58a373",
+        ),
+        (
+            Scenario::loop_level(RfuBandwidth::B1x32, 5),
+            "605c29a685e9f0cfe49979d98dbc3353",
+        ),
+        (
+            Scenario::loop_level(RfuBandwidth::B1x64, 1),
+            "906633916208bfc38db153eee8a6e0e7",
+        ),
+        (
+            Scenario::loop_level(RfuBandwidth::B1x64, 5),
+            "bd35261444166fd3726b8dba4ffdedb7",
+        ),
+        (
+            Scenario::loop_level(RfuBandwidth::B2x64, 1),
+            "687b7ff1f26e4f0fcefba19beed5dee3",
+        ),
+        (
+            Scenario::loop_level(RfuBandwidth::B2x64, 5),
+            "0b7cdad91172b6f7ba9bc06dd01051bb",
+        ),
+        (Scenario::loop_two_lb(1), "6fcd67829628381f4059334db0480cb3"),
+        (Scenario::loop_two_lb(5), "4fd63cae67a7708f1e6b2a56813b9183"),
+    ];
+    for (sc, hex) in expected {
+        assert_eq!(
+            scenario_key(&sc, digest).hex(),
+            hex,
+            "key moved for `{}` — pre-axis cache entries would all miss",
+            sc.label
+        );
+    }
+}

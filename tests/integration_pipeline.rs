@@ -81,6 +81,7 @@ fn search_algorithm_changes_the_workload_not_the_kernels() {
                 search: MotionSearch {
                     algorithm,
                     half_sample: true,
+                    approx: rvliw::mpeg4::ApproxSad::Exact,
                 },
             },
         );

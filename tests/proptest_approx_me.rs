@@ -1,0 +1,249 @@
+//! Differential property suite for approximate motion estimation.
+//!
+//! Three independent implementations of every approximate-SAD mode exist:
+//! the scalar encoder reference (`mpeg4::sad::get_sad_approx`), the
+//! simulated instruction-level VLIW kernels (`build_getsad_approx`) and
+//! the RFU loop datapath (`golden_sad_approx`). The properties here pin
+//! them to each other bit for bit across random pixels, candidates,
+//! interpolation kinds and approximation parameters — and pin the exact
+//! mode to `get_sad`, the golden model of the paper's baseline.
+//!
+//! The end-to-end check rides on the replay contract: `run_me` re-encodes
+//! the workload under the scenario's approximate configuration and
+//! asserts every simulated `GetSad` against the host encoder, so a
+//! successful run *is* the differential.
+
+use proptest::prelude::*;
+
+use rvliw::exp::{run_me, Scenario, SimSession, Workload};
+use rvliw::isa::MachineConfig;
+use rvliw::kernels::regs::{ARG_CAND, ARG_INTERP, ARG_REF, ARG_STRIDE, RESULT};
+use rvliw::kernels::{build_getsad_approx, Variant};
+use rvliw::mpeg4::me::SearchAlgorithm;
+use rvliw::mpeg4::sad::{get_sad, get_sad_approx, ApproxSad, InterpKind};
+use rvliw::mpeg4::types::Plane;
+use rvliw::rfu::{golden_sad_approx, InterpMode, MeLoopCfg, RfuBandwidth, SadApprox};
+use rvliw::sim::Machine;
+
+const STRIDE: usize = 176;
+const HEIGHT: usize = 48;
+
+/// The host-side approximation as the RFU-side mirror enum (the same
+/// mapping `core::scenario` applies when it builds kernels).
+fn to_rfu(approx: ApproxSad) -> SadApprox {
+    match approx {
+        ApproxSad::Exact => SadApprox::Exact,
+        ApproxSad::SubsampledRows { step } => SadApprox::SubsampledRows { step },
+        ApproxSad::ReducedPrecision { bits } => SadApprox::ReducedPrecision { bits },
+        ApproxSad::EarlyExit { threshold } => SadApprox::EarlyExit { threshold },
+    }
+}
+
+/// Every interpolation kind with its RFU mirror and kernel argument code.
+const KINDS: [(InterpKind, InterpMode, u32); 4] = [
+    (InterpKind::None, InterpMode::None, 0),
+    (InterpKind::H, InterpMode::H, 1),
+    (InterpKind::V, InterpMode::V, 2),
+    (InterpKind::Diag, InterpMode::Diag, 3),
+];
+
+fn arb_approx() -> impl Strategy<Value = ApproxSad> {
+    prop_oneof![
+        Just(ApproxSad::Exact),
+        prop_oneof![Just(2u8), Just(4u8)].prop_map(|step| ApproxSad::SubsampledRows { step }),
+        (1u8..=4).prop_map(|bits| ApproxSad::ReducedPrecision { bits }),
+        (0u32..20_000).prop_map(|threshold| ApproxSad::EarlyExit { threshold }),
+    ]
+}
+
+fn textured_plane(seed: u32) -> Plane {
+    let mut p = Plane::new(STRIDE, HEIGHT);
+    for y in 0..HEIGHT {
+        for x in 0..STRIDE {
+            let v = (x as u32)
+                .wrapping_mul(31)
+                .wrapping_add((y as u32).wrapping_mul(17))
+                .wrapping_add(seed.wrapping_mul(97))
+                .wrapping_mul(2_654_435_761);
+            p.set(x, y, (v >> 24) as u8);
+        }
+    }
+    p
+}
+
+/// Loads a plane into simulator RAM, returning its base address.
+fn load_plane(m: &mut Machine, p: &Plane) -> u32 {
+    let base = m.mem.ram.alloc((p.width() * p.height()) as u32, 32);
+    for y in 0..p.height() {
+        m.mem
+            .ram
+            .write_bytes(base + (y * p.width()) as u32, p.row(y));
+    }
+    base
+}
+
+fn machine_with_rfu() -> Machine {
+    SimSession::st200()
+        .me_loop(MeLoopCfg::new(RfuBandwidth::B1x32, 1, STRIDE as u32))
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24 })]
+
+    /// Every simulated instruction-level kernel returns exactly the SAD
+    /// the scalar encoder reference computes, for every variant,
+    /// interpolation kind, candidate alignment and approximation mode.
+    #[test]
+    fn instruction_kernels_match_the_scalar_reference(
+        seed_cur in 0u32..1_000,
+        seed_prev in 1_000u32..2_000,
+        variant_ix in 0usize..4,
+        kind_ix in 0usize..4,
+        approx in arb_approx(),
+        cx in 17usize..150,
+        cy in 3usize..28,
+    ) {
+        let variant = [Variant::Orig, Variant::A1, Variant::A2, Variant::A3][variant_ix];
+        let (kind, _, interp_code) = KINDS[kind_ix];
+        let cur = textured_plane(seed_cur);
+        let prev = textured_plane(seed_prev);
+        let reference = get_sad_approx(&cur, 16, 16, &prev, cx, cy, kind, approx);
+        let code = build_getsad_approx(variant, to_rfu(approx), &MachineConfig::st200());
+        let mut m = machine_with_rfu();
+        let cur_base = load_plane(&mut m, &cur);
+        let prev_base = load_plane(&mut m, &prev);
+        m.set_gpr(ARG_REF, cur_base + (16 * STRIDE + 16) as u32);
+        m.set_gpr(ARG_CAND, prev_base + (cy * STRIDE + cx) as u32);
+        m.set_gpr(ARG_INTERP, interp_code);
+        m.set_gpr(ARG_STRIDE, STRIDE as u32);
+        if let Err(e) = m.run(&code) {
+            panic!("{variant:?} {kind:?} {approx:?}: kernel run failed: {e}");
+        }
+        prop_assert_eq!(
+            m.gpr(RESULT), reference,
+            "variant {:?} kind {:?} approx {:?} cand ({}, {})",
+            variant, kind, approx, cx, cy
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96 })]
+
+    /// The RFU loop datapath's golden model agrees with the scalar
+    /// encoder reference for every mode and candidate position.
+    #[test]
+    fn rfu_loop_datapath_matches_the_scalar_reference(
+        seed_cur in 0u32..1_000,
+        seed_prev in 1_000u32..2_000,
+        kind_ix in 0usize..4,
+        approx in arb_approx(),
+        rx in 0usize..150,
+        ry in 0usize..28,
+        cx in 0usize..150,
+        cy in 0usize..28,
+    ) {
+        let (kind, mode, _) = KINDS[kind_ix];
+        let cur = textured_plane(seed_cur);
+        let prev = textured_plane(seed_prev);
+        let mut ram = rvliw::mem::Ram::new(1 << 20);
+        let r_base = ram.alloc((STRIDE * HEIGHT) as u32, 32);
+        let c_base = ram.alloc((STRIDE * HEIGHT) as u32, 32);
+        for y in 0..HEIGHT {
+            ram.write_bytes(r_base + (y * STRIDE) as u32, cur.row(y));
+            ram.write_bytes(c_base + (y * STRIDE) as u32, prev.row(y));
+        }
+        let got = golden_sad_approx(
+            &ram,
+            r_base + (ry * STRIDE + rx) as u32,
+            c_base + (cy * STRIDE + cx) as u32,
+            STRIDE as u32,
+            mode,
+            to_rfu(approx),
+        );
+        prop_assert_eq!(
+            got,
+            get_sad_approx(&cur, rx, ry, &prev, cx, cy, kind, approx),
+            "kind {:?} approx {:?} ref ({}, {}) cand ({}, {})",
+            kind, approx, rx, ry, cx, cy
+        );
+    }
+}
+
+/// The exact mode of the approximate kernel builder is bit-identical to
+/// `mpeg4::sad::get_sad` — the paper's baseline semantics survive the
+/// approximation plumbing untouched.
+#[test]
+fn exact_mode_kernels_are_bit_identical_to_get_sad() {
+    let cur = textured_plane(11);
+    let prev = textured_plane(22);
+    for variant in [Variant::Orig, Variant::A1, Variant::A2, Variant::A3] {
+        let code = build_getsad_approx(variant, SadApprox::Exact, &MachineConfig::st200());
+        let mut m = machine_with_rfu();
+        let cur_base = load_plane(&mut m, &cur);
+        let prev_base = load_plane(&mut m, &prev);
+        for (kind, _, interp_code) in KINDS {
+            for align in 0..4usize {
+                let (cx, cy) = (20 + align, 9);
+                m.set_gpr(ARG_REF, cur_base + (16 * STRIDE + 16) as u32);
+                m.set_gpr(ARG_CAND, prev_base + (cy * STRIDE + cx) as u32);
+                m.set_gpr(ARG_INTERP, interp_code);
+                m.set_gpr(ARG_STRIDE, STRIDE as u32);
+                assert!(
+                    m.run(&code).is_ok(),
+                    "{variant:?} {kind:?} align {align}: kernel run failed"
+                );
+                assert_eq!(
+                    m.gpr(RESULT),
+                    get_sad(&cur, 16, 16, &prev, cx, cy, kind),
+                    "{variant:?} {kind:?} align {align}"
+                );
+            }
+        }
+    }
+}
+
+/// End-to-end replay at both scenario levels: the derived workload's
+/// trace replays cleanly (every simulated `GetSad` checked against the
+/// host encoder) and carries a non-negative quality block.
+#[test]
+fn approx_scenarios_replay_end_to_end() {
+    let workload = Workload::tiny();
+    let scenarios: Vec<Scenario> = [
+        ApproxSad::SubsampledRows { step: 2 },
+        ApproxSad::ReducedPrecision { bits: 2 },
+        ApproxSad::EarlyExit { threshold: 4096 },
+    ]
+    .into_iter()
+    .flat_map(|approx| {
+        [
+            Scenario::a3().with_approx(approx),
+            Scenario::loop_level(RfuBandwidth::B1x32, 1).with_approx(approx),
+        ]
+    })
+    .chain([
+        Scenario::a3().with_search(SearchAlgorithm::Diamond),
+        Scenario::loop_level(RfuBandwidth::B1x32, 1).with_search(SearchAlgorithm::Spiral {
+            range: 8,
+            threshold: 256,
+        }),
+    ])
+    .collect();
+    for sc in scenarios {
+        match run_me(&sc, &workload) {
+            Ok(res) => {
+                let Some(q) = res.quality else {
+                    panic!("`{}`: derived replay lost its quality block", sc.label);
+                };
+                assert!(
+                    q.sad_inflation >= 0.0,
+                    "`{}`: negative inflation {}",
+                    sc.label,
+                    q.sad_inflation
+                );
+            }
+            Err(e) => panic!("`{}`: replay diverged: {e}", sc.label),
+        }
+    }
+}

@@ -20,6 +20,8 @@ use rvliw::exp::{
 };
 use rvliw::fault::{FaultPlan, FaultProfile};
 use rvliw::kernels::Variant;
+use rvliw::mpeg4::me::SearchAlgorithm;
+use rvliw::mpeg4::ApproxSad;
 use rvliw::rfu::RfuBandwidth;
 
 /// The tiny workload's digest, computed once (encoding is deterministic,
@@ -116,6 +118,25 @@ fn arb_fault_plan() -> impl Strategy<Value = FaultPlan> {
         )
 }
 
+fn arb_approx() -> impl Strategy<Value = ApproxSad> {
+    prop_oneof![
+        Just(ApproxSad::Exact),
+        (2u8..5).prop_map(|step| ApproxSad::SubsampledRows { step }),
+        (1u8..5).prop_map(|bits| ApproxSad::ReducedPrecision { bits }),
+        (0u32..10_000).prop_map(|threshold| ApproxSad::EarlyExit { threshold }),
+    ]
+}
+
+fn arb_search() -> impl Strategy<Value = SearchAlgorithm> {
+    prop_oneof![
+        Just(SearchAlgorithm::Diamond),
+        Just(SearchAlgorithm::ThreeStep),
+        (1i16..12).prop_map(|range| SearchAlgorithm::Full { range }),
+        (1i16..12, 0u32..2_000)
+            .prop_map(|(range, threshold)| SearchAlgorithm::Spiral { range, threshold }),
+    ]
+}
+
 fn arb_scenario() -> impl Strategy<Value = Scenario> {
     let base = prop_oneof![
         prop_oneof![
@@ -141,13 +162,19 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
         proptest::option::of(1usize..64),
         proptest::option::of(1u64..1_000_000),
         arb_fault_plan(),
+        arb_approx(),
+        proptest::option::of(arb_search()),
     )
-        .prop_map(|(mut sc, lbb, limit, fault)| {
+        .prop_map(|(mut sc, lbb, limit, fault, approx, search)| {
             if let Some(lines) = lbb {
                 sc = sc.with_lbb_bank_lines(lines);
             }
             if let Some(limit) = limit {
                 sc = sc.with_cycle_limit(limit);
+            }
+            sc = sc.with_approx(approx);
+            if let Some(search) = search {
+                sc = sc.with_search(search);
             }
             sc.with_fault_plan(fault)
         })
@@ -187,6 +214,37 @@ proptest! {
         let mut sc = base.clone();
         sc.lbb_bank_lines = Some(sc.lbb_bank_lines.map_or(1, |l| l + 1));
         variants.push(("lbb_bank_lines", sc));
+
+        // Toggling the approximation on/off changes the key…
+        let mut sc = base.clone();
+        sc.approx = match sc.approx {
+            ApproxSad::Exact => ApproxSad::SubsampledRows { step: 2 },
+            _ => ApproxSad::Exact,
+        };
+        variants.push(("approx", sc));
+        // …and so does nudging the parameter of an active approximation.
+        let bumped = match base.approx {
+            ApproxSad::Exact => None,
+            ApproxSad::SubsampledRows { step } => Some(ApproxSad::SubsampledRows { step: step + 1 }),
+            ApproxSad::ReducedPrecision { bits } => {
+                Some(ApproxSad::ReducedPrecision { bits: bits + 1 })
+            }
+            ApproxSad::EarlyExit { threshold } => Some(ApproxSad::EarlyExit {
+                threshold: threshold.wrapping_add(1),
+            }),
+        };
+        if let Some(approx) = bumped {
+            let mut sc = base.clone();
+            sc.approx = approx;
+            variants.push(("approx.param", sc));
+        }
+        let mut sc = base.clone();
+        sc.search = match sc.search {
+            None => Some(SearchAlgorithm::Diamond),
+            Some(SearchAlgorithm::Diamond) => Some(SearchAlgorithm::ThreeStep),
+            Some(_) => None,
+        };
+        variants.push(("search", sc));
 
         let bump_u32 = |v: u32| v.wrapping_add(1);
         let bump_u64 = |v: u64| v.wrapping_add(1);

@@ -93,10 +93,12 @@ proptest! {
         let full = MotionSearch {
             algorithm: SearchAlgorithm::Full { range: 6 },
             half_sample: false,
+            approx: rvliw::mpeg4::ApproxSad::Exact,
         };
         let diamond = MotionSearch {
             algorithm: SearchAlgorithm::Diamond,
             half_sample: false,
+            approx: rvliw::mpeg4::ApproxSad::Exact,
         };
         let f = full.search_mb(&cur, &prev, 1, 1, Mv::default());
         let d = diamond.search_mb(&cur, &prev, 1, 1, Mv::default());
@@ -127,10 +129,12 @@ proptest! {
         let int_only = MotionSearch {
             algorithm: SearchAlgorithm::Diamond,
             half_sample: false,
+            approx: rvliw::mpeg4::ApproxSad::Exact,
         };
         let with_half = MotionSearch {
             algorithm: SearchAlgorithm::Diamond,
             half_sample: true,
+            approx: rvliw::mpeg4::ApproxSad::Exact,
         };
         let a = int_only.search_mb(&cur, &prev, 1, 1, Mv::default());
         let b = with_half.search_mb(&cur, &prev, 1, 1, Mv::default());

@@ -12,6 +12,8 @@ use proptest::prelude::*;
 use rvliw::exp::{ExperimentSpec, ReconfigSpec, SpecError, SweepAxes};
 use rvliw::fault::FaultProfile;
 use rvliw::kernels::Variant;
+use rvliw::mpeg4::me::SearchAlgorithm;
+use rvliw::mpeg4::ApproxSad;
 use rvliw::rfu::RfuBandwidth;
 
 fn arb_name() -> impl Strategy<Value = String> {
@@ -52,9 +54,39 @@ fn arb_reconfig() -> impl Strategy<Value = ReconfigSpec> {
     })
 }
 
+fn arb_approx_axis() -> impl Strategy<Value = Vec<ApproxSad>> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(ApproxSad::Exact),
+            (2u8..5).prop_map(|step| ApproxSad::SubsampledRows { step }),
+            (1u8..5).prop_map(|bits| ApproxSad::ReducedPrecision { bits }),
+            (0u32..10_000).prop_map(|threshold| ApproxSad::EarlyExit { threshold }),
+        ],
+        1..3,
+    )
+}
+
+fn arb_search_axis() -> impl Strategy<Value = Vec<Option<SearchAlgorithm>>> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(None),
+            Just(Some(SearchAlgorithm::Diamond)),
+            Just(Some(SearchAlgorithm::ThreeStep)),
+            (1i16..12).prop_map(|range| Some(SearchAlgorithm::Full { range })),
+            (1i16..12, 0u32..2_000)
+                .prop_map(|(range, threshold)| Some(SearchAlgorithm::Spiral { range, threshold })),
+        ],
+        1..3,
+    )
+}
+
 fn arb_axes() -> impl Strategy<Value = SweepAxes> {
     prop_oneof![
-        arb_variants().prop_map(SweepAxes::instruction),
+        (arb_variants(), arb_approx_axis(), arb_search_axis()).prop_map(|(v, ap, se)| {
+            SweepAxes::instruction(v)
+                .with_approx_axis(ap)
+                .with_search_axis(se)
+        }),
         (
             proptest::collection::vec(
                 prop_oneof![
@@ -68,15 +100,27 @@ fn arb_axes() -> impl Strategy<Value = SweepAxes> {
             proptest::collection::vec(any::<bool>(), 1..3),
             proptest::collection::vec(prop_oneof![Just(None), (1usize..64).prop_map(Some)], 1..3),
             proptest::collection::vec(arb_reconfig(), 1..3),
+            arb_approx_axis(),
+            arb_search_axis(),
         )
             .prop_map(
-                |(bandwidths, betas, two_line_buffers, lbb_bank_lines, reconfig)| {
+                |(
+                    bandwidths,
+                    betas,
+                    two_line_buffers,
+                    lbb_bank_lines,
+                    reconfig,
+                    approx,
+                    search,
+                )| {
                     SweepAxes::Loop {
                         bandwidths,
                         betas,
                         two_line_buffers,
                         lbb_bank_lines,
                         reconfig,
+                        approx,
+                        search,
                     }
                 }
             ),
