@@ -9,6 +9,7 @@
 //!     [--metrics-out FILE] [--trace FILE] [--threads N] [--spec PATH]
 //!     [--cache-dir DIR] [--no-cache] [--backend B]
 //!     [--fault-seed N] [--fault-profile PROFILE]
+//!     [--journal FILE] [--resume FILE] [--max-retries N] [--timeout-secs S]
 //! cargo run --release -p rvliw-bench --bin tables -- --check BENCH_tables.json \
 //!     [--min-cycles-per-sec-ratio R]
 //! ```
@@ -65,6 +66,14 @@
 //! a per-scenario failure report goes to stderr, and the process exits
 //! non-zero. `--bench-json`, `--write` and `--check` refuse to run under
 //! a non-inert plan so golden artifacts are never polluted.
+//!
+//! `--journal FILE` appends every scenario outcome to FILE (JSONL) as it
+//! lands; `--resume FILE` replays the completed entries of a previous
+//! run's journal instead of re-simulating them, bit-identically.
+//! `--max-retries N` retries transient failures with deterministically
+//! reseeded fault substreams; `--timeout-secs S` arms a wall-clock
+//! watchdog per scenario attempt. Supervised runs print a `health: …`
+//! summary line and `--metrics-out` gains a top-level `"health"` object.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -74,7 +83,8 @@ use mpeg4_enc::QualityMetrics;
 use rvliw_bench::paper;
 use rvliw_core::tables::CaseStudy;
 use rvliw_core::{
-    arch, run_me_with_tracer, ExperimentSpec, Scenario, ScenarioCache, TablesSnapshot, Workload,
+    arch, run_me_with_tracer, run_summary, ExperimentSpec, HealthReport, Journal, Scenario,
+    ScenarioCache, SupervisorConfig, TablesSnapshot, Workload,
 };
 use rvliw_fault::{FaultPlan, FaultProfile};
 use rvliw_isa::MachineConfig;
@@ -256,25 +266,31 @@ fn load_specs(path: &str) -> Result<Vec<ExperimentSpec>, String> {
         .collect()
 }
 
-/// Runs the case study — from `specs` when given, else the built-in grid.
+/// Runs the case study — from `specs` when given, else the built-in grid —
+/// under the supervisor (with [`SupervisorConfig::default`] that is exactly
+/// the plain cached run), returning the tables plus the run's health
+/// report.
 fn run_case_study(
     specs: Option<&[ExperimentSpec]>,
     workload: &Workload,
     plan: FaultPlan,
     threads: usize,
     cache: Option<&ScenarioCache>,
-) -> Result<CaseStudy, String> {
+    config: &SupervisorConfig,
+) -> Result<(CaseStudy, HealthReport), String> {
     let progress = |label: &str| eprintln!("  scenario {label} …");
     match specs {
-        Some(specs) => CaseStudy::run_from_specs_cached(specs, workload, threads, progress, cache)
-            .map_err(|e| e.to_string()),
+        Some(specs) => {
+            CaseStudy::run_from_specs_supervised(specs, workload, threads, progress, cache, config)
+                .map_err(|e| e.to_string())
+        }
         None => {
             let scenarios: Vec<Scenario> = CaseStudy::scenarios()
                 .into_iter()
                 .map(|sc| sc.with_fault_plan(plan))
                 .collect();
-            Ok(CaseStudy::run_scenarios_cached(
-                &scenarios, workload, threads, progress, cache,
+            Ok(CaseStudy::run_scenarios_supervised(
+                &scenarios, workload, threads, progress, cache, config,
             ))
         }
     }
@@ -302,7 +318,14 @@ fn bench_backends(
         backend.set_process_default();
         let before = backend_totals();
         let t = Instant::now();
-        let cs = run_case_study(specs, workload, FaultPlan::none(), threads, None)?;
+        let (cs, _) = run_case_study(
+            specs,
+            workload,
+            FaultPlan::none(),
+            threads,
+            None,
+            &SupervisorConfig::default(),
+        )?;
         let wall_s = t.elapsed().as_secs_f64();
         let after = backend_totals();
         let simulated: u64 = cs
@@ -399,10 +422,12 @@ fn collect_quality(cs: &CaseStudy) -> Vec<(String, QualityMetrics)> {
         .collect()
 }
 
-/// Prints the cache traffic summary after a (potentially warm) run.
-fn report_cache(cache: Option<&ScenarioCache>) {
-    if let Some(cache) = cache {
-        eprintln!("{}", cache.counts().summary_line());
+/// Prints the shared run summary (cache traffic + supervision health)
+/// after a run, through the same formatting helper `rvliw sweep` uses.
+fn report_run(cache: Option<&ScenarioCache>, health: Option<&HealthReport>) {
+    let summary = run_summary(cache.map(ScenarioCache::counts).as_ref(), health);
+    if !summary.is_empty() {
+        eprintln!("{summary}");
     }
 }
 
@@ -416,6 +441,7 @@ fn run_check(
     cache_dir: Option<&str>,
     no_cache: bool,
     min_cps_ratio: Option<f64>,
+    config: &SupervisorConfig,
 ) -> ExitCode {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -461,15 +487,22 @@ fn run_check(
         }
     };
     let t_run = Instant::now();
-    let cs = match run_case_study(specs, &workload, FaultPlan::none(), threads, cache.as_ref()) {
-        Ok(cs) => cs,
+    let (cs, health) = match run_case_study(
+        specs,
+        &workload,
+        FaultPlan::none(),
+        threads,
+        cache.as_ref(),
+        config,
+    ) {
+        Ok(v) => v,
         Err(e) => {
             eprintln!("tables --check: {e}");
             return ExitCode::from(2);
         }
     };
     let run_wall_s = t_run.elapsed().as_secs_f64();
-    report_cache(cache.as_ref());
+    report_run(cache.as_ref(), config.is_active().then_some(&health));
     let fresh = TablesSnapshot::capture(&cs);
     let drift = fresh.diff(&baseline);
     if drift.is_empty() {
@@ -600,6 +633,52 @@ fn main() -> ExitCode {
     };
     let cache_dir = flag_value("--cache-dir");
     let no_cache = args.iter().any(|a| a == "--no-cache");
+    let max_retries = match flag_value("--max-retries").map(|v| v.parse::<u32>()) {
+        None => 0,
+        Some(Ok(n)) => n,
+        Some(Err(e)) => {
+            eprintln!("tables: --max-retries: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let timeout = match flag_value("--timeout-secs").map(|v| v.parse::<u64>()) {
+        None => None,
+        Some(Ok(n)) if n > 0 => Some(std::time::Duration::from_secs(n)),
+        Some(Ok(_)) => {
+            eprintln!("tables: --timeout-secs: must be at least 1");
+            return ExitCode::from(2);
+        }
+        Some(Err(e)) => {
+            eprintln!("tables: --timeout-secs: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let journal = match flag_value("--journal") {
+        None => None,
+        Some(p) => match Journal::open(&p) {
+            Ok(j) => Some(j),
+            Err(e) => {
+                eprintln!("tables: --journal {p}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let resume = match flag_value("--resume") {
+        None => std::collections::BTreeMap::new(),
+        Some(p) => match Journal::load(&p) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("tables: --resume {p}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let config = SupervisorConfig {
+        max_retries,
+        timeout,
+        journal,
+        resume,
+    };
     if let Some(file) = flag_value("--check") {
         if !plan.is_inert() {
             eprintln!("tables: --check compares against golden tables; drop --fault-profile");
@@ -612,6 +691,7 @@ fn main() -> ExitCode {
             cache_dir.as_deref(),
             no_cache,
             min_cps_ratio,
+            &config,
         );
     }
     if min_cps_ratio.is_some() {
@@ -703,15 +783,22 @@ fn main() -> ExitCode {
         }
     };
     let t_scenarios = Instant::now();
-    let cs = match run_case_study(specs.as_deref(), &workload, plan, threads, cache.as_ref()) {
-        Ok(cs) => cs,
+    let (cs, health) = match run_case_study(
+        specs.as_deref(),
+        &workload,
+        plan,
+        threads,
+        cache.as_ref(),
+        &config,
+    ) {
+        Ok(v) => v,
         Err(e) => {
             eprintln!("tables: {e}");
             return ExitCode::from(2);
         }
     };
     let scenarios_wall_s = t_scenarios.elapsed().as_secs_f64();
-    report_cache(cache.as_ref());
+    report_run(cache.as_ref(), config.is_active().then_some(&health));
 
     let _ = writeln!(out, "```\n{}\n```\n", cs.table1());
     let _ = writeln!(out, "```\n{}\n```\n", cs.table2());
@@ -1070,10 +1157,14 @@ fn main() -> ExitCode {
          regenerating the workload — changes the key, so stale results are \
          never served; superseded entries are merely orphaned (`rvliw cache \
          clear` removes them). Corrupt, truncated or wrong-schema files are \
-         warned about and treated as misses, never trusted. Writes are \
+         warned about, treated as misses, and **quarantined**: moved into a \
+         `quarantine/` subdirectory next to a `.reason` file so they never \
+         degrade another sweep (`cache stats` reports the quarantine count \
+         and size). Writes are \
          atomic (temp file + rename into place), so concurrent sweeps may \
          share a directory. Each cached run prints a `cache: hits=… \
-         misses=… stale=… writes=…` summary to stderr, `--metrics-out` \
+         misses=… stale=… writes=… quarantined=…` summary to stderr, \
+         `--metrics-out` \
          gains a top-level `\"cache\"` object, and the store is auditable:\n\n\
          ```\n\
          cargo run --release --bin rvliw -- cache stats  --cache-dir .rvliw-cache\n\
@@ -1082,7 +1173,9 @@ fn main() -> ExitCode {
          ```\n\n\
          `cache verify` re-simulates a sample of entries (`--sample N`, \
          default 4) and reports any divergence as a typed error with a \
-         non-zero exit: with a deterministic simulator the only ways an \
+         non-zero exit, routing divergent and unreadable entries through \
+         the same quarantine path: with a deterministic simulator the only \
+         ways an \
          entry can diverge are on-disk corruption that still parses, or a \
          code change that should have bumped the schema version.\n\n\
          **Determinism caveats.** Caching leans on the same guarantee as \
@@ -1096,6 +1189,52 @@ fn main() -> ExitCode {
          measurement (cycles, SAD checks, cache/RFU statistics), so a warm \
          run is indistinguishable from a cold one everywhere except wall \
          time and the stderr cache summary."
+    );
+
+    // ---- supervised execution ----------------------------------------------
+    let _ = writeln!(out, "\n## Interrupting and resuming sweeps\n");
+    let _ = writeln!(
+        out,
+        "Long campaigns survive crashes, hangs and flaky scenarios through \
+         the **supervised execution layer** shared by `rvliw sweep` and \
+         this binary. Pass `--journal run.jsonl` and every scenario \
+         outcome is appended to the file as it lands — one versioned JSON \
+         envelope per line (content key, label, outcome, attempt count, \
+         wall-clock cost, and the full measurement on success), written \
+         with atomic line appends so a crash can only truncate the final \
+         line. Restarting with `--resume run.jsonl` replays the completed \
+         prefix (journal ∪ cache) and simulates only the remainder:\n\n\
+         ```\n\
+         cargo run --release --bin rvliw -- sweep specs/table1.json \\\n    \
+         --journal run.jsonl --out matrix.json\n\
+         # … interrupted — rerun with:\n\
+         cargo run --release --bin rvliw -- sweep specs/table1.json \\\n    \
+         --journal run.jsonl --resume run.jsonl --out matrix.json\n\
+         ```\n\n\
+         The resumed matrix is **bit-identical** to an uninterrupted run \
+         for any thread count — the journal stores full measurements, \
+         like the cache — and a journal truncated at *any* byte boundary \
+         resumes correctly (the truncated tail is simply re-simulated; \
+         the `proptest_supervisor` suite drives this). Failed outcomes \
+         are journaled for the health report but never replayed: errors \
+         re-run on every resume, exactly like the cache's \
+         never-cache-failures rule.\n\n\
+         Two more supervision knobs handle runs that *almost* complete. \
+         `--max-retries N` retries **transient** failures — fault-injected \
+         latency or flushes, cycle-budget trips under a chaos profile, \
+         watchdog timeouts (`ScenarioError::is_transient`) — up to N extra \
+         attempts; each retry reseeds the scenario's fault plan from a \
+         per-(seed, attempt) substream and sleeps a deterministic 1–16 ms \
+         jitter, so two runs with the same seed retry identically \
+         (permanent failures — SAD mismatches, panics — fail fast). \
+         `--timeout-secs S` arms a wall-clock watchdog per attempt: a hung \
+         simulation becomes a typed `TimedOut` error and the worker pool \
+         keeps draining instead of stalling the sweep. Every supervised \
+         run prints a greppable `health: scenarios=… completed=… failed=… \
+         replayed=… retries=… timeouts=… quarantined=…` line to stderr \
+         through the same formatting helper as the cache summary, and \
+         `--metrics-out` gains a `\"health\"` object with attempt counts, \
+         quarantined keys and the slowest scenarios."
     );
 
     // ---- execution backends -------------------------------------------------
@@ -1272,6 +1411,9 @@ fn main() -> ExitCode {
             // never cached — they measure, they don't simulate afresh).
             entries.push(format!("\"cache\": {}", cache.counts().to_json()));
         }
+        // Health of the table run above: attempts, retries, timeouts,
+        // quarantined keys, slowest scenarios.
+        entries.push(format!("\"health\": {}", health.to_json()));
         let json = format!("{{\n{}\n}}\n", entries.join(",\n"));
         Json::parse(&json).expect("generated metrics must be valid JSON");
         std::fs::write(&path, &json).expect("write metrics JSON");

@@ -24,13 +24,18 @@
 //!   never a wrong result;
 //! * writes go to a unique temp file in the cache directory and are
 //!   published with `rename`, so concurrent sweeps sharing a cache
-//!   directory never observe half-written entries.
+//!   directory never observe half-written entries;
+//! * a bad entry discovered at lookup (or routed in by `verify`) is
+//!   **quarantined**: moved into a `quarantine/` subdirectory next to a
+//!   `.reason` file instead of being left in place to degrade every
+//!   future sweep, and counted so `cache stats` can surface it.
 
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
 
 use rvliw_trace::Json;
 
@@ -245,6 +250,7 @@ pub struct CacheStats {
     stale: AtomicU64,
     writes: AtomicU64,
     write_errors: AtomicU64,
+    quarantined: AtomicU64,
 }
 
 impl CacheStats {
@@ -263,6 +269,9 @@ impl CacheStats {
     fn count_write_error(&self) {
         self.write_errors.fetch_add(1, Ordering::Relaxed);
     }
+    fn count_quarantined(&self) {
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+    }
 
     /// A point-in-time snapshot of the counters.
     #[must_use]
@@ -273,6 +282,7 @@ impl CacheStats {
             stale: self.stale.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
             write_errors: self.write_errors.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
         }
     }
 }
@@ -291,16 +301,19 @@ pub struct CacheCounts {
     pub writes: u64,
     /// Entry writes that failed (counted, warned, never fatal).
     pub write_errors: u64,
+    /// Bad entries moved into the `quarantine/` subdirectory by this
+    /// handle.
+    pub quarantined: u64,
 }
 
 impl CacheCounts {
     /// The machine-greppable one-line summary printed by sweeps
-    /// (`cache: hits=H misses=M stale=S writes=W`).
+    /// (`cache: hits=H misses=M stale=S writes=W quarantined=Q`).
     #[must_use]
     pub fn summary_line(&self) -> String {
         format!(
-            "cache: hits={} misses={} stale={} writes={}",
-            self.hits, self.misses, self.stale, self.writes
+            "cache: hits={} misses={} stale={} writes={} quarantined={}",
+            self.hits, self.misses, self.stale, self.writes, self.quarantined
         )
     }
 
@@ -315,6 +328,10 @@ impl CacheCounts {
         m.insert(
             "write_errors".to_owned(),
             Json::Num(self.write_errors.to_string()),
+        );
+        m.insert(
+            "quarantined".to_owned(),
+            Json::Num(self.quarantined.to_string()),
         );
         Json::Obj(m)
     }
@@ -347,6 +364,9 @@ static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 pub struct ResultCache {
     dir: PathBuf,
     stats: CacheStats,
+    /// Keys (file stems) this handle moved to quarantine, for the health
+    /// report.
+    quarantine_log: Mutex<Vec<String>>,
 }
 
 impl ResultCache {
@@ -364,6 +384,7 @@ impl ResultCache {
         Ok(ResultCache {
             dir,
             stats: CacheStats::default(),
+            quarantine_log: Mutex::new(Vec::new()),
         })
     }
 
@@ -381,6 +402,79 @@ impl ResultCache {
 
     fn entry_path(&self, key: &CacheKey) -> PathBuf {
         self.dir.join(format!("{}.json", key.hex()))
+    }
+
+    /// The `quarantine/` subdirectory bad entries are moved into.
+    #[must_use]
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.dir.join("quarantine")
+    }
+
+    /// Keys (file stems) this handle has quarantined, in quarantine order.
+    #[must_use]
+    pub fn quarantined_keys(&self) -> Vec<String> {
+        self.quarantine_log
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Moves the entry file at `path` into `quarantine/` and writes a
+    /// sibling `<stem>.reason` file explaining why. Returns `true` when
+    /// the entry was moved. Failures degrade to a stderr warning — the
+    /// entry is then deleted instead, so a bad entry never survives in
+    /// the hot directory either way.
+    pub fn quarantine_path(&self, path: &Path, reason: &str) -> bool {
+        let Some(name) = path.file_name().map(std::ffi::OsStr::to_owned) else {
+            return false;
+        };
+        let qdir = self.quarantine_dir();
+        let moved = fs::create_dir_all(&qdir)
+            .and_then(|()| fs::rename(path, qdir.join(&name)))
+            .is_ok();
+        if moved {
+            let stem = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("entry")
+                .to_owned();
+            let _ = fs::write(qdir.join(format!("{stem}.reason")), format!("{reason}\n"));
+            self.stats.count_quarantined();
+            self.quarantine_log
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(stem);
+        } else {
+            eprintln!(
+                "warning: could not quarantine cache entry {}; removing it instead",
+                path.display()
+            );
+            let _ = fs::remove_file(path);
+        }
+        moved
+    }
+
+    /// [`Self::quarantine_path`] addressed by content key. Returns `false`
+    /// when no entry exists under that key.
+    pub fn quarantine_key(&self, key: &CacheKey, reason: &str) -> bool {
+        let path = self.entry_path(key);
+        path.exists() && self.quarantine_path(&path, reason)
+    }
+
+    /// Entry files currently sitting in `quarantine/` (empty when the
+    /// subdirectory does not exist), sorted, for `cache stats`.
+    #[must_use]
+    pub fn quarantined_entries(&self) -> Vec<PathBuf> {
+        let Ok(rd) = fs::read_dir(self.quarantine_dir()) else {
+            return Vec::new();
+        };
+        let mut found: Vec<PathBuf> = rd
+            .filter_map(Result::ok)
+            .map(|de| de.path())
+            .filter(|p| Self::is_entry_file(p))
+            .collect();
+        found.sort();
+        found
     }
 
     /// Reads and validates one envelope file. Shared by `lookup` (which
@@ -477,12 +571,19 @@ impl ResultCache {
                         path.display()
                     );
                     self.stats.count_stale();
+                    self.quarantine_path(&path, "payload does not decode under this build");
                     None
                 }
             },
             Err(e) => {
                 eprintln!("warning: treating cache entry as miss: {e}");
                 self.stats.count_stale();
+                // An I/O failure may be transient (permissions, races);
+                // everything else is a structurally bad entry that would
+                // degrade every future sweep — move it out of the way.
+                if !matches!(e, CacheError::Io { .. }) {
+                    self.quarantine_path(&path, &e.to_string());
+                }
                 None
             }
         }
@@ -682,6 +783,48 @@ mod tests {
         .unwrap();
         assert_eq!(cache.lookup(&key), None);
         assert_eq!(cache.counts().stale, 3);
+        // Every bad entry was quarantined, not left to rot in place.
+        assert_eq!(cache.counts().quarantined, 3);
+        assert!(!dir.join(format!("{}.json", key.hex())).exists());
+        assert!(cache
+            .quarantine_dir()
+            .join(format!("{}.json", key.hex()))
+            .exists());
+        assert!(cache
+            .quarantine_dir()
+            .join(format!("{}.reason", key.hex()))
+            .exists());
+        // A second lookup is a plain miss: the entry is gone.
+        assert_eq!(cache.lookup(&key), None);
+        assert_eq!(cache.counts().misses, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quarantine_is_keyed_logged_and_invisible_to_entries() {
+        let dir = tmpdir("quarantine");
+        let cache = ResultCache::open(&dir).unwrap();
+        let good = KeyBuilder::new("t", 1).finish();
+        let bad = KeyBuilder::new("t", 2).finish();
+        cache.store(&good, &payload(1));
+        cache.store(&bad, &payload(2));
+        assert!(cache.quarantine_key(&bad, "diverged under re-simulation"));
+        // Quarantining an absent key reports false.
+        assert!(!cache.quarantine_key(&bad, "again"));
+        let (entries, errors) = cache.entries().unwrap();
+        assert_eq!(entries.len(), 1);
+        assert!(errors.is_empty());
+        assert_eq!(cache.quarantined_keys(), vec![bad.hex()]);
+        assert_eq!(cache.quarantined_entries().len(), 1);
+        let reason =
+            fs::read_to_string(cache.quarantine_dir().join(format!("{}.reason", bad.hex())))
+                .unwrap();
+        assert!(reason.contains("diverged"));
+        // The quarantined entry reads back as a miss, and `clear` leaves
+        // the quarantine subdirectory alone.
+        assert_eq!(cache.lookup(&bad), None);
+        assert_eq!(cache.clear().unwrap(), 1);
+        assert_eq!(cache.quarantined_entries().len(), 1);
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -713,9 +856,14 @@ mod tests {
             stale: 1,
             writes: 2,
             write_errors: 0,
+            quarantined: 1,
         };
-        assert_eq!(c.summary_line(), "cache: hits=3 misses=2 stale=1 writes=2");
+        assert_eq!(
+            c.summary_line(),
+            "cache: hits=3 misses=2 stale=1 writes=2 quarantined=1"
+        );
         let j = c.to_json();
         assert_eq!(j.get("hits").unwrap().as_u64(), Some(3));
+        assert_eq!(j.get("quarantined").unwrap().as_u64(), Some(1));
     }
 }

@@ -642,6 +642,13 @@ impl ScenarioCache {
     pub fn counts(&self) -> CacheCounts {
         self.store.counts()
     }
+
+    /// Keys this handle moved into `quarantine/` (bad entries found at
+    /// lookup), for the supervisor's health report.
+    #[must_use]
+    pub fn quarantined_keys(&self) -> Vec<String> {
+        self.store.quarantined_keys()
+    }
 }
 
 /// The outcome of [`verify_cache`].
@@ -656,6 +663,8 @@ pub struct VerifyReport {
     pub unreadable: usize,
     /// Entries whose fresh re-simulation differed from the stored result.
     pub divergent: Vec<CacheError>,
+    /// Bad entries (unreadable or divergent) moved into `quarantine/`.
+    pub quarantined: usize,
 }
 
 impl VerifyReport {
@@ -670,11 +679,12 @@ impl std::fmt::Display for VerifyReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "cache verify: checked={} divergent={} unverifiable={} unreadable={}",
+            "cache verify: checked={} divergent={} unverifiable={} unreadable={} quarantined={}",
             self.checked,
             self.divergent.len(),
             self.unverifiable,
-            self.unreadable
+            self.unreadable,
+            self.quarantined
         )
     }
 }
@@ -702,6 +712,20 @@ pub fn verify_cache(
     };
     for e in &bad {
         eprintln!("warning: {e}");
+        // Unreadable entry files are structurally bad: route them through
+        // quarantine so the next sweep does not trip over them again.
+        let path = match e {
+            CacheError::Io { path, .. }
+            | CacheError::Corrupt { path, .. }
+            | CacheError::Schema { path, .. }
+            | CacheError::KeyMismatch { path } => Some(path),
+            CacheError::Divergence { .. } => None,
+        };
+        if let Some(path) = path {
+            if !matches!(e, CacheError::Io { .. }) && store.quarantine_path(path, &e.to_string()) {
+                report.quarantined += 1;
+            }
+        }
     }
     // Group verifiable entries by workload descriptor so each workload is
     // rebuilt (and each group fanned out) once.
@@ -745,6 +769,9 @@ pub fn verify_cache(
                 ),
                 Err(e) => format!("fresh run failed: {e}"),
             };
+            if store.quarantine_key(&key, &detail) {
+                report.quarantined += 1;
+            }
             report.divergent.push(CacheError::Divergence {
                 label: sc.label,
                 key: key.hex(),
@@ -855,6 +882,12 @@ mod tests {
         assert_eq!(report.checked, 1);
         assert_eq!(report.divergent.len(), 1);
         assert!(matches!(report.divergent[0], CacheError::Divergence { .. }));
+        // The lying entry was quarantined, so a second verify is clean.
+        assert_eq!(report.quarantined, 1);
+        assert!(dir.join("quarantine").is_dir());
+        let again = verify_cache(&dir, 10, 1).unwrap();
+        assert_eq!(again.checked, 0);
+        assert!(again.is_clean());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

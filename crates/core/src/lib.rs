@@ -35,6 +35,7 @@ pub mod runner;
 pub mod scenario;
 pub mod session;
 pub mod spec;
+pub mod supervisor;
 pub mod sweep;
 pub mod tables;
 pub mod threads;
@@ -50,6 +51,9 @@ pub use runner::{run_me, run_me_with_tracer, MeResult, ScenarioError};
 pub use scenario::Scenario;
 pub use session::SimSession;
 pub use spec::{ExperimentSpec, ReconfigSpec, SpecError, SweepAxes};
+pub use supervisor::{
+    run_scenario_list_supervised, run_summary, HealthReport, Journal, SupervisorConfig,
+};
 pub use sweep::{
     run_scenario_list, run_scenario_list_cached, Pareto, ParetoPoint, ScenarioResult, Sweep,
     SweepOutcome, SweepRow,

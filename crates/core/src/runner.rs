@@ -55,6 +55,18 @@ pub enum ScenarioError {
         label: String,
         /// The panic payload, when it was a string.
         message: String,
+        /// Where the panic originated (`file:line:column`), captured by
+        /// the panic hook when available — the health report's
+        /// backtrace-adjacent context.
+        location: Option<String>,
+    },
+    /// The scenario's simulation exceeded the supervisor's wall-clock
+    /// deadline and was abandoned so the worker pool could keep draining.
+    TimedOut {
+        /// Scenario label.
+        label: String,
+        /// The deadline that was exceeded, in seconds.
+        secs: u64,
     },
 }
 
@@ -65,7 +77,26 @@ impl ScenarioError {
         match self {
             ScenarioError::Sim { label, .. }
             | ScenarioError::SadMismatch { label, .. }
-            | ScenarioError::Panic { label, .. } => label,
+            | ScenarioError::Panic { label, .. }
+            | ScenarioError::TimedOut { label, .. } => label,
+        }
+    }
+
+    /// Whether a supervised rerun could plausibly succeed, so a bounded
+    /// retry is worth spending.
+    ///
+    /// Simulator errors delegate to [`SimError::is_transient`]
+    /// (fault-injected latency, flushes and line-buffer trouble surface
+    /// there); a wall-clock timeout is transient by construction (the
+    /// host was slow, or an injected delay compounded). A SAD divergence
+    /// is a functional verdict about this exact (plan, scenario) pair
+    /// and a panic is a bug — both permanent.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ScenarioError::Sim { source, .. } => source.is_transient(),
+            ScenarioError::TimedOut { .. } => true,
+            ScenarioError::SadMismatch { .. } | ScenarioError::Panic { .. } => false,
         }
     }
 }
@@ -88,8 +119,19 @@ impl fmt::Display for ScenarioError {
                 "scenario `{label}`: SAD diverged at frame {frame} MB ({mbx},{mby}): \
                  expected {expected}, got {got}"
             ),
-            ScenarioError::Panic { label, message } => {
-                write!(f, "scenario `{label}`: panicked: {message}")
+            ScenarioError::Panic {
+                label,
+                message,
+                location,
+            } => match location {
+                Some(at) => write!(f, "scenario `{label}`: panicked at {at}: {message}"),
+                None => write!(f, "scenario `{label}`: panicked: {message}"),
+            },
+            ScenarioError::TimedOut { label, secs } => {
+                write!(
+                    f,
+                    "scenario `{label}`: exceeded the {secs}s wall-clock deadline"
+                )
             }
         }
     }
@@ -491,6 +533,64 @@ mod tests {
         assert!(se.quality.is_some());
         // Exact full-quality scenarios replay the base workload: no quality.
         assert!(run_me(&Scenario::a3(), &w).unwrap().quality.is_none());
+    }
+
+    #[test]
+    fn error_classification_partitions_transient_from_permanent() {
+        let sim = |source: SimError| ScenarioError::Sim {
+            label: "x".to_owned(),
+            source,
+        };
+        // Transient: cycle-budget trips and RFU failures (injected
+        // latency, line-buffer deadlocks) plus wall-clock timeouts.
+        assert!(sim(SimError::CycleLimit { limit: 10 }).is_transient());
+        assert!(sim(SimError::Rfu("line buffer deadlock".to_owned())).is_transient());
+        assert!(ScenarioError::TimedOut {
+            label: "x".to_owned(),
+            secs: 1,
+        }
+        .is_transient());
+        // Permanent: structural program failures, divergences, panics.
+        assert!(!sim(SimError::FellOffEnd { pc: 3 }).is_transient());
+        assert!(!sim(SimError::UnresolvedTarget { pc: 0 }).is_transient());
+        assert!(!sim(SimError::Undecodable { what: "op" }).is_transient());
+        assert!(!ScenarioError::SadMismatch {
+            label: "x".to_owned(),
+            frame: 1,
+            mbx: 0,
+            mby: 0,
+            expected: 1,
+            got: 2,
+        }
+        .is_transient());
+        assert!(!ScenarioError::Panic {
+            label: "x".to_owned(),
+            message: "boom".to_owned(),
+            location: None,
+        }
+        .is_transient());
+    }
+
+    #[test]
+    fn panic_display_carries_the_location_when_captured() {
+        let with = ScenarioError::Panic {
+            label: "p".to_owned(),
+            message: "boom".to_owned(),
+            location: Some("src/lib.rs:1:2".to_owned()),
+        };
+        assert!(with.to_string().contains("panicked at src/lib.rs:1:2"));
+        let without = ScenarioError::Panic {
+            label: "p".to_owned(),
+            message: "boom".to_owned(),
+            location: None,
+        };
+        assert!(without.to_string().contains("panicked: boom"));
+        let timeout = ScenarioError::TimedOut {
+            label: "t".to_owned(),
+            secs: 30,
+        };
+        assert!(timeout.to_string().contains("30s wall-clock deadline"));
+        assert_eq!(timeout.label(), "t");
     }
 
     #[test]

@@ -18,15 +18,44 @@ use crate::cache::ScenarioCache;
 use crate::runner::{run_me, MeResult, ScenarioError};
 use crate::scenario::{Kind, Scenario};
 use crate::spec::{pretty, ExperimentSpec, SpecError};
+use crate::supervisor::{run_scenario_list_supervised, HealthReport, SupervisorConfig};
 use crate::workload::Workload;
 
 /// The per-scenario outcome slot of a sweep or case study.
 pub type ScenarioResult = Result<MeResult, ScenarioError>;
 
+std::thread_local! {
+    /// The `file:line:col` of the most recent panic on this thread, captured
+    /// by the hook below so [`run_isolated`] can attach it to
+    /// [`ScenarioError::Panic`] (the unwind payload itself carries only the
+    /// message).
+    static LAST_PANIC_LOCATION: std::cell::RefCell<Option<String>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Installs (once, process-wide) a panic hook that records the panic
+/// location into [`LAST_PANIC_LOCATION`] and then chains to the previous
+/// hook, so default panic reporting elsewhere is unaffected.
+fn install_location_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let loc = info
+                .location()
+                .map(|l| format!("{}:{}:{}", l.file(), l.line(), l.column()));
+            LAST_PANIC_LOCATION.with(|slot| *slot.borrow_mut() = loc);
+            prev(info);
+        }));
+    });
+}
+
 /// Runs one scenario with a panic backstop: a panicking scenario becomes
 /// [`ScenarioError::Panic`] instead of tearing down the whole sweep (or
 /// poisoning a worker thread in the parallel path).
-fn run_isolated(sc: &Scenario, workload: &Workload) -> ScenarioResult {
+pub(crate) fn run_isolated(sc: &Scenario, workload: &Workload) -> ScenarioResult {
+    install_location_hook();
+    LAST_PANIC_LOCATION.with(|slot| *slot.borrow_mut() = None);
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_me(sc, workload))).unwrap_or_else(
         |payload| {
             let message = if let Some(s) = payload.downcast_ref::<&str>() {
@@ -36,9 +65,11 @@ fn run_isolated(sc: &Scenario, workload: &Workload) -> ScenarioResult {
             } else {
                 "non-string panic payload".to_owned()
             };
+            let location = LAST_PANIC_LOCATION.with(|slot| slot.borrow_mut().take());
             Err(ScenarioError::Panic {
                 label: sc.label.clone(),
                 message,
+                location,
             })
         },
     )
@@ -128,6 +159,7 @@ pub fn run_scenario_list_cached(
                     Err(ScenarioError::Panic {
                         label: scenarios[i].label.clone(),
                         message: "scenario result missing (worker died)".to_owned(),
+                        location: None,
                     })
                 })
         })
@@ -192,6 +224,36 @@ impl Sweep {
     ) -> SweepOutcome {
         let results =
             run_scenario_list_cached(&self.scenarios, workload, threads, &progress, cache);
+        self.assemble(workload, results)
+    }
+
+    /// [`Sweep::run_cached`] under a [`SupervisorConfig`]: journal every
+    /// outcome, replay a resume map, retry transients and watchdog each
+    /// attempt per the config, returning the matrix plus the run's
+    /// [`HealthReport`]. With the default config the matrix is
+    /// bit-identical to [`Sweep::run_cached`].
+    #[must_use]
+    pub fn run_supervised(
+        &self,
+        workload: &Workload,
+        threads: usize,
+        progress: impl Fn(&str) + Sync,
+        cache: Option<&ScenarioCache>,
+        config: &SupervisorConfig,
+    ) -> (SweepOutcome, HealthReport) {
+        let (results, health) = run_scenario_list_supervised(
+            &self.scenarios,
+            workload,
+            threads,
+            &progress,
+            cache,
+            config,
+        );
+        (self.assemble(workload, results), health)
+    }
+
+    /// Zips per-scenario results back into the labeled row matrix.
+    fn assemble(&self, workload: &Workload, results: Vec<ScenarioResult>) -> SweepOutcome {
         let rows = self
             .scenarios
             .iter()
@@ -664,6 +726,7 @@ mod tests {
                     result: Err(ScenarioError::Panic {
                         label: "boom".to_owned(),
                         message: "x".to_owned(),
+                        location: None,
                     }),
                 },
             ],

@@ -12,6 +12,7 @@ use crate::cache::ScenarioCache;
 use crate::runner::{MeResult, ScenarioError};
 use crate::scenario::Scenario;
 use crate::spec::{ExperimentSpec, SpecError};
+use crate::supervisor::{run_scenario_list_supervised, HealthReport, SupervisorConfig};
 use crate::sweep::run_scenario_list_cached;
 use crate::threads::default_threads;
 use crate::workload::Workload;
@@ -141,6 +142,24 @@ impl CaseStudy {
         Self::assemble(workload, scenarios, results)
     }
 
+    /// [`Self::run_scenarios_cached`] under a [`SupervisorConfig`]:
+    /// journal, resume, retries and watchdog per the config, returning the
+    /// case study plus the run's [`HealthReport`]. With the default config
+    /// the tables are bit-identical to the plain cached run.
+    #[must_use]
+    pub fn run_scenarios_supervised(
+        scenarios: &[Scenario],
+        workload: &Workload,
+        threads: usize,
+        progress: impl Fn(&str) + Sync,
+        cache: Option<&ScenarioCache>,
+        config: &SupervisorConfig,
+    ) -> (Self, HealthReport) {
+        let (results, health) =
+            run_scenario_list_supervised(scenarios, workload, threads, &progress, cache, config);
+        (Self::assemble(workload, scenarios, results), health)
+    }
+
     /// Runs `scenarios` across `threads` workers on the shared sweep
     /// engine ([`run_scenario_list_cached`]), returning one
     /// [`ScenarioResult`] per scenario in input order.
@@ -191,6 +210,35 @@ impl CaseStudy {
         progress: impl Fn(&str) + Sync,
         cache: Option<&ScenarioCache>,
     ) -> Result<Self, SpecError> {
+        let ordered = Self::specs_to_grid(specs)?;
+        Ok(Self::run_scenarios_cached(
+            &ordered, workload, threads, progress, cache,
+        ))
+    }
+
+    /// [`Self::run_from_specs_cached`] under a [`SupervisorConfig`],
+    /// returning the case study plus the run's [`HealthReport`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::run_from_specs`].
+    pub fn run_from_specs_supervised(
+        specs: &[ExperimentSpec],
+        workload: &Workload,
+        threads: usize,
+        progress: impl Fn(&str) + Sync,
+        cache: Option<&ScenarioCache>,
+        config: &SupervisorConfig,
+    ) -> Result<(Self, HealthReport), SpecError> {
+        let ordered = Self::specs_to_grid(specs)?;
+        Ok(Self::run_scenarios_supervised(
+            &ordered, workload, threads, progress, cache, config,
+        ))
+    }
+
+    /// Unions the specs' scenarios by label and orders them onto the
+    /// paper grid, rejecting disagreements, gaps and off-grid extras.
+    fn specs_to_grid(specs: &[ExperimentSpec]) -> Result<Vec<Scenario>, SpecError> {
         let mut by_label: BTreeMap<String, Scenario> = BTreeMap::new();
         for spec in specs {
             for sc in spec.scenarios()? {
@@ -233,9 +281,7 @@ impl CaseStudy {
                 ),
             });
         }
-        Ok(Self::run_scenarios_cached(
-            &ordered, workload, threads, progress, cache,
-        ))
+        Ok(ordered)
     }
 
     /// Reassembles per-scenario results (in the fixed order [`Self::scenarios`]
@@ -263,6 +309,7 @@ impl CaseStudy {
                 Err(ScenarioError::Panic {
                     label,
                     message: "scenario result missing".to_owned(),
+                    location: None,
                 })
             })
         };

@@ -184,6 +184,36 @@ impl FaultPlan {
             && self.bitflip_ppm == 0
     }
 
+    /// The plan a retry attempt runs under: attempt 0 is this plan
+    /// unchanged (so first tries and cache keys are untouched), attempt
+    /// `n > 0` carries a seed mixed from `(seed, "retry", n)` by the same
+    /// FNV discipline as [`FaultPlan::injector`]. The rates stay
+    /// identical — a retry faces the same fault *distribution*, just an
+    /// independent draw from it — and the derivation is a pure function
+    /// of `(self, attempt)`, so supervised reruns are reproducible.
+    #[must_use]
+    pub fn reseed_for_attempt(&self, attempt: u32) -> FaultPlan {
+        if attempt == 0 {
+            return *self;
+        }
+        let mut h = FNV_OFFSET;
+        for b in self.seed.to_le_bytes() {
+            h = fnv_step(h, b);
+        }
+        h = fnv_step(h, 0x1f);
+        for &b in b"retry" {
+            h = fnv_step(h, b);
+        }
+        h = fnv_step(h, 0x1f);
+        for b in u64::from(attempt).to_le_bytes() {
+            h = fnv_step(h, b);
+        }
+        FaultPlan {
+            seed: if h == 0 { GOLDEN_GAMMA } else { h },
+            ..*self
+        }
+    }
+
     /// Derives the injector for one component of one run.
     ///
     /// `component` names the consulting subsystem (`"mem"`, `"rfu"`);
@@ -316,6 +346,19 @@ impl FaultInjector {
         LbRowFault::None
     }
 
+    /// A uniform draw in `0..=max`, advancing the substream. Unlike the
+    /// injection queries this has no inert early-out: it is the seam the
+    /// supervised runner uses for deterministic retry-backoff jitter,
+    /// which must produce the same bounded sequence for the same
+    /// `(plan, component, salt)` regardless of thread scheduling.
+    #[inline]
+    pub fn uniform(&mut self, max: u64) -> u64 {
+        if max == 0 {
+            return 0;
+        }
+        (self.next() >> 11) % (max + 1)
+    }
+
     /// Maybe flip one bit of a freshly loaded pixel row. Returns the
     /// byte index and the xor mask applied, or `None` when no fault
     /// fired (always `None` under the inert plan or for empty rows).
@@ -387,6 +430,38 @@ mod tests {
                 && chaos.bitflip_ppm > 0
         );
         assert!(FaultPlan::from_profile(FaultProfile::None, 9).is_inert());
+    }
+
+    #[test]
+    fn retry_reseed_is_deterministic_and_attempt_zero_is_identity() {
+        let plan = FaultPlan::from_profile(FaultProfile::Chaos, 42);
+        assert_eq!(plan.reseed_for_attempt(0), plan);
+        let r1 = plan.reseed_for_attempt(1);
+        let r2 = plan.reseed_for_attempt(2);
+        // Same rates, fresh independent seeds, reproducibly.
+        assert_eq!(r1.mem_latency_ppm, plan.mem_latency_ppm);
+        assert_eq!(r1.bitflip_ppm, plan.bitflip_ppm);
+        assert_ne!(r1.seed, plan.seed);
+        assert_ne!(r1.seed, r2.seed);
+        assert_eq!(plan.reseed_for_attempt(1), r1);
+        // Distinct base seeds derive distinct retry seeds.
+        let other = FaultPlan::from_profile(FaultProfile::Chaos, 43);
+        assert_ne!(other.reseed_for_attempt(1).seed, r1.seed);
+    }
+
+    #[test]
+    fn uniform_draws_are_bounded_and_deterministic() {
+        let plan = FaultPlan::from_profile(FaultProfile::Chaos, 7);
+        let draw = |salt: &str| {
+            let mut inj = plan.injector("backoff", salt);
+            (0..64).map(|_| inj.uniform(25)).collect::<Vec<_>>()
+        };
+        let a = draw("ORIG");
+        assert_eq!(a, draw("ORIG"));
+        assert_ne!(a, draw("A1"));
+        assert!(a.iter().all(|&v| v <= 25));
+        let mut inj = plan.injector("backoff", "zero");
+        assert_eq!(inj.uniform(0), 0);
     }
 
     #[test]

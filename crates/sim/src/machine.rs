@@ -54,6 +54,27 @@ pub enum SimError {
     },
 }
 
+impl SimError {
+    /// Whether a supervised rerun could plausibly succeed.
+    ///
+    /// Transient failures are the ones fault injection (or an overloaded
+    /// budget under it) produces: a cycle-budget overrun and any RFU
+    /// failure (which is where injected line-buffer delays and deadlocks
+    /// surface). Structural program failures — memory violations, falling
+    /// off the program, unresolved targets, undecodable operations — are
+    /// permanent: the same program fails the same way every time.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        match self {
+            SimError::CycleLimit { .. } | SimError::Rfu(_) => true,
+            SimError::FellOffEnd { .. }
+            | SimError::Mem(_)
+            | SimError::UnresolvedTarget { .. }
+            | SimError::Undecodable { .. } => false,
+        }
+    }
+}
+
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

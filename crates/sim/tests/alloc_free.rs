@@ -3,12 +3,14 @@
 //! heap — resolve scratch lives on the stack and write-backs go through
 //! fixed-size machine state.
 //!
-//! This file intentionally holds a single test: the counting allocator
-//! is process-global, and a concurrently running sibling test would
-//! pollute the count.
+//! Allocations are counted **per thread**: the simulator runs on the test
+//! thread, while libtest's harness threads (result channels, timeout
+//! bookkeeping) allocate at timing-dependent moments of their own — a
+//! process-global count would flake whenever one of those allocations
+//! landed inside the measured window.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 
 use rvliw_asm::{schedule_st200, Builder};
 use rvliw_isa::{Br, Gpr};
@@ -17,21 +19,38 @@ use rvliw_trace::NullTracer;
 
 struct CountingAlloc;
 
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
+std::thread_local! {
+    /// Heap allocations made by *this* thread. A const-initialized
+    /// `Cell<u64>` occupies a plain TLS slot — no lazy allocation, no
+    /// destructor registration — so bumping it from inside the allocator
+    /// cannot recurse.
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    // `try_with` so allocations during thread teardown (after this
+    // thread's TLS was destroyed) are silently dropped instead of
+    // panicking inside the allocator.
+    let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+}
+
+fn thread_allocs() -> u64 {
+    THREAD_ALLOCS.with(Cell::get)
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        bump();
         System.alloc(layout)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        bump();
         System.alloc_zeroed(layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        bump();
         System.realloc(ptr, layout, new_size)
     }
 
@@ -70,9 +89,9 @@ fn warm_issue_loop_does_not_allocate() {
     // First run pays the one-time decode (and may allocate for it).
     m.run(&code).expect("warm-up run");
 
-    let before = ALLOCS.load(Ordering::SeqCst);
+    let before = thread_allocs();
     m.run(&code).expect("measured run");
-    let after = ALLOCS.load(Ordering::SeqCst);
+    let after = thread_allocs();
 
     assert_eq!(
         after - before,
@@ -84,10 +103,10 @@ fn warm_issue_loop_does_not_allocate() {
     // The generic tracer path with tracing disabled must uphold the same
     // contract: a `NullTracer` run monomorphizes to the untraced loop, so
     // it may not allocate either.
-    let before = ALLOCS.load(Ordering::SeqCst);
+    let before = thread_allocs();
     m.run_with_tracer(&code, &mut NullTracer)
         .expect("null-traced run");
-    let after = ALLOCS.load(Ordering::SeqCst);
+    let after = thread_allocs();
 
     assert_eq!(
         after - before,

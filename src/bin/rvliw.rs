@@ -40,6 +40,20 @@
 //!                     uncached run, a summary line reports hits/misses
 //! --no-cache          ignore --cache-dir / RVLIW_CACHE_DIR for this run
 //! --backend B         execution backend for every simulated scenario
+//! --journal FILE      append every scenario outcome to FILE (JSONL) as
+//!                     it lands, so an interrupted sweep can resume
+//! --resume FILE       replay completed entries from a previous run's
+//!                     journal instead of re-simulating them; the final
+//!                     matrix is bit-identical to an uninterrupted run
+//! --max-retries N     retry transient failures (injected faults, cycle
+//!                     budget trips, timeouts) up to N extra attempts
+//!                     with deterministic reseeded fault substreams
+//! --timeout-secs N    wall-clock watchdog per scenario attempt; a hung
+//!                     simulation becomes a TimedOut error instead of
+//!                     stalling the sweep
+//! --metrics-out FILE  write the run's cache counters and health report
+//!                     (attempts, retries, timeouts, quarantined keys,
+//!                     slowest scenarios) as JSON
 //! ```
 //!
 //! `cache` manages the scenario result cache (the directory comes from
@@ -61,12 +75,15 @@
 use std::process::ExitCode;
 
 use rvliw::asm::{parse_program, schedule_st200, Code};
-use rvliw::exp::{arch, ExperimentSpec, ScenarioCache, SimSession, Sweep, Workload};
+use rvliw::exp::{
+    arch, run_summary, ExperimentSpec, Journal, ScenarioCache, SimSession, SupervisorConfig, Sweep,
+    Workload,
+};
 use rvliw::fault::{FaultPlan, FaultProfile};
 use rvliw::isa::{Bundle, Gpr, MachineConfig};
 use rvliw::mem::MemConfig;
 use rvliw::sim::ExecBackend;
-use rvliw::trace::{ChromeTracer, CountingTracer, TeeTracer};
+use rvliw::trace::{ChromeTracer, CountingTracer, Json, TeeTracer};
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -75,6 +92,8 @@ fn usage() -> ExitCode {
          [--fault-profile PROFILE] [--fault-seed N] [--backend B]\n       \
          rvliw sweep <spec.json | --spec FILE> [--threads N] [--frames N] [--out FILE]\n       \
          [--pareto] [--pareto-out FILE] [--cache-dir DIR] [--no-cache] [--backend B]\n       \
+         [--journal FILE] [--resume FILE] [--max-retries N] [--timeout-secs N]\n       \
+         [--metrics-out FILE]\n       \
          rvliw cache <stats|clear|verify> [--cache-dir DIR] [--sample N] [--threads N]\n       \
          rvliw arch"
     );
@@ -219,11 +238,41 @@ fn run_sweep(rest: &[String]) -> Result<(), String> {
     let mut pareto_out: Option<String> = None;
     let mut cache_dir = rvliw::exp::default_cache_dir();
     let mut no_cache = false;
+    let mut journal_path: Option<String> = None;
+    let mut resume_path: Option<String> = None;
+    let mut max_retries = 0u32;
+    let mut timeout_secs: Option<u64> = None;
+    let mut metrics_out: Option<String> = None;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--spec" => {
                 path = Some(it.next().ok_or("--spec needs a spec file")?.clone());
+            }
+            "--journal" => {
+                journal_path = Some(it.next().ok_or("--journal needs an output file")?.clone());
+            }
+            "--resume" => {
+                resume_path = Some(it.next().ok_or("--resume needs a journal file")?.clone());
+            }
+            "--max-retries" => {
+                let v = it.next().ok_or("--max-retries needs an integer")?;
+                max_retries = v.parse().map_err(|e| format!("--max-retries: {e}"))?;
+            }
+            "--timeout-secs" => {
+                let v = it.next().ok_or("--timeout-secs needs a positive integer")?;
+                let n: u64 = v.parse().map_err(|e| format!("--timeout-secs: {e}"))?;
+                if n == 0 {
+                    return Err("--timeout-secs: must be at least 1".to_owned());
+                }
+                timeout_secs = Some(n);
+            }
+            "--metrics-out" => {
+                metrics_out = Some(
+                    it.next()
+                        .ok_or("--metrics-out needs an output file")?
+                        .clone(),
+                );
             }
             "--pareto" => pareto = true,
             "--pareto-out" => {
@@ -288,15 +337,42 @@ fn run_sweep(rest: &[String]) -> Result<(), String> {
         }
         None => None,
     };
-    let outcome = sweep.run_cached(
+    let config = SupervisorConfig {
+        max_retries,
+        timeout: timeout_secs.map(std::time::Duration::from_secs),
+        journal: match &journal_path {
+            Some(p) => Some(Journal::open(p).map_err(|e| format!("--journal {p}: {e}"))?),
+            None => None,
+        },
+        resume: match &resume_path {
+            Some(p) => Journal::load(p).map_err(|e| format!("--resume {p}: {e}"))?,
+            None => std::collections::BTreeMap::new(),
+        },
+    };
+    let supervised = config.is_active();
+    let (outcome, health) = sweep.run_supervised(
         &workload,
         threads,
         |label| eprintln!("  running {label}"),
         cache.as_ref(),
+        &config,
     );
     print!("{outcome}");
-    if let Some(cache) = &cache {
-        eprintln!("{}", cache.counts().summary_line());
+    let summary = run_summary(
+        cache.as_ref().map(ScenarioCache::counts).as_ref(),
+        supervised.then_some(&health),
+    );
+    if !summary.is_empty() {
+        eprintln!("{summary}");
+    }
+    if let Some(mpath) = metrics_out {
+        let mut m = std::collections::BTreeMap::new();
+        if let Some(cache) = &cache {
+            m.insert("cache".to_owned(), cache.counts().to_json());
+        }
+        m.insert("health".to_owned(), health.to_json());
+        std::fs::write(&mpath, Json::Obj(m).to_string()).map_err(|e| format!("{mpath}: {e}"))?;
+        eprintln!("wrote run metrics to {mpath}");
     }
     if let Some(out_path) = out_path {
         std::fs::write(&out_path, outcome.to_json_string())
@@ -362,12 +438,20 @@ fn run_cache(cmd: &str, rest: &[String]) -> Result<(), String> {
                 .filter_map(|e| std::fs::metadata(&e.path).ok())
                 .map(|m| m.len())
                 .sum();
+            let quarantined = store.quarantined_entries();
+            let quarantine_bytes: u64 = quarantined
+                .iter()
+                .filter_map(|p| std::fs::metadata(p).ok())
+                .map(|m| m.len())
+                .sum();
             println!("cache dir: {}", dir.display());
             println!(
-                "entries={} bytes={} unreadable={}",
+                "entries={} bytes={} unreadable={} quarantined={} quarantine_bytes={}",
                 entries.len(),
                 bytes,
-                bad.len()
+                bad.len(),
+                quarantined.len(),
+                quarantine_bytes
             );
             Ok(())
         }

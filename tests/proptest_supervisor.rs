@@ -1,0 +1,159 @@
+//! Resilience properties for the supervised sweep runner.
+//!
+//! 1. Resume safety: a run journal truncated at *any* byte boundary is
+//!    still a valid resume source. `Journal::load` keeps every complete,
+//!    schema-valid line and drops the torn tail, and a resumed run
+//!    reproduces the uninterrupted run's result vector bit for bit — at
+//!    one worker thread and at four.
+//! 2. Retry determinism: a chaos-profile sweep with a retry budget is a
+//!    pure function of its seeds. Two identical runs agree on every
+//!    result *and* on the health counters, and the outcome is invariant
+//!    under the thread count.
+//!
+//! This file rides in the no-panic clippy gate alongside the library
+//! crates, so fallible setup goes through [`ok`] instead of `unwrap`.
+
+use std::fmt::Display;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use rvliw::exp::{
+    run_scenario_list_supervised, Journal, Scenario, ScenarioResult, SupervisorConfig, Workload,
+};
+use rvliw::fault::{FaultPlan, FaultProfile};
+
+/// Unwraps a fallible setup step with a labelled panic (the clippy gate
+/// forbids `unwrap`/`expect` in this target).
+fn ok<T, E: Display>(what: &str, r: Result<T, E>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => panic!("{what}: {e}"),
+    }
+}
+
+fn nop(_: &str) {}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "rvliw-proptest-supervisor-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    ok("create tmpdir", std::fs::create_dir_all(&dir));
+    dir
+}
+
+/// The scenario list every property runs: a mix of instruction-level and
+/// loop-level scenarios, all of which complete on the tiny workload.
+fn grid() -> Vec<Scenario> {
+    vec![
+        Scenario::orig(),
+        Scenario::a1(),
+        Scenario::a3(),
+        Scenario::loop_two_lb(5),
+    ]
+}
+
+/// One uninterrupted journalled run, simulated once and shared by every
+/// truncation case: the reference result vector and the journal bytes.
+struct Baseline {
+    results: Vec<ScenarioResult>,
+    journal: Vec<u8>,
+}
+
+fn baseline() -> &'static Baseline {
+    static B: OnceLock<Baseline> = OnceLock::new();
+    B.get_or_init(|| {
+        let w = Workload::tiny();
+        let path = tmpdir("seed").join("run.jsonl");
+        let config = SupervisorConfig {
+            journal: Some(ok("open journal", Journal::open(&path))),
+            ..SupervisorConfig::default()
+        };
+        let (results, health) = run_scenario_list_supervised(&grid(), &w, 1, &nop, None, &config);
+        assert_eq!(health.completed, grid().len(), "baseline grid completes");
+        Baseline {
+            results,
+            journal: ok("read journal", std::fs::read(&path)),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Chopping the journal at any byte boundary — mid-line, mid-number,
+    /// between lines, or past the end — leaves a resumable prefix: every
+    /// complete line is replayed without re-simulation, the torn tail is
+    /// re-simulated, and the final result vector is bit-identical to the
+    /// uninterrupted run's, at one thread and at four.
+    #[test]
+    fn journal_truncated_anywhere_resumes_bit_identically(cut in 0usize..4096) {
+        let b = baseline();
+        let mut bytes = b.journal.clone();
+        bytes.truncate(cut.min(bytes.len()));
+        let complete_lines = bytes.iter().filter(|&&c| c == b'\n').count();
+
+        let path = tmpdir("cut").join("run.jsonl");
+        ok("write truncated journal", std::fs::write(&path, &bytes));
+        let resume = ok("load truncated journal", Journal::load(&path));
+        prop_assert_eq!(resume.len(), complete_lines, "one replay entry per complete line");
+
+        let w = Workload::tiny();
+        for threads in [1usize, 4] {
+            let config = SupervisorConfig {
+                resume: resume.clone(),
+                ..SupervisorConfig::default()
+            };
+            let (results, health) =
+                run_scenario_list_supervised(&grid(), &w, threads, &nop, None, &config);
+            prop_assert_eq!(&results, &b.results, "resume at {} threads diverged", threads);
+            prop_assert_eq!(health.replayed, resume.len());
+            prop_assert_eq!(health.completed, grid().len());
+            // Replayed scenarios cost no simulation attempts.
+            prop_assert_eq!(health.attempts, (grid().len() - resume.len()) as u64);
+        }
+    }
+}
+
+/// A chaos-profile sweep under a retry budget is deterministic: the same
+/// seeds produce the same results and the same health counters on every
+/// run, and the thread count does not leak into either. One scenario
+/// carries an unmeetable cycle budget, so the retry path (transient
+/// classification, per-attempt reseed, backoff) is exercised — and
+/// exhausted — on every run.
+#[test]
+fn chaos_sweep_with_retries_is_deterministic() {
+    let w = Workload::tiny();
+    let grid = vec![
+        Scenario::orig().with_fault_plan(FaultPlan::from_profile(FaultProfile::Chaos, 7)),
+        Scenario::a1().with_fault_plan(FaultPlan::from_profile(FaultProfile::Chaos, 11)),
+        Scenario::a3().with_cycle_limit(1),
+    ];
+    let run = |threads: usize| {
+        let config = SupervisorConfig {
+            max_retries: 3,
+            ..SupervisorConfig::default()
+        };
+        run_scenario_list_supervised(&grid, &w, threads, &nop, None, &config)
+    };
+
+    let (r1, h1) = run(1);
+    let (r2, h2) = run(1);
+    assert_eq!(r1, r2, "same-seed chaos runs diverged");
+    assert_eq!(h1.summary_line(), h2.summary_line());
+    assert_eq!(h1.attempts, h2.attempts);
+
+    let (r4, h4) = run(4);
+    assert_eq!(r1, r4, "thread count leaked into chaos results");
+    assert_eq!(h1.summary_line(), h4.summary_line());
+    assert_eq!(h1.attempts, h4.attempts);
+
+    // The cycle-limited scenario fails with a transient error and burns
+    // its whole retry budget, deterministically.
+    assert!(h1.retries >= 3, "expected ≥3 retries, saw {}", h1.retries);
+    assert!(h1.failed >= 1, "the cycle-limited scenario cannot complete");
+}
