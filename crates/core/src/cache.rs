@@ -27,7 +27,7 @@ use mpeg4_enc::QualityMetrics;
 use rvliw_asm::Code;
 use rvliw_cache::{CacheCounts, CacheError, CacheKey, KeyBuilder, ResultCache};
 use rvliw_fault::FaultPlan;
-use rvliw_isa::encode_op;
+use rvliw_isa::{encode_op, Substrate};
 use rvliw_kernels::{build_getsad_approx, build_mb_prep, build_me_loop_call, DriverKind, Variant};
 use rvliw_mem::MemStats;
 use rvliw_rfu::{RfuBandwidth, RfuStats};
@@ -501,6 +501,15 @@ fn scenario_desc(sc: &Scenario) -> Json {
     if let Some(search) = sc.search {
         o.insert("search".to_owned(), Json::Str(search_token(search)));
     }
+    // Same discipline for the substrate axis: descriptors of VLIW
+    // scenarios stay byte-identical to pre-substrate ones, and `verify`
+    // can rebuild scalar entries from the stored token.
+    if sc.substrate() != Substrate::Vliw4 {
+        o.insert(
+            "substrate".to_owned(),
+            Json::Str(sc.substrate().name().to_owned()),
+        );
+    }
     Json::Obj(o)
 }
 
@@ -543,6 +552,9 @@ fn scenario_from_desc(j: &Json) -> Option<Scenario> {
     }
     if let Some(v) = j.get("search") {
         sc.search = Some(parse_search(v.as_str()?)?);
+    }
+    if let Some(v) = j.get("substrate") {
+        sc = sc.with_substrate(v.as_str()?.parse().ok()?);
     }
     Some(sc)
 }
@@ -840,6 +852,8 @@ mod tests {
                     range: 8,
                     threshold: 256,
                 }),
+            Scenario::a2().with_substrate(Substrate::ScalarInOrder),
+            Scenario::loop_level(RfuBandwidth::B2x64, 1).with_substrate(Substrate::ScalarInOrder),
         ];
         for sc in scenarios {
             let desc = scenario_desc(&sc);

@@ -48,6 +48,7 @@ pub use cache::{
 };
 pub use metrics::TablesSnapshot;
 pub use runner::{run_me, run_me_with_tracer, MeResult, ScenarioError};
+pub use rvliw_isa::Substrate;
 pub use scenario::Scenario;
 pub use session::SimSession;
 pub use spec::{ExperimentSpec, ReconfigSpec, SpecError, SweepAxes};
@@ -55,8 +56,8 @@ pub use supervisor::{
     run_scenario_list_supervised, run_summary, HealthReport, Journal, SupervisorConfig,
 };
 pub use sweep::{
-    run_scenario_list, run_scenario_list_cached, Pareto, ParetoPoint, ScenarioResult, Sweep,
-    SweepOutcome, SweepRow,
+    run_scenario_list, run_scenario_list_cached, Pareto, ParetoPoint, ScenarioResult,
+    SubstrateRatio, Sweep, SweepOutcome, SweepRow,
 };
 pub use tables::CaseStudy;
 pub use threads::{auto_threads, default_threads, parse_threads};

@@ -5,7 +5,7 @@ use std::fmt;
 use mpeg4_enc::me::SearchAlgorithm;
 use mpeg4_enc::ApproxSad;
 use rvliw_fault::FaultPlan;
-use rvliw_isa::MachineConfig;
+use rvliw_isa::{MachineConfig, Substrate};
 use rvliw_kernels::{DriverKind, Variant};
 use rvliw_mem::MemConfig;
 use rvliw_rfu::{MeLoopCfg, ReconfigModel, RfuBandwidth, SadApprox};
@@ -351,6 +351,22 @@ impl Scenario {
         self
     }
 
+    /// Selects the fetch/issue substrate the scenario's machine runs on
+    /// (cross-substrate sweeps). The substrate lives in the machine
+    /// configuration, so it reaches the cache key through the `machine`
+    /// field and the built machine through [`Scenario::session`].
+    #[must_use]
+    pub fn with_substrate(mut self, substrate: Substrate) -> Self {
+        self.machine.substrate = substrate;
+        self
+    }
+
+    /// The fetch/issue substrate this scenario runs on.
+    #[must_use]
+    pub fn substrate(&self) -> Substrate {
+        self.machine.substrate
+    }
+
     /// Selects a SAD approximation for both the host encoder and the
     /// simulated kernel (speed-vs-quality sweeps).
     #[must_use]
@@ -484,6 +500,19 @@ mod tests {
         assert!(format!("{ap:?}").contains("approx"));
         let se = Scenario::a3().with_search(SearchAlgorithm::Diamond);
         assert!(format!("{se:?}").contains("search"));
+    }
+
+    #[test]
+    fn substrate_reaches_the_debug_string_through_the_machine_field() {
+        let base = format!("{:?}", Scenario::a3());
+        assert!(!base.contains("substrate"), "{base}");
+        let scalar = Scenario::a3().with_substrate(Substrate::ScalarInOrder);
+        assert!(format!("{scalar:?}").contains("substrate: ScalarInOrder"));
+        assert_eq!(scalar.substrate(), Substrate::ScalarInOrder);
+        assert_eq!(Scenario::a3().substrate(), Substrate::Vliw4);
+        // And into the built machine.
+        let m = scalar.session(176).build();
+        assert_eq!(m.config().substrate, Substrate::ScalarInOrder);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! ordering by convention; the builder makes it structural.
 
 use rvliw_fault::FaultPlan;
-use rvliw_isa::MachineConfig;
+use rvliw_isa::{MachineConfig, Substrate};
 use rvliw_mem::MemConfig;
 use rvliw_rfu::{LineBufferB, MeLoopCfg, ReconfigModel, Rfu};
 use rvliw_sim::{ExecBackend, Machine};
@@ -87,6 +87,15 @@ impl SimSession {
     #[must_use]
     pub fn mem_config(mut self, cfg: MemConfig) -> Self {
         self.mem = cfg;
+        self
+    }
+
+    /// Selects the fetch/issue substrate the built machine runs on
+    /// (mutates the core configuration — the substrate lives in
+    /// [`MachineConfig`], which is the single source of truth).
+    #[must_use]
+    pub fn substrate(mut self, substrate: Substrate) -> Self {
+        self.machine.substrate = substrate;
         self
     }
 
@@ -182,6 +191,16 @@ mod tests {
         let m = SimSession::st200().cycle_limit(1234).build();
         assert_eq!(m.cycle_limit, 1234);
         assert_ne!(default_limit, 1234);
+    }
+
+    #[test]
+    fn substrate_reaches_the_built_machine() {
+        let m = SimSession::st200()
+            .substrate(Substrate::ScalarInOrder)
+            .build();
+        assert_eq!(m.config().substrate, Substrate::ScalarInOrder);
+        let d = SimSession::st200().build();
+        assert_eq!(d.config().substrate, Substrate::Vliw4);
     }
 
     #[test]

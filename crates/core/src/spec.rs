@@ -25,6 +25,7 @@ use std::fmt;
 use mpeg4_enc::me::SearchAlgorithm;
 use mpeg4_enc::ApproxSad;
 use rvliw_fault::{FaultPlan, FaultProfile};
+use rvliw_isa::Substrate;
 use rvliw_kernels::Variant;
 use rvliw_rfu::{ReconfigModel, RfuBandwidth};
 use rvliw_trace::Json;
@@ -181,7 +182,8 @@ impl ReconfigSpec {
 /// kernel variants or a cross-product of loop-level axes.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SweepAxes {
-    /// Instruction-level points (Table 1): `variants × approx × search`.
+    /// Instruction-level points (Table 1):
+    /// `variants × approx × search × substrate`.
     Instruction {
         /// Kernel variants to run.
         variants: Vec<Variant>,
@@ -190,11 +192,13 @@ pub enum SweepAxes {
         /// Search-algorithm overrides (`None` = the workload's own search;
         /// default `[None]`).
         search: Vec<Option<SearchAlgorithm>>,
+        /// Fetch/issue substrates (default `[vliw4]`).
+        substrate: Vec<Substrate>,
     },
     /// Loop-level points (Tables 2–7): the full cross-product
     /// `bandwidths × betas × two_line_buffers × lbb_bank_lines ×
-    /// reconfig × approx × search`, expanded with the leftmost axis
-    /// outermost.
+    /// reconfig × approx × search × substrate`, expanded with the
+    /// leftmost axis outermost.
     Loop {
         /// RFU data bandwidths.
         bandwidths: Vec<RfuBandwidth>,
@@ -210,6 +214,8 @@ pub enum SweepAxes {
         approx: Vec<ApproxSad>,
         /// Search-algorithm overrides (default `[None]`).
         search: Vec<Option<SearchAlgorithm>>,
+        /// Fetch/issue substrates (default `[vliw4]`).
+        substrate: Vec<Substrate>,
     },
 }
 
@@ -221,6 +227,7 @@ impl SweepAxes {
             variants,
             approx: vec![ApproxSad::Exact],
             search: vec![None],
+            substrate: vec![Substrate::Vliw4],
         }
     }
 
@@ -237,6 +244,7 @@ impl SweepAxes {
             reconfig: vec![ReconfigSpec::zero()],
             approx: vec![ApproxSad::Exact],
             search: vec![None],
+            substrate: vec![Substrate::Vliw4],
         }
     }
 
@@ -252,6 +260,7 @@ impl SweepAxes {
             reconfig: vec![ReconfigSpec::zero()],
             approx: vec![ApproxSad::Exact],
             search: vec![None],
+            substrate: vec![Substrate::Vliw4],
         }
     }
 
@@ -277,6 +286,17 @@ impl SweepAxes {
         self
     }
 
+    /// Replaces the substrate axis (either sweep kind).
+    #[must_use]
+    pub fn with_substrate_axis(mut self, axis: Vec<Substrate>) -> Self {
+        match &mut self {
+            SweepAxes::Instruction { substrate, .. } | SweepAxes::Loop { substrate, .. } => {
+                *substrate = axis;
+            }
+        }
+        self
+    }
+
     /// The number of scenarios this sweep expands to.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -285,7 +305,8 @@ impl SweepAxes {
                 variants,
                 approx,
                 search,
-            } => variants.len() * approx.len() * search.len(),
+                substrate,
+            } => variants.len() * approx.len() * search.len() * substrate.len(),
             SweepAxes::Loop {
                 bandwidths,
                 betas,
@@ -294,6 +315,7 @@ impl SweepAxes {
                 reconfig,
                 approx,
                 search,
+                substrate,
             } => {
                 bandwidths.len()
                     * betas.len()
@@ -302,6 +324,7 @@ impl SweepAxes {
                     * reconfig.len()
                     * approx.len()
                     * search.len()
+                    * substrate.len()
             }
         }
     }
@@ -312,12 +335,14 @@ impl SweepAxes {
         self.len() == 0
     }
 
-    /// Serializes the shared `approx`/`search` axes into `m`, omitting
-    /// each when at its default (so paper-grid specs are unchanged).
+    /// Serializes the shared `approx`/`search`/`substrate` axes into `m`,
+    /// omitting each when at its default (so paper-grid specs are
+    /// unchanged).
     fn axes_to_json(
         m: &mut BTreeMap<String, Json>,
         approx: &[ApproxSad],
         search: &[Option<SearchAlgorithm>],
+        substrate: &[Substrate],
     ) {
         if approx != [ApproxSad::Exact] {
             m.insert(
@@ -335,6 +360,17 @@ impl SweepAxes {
                             None => Json::Null,
                             Some(alg) => Json::Str(search_token(*alg)),
                         })
+                        .collect(),
+                ),
+            );
+        }
+        if substrate != [Substrate::Vliw4] {
+            m.insert(
+                "substrate".to_owned(),
+                Json::Arr(
+                    substrate
+                        .iter()
+                        .map(|s| Json::Str(s.name().to_owned()))
                         .collect(),
                 ),
             );
@@ -416,6 +452,32 @@ impl SweepAxes {
         }
     }
 
+    fn substrate_axis_from_json(
+        m: &BTreeMap<String, Json>,
+        path: &str,
+    ) -> Result<Vec<Substrate>, SpecError> {
+        match m.get("substrate") {
+            None => Ok(vec![Substrate::Vliw4]),
+            Some(v) => {
+                let p = format!("{path}.substrate");
+                let arr = v
+                    .as_array()
+                    .ok_or_else(|| schema(&p, "expected an array of substrate tokens"))?;
+                if arr.is_empty() {
+                    return Err(schema(p, "must not be empty"));
+                }
+                arr.iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        let p = format!("{p}[{i}]");
+                        let s = v.as_str().ok_or_else(|| schema(&p, "expected a string"))?;
+                        s.parse::<Substrate>().map_err(|e| schema(p, e))
+                    })
+                    .collect()
+            }
+        }
+    }
+
     fn to_json(&self) -> Json {
         let mut m = BTreeMap::new();
         match self {
@@ -423,6 +485,7 @@ impl SweepAxes {
                 variants,
                 approx,
                 search,
+                substrate,
             } => {
                 m.insert("kind".to_owned(), Json::Str("instruction".to_owned()));
                 m.insert(
@@ -434,7 +497,7 @@ impl SweepAxes {
                             .collect(),
                     ),
                 );
-                Self::axes_to_json(&mut m, approx, search);
+                Self::axes_to_json(&mut m, approx, search, substrate);
             }
             SweepAxes::Loop {
                 bandwidths,
@@ -444,6 +507,7 @@ impl SweepAxes {
                 reconfig,
                 approx,
                 search,
+                substrate,
             } => {
                 m.insert("kind".to_owned(), Json::Str("loop".to_owned()));
                 m.insert(
@@ -485,7 +549,7 @@ impl SweepAxes {
                         Json::Arr(reconfig.iter().map(|r| r.to_json()).collect()),
                     );
                 }
-                Self::axes_to_json(&mut m, approx, search);
+                Self::axes_to_json(&mut m, approx, search, substrate);
             }
         }
         Json::Obj(m)
@@ -496,7 +560,11 @@ impl SweepAxes {
         let kind = req_str(m, "kind", path)?;
         match kind {
             "instruction" => {
-                check_keys(m, &["kind", "variants", "approx", "search"], path)?;
+                check_keys(
+                    m,
+                    &["kind", "variants", "approx", "search", "substrate"],
+                    path,
+                )?;
                 let arr = req_arr(m, "variants", path)?;
                 if arr.is_empty() {
                     return Err(schema(format!("{path}.variants"), "must not be empty"));
@@ -519,6 +587,7 @@ impl SweepAxes {
                     variants,
                     approx: Self::approx_axis_from_json(m, path)?,
                     search: Self::search_axis_from_json(m, path)?,
+                    substrate: Self::substrate_axis_from_json(m, path)?,
                 })
             }
             "loop" => {
@@ -533,6 +602,7 @@ impl SweepAxes {
                         "reconfig",
                         "approx",
                         "search",
+                        "substrate",
                     ],
                     path,
                 )?;
@@ -647,6 +717,7 @@ impl SweepAxes {
                     reconfig,
                     approx: Self::approx_axis_from_json(m, path)?,
                     search: Self::search_axis_from_json(m, path)?,
+                    substrate: Self::substrate_axis_from_json(m, path)?,
                 })
             }
             other => Err(schema(
@@ -757,32 +828,40 @@ impl ExperimentSpec {
             out.push(sc);
             Ok(())
         };
-        // Applies one (approx, search) point to a scenario, appending the
-        // label suffixes that keep expanded labels unique per point.
-        // Default points leave the scenario and its label untouched, so
-        // paper-grid labels are unchanged.
-        let quality_point = |mut sc: Scenario, ap: ApproxSad, se: Option<SearchAlgorithm>| {
-            if !ap.is_exact() {
-                sc = sc.with_approx(ap);
-                sc.label.push_str(&format!(" ap={}", approx_token(ap)));
-            }
-            if let Some(alg) = se {
-                sc = sc.with_search(alg);
-                sc.label.push_str(&format!(" se={}", search_token(alg)));
-            }
-            sc
-        };
+        // Applies one (approx, search, substrate) point to a scenario,
+        // appending the label suffixes that keep expanded labels unique
+        // per point. Default points leave the scenario and its label
+        // untouched, so paper-grid labels are unchanged.
+        let quality_point =
+            |mut sc: Scenario, ap: ApproxSad, se: Option<SearchAlgorithm>, su: Substrate| {
+                if !ap.is_exact() {
+                    sc = sc.with_approx(ap);
+                    sc.label.push_str(&format!(" ap={}", approx_token(ap)));
+                }
+                if let Some(alg) = se {
+                    sc = sc.with_search(alg);
+                    sc.label.push_str(&format!(" se={}", search_token(alg)));
+                }
+                if su != Substrate::Vliw4 {
+                    sc = sc.with_substrate(su);
+                    sc.label.push_str(&format!(" su={}", su.name()));
+                }
+                sc
+            };
         for sweep in &self.sweeps {
             match sweep {
                 SweepAxes::Instruction {
                     variants,
                     approx,
                     search,
+                    substrate,
                 } => {
                     for &v in variants {
                         for &ap in approx {
                             for &se in search {
-                                push(quality_point(Scenario::instruction(v), ap, se))?;
+                                for &su in substrate {
+                                    push(quality_point(Scenario::instruction(v), ap, se, su))?;
+                                }
                             }
                         }
                     }
@@ -795,6 +874,7 @@ impl ExperimentSpec {
                     reconfig,
                     approx,
                     search,
+                    substrate,
                 } => {
                     for &bw in bandwidths {
                         for &beta in betas {
@@ -803,18 +883,20 @@ impl ExperimentSpec {
                                     for &rc in reconfig {
                                         for &ap in approx {
                                             for &se in search {
-                                                let mut sc = if two_lb {
-                                                    Scenario::loop_two_lb(beta)
-                                                } else {
-                                                    Scenario::loop_level(bw, beta)
-                                                };
-                                                if let Some(lines) = lbb {
-                                                    sc = sc.with_lbb_bank_lines(lines);
-                                                    sc.label.push_str(&format!(" lbb={lines}"));
+                                                for &su in substrate {
+                                                    let mut sc = if two_lb {
+                                                        Scenario::loop_two_lb(beta)
+                                                    } else {
+                                                        Scenario::loop_level(bw, beta)
+                                                    };
+                                                    if let Some(lines) = lbb {
+                                                        sc = sc.with_lbb_bank_lines(lines);
+                                                        sc.label.push_str(&format!(" lbb={lines}"));
+                                                    }
+                                                    sc = sc.with_reconfig(rc.model());
+                                                    sc.label.push_str(&rc.label_suffix());
+                                                    push(quality_point(sc, ap, se, su))?;
                                                 }
-                                                sc = sc.with_reconfig(rc.model());
-                                                sc.label.push_str(&rc.label_suffix());
-                                                push(quality_point(sc, ap, se))?;
                                             }
                                         }
                                     }
@@ -1115,6 +1197,7 @@ mod tests {
             reconfig: vec![ReconfigSpec::zero()],
             approx: vec![ApproxSad::Exact],
             search: vec![None],
+            substrate: vec![Substrate::Vliw4],
         });
         assert!(matches!(
             spec.scenarios(),
@@ -1139,6 +1222,7 @@ mod tests {
             ],
             approx: vec![ApproxSad::Exact],
             search: vec![None],
+            substrate: vec![Substrate::Vliw4],
         });
         let labels: Vec<String> = spec
             .scenarios()
@@ -1167,6 +1251,7 @@ mod tests {
             reconfig: vec![ReconfigSpec::zero()],
             approx: vec![ApproxSad::Exact],
             search: vec![None],
+            substrate: vec![Substrate::Vliw4],
         };
         assert_eq!(axes.len(), 12);
         let spec = ExperimentSpec::new("count")
@@ -1208,6 +1293,34 @@ mod tests {
         // And the whole thing round-trips through JSON.
         let parsed = ExperimentSpec::from_json_str(&spec.to_json_string()).unwrap();
         assert_eq!(parsed, spec);
+    }
+
+    #[test]
+    fn substrate_axis_expands_with_label_suffixes_and_round_trips() {
+        let spec = ExperimentSpec::new("substrates").sweep(
+            SweepAxes::instruction(vec![Variant::A3])
+                .with_substrate_axis(vec![Substrate::Vliw4, Substrate::ScalarInOrder]),
+        );
+        let scenarios = spec.scenarios().unwrap();
+        let labels: Vec<&str> = scenarios.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(labels, ["A3", "A3 su=scalar"]);
+        assert_eq!(scenarios[0].substrate(), Substrate::Vliw4);
+        assert_eq!(scenarios[1].substrate(), Substrate::ScalarInOrder);
+        let parsed = ExperimentSpec::from_json_str(&spec.to_json_string()).unwrap();
+        assert_eq!(parsed, spec);
+        // The default axis is omitted from the JSON rendering entirely, so
+        // pre-substrate spec files keep their byte-for-byte shape.
+        let default_spec =
+            ExperimentSpec::new("d").sweep(SweepAxes::instruction(vec![Variant::A3]));
+        assert!(!default_spec.to_json_string().contains("substrate"));
+        let bad = "{\"name\": \"x\", \"sweeps\": [{\"kind\": \"instruction\", \
+                   \"variants\": [\"A3\"], \"substrate\": [\"mips\"]}]}";
+        match ExperimentSpec::from_json_str(bad) {
+            Err(SpecError::Schema { message, .. }) => {
+                assert!(message.contains("unknown substrate"), "got `{message}`");
+            }
+            other => panic!("bad substrate token gave {other:?}"),
+        }
     }
 
     #[test]

@@ -299,6 +299,30 @@ pub struct SweepOutcome {
     pub rows: Vec<SweepRow>,
 }
 
+/// A cross-substrate pairing: two successful rows of the same sweep whose
+/// labels differ only by the ` su=` suffix, compared on ME cycles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubstrateRatio {
+    /// The base scenario label (the default-substrate row).
+    pub label: String,
+    /// The alternate substrate token (the ` su=` suffix value, e.g.
+    /// `scalar`).
+    pub substrate: String,
+    /// ME cycles of the default (VLIW) row.
+    pub vliw_cycles: u64,
+    /// ME cycles of the alternate-substrate row.
+    pub substrate_cycles: u64,
+}
+
+impl SubstrateRatio {
+    /// Cycle ratio of the alternate substrate over the VLIW row
+    /// (`> 1` means the alternate substrate is slower).
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        self.substrate_cycles as f64 / self.vliw_cycles as f64
+    }
+}
+
 /// Renders a quality block as the compact speed-vs-quality cell used by
 /// the text matrix: `+1.23%/+0.05dB` (SAD inflation, PSNR delta). Rows
 /// with no quality block (exact full-quality scenarios) render `-`.
@@ -343,6 +367,42 @@ impl SweepOutcome {
     #[must_use]
     pub fn is_complete(&self) -> bool {
         self.failures().next().is_none()
+    }
+
+    /// Every cross-substrate pairing in this outcome, in run order of the
+    /// alternate-substrate rows.
+    ///
+    /// A row whose label carries a ` su=` suffix (the substrate sweep
+    /// axis) is paired with the row whose label is the same minus that
+    /// suffix — the default-substrate run of the same scenario point.
+    /// Pairs where either side failed, or where the base row is absent,
+    /// are skipped.
+    #[must_use]
+    pub fn substrate_ratios(&self) -> Vec<SubstrateRatio> {
+        let mut out = Vec::new();
+        for row in &self.rows {
+            // ` su=` is always the last label suffix the expander appends,
+            // so splitting from the right recovers the base label exactly.
+            let Some((base, su)) = row.label.rsplit_once(" su=") else {
+                continue;
+            };
+            let Ok(res) = &row.result else { continue };
+            let Some(base_res) = self
+                .rows
+                .iter()
+                .find(|r| r.label == base)
+                .and_then(|r| r.result.as_ref().ok())
+            else {
+                continue;
+            };
+            out.push(SubstrateRatio {
+                label: base.to_owned(),
+                substrate: su.to_owned(),
+                vliw_cycles: base_res.me_cycles,
+                substrate_cycles: res.me_cycles,
+            });
+        }
+        out
     }
 
     /// The outcome as a JSON value (the `rvliw sweep --out` format).
@@ -408,6 +468,34 @@ impl SweepOutcome {
             })
             .collect();
         m.insert("rows".to_owned(), Json::Arr(rows));
+        // Cross-substrate pairings are emitted only when the sweep has
+        // any, so single-substrate sweep output keeps its exact shape.
+        let ratios = self.substrate_ratios();
+        if !ratios.is_empty() {
+            m.insert(
+                "substrate_ratios".to_owned(),
+                Json::Arr(
+                    ratios
+                        .iter()
+                        .map(|r| {
+                            let mut j = std::collections::BTreeMap::new();
+                            j.insert("label".to_owned(), Json::Str(r.label.clone()));
+                            j.insert("substrate".to_owned(), Json::Str(r.substrate.clone()));
+                            j.insert(
+                                "vliw_cycles".to_owned(),
+                                Json::Num(r.vliw_cycles.to_string()),
+                            );
+                            j.insert(
+                                "substrate_cycles".to_owned(),
+                                Json::Num(r.substrate_cycles.to_string()),
+                            );
+                            j.insert("ratio".to_owned(), fnum(r.ratio()));
+                            Json::Obj(j)
+                        })
+                        .collect(),
+                ),
+            );
+        }
         Json::Obj(m)
     }
 
@@ -768,6 +856,59 @@ mod tests {
                 .map(<[Json]>::len),
             Some(2)
         );
+    }
+
+    #[test]
+    fn substrate_ratios_pair_rows_by_label_suffix() {
+        let out = SweepOutcome {
+            name: "xsub".to_owned(),
+            baseline: None,
+            rows: vec![
+                row("A3", 100, None),
+                row("A3 su=scalar", 250, None),
+                row("Orig", 400, None),
+                // No base row: skipped.
+                row("1x32 b=1 su=scalar", 70, None),
+                // Failed alternate row: skipped.
+                SweepRow {
+                    label: "Orig su=scalar".to_owned(),
+                    static_latency: None,
+                    result: Err(ScenarioError::Panic {
+                        label: "Orig su=scalar".to_owned(),
+                        message: "x".to_owned(),
+                        location: None,
+                    }),
+                },
+            ],
+        };
+        let ratios = out.substrate_ratios();
+        assert_eq!(
+            ratios,
+            [SubstrateRatio {
+                label: "A3".to_owned(),
+                substrate: "scalar".to_owned(),
+                vliw_cycles: 100,
+                substrate_cycles: 250,
+            }]
+        );
+        assert!((ratios[0].ratio() - 2.5).abs() < 1e-12);
+        // The JSON gains a `substrate_ratios` array...
+        let json = Json::parse(&out.to_json_string()).unwrap();
+        let jr = json.get("substrate_ratios").and_then(Json::as_array);
+        assert_eq!(jr.map(<[Json]>::len), Some(1));
+        assert_eq!(
+            jr.unwrap()[0].get("ratio").map(ToString::to_string),
+            Some("2.500000".to_owned())
+        );
+        // ...but only when pairings exist: single-substrate output keeps
+        // its exact shape.
+        let plain = SweepOutcome {
+            name: "plain".to_owned(),
+            baseline: None,
+            rows: vec![row("A3", 100, None)],
+        };
+        assert!(plain.substrate_ratios().is_empty());
+        assert!(!plain.to_json_string().contains("substrate_ratios"));
     }
 
     #[test]

@@ -1,6 +1,64 @@
 //! Machine configuration: per-cycle resources and operation latencies.
 
+use std::fmt;
+use std::str::FromStr;
+
 use crate::{FuClass, Op, Opcode};
+
+/// Which fetch/issue engine executes the scheduled kernel programs.
+///
+/// Both substrates run the *same* scheduled bundles against the same
+/// memory hierarchy, fault plans and RFU datapath; only the issue timing
+/// differs. The default, [`Substrate::Vliw4`], is the paper's 4-issue
+/// VLIW machine; [`Substrate::ScalarInOrder`] is a scalar in-order
+/// 5-stage RISC pipe that issues one operation per cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Substrate {
+    /// The 4-issue, parallel-read VLIW host of the paper.
+    #[default]
+    Vliw4,
+    /// A scalar in-order 5-stage RISC host: one operation per cycle, an
+    /// extra branch bubble for the longer pipe, otherwise the same
+    /// architectural semantics.
+    ScalarInOrder,
+}
+
+impl Substrate {
+    /// All substrates, in sweep-axis order.
+    #[must_use]
+    pub fn all() -> [Substrate; 2] {
+        [Substrate::Vliw4, Substrate::ScalarInOrder]
+    }
+
+    /// The canonical spec/CLI token (`"vliw4"` / `"scalar"`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Substrate::Vliw4 => "vliw4",
+            Substrate::ScalarInOrder => "scalar",
+        }
+    }
+}
+
+impl fmt::Display for Substrate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Substrate {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "vliw4" | "vliw" => Ok(Substrate::Vliw4),
+            "scalar" | "scalar-in-order" => Ok(Substrate::ScalarInOrder),
+            other => Err(format!(
+                "unknown substrate `{other}` (expected `vliw4` or `scalar`)"
+            )),
+        }
+    }
+}
 
 /// Static description of the modelled core: issue resources and
 /// compiler-visible latencies.
@@ -15,7 +73,7 @@ use crate::{FuClass, Op, Opcode};
 /// assert_eq!(cfg.issue_width, 4);
 /// assert_eq!(cfg.num_alus, 4);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct MachineConfig {
     /// Maximum syllables issued per cycle.
     pub issue_width: usize,
@@ -43,6 +101,50 @@ pub struct MachineConfig {
     /// Latency of a *short* `RFUEXEC` custom instruction. The paper assumes
     /// single-cycle execution for the instruction-level scenarios.
     pub lat_rfu_exec: u64,
+    /// Which fetch/issue engine executes programs on this machine.
+    pub substrate: Substrate,
+}
+
+impl fmt::Debug for MachineConfig {
+    /// Hand-rolled so the rendering at the default substrate stays
+    /// byte-identical to the pre-substrate derive output: the scenario
+    /// cache canonicalizes configurations via their `Debug` string, and
+    /// pre-existing VLIW keys must not move. Exhaustive destructuring
+    /// makes adding a field without revisiting this a compile error.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let MachineConfig {
+            issue_width,
+            num_alus,
+            num_muls,
+            num_mem_units,
+            num_branch_units,
+            num_rfu_slots,
+            lat_alu,
+            lat_mul,
+            lat_load,
+            lat_cmp_to_br,
+            lat_rfu_send,
+            lat_rfu_exec,
+            substrate,
+        } = self;
+        let mut d = f.debug_struct("MachineConfig");
+        d.field("issue_width", issue_width)
+            .field("num_alus", num_alus)
+            .field("num_muls", num_muls)
+            .field("num_mem_units", num_mem_units)
+            .field("num_branch_units", num_branch_units)
+            .field("num_rfu_slots", num_rfu_slots)
+            .field("lat_alu", lat_alu)
+            .field("lat_mul", lat_mul)
+            .field("lat_load", lat_load)
+            .field("lat_cmp_to_br", lat_cmp_to_br)
+            .field("lat_rfu_send", lat_rfu_send)
+            .field("lat_rfu_exec", lat_rfu_exec);
+        if *substrate != Substrate::Vliw4 {
+            d.field("substrate", substrate);
+        }
+        d.finish()
+    }
 }
 
 impl MachineConfig {
@@ -62,7 +164,15 @@ impl MachineConfig {
             lat_cmp_to_br: 2,
             lat_rfu_send: 1,
             lat_rfu_exec: 1,
+            substrate: Substrate::Vliw4,
         }
+    }
+
+    /// The same machine with `substrate` selected.
+    #[must_use]
+    pub fn with_substrate(mut self, substrate: Substrate) -> Self {
+        self.substrate = substrate;
+        self
     }
 
     /// Compiler-visible result latency of `op`, in cycles.
@@ -164,5 +274,40 @@ mod tests {
         let c = MachineConfig::st200();
         assert_eq!(c.slots(FuClass::Alu), 4);
         assert_eq!(c.slots(FuClass::Rfu), 1);
+    }
+
+    #[test]
+    fn debug_at_default_substrate_matches_pre_substrate_rendering() {
+        // The scenario cache hashes this string: the VLIW rendering must
+        // stay byte-identical to what the derived Debug produced before
+        // the substrate field existed.
+        let c = MachineConfig::st200();
+        let s = format!("{c:?}");
+        assert!(!s.contains("substrate"), "default must omit substrate: {s}");
+        assert_eq!(
+            s,
+            "MachineConfig { issue_width: 4, num_alus: 4, num_muls: 2, \
+             num_mem_units: 1, num_branch_units: 1, num_rfu_slots: 1, \
+             lat_alu: 1, lat_mul: 3, lat_load: 3, lat_cmp_to_br: 2, \
+             lat_rfu_send: 1, lat_rfu_exec: 1 }"
+        );
+    }
+
+    #[test]
+    fn debug_appends_substrate_only_when_scalar() {
+        let c = MachineConfig::st200().with_substrate(Substrate::ScalarInOrder);
+        let s = format!("{c:?}");
+        assert!(s.ends_with("substrate: ScalarInOrder }"), "{s}");
+    }
+
+    #[test]
+    fn substrate_tokens_round_trip() {
+        for su in Substrate::all() {
+            assert_eq!(su.name().parse::<Substrate>(), Ok(su));
+            assert_eq!(su.to_string(), su.name());
+        }
+        assert_eq!("vliw".parse::<Substrate>(), Ok(Substrate::Vliw4));
+        assert!("sparc".parse::<Substrate>().is_err());
+        assert_eq!(Substrate::default(), Substrate::Vliw4);
     }
 }

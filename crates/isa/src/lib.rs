@@ -43,7 +43,7 @@ pub mod simd;
 
 pub use blocks::block_leaders;
 pub use bundle::{Bundle, BundleError, ResourceUse};
-pub use config::MachineConfig;
+pub use config::{MachineConfig, Substrate};
 pub use encode::{decode_op, encode_op, DecodeError};
 pub use op::{Dest, Op, Src};
 pub use opcode::{FuClass, Opcode};

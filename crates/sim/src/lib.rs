@@ -39,11 +39,14 @@ pub mod decode;
 pub mod exec;
 pub mod machine;
 pub mod stats;
+pub mod substrate;
 
 pub use block::{backend_totals, BackendStats, ExecBackend};
 pub use decode::DecodedCode;
 pub use machine::{Machine, RunSummary, SimError, Snapshot};
+pub use rvliw_isa::Substrate;
 pub use stats::SimStats;
+pub use substrate::{Core, ScalarCore, VliwCore, SCALAR_EXTRA_BRANCH_BUBBLE};
 
 use rvliw_asm::Code;
 

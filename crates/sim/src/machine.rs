@@ -6,18 +6,18 @@ use std::sync::Arc;
 
 use rvliw_asm::{Code, CodeKey};
 use rvliw_fault::FaultPlan;
-use rvliw_isa::{Dest, Gpr, MachineConfig, NUM_BRS, NUM_GPRS};
+use rvliw_isa::{Dest, Gpr, MachineConfig, Substrate, NUM_BRS, NUM_GPRS};
 use rvliw_mem::{MemConfig, MemError, MemStats, MemorySystem};
 use rvliw_rfu::{Rfu, RfuStats};
 use rvliw_trace::{NullTracer, StallCause, Tracer};
 
 use crate::block::{self, BackendStats, BlockExit, CompiledBlocks, ExecBackend};
-use crate::decode::{DSrc, DecodedCode, DecodedOp, ExecKind, ScoreRead};
+use crate::decode::{DecodedCode, DecodedOp, ExecKind};
 use crate::stats::SimStats;
-use crate::BUNDLE_BYTES;
+use crate::substrate::{self, ScalarCore, VliwCore};
 
 /// Per-bundle execution-trace hook: `(cycle, pc, bundle)`.
-type TraceHook<'a> = &'a mut dyn FnMut(u64, usize, &rvliw_isa::Bundle);
+pub(crate) type TraceHook<'a> = &'a mut dyn FnMut(u64, usize, &rvliw_isa::Bundle);
 
 /// Widest bundle the issue scratch supports (the machine configuration may
 /// widen the datapath beyond the default 4-issue, up to this bound).
@@ -423,7 +423,7 @@ impl Machine {
         &mut self,
         code: &Code,
         decoded: &DecodedCode,
-        mut trace: Option<TraceHook<'_>>,
+        trace: Option<TraceHook<'_>>,
         tracer: &mut T,
     ) -> Result<RunSummary, SimError> {
         let before = self.snapshot();
@@ -432,11 +432,14 @@ impl Machine {
         // Backend dispatch: block-compiled execution requires an
         // observation-free run — no per-bundle trace hook, a null tracer
         // and no armed fault injection — because compiled blocks do not
-        // replay per-access events for observers. When a control transfer
-        // lands mid-block (a computed `return` target), block execution
-        // hands the current pc back and the interpreter continues the same
-        // run below.
-        if self.backend != ExecBackend::Interpreter
+        // replay per-access events for observers, and is only compiled
+        // for the VLIW issue policy (on other substrates a requested
+        // block backend cleanly falls back to the interpreter). When a
+        // control transfer lands mid-block (a computed `return` target),
+        // block execution hands the current pc back and the interpreter
+        // continues the same run below.
+        if self.cfg.substrate == Substrate::Vliw4
+            && self.backend != ExecBackend::Interpreter
             && trace.is_none()
             && tracer.is_null()
             && self.fault_inert
@@ -457,143 +460,18 @@ impl Machine {
             self.backend_stats.interp_runs += 1;
             block::note_interp_run();
         }
-        let mut halted = false;
-        // Call stack is implicit: `call` writes the return bundle index to
-        // `$r63`, `return` jumps to it.
-        while !halted {
-            if pc >= decoded.len() {
-                return Err(SimError::FellOffEnd { pc });
-            }
-            if self.cycle >= limit {
-                return Err(SimError::CycleLimit {
-                    limit: self.cycle_limit,
-                });
-            }
-            if let Some(t) = trace.as_deref_mut() {
-                t(self.cycle, pc, &code.bundles()[pc]);
-            }
-
-            // Instruction fetch.
-            let istall = self
-                .mem
-                .ifetch_traced(pc as u32 * BUNDLE_BYTES, self.cycle, tracer);
-            if istall > 0 {
-                tracer.stall(self.cycle, pc, StallCause::Ifetch, istall);
-            }
-            self.cycle += istall;
-            self.stats.ifetch_stall_cycles += istall;
-
-            // Scoreboard interlock: every source of every operation must be
-            // ready (parallel-read semantics), and RFU operations wait for
-            // the unit to be free. The decoded read list already excludes
-            // immediates and `$r0`, which are always ready.
-            let mut ready_at = self.cycle;
-            for &r in decoded.reads_of(pc) {
-                ready_at = ready_at.max(match r {
-                    ScoreRead::Gpr(i) => self.gpr_ready[i as usize],
-                    ScoreRead::Br(i) => self.br_ready[i as usize],
-                });
-            }
-            if decoded.has_rfu(pc) {
-                ready_at = ready_at.max(self.rfu_busy_until);
-            }
-            let wait = ready_at - self.cycle;
-            if wait > 0 {
-                // Any stall that overlaps the RFU's busy window is time the
-                // core spends waiting for the reconfigurable unit (either
-                // for the unit itself or for a long-latency result).
-                let rfu_wait = self.rfu_busy_until.saturating_sub(self.cycle).min(wait);
-                self.stats.rfu_busy_stalls += rfu_wait;
-                self.stats.interlock_stalls += wait - rfu_wait;
-                if rfu_wait > 0 {
-                    tracer.stall(self.cycle, pc, StallCause::RfuBusy, rfu_wait);
-                }
-                if wait > rfu_wait {
-                    tracer.stall(self.cycle, pc, StallCause::Interlock, wait - rfu_wait);
-                }
-                self.cycle += wait;
-            }
-
-            // Read + execute phase. All sources observe pre-bundle state
-            // (parallel-read semantics); resolving each op's sources right
-            // before it executes is equivalent because register state only
-            // mutates in the deferred write-back below. Fixed-size scratch
-            // keeps the hot loop allocation-free; MAX_ISSUE bounds the
-            // widest configurable machine, not the default 4-issue (the
-            // decoder rejects wider bundles).
-            let ops = decoded.ops_of(pc);
-            tracer.bundle(self.cycle, pc, ops.len());
-            self.stats.ops += ops.len() as u64;
-            for (total, &n) in self
-                .stats
-                .ops_by_class
-                .iter_mut()
-                .zip(decoded.class_counts_of(pc))
-            {
-                *total += u64::from(n);
-            }
-            let mut writes: [(Dest, u32, u64); MAX_ISSUE] = [(Dest::None, 0, 0); MAX_ISSUE];
-            let mut nwrites = 0usize;
-            let mut next_pc: Option<usize> = None;
-            for op in ops {
-                let mut slot = [0u32; rvliw_isa::MAX_SRCS];
-                let nsrcs = op.srcs().len();
-                for (s, v) in op.srcs().iter().zip(slot.iter_mut()) {
-                    *v = match *s {
-                        DSrc::Gpr(i) => self.gpr[i as usize],
-                        DSrc::Zero => 0,
-                        DSrc::Br(i) => u32::from(self.br[i as usize]),
-                        DSrc::Imm(imm) => imm,
-                    };
-                }
-                self.exec_op(
-                    op,
-                    &slot[..nsrcs],
-                    &mut writes,
-                    &mut nwrites,
-                    &mut next_pc,
-                    &mut halted,
-                    pc,
-                    tracer,
+        // The interpreter proper: the fetch → scoreboard → issue → retire
+        // driver, monomorphized per substrate (see [`crate::substrate`]).
+        match self.cfg.substrate {
+            Substrate::Vliw4 => {
+                substrate::run_decoded::<VliwCore, T>(
+                    self, code, decoded, trace, tracer, limit, pc,
                 )?;
             }
-            let writes = &writes[..nwrites];
-
-            // Write-back phase.
-            for &(dest, value, ready) in writes {
-                match dest {
-                    Dest::None => {}
-                    Dest::Gpr(r) => {
-                        if !r.is_zero() {
-                            self.gpr[r.index() as usize] = value;
-                            self.gpr_ready[r.index() as usize] = ready;
-                        }
-                    }
-                    Dest::Br(b) => {
-                        self.br[b.index() as usize] = value != 0;
-                        self.br_ready[b.index() as usize] = ready;
-                    }
-                }
-            }
-
-            self.stats.bundles += 1;
-            self.cycle += 1;
-            match next_pc {
-                Some(t) => {
-                    self.stats.branches_taken += 1;
-                    if self.branch_taken_penalty > 0 {
-                        tracer.stall(
-                            self.cycle,
-                            pc,
-                            StallCause::BranchBubble,
-                            self.branch_taken_penalty,
-                        );
-                    }
-                    pc = t;
-                    self.cycle += self.branch_taken_penalty;
-                    self.stats.branch_stall_cycles += self.branch_taken_penalty;
-                }
-                None => pc += 1,
+            Substrate::ScalarInOrder => {
+                substrate::run_decoded::<ScalarCore, T>(
+                    self, code, decoded, trace, tracer, limit, pc,
+                )?;
             }
         }
         self.stats.cycles = self.cycle;
@@ -942,6 +820,72 @@ mod tests {
         let mut m = Machine::st200();
         let err = m.run(&code).unwrap_err();
         assert!(matches!(err, SimError::FellOffEnd { .. }));
+    }
+
+    fn scalar_machine() -> Machine {
+        Machine::new(
+            MachineConfig::st200().with_substrate(Substrate::ScalarInOrder),
+            MemConfig::st200(),
+        )
+    }
+
+    #[test]
+    fn scalar_substrate_matches_vliw_architecturally_but_not_in_cycles() {
+        let build = || {
+            let mut b = Builder::new("t");
+            let (i, acc) = (Gpr::new(1), Gpr::new(2));
+            let c = Br::new(0);
+            b.movi(i, 10);
+            b.movi(acc, 0);
+            let top = b.label();
+            b.bind(top);
+            b.add(acc, acc, i);
+            b.subi(i, i, 1);
+            b.cmpne_br(c, i, 0);
+            b.br(c, top);
+            b.halt();
+            compile(b)
+        };
+        let mut vliw = Machine::st200();
+        let mut scalar = scalar_machine();
+        let sv = vliw.run(&build()).unwrap();
+        let ss = scalar.run(&build()).unwrap();
+        assert_eq!(vliw.gpr(Gpr::new(2)), 55);
+        assert_eq!(scalar.gpr(Gpr::new(2)), 55);
+        assert_eq!(sv.stats.ops, ss.stats.ops);
+        assert_eq!(sv.stats.bundles, ss.stats.bundles);
+        assert!(
+            ss.cycles > sv.cycles,
+            "one-issue pipe must be slower: scalar {} vs vliw {}",
+            ss.cycles,
+            sv.cycles
+        );
+    }
+
+    #[test]
+    fn block_backend_on_scalar_falls_back_to_interpreter() {
+        // Satellite: a requested block-compiled backend on the scalar
+        // substrate must cleanly refuse — run on the interpreter, never
+        // touch the block compiler — and still produce the same results.
+        let build = || {
+            let mut b = Builder::new("t");
+            b.movi(Gpr::new(1), 20);
+            b.addi(Gpr::new(2), Gpr::new(1), 22);
+            b.halt();
+            compile(b)
+        };
+        let mut blocked = scalar_machine();
+        blocked.backend = ExecBackend::BlockCompiled;
+        let sb = blocked.run(&build()).unwrap();
+        assert_eq!(blocked.gpr(Gpr::new(2)), 42);
+        let bs = blocked.backend_stats();
+        assert_eq!(bs.block_runs, 0, "block path must not engage: {bs:?}");
+        assert_eq!(bs.compile_lookups, 0);
+        assert_eq!(bs.interp_runs, 1);
+        let mut interp = scalar_machine();
+        interp.backend = ExecBackend::Interpreter;
+        let si = interp.run(&build()).unwrap();
+        assert_eq!(sb, si, "fallback must not change any counter");
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! Differential tests between the two fetch/issue substrates: the 4-issue
+//! VLIW core and the scalar in-order core must agree on every
+//! *architectural* observable — final register file, branch registers,
+//! data memory contents and memory traffic counts — while disagreeing on
+//! timing (the scalar core spends at least one cycle per operation, so it
+//! can never be faster). Random kernel programs mirror the generator of
+//! `backend_parity.rs`; what differs is the comparison: cycle counts,
+//! stall breakdowns and cache hit/miss splits are timing-dependent and
+//! deliberately excluded.
+
+use proptest::prelude::*;
+use rvliw_asm::{schedule_st200, Builder, Code};
+use rvliw_isa::{Br, Gpr, MachineConfig, Substrate};
+use rvliw_mem::MemConfig;
+use rvliw_sim::Machine;
+
+/// Scratch memory base used by generated loads/stores, comfortably inside
+/// the 4 MiB simulated RAM.
+const MEM_BASE: i32 = 0x2_0000;
+
+/// The scratch window compared byte-for-byte after each run (covers every
+/// offset the generator can produce).
+const MEM_WINDOW: u32 = 0x1000;
+
+/// Registers the generator may target; the loop counter and memory base
+/// stay out of this pool.
+const DATA_REGS: u8 = 8;
+
+const COUNTER: Gpr = Gpr::new(10);
+const BASE: Gpr = Gpr::new(11);
+
+/// Everything the two substrates must agree on, bit for bit.
+#[derive(Debug, PartialEq, Eq)]
+struct Architectural {
+    ok: bool,
+    gprs: Vec<u32>,
+    brs: Vec<bool>,
+    ram: Vec<u8>,
+    loads: u64,
+    stores: u64,
+    ops: u64,
+    bundles: u64,
+    branches_taken: u64,
+    ops_by_class: [u64; 5],
+}
+
+/// Runs `code` on a fresh machine pinned to `substrate` and splits the
+/// observables into the architectural set and the cycle count.
+fn observe(code: &Code, substrate: Substrate) -> (Architectural, u64) {
+    let mut m = Machine::new(
+        MachineConfig::st200().with_substrate(substrate),
+        MemConfig::st200(),
+    );
+    let r = m.run(code);
+    let snap = m.snapshot();
+    let arch = Architectural {
+        ok: r.is_ok(),
+        gprs: (0..rvliw_isa::NUM_GPRS as u8)
+            .map(|i| m.gpr(Gpr::new(i)))
+            .collect(),
+        brs: (0..rvliw_isa::NUM_BRS as u8)
+            .map(|i| m.br(Br::new(i)))
+            .collect(),
+        ram: (0..MEM_WINDOW)
+            .map(|off| m.mem.ram.load8(MEM_BASE as u32 + off))
+            .collect(),
+        loads: snap.mem.loads,
+        stores: snap.mem.stores,
+        ops: snap.stats.ops,
+        bundles: snap.stats.bundles,
+        branches_taken: snap.stats.branches_taken,
+        ops_by_class: snap.stats.ops_by_class,
+    };
+    (arch, m.cycle())
+}
+
+fn assert_substrates_agree(code: &Code, label: &str) {
+    let (va, vc) = observe(code, Substrate::Vliw4);
+    let (sa, sc) = observe(code, Substrate::ScalarInOrder);
+    assert_eq!(va, sa, "{label}: architectural state diverges");
+    assert!(
+        sc >= vc,
+        "{label}: scalar core finished in {sc} cycles, faster than the \
+         4-issue VLIW's {vc}"
+    );
+}
+
+/// Emits one generated operation. `sel` picks the shape, the remaining
+/// fields are raw material for registers, immediates and offsets — every
+/// mapping is total, so any byte soup becomes a well-formed program.
+fn emit(b: &mut Builder, sel: u8, x: u8, y: u8, z: u8, imm: i32) {
+    let rd = Gpr::new(1 + x % DATA_REGS);
+    let rs1 = Gpr::new(1 + y % DATA_REGS);
+    let rs2 = Gpr::new(1 + z % DATA_REGS);
+    let bd = Br::new(x % 4);
+    // Word-aligned offset within the compared scratch window.
+    let woff = (imm & 0xffc).abs();
+    match sel % 16 {
+        0 => b.add(rd, rs1, rs2),
+        1 => b.sub(rd, rs1, rs2),
+        2 => b.and(rd, rs1, rs2),
+        3 => b.or(rd, rs1, rs2),
+        4 => b.xor(rd, rs1, rs2),
+        5 => b.sll(rd, rs1, i32::from(z % 31)),
+        6 => b.mul(rd, rs1, rs2),
+        7 => b.min(rd, rs1, rs2),
+        8 => b.max(rd, rs1, rs2),
+        9 => b.sad4(rd, rs1, rs2),
+        10 => b.movi(rd, imm),
+        11 => b.cmplt_br(bd, rs1, rs2),
+        12 => b.slct(rd, bd, rs1, rs2),
+        13 => b.ldw(rd, BASE, woff),
+        14 => b.ldbu(rd, BASE, imm.abs() & 0xfff),
+        _ => {
+            if x.is_multiple_of(2) {
+                b.stw(rs1, BASE, woff);
+            } else {
+                b.stb(rs1, BASE, imm.abs() & 0xfff);
+            }
+        }
+    }
+}
+
+/// Builds a terminating kernel: seeded registers, a bounded counted loop
+/// around the generated body, and an optional generated forward skip
+/// inside the body. Same shape as the backend-parity generator, so the
+/// substrates face the same program population the backends do.
+fn build_program(body: &[(u8, u8, u8, u8, i32)], iters: u8, skip_at: Option<usize>) -> Code {
+    let mut b = Builder::new("substrate-kernel");
+    for i in 0..DATA_REGS {
+        // Non-trivial seeds so arithmetic differences are visible.
+        b.movi(Gpr::new(1 + i), i32::from(i) * 0x0101_0101 + 7);
+    }
+    b.movi(BASE, MEM_BASE);
+    b.movi(COUNTER, i32::from(iters % 4) + 1);
+    let top = b.label();
+    b.bind(top);
+    let skip = b.label();
+    for (k, &(sel, x, y, z, imm)) in body.iter().enumerate() {
+        if skip_at == Some(k) {
+            b.cmplt_br(Br::new(3), Gpr::new(1 + x % DATA_REGS), COUNTER);
+            b.br(Br::new(3), skip);
+        }
+        emit(&mut b, sel, x, y, z, imm);
+    }
+    b.bind(skip);
+    b.subi(COUNTER, COUNTER, 1);
+    b.cmpne_br(Br::new(0), COUNTER, 0);
+    b.br(Br::new(0), top);
+    b.halt();
+    schedule_st200(&b.build()).expect("generated program schedules")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tentpole differential property: random kernel programs produce
+    /// identical architectural results on both substrates, and the scalar
+    /// core is never faster.
+    #[test]
+    fn substrates_agree_architecturally_on_random_kernels(
+        body in proptest::collection::vec(
+            (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>(), -4096i32..4096),
+            1..24,
+        ),
+        iters in any::<u8>(),
+        skip_sel in any::<u8>(),
+    ) {
+        let skip_at = (skip_sel % 3 == 0).then(|| usize::from(skip_sel) % body.len());
+        let code = build_program(&body, iters, skip_at);
+        assert_substrates_agree(&code, "random kernel");
+    }
+}
+
+#[test]
+fn scalar_core_pays_at_least_one_cycle_per_op() {
+    // A bundle-dense program: multi-op bundles make the one-op-per-cycle
+    // scalar core strictly slower, not merely no faster.
+    let body: Vec<(u8, u8, u8, u8, i32)> =
+        (0..12u8).map(|i| (i % 10, i, i + 1, i + 2, 64)).collect();
+    let code = build_program(&body, 3, None);
+    let (va, vc) = observe(&code, Substrate::Vliw4);
+    let (sa, sc) = observe(&code, Substrate::ScalarInOrder);
+    assert_eq!(va, sa, "architectural state diverges");
+    assert!(
+        sc > vc,
+        "scalar ({sc} cycles) must be strictly slower than VLIW ({vc})"
+    );
+    // Each retired op costs the scalar core at least a cycle.
+    assert!(sc >= sa.ops, "scalar cycles {sc} below op count {}", sa.ops);
+}
+
+#[test]
+fn substrates_agree_on_program_error_paths() {
+    // A load far outside simulated memory: both substrates must fail, with
+    // identical architectural state (the erroring bundle's own staged
+    // writes are discarded on both).
+    let mut b = Builder::new("oob");
+    b.movi(Gpr::new(1), 0x7f00_0000u32 as i32);
+    b.addi(Gpr::new(2), Gpr::new(1), 1);
+    b.ldw(Gpr::new(3), Gpr::new(1), 0);
+    b.halt();
+    let code = schedule_st200(&b.build()).expect("schedules");
+    let (va, _) = observe(&code, Substrate::Vliw4);
+    let (sa, _) = observe(&code, Substrate::ScalarInOrder);
+    assert!(!va.ok, "expected the VLIW run to fail");
+    assert_eq!(va, sa, "error-path architectural state diverges");
+}

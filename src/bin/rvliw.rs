@@ -22,6 +22,8 @@
 //! --fault-seed N      seed for the fault plan (default 0)
 //! --backend B         execution backend (interpreter | block-compiled |
 //!                     auto); never changes results, only simulation speed
+//! --substrate S       fetch/issue substrate (vliw4 | scalar); same
+//!                     architectural results, different cycle counts
 //! ```
 //!
 //! `sweep` accepts:
@@ -40,6 +42,10 @@
 //!                     uncached run, a summary line reports hits/misses
 //! --no-cache          ignore --cache-dir / RVLIW_CACHE_DIR for this run
 //! --backend B         execution backend for every simulated scenario
+//! --substrate S       force one fetch/issue substrate (vliw4 | scalar) on
+//!                     every sweep axis, overriding the spec's `substrate`
+//!                     arrays; cross-substrate specs report per-scenario
+//!                     cycle ratios after the matrix
 //! --journal FILE      append every scenario outcome to FILE (JSONL) as
 //!                     it lands, so an interrupted sweep can resume
 //! --resume FILE       replay completed entries from a previous run's
@@ -80,7 +86,7 @@ use rvliw::exp::{
     Workload,
 };
 use rvliw::fault::{FaultPlan, FaultProfile};
-use rvliw::isa::{Bundle, Gpr, MachineConfig};
+use rvliw::isa::{Bundle, Gpr, MachineConfig, Substrate};
 use rvliw::mem::MemConfig;
 use rvliw::sim::ExecBackend;
 use rvliw::trace::{ChromeTracer, CountingTracer, Json, TeeTracer};
@@ -89,11 +95,11 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: rvliw <asm|run|trace> <file.s> [rN=value ...] \
          [--trace FILE] [--metrics-out FILE]\n       \
-         [--fault-profile PROFILE] [--fault-seed N] [--backend B]\n       \
+         [--fault-profile PROFILE] [--fault-seed N] [--backend B] [--substrate S]\n       \
          rvliw sweep <spec.json | --spec FILE> [--threads N] [--frames N] [--out FILE]\n       \
          [--pareto] [--pareto-out FILE] [--cache-dir DIR] [--no-cache] [--backend B]\n       \
-         [--journal FILE] [--resume FILE] [--max-retries N] [--timeout-secs N]\n       \
-         [--metrics-out FILE]\n       \
+         [--substrate S] [--journal FILE] [--resume FILE] [--max-retries N]\n       \
+         [--timeout-secs N] [--metrics-out FILE]\n       \
          rvliw cache <stats|clear|verify> [--cache-dir DIR] [--sample N] [--threads N]\n       \
          rvliw arch"
     );
@@ -137,6 +143,7 @@ fn execute(path: &str, rest: &[String], trace: bool) -> Result<(), String> {
     let mut metrics_out: Option<String> = None;
     let mut fault_seed = 0u64;
     let mut fault_profile = FaultProfile::None;
+    let mut substrate = Substrate::Vliw4;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -169,6 +176,12 @@ fn execute(path: &str, rest: &[String], trace: bool) -> Result<(), String> {
                     .parse::<ExecBackend>()?
                     .set_process_default();
             }
+            "--substrate" => {
+                substrate = it
+                    .next()
+                    .ok_or("--substrate needs a substrate name")?
+                    .parse::<Substrate>()?;
+            }
             _ => regs.push(a.clone()),
         }
     }
@@ -176,6 +189,7 @@ fn execute(path: &str, rest: &[String], trace: bool) -> Result<(), String> {
     // Salt the fault substreams with the program path so distinct programs
     // under the same seed draw independent perturbations.
     let mut m = SimSession::st200()
+        .substrate(substrate)
         .fault_plan(FaultPlan::from_profile(fault_profile, fault_seed), path)
         .build();
     for &(r, v) in &parse_regs(&regs)? {
@@ -243,6 +257,7 @@ fn run_sweep(rest: &[String]) -> Result<(), String> {
     let mut max_retries = 0u32;
     let mut timeout_secs: Option<u64> = None;
     let mut metrics_out: Option<String> = None;
+    let mut substrate: Option<Substrate> = None;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -307,6 +322,13 @@ fn run_sweep(rest: &[String]) -> Result<(), String> {
                     .parse::<ExecBackend>()?
                     .set_process_default();
             }
+            "--substrate" => {
+                substrate = Some(
+                    it.next()
+                        .ok_or("--substrate needs a substrate name")?
+                        .parse::<Substrate>()?,
+                );
+            }
             other if !other.starts_with('-') && path.is_none() => {
                 path = Some(other.to_owned());
             }
@@ -317,7 +339,14 @@ fn run_sweep(rest: &[String]) -> Result<(), String> {
         path.ok_or("no spec file (pass a spec path, positionally or through --spec FILE)")?;
     let path = path.as_str();
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let spec = ExperimentSpec::from_json_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    let mut spec = ExperimentSpec::from_json_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    if let Some(su) = substrate {
+        spec.sweeps = spec
+            .sweeps
+            .into_iter()
+            .map(|s| s.with_substrate_axis(vec![su]))
+            .collect();
+    }
     let sweep = Sweep::expand(spec).map_err(|e| format!("{path}: {e}"))?;
     let frames = frames.unwrap_or(sweep.spec().frames);
     eprintln!(
@@ -358,6 +387,26 @@ fn run_sweep(rest: &[String]) -> Result<(), String> {
         &config,
     );
     print!("{outcome}");
+    // Cross-substrate sweeps get a per-scenario cycle-ratio table: each
+    // alternate-substrate row against its default-substrate twin.
+    let ratios = outcome.substrate_ratios();
+    if !ratios.is_empty() {
+        println!("Substrate cycle ratios (alternate vs vliw4):");
+        println!(
+            "{:<24} {:>10} {:>12} {:>12} {:>8}",
+            "Scenario", "Substrate", "VliwCycles", "SubCycles", "Ratio"
+        );
+        for r in &ratios {
+            println!(
+                "{:<24} {:>10} {:>12} {:>12} {:>8.2}",
+                r.label,
+                r.substrate,
+                r.vliw_cycles,
+                r.substrate_cycles,
+                r.ratio()
+            );
+        }
+    }
     let summary = run_summary(
         cache.as_ref().map(ScenarioCache::counts).as_ref(),
         supervised.then_some(&health),

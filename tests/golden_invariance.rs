@@ -1,17 +1,18 @@
 //! Golden invariance of the content-addressed cache under the
-//! approximation axis.
+//! approximation axis and the fetch/issue substrate axis.
 //!
 //! The approximate-ME work added `approx`/`search` fields to [`Scenario`],
 //! rerouted the instruction-level program build through
 //! `build_getsad_approx` and extended the result payload with an optional
-//! quality block. None of that may move a single pre-existing cache key:
-//! a warm cache populated before the axis existed must keep hitting.
+//! quality block; the substrate work later added a `substrate` field to
+//! `MachineConfig`. None of that may move a single pre-existing cache key:
+//! a warm cache populated before either axis existed must keep hitting.
 //!
 //! The hex digests below were captured by the pre-change build (same
 //! workload, same scenarios). They are fixtures, not derived values — do
 //! not regenerate them from the code under test.
 
-use rvliw::exp::{scenario_key, workload_digest, Scenario, Workload};
+use rvliw::exp::{scenario_key, workload_digest, Scenario, Substrate, Workload};
 use rvliw::rfu::RfuBandwidth;
 
 fn tiny() -> Workload {
@@ -66,6 +67,16 @@ fn paper_grid_scenario_keys_are_stable() {
             scenario_key(&sc, digest).hex(),
             hex,
             "key moved for `{}` — pre-axis cache entries would all miss",
+            sc.label
+        );
+        // The scalar-substrate twin of the same scenario must key
+        // differently: its cycle counts are different, so a shared key
+        // would replay VLIW timings as scalar results.
+        let scalar = sc.clone().with_substrate(Substrate::ScalarInOrder);
+        assert_ne!(
+            scenario_key(&scalar, digest).hex(),
+            hex,
+            "scalar twin of `{}` collides with the VLIW key",
             sc.label
         );
     }

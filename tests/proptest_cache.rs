@@ -5,7 +5,7 @@
 //!    scenario is byte-identical when computed in a *separate process*
 //!    (no pointer, allocation-order or per-process hash-seed leakage).
 //! 2. Sensitivity: perturbing any single scenario field — including every
-//!    fault-plan knob — changes the key.
+//!    fault-plan knob and the fetch/issue substrate — changes the key.
 //! 3. Robustness: corrupted or truncated cache files are treated as
 //!    misses with a warning, never a panic and never a wrong result.
 
@@ -16,7 +16,7 @@ use proptest::prelude::*;
 
 use rvliw::cache::CacheKey;
 use rvliw::exp::{
-    run_me, scenario_key, workload_digest, MeResult, Scenario, ScenarioCache, Workload,
+    run_me, scenario_key, workload_digest, MeResult, Scenario, ScenarioCache, Substrate, Workload,
 };
 use rvliw::fault::{FaultPlan, FaultProfile};
 use rvliw::kernels::Variant;
@@ -164,8 +164,9 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
         arb_fault_plan(),
         arb_approx(),
         proptest::option::of(arb_search()),
+        any::<bool>(),
     )
-        .prop_map(|(mut sc, lbb, limit, fault, approx, search)| {
+        .prop_map(|(mut sc, lbb, limit, fault, approx, search, scalar)| {
             if let Some(lines) = lbb {
                 sc = sc.with_lbb_bank_lines(lines);
             }
@@ -175,6 +176,9 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
             sc = sc.with_approx(approx);
             if let Some(search) = search {
                 sc = sc.with_search(search);
+            }
+            if scalar {
+                sc = sc.with_substrate(Substrate::ScalarInOrder);
             }
             sc.with_fault_plan(fault)
         })
@@ -197,8 +201,8 @@ proptest! {
     }
 
     /// Every single-field perturbation of a scenario — label, budget,
-    /// line-buffer capacity, and each of the eight fault-plan knobs —
-    /// produces a different key.
+    /// line-buffer capacity, substrate, and each of the eight fault-plan
+    /// knobs — produces a different key.
     #[test]
     fn any_single_field_perturbation_changes_the_key(base in arb_scenario()) {
         let digest = tiny_digest();
@@ -245,6 +249,12 @@ proptest! {
             Some(_) => None,
         };
         variants.push(("search", sc));
+        let mut sc = base.clone();
+        sc.machine.substrate = match sc.machine.substrate {
+            Substrate::Vliw4 => Substrate::ScalarInOrder,
+            Substrate::ScalarInOrder => Substrate::Vliw4,
+        };
+        variants.push(("substrate", sc));
 
         let bump_u32 = |v: u32| v.wrapping_add(1);
         let bump_u64 = |v: u64| v.wrapping_add(1);

@@ -9,7 +9,7 @@
 
 use proptest::prelude::*;
 
-use rvliw::exp::{ExperimentSpec, ReconfigSpec, SpecError, SweepAxes};
+use rvliw::exp::{ExperimentSpec, ReconfigSpec, SpecError, Substrate, SweepAxes};
 use rvliw::fault::FaultProfile;
 use rvliw::kernels::Variant;
 use rvliw::mpeg4::me::SearchAlgorithm;
@@ -80,13 +80,28 @@ fn arb_search_axis() -> impl Strategy<Value = Vec<Option<SearchAlgorithm>>> {
     )
 }
 
+fn arb_substrate_axis() -> impl Strategy<Value = Vec<Substrate>> {
+    prop_oneof![
+        Just(vec![Substrate::Vliw4]),
+        Just(vec![Substrate::ScalarInOrder]),
+        Just(vec![Substrate::Vliw4, Substrate::ScalarInOrder]),
+    ]
+}
+
 fn arb_axes() -> impl Strategy<Value = SweepAxes> {
     prop_oneof![
-        (arb_variants(), arb_approx_axis(), arb_search_axis()).prop_map(|(v, ap, se)| {
-            SweepAxes::instruction(v)
-                .with_approx_axis(ap)
-                .with_search_axis(se)
-        }),
+        (
+            arb_variants(),
+            arb_approx_axis(),
+            arb_search_axis(),
+            arb_substrate_axis()
+        )
+            .prop_map(|(v, ap, se, su)| {
+                SweepAxes::instruction(v)
+                    .with_approx_axis(ap)
+                    .with_search_axis(se)
+                    .with_substrate_axis(su)
+            }),
         (
             proptest::collection::vec(
                 prop_oneof![
@@ -102,6 +117,7 @@ fn arb_axes() -> impl Strategy<Value = SweepAxes> {
             proptest::collection::vec(arb_reconfig(), 1..3),
             arb_approx_axis(),
             arb_search_axis(),
+            arb_substrate_axis(),
         )
             .prop_map(
                 |(
@@ -112,6 +128,7 @@ fn arb_axes() -> impl Strategy<Value = SweepAxes> {
                     reconfig,
                     approx,
                     search,
+                    substrate,
                 )| {
                     SweepAxes::Loop {
                         bandwidths,
@@ -121,6 +138,7 @@ fn arb_axes() -> impl Strategy<Value = SweepAxes> {
                         reconfig,
                         approx,
                         search,
+                        substrate,
                     }
                 }
             ),
