@@ -1191,6 +1191,46 @@ fn main() -> ExitCode {
          work, the host core's issue width stops mattering."
     );
 
+    // ---- design-space exploration -------------------------------------------
+    let _ = writeln!(out, "\n## Design-space exploration\n");
+    let _ = writeln!(
+        out,
+        "Sweeps enumerate a grid; `rvliw explore` *searches* one. An \
+         exploration spec (`specs/explore_rfu.json`) declares axes over \
+         the whole configuration space — engine (`\"1x32\"`/`\"1x64\"`/\
+         `\"2x64\"` loop engines or the two-line-buffer `\"2lb\"` \
+         pipeline), β, Line Buffer B geometry, reconfiguration penalty, \
+         prefetch depth, D-cache geometry, SAD approximation, search \
+         algorithm and substrate — plus an evaluation `budget` and a \
+         `strategy`: `coordinate-descent` (restarted axis-wise hill \
+         climbing, alternating the objective priority between passes) or \
+         `generational` (rank-truncate-mutate over a small population). \
+         Both optimise the two sweep objectives jointly — ME cycles and \
+         exact-SAD inflation — into an incremental Pareto archive that \
+         reuses the sweep layer's dominance rule:\n\n\
+         ```\n\
+         cargo run --release --bin rvliw -- explore --spec specs/explore_rfu.json --seed 7\n\
+         ```\n\n\
+         Determinism is the headline contract. Search decisions draw \
+         from per-(seed, component, index) substreams of the fault \
+         crate's RNG, fitness batches go through the deterministic \
+         parallel runner, and the output JSON deliberately carries no \
+         timing or cache counters — so for a fixed `(spec, seed)` the \
+         emitted bytes are identical at any `--threads` count and on \
+         cold or warm caches (CI runs the checked-in spec at 1 and 4 \
+         threads against one cache directory and `cmp`s the results \
+         against `specs/explore_rfu_frontier.json`). The budget counts \
+         **unique design points** (failed evaluations included, exactly \
+         once); in-run revisits and on-disk cache hits are free and \
+         cannot change the trajectory. Each frontier entry embeds a \
+         single-point `ExperimentSpec` — feed it back through \
+         `rvliw sweep --spec` to replay the archived numbers bit for \
+         bit. `tests/proptest_explore.rs` pins all of this: thread-count \
+         and cache invariance, archive dominance invariants, budget \
+         exactness, frontier replay, and typed (never panicking) \
+         rejection of malformed specs."
+    );
+
     // ---- fault injection ----------------------------------------------------
     let _ = writeln!(out, "\n## Fault injection (robustness harness)\n");
     let _ = writeln!(

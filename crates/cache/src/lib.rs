@@ -335,6 +335,22 @@ impl CacheCounts {
         );
         Json::Obj(m)
     }
+
+    /// Parses the [`Self::to_json`] object back into counters. Returns
+    /// `None` when any counter is missing or not an unsigned integer, so
+    /// `CacheCounts::from_json(&c.to_json()) == Some(c)` for every value.
+    #[must_use]
+    pub fn from_json(j: &Json) -> Option<Self> {
+        let field = |key: &str| j.get(key)?.as_u64();
+        Some(CacheCounts {
+            hits: field("hits")?,
+            misses: field("misses")?,
+            stale: field("stale")?,
+            writes: field("writes")?,
+            write_errors: field("write_errors")?,
+            quarantined: field("quarantined")?,
+        })
+    }
 }
 
 /// One decoded cache entry, as returned by [`ResultCache::entries`].
@@ -865,5 +881,25 @@ mod tests {
         let j = c.to_json();
         assert_eq!(j.get("hits").unwrap().as_u64(), Some(3));
         assert_eq!(j.get("quarantined").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn cache_counts_round_trip_through_json() {
+        let c = CacheCounts {
+            hits: 7,
+            misses: 11,
+            stale: 2,
+            writes: 9,
+            write_errors: 1,
+            quarantined: 3,
+        };
+        // Serialize, re-parse the printed text, and decode: identity.
+        let parsed = Json::parse(&c.to_json().to_string()).unwrap();
+        assert_eq!(CacheCounts::from_json(&parsed), Some(c));
+        // Missing or mistyped counters decode to None, never panic.
+        assert_eq!(CacheCounts::from_json(&Json::Null), None);
+        let mut m = BTreeMap::new();
+        m.insert("hits".to_owned(), Json::Str("three".to_owned()));
+        assert_eq!(CacheCounts::from_json(&Json::Obj(m)), None);
     }
 }

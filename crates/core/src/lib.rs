@@ -30,6 +30,7 @@ pub mod app_model;
 pub mod arch;
 pub mod breakdown;
 pub mod cache;
+pub mod explore;
 pub mod metrics;
 pub mod runner;
 pub mod scenario;
@@ -46,12 +47,16 @@ pub use breakdown::CycleBreakdown;
 pub use cache::{
     default_cache_dir, scenario_key, verify_cache, workload_digest, ScenarioCache, VerifyReport,
 };
+pub use explore::{
+    run_explore, EngineChoice, ExploreOutcome, ExploreSpace, ExploreSpec, ExploreStrategy,
+    FrontierPoint, Objective, ParetoArchive,
+};
 pub use metrics::TablesSnapshot;
 pub use runner::{run_me, run_me_with_tracer, MeResult, ScenarioError};
 pub use rvliw_isa::Substrate;
 pub use scenario::Scenario;
 pub use session::SimSession;
-pub use spec::{ExperimentSpec, ReconfigSpec, SpecError, SweepAxes};
+pub use spec::{DcacheSpec, ExperimentSpec, ReconfigSpec, SpecError, SweepAxes};
 pub use supervisor::{
     run_scenario_list_supervised, run_summary, HealthReport, Journal, SupervisorConfig,
 };

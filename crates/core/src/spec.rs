@@ -27,6 +27,7 @@ use mpeg4_enc::ApproxSad;
 use rvliw_fault::{FaultPlan, FaultProfile};
 use rvliw_isa::Substrate;
 use rvliw_kernels::Variant;
+use rvliw_mem::{CacheGeometry, ReplacementPolicy};
 use rvliw_rfu::{ReconfigModel, RfuBandwidth};
 use rvliw_trace::Json;
 
@@ -76,7 +77,7 @@ impl fmt::Display for SpecError {
 
 impl std::error::Error for SpecError {}
 
-fn schema(path: impl Into<String>, message: impl Into<String>) -> SpecError {
+pub(crate) fn schema(path: impl Into<String>, message: impl Into<String>) -> SpecError {
     SpecError::Schema {
         path: path.into(),
         message: message.into(),
@@ -123,7 +124,7 @@ impl ReconfigSpec {
 
     /// Label suffix distinguishing non-baseline models (empty for the
     /// zero-penalty baseline, so paper-grid labels are unchanged).
-    fn label_suffix(&self) -> String {
+    pub(crate) fn label_suffix(&self) -> String {
         if self.penalty == 0 {
             String::new()
         } else {
@@ -132,7 +133,7 @@ impl ReconfigSpec {
         }
     }
 
-    fn to_json(self) -> Json {
+    pub(crate) fn to_json(self) -> Json {
         let mut m = BTreeMap::new();
         m.insert("penalty".to_owned(), Json::Num(self.penalty.to_string()));
         m.insert("contexts".to_owned(), Json::Num(self.contexts.to_string()));
@@ -143,7 +144,7 @@ impl ReconfigSpec {
         Json::Obj(m)
     }
 
-    fn from_json(j: &Json, path: &str) -> Result<Self, SpecError> {
+    pub(crate) fn from_json(j: &Json, path: &str) -> Result<Self, SpecError> {
         let m = as_obj(j, path)?;
         check_keys(m, &["penalty", "contexts", "prefetch_hiding"], path)?;
         let penalty = match m.get("penalty") {
@@ -178,15 +179,71 @@ impl ReconfigSpec {
     }
 }
 
+/// A serializable data-cache geometry override: total capacity (in KB)
+/// and associativity, with the paper's 32-byte line size and LRU policy.
+///
+/// Serialized as a compact token, e.g. `"16k/2w"` (16 KB, 2-way). Both
+/// numbers must be powers of two so the cache model's index math stays on
+/// shift-and-mask paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DcacheSpec {
+    /// Total capacity in kilobytes (a power of two, at least 1).
+    pub capacity_kb: u32,
+    /// Associativity (ways; a power of two in 1..=16).
+    pub ways: u32,
+}
+
+impl DcacheSpec {
+    /// The compact token this spec serializes as (`"32k/4w"`).
+    #[must_use]
+    pub fn token(&self) -> String {
+        format!("{}k/{}w", self.capacity_kb, self.ways)
+    }
+
+    /// The concrete [`CacheGeometry`] this spec describes (paper line size
+    /// and replacement policy).
+    #[must_use]
+    pub fn geometry(&self) -> CacheGeometry {
+        CacheGeometry {
+            capacity: self.capacity_kb * 1024,
+            line_size: 32,
+            ways: self.ways,
+            policy: ReplacementPolicy::Lru,
+        }
+    }
+
+    /// Parses a `"CAPk/WAYSw"` token; `None` when malformed or out of
+    /// range.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        let (cap, ways) = s.split_once('/')?;
+        let cap: u32 = cap.strip_suffix('k')?.parse().ok()?;
+        let ways: u32 = ways.strip_suffix('w')?.parse().ok()?;
+        if !cap.is_power_of_two() || !ways.is_power_of_two() || ways > 16 || cap > 4096 {
+            return None;
+        }
+        Some(DcacheSpec {
+            capacity_kb: cap,
+            ways,
+        })
+    }
+}
+
 /// One sweep of an [`ExperimentSpec`]: either a list of instruction-level
 /// kernel variants or a cross-product of loop-level axes.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SweepAxes {
     /// Instruction-level points (Table 1):
-    /// `variants × approx × search × substrate`.
+    /// `variants × prefetch × dcache × approx × search × substrate`.
     Instruction {
         /// Kernel variants to run.
         variants: Vec<Variant>,
+        /// Prefetch-buffer depths (`None` = the kind's default: 8 entries
+        /// for instruction-level points, 64 for loop-level).
+        prefetch: Vec<Option<usize>>,
+        /// Data-cache geometry overrides (`None` = the paper's 32 KB
+        /// 4-way).
+        dcache: Vec<Option<DcacheSpec>>,
         /// SAD approximations (default `[exact]`).
         approx: Vec<ApproxSad>,
         /// Search-algorithm overrides (`None` = the workload's own search;
@@ -197,8 +254,8 @@ pub enum SweepAxes {
     },
     /// Loop-level points (Tables 2–7): the full cross-product
     /// `bandwidths × betas × two_line_buffers × lbb_bank_lines ×
-    /// reconfig × approx × search × substrate`, expanded with the
-    /// leftmost axis outermost.
+    /// reconfig × prefetch × dcache × approx × search × substrate`,
+    /// expanded with the leftmost axis outermost.
     Loop {
         /// RFU data bandwidths.
         bandwidths: Vec<RfuBandwidth>,
@@ -210,6 +267,11 @@ pub enum SweepAxes {
         lbb_bank_lines: Vec<Option<usize>>,
         /// Reconfiguration models.
         reconfig: Vec<ReconfigSpec>,
+        /// Prefetch-buffer depths (`None` = the loop-level default, 64).
+        prefetch: Vec<Option<usize>>,
+        /// Data-cache geometry overrides (`None` = the paper's 32 KB
+        /// 4-way).
+        dcache: Vec<Option<DcacheSpec>>,
         /// SAD approximations (default `[exact]`).
         approx: Vec<ApproxSad>,
         /// Search-algorithm overrides (default `[None]`).
@@ -225,6 +287,8 @@ impl SweepAxes {
     pub fn instruction(variants: Vec<Variant>) -> Self {
         SweepAxes::Instruction {
             variants,
+            prefetch: vec![None],
+            dcache: vec![None],
             approx: vec![ApproxSad::Exact],
             search: vec![None],
             substrate: vec![Substrate::Vliw4],
@@ -242,6 +306,8 @@ impl SweepAxes {
             two_line_buffers: vec![false],
             lbb_bank_lines: vec![None],
             reconfig: vec![ReconfigSpec::zero()],
+            prefetch: vec![None],
+            dcache: vec![None],
             approx: vec![ApproxSad::Exact],
             search: vec![None],
             substrate: vec![Substrate::Vliw4],
@@ -258,6 +324,8 @@ impl SweepAxes {
             two_line_buffers: vec![true],
             lbb_bank_lines: vec![None],
             reconfig: vec![ReconfigSpec::zero()],
+            prefetch: vec![None],
+            dcache: vec![None],
             approx: vec![ApproxSad::Exact],
             search: vec![None],
             substrate: vec![Substrate::Vliw4],
@@ -297,22 +365,55 @@ impl SweepAxes {
         self
     }
 
+    /// Replaces the prefetch-depth axis (either sweep kind).
+    #[must_use]
+    pub fn with_prefetch_axis(mut self, axis: Vec<Option<usize>>) -> Self {
+        match &mut self {
+            SweepAxes::Instruction { prefetch, .. } | SweepAxes::Loop { prefetch, .. } => {
+                *prefetch = axis;
+            }
+        }
+        self
+    }
+
+    /// Replaces the data-cache geometry axis (either sweep kind).
+    #[must_use]
+    pub fn with_dcache_axis(mut self, axis: Vec<Option<DcacheSpec>>) -> Self {
+        match &mut self {
+            SweepAxes::Instruction { dcache, .. } | SweepAxes::Loop { dcache, .. } => {
+                *dcache = axis;
+            }
+        }
+        self
+    }
+
     /// The number of scenarios this sweep expands to.
     #[must_use]
     pub fn len(&self) -> usize {
         match self {
             SweepAxes::Instruction {
                 variants,
+                prefetch,
+                dcache,
                 approx,
                 search,
                 substrate,
-            } => variants.len() * approx.len() * search.len() * substrate.len(),
+            } => {
+                variants.len()
+                    * prefetch.len()
+                    * dcache.len()
+                    * approx.len()
+                    * search.len()
+                    * substrate.len()
+            }
             SweepAxes::Loop {
                 bandwidths,
                 betas,
                 two_line_buffers,
                 lbb_bank_lines,
                 reconfig,
+                prefetch,
+                dcache,
                 approx,
                 search,
                 substrate,
@@ -322,6 +423,8 @@ impl SweepAxes {
                     * two_line_buffers.len()
                     * lbb_bank_lines.len()
                     * reconfig.len()
+                    * prefetch.len()
+                    * dcache.len()
                     * approx.len()
                     * search.len()
                     * substrate.len()
@@ -338,7 +441,7 @@ impl SweepAxes {
     /// Serializes the shared `approx`/`search`/`substrate` axes into `m`,
     /// omitting each when at its default (so paper-grid specs are
     /// unchanged).
-    fn axes_to_json(
+    pub(crate) fn axes_to_json(
         m: &mut BTreeMap<String, Json>,
         approx: &[ApproxSad],
         search: &[Option<SearchAlgorithm>],
@@ -377,7 +480,124 @@ impl SweepAxes {
         }
     }
 
-    fn approx_axis_from_json(
+    /// Serializes the shared `prefetch`/`dcache` memory axes into `m`,
+    /// omitting each when at its default (`[None]`), so pre-existing
+    /// specs are unchanged.
+    pub(crate) fn mem_axes_to_json(
+        m: &mut BTreeMap<String, Json>,
+        prefetch: &[Option<usize>],
+        dcache: &[Option<DcacheSpec>],
+    ) {
+        if prefetch != [None] {
+            m.insert(
+                "prefetch".to_owned(),
+                Json::Arr(
+                    prefetch
+                        .iter()
+                        .map(|p| match p {
+                            None => Json::Null,
+                            Some(n) => Json::Num(n.to_string()),
+                        })
+                        .collect(),
+                ),
+            );
+        }
+        if dcache != [None] {
+            m.insert(
+                "dcache".to_owned(),
+                Json::Arr(
+                    dcache
+                        .iter()
+                        .map(|d| match d {
+                            None => Json::Null,
+                            Some(d) => Json::Str(d.token()),
+                        })
+                        .collect(),
+                ),
+            );
+        }
+    }
+
+    pub(crate) fn prefetch_axis_from_json(
+        m: &BTreeMap<String, Json>,
+        path: &str,
+    ) -> Result<Vec<Option<usize>>, SpecError> {
+        match m.get("prefetch") {
+            None => Ok(vec![None]),
+            Some(v) => {
+                let p = format!("{path}.prefetch");
+                let arr = v
+                    .as_array()
+                    .ok_or_else(|| schema(&p, "expected an array of depths-or-null"))?;
+                if arr.is_empty() {
+                    return Err(schema(p, "must not be empty"));
+                }
+                arr.iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        let p = format!("{p}[{i}]");
+                        match v {
+                            Json::Null => Ok(None),
+                            other => {
+                                let n = parse_usize(other, &p)?;
+                                if n == 0 {
+                                    return Err(schema(
+                                        p,
+                                        "prefetch depth must be at least 1 entry",
+                                    ));
+                                }
+                                Ok(Some(n))
+                            }
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    pub(crate) fn dcache_axis_from_json(
+        m: &BTreeMap<String, Json>,
+        path: &str,
+    ) -> Result<Vec<Option<DcacheSpec>>, SpecError> {
+        match m.get("dcache") {
+            None => Ok(vec![None]),
+            Some(v) => {
+                let p = format!("{path}.dcache");
+                let arr = v
+                    .as_array()
+                    .ok_or_else(|| schema(&p, "expected an array of geometry tokens or nulls"))?;
+                if arr.is_empty() {
+                    return Err(schema(p, "must not be empty"));
+                }
+                arr.iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        let p = format!("{p}[{i}]");
+                        match v {
+                            Json::Null => Ok(None),
+                            other => {
+                                let s = other
+                                    .as_str()
+                                    .ok_or_else(|| schema(&p, "expected a string or null"))?;
+                                DcacheSpec::parse(s).map(Some).ok_or_else(|| {
+                                    schema(
+                                        p,
+                                        format!(
+                                            "bad dcache geometry `{s}` (want CAPk/WAYSw with \
+                                             power-of-two capacity <= 4096k and ways <= 16, \
+                                             e.g. 16k/2w)"
+                                        ),
+                                    )
+                                })
+                            }
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    pub(crate) fn approx_axis_from_json(
         m: &BTreeMap<String, Json>,
         path: &str,
     ) -> Result<Vec<ApproxSad>, SpecError> {
@@ -411,7 +631,7 @@ impl SweepAxes {
         }
     }
 
-    fn search_axis_from_json(
+    pub(crate) fn search_axis_from_json(
         m: &BTreeMap<String, Json>,
         path: &str,
     ) -> Result<Vec<Option<SearchAlgorithm>>, SpecError> {
@@ -452,7 +672,7 @@ impl SweepAxes {
         }
     }
 
-    fn substrate_axis_from_json(
+    pub(crate) fn substrate_axis_from_json(
         m: &BTreeMap<String, Json>,
         path: &str,
     ) -> Result<Vec<Substrate>, SpecError> {
@@ -483,6 +703,8 @@ impl SweepAxes {
         match self {
             SweepAxes::Instruction {
                 variants,
+                prefetch,
+                dcache,
                 approx,
                 search,
                 substrate,
@@ -497,6 +719,7 @@ impl SweepAxes {
                             .collect(),
                     ),
                 );
+                Self::mem_axes_to_json(&mut m, prefetch, dcache);
                 Self::axes_to_json(&mut m, approx, search, substrate);
             }
             SweepAxes::Loop {
@@ -505,6 +728,8 @@ impl SweepAxes {
                 two_line_buffers,
                 lbb_bank_lines,
                 reconfig,
+                prefetch,
+                dcache,
                 approx,
                 search,
                 substrate,
@@ -549,6 +774,7 @@ impl SweepAxes {
                         Json::Arr(reconfig.iter().map(|r| r.to_json()).collect()),
                     );
                 }
+                Self::mem_axes_to_json(&mut m, prefetch, dcache);
                 Self::axes_to_json(&mut m, approx, search, substrate);
             }
         }
@@ -562,7 +788,15 @@ impl SweepAxes {
             "instruction" => {
                 check_keys(
                     m,
-                    &["kind", "variants", "approx", "search", "substrate"],
+                    &[
+                        "kind",
+                        "variants",
+                        "prefetch",
+                        "dcache",
+                        "approx",
+                        "search",
+                        "substrate",
+                    ],
                     path,
                 )?;
                 let arr = req_arr(m, "variants", path)?;
@@ -585,6 +819,8 @@ impl SweepAxes {
                     .collect::<Result<Vec<_>, _>>()?;
                 Ok(SweepAxes::Instruction {
                     variants,
+                    prefetch: Self::prefetch_axis_from_json(m, path)?,
+                    dcache: Self::dcache_axis_from_json(m, path)?,
                     approx: Self::approx_axis_from_json(m, path)?,
                     search: Self::search_axis_from_json(m, path)?,
                     substrate: Self::substrate_axis_from_json(m, path)?,
@@ -600,6 +836,8 @@ impl SweepAxes {
                         "two_line_buffers",
                         "lbb_bank_lines",
                         "reconfig",
+                        "prefetch",
+                        "dcache",
                         "approx",
                         "search",
                         "substrate",
@@ -715,6 +953,8 @@ impl SweepAxes {
                     two_line_buffers,
                     lbb_bank_lines,
                     reconfig,
+                    prefetch: Self::prefetch_axis_from_json(m, path)?,
+                    dcache: Self::dcache_axis_from_json(m, path)?,
                     approx: Self::approx_axis_from_json(m, path)?,
                     search: Self::search_axis_from_json(m, path)?,
                     substrate: Self::substrate_axis_from_json(m, path)?,
@@ -828,6 +1068,21 @@ impl ExperimentSpec {
             out.push(sc);
             Ok(())
         };
+        // Applies one (prefetch, dcache) memory point to a scenario,
+        // appending label suffixes for non-default values. Default points
+        // leave the scenario and its label untouched, so paper-grid
+        // labels (and cache keys) are unchanged.
+        let mem_point = |mut sc: Scenario, pf: Option<usize>, dc: Option<DcacheSpec>| {
+            if let Some(entries) = pf {
+                sc.mem.prefetch_entries = entries;
+                sc.label.push_str(&format!(" pf={entries}"));
+            }
+            if let Some(geom) = dc {
+                sc.mem.dcache = geom.geometry();
+                sc.label.push_str(&format!(" dc={}", geom.token()));
+            }
+            sc
+        };
         // Applies one (approx, search, substrate) point to a scenario,
         // appending the label suffixes that keep expanded labels unique
         // per point. Default points leave the scenario and its label
@@ -852,15 +1107,22 @@ impl ExperimentSpec {
             match sweep {
                 SweepAxes::Instruction {
                     variants,
+                    prefetch,
+                    dcache,
                     approx,
                     search,
                     substrate,
                 } => {
                     for &v in variants {
-                        for &ap in approx {
-                            for &se in search {
-                                for &su in substrate {
-                                    push(quality_point(Scenario::instruction(v), ap, se, su))?;
+                        for &pf in prefetch {
+                            for &dc in dcache {
+                                for &ap in approx {
+                                    for &se in search {
+                                        for &su in substrate {
+                                            let sc = mem_point(Scenario::instruction(v), pf, dc);
+                                            push(quality_point(sc, ap, se, su))?;
+                                        }
+                                    }
                                 }
                             }
                         }
@@ -872,6 +1134,8 @@ impl ExperimentSpec {
                     two_line_buffers,
                     lbb_bank_lines,
                     reconfig,
+                    prefetch,
+                    dcache,
                     approx,
                     search,
                     substrate,
@@ -881,21 +1145,28 @@ impl ExperimentSpec {
                             for &two_lb in two_line_buffers {
                                 for &lbb in lbb_bank_lines {
                                     for &rc in reconfig {
-                                        for &ap in approx {
-                                            for &se in search {
-                                                for &su in substrate {
-                                                    let mut sc = if two_lb {
-                                                        Scenario::loop_two_lb(beta)
-                                                    } else {
-                                                        Scenario::loop_level(bw, beta)
-                                                    };
-                                                    if let Some(lines) = lbb {
-                                                        sc = sc.with_lbb_bank_lines(lines);
-                                                        sc.label.push_str(&format!(" lbb={lines}"));
+                                        for &pf in prefetch {
+                                            for &dc in dcache {
+                                                for &ap in approx {
+                                                    for &se in search {
+                                                        for &su in substrate {
+                                                            let mut sc = if two_lb {
+                                                                Scenario::loop_two_lb(beta)
+                                                            } else {
+                                                                Scenario::loop_level(bw, beta)
+                                                            };
+                                                            if let Some(lines) = lbb {
+                                                                sc = sc.with_lbb_bank_lines(lines);
+                                                                sc.label.push_str(&format!(
+                                                                    " lbb={lines}"
+                                                                ));
+                                                            }
+                                                            sc = sc.with_reconfig(rc.model());
+                                                            sc.label.push_str(&rc.label_suffix());
+                                                            sc = mem_point(sc, pf, dc);
+                                                            push(quality_point(sc, ap, se, su))?;
+                                                        }
                                                     }
-                                                    sc = sc.with_reconfig(rc.model());
-                                                    sc.label.push_str(&rc.label_suffix());
-                                                    push(quality_point(sc, ap, se, su))?;
                                                 }
                                             }
                                         }
@@ -1097,14 +1368,18 @@ pub(crate) fn pretty(j: &Json, indent: usize, out: &mut String) {
     }
 }
 
-fn as_obj<'a>(j: &'a Json, path: &str) -> Result<&'a BTreeMap<String, Json>, SpecError> {
+pub(crate) fn as_obj<'a>(j: &'a Json, path: &str) -> Result<&'a BTreeMap<String, Json>, SpecError> {
     match j {
         Json::Obj(m) => Ok(m),
         _ => Err(schema(path, "expected an object")),
     }
 }
 
-fn check_keys(m: &BTreeMap<String, Json>, allowed: &[&str], path: &str) -> Result<(), SpecError> {
+pub(crate) fn check_keys(
+    m: &BTreeMap<String, Json>,
+    allowed: &[&str],
+    path: &str,
+) -> Result<(), SpecError> {
     for k in m.keys() {
         if !allowed.contains(&k.as_str()) {
             return Err(schema(
@@ -1116,14 +1391,18 @@ fn check_keys(m: &BTreeMap<String, Json>, allowed: &[&str], path: &str) -> Resul
     Ok(())
 }
 
-fn req_str<'a>(m: &'a BTreeMap<String, Json>, key: &str, path: &str) -> Result<&'a str, SpecError> {
+pub(crate) fn req_str<'a>(
+    m: &'a BTreeMap<String, Json>,
+    key: &str,
+    path: &str,
+) -> Result<&'a str, SpecError> {
     m.get(key)
         .ok_or_else(|| schema(format!("{path}.{key}"), "missing required key"))?
         .as_str()
         .ok_or_else(|| schema(format!("{path}.{key}"), "expected a string"))
 }
 
-fn req_arr<'a>(
+pub(crate) fn req_arr<'a>(
     m: &'a BTreeMap<String, Json>,
     key: &str,
     path: &str,
@@ -1134,12 +1413,12 @@ fn req_arr<'a>(
         .ok_or_else(|| schema(format!("{path}.{key}"), "expected an array"))
 }
 
-fn parse_u64(j: &Json, path: &str) -> Result<u64, SpecError> {
+pub(crate) fn parse_u64(j: &Json, path: &str) -> Result<u64, SpecError> {
     j.as_u64()
         .ok_or_else(|| schema(path, "expected a non-negative integer"))
 }
 
-fn parse_usize(j: &Json, path: &str) -> Result<usize, SpecError> {
+pub(crate) fn parse_usize(j: &Json, path: &str) -> Result<usize, SpecError> {
     let n = parse_u64(j, path)?;
     usize::try_from(n).map_err(|_| schema(path, "integer too large"))
 }
@@ -1195,6 +1474,8 @@ mod tests {
             two_line_buffers: vec![true],
             lbb_bank_lines: vec![None],
             reconfig: vec![ReconfigSpec::zero()],
+            prefetch: vec![None],
+            dcache: vec![None],
             approx: vec![ApproxSad::Exact],
             search: vec![None],
             substrate: vec![Substrate::Vliw4],
@@ -1220,6 +1501,8 @@ mod tests {
                     prefetch_hiding: true,
                 },
             ],
+            prefetch: vec![None],
+            dcache: vec![None],
             approx: vec![ApproxSad::Exact],
             search: vec![None],
             substrate: vec![Substrate::Vliw4],
@@ -1249,6 +1532,8 @@ mod tests {
             two_line_buffers: vec![false],
             lbb_bank_lines: vec![None, Some(8)],
             reconfig: vec![ReconfigSpec::zero()],
+            prefetch: vec![None],
+            dcache: vec![None],
             approx: vec![ApproxSad::Exact],
             search: vec![None],
             substrate: vec![Substrate::Vliw4],

@@ -336,7 +336,7 @@ fn quality_cell(q: Option<&QualityMetrics>) -> String {
 /// A finite float as a JSON number; non-finite values (infinite SAD
 /// inflation against a zero-cost golden field) degrade to `null` rather
 /// than emitting invalid JSON.
-fn fnum(v: f64) -> Json {
+pub(crate) fn fnum(v: f64) -> Json {
     if v.is_finite() {
         Json::Num(format!("{v:.6}"))
     } else {
@@ -512,7 +512,9 @@ impl SweepOutcome {
     ///
     /// Only successful rows carrying a quality block participate — exact
     /// full-quality rows have no quality number to trade against and are
-    /// skipped, as are failed rows. A point is *dominated* when some other
+    /// skipped, as are failed rows and rows whose inflation is NaN (a NaN
+    /// coordinate would compare incomparable to everything and pollute the
+    /// frontier). A point is *dominated* when some other
     /// point is no worse on both axes (ME cycles, SAD inflation) and
     /// strictly better on at least one; the frontier is every point no
     /// other point dominates. Coincident points dominate neither way and
@@ -525,6 +527,9 @@ impl SweepOutcome {
             .filter_map(|row| {
                 let res = row.result.as_ref().ok()?;
                 let q = res.quality?;
+                if q.sad_inflation.is_nan() {
+                    return None;
+                }
                 Some(ParetoPoint {
                     label: row.label.clone(),
                     me_cycles: res.me_cycles,
@@ -856,6 +861,92 @@ mod tests {
                 .map(<[Json]>::len),
             Some(2)
         );
+    }
+
+    #[test]
+    fn pareto_single_point_and_empty_inputs() {
+        // A single quality-bearing point is its own frontier.
+        let out = SweepOutcome {
+            name: "one".to_owned(),
+            baseline: None,
+            rows: vec![row("solo", 100, q(0.01, 0.1))],
+        };
+        let p = out.pareto();
+        assert_eq!(p.frontier.len(), 1);
+        assert!(p.dominated.is_empty());
+        // No quality-bearing rows at all: both partitions empty, no panic.
+        let out = SweepOutcome {
+            name: "none".to_owned(),
+            baseline: None,
+            rows: vec![row("exact", 100, None)],
+        };
+        let p = out.pareto();
+        assert!(p.frontier.is_empty() && p.dominated.is_empty());
+        let out = SweepOutcome {
+            name: "zero".to_owned(),
+            baseline: None,
+            rows: vec![],
+        };
+        let p = out.pareto();
+        assert!(p.frontier.is_empty() && p.dominated.is_empty());
+    }
+
+    #[test]
+    fn pareto_duplicate_points_share_the_frontier() {
+        // Coincident points dominate neither way: both stay on the
+        // frontier (dominance is irreflexive and strict).
+        let out = SweepOutcome {
+            name: "dup".to_owned(),
+            baseline: None,
+            rows: vec![
+                row("twin-b", 100, q(0.01, 0.1)),
+                row("twin-a", 100, q(0.01, 0.1)),
+                row("worse", 200, q(0.02, 0.2)),
+            ],
+        };
+        let p = out.pareto();
+        let labels: Vec<&str> = p.frontier.iter().map(|pt| pt.label.as_str()).collect();
+        // Label is the final tie-break, so coincident twins sort by name.
+        assert_eq!(labels, ["twin-a", "twin-b"]);
+        assert_eq!(p.dominated.len(), 1);
+    }
+
+    #[test]
+    fn pareto_all_dominated_but_one() {
+        // A strictly better point on both axes dominates everything else.
+        let out = SweepOutcome {
+            name: "alldom".to_owned(),
+            baseline: None,
+            rows: vec![
+                row("best", 10, q(0.0, 0.0)),
+                row("d1", 20, q(0.01, 0.1)),
+                row("d2", 30, q(0.02, 0.2)),
+                row("d3", 40, q(0.03, 0.3)),
+            ],
+        };
+        let p = out.pareto();
+        assert_eq!(p.frontier.len(), 1);
+        assert_eq!(p.frontier[0].label, "best");
+        assert_eq!(p.dominated.len(), 3);
+    }
+
+    #[test]
+    fn pareto_skips_nan_inflation_rows() {
+        // A NaN inflation coordinate is incomparable to everything: it
+        // would neither dominate nor be dominated and pollute the
+        // frontier. Such rows are excluded from the partition entirely.
+        let out = SweepOutcome {
+            name: "nan".to_owned(),
+            baseline: None,
+            rows: vec![
+                row("good", 100, q(0.01, 0.1)),
+                row("nan", 10, q(f64::NAN, 0.0)),
+            ],
+        };
+        let p = out.pareto();
+        let labels: Vec<&str> = p.frontier.iter().map(|pt| pt.label.as_str()).collect();
+        assert_eq!(labels, ["good"]);
+        assert!(p.dominated.is_empty());
     }
 
     #[test]

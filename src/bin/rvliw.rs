@@ -6,6 +6,9 @@
 //! rvliw trace <file.s> [rN=V]  like run, with a per-bundle execution trace
 //! rvliw sweep <spec.json>      expand and run a declarative experiment spec
 //!                              (also: rvliw sweep --spec <spec.json>)
+//! rvliw explore <spec.json>    budgeted design-space exploration: run a
+//!                              search strategy over an explore spec and
+//!                              print the Pareto-front JSON
 //! rvliw cache <stats|clear|verify>  inspect the scenario result cache
 //! rvliw arch                   print the Figure 1 block diagram
 //! ```
@@ -62,11 +65,34 @@
 //!                     slowest scenarios) as JSON
 //! ```
 //!
+//! `explore` accepts:
+//!
+//! ```text
+//! --spec FILE         the explore spec (equivalent to the positional path)
+//! --seed N            search seed (default 0); for a fixed seed the
+//!                     printed frontier JSON is byte-identical at any
+//!                     thread count and on cold or warm caches
+//! --threads N         worker threads for fitness batches (0 = auto)
+//! --frames N          override the spec's QCIF workload length
+//! --out FILE          also write the outcome JSON to FILE
+//! --cache-dir DIR     memoize scenario evaluations in DIR (also:
+//!                     RVLIW_CACHE_DIR); hits never change the trajectory
+//! --no-cache          ignore --cache-dir / RVLIW_CACHE_DIR for this run
+//! --backend B         execution backend for every evaluated scenario
+//! --journal FILE      append every evaluation outcome to FILE (JSONL)
+//! --resume FILE       replay completed evaluations from a journal
+//! --max-retries N     retry transient evaluation failures up to N times
+//! --timeout-secs N    wall-clock watchdog per evaluation attempt
+//! --metrics-out FILE  write evaluation/revisit counts and cache counters
+//!                     as JSON (kept out of the frontier JSON, which must
+//!                     stay byte-stable)
+//! ```
+//!
 //! `cache` manages the scenario result cache (the directory comes from
 //! `--cache-dir` or `RVLIW_CACHE_DIR`):
 //!
 //! ```text
-//! rvliw cache stats   [--cache-dir DIR]                 entry count + size
+//! rvliw cache stats   [--cache-dir DIR] [--json]        entry count + size
 //! rvliw cache clear   [--cache-dir DIR]                 delete every entry
 //! rvliw cache verify  [--cache-dir DIR] [--sample N] [--threads N]
 //!                     re-simulate up to N entries (default 4) and compare
@@ -82,8 +108,8 @@ use std::process::ExitCode;
 
 use rvliw::asm::{parse_program, schedule_st200, Code};
 use rvliw::exp::{
-    arch, run_summary, ExperimentSpec, Journal, ScenarioCache, SimSession, SupervisorConfig, Sweep,
-    Workload,
+    arch, run_explore, run_summary, ExperimentSpec, ExploreSpec, Journal, ScenarioCache,
+    SimSession, SupervisorConfig, Sweep, Workload,
 };
 use rvliw::fault::{FaultPlan, FaultProfile};
 use rvliw::isa::{Bundle, Gpr, MachineConfig, Substrate};
@@ -100,7 +126,10 @@ fn usage() -> ExitCode {
          [--pareto] [--pareto-out FILE] [--cache-dir DIR] [--no-cache] [--backend B]\n       \
          [--substrate S] [--journal FILE] [--resume FILE] [--max-retries N]\n       \
          [--timeout-secs N] [--metrics-out FILE]\n       \
-         rvliw cache <stats|clear|verify> [--cache-dir DIR] [--sample N] [--threads N]\n       \
+         rvliw explore <spec.json | --spec FILE> [--seed N] [--threads N] [--frames N]\n       \
+         [--out FILE] [--cache-dir DIR] [--no-cache] [--backend B] [--journal FILE]\n       \
+         [--resume FILE] [--max-retries N] [--timeout-secs N] [--metrics-out FILE]\n       \
+         rvliw cache <stats|clear|verify> [--cache-dir DIR] [--json] [--sample N] [--threads N]\n       \
          rvliw arch"
     );
     ExitCode::from(2)
@@ -450,6 +479,173 @@ fn run_sweep(rest: &[String]) -> Result<(), String> {
     }
 }
 
+/// `rvliw explore <spec.json>` (or `--spec <spec.json>`): run a budgeted
+/// design-space search over an explore spec and print the Pareto-front
+/// JSON on stdout. Progress and cache/health summaries go to stderr so
+/// stdout stays byte-stable for a fixed seed.
+fn run_explore_cmd(rest: &[String]) -> Result<(), String> {
+    let mut path: Option<String> = None;
+    let mut seed = 0u64;
+    let mut threads = rvliw::exp::default_threads();
+    let mut frames: Option<usize> = None;
+    let mut out_path: Option<String> = None;
+    let mut cache_dir = rvliw::exp::default_cache_dir();
+    let mut no_cache = false;
+    let mut journal_path: Option<String> = None;
+    let mut resume_path: Option<String> = None;
+    let mut max_retries = 0u32;
+    let mut timeout_secs: Option<u64> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--spec" => {
+                path = Some(it.next().ok_or("--spec needs a spec file")?.clone());
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs an integer")?;
+                seed = v.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs an integer (0 = auto)")?;
+                threads = rvliw::exp::parse_threads(v).map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--frames" => {
+                let v = it.next().ok_or("--frames needs a positive integer")?;
+                let n = v.parse::<usize>().map_err(|e| format!("--frames: {e}"))?;
+                if n == 0 {
+                    return Err("--frames: must be at least 1".to_owned());
+                }
+                frames = Some(n);
+            }
+            "--out" => {
+                out_path = Some(it.next().ok_or("--out needs an output file")?.clone());
+            }
+            "--cache-dir" => {
+                cache_dir = Some(it.next().ok_or("--cache-dir needs a directory")?.into());
+            }
+            "--no-cache" => no_cache = true,
+            "--backend" => {
+                it.next()
+                    .ok_or("--backend needs a backend name")?
+                    .parse::<ExecBackend>()?
+                    .set_process_default();
+            }
+            "--journal" => {
+                journal_path = Some(it.next().ok_or("--journal needs an output file")?.clone());
+            }
+            "--resume" => {
+                resume_path = Some(it.next().ok_or("--resume needs a journal file")?.clone());
+            }
+            "--max-retries" => {
+                let v = it.next().ok_or("--max-retries needs an integer")?;
+                max_retries = v.parse().map_err(|e| format!("--max-retries: {e}"))?;
+            }
+            "--timeout-secs" => {
+                let v = it.next().ok_or("--timeout-secs needs a positive integer")?;
+                let n: u64 = v.parse().map_err(|e| format!("--timeout-secs: {e}"))?;
+                if n == 0 {
+                    return Err("--timeout-secs: must be at least 1".to_owned());
+                }
+                timeout_secs = Some(n);
+            }
+            "--metrics-out" => {
+                metrics_out = Some(
+                    it.next()
+                        .ok_or("--metrics-out needs an output file")?
+                        .clone(),
+                );
+            }
+            other if !other.starts_with('-') && path.is_none() => {
+                path = Some(other.to_owned());
+            }
+            other => return Err(format!("unknown explore argument `{other}`")),
+        }
+    }
+    let path =
+        path.ok_or("no spec file (pass a spec path, positionally or through --spec FILE)")?;
+    let path = path.as_str();
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut spec = ExploreSpec::from_json_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    if let Some(frames) = frames {
+        spec.frames = frames;
+    }
+    eprintln!(
+        "exploring {} ({} design points, budget {}, strategy {}, seed {seed}) on {threads} \
+         thread(s)",
+        spec.name,
+        spec.space.size(),
+        spec.budget,
+        spec.strategy.token()
+    );
+    let (workload, workload_kind) = if spec.frames == 25 {
+        ((*Workload::paper_shared()).clone(), "paper")
+    } else {
+        (Workload::qcif_frames(spec.frames), "qcif")
+    };
+    let cache = match cache_dir.filter(|_| !no_cache) {
+        Some(dir) => {
+            Some(ScenarioCache::open(dir, &workload, workload_kind).map_err(|e| e.to_string())?)
+        }
+        None => None,
+    };
+    let config = SupervisorConfig {
+        max_retries,
+        timeout: timeout_secs.map(std::time::Duration::from_secs),
+        journal: match &journal_path {
+            Some(p) => Some(Journal::open(p).map_err(|e| format!("--journal {p}: {e}"))?),
+            None => None,
+        },
+        resume: match &resume_path {
+            Some(p) => Journal::load(p).map_err(|e| format!("--resume {p}: {e}"))?,
+            None => std::collections::BTreeMap::new(),
+        },
+    };
+    let outcome = run_explore(
+        &spec,
+        seed,
+        &workload,
+        threads,
+        |label| eprintln!("  evaluating {label}"),
+        cache.as_ref(),
+        &config,
+    );
+    print!("{}", outcome.to_json_string());
+    eprintln!(
+        "explored {} point(s) ({} revisits, {} failures): {} on the frontier",
+        outcome.evaluations,
+        outcome.revisits,
+        outcome.failures.len(),
+        outcome.frontier.len()
+    );
+    let summary = run_summary(cache.as_ref().map(ScenarioCache::counts).as_ref(), None);
+    if !summary.is_empty() {
+        eprintln!("{summary}");
+    }
+    if let Some(mpath) = metrics_out {
+        let mut m = std::collections::BTreeMap::new();
+        if let Some(cache) = &cache {
+            m.insert("cache".to_owned(), cache.counts().to_json());
+        }
+        m.insert(
+            "evaluations".to_owned(),
+            Json::Num(outcome.evaluations.to_string()),
+        );
+        m.insert(
+            "revisits".to_owned(),
+            Json::Num(outcome.revisits.to_string()),
+        );
+        std::fs::write(&mpath, Json::Obj(m).to_string()).map_err(|e| format!("{mpath}: {e}"))?;
+        eprintln!("wrote run metrics to {mpath}");
+    }
+    if let Some(out_path) = out_path {
+        std::fs::write(&out_path, outcome.to_json_string())
+            .map_err(|e| format!("{out_path}: {e}"))?;
+        eprintln!("wrote outcome to {out_path}");
+    }
+    Ok(())
+}
+
 /// `rvliw cache <stats|clear|verify>`: inspect, empty or spot-check the
 /// scenario result cache. The cache directory comes from `--cache-dir` or
 /// the `RVLIW_CACHE_DIR` environment variable.
@@ -457,12 +653,14 @@ fn run_cache(cmd: &str, rest: &[String]) -> Result<(), String> {
     let mut dir = rvliw::exp::default_cache_dir();
     let mut sample = 4usize;
     let mut threads = rvliw::exp::default_threads();
+    let mut json = false;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--cache-dir" => {
                 dir = Some(it.next().ok_or("--cache-dir needs a directory")?.into());
             }
+            "--json" => json = true,
             "--sample" => {
                 let v = it.next().ok_or("--sample needs a positive integer")?;
                 sample = v.parse().map_err(|e| format!("--sample: {e}"))?;
@@ -493,15 +691,32 @@ fn run_cache(cmd: &str, rest: &[String]) -> Result<(), String> {
                 .filter_map(|p| std::fs::metadata(p).ok())
                 .map(|m| m.len())
                 .sum();
-            println!("cache dir: {}", dir.display());
-            println!(
-                "entries={} bytes={} unreadable={} quarantined={} quarantine_bytes={}",
-                entries.len(),
-                bytes,
-                bad.len(),
-                quarantined.len(),
-                quarantine_bytes
-            );
+            if json {
+                let mut m = std::collections::BTreeMap::new();
+                m.insert("cache_dir".to_owned(), Json::Str(dir.display().to_string()));
+                m.insert("entries".to_owned(), Json::Num(entries.len().to_string()));
+                m.insert("bytes".to_owned(), Json::Num(bytes.to_string()));
+                m.insert("unreadable".to_owned(), Json::Num(bad.len().to_string()));
+                m.insert(
+                    "quarantined".to_owned(),
+                    Json::Num(quarantined.len().to_string()),
+                );
+                m.insert(
+                    "quarantine_bytes".to_owned(),
+                    Json::Num(quarantine_bytes.to_string()),
+                );
+                println!("{}", Json::Obj(m));
+            } else {
+                println!("cache dir: {}", dir.display());
+                println!(
+                    "entries={} bytes={} unreadable={} quarantined={} quarantine_bytes={}",
+                    entries.len(),
+                    bytes,
+                    bad.len(),
+                    quarantined.len(),
+                    quarantine_bytes
+                );
+            }
             Ok(())
         }
         "clear" => {
@@ -557,6 +772,10 @@ fn main() -> ExitCode {
         },
         Some("sweep") => match args.get(1) {
             Some(_) => run_sweep(&args[1..]),
+            None => return usage(),
+        },
+        Some("explore") => match args.get(1) {
+            Some(_) => run_explore_cmd(&args[1..]),
             None => return usage(),
         },
         Some("cache") => match args.get(1) {

@@ -1,0 +1,387 @@
+//! Properties of the design-space exploration engine (`rvliw explore`).
+//!
+//! 1. Trajectory determinism: for a fixed (spec, seed) the full outcome
+//!    — rendered to JSON bytes — is identical at one worker thread and
+//!    at four, for both strategies.
+//! 2. Cache transparency: the outcome is bit-identical with no cache,
+//!    with a cold on-disk cache, and with a warm one — and the warm run
+//!    actually hits the cache.
+//! 3. Pareto-archive invariants: no archived point dominates another,
+//!    every offered point is covered by the final archive, and the
+//!    frontier ordering is deterministic.
+//! 4. Budget exactness: unique evaluations never exceed the budget or
+//!    the space size; revisits are free.
+//! 5. Replay: every frontier point's embedded spec re-runs through the
+//!    sweep engine to the archived numbers, bit for bit.
+//! 6. Spec hygiene: malformed exploration specs come back as typed
+//!    [`SpecError`]s — never a panic.
+//!
+//! This file rides in the no-panic clippy gate alongside the library
+//! crates, so fallible setup goes through [`ok`] instead of `unwrap`.
+
+use std::collections::BTreeSet;
+use std::fmt::Display;
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+
+use rvliw::exp::{
+    run_explore, ExploreSpec, ParetoArchive, ParetoPoint, ScenarioCache, SpecError,
+    SupervisorConfig, Sweep, Workload,
+};
+
+/// Unwraps a fallible setup step with a labelled panic (the clippy gate
+/// forbids `unwrap`/`expect` in this target).
+fn ok<T, E: Display>(what: &str, r: Result<T, E>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => panic!("{what}: {e}"),
+    }
+}
+
+fn nop(_: &str) {}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "rvliw-proptest-explore-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    ok("create tmpdir", std::fs::create_dir_all(&dir));
+    dir
+}
+
+/// A small but multi-axis exploration spec: 3 engines × 2 betas × 2
+/// approximations = 12 design points, searched under a budget of 7 so
+/// the budget cap is actually exercised.
+fn spec_text(strategy: &str, budget: usize) -> String {
+    format!(
+        r#"{{
+  "name": "prop_explore",
+  "frames": 2,
+  "budget": {budget},
+  "strategy": "{strategy}",
+  "population": 4,
+  "space": {{
+    "engine": ["1x32", "2x64", "2lb"],
+    "betas": [1, 5],
+    "approx": ["exact", "rows/2"]
+  }}
+}}"#
+    )
+}
+
+fn spec(strategy: &str, budget: usize) -> ExploreSpec {
+    ok(
+        "parse exploration spec",
+        ExploreSpec::from_json_str(&spec_text(strategy, budget)),
+    )
+}
+
+/// Trajectory determinism: same (spec, seed) → byte-identical outcome
+/// JSON at 1 and 4 worker threads, for both strategies. The thread
+/// count only parallelises fitness batches; it must never leak into the
+/// search.
+#[test]
+fn same_seed_is_byte_identical_across_thread_counts() {
+    let w = Workload::tiny();
+    let config = SupervisorConfig::default();
+    for strategy in ["coordinate-descent", "generational"] {
+        let s = spec(strategy, 7);
+        for seed in [0u64, 7, 42] {
+            let one = run_explore(&s, seed, &w, 1, nop, None, &config).to_json_string();
+            let four = run_explore(&s, seed, &w, 4, nop, None, &config).to_json_string();
+            assert_eq!(one, four, "{strategy} seed {seed}: thread count leaked");
+        }
+    }
+}
+
+/// Cache transparency: no-cache, cold-cache and warm-cache runs all
+/// render the same bytes; the warm run serves at least one hit and the
+/// budget accounting (unique evaluations) is unchanged.
+#[test]
+fn cold_and_warm_caches_do_not_perturb_the_trajectory() {
+    let w = Workload::tiny();
+    let config = SupervisorConfig::default();
+    let s = spec("coordinate-descent", 7);
+    let seed = 7u64;
+
+    let bare = run_explore(&s, seed, &w, 2, nop, None, &config);
+    let dir = tmpdir("warm");
+
+    let cold_cache = ok("open cold cache", ScenarioCache::open(&dir, &w, "tiny"));
+    let cold = run_explore(&s, seed, &w, 2, nop, Some(&cold_cache), &config);
+    let cold_counts = cold_cache.counts();
+
+    let warm_cache = ok("open warm cache", ScenarioCache::open(&dir, &w, "tiny"));
+    let warm = run_explore(&s, seed, &w, 4, nop, Some(&warm_cache), &config);
+    let warm_counts = warm_cache.counts();
+
+    assert_eq!(bare.to_json_string(), cold.to_json_string());
+    assert_eq!(bare.to_json_string(), warm.to_json_string());
+    assert_eq!(
+        cold.evaluations, warm.evaluations,
+        "cache hits stay charged"
+    );
+    assert_eq!(cold_counts.hits, 0, "first run cannot hit");
+    assert!(cold_counts.writes >= 1, "first run populates the cache");
+    assert!(warm_counts.hits >= 1, "second run must hit the cache");
+    assert_eq!(warm_counts.misses, 0, "warm run re-simulated a point");
+}
+
+/// Budget exactness: unique evaluations never exceed the budget or the
+/// space size, the reported failures are evaluations too, and frontier
+/// points are drawn from what was actually evaluated.
+#[test]
+fn evaluations_never_exceed_the_budget() {
+    let w = Workload::tiny();
+    let config = SupervisorConfig::default();
+    for strategy in ["coordinate-descent", "generational"] {
+        for budget in [1usize, 3, 7, 64] {
+            let s = spec(strategy, budget);
+            let out = run_explore(&s, 11, &w, 2, nop, None, &config);
+            let cap = budget.min(s.space.size());
+            assert!(
+                out.evaluations <= cap,
+                "{strategy} budget {budget}: {} evaluations > cap {cap}",
+                out.evaluations
+            );
+            assert!(out.frontier.len() <= out.evaluations);
+            assert!(out.failures.len() <= out.evaluations);
+            // A budget that covers the whole space leaves nothing
+            // unexplored for either strategy to stall on.
+            if budget >= s.space.size() {
+                assert!(!out.frontier.is_empty(), "{strategy}: empty frontier");
+            }
+        }
+    }
+}
+
+/// Replay: each frontier point's embedded single-point spec expands to
+/// exactly one scenario, and re-running it through the sweep engine on
+/// the same workload reproduces the archived numbers exactly.
+#[test]
+fn frontier_specs_replay_to_the_archived_numbers() {
+    let w = Workload::tiny();
+    let config = SupervisorConfig::default();
+    let s = spec("coordinate-descent", 12);
+    let out = run_explore(&s, 7, &w, 2, nop, None, &config);
+    assert!(!out.frontier.is_empty(), "nothing to replay");
+    for f in &out.frontier {
+        let sweep = ok("expand frontier spec", Sweep::expand(f.spec.clone()));
+        assert_eq!(
+            sweep.scenarios().len(),
+            1,
+            "{}: not single-point",
+            f.point.label
+        );
+        let replay = sweep.run(&w, 1, nop);
+        assert_eq!(replay.rows.len(), 1);
+        let row = &replay.rows[0];
+        assert_eq!(row.label, f.point.label);
+        let me = ok("replay frontier point", row.result.as_ref());
+        assert_eq!(
+            me.me_cycles, f.point.me_cycles,
+            "{}: cycles drifted",
+            row.label
+        );
+        let (inflation, psnr) = me
+            .quality
+            .as_ref()
+            .map_or((0.0, 0.0), |q| (q.sad_inflation, q.psnr_delta_db));
+        assert_eq!(
+            inflation.total_cmp(&f.point.sad_inflation),
+            std::cmp::Ordering::Equal,
+            "{}: inflation drifted",
+            row.label
+        );
+        assert_eq!(
+            psnr.total_cmp(&f.point.psnr_delta_db),
+            std::cmp::Ordering::Equal,
+            "{}: psnr drifted",
+            row.label
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Archive invariants under arbitrary insertion orders: the final
+    /// archive is mutually non-dominated, covers every offered point,
+    /// never grows beyond the distinct-label count, and sorts
+    /// deterministically.
+    #[test]
+    fn archive_is_nondominated_and_covers_every_offer(
+        raw in proptest::collection::vec((0u64..8, 0u32..8), 1..40),
+    ) {
+        // As in the explorer, a label uniquely determines its
+        // measurement (it names the candidate); repeats in `raw` model
+        // re-offered points, not conflicting ones.
+        let points: Vec<ParetoPoint> = raw
+            .iter()
+            .map(|&(cycles, infl)| ParetoPoint {
+                label: format!("p{cycles}x{infl}"),
+                me_cycles: cycles,
+                sad_inflation: f64::from(infl) / 8.0,
+                psnr_delta_db: 0.0,
+            })
+            .collect();
+
+        let mut archive = ParetoArchive::new();
+        let mut inserted = 0usize;
+        for p in &points {
+            if archive.insert(p.clone()) {
+                inserted += 1;
+            }
+        }
+        prop_assert!(!archive.is_empty());
+        prop_assert!(archive.len() <= inserted);
+        let labels: BTreeSet<&str> = points.iter().map(|p| p.label.as_str()).collect();
+        prop_assert!(archive.len() <= labels.len());
+
+        let sorted = archive.sorted();
+        // Mutually non-dominated, unique labels.
+        for (i, a) in sorted.iter().enumerate() {
+            for (j, b) in sorted.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!a.dominates(b), "{} dominates archived {}", a.label, b.label);
+                    prop_assert_ne!(&a.label, &b.label);
+                }
+            }
+        }
+        // Deterministic ascending order.
+        for pair in sorted.windows(2) {
+            prop_assert!(
+                pair[0].me_cycles < pair[1].me_cycles
+                    || (pair[0].me_cycles == pair[1].me_cycles
+                        && pair[0].sad_inflation <= pair[1].sad_inflation)
+            );
+        }
+        // Every offered point is accounted for: archived under its
+        // label, or strictly dominated by something archived.
+        for p in &points {
+            prop_assert!(archive.covers(p), "{} escaped the archive", p.label);
+        }
+    }
+
+    /// Trajectory determinism over proptest-chosen seeds and budgets:
+    /// re-running the same exploration reproduces the same bytes, and
+    /// the thread count never perturbs them.
+    #[test]
+    fn exploration_is_a_pure_function_of_spec_and_seed(
+        seed in any::<u64>(),
+        budget in 1usize..6,
+        generational in any::<bool>(),
+    ) {
+        let strategy = if generational { "generational" } else { "coordinate-descent" };
+        let s = spec(strategy, budget);
+        let w = Workload::tiny();
+        let config = SupervisorConfig::default();
+        let a = run_explore(&s, seed, &w, 1, nop, None, &config).to_json_string();
+        let b = run_explore(&s, seed, &w, 3, nop, None, &config).to_json_string();
+        prop_assert_eq!(&a, &b, "thread count leaked into the trajectory");
+        prop_assert!(a.contains("\"frontier\""));
+    }
+}
+
+/// Malformed exploration specs fail with typed errors, never panics:
+/// every rejection is a [`SpecError::Schema`] naming the offending
+/// path (or [`SpecError::Json`] for non-JSON text).
+#[test]
+fn malformed_specs_yield_typed_errors() {
+    let schema_cases: &[(&str, &str)] = &[
+        // Empty required axis.
+        (
+            r#"{"name":"x","budget":4,"strategy":"generational",
+                "space":{"engine":[],"betas":[1]}}"#,
+            "engine",
+        ),
+        // Empty optional axis (present but empty is still invalid).
+        (
+            r#"{"name":"x","budget":4,"strategy":"generational",
+                "space":{"engine":["2lb"],"betas":[1],"approx":[]}}"#,
+            "approx",
+        ),
+        // Zero budget.
+        (
+            r#"{"name":"x","budget":0,"strategy":"generational",
+                "space":{"engine":["2lb"],"betas":[1]}}"#,
+            "budget",
+        ),
+        // Missing budget.
+        (
+            r#"{"name":"x","strategy":"generational",
+                "space":{"engine":["2lb"],"betas":[1]}}"#,
+            "budget",
+        ),
+        // Unknown strategy.
+        (
+            r#"{"name":"x","budget":4,"strategy":"simulated-annealing",
+                "space":{"engine":["2lb"],"betas":[1]}}"#,
+            "strategy",
+        ),
+        // Objective typo.
+        (
+            r#"{"name":"x","budget":4,"strategy":"generational",
+                "objectives":["me_cycles","sad_inflaton"],
+                "space":{"engine":["2lb"],"betas":[1]}}"#,
+            "objectives",
+        ),
+        // Incomplete objectives (both axes are mandatory).
+        (
+            r#"{"name":"x","budget":4,"strategy":"generational",
+                "objectives":["me_cycles"],
+                "space":{"engine":["2lb"],"betas":[1]}}"#,
+            "objectives",
+        ),
+        // Missing space.
+        (
+            r#"{"name":"x","budget":4,"strategy":"generational"}"#,
+            "space",
+        ),
+        // Duplicate axis value.
+        (
+            r#"{"name":"x","budget":4,"strategy":"generational",
+                "space":{"engine":["2lb","2lb"],"betas":[1]}}"#,
+            "engine",
+        ),
+        // Population too small for a generational search.
+        (
+            r#"{"name":"x","budget":4,"strategy":"generational","population":1,
+                "space":{"engine":["2lb"],"betas":[1]}}"#,
+            "population",
+        ),
+        // Unknown engine token.
+        (
+            r#"{"name":"x","budget":4,"strategy":"generational",
+                "space":{"engine":["4x128"],"betas":[1]}}"#,
+            "engine",
+        ),
+        // Unknown top-level key.
+        (
+            r#"{"name":"x","budget":4,"strategy":"generational","threads":4,
+                "space":{"engine":["2lb"],"betas":[1]}}"#,
+            "threads",
+        ),
+    ];
+    for (text, needle) in schema_cases {
+        match ExploreSpec::from_json_str(text) {
+            Err(SpecError::Schema { path, message }) => assert!(
+                path.contains(needle) || message.contains(needle),
+                "error for {text:?} names neither path nor message with {needle:?}: \
+                 path={path:?} message={message:?}"
+            ),
+            other => panic!("{text:?}: expected a schema error, got {other:?}"),
+        }
+    }
+
+    // Non-JSON text is a parse error, not a panic.
+    assert!(matches!(
+        ExploreSpec::from_json_str("not json at all {"),
+        Err(SpecError::Json(_))
+    ));
+    // A JSON scalar is typed too (schema, not panic).
+    assert!(ExploreSpec::from_json_str("42").is_err());
+}

@@ -1,0 +1,121 @@
+//! Substream-derivation properties for the fault crate, in isolation.
+//!
+//! The supervisor, the sweep engine and the explore search all lean on
+//! one discipline: [`FaultPlan::injector`] derives an independent RNG
+//! substream per (seed, component, salt) tuple, and
+//! [`FaultPlan::reseed_for_attempt`] derives an independent plan per
+//! retry attempt. Until now these were only covered indirectly through
+//! supervisor runs; here they are pinned directly:
+//!
+//! 1. Identical tuples yield identical streams — draw for draw.
+//! 2. Distinct tuples yield pairwise-distinct streams (over a fixed
+//!    grid of seeds × components × salts, compared by a draw prefix).
+//! 3. `reseed_for_attempt(0)` is the identity; distinct attempts give
+//!    distinct plans whose substreams also differ.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use rvliw::fault::{FaultPlan, FaultProfile};
+
+/// A fingerprint of one substream: its first `n` bounded uniform draws.
+fn stream_prefix(plan: &FaultPlan, component: &str, salt: &str, n: usize) -> Vec<u64> {
+    let mut inj = plan.injector(component, salt);
+    (0..n).map(|_| inj.uniform(u64::MAX - 1)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The same (seed, component, salt) tuple reproduces the same
+    /// stream, draw for draw — independently derived injectors agree on
+    /// arbitrary bounded draws.
+    #[test]
+    fn identical_tuples_yield_identical_streams(
+        seed in any::<u64>(),
+        component_index in 0usize..5,
+        salt_parts in (0u32..1000, 0u32..1000),
+        bounds in proptest::collection::vec(1u64..=u64::MAX - 1, 1..32),
+    ) {
+        let component =
+            ["mem", "rfu", "lb", "explore-cd", "explore-gen-mutate"][component_index];
+        let salt = format!("{}/{}", salt_parts.0, salt_parts.1);
+        let plan = FaultPlan::from_profile(FaultProfile::None, seed);
+        let mut a = plan.injector(component, &salt);
+        let mut b = plan.injector(component, &salt);
+        for max in bounds {
+            prop_assert_eq!(a.uniform(max), b.uniform(max));
+        }
+    }
+
+    /// Derivation depends only on (seed, component, salt): the fault
+    /// profile never enters the hash, so a chaos-profile plan and a
+    /// none-profile plan with the same seed derive the same substream.
+    #[test]
+    fn profile_does_not_perturb_substreams(seed in any::<u64>()) {
+        let quiet = FaultPlan::from_profile(FaultProfile::None, seed);
+        let noisy = FaultPlan::from_profile(FaultProfile::Chaos, seed);
+        prop_assert_eq!(
+            stream_prefix(&quiet, "mem", "Orig", 16),
+            stream_prefix(&noisy, "mem", "Orig", 16)
+        );
+    }
+
+    /// `reseed_for_attempt(0)` is the identity, and reseeding is a pure
+    /// function of (plan, attempt).
+    #[test]
+    fn reseed_attempt_zero_is_identity(seed in any::<u64>(), attempt in 1u32..=64) {
+        let plan = FaultPlan::from_profile(FaultProfile::None, seed);
+        prop_assert_eq!(plan.reseed_for_attempt(0), plan);
+        prop_assert_eq!(
+            plan.reseed_for_attempt(attempt),
+            plan.reseed_for_attempt(attempt)
+        );
+        prop_assert_ne!(plan.reseed_for_attempt(attempt).seed, plan.seed);
+    }
+}
+
+/// Distinct (seed, component, salt) tuples yield pairwise-distinct
+/// streams over a fixed grid — 4 seeds × 4 components × 4 salts = 64
+/// tuples, fingerprinted by their first 8 draws. A collision anywhere
+/// would mean two scenarios (or two retry attempts) silently sharing
+/// perturbations.
+#[test]
+fn distinct_tuples_yield_distinct_streams() {
+    let seeds = [0u64, 1, 7, 0xdead_beef];
+    let components = ["mem", "rfu", "explore-cd", "explore-gen-mutate"];
+    let salts = ["", "Orig", "0/1", "1x32 b=5"];
+    let mut seen: BTreeMap<Vec<u64>, (u64, &str, &str)> = BTreeMap::new();
+    for &seed in &seeds {
+        let plan = FaultPlan::from_profile(FaultProfile::None, seed);
+        for &component in &components {
+            for &salt in &salts {
+                let fp = stream_prefix(&plan, component, salt, 8);
+                if let Some(prev) = seen.insert(fp, (seed, component, salt)) {
+                    panic!(
+                        "substream collision: ({seed}, {component:?}, {salt:?}) \
+                         matches {prev:?}"
+                    );
+                }
+            }
+        }
+    }
+    assert_eq!(seen.len(), seeds.len() * components.len() * salts.len());
+}
+
+/// Distinct retry attempts derive pairwise-distinct plans, and each
+/// derived plan's substreams differ from the base plan's.
+#[test]
+fn distinct_attempts_yield_distinct_streams() {
+    let plan = FaultPlan::from_profile(FaultProfile::None, 42);
+    let mut seen: BTreeMap<Vec<u64>, u32> = BTreeMap::new();
+    for attempt in 0u32..16 {
+        let reseeded = plan.reseed_for_attempt(attempt);
+        let fp = stream_prefix(&reseeded, "mem", "Orig", 8);
+        if let Some(prev) = seen.insert(fp, attempt) {
+            panic!("attempt {attempt} collides with attempt {prev}");
+        }
+    }
+    assert_eq!(seen.len(), 16);
+}

@@ -9,7 +9,7 @@
 
 use proptest::prelude::*;
 
-use rvliw::exp::{ExperimentSpec, ReconfigSpec, SpecError, Substrate, SweepAxes};
+use rvliw::exp::{DcacheSpec, ExperimentSpec, ReconfigSpec, SpecError, Substrate, SweepAxes};
 use rvliw::fault::FaultProfile;
 use rvliw::kernels::Variant;
 use rvliw::mpeg4::me::SearchAlgorithm;
@@ -88,6 +88,23 @@ fn arb_substrate_axis() -> impl Strategy<Value = Vec<Substrate>> {
     ]
 }
 
+fn arb_prefetch_axis() -> impl Strategy<Value = Vec<Option<usize>>> {
+    proptest::collection::vec(prop_oneof![Just(None), (1usize..256).prop_map(Some)], 1..3)
+}
+
+fn arb_dcache_axis() -> impl Strategy<Value = Vec<Option<DcacheSpec>>> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(None),
+            (0u32..8, 0u32..5).prop_map(|(cap, ways)| Some(DcacheSpec {
+                capacity_kb: 1 << cap,
+                ways: 1 << ways,
+            })),
+        ],
+        1..3,
+    )
+}
+
 fn arb_axes() -> impl Strategy<Value = SweepAxes> {
     prop_oneof![
         (
@@ -115,9 +132,8 @@ fn arb_axes() -> impl Strategy<Value = SweepAxes> {
             proptest::collection::vec(any::<bool>(), 1..3),
             proptest::collection::vec(prop_oneof![Just(None), (1usize..64).prop_map(Some)], 1..3),
             proptest::collection::vec(arb_reconfig(), 1..3),
-            arb_approx_axis(),
-            arb_search_axis(),
-            arb_substrate_axis(),
+            (arb_prefetch_axis(), arb_dcache_axis()),
+            (arb_approx_axis(), arb_search_axis(), arb_substrate_axis()),
         )
             .prop_map(
                 |(
@@ -126,9 +142,8 @@ fn arb_axes() -> impl Strategy<Value = SweepAxes> {
                     two_line_buffers,
                     lbb_bank_lines,
                     reconfig,
-                    approx,
-                    search,
-                    substrate,
+                    (prefetch, dcache),
+                    (approx, search, substrate),
                 )| {
                     SweepAxes::Loop {
                         bandwidths,
@@ -136,6 +151,8 @@ fn arb_axes() -> impl Strategy<Value = SweepAxes> {
                         two_line_buffers,
                         lbb_bank_lines,
                         reconfig,
+                        prefetch,
+                        dcache,
                         approx,
                         search,
                         substrate,
